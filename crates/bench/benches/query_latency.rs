@@ -1,0 +1,54 @@
+//! Criterion benchmark: clustering-query latency of each algorithm after a
+//! warmed-up stream (the "Query Cost" column of Table 1 and the headline
+//! claim of the paper — CC/RCC/OnlineCC answer queries much faster than
+//! streamkm++).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skm_bench::runner::{make_algorithm, AlgorithmKind};
+use skm_bench::workloads::{build_dataset, DatasetSpec};
+use skm_stream::{StreamConfig, StreamingClusterer};
+
+fn warmed_algorithm(
+    kind: AlgorithmKind,
+    config: StreamConfig,
+    n: usize,
+) -> Box<dyn StreamingClusterer> {
+    let dataset = build_dataset(DatasetSpec::Covtype, n, 9);
+    let mut algo = make_algorithm(kind, config, 1.2, n, 23).unwrap();
+    let bucket = config.bucket_size;
+    for (i, p) in dataset.stream().enumerate() {
+        algo.update(p).unwrap();
+        // Keep the coreset caches warm the way the paper's query-heavy
+        // regime does: query after every base bucket.
+        if (i + 1) % bucket == 0 {
+            algo.query().unwrap();
+        }
+    }
+    algo
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_latency");
+    group.sample_size(10);
+    let n = 6_000usize;
+    let config = StreamConfig::new(10)
+        .with_bucket_size(200)
+        .with_kmeans_runs(1)
+        .with_lloyd_iterations(2);
+    for kind in [
+        AlgorithmKind::StreamKmPlusPlus,
+        AlgorithmKind::Cc,
+        AlgorithmKind::Rcc,
+        AlgorithmKind::OnlineCc,
+        AlgorithmKind::Sequential,
+    ] {
+        let mut algo = warmed_algorithm(kind, config, n);
+        group.bench_with_input(BenchmarkId::new("query", kind.name()), &kind, |b, _| {
+            b.iter(|| algo.query().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark: per-point update cost of each streaming algorithm
+//! (the "Update Cost" column of Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skm_bench::runner::{make_algorithm, AlgorithmKind};
+use skm_bench::workloads::{build_dataset, DatasetSpec};
+use skm_stream::StreamConfig;
+
+fn bench_stream_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_update");
+    group.sample_size(10);
+    let n = 4_000usize;
+    let dataset = build_dataset(DatasetSpec::Power, n, 5);
+    group.throughput(Throughput::Elements(n as u64));
+    let config = StreamConfig::new(10)
+        .with_bucket_size(200)
+        .with_kmeans_runs(1)
+        .with_lloyd_iterations(2);
+    for kind in [
+        AlgorithmKind::Sequential,
+        AlgorithmKind::StreamKmPlusPlus,
+        AlgorithmKind::Cc,
+        AlgorithmKind::Rcc,
+        AlgorithmKind::OnlineCc,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("update_stream", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut algo = make_algorithm(kind, config, 1.2, n, 17).unwrap();
+                    for p in dataset.stream() {
+                        algo.update(p).unwrap();
+                    }
+                    algo.memory_points()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_update);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Ablation (beyond the paper): effect of the CC merge degree `r` and of the
+//! coreset cache itself on runtime and accuracy.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin ablation_merge_degree -- [--points N] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::print_tables;
+use skm_bench::tables::{ablation_cache_benefit, ablation_merge_degree};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let result = ablation_merge_degree(&args)
+        .and_then(|t1| ablation_cache_benefit(&args).map(|t2| vec![t1, t2]));
+    match result {
+        Ok(tables) => print_tables(&tables, args.csv),
+        Err(e) => {
+            eprintln!("ablation_merge_degree failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

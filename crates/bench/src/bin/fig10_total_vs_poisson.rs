@@ -1,0 +1,20 @@
+//! Regenerates Figure 10: total time per point (µs) vs the Poisson query
+//! arrival rate λ.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin fig10_total_vs_poisson -- [--points N] [--runs R] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::{fig8_to_10_poisson, print_tables};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match fig8_to_10_poisson(&args) {
+        Ok((_update, _query, total_tables)) => print_tables(&total_tables, args.csv),
+        Err(e) => {
+            eprintln!("fig10_total_vs_poisson failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 11: OnlineCC runtime vs the switching threshold α.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin fig11_threshold_sweep -- [--points N] [--runs R] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::{fig11_threshold_sweep, print_tables};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match fig11_threshold_sweep(&args) {
+        Ok(tables) => print_tables(&tables, args.csv),
+        Err(e) => {
+            eprintln!("fig11_threshold_sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 4: k-means cost vs number of clusters `k`, for every
+//! dataset and algorithm (including the Sequential and batch baselines).
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin fig4_cost_vs_k -- [--points N] [--runs R] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::{fig4_cost_vs_k, print_tables};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match fig4_cost_vs_k(&args) {
+        Ok(tables) => print_tables(&tables, args.csv),
+        Err(e) => {
+            eprintln!("fig4_cost_vs_k failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

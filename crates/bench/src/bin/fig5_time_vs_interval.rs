@@ -1,0 +1,20 @@
+//! Regenerates Figure 5: total runtime over the stream vs the query interval
+//! `q ∈ {50, …, 3200}`, for StreamKM++, CC, RCC and OnlineCC.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin fig5_time_vs_interval -- [--points N] [--runs R] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::{fig5_time_vs_interval, print_tables};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match fig5_time_vs_interval(&args) {
+        Ok(tables) => print_tables(&tables, args.csv),
+        Err(e) => {
+            eprintln!("fig5_time_vs_interval failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 6: k-means cost vs the bucket size `m ∈ {20k, …, 100k}`.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin fig6_cost_vs_bucket -- [--points N] [--runs R] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::{fig6_fig7_bucket_size, print_tables};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match fig6_fig7_bucket_size(&args) {
+        Ok((cost_tables, _time_tables)) => print_tables(&cost_tables, args.csv),
+        Err(e) => {
+            eprintln!("fig6_cost_vs_bucket failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

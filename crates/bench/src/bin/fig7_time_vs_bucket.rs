@@ -1,0 +1,20 @@
+//! Regenerates Figure 7: average per-point runtime (µs) vs the bucket size
+//! `m ∈ {20k, …, 100k}`.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin fig7_time_vs_bucket -- [--points N] [--runs R] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::{fig6_fig7_bucket_size, print_tables};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match fig6_fig7_bucket_size(&args) {
+        Ok((_cost_tables, time_tables)) => print_tables(&time_tables, args.csv),
+        Err(e) => {
+            eprintln!("fig7_time_vs_bucket failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

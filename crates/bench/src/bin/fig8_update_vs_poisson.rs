@@ -1,0 +1,20 @@
+//! Regenerates Figure 8: update time per point (µs) vs the Poisson query
+//! arrival rate λ.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin fig8_update_vs_poisson -- [--points N] [--runs R] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::{fig8_to_10_poisson, print_tables};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match fig8_to_10_poisson(&args) {
+        Ok((update_tables, _query, _total)) => print_tables(&update_tables, args.csv),
+        Err(e) => {
+            eprintln!("fig8_update_vs_poisson failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

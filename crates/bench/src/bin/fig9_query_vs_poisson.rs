@@ -1,0 +1,20 @@
+//! Regenerates Figure 9: query time per point (µs) vs the Poisson query
+//! arrival rate λ.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin fig9_query_vs_poisson -- [--points N] [--runs R] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::{fig8_to_10_poisson, print_tables};
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match fig8_to_10_poisson(&args) {
+        Ok((_update, query_tables, _total)) => print_tables(&query_tables, args.csv),
+        Err(e) => {
+            eprintln!("fig9_query_vs_poisson failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

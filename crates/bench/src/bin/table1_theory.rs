@@ -1,0 +1,21 @@
+//! Empirically validates Table 1: coresets merged per query, coreset level,
+//! query/update time and memory for CT, CC, RCC and OnlineCC.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin table1_theory -- [--points N] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::print_tables;
+use skm_bench::tables::table1_theory;
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match table1_theory(&args) {
+        Ok(table) => print_tables(&[table], args.csv),
+        Err(e) => {
+            eprintln!("table1_theory failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Reproduces Table 2: RCC trade-offs as a function of the nesting depth ι.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin table2_rcc_tradeoffs -- [--points N] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::print_tables;
+use skm_bench::tables::table2_rcc_tradeoffs;
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match table2_rcc_tradeoffs(&args) {
+        Ok(table) => print_tables(&[table], args.csv),
+        Err(e) => {
+            eprintln!("table2_rcc_tradeoffs failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

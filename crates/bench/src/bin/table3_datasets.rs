@@ -1,0 +1,20 @@
+//! Reproduces Table 3: the dataset overview.
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin table3_datasets -- [--points N] [--csv]
+//! ```
+
+use skm_bench::figures::print_tables;
+use skm_bench::tables::table3_datasets;
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match table3_datasets(&args) {
+        Ok(table) => print_tables(&[table], args.csv),
+        Err(e) => {
+            eprintln!("table3_datasets failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Reproduces Table 4: memory cost in points and MB for every algorithm and
+//! dataset (k = 30, query every 100 points).
+//!
+//! ```text
+//! cargo run -p skm-bench --release --bin table4_memory -- [--points N] [--dataset NAME] [--csv]
+//! ```
+
+use skm_bench::figures::print_tables;
+use skm_bench::tables::table4_memory;
+use skm_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    match table4_memory(&args) {
+        Ok(tables) => print_tables(&tables, args.csv),
+        Err(e) => {
+            eprintln!("table4_memory failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

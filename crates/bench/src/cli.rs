@@ -1,0 +1,186 @@
+//! Minimal command-line flag parsing shared by the figure/table binaries.
+//!
+//! Every binary accepts the same switches so experiment scale can be tuned
+//! without editing code:
+//!
+//! ```text
+//! --points N     stream length per dataset          (default 20_000)
+//! --k K          number of clusters                 (default 30)
+//! --runs R       independent runs per configuration (default 3; paper: 9)
+//! --quick        shorthand for --points 4000 --runs 1
+//! --full         shorthand for --points 100000 --runs 5
+//! --dataset NAME restrict to one dataset (covtype|power|intrusion|drift)
+//! --csv          also print each table as CSV
+//! --seed S       base RNG seed                      (default 42)
+//! ```
+
+use crate::workloads::DatasetSpec;
+
+/// Parsed command-line arguments for a figure/table binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Stream length per dataset.
+    pub points: usize,
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Independent runs per configuration (median is reported).
+    pub runs: usize,
+    /// Restrict the experiment to a single dataset.
+    pub dataset: Option<DatasetSpec>,
+    /// Also emit CSV output.
+    pub csv: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            points: 20_000,
+            k: 30,
+            runs: 3,
+            dataset: None,
+            csv: false,
+            seed: 42,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses arguments from an iterator of tokens (exposed for testing).
+    ///
+    /// Unknown flags are reported on stderr and ignored so that future
+    /// additions do not break older invocations.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut parsed = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--points" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        parsed.points = v;
+                    }
+                }
+                "--k" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        parsed.k = v;
+                    }
+                }
+                "--runs" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        parsed.runs = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        parsed.seed = v;
+                    }
+                }
+                "--dataset" => {
+                    if let Some(name) = iter.next() {
+                        parsed.dataset = DatasetSpec::parse(&name);
+                        if parsed.dataset.is_none() {
+                            eprintln!("unknown dataset `{name}`, running all datasets");
+                        }
+                    }
+                }
+                "--quick" => {
+                    parsed.points = 4_000;
+                    parsed.runs = 1;
+                }
+                "--full" => {
+                    parsed.points = 100_000;
+                    parsed.runs = 5;
+                }
+                "--csv" => parsed.csv = true,
+                other => eprintln!("ignoring unknown argument `{other}`"),
+            }
+        }
+        parsed.points = parsed.points.max(100);
+        parsed.runs = parsed.runs.max(1);
+        parsed.k = parsed.k.max(1);
+        parsed
+    }
+
+    /// Parses the process arguments (skipping the program name).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// The datasets selected by these arguments.
+    #[must_use]
+    pub fn datasets(&self) -> Vec<DatasetSpec> {
+        match self.dataset {
+            Some(d) => vec![d],
+            None => DatasetSpec::ALL.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> BenchArgs {
+        BenchArgs::parse_from(tokens.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let args = parse(&[]);
+        assert_eq!(args, BenchArgs::default());
+        assert_eq!(args.datasets().len(), 4);
+    }
+
+    #[test]
+    fn explicit_flags() {
+        let args = parse(&[
+            "--points",
+            "5000",
+            "--k",
+            "10",
+            "--runs",
+            "7",
+            "--seed",
+            "9",
+            "--csv",
+            "--dataset",
+            "power",
+        ]);
+        assert_eq!(args.points, 5_000);
+        assert_eq!(args.k, 10);
+        assert_eq!(args.runs, 7);
+        assert_eq!(args.seed, 9);
+        assert!(args.csv);
+        assert_eq!(args.datasets(), vec![DatasetSpec::Power]);
+    }
+
+    #[test]
+    fn quick_and_full_shorthands() {
+        assert_eq!(parse(&["--quick"]).points, 4_000);
+        assert_eq!(parse(&["--quick"]).runs, 1);
+        assert_eq!(parse(&["--full"]).points, 100_000);
+        assert_eq!(parse(&["--full"]).runs, 5);
+    }
+
+    #[test]
+    fn invalid_values_fall_back_to_sane_minimums() {
+        let args = parse(&["--points", "0", "--runs", "0", "--k", "0"]);
+        assert!(args.points >= 100);
+        assert_eq!(args.runs, 1);
+        assert_eq!(args.k, 1);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let args = parse(&["--bogus", "--points", "900"]);
+        assert_eq!(args.points, 900);
+    }
+
+    #[test]
+    fn unknown_dataset_means_all() {
+        let args = parse(&["--dataset", "nope"]);
+        assert_eq!(args.datasets().len(), 4);
+    }
+}

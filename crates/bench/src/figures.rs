@@ -1,0 +1,390 @@
+//! Library implementations of the paper's figures (4–11).
+//!
+//! Every function returns [`Table`]s whose rows/series correspond to what
+//! the paper plots; the binaries in `src/bin/` only parse flags, call these
+//! functions and print the tables. Keeping the logic here lets the
+//! integration tests exercise the exact code path the figures use (with tiny
+//! streams).
+
+use crate::cli::BenchArgs;
+use crate::runner::{make_algorithm, run_stream, AlgorithmKind};
+use crate::workloads::build_dataset;
+use skm_clustering::error::Result;
+use skm_data::QuerySchedule;
+use skm_metrics::{ExperimentRecord, RunMeasurement, Table};
+use skm_stream::StreamConfig;
+
+/// Query intervals swept by Figure 5 (points between queries).
+pub const QUERY_INTERVALS: [u64; 7] = [50, 100, 200, 400, 800, 1600, 3200];
+
+/// Bucket-size multipliers swept by Figures 6 and 7 (`m = multiplier · k`).
+pub const BUCKET_MULTIPLIERS: [usize; 5] = [20, 40, 60, 80, 100];
+
+/// Switching thresholds swept by Figure 11.
+pub const SWITCH_THRESHOLDS: [f64; 7] = [1.2, 2.4, 3.6, 4.8, 6.0, 7.2, 9.6];
+
+/// Numbers of clusters swept by Figure 4.
+pub const CLUSTER_COUNTS: [usize; 5] = [10, 20, 30, 40, 50];
+
+/// Default OnlineCC switching threshold (Section 5.2).
+pub const DEFAULT_ALPHA: f64 = 1.2;
+
+/// The harness' default query-time clustering settings. The paper uses
+/// best-of-5 k-means++ with 20 Lloyd iterations; the harness defaults to a
+/// lighter 2 runs / 5 iterations so full sweeps finish on a laptop, which
+/// affects every algorithm identically (see EXPERIMENTS.md).
+#[must_use]
+pub fn harness_config(k: usize, bucket_size: usize) -> StreamConfig {
+    StreamConfig::new(k)
+        .with_bucket_size(bucket_size)
+        .with_kmeans_runs(2)
+        .with_lloyd_iterations(5)
+}
+
+/// Runs `runs` independent repetitions of (`kind`, `dataset`, `schedule`)
+/// and returns the filled experiment record.
+fn measure(
+    kind: AlgorithmKind,
+    dataset: &skm_data::Dataset,
+    config: StreamConfig,
+    alpha: f64,
+    schedule: QuerySchedule,
+    runs: usize,
+    seed: u64,
+    parameter: &str,
+    parameter_value: f64,
+) -> Result<ExperimentRecord> {
+    let mut record = ExperimentRecord::new(kind.name(), dataset.name(), parameter, parameter_value);
+    for run_idx in 0..runs {
+        let run_seed = seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add(run_idx as u64)
+            .wrapping_add(parameter_value.to_bits());
+        let mut algorithm = make_algorithm(kind, config, alpha, dataset.len(), run_seed)?;
+        let result = run_stream(algorithm.as_mut(), dataset, schedule, run_seed ^ 0xABCD)?;
+        record.push_run(result.measurement);
+    }
+    Ok(record)
+}
+
+/// Figure 4: k-means cost (at end of stream) vs the number of clusters `k`,
+/// one table per dataset. Series: Sequential, StreamKM++, CC, RCC, OnlineCC
+/// and the batch k-means++ reference.
+///
+/// # Errors
+/// Propagates harness/algorithm errors.
+pub fn fig4_cost_vs_k(args: &BenchArgs) -> Result<Vec<Table>> {
+    let mut tables = Vec::new();
+    for spec in args.datasets() {
+        let dataset = build_dataset(spec, args.points, args.seed);
+        let mut table = Table::new(
+            format!("Figure 4 ({}): k-means cost vs k", spec.name()),
+            &[
+                "k",
+                "Sequential",
+                "StreamKM++",
+                "CC",
+                "RCC",
+                "OnlineCC",
+                "KMeans++ (batch)",
+            ],
+        );
+        for &k in &CLUSTER_COUNTS {
+            let config = harness_config(k, 20 * k);
+            let mut row = vec![k.to_string()];
+            for kind in AlgorithmKind::ALL {
+                let record = measure(
+                    kind,
+                    &dataset,
+                    config,
+                    DEFAULT_ALPHA,
+                    QuerySchedule::every(args.points as u64 / 10),
+                    args.runs,
+                    args.seed,
+                    "k",
+                    k as f64,
+                )?;
+                let cost = record.median_cost().unwrap_or(f64::NAN);
+                row.push(format!("{cost:.4e}"));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Figure 5: total runtime (seconds, entire stream) vs query interval `q`,
+/// one table per dataset. Series: StreamKM++, CC, RCC, OnlineCC.
+///
+/// # Errors
+/// Propagates harness/algorithm errors.
+pub fn fig5_time_vs_interval(args: &BenchArgs) -> Result<Vec<Table>> {
+    let mut tables = Vec::new();
+    for spec in args.datasets() {
+        let dataset = build_dataset(spec, args.points, args.seed);
+        let mut table = Table::new(
+            format!(
+                "Figure 5 ({}): total time (s) vs query interval q",
+                spec.name()
+            ),
+            &["q", "StreamKM++", "CC", "RCC", "OnlineCC"],
+        );
+        let config = harness_config(args.k, 20 * args.k);
+        for &q in &QUERY_INTERVALS {
+            let mut row = vec![q.to_string()];
+            for kind in AlgorithmKind::STREAMING {
+                let record = measure(
+                    kind,
+                    &dataset,
+                    config,
+                    DEFAULT_ALPHA,
+                    QuerySchedule::every(q),
+                    args.runs,
+                    args.seed,
+                    "q",
+                    q as f64,
+                )?;
+                let total = record.median_total_seconds().unwrap_or(f64::NAN);
+                row.push(format!("{total:.3}"));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Figures 6 and 7: k-means cost and average per-point runtime (µs) vs the
+/// bucket size `m ∈ {20k, …, 100k}`. Returns `(cost_tables, time_tables)`.
+///
+/// # Errors
+/// Propagates harness/algorithm errors.
+pub fn fig6_fig7_bucket_size(args: &BenchArgs) -> Result<(Vec<Table>, Vec<Table>)> {
+    let mut cost_tables = Vec::new();
+    let mut time_tables = Vec::new();
+    for spec in args.datasets() {
+        let dataset = build_dataset(spec, args.points, args.seed);
+        let mut cost_table = Table::new(
+            format!("Figure 6 ({}): k-means cost vs bucket size", spec.name()),
+            &["m", "StreamKM++", "CC", "RCC", "OnlineCC"],
+        );
+        let mut time_table = Table::new(
+            format!(
+                "Figure 7 ({}): avg runtime per point (µs) vs bucket size",
+                spec.name()
+            ),
+            &["m", "StreamKM++", "CC", "RCC", "OnlineCC"],
+        );
+        for &mult in &BUCKET_MULTIPLIERS {
+            let m = mult * args.k;
+            let config = harness_config(args.k, m);
+            let mut cost_row = vec![format!("{mult}k")];
+            let mut time_row = vec![format!("{mult}k")];
+            for kind in AlgorithmKind::STREAMING {
+                let record = measure(
+                    kind,
+                    &dataset,
+                    config,
+                    DEFAULT_ALPHA,
+                    QuerySchedule::every(100),
+                    args.runs,
+                    args.seed,
+                    "m",
+                    m as f64,
+                )?;
+                let cost = record.median_cost().unwrap_or(f64::NAN);
+                let per_point = record
+                    .median_of(RunMeasurement::total_micros_per_point)
+                    .unwrap_or(f64::NAN);
+                cost_row.push(format!("{cost:.4e}"));
+                time_row.push(format!("{per_point:.2}"));
+            }
+            cost_table.push_row(cost_row);
+            time_table.push_row(time_row);
+        }
+        cost_tables.push(cost_table);
+        time_tables.push(time_table);
+    }
+    Ok((cost_tables, time_tables))
+}
+
+/// Figures 8, 9 and 10: update / query / total time per point (µs) vs the
+/// Poisson query arrival rate. Returns `(update, query, total)` tables, one
+/// per dataset each.
+///
+/// # Errors
+/// Propagates harness/algorithm errors.
+pub fn fig8_to_10_poisson(args: &BenchArgs) -> Result<(Vec<Table>, Vec<Table>, Vec<Table>)> {
+    // Mean inter-arrival gaps matching the paper's x-axis (rate = 1/gap).
+    let mean_intervals: [f64; 7] = [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0];
+    let mut update_tables = Vec::new();
+    let mut query_tables = Vec::new();
+    let mut total_tables = Vec::new();
+    for spec in args.datasets() {
+        let dataset = build_dataset(spec, args.points, args.seed);
+        let headers = ["rate", "StreamKM++", "CC", "RCC", "OnlineCC"];
+        let mut update_table = Table::new(
+            format!(
+                "Figure 8 ({}): update time per point (µs) vs poisson rate",
+                spec.name()
+            ),
+            &headers,
+        );
+        let mut query_table = Table::new(
+            format!(
+                "Figure 9 ({}): query time per point (µs) vs poisson rate",
+                spec.name()
+            ),
+            &headers,
+        );
+        let mut total_table = Table::new(
+            format!(
+                "Figure 10 ({}): total time per point (µs) vs poisson rate",
+                spec.name()
+            ),
+            &headers,
+        );
+        let config = harness_config(args.k, 20 * args.k);
+        for &gap in &mean_intervals {
+            let rate = 1.0 / gap;
+            let schedule = QuerySchedule::Poisson { rate };
+            let mut update_row = vec![format!("{rate:.5}")];
+            let mut query_row = vec![format!("{rate:.5}")];
+            let mut total_row = vec![format!("{rate:.5}")];
+            for kind in AlgorithmKind::STREAMING {
+                let record = measure(
+                    kind,
+                    &dataset,
+                    config,
+                    DEFAULT_ALPHA,
+                    schedule,
+                    args.runs,
+                    args.seed,
+                    "poisson_rate",
+                    rate,
+                )?;
+                let update = record
+                    .median_of(RunMeasurement::update_micros_per_point)
+                    .unwrap_or(f64::NAN);
+                let query = record
+                    .median_of(RunMeasurement::query_micros_per_point)
+                    .unwrap_or(f64::NAN);
+                update_row.push(format!("{update:.2}"));
+                query_row.push(format!("{query:.2}"));
+                total_row.push(format!("{:.2}", update + query));
+            }
+            update_table.push_row(update_row);
+            query_table.push_row(query_row);
+            total_table.push_row(total_row);
+        }
+        update_tables.push(update_table);
+        query_tables.push(query_table);
+        total_tables.push(total_table);
+    }
+    Ok((update_tables, query_tables, total_tables))
+}
+
+/// Figure 11: OnlineCC total runtime (seconds, split into update and query
+/// time) vs the switching threshold α, one table per dataset.
+///
+/// # Errors
+/// Propagates harness/algorithm errors.
+pub fn fig11_threshold_sweep(args: &BenchArgs) -> Result<Vec<Table>> {
+    let mut tables = Vec::new();
+    for spec in args.datasets() {
+        let dataset = build_dataset(spec, args.points, args.seed);
+        let mut table = Table::new(
+            format!(
+                "Figure 11 ({}): OnlineCC runtime (s) vs switching threshold α",
+                spec.name()
+            ),
+            &[
+                "alpha",
+                "update time (s)",
+                "query time (s)",
+                "total (s)",
+                "fallbacks",
+            ],
+        );
+        let config = harness_config(args.k, 20 * args.k);
+        for &alpha in &SWITCH_THRESHOLDS {
+            // Measure fallbacks with a dedicated OnlineCC instance so we can
+            // read its counter (the trait object interface hides it).
+            let mut update_s = Vec::new();
+            let mut query_s = Vec::new();
+            let mut fallbacks = Vec::new();
+            for run_idx in 0..args.runs {
+                let seed = args.seed.wrapping_add(run_idx as u64 * 7919);
+                let mut online = skm_stream::OnlineCC::new(config, alpha, seed)?;
+                let result = run_stream(&mut online, &dataset, QuerySchedule::every(100), seed)?;
+                update_s.push(result.measurement.update_seconds);
+                query_s.push(result.measurement.query_seconds);
+                fallbacks.push(online.fallback_count() as f64);
+            }
+            let med = |v: &[f64]| skm_metrics::stats::median(v);
+            table.push_row(vec![
+                format!("{alpha:.1}"),
+                format!("{:.3}", med(&update_s)),
+                format!("{:.3}", med(&query_s)),
+                format!("{:.3}", med(&update_s) + med(&query_s)),
+                format!("{:.0}", med(&fallbacks)),
+            ]);
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+/// Prints a list of tables to stdout, optionally followed by CSV renditions.
+pub fn print_tables(tables: &[Table], csv: bool) {
+    for table in tables {
+        println!("{}", table.to_plain_text());
+        if csv {
+            println!("{}", table.to_csv());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::DatasetSpec;
+
+    /// Tiny arguments so figure code paths run in test time.
+    fn tiny_args() -> BenchArgs {
+        BenchArgs {
+            points: 600,
+            k: 3,
+            runs: 1,
+            dataset: Some(DatasetSpec::Power),
+            csv: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig5_produces_one_row_per_interval() {
+        let tables = fig5_time_vs_interval(&tiny_args()).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), QUERY_INTERVALS.len());
+        let text = tables[0].to_plain_text();
+        assert!(text.contains("StreamKM++"));
+        assert!(text.contains("OnlineCC"));
+    }
+
+    #[test]
+    fn fig11_produces_one_row_per_alpha() {
+        let tables = fig11_threshold_sweep(&tiny_args()).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), SWITCH_THRESHOLDS.len());
+    }
+
+    #[test]
+    fn harness_config_respects_parameters() {
+        let c = harness_config(7, 140);
+        assert_eq!(c.k, 7);
+        assert_eq!(c.bucket_size, 140);
+        assert!(c.validate().is_ok());
+    }
+}

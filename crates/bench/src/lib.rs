@@ -1,0 +1,29 @@
+//! # skm-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation section (Section 5). The library half of this crate provides
+//! the shared pieces:
+//!
+//! * [`workloads`] — the four evaluation datasets (Covtype-like, Power-like,
+//!   Intrusion-like, Drift) at configurable stream lengths,
+//! * [`runner`] — construction of the algorithms under test and the stream
+//!   loop that measures update time, query time, accuracy and memory,
+//! * [`cli`] — the tiny flag parser shared by the figure/table binaries.
+//!
+//! Each figure or table of the paper has a dedicated binary in `src/bin/`
+//! (`fig4_cost_vs_k`, `fig5_time_vs_interval`, …, `table4_memory`); see
+//! DESIGN.md for the full experiment index and EXPERIMENTS.md for measured
+//! results.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cli;
+pub mod figures;
+pub mod runner;
+pub mod tables;
+pub mod workloads;
+
+pub use cli::BenchArgs;
+pub use runner::{make_algorithm, run_stream, AlgorithmKind, StreamRunResult};
+pub use workloads::{build_dataset, DatasetSpec};

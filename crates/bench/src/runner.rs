@@ -1,0 +1,243 @@
+//! Algorithm construction and the measured stream loop.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use skm_clustering::cost::kmeans_cost;
+use skm_clustering::error::Result;
+use skm_clustering::Centers;
+use skm_data::{Dataset, QuerySchedule};
+use skm_metrics::{RunMeasurement, SplitTimer};
+use skm_stream::prelude::*;
+use std::time::Instant;
+
+/// The algorithms compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// streamkm++ / CT with merge degree `r = 2`.
+    StreamKmPlusPlus,
+    /// Cached coreset tree.
+    Cc,
+    /// Recursive coreset cache (nesting depth 3, as in the paper).
+    Rcc,
+    /// Online coreset cache with the default switching threshold α = 1.2.
+    OnlineCc,
+    /// Sequential (MacQueen) k-means.
+    Sequential,
+    /// Batch k-means++ over the full prefix (accuracy reference).
+    Batch,
+}
+
+impl AlgorithmKind {
+    /// The streaming algorithms compared in the runtime figures
+    /// (Figures 5, 7–10): streamkm++, CC, RCC and OnlineCC.
+    pub const STREAMING: [AlgorithmKind; 4] = [
+        AlgorithmKind::StreamKmPlusPlus,
+        AlgorithmKind::Cc,
+        AlgorithmKind::Rcc,
+        AlgorithmKind::OnlineCc,
+    ];
+
+    /// Every algorithm including the accuracy baselines (Figure 4).
+    pub const ALL: [AlgorithmKind; 6] = [
+        AlgorithmKind::Sequential,
+        AlgorithmKind::StreamKmPlusPlus,
+        AlgorithmKind::Cc,
+        AlgorithmKind::Rcc,
+        AlgorithmKind::OnlineCc,
+        AlgorithmKind::Batch,
+    ];
+
+    /// Report name (matches the paper's figure legends).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::StreamKmPlusPlus => "StreamKM++",
+            AlgorithmKind::Cc => "CC",
+            AlgorithmKind::Rcc => "RCC",
+            AlgorithmKind::OnlineCc => "OnlineCC",
+            AlgorithmKind::Sequential => "Sequential",
+            AlgorithmKind::Batch => "KMeans++ (batch)",
+        }
+    }
+}
+
+/// Instantiates an algorithm under test.
+///
+/// `alpha` is only used by OnlineCC (the paper's default is 1.2).
+/// `expected_points` is used by RCC to choose its merge degrees
+/// (`N^{1/2}, N^{1/4}, N^{1/8}`), exactly as the paper's evaluation does when
+/// it configures RCC for a known dataset size.
+///
+/// # Errors
+/// Propagates configuration validation errors.
+pub fn make_algorithm(
+    kind: AlgorithmKind,
+    config: StreamConfig,
+    alpha: f64,
+    expected_points: usize,
+    seed: u64,
+) -> Result<Box<dyn StreamingClusterer>> {
+    Ok(match kind {
+        AlgorithmKind::StreamKmPlusPlus => Box::new(CoresetTreeClusterer::new(
+            config.with_merge_degree(2),
+            seed,
+        )?),
+        AlgorithmKind::Cc => Box::new(CachedCoresetTree::new(config, seed)?),
+        AlgorithmKind::Rcc => Box::new(RecursiveCachedTree::for_stream_length(
+            config,
+            3,
+            expected_points,
+            seed,
+        )?),
+        AlgorithmKind::OnlineCc => Box::new(OnlineCC::new(config, alpha, seed)?),
+        AlgorithmKind::Sequential => Box::new(SequentialKMeans::new(config.k)?),
+        AlgorithmKind::Batch => Box::new(BatchKMeansPP::new(config, seed)?),
+    })
+}
+
+/// Result of running one algorithm over one stream with one query schedule.
+#[derive(Debug, Clone)]
+pub struct StreamRunResult {
+    /// Timing / memory / accuracy measurements for the run.
+    pub measurement: RunMeasurement,
+    /// The centers returned by the final (end-of-stream) query.
+    pub final_centers: Centers,
+}
+
+/// Streams `dataset` through `algorithm`, issuing queries according to
+/// `schedule` plus one final query at the end of the stream, and measures
+/// update time, query time, memory and the final clustering cost (evaluated
+/// on the full dataset, as in the paper).
+///
+/// # Errors
+/// Propagates algorithm errors (which indicate a bug in the harness setup,
+/// e.g. inconsistent dimensions).
+pub fn run_stream(
+    algorithm: &mut dyn StreamingClusterer,
+    dataset: &Dataset,
+    schedule: QuerySchedule,
+    schedule_seed: u64,
+) -> Result<StreamRunResult> {
+    let n = dataset.len() as u64;
+    let mut schedule_rng = ChaCha8Rng::seed_from_u64(schedule_seed);
+    let positions = schedule.positions(n, &mut schedule_rng);
+    let mut next_query = 0usize;
+
+    let mut timer = SplitTimer::new();
+
+    for (i, point) in dataset.stream().enumerate() {
+        let start = Instant::now();
+        algorithm.update(point)?;
+        timer.add_update(start.elapsed(), 1);
+
+        let position = (i + 1) as u64;
+        if next_query < positions.len() && positions[next_query] == position {
+            next_query += 1;
+            let start = Instant::now();
+            algorithm.query()?;
+            timer.add_query(start.elapsed(), 1);
+        }
+    }
+
+    // Final end-of-stream query (every experiment in the paper evaluates the
+    // cost "at the end of observing all the points").
+    let start = Instant::now();
+    let final_centers: Centers = algorithm.query()?;
+    timer.add_query(start.elapsed(), 1);
+
+    let final_cost = kmeans_cost(dataset.points(), &final_centers)?;
+
+    let measurement = RunMeasurement {
+        update_seconds: timer.update_seconds(),
+        query_seconds: timer.query_seconds(),
+        points: n,
+        queries: timer.queries(),
+        final_cost,
+        memory_points: algorithm.memory_points(),
+    };
+    Ok(StreamRunResult {
+        measurement,
+        final_centers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{build_dataset, DatasetSpec};
+
+    fn small_config(k: usize) -> StreamConfig {
+        StreamConfig::new(k)
+            .with_bucket_size(20 * k)
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(2)
+    }
+
+    #[test]
+    fn every_algorithm_runs_end_to_end() {
+        let dataset = build_dataset(DatasetSpec::Power, 600, 3);
+        for kind in AlgorithmKind::ALL {
+            let mut algo = make_algorithm(kind, small_config(5), 1.2, dataset.len(), 11).unwrap();
+            let result = run_stream(algo.as_mut(), &dataset, QuerySchedule::every(200), 1).unwrap();
+            assert_eq!(result.measurement.points, 600, "{}", kind.name());
+            assert!(result.measurement.queries >= 3, "{}", kind.name());
+            assert!(result.measurement.final_cost.is_finite(), "{}", kind.name());
+            assert!(result.final_centers.len() <= 5, "{}", kind.name());
+            assert!(result.measurement.memory_points > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn coreset_algorithms_beat_sequential_on_skewed_data() {
+        let dataset = build_dataset(DatasetSpec::Intrusion, 3_000, 5);
+        let mut seq = make_algorithm(
+            AlgorithmKind::Sequential,
+            small_config(10),
+            1.2,
+            dataset.len(),
+            1,
+        )
+        .unwrap();
+        let mut cc =
+            make_algorithm(AlgorithmKind::Cc, small_config(10), 1.2, dataset.len(), 1).unwrap();
+        let seq_cost = run_stream(seq.as_mut(), &dataset, QuerySchedule::None, 1)
+            .unwrap()
+            .measurement
+            .final_cost;
+        let cc_cost = run_stream(cc.as_mut(), &dataset, QuerySchedule::None, 1)
+            .unwrap()
+            .measurement
+            .final_cost;
+        // Figure 4(c): Sequential k-means is far worse on Intrusion.
+        assert!(
+            seq_cost > 2.0 * cc_cost,
+            "expected Sequential ({seq_cost:.3e}) to be much worse than CC ({cc_cost:.3e})"
+        );
+    }
+
+    #[test]
+    fn memory_ordering_matches_table_4() {
+        let dataset = build_dataset(DatasetSpec::Covtype, 4_000, 7);
+        let config = small_config(10);
+        let mut mem = std::collections::HashMap::new();
+        for kind in [
+            AlgorithmKind::StreamKmPlusPlus,
+            AlgorithmKind::Cc,
+            AlgorithmKind::Rcc,
+            AlgorithmKind::OnlineCc,
+        ] {
+            let mut algo = make_algorithm(kind, config, 1.2, dataset.len(), 13).unwrap();
+            let result = run_stream(algo.as_mut(), &dataset, QuerySchedule::every(100), 2).unwrap();
+            mem.insert(kind.name(), result.measurement.memory_points);
+        }
+        // streamkm++ uses the least memory; CC and OnlineCC are similar; RCC the most.
+        assert!(mem["StreamKM++"] <= mem["CC"]);
+        assert!(mem["CC"] <= mem["RCC"] * 2);
+        let cc = mem["CC"] as f64;
+        let online = mem["OnlineCC"] as f64;
+        assert!(
+            (online - cc).abs() / cc < 0.25,
+            "CC {cc} vs OnlineCC {online}"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! The k-means objective `φ_Ψ(P)` and cluster assignments.
+//!
+//! Problem 1 of the paper: given a weighted point set `P` and a candidate
+//! center set `Ψ`, the clustering cost is
+//! `φ_Ψ(P) = Σ_{x∈P} w(x) · D²(x, Ψ)` — the within-cluster sum of squares
+//! (SSQ) used as the accuracy metric throughout the evaluation.
+
+use crate::centers::Centers;
+use crate::distance::nearest_center;
+use crate::error::{ClusteringError, Result};
+use crate::point::PointSet;
+
+/// Weighted k-means cost `φ_Ψ(P)` of `points` with respect to `centers`.
+///
+/// Returns `0.0` for an empty point set (an empty sum), and an error when the
+/// center set is empty or dimensions do not match.
+///
+/// # Errors
+/// Returns [`ClusteringError::EmptyInput`] when `centers` is empty and
+/// `points` is not, or a dimension mismatch error.
+pub fn kmeans_cost(points: &PointSet, centers: &Centers) -> Result<f64> {
+    if points.is_empty() {
+        return Ok(0.0);
+    }
+    if centers.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if points.dim() != centers.dim() {
+        return Err(ClusteringError::DimensionMismatch {
+            expected: points.dim(),
+            got: centers.dim(),
+        });
+    }
+    let mut cost = 0.0;
+    for (p, w) in points.iter() {
+        // Unwrap is safe: centers is non-empty.
+        let (_, d2) = nearest_center(p, centers).expect("non-empty centers");
+        cost += w * d2;
+    }
+    Ok(cost)
+}
+
+/// Assignment of each point to its nearest center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `labels[i]` is the index of the nearest center for point `i`.
+    pub labels: Vec<usize>,
+    /// Total weighted cost of the assignment (equals [`kmeans_cost`]).
+    pub cost: f64,
+    /// Total weight assigned to each center.
+    pub cluster_weights: Vec<f64>,
+}
+
+/// Assigns every point of `points` to its nearest center in `centers`.
+///
+/// # Errors
+/// Same failure modes as [`kmeans_cost`].
+pub fn assign(points: &PointSet, centers: &Centers) -> Result<Assignment> {
+    if centers.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if points.dim() != centers.dim() {
+        return Err(ClusteringError::DimensionMismatch {
+            expected: points.dim(),
+            got: centers.dim(),
+        });
+    }
+    let mut labels = Vec::with_capacity(points.len());
+    let mut cluster_weights = vec![0.0; centers.len()];
+    let mut cost = 0.0;
+    for (p, w) in points.iter() {
+        let (idx, d2) = nearest_center(p, centers).expect("non-empty centers");
+        labels.push(idx);
+        cluster_weights[idx] += w;
+        cost += w * d2;
+    }
+    Ok(Assignment {
+        labels,
+        cost,
+        cluster_weights,
+    })
+}
+
+/// Per-cluster contribution to the total cost. `result[j]` is the weighted
+/// SSQ of the points assigned to center `j`.
+///
+/// # Errors
+/// Same failure modes as [`kmeans_cost`].
+pub fn per_cluster_cost(points: &PointSet, centers: &Centers) -> Result<Vec<f64>> {
+    if centers.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if points.dim() != centers.dim() {
+        return Err(ClusteringError::DimensionMismatch {
+            expected: points.dim(),
+            got: centers.dim(),
+        });
+    }
+    let mut out = vec![0.0; centers.len()];
+    for (p, w) in points.iter() {
+        let (idx, d2) = nearest_center(p, centers).expect("non-empty centers");
+        out[idx] += w * d2;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_points() -> PointSet {
+        // Four unit-weight points at the corners of a 2x2 square.
+        let mut s = PointSet::new(2);
+        s.push(&[0.0, 0.0], 1.0);
+        s.push(&[2.0, 0.0], 1.0);
+        s.push(&[0.0, 2.0], 1.0);
+        s.push(&[2.0, 2.0], 1.0);
+        s
+    }
+
+    #[test]
+    fn cost_against_centroid() {
+        let points = square_points();
+        let centers = Centers::from_rows(2, &[vec![1.0, 1.0]]).unwrap();
+        // Every point is at squared distance 2 from the centroid.
+        let cost = kmeans_cost(&points, &centers).unwrap();
+        assert!((cost - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_respects_weights() {
+        let mut points = PointSet::new(1);
+        points.push(&[0.0], 3.0);
+        points.push(&[4.0], 1.0);
+        let centers = Centers::from_rows(1, &[vec![0.0]]).unwrap();
+        let cost = kmeans_cost(&points, &centers).unwrap();
+        assert!((cost - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_when_centers_cover_points() {
+        let points = square_points();
+        let centers = Centers::from_rows(
+            2,
+            &[
+                vec![0.0, 0.0],
+                vec![2.0, 0.0],
+                vec![0.0, 2.0],
+                vec![2.0, 2.0],
+            ],
+        )
+        .unwrap();
+        assert_eq!(kmeans_cost(&points, &centers).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_points_have_zero_cost() {
+        let points = PointSet::new(2);
+        let centers = Centers::from_rows(2, &[vec![0.0, 0.0]]).unwrap();
+        assert_eq!(kmeans_cost(&points, &centers).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_centers_is_error() {
+        let points = square_points();
+        let centers = Centers::new(2);
+        assert!(kmeans_cost(&points, &centers).is_err());
+        assert!(assign(&points, &centers).is_err());
+        assert!(per_cluster_cost(&points, &centers).is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_is_error() {
+        let points = square_points();
+        let centers = Centers::from_rows(3, &[vec![0.0, 0.0, 0.0]]).unwrap();
+        assert!(kmeans_cost(&points, &centers).is_err());
+    }
+
+    #[test]
+    fn assignment_labels_and_weights() {
+        let points = square_points();
+        let centers = Centers::from_rows(2, &[vec![0.0, 0.0], vec![2.0, 2.0]]).unwrap();
+        let a = assign(&points, &centers).unwrap();
+        assert_eq!(a.labels, vec![0, 0, 0, 1]);
+        // Ties ([2,0] and [0,2] are equidistant) resolve to the first center.
+        assert_eq!(a.cluster_weights, vec![3.0, 1.0]);
+        assert!((a.cost - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_cluster_cost_sums_to_total() {
+        let points = square_points();
+        let centers = Centers::from_rows(2, &[vec![0.5, 0.5], vec![2.0, 2.0]]).unwrap();
+        let per = per_cluster_cost(&points, &centers).unwrap();
+        let total = kmeans_cost(&points, &centers).unwrap();
+        let sum: f64 = per.iter().sum();
+        assert!((sum - total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Squared-Euclidean distance kernels and nearest-center search.
+//!
+//! The paper defines `D(x, y) = ‖x − y‖` and `D(x, Ψ) = min_{ψ∈Ψ} ‖x − ψ‖`.
+//! Every algorithm in the reproduction spends most of its time in these
+//! kernels, so they are kept small, branch-free where possible and
+//! `#[inline]`.
+
+use crate::centers::Centers;
+
+/// Squared Euclidean distance `‖a − b‖²` between two points.
+///
+/// # Panics
+/// Panics (debug builds) if the slices have different lengths.
+#[must_use]
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch in squared_distance");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let diff = x - y;
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Euclidean distance `‖a − b‖`.
+#[must_use]
+#[inline]
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// Index of the nearest center to `point` and the squared distance to it.
+///
+/// Returns `None` when `centers` is empty.
+#[must_use]
+pub fn nearest_center(point: &[f64], centers: &Centers) -> Option<(usize, f64)> {
+    if centers.is_empty() {
+        return None;
+    }
+    let mut best_idx = 0;
+    let mut best = f64::INFINITY;
+    for (i, c) in centers.iter().enumerate() {
+        let d = squared_distance(point, c);
+        if d < best {
+            best = d;
+            best_idx = i;
+        }
+    }
+    Some((best_idx, best))
+}
+
+/// Squared distance from `point` to the nearest of `centers`
+/// (`D²(x, Ψ)`), or `+∞` when `centers` is empty.
+#[must_use]
+pub fn squared_distance_to_set(point: &[f64], centers: &Centers) -> f64 {
+    nearest_center(point, centers).map_or(f64::INFINITY, |(_, d)| d)
+}
+
+/// Like [`nearest_center`], but searching a plain list of candidate rows in
+/// flat row-major storage. Used by the coreset constructors which sample
+/// representatives before they are wrapped in a [`Centers`] value.
+///
+/// Returns `None` if `rows` is empty or `dim == 0`.
+#[must_use]
+pub fn nearest_row(point: &[f64], rows: &[f64], dim: usize) -> Option<(usize, f64)> {
+    if rows.is_empty() || dim == 0 {
+        return None;
+    }
+    let mut best_idx = 0;
+    let mut best = f64::INFINITY;
+    for (i, c) in rows.chunks_exact(dim).enumerate() {
+        let d = squared_distance(point, c);
+        if d < best {
+            best = d;
+            best_idx = i;
+        }
+    }
+    Some((best_idx, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_distance_basic() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(squared_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_sqrt_of_squared() {
+        assert!((distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_center_picks_minimum() {
+        let centers =
+            Centers::from_rows(2, &[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 3.0]]).unwrap();
+        let (idx, d) = nearest_center(&[0.0, 2.0], &centers).unwrap();
+        assert_eq!(idx, 2);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_center_of_empty_set_is_none() {
+        let centers = Centers::new(2);
+        assert!(nearest_center(&[0.0, 0.0], &centers).is_none());
+        assert!(squared_distance_to_set(&[0.0, 0.0], &centers).is_infinite());
+    }
+
+    #[test]
+    fn nearest_row_matches_nearest_center() {
+        let rows = vec![0.0, 0.0, 10.0, 0.0, 0.0, 3.0];
+        let centers =
+            Centers::from_rows(2, &[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 3.0]]).unwrap();
+        let p = [7.0, 1.0];
+        let a = nearest_row(&p, &rows, 2).unwrap();
+        let b = nearest_center(&p, &centers).unwrap();
+        assert_eq!(a.0, b.0);
+        assert!((a.1 - b.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_row_empty_is_none() {
+        assert!(nearest_row(&[1.0], &[], 1).is_none());
+    }
+
+    #[test]
+    fn ties_resolve_to_first_center() {
+        let centers = Centers::from_rows(1, &[vec![1.0], vec![-1.0]]).unwrap();
+        let (idx, _) = nearest_center(&[0.0], &centers).unwrap();
+        assert_eq!(idx, 0);
+    }
+}

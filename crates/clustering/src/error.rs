@@ -1,0 +1,108 @@
+//! Error types shared by the clustering substrate.
+
+use std::fmt;
+
+/// Errors produced by the clustering substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusteringError {
+    /// An operation that requires at least one point was given an empty set.
+    EmptyInput,
+    /// A point with the wrong dimensionality was supplied.
+    DimensionMismatch {
+        /// Dimension the container was created with.
+        expected: usize,
+        /// Dimension of the offending point.
+        got: usize,
+    },
+    /// `k` (number of clusters) must be at least 1.
+    InvalidK {
+        /// The offending value.
+        k: usize,
+    },
+    /// A weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// Index of the offending point within its container.
+        index: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Index of the offending point within its container.
+        index: usize,
+    },
+    /// A configuration parameter was out of its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human readable description of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::EmptyInput => write!(f, "input point set is empty"),
+            ClusteringError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            ClusteringError::InvalidK { k } => write!(f, "invalid number of clusters k = {k}"),
+            ClusteringError::InvalidWeight { index } => {
+                write!(
+                    f,
+                    "point {index} has an invalid (negative or non-finite) weight"
+                )
+            }
+            ClusteringError::NonFiniteCoordinate { index } => {
+                write!(f, "point {index} has a non-finite coordinate")
+            }
+            ClusteringError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusteringError {}
+
+/// Convenience result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, ClusteringError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ClusteringError::DimensionMismatch {
+            expected: 3,
+            got: 5,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(e.to_string().contains("got 5"));
+
+        let e = ClusteringError::InvalidK { k: 0 };
+        assert!(e.to_string().contains("k = 0"));
+
+        let e = ClusteringError::InvalidParameter {
+            name: "alpha",
+            message: "must be > 1".to_string(),
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("must be > 1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ClusteringError::EmptyInput, ClusteringError::EmptyInput);
+        assert_ne!(
+            ClusteringError::EmptyInput,
+            ClusteringError::InvalidK { k: 2 }
+        );
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(ClusteringError::EmptyInput);
+        assert_eq!(e.to_string(), "input point set is empty");
+    }
+}

@@ -1,0 +1,237 @@
+//! Weighted k-means++ seeding (Arthur & Vassilvitskii, SODA 2007).
+//!
+//! Theorem 1 of the paper: on an input of `n` points, k-means++ returns `k`
+//! centers `Ψ` with `E[φ_Ψ(P)] ≤ 8(ln k + 2)·φ_OPT(P)` in time `O(kdn)`.
+//!
+//! The streaming algorithms use k-means++ in two places:
+//! * to derive coresets from buckets of points (Section 5.2), and
+//! * to extract the final `k` centers from the merged coreset at query time.
+//!
+//! Both call sites operate on *weighted* points, so the implementation keeps
+//! the D² distribution weighted: the probability of selecting point `x` as
+//! the next center is proportional to `w(x) · D²(x, Ψ_so_far)`.
+
+use crate::centers::Centers;
+use crate::distance::squared_distance;
+use crate::error::{ClusteringError, Result};
+use crate::point::PointSet;
+use crate::sampling::{uniform_index, weighted_index};
+use rand::Rng;
+
+/// Runs weighted k-means++ seeding, returning `min(k, points.len())`
+/// centers.
+///
+/// The seeding follows the classic algorithm:
+/// 1. Pick the first center with probability proportional to `w(x)`.
+/// 2. Repeatedly pick the next center with probability proportional to
+///    `w(x) · D²(x, chosen)`, where `D²` is the squared distance to the
+///    closest already-chosen center.
+///
+/// If at some step every remaining point has zero D² mass (for example, all
+/// points are duplicates of chosen centers), the remaining centers are drawn
+/// uniformly at random from the input, which matches the behaviour of
+/// widely-used implementations.
+///
+/// Each returned center carries the weight of the input point it was copied
+/// from (callers that need assignment mass should run [`crate::cost::assign`]).
+///
+/// # Errors
+/// * [`ClusteringError::EmptyInput`] if `points` is empty.
+/// * [`ClusteringError::InvalidK`] if `k == 0`.
+pub fn kmeanspp<R: Rng + ?Sized>(points: &PointSet, k: usize, rng: &mut R) -> Result<Centers> {
+    if k == 0 {
+        return Err(ClusteringError::InvalidK { k });
+    }
+    if points.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    let n = points.len();
+    let dim = points.dim();
+    let k_eff = k.min(n);
+
+    let mut centers = Centers::with_capacity(dim, k_eff);
+
+    // First center: sample proportionally to weight (uniform if all weights
+    // are zero).
+    let first = weighted_index(points.weights(), rng)
+        .or_else(|| uniform_index(n, rng))
+        .expect("non-empty point set");
+    centers.push(points.point(first), points.weight(first));
+
+    // dist2[i] = w(i) * D²(point i, chosen centers); updated incrementally as
+    // centers are added so seeding stays O(k d n).
+    let mut dist2: Vec<f64> = points
+        .iter()
+        .map(|(p, w)| w * squared_distance(p, centers.center(0)))
+        .collect();
+
+    while centers.len() < k_eff {
+        let chosen = match weighted_index(&dist2, rng) {
+            Some(i) => i,
+            // All remaining mass is zero: every point coincides with an
+            // existing center. Fall back to uniform sampling so we still
+            // return k centers (duplicates are acceptable, cost is 0).
+            None => uniform_index(n, rng).expect("non-empty point set"),
+        };
+        centers.push(points.point(chosen), points.weight(chosen));
+        let new_center_idx = centers.len() - 1;
+        // Incremental update of the D² distribution.
+        for (i, (p, w)) in points.iter().enumerate() {
+            let d = w * squared_distance(p, centers.center(new_center_idx));
+            if d < dist2[i] {
+                dist2[i] = d;
+            }
+        }
+    }
+    Ok(centers)
+}
+
+/// Runs k-means++ seeding `runs` times and returns the seeding with the
+/// lowest k-means cost. Used by the evaluation harness which takes the best
+/// of five independent runs (Section 5.2).
+///
+/// # Errors
+/// Same failure modes as [`kmeanspp`]; additionally `runs` must be ≥ 1.
+pub fn kmeanspp_best_of<R: Rng + ?Sized>(
+    points: &PointSet,
+    k: usize,
+    runs: usize,
+    rng: &mut R,
+) -> Result<Centers> {
+    if runs == 0 {
+        return Err(ClusteringError::InvalidParameter {
+            name: "runs",
+            message: "must be at least 1".to_string(),
+        });
+    }
+    let mut best: Option<(f64, Centers)> = None;
+    for _ in 0..runs {
+        let centers = kmeanspp(points, k, rng)?;
+        let cost = crate::cost::kmeans_cost(points, &centers)?;
+        match &best {
+            Some((best_cost, _)) if *best_cost <= cost => {}
+            _ => best = Some((cost, centers)),
+        }
+    }
+    Ok(best.expect("runs >= 1").1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::kmeans_cost;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Three well-separated clusters on a line.
+    fn three_clusters() -> PointSet {
+        let mut s = PointSet::new(1);
+        for i in 0..20 {
+            s.push(&[f64::from(i) * 0.01], 1.0);
+            s.push(&[100.0 + f64::from(i) * 0.01], 1.0);
+            s.push(&[200.0 + f64::from(i) * 0.01], 1.0);
+        }
+        s
+    }
+
+    #[test]
+    fn returns_k_centers() {
+        let points = three_clusters();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let centers = kmeanspp(&points, 3, &mut rng).unwrap();
+        assert_eq!(centers.len(), 3);
+        assert_eq!(centers.dim(), 1);
+    }
+
+    #[test]
+    fn caps_k_at_number_of_points() {
+        let mut points = PointSet::new(2);
+        points.push(&[0.0, 0.0], 1.0);
+        points.push(&[1.0, 1.0], 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let centers = kmeanspp(&points, 10, &mut rng).unwrap();
+        assert_eq!(centers.len(), 2);
+    }
+
+    #[test]
+    fn rejects_k_zero_and_empty_input() {
+        let points = three_clusters();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(
+            kmeanspp(&points, 0, &mut rng).unwrap_err(),
+            ClusteringError::InvalidK { k: 0 }
+        );
+        let empty = PointSet::new(1);
+        assert_eq!(
+            kmeanspp(&empty, 3, &mut rng).unwrap_err(),
+            ClusteringError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn finds_separated_clusters() {
+        // With 3 well-separated clusters, D² sampling should essentially
+        // always put one center in each cluster, giving near-zero cost
+        // relative to a single-center solution.
+        let points = three_clusters();
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let centers = kmeanspp(&points, 3, &mut rng).unwrap();
+        let cost3 = kmeans_cost(&points, &centers).unwrap();
+        let single = kmeanspp(&points, 1, &mut rng).unwrap();
+        let cost1 = kmeans_cost(&points, &single).unwrap();
+        assert!(cost3 * 100.0 < cost1, "cost3 = {cost3}, cost1 = {cost1}");
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let mut points = PointSet::new(2);
+        for _ in 0..10 {
+            points.push(&[1.0, 1.0], 1.0);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let centers = kmeanspp(&points, 4, &mut rng).unwrap();
+        assert_eq!(centers.len(), 4);
+        let cost = kmeans_cost(&points, &centers).unwrap();
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn respects_weights() {
+        // One heavy point far away: with k=2 the heavy point should get its
+        // own center essentially always.
+        let mut points = PointSet::new(1);
+        for i in 0..50 {
+            points.push(&[f64::from(i) * 0.001], 1.0);
+        }
+        points.push(&[1000.0], 1000.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let centers = kmeanspp(&points, 2, &mut rng).unwrap();
+        let has_far_center = centers.iter().any(|c| (c[0] - 1000.0).abs() < 1.0);
+        assert!(has_far_center);
+    }
+
+    #[test]
+    fn best_of_is_no_worse_than_single_run_in_expectation() {
+        let points = three_clusters();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let best = kmeanspp_best_of(&points, 3, 5, &mut rng).unwrap();
+        let best_cost = kmeans_cost(&points, &best).unwrap();
+        // The best of 5 runs should at least find the separated clusters.
+        assert!(best_cost < 1.0, "best cost {best_cost}");
+    }
+
+    #[test]
+    fn best_of_zero_runs_is_error() {
+        let points = three_clusters();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(kmeanspp_best_of(&points, 3, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points = three_clusters();
+        let a = kmeanspp(&points, 3, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        let b = kmeanspp(&points, 3, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
+    }
+}

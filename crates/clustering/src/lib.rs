@@ -1,0 +1,72 @@
+//! # skm-clustering
+//!
+//! Batch clustering substrate for the *Streaming k-Means Clustering with Fast
+//! Queries* reproduction (Zhang, Tangwongsan, Tirthapura — ICDE 2017).
+//!
+//! This crate contains everything the streaming algorithms need from the
+//! "batch world":
+//!
+//! * [`PointSet`] — a weighted, dense, flat-storage point set in `R^d`
+//!   (Problem 1 of the paper works on weighted points).
+//! * [`Centers`] — a set of `k` cluster centers.
+//! * [`distance`] — squared-Euclidean kernels and nearest-center search.
+//! * [`cost`] — the k-means objective `φ_Ψ(P)` (weighted SSQ) and point
+//!   assignments.
+//! * [`kmeanspp`] — the weighted k-means++ seeding algorithm (Theorem 1).
+//! * [`lloyd`] — weighted Lloyd iterations used to polish centers.
+//! * [`kmeans`] — the "best of R runs of k-means++ followed by Lloyd"
+//!   procedure used by the paper's evaluation (Section 5.2).
+//! * [`sampling`] — weighted sampling utilities shared by k-means++ and the
+//!   coreset constructors.
+//!
+//! All randomized routines take an explicit [`rand::Rng`] so results are
+//! reproducible given a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use skm_clustering::{PointSet, kmeans::KMeans};
+//!
+//! let mut points = PointSet::new(2);
+//! for i in 0..50 {
+//!     let x = f64::from(i % 5);
+//!     let y = f64::from(i / 5);
+//!     points.push(&[x, y], 1.0);
+//! }
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let result = KMeans::new(3).with_runs(2).fit(&points, &mut rng).unwrap();
+//! assert_eq!(result.centers.len(), 3);
+//! assert!(result.cost.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod centers;
+pub mod cost;
+pub mod distance;
+pub mod error;
+pub mod kmeans;
+pub mod kmeanspp;
+pub mod kmedian;
+pub mod lloyd;
+pub mod point;
+pub mod sampling;
+
+pub use centers::Centers;
+pub use error::{ClusteringError, Result};
+pub use kmeans::{KMeans, KMeansResult};
+pub use point::PointSet;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::centers::Centers;
+    pub use crate::cost::{assign, kmeans_cost};
+    pub use crate::error::{ClusteringError, Result};
+    pub use crate::kmeans::{KMeans, KMeansResult};
+    pub use crate::kmeanspp::kmeanspp;
+    pub use crate::lloyd::{lloyd, LloydOutcome};
+    pub use crate::point::PointSet;
+}

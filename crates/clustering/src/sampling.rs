@@ -1,0 +1,183 @@
+//! Weighted sampling utilities.
+//!
+//! k-means++ seeding and the coreset constructors both repeatedly draw
+//! indices with probability proportional to a weight vector (D² sampling,
+//! sensitivity sampling). These helpers centralize that logic so both use
+//! identical, well-tested code.
+
+use rand::Rng;
+
+/// Draws one index from `0..weights.len()` with probability proportional to
+/// `weights[i]`.
+///
+/// Negative, NaN and infinite weights are treated as zero. Returns `None`
+/// when the weight vector is empty or sums to zero, in which case callers
+/// typically fall back to uniform sampling via [`uniform_index`].
+pub fn weighted_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Option<usize> {
+    if weights.is_empty() {
+        return None;
+    }
+    let total: f64 = weights
+        .iter()
+        .copied()
+        .filter(|w| w.is_finite() && *w > 0.0)
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    let mut last_valid = None;
+    for (i, &w) in weights.iter().enumerate() {
+        if !(w.is_finite() && w > 0.0) {
+            continue;
+        }
+        last_valid = Some(i);
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating point rounding can exhaust the loop; return the last index
+    // with positive weight.
+    last_valid
+}
+
+/// Draws a uniformly random index from `0..n`, or `None` when `n == 0`.
+pub fn uniform_index<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Option<usize> {
+    if n == 0 {
+        None
+    } else {
+        Some(rng.gen_range(0..n))
+    }
+}
+
+/// Draws `count` indices with probability proportional to `weights`
+/// **with replacement**. Returns an empty vector when all weights are zero.
+pub fn weighted_indices_with_replacement<R: Rng + ?Sized>(
+    weights: &[f64],
+    count: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        match weighted_index(weights, rng) {
+            Some(i) => out.push(i),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Cumulative sums of `weights` (prefix sums), useful for repeated binary
+/// search sampling when the weight vector does not change.
+#[must_use]
+pub fn cumulative_sums(weights: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };
+        acc += w;
+        out.push(acc);
+    }
+    out
+}
+
+/// Samples an index using a precomputed cumulative-sum vector (binary
+/// search). Returns `None` if the total mass is zero.
+pub fn sample_from_cumulative<R: Rng + ?Sized>(cumulative: &[f64], rng: &mut R) -> Option<usize> {
+    let total = *cumulative.last()?;
+    if total <= 0.0 {
+        return None;
+    }
+    let target = rng.gen::<f64>() * total;
+    // partition_point returns the first index whose cumulative sum exceeds
+    // the target.
+    let idx = cumulative.partition_point(|&c| c <= target);
+    Some(idx.min(cumulative.len() - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn weighted_index_empty_is_none() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(weighted_index(&[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn weighted_index_all_zero_is_none() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(weighted_index(&[0.0, 0.0], &mut rng).is_none());
+    }
+
+    #[test]
+    fn weighted_index_skips_invalid_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let idx = weighted_index(&[0.0, f64::NAN, 3.0, -2.0], &mut rng).unwrap();
+            assert_eq!(idx, 2);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_proportions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let weights = [1.0, 3.0];
+        let mut counts = [0usize; 2];
+        let trials = 20_000;
+        for _ in 0..trials {
+            counts[weighted_index(&weights, &mut rng).unwrap()] += 1;
+        }
+        let frac = counts[1] as f64 / trials as f64;
+        assert!((frac - 0.75).abs() < 0.02, "observed fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_index_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(uniform_index(0, &mut rng).is_none());
+        for _ in 0..100 {
+            let i = uniform_index(5, &mut rng).unwrap();
+            assert!(i < 5);
+        }
+    }
+
+    #[test]
+    fn with_replacement_returns_requested_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let idx = weighted_indices_with_replacement(&[1.0, 1.0, 1.0], 10, &mut rng);
+        assert_eq!(idx.len(), 10);
+        assert!(idx.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn cumulative_sums_monotone() {
+        let c = cumulative_sums(&[1.0, 0.0, 2.0, -5.0, 3.0]);
+        assert_eq!(c, vec![1.0, 1.0, 3.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn sample_from_cumulative_matches_distribution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let c = cumulative_sums(&[1.0, 0.0, 1.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sample_from_cumulative(&c, &mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac = counts[0] as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn sample_from_cumulative_zero_mass_is_none() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let c = cumulative_sums(&[0.0, 0.0]);
+        assert!(sample_from_cumulative(&c, &mut rng).is_none());
+        assert!(sample_from_cumulative(&[], &mut rng).is_none());
+    }
+}

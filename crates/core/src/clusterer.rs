@@ -1,0 +1,110 @@
+//! The [`StreamingClusterer`] trait and query diagnostics.
+//!
+//! Every algorithm in this crate — the CT baseline, CC, RCC, OnlineCC,
+//! Sequential k-means and the batch reference — implements this trait, so
+//! the examples and the benchmark harness can treat them uniformly
+//! (including through `Box<dyn StreamingClusterer>`).
+
+use serde::{Deserialize, Serialize};
+use skm_clustering::error::Result;
+use skm_clustering::Centers;
+
+/// A streaming k-means clusterer: consumes points one at a time and answers
+/// clustering queries for all points observed so far.
+pub trait StreamingClusterer {
+    /// Short human-readable algorithm name (for reports: `"CT"`, `"CC"`,
+    /// `"RCC"`, `"OnlineCC"`, `"Sequential"`, `"BatchKMeansPP"`).
+    fn name(&self) -> &'static str;
+
+    /// Processes one arriving point (unit weight).
+    ///
+    /// # Errors
+    /// Returns an error if the point's dimensionality is inconsistent with
+    /// previously observed points or an internal invariant is violated.
+    fn update(&mut self, point: &[f64]) -> Result<()>;
+
+    /// Returns `k` cluster centers for everything observed so far.
+    ///
+    /// Querying an algorithm that has seen no points is an error.
+    ///
+    /// # Errors
+    /// Returns an error when no points have been observed yet.
+    fn query(&mut self) -> Result<Centers>;
+
+    /// Number of points currently held by the internal data structures
+    /// (coreset tree + cache + partial bucket + …). This is the quantity the
+    /// paper reports in Table 4.
+    fn memory_points(&self) -> usize;
+
+    /// Number of stream points observed so far.
+    fn points_seen(&self) -> u64;
+
+    /// Diagnostics describing the most recent call to [`query`]
+    /// (`None` before the first query).
+    ///
+    /// [`query`]: StreamingClusterer::query
+    fn last_query_stats(&self) -> Option<QueryStats> {
+        None
+    }
+}
+
+/// Diagnostics about a single clustering query, used to validate the
+/// paper's analytical claims (coresets merged per query, coreset level) and
+/// to drive the Table 1 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Number of stored coresets/buckets that were unioned to answer the
+    /// query (CT merges up to `(r−1)·log_r N`, CC at most `r`, RCC `O(ι)`).
+    pub coresets_merged: usize,
+    /// Number of weighted points handed to k-means++ at query time.
+    pub candidate_points: usize,
+    /// Level (Definition 2) of the coreset the answer was derived from.
+    /// `None` for algorithms that do not build coresets (Sequential, batch).
+    pub coreset_level: Option<u32>,
+    /// Whether a cached coreset was reused to answer this query.
+    pub used_cache: bool,
+    /// Whether OnlineCC fell back to the (expensive) CC path; `false` for
+    /// other algorithms unless a k-means++ run happened at query time.
+    pub ran_kmeans: bool,
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        Self {
+            coresets_merged: 0,
+            candidate_points: 0,
+            coreset_level: None,
+            used_cache: false,
+            ran_kmeans: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stats_are_empty() {
+        let s = QueryStats::default();
+        assert_eq!(s.coresets_merged, 0);
+        assert_eq!(s.candidate_points, 0);
+        assert!(s.coreset_level.is_none());
+        assert!(!s.used_cache);
+        assert!(!s.ran_kmeans);
+    }
+
+    #[test]
+    fn stats_fields_round_trip() {
+        let s = QueryStats {
+            coresets_merged: 3,
+            candidate_points: 120,
+            coreset_level: Some(2),
+            used_cache: true,
+            ran_kmeans: true,
+        };
+        let copy = s;
+        assert_eq!(copy, s);
+        assert_eq!(s.coreset_level, Some(2));
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared configuration for the streaming clustering algorithms.
+
+use serde::{Deserialize, Serialize};
+use skm_clustering::error::{ClusteringError, Result};
+use skm_coreset::construct::CoresetMethod;
+
+/// Configuration shared by every streaming algorithm in this crate.
+///
+/// The defaults follow the paper's experimental setup (Section 5.2):
+/// bucket size (= coreset size) `m = 20·k`, merge degree `r = 2` (the
+/// streamkm++ setting), best-of-5 k-means++ runs at query time, each
+/// followed by up to 20 Lloyd iterations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Number of cluster centers `k` returned by queries.
+    pub k: usize,
+    /// Base-bucket size `m`, which is also the coreset size.
+    pub bucket_size: usize,
+    /// Merge degree `r` of the coreset tree (`r = 2` reproduces streamkm++).
+    pub merge_degree: u64,
+    /// Coreset construction method.
+    pub coreset_method: CoresetMethod,
+    /// Number of independent k-means++ runs at query time (best kept).
+    pub kmeans_runs: usize,
+    /// Lloyd iterations following each k-means++ run (0 disables Lloyd).
+    pub lloyd_iterations: usize,
+    /// Coreset approximation parameter ε used by OnlineCC's cost-estimate
+    /// correction (`φ_now = φ_prev / (1 − ε)`).
+    pub epsilon: f64,
+}
+
+impl StreamConfig {
+    /// Creates the default configuration for `k` clusters.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` (use [`StreamConfig::validate`] for a checked
+    /// variant via manual construction).
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            bucket_size: 20 * k,
+            merge_degree: 2,
+            coreset_method: CoresetMethod::KMeansPP,
+            kmeans_runs: 5,
+            lloyd_iterations: 20,
+            epsilon: 0.1,
+        }
+    }
+
+    /// Sets the bucket (coreset) size `m`.
+    #[must_use]
+    pub fn with_bucket_size(mut self, m: usize) -> Self {
+        self.bucket_size = m;
+        self
+    }
+
+    /// Sets the merge degree `r`.
+    #[must_use]
+    pub fn with_merge_degree(mut self, r: u64) -> Self {
+        self.merge_degree = r;
+        self
+    }
+
+    /// Sets the coreset construction method.
+    #[must_use]
+    pub fn with_coreset_method(mut self, method: CoresetMethod) -> Self {
+        self.coreset_method = method;
+        self
+    }
+
+    /// Sets the number of k-means++ runs used at query time.
+    #[must_use]
+    pub fn with_kmeans_runs(mut self, runs: usize) -> Self {
+        self.kmeans_runs = runs;
+        self
+    }
+
+    /// Sets the Lloyd iteration cap used at query time.
+    #[must_use]
+    pub fn with_lloyd_iterations(mut self, iterations: usize) -> Self {
+        self.lloyd_iterations = iterations;
+        self
+    }
+
+    /// Sets ε (only used by OnlineCC's estimate bookkeeping).
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Validates the configuration, returning a descriptive error for any
+    /// out-of-range parameter.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::InvalidParameter`] or
+    /// [`ClusteringError::InvalidK`] when a field is out of range.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(ClusteringError::InvalidK { k: self.k });
+        }
+        if self.bucket_size == 0 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "bucket_size",
+                message: "must be positive".to_string(),
+            });
+        }
+        if self.bucket_size < self.k {
+            return Err(ClusteringError::InvalidParameter {
+                name: "bucket_size",
+                message: format!(
+                    "bucket size {} must be at least k = {}",
+                    self.bucket_size, self.k
+                ),
+            });
+        }
+        if self.merge_degree < 2 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "merge_degree",
+                message: "must be at least 2".to_string(),
+            });
+        }
+        if self.kmeans_runs == 0 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "kmeans_runs",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(ClusteringError::InvalidParameter {
+                name: "epsilon",
+                message: "must lie in (0, 1)".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = StreamConfig::new(30);
+        assert_eq!(c.bucket_size, 600);
+        assert_eq!(c.merge_degree, 2);
+        assert_eq!(c.kmeans_runs, 5);
+        assert_eq!(c.lloyd_iterations, 20);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = StreamConfig::new(5)
+            .with_bucket_size(200)
+            .with_merge_degree(3)
+            .with_kmeans_runs(2)
+            .with_lloyd_iterations(0)
+            .with_epsilon(0.2)
+            .with_coreset_method(CoresetMethod::SensitivitySampling);
+        assert_eq!(c.bucket_size, 200);
+        assert_eq!(c.merge_degree, 3);
+        assert_eq!(c.kmeans_runs, 2);
+        assert_eq!(c.lloyd_iterations, 0);
+        assert!((c.epsilon - 0.2).abs() < 1e-12);
+        assert_eq!(c.coreset_method, CoresetMethod::SensitivitySampling);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(StreamConfig::new(3).with_bucket_size(0).validate().is_err());
+        assert!(StreamConfig::new(10)
+            .with_bucket_size(5)
+            .validate()
+            .is_err());
+        assert!(StreamConfig::new(3)
+            .with_merge_degree(1)
+            .validate()
+            .is_err());
+        assert!(StreamConfig::new(3).with_kmeans_runs(0).validate().is_err());
+        assert!(StreamConfig::new(3).with_epsilon(0.0).validate().is_err());
+        assert!(StreamConfig::new(3).with_epsilon(1.5).validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics_in_constructor() {
+        let _ = StreamConfig::new(0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Time-decayed sequential k-means (extension).
+//!
+//! The paper's conclusion lists "improved handling of concept drift, through
+//! the use of time-decaying weights" as an open direction. This module
+//! implements the natural first step: a sequential (MacQueen-style)
+//! clusterer whose per-center weights decay exponentially between updates,
+//! so old points gradually lose influence and the centers can follow a
+//! drifting distribution much faster than the undecayed variant.
+//!
+//! With decay factor `λ ∈ (0, 1]`, each arriving point multiplies every
+//! center's accumulated weight by `λ` before the usual MacQueen update. The
+//! effective memory is `≈ 1 / (1 − λ)` points; `λ = 1` recovers the plain
+//! [`crate::sequential::SequentialKMeans`] behaviour.
+
+use crate::clusterer::{QueryStats, StreamingClusterer};
+use skm_clustering::distance::nearest_center;
+use skm_clustering::error::{ClusteringError, Result};
+use skm_clustering::Centers;
+
+/// Sequential k-means with exponentially time-decayed weights.
+#[derive(Debug, Clone)]
+pub struct DecayedSequentialKMeans {
+    k: usize,
+    /// Per-point multiplicative decay applied to all center weights.
+    decay: f64,
+    centers: Centers,
+    dim: Option<usize>,
+    points_seen: u64,
+}
+
+impl DecayedSequentialKMeans {
+    /// Creates a decayed sequential clusterer.
+    ///
+    /// # Errors
+    /// Returns an error if `k == 0` or `decay` is outside `(0, 1]`.
+    pub fn new(k: usize, decay: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(ClusteringError::InvalidK { k });
+        }
+        if !(decay > 0.0 && decay <= 1.0) {
+            return Err(ClusteringError::InvalidParameter {
+                name: "decay",
+                message: format!("decay must lie in (0, 1], got {decay}"),
+            });
+        }
+        Ok(Self {
+            k,
+            decay,
+            centers: Centers::new(1),
+            dim: None,
+            points_seen: 0,
+        })
+    }
+
+    /// The decay factor λ.
+    #[must_use]
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Effective window size `1 / (1 − λ)` (∞ for λ = 1).
+    #[must_use]
+    pub fn effective_window(&self) -> f64 {
+        if (self.decay - 1.0).abs() < f64::EPSILON {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - self.decay)
+        }
+    }
+
+    /// Current centers (may hold fewer than `k` before `k` points arrive).
+    #[must_use]
+    pub fn centers(&self) -> &Centers {
+        &self.centers
+    }
+}
+
+impl StreamingClusterer for DecayedSequentialKMeans {
+    fn name(&self) -> &'static str {
+        "DecayedSequential"
+    }
+
+    fn update(&mut self, point: &[f64]) -> Result<()> {
+        if point.is_empty() {
+            return Err(ClusteringError::InvalidParameter {
+                name: "point",
+                message: "points must have at least one dimension".to_string(),
+            });
+        }
+        match self.dim {
+            None => {
+                self.dim = Some(point.len());
+                self.centers = Centers::with_capacity(point.len(), self.k);
+            }
+            Some(d) if d != point.len() => {
+                return Err(ClusteringError::DimensionMismatch {
+                    expected: d,
+                    got: point.len(),
+                });
+            }
+            Some(_) => {}
+        }
+        self.points_seen += 1;
+
+        if self.centers.len() < self.k {
+            self.centers.push(point, 1.0);
+            return Ok(());
+        }
+
+        // Decay every center's effective mass, then perform the MacQueen
+        // update against the (now lighter) nearest center.
+        for j in 0..self.centers.len() {
+            *self.centers.weight_mut(j) *= self.decay;
+        }
+        let (idx, _) = nearest_center(point, &self.centers).expect("centers initialized");
+        let w = self.centers.weight(idx);
+        {
+            let c = self.centers.center_mut(idx);
+            for (ci, xi) in c.iter_mut().zip(point) {
+                *ci = (w * *ci + xi) / (w + 1.0);
+            }
+        }
+        *self.centers.weight_mut(idx) = w + 1.0;
+        Ok(())
+    }
+
+    fn query(&mut self) -> Result<Centers> {
+        if self.points_seen == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        Ok(self.centers.clone())
+    }
+
+    fn memory_points(&self) -> usize {
+        self.centers.len()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.points_seen
+    }
+
+    fn last_query_stats(&self) -> Option<QueryStats> {
+        Some(QueryStats {
+            coresets_merged: 0,
+            candidate_points: self.centers.len(),
+            coreset_level: None,
+            used_cache: false,
+            ran_kmeans: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(DecayedSequentialKMeans::new(0, 0.9).is_err());
+        assert!(DecayedSequentialKMeans::new(3, 0.0).is_err());
+        assert!(DecayedSequentialKMeans::new(3, 1.5).is_err());
+        let ok = DecayedSequentialKMeans::new(3, 0.99).unwrap();
+        assert!((ok.effective_window() - 100.0).abs() < 1e-6);
+        assert!(DecayedSequentialKMeans::new(3, 1.0)
+            .unwrap()
+            .effective_window()
+            .is_infinite());
+    }
+
+    #[test]
+    fn behaves_like_sequential_before_k_points() {
+        let mut d = DecayedSequentialKMeans::new(3, 0.9).unwrap();
+        d.update(&[1.0]).unwrap();
+        d.update(&[2.0]).unwrap();
+        let centers = d.query().unwrap();
+        assert_eq!(centers.len(), 2);
+    }
+
+    #[test]
+    fn decayed_centers_track_a_moved_cluster_faster() {
+        // Phase 1: cluster near 0. Phase 2: the same cluster jumps to 100.
+        // With strong decay the center follows; without decay it lags.
+        let mut decayed = DecayedSequentialKMeans::new(1, 0.9).unwrap();
+        let mut plain = crate::sequential::SequentialKMeans::new(1).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            let p = [rng.gen::<f64>()];
+            decayed.update(&p).unwrap();
+            plain.update(&p).unwrap();
+        }
+        for _ in 0..200 {
+            let p = [100.0 + rng.gen::<f64>()];
+            decayed.update(&p).unwrap();
+            plain.update(&p).unwrap();
+        }
+        let decayed_center = decayed.query().unwrap().center(0)[0];
+        let plain_center = plain.query().unwrap().center(0)[0];
+        assert!(
+            decayed_center > 90.0,
+            "decayed center {decayed_center} should have followed the jump"
+        );
+        assert!(
+            plain_center < 40.0,
+            "undecayed center {plain_center} should still lag behind"
+        );
+    }
+
+    #[test]
+    fn decay_one_matches_plain_sequential() {
+        let mut decayed = DecayedSequentialKMeans::new(2, 1.0).unwrap();
+        let mut plain = crate::sequential::SequentialKMeans::new(2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..500 {
+            let p = [rng.gen::<f64>() * 10.0, rng.gen::<f64>()];
+            decayed.update(&p).unwrap();
+            plain.update(&p).unwrap();
+        }
+        let a = decayed.query().unwrap();
+        let b = plain.query().unwrap();
+        for (ca, cb) in a.iter().zip(b.iter()) {
+            for (xa, xb) in ca.iter().zip(cb) {
+                assert!((xa - xb).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut d = DecayedSequentialKMeans::new(2, 0.5).unwrap();
+        assert!(d.query().is_err());
+        d.update(&[0.0, 1.0]).unwrap();
+        assert!(d.update(&[0.0]).is_err());
+        assert!(d.update(&[]).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The stream-clustering driver (Algorithm 1) building blocks.
+//!
+//! Algorithm 1 of the paper keeps an auxiliary point set `C` that buffers
+//! arriving points until `m` of them have accumulated; the full batch is
+//! then handed to the clustering data structure `D` as a new base bucket.
+//! At query time the driver unions `D`'s coreset with the partially-filled
+//! buffer and runs k-means++ on the result.
+//!
+//! [`BucketBuffer`] implements the buffering part and
+//! [`extract_centers`] implements the "run k-means++ (best of `R` runs,
+//! each polished with Lloyd)" part, so that every algorithm in this crate
+//! shares identical driver behaviour.
+
+use crate::config::StreamConfig;
+use rand::Rng;
+use skm_clustering::error::{ClusteringError, Result};
+use skm_clustering::kmeans::KMeans;
+use skm_clustering::{Centers, PointSet};
+
+/// Buffers arriving points into base buckets of `m` points.
+#[derive(Debug, Clone)]
+pub struct BucketBuffer {
+    bucket_size: usize,
+    partial: Option<PointSet>,
+    points_seen: u64,
+}
+
+impl BucketBuffer {
+    /// Creates an empty buffer for base buckets of `bucket_size` points.
+    ///
+    /// # Panics
+    /// Panics if `bucket_size == 0`.
+    #[must_use]
+    pub fn new(bucket_size: usize) -> Self {
+        assert!(bucket_size > 0, "bucket size must be positive");
+        Self {
+            bucket_size,
+            partial: None,
+            points_seen: 0,
+        }
+    }
+
+    /// Number of points observed so far (both flushed and buffered).
+    #[must_use]
+    pub fn points_seen(&self) -> u64 {
+        self.points_seen
+    }
+
+    /// Number of points currently sitting in the partial bucket.
+    #[must_use]
+    pub fn buffered_points(&self) -> usize {
+        self.partial.as_ref().map_or(0, PointSet::len)
+    }
+
+    /// Dimensionality inferred from the first observed point, if any.
+    #[must_use]
+    pub fn dim(&self) -> Option<usize> {
+        self.partial.as_ref().map(PointSet::dim)
+    }
+
+    /// Adds a point. When the buffer reaches the bucket size, the full base
+    /// bucket is returned and the buffer restarts empty.
+    ///
+    /// # Errors
+    /// Returns a dimension-mismatch error if `point` disagrees with earlier
+    /// points.
+    pub fn push(&mut self, point: &[f64]) -> Result<Option<PointSet>> {
+        if point.is_empty() {
+            return Err(ClusteringError::InvalidParameter {
+                name: "point",
+                message: "points must have at least one dimension".to_string(),
+            });
+        }
+        let partial = match &mut self.partial {
+            Some(p) => {
+                if p.dim() != point.len() {
+                    return Err(ClusteringError::DimensionMismatch {
+                        expected: p.dim(),
+                        got: point.len(),
+                    });
+                }
+                p
+            }
+            None => self
+                .partial
+                .insert(PointSet::with_capacity(point.len(), self.bucket_size)),
+        };
+        partial.push(point, 1.0);
+        self.points_seen += 1;
+        if partial.len() == self.bucket_size {
+            let full = std::mem::replace(
+                partial,
+                PointSet::with_capacity(point.len(), self.bucket_size),
+            );
+            return Ok(Some(full));
+        }
+        Ok(None)
+    }
+
+    /// A copy of the partially filled bucket (empty when no points are
+    /// buffered and no dimension is known yet).
+    #[must_use]
+    pub fn partial(&self) -> Option<PointSet> {
+        self.partial.clone()
+    }
+}
+
+/// Runs the paper's query-side clustering procedure on a candidate coreset:
+/// best of `config.kmeans_runs` k-means++ seedings, each refined with up to
+/// `config.lloyd_iterations` Lloyd iterations.
+///
+/// # Errors
+/// Returns [`ClusteringError::EmptyInput`] when `candidates` is empty.
+pub fn extract_centers<R: Rng + ?Sized>(
+    candidates: &PointSet,
+    config: &StreamConfig,
+    rng: &mut R,
+) -> Result<Centers> {
+    if candidates.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    let result = KMeans::new(config.k)
+        .with_runs(config.kmeans_runs)
+        .with_max_lloyd_iterations(config.lloyd_iterations)
+        .fit(candidates, rng)?;
+    Ok(result.centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn buffer_flushes_full_buckets() {
+        let mut buf = BucketBuffer::new(3);
+        assert!(buf.push(&[1.0, 0.0]).unwrap().is_none());
+        assert!(buf.push(&[2.0, 0.0]).unwrap().is_none());
+        let full = buf.push(&[3.0, 0.0]).unwrap().unwrap();
+        assert_eq!(full.len(), 3);
+        assert_eq!(buf.buffered_points(), 0);
+        assert_eq!(buf.points_seen(), 3);
+        // Next bucket starts fresh.
+        assert!(buf.push(&[4.0, 0.0]).unwrap().is_none());
+        assert_eq!(buf.buffered_points(), 1);
+        assert_eq!(buf.points_seen(), 4);
+    }
+
+    #[test]
+    fn buffer_rejects_dimension_changes() {
+        let mut buf = BucketBuffer::new(4);
+        buf.push(&[1.0, 2.0]).unwrap();
+        assert!(buf.push(&[1.0]).is_err());
+        assert!(buf.push(&[]).is_err());
+    }
+
+    #[test]
+    fn partial_reflects_buffered_points() {
+        let mut buf = BucketBuffer::new(5);
+        assert!(buf.partial().is_none());
+        buf.push(&[1.0]).unwrap();
+        buf.push(&[2.0]).unwrap();
+        let p = buf.partial().unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.point(1), &[2.0]);
+        assert_eq!(buf.dim(), Some(1));
+    }
+
+    #[test]
+    fn extract_centers_returns_k_centers() {
+        let mut points = PointSet::new(2);
+        for i in 0..100 {
+            let base = if i % 2 == 0 { 0.0 } else { 50.0 };
+            points.push(&[base + f64::from(i % 5) * 0.1, base], 1.0);
+        }
+        let config = StreamConfig::new(2).with_kmeans_runs(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let centers = extract_centers(&points, &config, &mut rng).unwrap();
+        assert_eq!(centers.len(), 2);
+    }
+
+    #[test]
+    fn extract_centers_empty_is_error() {
+        let config = StreamConfig::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(extract_centers(&PointSet::new(2), &config, &mut rng).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size must be positive")]
+    fn zero_bucket_size_panics() {
+        let _ = BucketBuffer::new(0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Base-`r` digit decompositions: `major`, `minor` and `prefixsum`.
+//!
+//! Section 4.1 of the paper defines, for integers `n > 0` and `r ≥ 2`, the
+//! unique decomposition `n = Σ_i β_i·r^{α_i}` with `0 ≤ α_0 < α_1 < …` and
+//! `0 < β_i < r` (the non-zero digits of `n` written in base `r`). Then
+//!
+//! * `minor(n, r) = β_0·r^{α_0}` — the smallest term,
+//! * `major(n, r) = n − minor(n, r)`,
+//! * `prefixsum(n, r) = { n_κ | κ = 1 … j }` where `n_κ` drops the `κ`
+//!   smallest non-zero digits.
+//!
+//! Example from the paper: `47 = 1·3³ + 2·3² + 2·3⁰`, so
+//! `minor(47,3) = 2`, `major(47,3) = 45` and `prefixsum(47,3) = {27, 45}`.
+//!
+//! The coreset cache stores exactly the coresets whose right endpoints lie
+//! in `prefixsum(N, r)`; Fact 2 (`prefixsum(N+1,r) ⊆ prefixsum(N,r) ∪ {N}`)
+//! is what makes the cache maintainable with one insertion per query.
+
+/// A single term `β·r^α` of the base-`r` decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Term {
+    /// Digit value, `0 < β < r`.
+    pub beta: u64,
+    /// Digit position (power of `r`).
+    pub alpha: u32,
+    /// The term's value `β·r^α`.
+    pub value: u64,
+}
+
+/// The non-zero terms of `n` written in base `r`, ordered from the smallest
+/// power to the largest. Returns an empty vector for `n == 0`.
+///
+/// # Panics
+/// Panics if `r < 2`.
+#[must_use]
+pub fn decompose(n: u64, r: u64) -> Vec<Term> {
+    assert!(r >= 2, "merge degree r must be at least 2");
+    let mut out = Vec::new();
+    let mut rest = n;
+    let mut alpha = 0u32;
+    let mut power = 1u64;
+    while rest > 0 {
+        let beta = rest % r;
+        if beta != 0 {
+            out.push(Term {
+                beta,
+                alpha,
+                value: beta * power,
+            });
+        }
+        rest /= r;
+        alpha += 1;
+        power = power.saturating_mul(r);
+    }
+    out
+}
+
+/// `minor(n, r)`: the smallest term of the decomposition (0 when `n == 0`).
+#[must_use]
+pub fn minor(n: u64, r: u64) -> u64 {
+    decompose(n, r).first().map_or(0, |t| t.value)
+}
+
+/// `major(n, r) = n − minor(n, r)`.
+#[must_use]
+pub fn major(n: u64, r: u64) -> u64 {
+    n - minor(n, r)
+}
+
+/// The exponent `α` and digit `β` of `minor(n, r) = β·r^α`, or `None` when
+/// `n == 0`.
+#[must_use]
+pub fn minor_term(n: u64, r: u64) -> Option<Term> {
+    decompose(n, r).into_iter().next()
+}
+
+/// `prefixsum(n, r)`: the set `{n_κ}` obtained by dropping the `κ` smallest
+/// non-zero digits, for `κ = 1 … j` where `j + 1` is the number of non-zero
+/// digits. Returned in decreasing order; empty when `n` has a single
+/// non-zero digit (or is zero).
+#[must_use]
+pub fn prefixsum(n: u64, r: u64) -> Vec<u64> {
+    let terms = decompose(n, r);
+    if terms.len() <= 1 {
+        return Vec::new();
+    }
+    // suffix sums over the terms sorted by increasing alpha: dropping the κ
+    // smallest digits keeps the terms κ..end.
+    let mut out = Vec::with_capacity(terms.len() - 1);
+    for kappa in 1..terms.len() {
+        let value: u64 = terms[kappa..].iter().map(|t| t.value).sum();
+        out.push(value);
+    }
+    // Largest first (drop most digits last => smallest value last).
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out
+}
+
+/// Number of non-zero digits of `n` in base `r` (written `χ(N)` in the
+/// paper's Lemma 5).
+#[must_use]
+pub fn nonzero_digits(n: u64, r: u64) -> u32 {
+    decompose(n, r).len() as u32
+}
+
+/// `⌈log_r(n)⌉` for `n ≥ 1`; 0 for `n ≤ 1`. Used by the level-bound
+/// assertions in tests (Fact 1, Lemma 5).
+#[must_use]
+pub fn ceil_log(n: u64, r: u64) -> u32 {
+    assert!(r >= 2, "merge degree r must be at least 2");
+    if n <= 1 {
+        return 0;
+    }
+    let mut power = 1u64;
+    let mut exp = 0u32;
+    while power < n {
+        power = power.saturating_mul(r);
+        exp += 1;
+    }
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_47_base_3() {
+        // 47 = 1*27 + 2*9 + 2*1
+        let terms = decompose(47, 3);
+        assert_eq!(terms.len(), 3);
+        assert_eq!(
+            terms[0],
+            Term {
+                beta: 2,
+                alpha: 0,
+                value: 2
+            }
+        );
+        assert_eq!(
+            terms[1],
+            Term {
+                beta: 2,
+                alpha: 2,
+                value: 18
+            }
+        );
+        assert_eq!(
+            terms[2],
+            Term {
+                beta: 1,
+                alpha: 3,
+                value: 27
+            }
+        );
+        assert_eq!(minor(47, 3), 2);
+        assert_eq!(major(47, 3), 45);
+        assert_eq!(prefixsum(47, 3), vec![45, 27]);
+    }
+
+    #[test]
+    fn single_term_numbers_have_no_prefixsum_and_zero_major() {
+        // n = β·r^α with a single non-zero digit.
+        for n in [1u64, 2, 3, 9, 18, 27] {
+            assert!(prefixsum(n, 3).is_empty(), "n = {n}");
+        }
+        assert_eq!(major(18, 3), 0);
+        assert_eq!(minor(18, 3), 18);
+    }
+
+    #[test]
+    fn zero_is_degenerate() {
+        assert!(decompose(0, 2).is_empty());
+        assert_eq!(minor(0, 2), 0);
+        assert_eq!(major(0, 2), 0);
+        assert!(prefixsum(0, 2).is_empty());
+        assert_eq!(nonzero_digits(0, 2), 0);
+    }
+
+    #[test]
+    fn major_plus_minor_is_n() {
+        for r in [2u64, 3, 4, 7] {
+            for n in 0..2000u64 {
+                assert_eq!(major(n, r) + minor(n, r), n, "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefixsum_members_are_prefixes_of_the_digit_expansion() {
+        // Every member of prefixsum(n, r) must itself have major(n) as a
+        // member-or-equal and be composed of the highest digits of n.
+        let n = 0b1101_0110u64; // 214
+        let ps = prefixsum(n, 2);
+        // 214 = 128+64+16+4+2 (5 non-zero digits) -> 4 prefix sums
+        assert_eq!(ps, vec![212, 208, 192, 128]);
+    }
+
+    #[test]
+    fn fact_2_prefixsum_recurrence() {
+        // prefixsum(N+1, r) ⊆ prefixsum(N, r) ∪ {N}
+        for r in [2u64, 3, 5] {
+            for n in 1..3000u64 {
+                let next = prefixsum(n + 1, r);
+                let mut allowed = prefixsum(n, r);
+                allowed.push(n);
+                for v in next {
+                    assert!(
+                        allowed.contains(&v),
+                        "prefixsum({}, {r}) contains {v} which is not in prefixsum({n}, {r}) ∪ {{{n}}}",
+                        n + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn major_is_in_prefixsum_when_nonzero() {
+        for r in [2u64, 3, 4] {
+            for n in 1..2000u64 {
+                let m = major(n, r);
+                if m != 0 {
+                    assert!(prefixsum(n, r).contains(&m), "n={n} r={r} major={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_digit_count() {
+        assert_eq!(nonzero_digits(47, 3), 3);
+        assert_eq!(nonzero_digits(27, 3), 1);
+        assert_eq!(nonzero_digits(255, 2), 8);
+    }
+
+    #[test]
+    fn ceil_log_values() {
+        assert_eq!(ceil_log(1, 2), 0);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(3, 2), 2);
+        assert_eq!(ceil_log(8, 2), 3);
+        assert_eq!(ceil_log(9, 3), 2);
+        assert_eq!(ceil_log(10, 3), 3);
+        assert_eq!(ceil_log(0, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn r_less_than_two_panics() {
+        let _ = decompose(5, 1);
+    }
+}

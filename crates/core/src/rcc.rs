@@ -1,0 +1,588 @@
+//! RCC: the recursive coreset cache (Algorithms 4–6) — the paper's second
+//! contribution.
+//!
+//! CC still merges up to `r` coresets per query and returns a coreset whose
+//! level grows like `log_r N`. RCC keeps the merge degree *high* (so levels
+//! stay low) and avoids paying `r` merges per query by applying the coreset
+//! cache **recursively**: the buckets within a single level of the outer
+//! structure are themselves managed by a lower-order RCC structure, which
+//! can produce a single coreset for them quickly.
+//!
+//! An order-`i` structure uses merge degree `r_i = 2^(2^i)`; the inner
+//! structure attached to each level has order `i − 1` (merge degree
+//! `√r_i`). At query time the structure merges only two coresets — one from
+//! its cache (covering `[1, major(N, r)]`) and one produced recursively by
+//! the inner structure of the lowest non-empty level — so a query touches
+//! `O(ι) = O(log log N)` coresets in total (Lemma 8), and the level of the
+//! result stays `O(log N / log r_ι)` = `O(1)` for `ι ≈ log log N` (Table 2).
+
+use crate::cache::CoresetCache;
+use crate::clusterer::{QueryStats, StreamingClusterer};
+use crate::config::StreamConfig;
+use crate::driver::{extract_centers, BucketBuffer};
+use crate::numeric::major;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use skm_clustering::error::{ClusteringError, Result};
+use skm_clustering::{Centers, PointSet};
+use skm_coreset::construct::CoresetBuilder;
+use skm_coreset::coreset::Coreset;
+use skm_coreset::merge::merge_coresets;
+
+/// One level of an [`RccNode`]: the list `L_ℓ` of buckets plus (for orders
+/// above 0) the recursive structure that mirrors the list's contents.
+#[derive(Debug, Clone)]
+struct RccLevel {
+    list: Vec<Coreset>,
+    inner: Option<Box<RccNode>>,
+}
+
+impl RccLevel {
+    fn new(order: u32, merge_degree: u64, builder: CoresetBuilder) -> Self {
+        let inner = if order > 0 {
+            Some(Box::new(RccNode::new(
+                order - 1,
+                inner_merge_degree(merge_degree),
+                builder,
+            )))
+        } else {
+            None
+        };
+        Self {
+            list: Vec::new(),
+            inner,
+        }
+    }
+}
+
+/// Merge degree of the next-lower order: `√r`, but never below 2.
+fn inner_merge_degree(r: u64) -> u64 {
+    let root = (r as f64).sqrt().round() as u64;
+    root.max(2)
+}
+
+/// The recursive data structure `RCC(i)` of Algorithms 4–6.
+#[derive(Debug, Clone)]
+pub(crate) struct RccNode {
+    order: u32,
+    merge_degree: u64,
+    builder: CoresetBuilder,
+    cache: CoresetCache,
+    levels: Vec<RccLevel>,
+    /// Buckets inserted into *this* structure since it was (re)initialized.
+    buckets_inserted: u64,
+}
+
+impl RccNode {
+    fn new(order: u32, merge_degree: u64, builder: CoresetBuilder) -> Self {
+        Self {
+            order,
+            merge_degree: merge_degree.max(2),
+            builder,
+            cache: CoresetCache::new(),
+            levels: Vec::new(),
+            buckets_inserted: 0,
+        }
+    }
+
+    fn ensure_level(&mut self, level: usize) {
+        while self.levels.len() <= level {
+            let l = RccLevel::new(self.order, self.merge_degree, self.builder);
+            self.levels.push(l);
+        }
+    }
+
+    /// `RCC-Update` (Algorithm 5).
+    fn insert<R: Rng + ?Sized>(&mut self, bucket: Coreset, rng: &mut R) -> Result<()> {
+        self.buckets_inserted += 1;
+        self.ensure_level(0);
+        self.levels[0].list.push(bucket.clone());
+        if let Some(inner) = &mut self.levels[0].inner {
+            inner.insert(bucket, rng)?;
+        }
+
+        let r = self.merge_degree as usize;
+        let mut level = 0;
+        while level < self.levels.len() && self.levels[level].list.len() >= r {
+            let group: Vec<Coreset> = self.levels[level].list.drain(..).collect();
+            let merged = merge_coresets(&group, &self.builder, rng)?;
+            self.ensure_level(level + 1);
+            self.levels[level + 1].list.push(merged.clone());
+            if let Some(inner) = &mut self.levels[level + 1].inner {
+                inner.insert(merged, rng)?;
+            }
+            // Reset the emptied level's recursive structure (Algorithm 5,
+            // lines 13–15).
+            if self.order > 0 {
+                self.levels[level].inner = Some(Box::new(RccNode::new(
+                    self.order - 1,
+                    inner_merge_degree(self.merge_degree),
+                    self.builder,
+                )));
+            }
+            level += 1;
+        }
+        Ok(())
+    }
+
+    /// `RCC-Coreset` (Algorithm 6). Returns the coreset for everything this
+    /// structure has absorbed, plus the number of stored coresets that were
+    /// merged (recursively) to produce it.
+    fn query_coreset<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<Option<(Coreset, usize)>> {
+        let n = self.buckets_inserted;
+        if n == 0 {
+            return Ok(None);
+        }
+        if let Some(cached) = self.cache.lookup(n) {
+            return Ok(Some((cached.clone(), 1)));
+        }
+        let r = self.merge_degree;
+        let n1 = major(n, r);
+
+        let (inputs, merged_count) = if n1 == 0 || !self.cache.contains(n1) {
+            // Algorithm 6, cache-miss branch: query each non-empty level
+            // recursively (oldest first) so the inner caches keep the number
+            // of touched coresets small even when this order's cache cannot
+            // help. At order 0 there is no inner structure, so the raw list
+            // buckets are used (there are at most r − 1 = 1 of them per
+            // level).
+            let mut inputs = Vec::new();
+            let mut count = 0usize;
+            for level_idx in (0..self.levels.len()).rev() {
+                if self.levels[level_idx].list.is_empty() {
+                    continue;
+                }
+                let list_copy: Vec<Coreset> = self.levels[level_idx].list.clone();
+                match self.levels[level_idx].inner.as_mut() {
+                    Some(inner) => match inner.query_coreset(rng)? {
+                        Some((coreset, inner_merged)) => {
+                            inputs.push(coreset);
+                            count += inner_merged;
+                        }
+                        None => {
+                            count += list_copy.len();
+                            inputs.extend(list_copy);
+                        }
+                    },
+                    None => {
+                        count += list_copy.len();
+                        inputs.extend(list_copy);
+                    }
+                }
+            }
+            (inputs, count)
+        } else {
+            let prefix = self.cache.lookup(n1).expect("checked above").clone();
+            // The suffix lives in the lowest non-empty level; use its
+            // recursive structure when available so only O(1) coresets are
+            // touched at this order.
+            let lowest = self
+                .levels
+                .iter_mut()
+                .find(|l| !l.list.is_empty())
+                .expect("n > n1 implies a non-empty level");
+            match lowest.inner.as_mut() {
+                Some(inner) => match inner.query_coreset(rng)? {
+                    Some((suffix, inner_merged)) => (vec![prefix, suffix], 1 + inner_merged),
+                    None => {
+                        let mut v = vec![prefix];
+                        v.extend(lowest.list.iter().cloned());
+                        let count = v.len();
+                        (v, count)
+                    }
+                },
+                None => {
+                    let mut v = vec![prefix];
+                    v.extend(lowest.list.iter().cloned());
+                    let count = v.len();
+                    (v, count)
+                }
+            }
+        };
+
+        if inputs.is_empty() {
+            return Ok(None);
+        }
+        let reduced = merge_coresets(&inputs, &self.builder, rng)?;
+        self.cache.insert(reduced.clone());
+        self.cache.evict_stale(n, r);
+        Ok(Some((reduced, merged_count)))
+    }
+
+    /// Points stored in lists, caches and recursive structures.
+    fn stored_points(&self) -> usize {
+        let lists: usize = self
+            .levels
+            .iter()
+            .map(|l| {
+                l.list.iter().map(Coreset::len).sum::<usize>()
+                    + l.inner.as_ref().map_or(0, |i| i.stored_points())
+            })
+            .sum();
+        lists + self.cache.stored_points()
+    }
+
+    fn max_list_level(&self) -> Option<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.list.is_empty())
+            .map(|(i, _)| i)
+            .next_back()
+    }
+}
+
+/// Streaming clusterer implementing the Recursive Coreset Cache (RCC).
+#[derive(Debug, Clone)]
+pub struct RecursiveCachedTree {
+    config: StreamConfig,
+    nesting_depth: u32,
+    node: RccNode,
+    buffer: BucketBuffer,
+    rng: ChaCha20Rng,
+    last_stats: Option<QueryStats>,
+}
+
+impl RecursiveCachedTree {
+    /// Creates an RCC clusterer with nesting depth `ι` (the paper's
+    /// experiments use `ι = 3`) and the default top-level merge degree
+    /// `r_ι = 2^(2^ι)`.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration or nesting depth is invalid.
+    pub fn new(config: StreamConfig, nesting_depth: u32, seed: u64) -> Result<Self> {
+        let top = default_top_merge_degree(nesting_depth)?;
+        Self::with_top_merge_degree(config, nesting_depth, top, seed)
+    }
+
+    /// Creates an RCC clusterer whose top-level merge degree is derived from
+    /// the *expected* stream length, as the paper's evaluation does: with
+    /// `B = ⌈expected_points / m⌉` expected base buckets, the top merge
+    /// degree is `⌈√B⌉` and each inner order takes the square root of its
+    /// parent (`B^{1/4}`, `B^{1/8}`, …), matching Section 5.2.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration or nesting depth is invalid.
+    pub fn for_stream_length(
+        config: StreamConfig,
+        nesting_depth: u32,
+        expected_points: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        let buckets = (expected_points / config.bucket_size).max(4) as f64;
+        let top = buckets.sqrt().ceil() as u64;
+        Self::with_top_merge_degree(config, nesting_depth, top.max(2), seed)
+    }
+
+    /// Creates an RCC clusterer with an explicit top-level merge degree
+    /// (the paper sets it to `N^{1/2}` when the stream length `N` is known
+    /// in advance).
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or
+    /// `top_merge_degree < 2`.
+    pub fn with_top_merge_degree(
+        config: StreamConfig,
+        nesting_depth: u32,
+        top_merge_degree: u64,
+        seed: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        if top_merge_degree < 2 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "top_merge_degree",
+                message: "must be at least 2".to_string(),
+            });
+        }
+        if nesting_depth > 6 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "nesting_depth",
+                message: "nesting depths above 6 are not supported".to_string(),
+            });
+        }
+        let builder = CoresetBuilder::new(config.k)
+            .with_size(config.bucket_size)
+            .with_method(config.coreset_method);
+        Ok(Self {
+            config,
+            nesting_depth,
+            node: RccNode::new(nesting_depth, top_merge_degree, builder),
+            buffer: BucketBuffer::new(config.bucket_size),
+            rng: ChaCha20Rng::seed_from_u64(seed),
+            last_stats: None,
+        })
+    }
+
+    /// The configuration this clusterer was built with.
+    #[must_use]
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Nesting depth `ι`.
+    #[must_use]
+    pub fn nesting_depth(&self) -> u32 {
+        self.nesting_depth
+    }
+
+    /// Top-level merge degree `r_ι`.
+    #[must_use]
+    pub fn top_merge_degree(&self) -> u64 {
+        self.node.merge_degree
+    }
+
+    /// Highest outer-list level currently occupied (diagnostics).
+    #[must_use]
+    pub fn max_outer_level(&self) -> Option<usize> {
+        self.node.max_list_level()
+    }
+
+    /// The candidate point set a query hands to k-means++ (RCC coreset plus
+    /// the partial bucket), together with query statistics.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] when no points have arrived.
+    pub fn query_candidates(&mut self) -> Result<(PointSet, QueryStats)> {
+        if self.buffer.points_seen() == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        let partial = self.buffer.partial();
+        match self.node.query_coreset(&mut self.rng)? {
+            Some((coreset, merged)) => {
+                let level = coreset.level();
+                let mut candidates = coreset.into_points();
+                let mut merged = merged;
+                if let Some(p) = partial {
+                    if !p.is_empty() {
+                        candidates.extend_from(&p)?;
+                        merged += 1;
+                    }
+                }
+                let stats = QueryStats {
+                    coresets_merged: merged,
+                    candidate_points: candidates.len(),
+                    coreset_level: Some(level),
+                    used_cache: true,
+                    ran_kmeans: true,
+                };
+                Ok((candidates, stats))
+            }
+            None => {
+                let candidates = partial.ok_or(ClusteringError::EmptyInput)?;
+                let stats = QueryStats {
+                    coresets_merged: 1,
+                    candidate_points: candidates.len(),
+                    coreset_level: Some(0),
+                    used_cache: false,
+                    ran_kmeans: true,
+                };
+                Ok((candidates, stats))
+            }
+        }
+    }
+}
+
+/// `r_ι = 2^(2^ι)` with overflow protection.
+fn default_top_merge_degree(nesting_depth: u32) -> Result<u64> {
+    if nesting_depth > 6 {
+        return Err(ClusteringError::InvalidParameter {
+            name: "nesting_depth",
+            message: "nesting depths above 6 are not supported".to_string(),
+        });
+    }
+    Ok(1u64 << (1u32 << nesting_depth))
+}
+
+impl StreamingClusterer for RecursiveCachedTree {
+    fn name(&self) -> &'static str {
+        "RCC"
+    }
+
+    fn update(&mut self, point: &[f64]) -> Result<()> {
+        if let Some(full_bucket) = self.buffer.push(point)? {
+            let bucket_no = self.node.buckets_inserted + 1;
+            let base = Coreset::base_bucket(full_bucket, bucket_no);
+            self.node.insert(base, &mut self.rng)?;
+        }
+        Ok(())
+    }
+
+    fn query(&mut self) -> Result<Centers> {
+        let (candidates, stats) = self.query_candidates()?;
+        let centers = extract_centers(&candidates, &self.config, &mut self.rng)?;
+        self.last_stats = Some(stats);
+        Ok(centers)
+    }
+
+    fn memory_points(&self) -> usize {
+        self.node.stored_points() + self.buffer.buffered_points()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.buffer.points_seen()
+    }
+
+    fn last_query_stats(&self) -> Option<QueryStats> {
+        self.last_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn config(k: usize, m: usize) -> StreamConfig {
+        StreamConfig::new(k)
+            .with_bucket_size(m)
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(2)
+    }
+
+    fn push_random_points(rcc: &mut RecursiveCachedTree, n: usize, seed: u64) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let anchors = [[0.0, 0.0], [40.0, 0.0], [0.0, 40.0]];
+        for i in 0..n {
+            let a = anchors[i % anchors.len()];
+            rcc.update(&[a[0] + rng.gen::<f64>(), a[1] + rng.gen::<f64>()])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn default_merge_degrees() {
+        assert_eq!(default_top_merge_degree(0).unwrap(), 2);
+        assert_eq!(default_top_merge_degree(1).unwrap(), 4);
+        assert_eq!(default_top_merge_degree(2).unwrap(), 16);
+        assert_eq!(default_top_merge_degree(3).unwrap(), 256);
+        assert!(default_top_merge_degree(7).is_err());
+        assert_eq!(inner_merge_degree(16), 4);
+        assert_eq!(inner_merge_degree(4), 2);
+        assert_eq!(inner_merge_degree(2), 2);
+    }
+
+    #[test]
+    fn query_before_any_point_is_error() {
+        let mut rcc = RecursiveCachedTree::new(config(2, 20), 2, 0).unwrap();
+        assert!(rcc.query().is_err());
+    }
+
+    #[test]
+    fn query_with_partial_bucket_only() {
+        let mut rcc = RecursiveCachedTree::new(config(2, 50), 2, 0).unwrap();
+        push_random_points(&mut rcc, 7, 1);
+        let centers = rcc.query().unwrap();
+        assert_eq!(centers.len(), 2);
+        assert_eq!(rcc.last_query_stats().unwrap().coreset_level, Some(0));
+    }
+
+    #[test]
+    fn finds_clusters_with_queries_every_bucket() {
+        let mut rcc = RecursiveCachedTree::new(
+            StreamConfig::new(3)
+                .with_bucket_size(30)
+                .with_kmeans_runs(2),
+            2,
+            7,
+        )
+        .unwrap();
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let anchors = [[0.0, 0.0], [40.0, 0.0], [0.0, 40.0]];
+        for i in 0..1_800usize {
+            let a = anchors[i % 3];
+            rcc.update(&[a[0] + rng.gen::<f64>(), a[1] + rng.gen::<f64>()])
+                .unwrap();
+            if i % 30 == 29 {
+                rcc.query().unwrap();
+            }
+        }
+        let centers = rcc.query().unwrap();
+        for anchor in [[0.5, 0.5], [40.5, 0.5], [0.5, 40.5]] {
+            let closest = centers
+                .iter()
+                .map(|c| skm_clustering::distance::distance(c, &anchor))
+                .fold(f64::INFINITY, f64::min);
+            assert!(closest < 2.0, "anchor {anchor:?} missed ({closest})");
+        }
+    }
+
+    #[test]
+    fn queries_touch_few_coresets_when_frequent() {
+        // With queries after every bucket and nesting depth 2, the number of
+        // coresets touched per query should stay well below the number of
+        // active buckets (which is what CT would merge).
+        let m = 8;
+        let mut rcc = RecursiveCachedTree::with_top_merge_degree(config(2, m), 2, 8, 3).unwrap();
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut max_merged = 0usize;
+        for bucket in 1..=64u64 {
+            for _ in 0..m {
+                rcc.update(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+            }
+            rcc.query().unwrap();
+            let merged = rcc.last_query_stats().unwrap().coresets_merged;
+            max_merged = max_merged.max(merged);
+            let _ = bucket;
+        }
+        // 2 per order * (nesting depth + 1) + partial is a generous bound.
+        assert!(max_merged <= 7, "max merged {max_merged}");
+    }
+
+    #[test]
+    fn coreset_level_stays_low_with_high_merge_degree() {
+        // With r = 16 at the top, 64 buckets only ever occupy levels 0 and 1
+        // of the outer structure, so the coreset level stays bounded by a
+        // small constant (independent of the number of buckets), even though
+        // every query adds one reduction on top of cached/recursive inputs.
+        let m = 8;
+        let mut rcc = RecursiveCachedTree::with_top_merge_degree(config(2, m), 2, 16, 4).unwrap();
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut max_level = 0u32;
+        for _ in 0..64 {
+            for _ in 0..m {
+                rcc.update(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+            }
+            rcc.query().unwrap();
+            let level = rcc.last_query_stats().unwrap().coreset_level.unwrap();
+            max_level = max_level.max(level);
+        }
+        assert!(
+            max_level <= 8,
+            "level {max_level} should stay a small constant (64 buckets inserted)"
+        );
+    }
+
+    #[test]
+    fn infrequent_queries_still_answer_correctly() {
+        let mut rcc = RecursiveCachedTree::new(config(3, 25), 3, 11).unwrap();
+        push_random_points(&mut rcc, 2_000, 13);
+        let centers = rcc.query().unwrap();
+        assert_eq!(centers.len(), 3);
+    }
+
+    #[test]
+    fn memory_exceeds_cc_but_stays_sublinear() {
+        let m = 20;
+        let mut rcc = RecursiveCachedTree::new(config(2, m), 2, 17).unwrap();
+        push_random_points(&mut rcc, 6_000, 19);
+        assert_eq!(rcc.points_seen(), 6_000);
+        assert!(
+            rcc.memory_points() < 3_000,
+            "memory {} not sublinear",
+            rcc.memory_points()
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(RecursiveCachedTree::new(config(2, 20), 7, 0).is_err());
+        assert!(RecursiveCachedTree::with_top_merge_degree(config(2, 20), 2, 1, 0).is_err());
+        assert!(RecursiveCachedTree::new(StreamConfig::new(5).with_bucket_size(2), 2, 0).is_err());
+    }
+}

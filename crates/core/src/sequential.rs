@@ -1,0 +1,238 @@
+//! Sequential k-means (MacQueen, 1967) — the "online Lloyd's" baseline.
+//!
+//! This is the earliest streaming k-means method and is still widely used in
+//! practice (e.g. Apache Spark MLlib). It keeps exactly `k` centers and, for
+//! every arriving point, moves the nearest center to the weighted centroid
+//! of itself and the new point. Updates and queries are extremely fast
+//! (`O(kd)` and `O(1)` respectively), but there is **no guarantee** on the
+//! clustering quality, and on skewed data (the paper's Intrusion dataset)
+//! the cost can be orders of magnitude worse than the coreset-based
+//! algorithms — which is exactly what Figure 4 shows.
+//!
+//! Following the paper's experimental setup, the initial centers are the
+//! first `k` points of the stream (not random Gaussians), which guarantees
+//! no cluster starts empty.
+
+use crate::clusterer::{QueryStats, StreamingClusterer};
+use skm_clustering::distance::nearest_center;
+use skm_clustering::error::{ClusteringError, Result};
+use skm_clustering::Centers;
+
+/// The sequential (MacQueen) k-means clusterer.
+#[derive(Debug, Clone)]
+pub struct SequentialKMeans {
+    k: usize,
+    centers: Centers,
+    points_seen: u64,
+    dim: Option<usize>,
+    /// Running upper estimate of the clustering cost (sum of squared
+    /// distances of each point to the center it was assigned to at arrival
+    /// time). OnlineCC uses the same bookkeeping; exposing it here lets the
+    /// harness plot it too.
+    running_cost: f64,
+}
+
+impl SequentialKMeans {
+    /// Creates a sequential k-means clusterer for `k` clusters.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::InvalidK`] if `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(ClusteringError::InvalidK { k });
+        }
+        Ok(Self {
+            k,
+            centers: Centers::new(1),
+            points_seen: 0,
+            dim: None,
+            running_cost: 0.0,
+        })
+    }
+
+    /// The number of clusters `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Running (assignment-time) cost accumulated so far.
+    #[must_use]
+    pub fn running_cost(&self) -> f64 {
+        self.running_cost
+    }
+
+    /// Current centers without copying (may hold fewer than `k` centers if
+    /// fewer than `k` points have been observed).
+    #[must_use]
+    pub fn centers(&self) -> &Centers {
+        &self.centers
+    }
+}
+
+impl StreamingClusterer for SequentialKMeans {
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn update(&mut self, point: &[f64]) -> Result<()> {
+        if point.is_empty() {
+            return Err(ClusteringError::InvalidParameter {
+                name: "point",
+                message: "points must have at least one dimension".to_string(),
+            });
+        }
+        match self.dim {
+            None => {
+                self.dim = Some(point.len());
+                self.centers = Centers::with_capacity(point.len(), self.k);
+            }
+            Some(d) if d != point.len() => {
+                return Err(ClusteringError::DimensionMismatch {
+                    expected: d,
+                    got: point.len(),
+                });
+            }
+            Some(_) => {}
+        }
+        self.points_seen += 1;
+
+        // Initialization phase: the first k points become the centers.
+        if self.centers.len() < self.k {
+            self.centers.push(point, 1.0);
+            return Ok(());
+        }
+
+        // One step of online Lloyd: move the nearest center toward the point.
+        let (idx, d2) = nearest_center(point, &self.centers).expect("centers initialized");
+        self.running_cost += d2;
+        let w = self.centers.weight(idx);
+        {
+            let c = self.centers.center_mut(idx);
+            for (ci, xi) in c.iter_mut().zip(point) {
+                *ci = (w * *ci + xi) / (w + 1.0);
+            }
+        }
+        *self.centers.weight_mut(idx) = w + 1.0;
+        Ok(())
+    }
+
+    fn query(&mut self) -> Result<Centers> {
+        if self.points_seen == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        Ok(self.centers.clone())
+    }
+
+    fn memory_points(&self) -> usize {
+        self.centers.len()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.points_seen
+    }
+
+    fn last_query_stats(&self) -> Option<QueryStats> {
+        Some(QueryStats {
+            coresets_merged: 0,
+            candidate_points: self.centers.len(),
+            coreset_level: None,
+            used_cache: false,
+            ran_kmeans: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(SequentialKMeans::new(0).is_err());
+    }
+
+    #[test]
+    fn query_before_points_is_error() {
+        let mut s = SequentialKMeans::new(3).unwrap();
+        assert!(s.query().is_err());
+    }
+
+    #[test]
+    fn first_k_points_become_centers() {
+        let mut s = SequentialKMeans::new(3).unwrap();
+        s.update(&[0.0, 0.0]).unwrap();
+        s.update(&[1.0, 0.0]).unwrap();
+        let centers = s.query().unwrap();
+        assert_eq!(centers.len(), 2); // only 2 points seen so far
+        s.update(&[2.0, 0.0]).unwrap();
+        let centers = s.query().unwrap();
+        assert_eq!(centers.len(), 3);
+        assert_eq!(centers.center(2), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn center_moves_toward_assigned_points() {
+        let mut s = SequentialKMeans::new(2).unwrap();
+        s.update(&[0.0]).unwrap();
+        s.update(&[10.0]).unwrap();
+        // Two more points near 0 should drag the first center toward them
+        // without touching the second.
+        s.update(&[1.0]).unwrap();
+        s.update(&[2.0]).unwrap();
+        let centers = s.query().unwrap();
+        assert!((centers.center(0)[0] - 1.0).abs() < 1e-9); // (0 + 1 + 2) / 3
+        assert_eq!(centers.center(1), &[10.0]);
+        assert_eq!(centers.weight(0), 3.0);
+        assert_eq!(centers.weight(1), 1.0);
+    }
+
+    #[test]
+    fn tracks_clusters_on_separated_data() {
+        let mut s = SequentialKMeans::new(2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for i in 0..2_000 {
+            let base = if i % 2 == 0 { 0.0 } else { 100.0 };
+            s.update(&[base + rng.gen::<f64>()]).unwrap();
+        }
+        let centers = s.query().unwrap();
+        let mut xs: Vec<f64> = centers.iter().map(|c| c[0]).collect();
+        xs.sort_by(f64::total_cmp);
+        assert!((xs[0] - 0.5).abs() < 0.3, "low center at {}", xs[0]);
+        assert!((xs[1] - 100.5).abs() < 0.3, "high center at {}", xs[1]);
+    }
+
+    #[test]
+    fn memory_is_exactly_k_centers() {
+        let mut s = SequentialKMeans::new(5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            s.update(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+        }
+        assert_eq!(s.memory_points(), 5);
+        assert_eq!(s.points_seen(), 500);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let mut s = SequentialKMeans::new(2).unwrap();
+        s.update(&[1.0, 2.0]).unwrap();
+        assert!(s.update(&[1.0]).is_err());
+        assert!(s.update(&[]).is_err());
+    }
+
+    #[test]
+    fn running_cost_is_monotone() {
+        let mut s = SequentialKMeans::new(2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            s.update(&[rng.gen::<f64>() * 10.0]).unwrap();
+            assert!(s.running_cost() >= last);
+            last = s.running_cost();
+        }
+        assert!(last > 0.0);
+    }
+}

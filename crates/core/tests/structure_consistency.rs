@@ -1,0 +1,198 @@
+//! Integration tests for the skm-stream crate: consistency between CT and
+//! CC, cache maintenance under irregular query patterns, and robustness of
+//! the streaming algorithms to awkward stream shapes.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use skm_stream::prelude::*;
+
+fn config(k: usize, m: usize) -> StreamConfig {
+    StreamConfig::new(k)
+        .with_bucket_size(m)
+        .with_kmeans_runs(1)
+        .with_lloyd_iterations(1)
+}
+
+fn random_point(rng: &mut ChaCha8Rng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen::<f64>() * 50.0).collect()
+}
+
+/// CT and CC perform identical updates (the paper: "the CC algorithm is with
+/// the same update process"), so their trees must have identical shapes at
+/// every point in the stream regardless of the query pattern.
+#[test]
+fn cc_updates_build_the_same_tree_shape_as_ct() {
+    let cfg = config(3, 25);
+    let mut ct = CoresetTreeClusterer::new(cfg, 77).unwrap();
+    let mut cc = CachedCoresetTree::new(cfg, 77).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for i in 0..2_000 {
+        let p = random_point(&mut rng, 4);
+        ct.update(&p).unwrap();
+        cc.update(&p).unwrap();
+        // Irregular query pattern on CC only: it must not perturb updates.
+        if i % 137 == 0 {
+            cc.query().unwrap();
+        }
+        if i % 250 == 0 {
+            assert_eq!(
+                ct.tree().buckets_inserted(),
+                cc.tree().buckets_inserted(),
+                "bucket counts diverged at point {i}"
+            );
+            assert_eq!(ct.tree().active_levels(), cc.tree().active_levels());
+            assert_eq!(ct.tree().stored_points(), cc.tree().stored_points());
+            assert!(ct.tree().digit_invariant_holds());
+            assert!(cc.tree().digit_invariant_holds());
+        }
+    }
+}
+
+/// Queries at arbitrary (including adversarial) positions never corrupt the
+/// cache: its keys are always a subset of prefixsum(N) ∪ {N}.
+#[test]
+fn cache_keys_are_always_a_subset_of_prefixsum() {
+    use skm_stream::numeric::prefixsum;
+    let m = 10;
+    let cfg = config(2, m);
+    let mut cc = CachedCoresetTree::new(cfg, 3).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    // Query positions chosen to hit mid-bucket, bucket boundaries and long
+    // gaps.
+    let query_positions: Vec<usize> = vec![3, 10, 11, 25, 100, 101, 102, 640, 997, 1500, 1999];
+    let mut next = 0usize;
+    for i in 0..2_000usize {
+        cc.update(&random_point(&mut rng, 3)).unwrap();
+        if next < query_positions.len() && query_positions[next] == i + 1 {
+            next += 1;
+            cc.query().unwrap();
+            let n = cc.tree().buckets_inserted();
+            if n > 0 {
+                let mut allowed = prefixsum(n, 2);
+                allowed.push(n);
+                for key in cc.cache().keys() {
+                    assert!(
+                        allowed.contains(&key),
+                        "cache key {key} not allowed at N = {n} (allowed {allowed:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Streams shorter than one bucket, exactly one bucket, and exactly a power
+/// of r buckets are all answered correctly by every algorithm.
+#[test]
+fn awkward_stream_lengths_are_handled() {
+    let m = 16;
+    for n_points in [1usize, m - 1, m, m + 1, 4 * m, 8 * m, 8 * m + 3] {
+        let cfg = config(2, m);
+        let mut algorithms: Vec<Box<dyn StreamingClusterer>> = vec![
+            Box::new(CoresetTreeClusterer::new(cfg, 1).unwrap()),
+            Box::new(CachedCoresetTree::new(cfg, 1).unwrap()),
+            Box::new(RecursiveCachedTree::new(cfg, 2, 1).unwrap()),
+            Box::new(OnlineCC::new(cfg, 1.5, 1).unwrap()),
+            Box::new(SequentialKMeans::new(2).unwrap()),
+            Box::new(CluStream::new(cfg, 1).unwrap()),
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(n_points as u64);
+        for algorithm in &mut algorithms {
+            for _ in 0..n_points {
+                algorithm.update(&random_point(&mut rng, 2)).unwrap();
+            }
+            let centers = algorithm
+                .query()
+                .unwrap_or_else(|e| panic!("{} failed at n = {n_points}: {e}", algorithm.name()));
+            assert!(
+                !centers.is_empty(),
+                "{} at n = {n_points}",
+                algorithm.name()
+            );
+            assert!(centers.len() <= 2, "{} at n = {n_points}", algorithm.name());
+            assert_eq!(algorithm.points_seen(), n_points as u64);
+        }
+    }
+}
+
+/// After a dimension-mismatch error the structures remain usable with the
+/// original dimension (errors must not corrupt internal state).
+#[test]
+fn dimension_errors_do_not_poison_the_clusterer() {
+    let cfg = config(2, 8);
+    let mut cc = CachedCoresetTree::new(cfg, 9).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    for _ in 0..20 {
+        cc.update(&random_point(&mut rng, 3)).unwrap();
+    }
+    assert!(cc.update(&[1.0]).is_err());
+    assert!(cc.update(&random_point(&mut rng, 5)).is_err());
+    for _ in 0..20 {
+        cc.update(&random_point(&mut rng, 3)).unwrap();
+    }
+    let centers = cc.query().unwrap();
+    assert_eq!(centers.dim(), 3);
+    assert_eq!(cc.points_seen(), 40);
+}
+
+/// The RCC structure built for an expected stream length keeps its memory
+/// within a small multiple of CC's, even when the actual stream is shorter
+/// or longer than expected.
+#[test]
+fn rcc_for_stream_length_memory_is_robust_to_misestimation() {
+    let cfg = config(3, 30);
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    for (expected, actual) in [(6_000usize, 6_000usize), (6_000, 2_000), (2_000, 6_000)] {
+        let mut rcc = RecursiveCachedTree::for_stream_length(cfg, 3, expected, 1).unwrap();
+        let mut cc = CachedCoresetTree::new(cfg, 1).unwrap();
+        for i in 0..actual {
+            let p = random_point(&mut rng, 3);
+            rcc.update(&p).unwrap();
+            cc.update(&p).unwrap();
+            if i % 100 == 99 {
+                rcc.query().unwrap();
+                cc.query().unwrap();
+            }
+        }
+        assert!(
+            rcc.memory_points() <= 12 * cc.memory_points(),
+            "expected {expected}, actual {actual}: RCC {} vs CC {}",
+            rcc.memory_points(),
+            cc.memory_points()
+        );
+        assert!(
+            rcc.memory_points() < actual,
+            "RCC must not store the whole stream"
+        );
+    }
+}
+
+/// OnlineCC with an enormous switching threshold never falls back after its
+/// first rebuild; with a threshold barely above 1 it falls back frequently.
+#[test]
+fn online_cc_fallback_frequency_tracks_alpha() {
+    let cfg = config(3, 30);
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let stream: Vec<Vec<f64>> = (0..4_000).map(|_| random_point(&mut rng, 3)).collect();
+
+    let mut never = OnlineCC::new(cfg, 1e9, 1).unwrap();
+    let mut often = OnlineCC::new(cfg, 1.01, 1).unwrap();
+    for (i, p) in stream.iter().enumerate() {
+        never.update(p).unwrap();
+        often.update(p).unwrap();
+        if i % 50 == 49 {
+            never.query().unwrap();
+            often.query().unwrap();
+        }
+    }
+    assert!(
+        never.fallback_count() <= 1,
+        "α = 1e9 should essentially never fall back, saw {}",
+        never.fallback_count()
+    );
+    assert!(
+        often.fallback_count() > 5,
+        "α = 1.01 should fall back regularly, saw {}",
+        often.fallback_count()
+    );
+}

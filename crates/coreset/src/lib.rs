@@ -1,0 +1,45 @@
+//! # skm-coreset
+//!
+//! k-means coresets for the *Streaming k-Means Clustering with Fast Queries*
+//! reproduction.
+//!
+//! A `(k, ε)`-coreset of a weighted point set `P` (Definition 1 of the
+//! paper) is a small weighted set `C` such that for every candidate center
+//! set `Ψ` of size `k`,
+//! `(1 − ε)·φ_Ψ(P) ≤ φ_Ψ(C) ≤ (1 + ε)·φ_Ψ(P)`.
+//!
+//! This crate provides:
+//!
+//! * [`Coreset`] — a weighted summary annotated with the **span** of base
+//!   buckets it covers and its **level** (Definition 2), which the streaming
+//!   algorithms use to reason about accuracy (Lemma 1, Lemma 5).
+//! * [`Span`] — the inclusive bucket interval `[l, r]` summarized by a
+//!   coreset (the paper indexes the cache by the right endpoint).
+//! * [`construct`] — two coreset constructors:
+//!   [`construct::CoresetBuilder`] with the k-means++ based construction
+//!   used by streamkm++ and the paper's implementation, and a
+//!   sensitivity-sampling alternative used for ablation.
+//! * [`merge`] — the merge-and-reduce step (Observations 1 and 2): union a
+//!   set of coresets and reduce the union back to `m` points, bumping the
+//!   level.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod construct;
+pub mod coreset;
+pub mod merge;
+pub mod span;
+
+pub use construct::{CoresetBuilder, CoresetMethod};
+pub use coreset::Coreset;
+pub use merge::merge_coresets;
+pub use span::Span;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::construct::{CoresetBuilder, CoresetMethod};
+    pub use crate::coreset::Coreset;
+    pub use crate::merge::merge_coresets;
+    pub use crate::span::Span;
+}

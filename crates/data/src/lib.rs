@@ -1,0 +1,47 @@
+//! # skm-data
+//!
+//! Workload generation for the *Streaming k-Means Clustering with Fast
+//! Queries* reproduction.
+//!
+//! The paper evaluates on four datasets (Table 3): Covtype, Power, Intrusion
+//! (all UCI / KDD-Cup data) and a semi-synthetic Drift stream generated with
+//! MOA's RBF generator from USCensus1990 cluster statistics. The raw UCI
+//! files are not redistributable with this repository, so this crate
+//! provides:
+//!
+//! * [`GaussianMixture`] — a general mixture-of-blobs generator,
+//! * [`uci_like`] — synthetic stand-ins (`covtype_like`, `power_like`,
+//!   `intrusion_like`) that match the dimensionality and cluster structure
+//!   of the originals (see DESIGN.md for the substitution argument),
+//! * [`drift`] — a re-implementation of the RBF drifting-centers generator
+//!   the paper itself uses for its Drift dataset,
+//! * [`csv`] — loaders so the real datasets can be used when available,
+//! * [`queries`] — the query schedules of the evaluation (fixed interval
+//!   `q` and Poisson arrivals with rate `λ`).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod csv;
+pub mod dataset;
+pub mod drift;
+pub mod gaussian;
+pub mod queries;
+pub mod transform;
+pub mod uci_like;
+
+pub use dataset::Dataset;
+pub use drift::RbfDriftGenerator;
+pub use gaussian::GaussianMixture;
+pub use queries::QuerySchedule;
+pub use transform::{MinMaxScaler, ZScoreNormalizer};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::dataset::Dataset;
+    pub use crate::drift::RbfDriftGenerator;
+    pub use crate::gaussian::GaussianMixture;
+    pub use crate::queries::QuerySchedule;
+    pub use crate::transform::{MinMaxScaler, ZScoreNormalizer};
+    pub use crate::uci_like::{covtype_like, intrusion_like, power_like};
+}

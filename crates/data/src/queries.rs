@@ -1,0 +1,155 @@
+//! Query schedules: when, during the stream, clustering queries arrive.
+//!
+//! The paper evaluates two arrival models (Section 5.2):
+//!
+//! * a **fixed interval**: one query every `q` points
+//!   (`q ∈ {50, 100, …, 3200}`), and
+//! * a **Poisson process** with arrival rate `λ`: inter-arrival gaps are
+//!   exponentially distributed with mean `1/λ` points.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A query arrival schedule over a stream of points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QuerySchedule {
+    /// No queries during the stream (only a final query at the end).
+    None,
+    /// One query after every `interval` points.
+    FixedInterval {
+        /// Query interval `q` in points.
+        interval: u64,
+    },
+    /// Poisson arrivals with the given rate (queries per point).
+    Poisson {
+        /// Arrival rate `λ`; the mean gap between queries is `1/λ` points.
+        rate: f64,
+    },
+}
+
+impl QuerySchedule {
+    /// Convenience constructor for the fixed-interval schedule.
+    #[must_use]
+    pub fn every(interval: u64) -> Self {
+        QuerySchedule::FixedInterval {
+            interval: interval.max(1),
+        }
+    }
+
+    /// Convenience constructor for a Poisson schedule with mean inter-arrival
+    /// gap of `mean_interval` points (`λ = 1 / mean_interval`).
+    #[must_use]
+    pub fn poisson_with_mean_interval(mean_interval: f64) -> Self {
+        QuerySchedule::Poisson {
+            rate: 1.0 / mean_interval.max(1e-9),
+        }
+    }
+
+    /// Generates the (1-based, strictly increasing) positions in a stream of
+    /// `n` points after which a query is issued.
+    ///
+    /// Positions are in `1..=n`. The final end-of-stream query that every
+    /// experiment performs is *not* included here; the harness adds it.
+    #[must_use]
+    pub fn positions<R: Rng + ?Sized>(&self, n: u64, rng: &mut R) -> Vec<u64> {
+        match *self {
+            QuerySchedule::None => Vec::new(),
+            QuerySchedule::FixedInterval { interval } => {
+                let interval = interval.max(1);
+                (1..=n / interval).map(|i| i * interval).collect()
+            }
+            QuerySchedule::Poisson { rate } => {
+                let rate = rate.max(1e-12);
+                let mut out = Vec::new();
+                let mut t = 0.0f64;
+                loop {
+                    // Exponential inter-arrival: -ln(U)/λ.
+                    let u: f64 = 1.0 - rng.gen::<f64>();
+                    t += -u.ln() / rate;
+                    let pos = t.ceil() as u64;
+                    if pos > n {
+                        break;
+                    }
+                    // Collapse multiple arrivals landing on the same point.
+                    if out.last() != Some(&pos) {
+                        out.push(pos);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Expected number of queries over a stream of `n` points.
+    #[must_use]
+    pub fn expected_queries(&self, n: u64) -> f64 {
+        match *self {
+            QuerySchedule::None => 0.0,
+            QuerySchedule::FixedInterval { interval } => (n / interval.max(1)) as f64,
+            QuerySchedule::Poisson { rate } => rate * n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn none_schedule_is_empty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(QuerySchedule::None.positions(10_000, &mut rng).is_empty());
+        assert_eq!(QuerySchedule::None.expected_queries(100), 0.0);
+    }
+
+    #[test]
+    fn fixed_interval_positions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let pos = QuerySchedule::every(100).positions(450, &mut rng);
+        assert_eq!(pos, vec![100, 200, 300, 400]);
+        assert_eq!(QuerySchedule::every(100).expected_queries(450), 4.0);
+    }
+
+    #[test]
+    fn fixed_interval_of_zero_is_clamped() {
+        let s = QuerySchedule::every(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let pos = s.positions(5, &mut rng);
+        assert_eq!(pos, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn poisson_positions_are_increasing_and_within_range() {
+        let s = QuerySchedule::poisson_with_mean_interval(50.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let pos = s.positions(10_000, &mut rng);
+        assert!(!pos.is_empty());
+        for w in pos.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*pos.last().unwrap() <= 10_000);
+    }
+
+    #[test]
+    fn poisson_rate_matches_expected_count() {
+        let s = QuerySchedule::poisson_with_mean_interval(100.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 100_000u64;
+        let count = s.positions(n, &mut rng).len() as f64;
+        let expected = s.expected_queries(n);
+        assert!(
+            (count - expected).abs() < expected * 0.15,
+            "observed {count} queries, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = QuerySchedule::Poisson { rate: 0.02 };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: QuerySchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

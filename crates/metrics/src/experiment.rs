@@ -1,0 +1,183 @@
+//! Experiment records: one measurement per (algorithm, dataset, parameter
+//! point), aggregated over repeated runs.
+//!
+//! The figure harness in `skm-bench` produces one [`RunMeasurement`] per run
+//! of an algorithm over a stream, collects them into an
+//! [`ExperimentRecord`] per parameter point, and renders tables from the
+//! per-record medians (matching the paper's reporting methodology).
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Raw measurements from a single run of one algorithm over one stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMeasurement {
+    /// Total update time in seconds.
+    pub update_seconds: f64,
+    /// Total query time in seconds.
+    pub query_seconds: f64,
+    /// Number of stream points processed.
+    pub points: u64,
+    /// Number of queries answered.
+    pub queries: u64,
+    /// Final k-means (SSQ) cost measured on the evaluation set.
+    pub final_cost: f64,
+    /// Points held in memory at the end of the stream.
+    pub memory_points: usize,
+}
+
+impl RunMeasurement {
+    /// Total runtime (update + query) in seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.update_seconds + self.query_seconds
+    }
+
+    /// Per-point update time in microseconds.
+    #[must_use]
+    pub fn update_micros_per_point(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.update_seconds * 1e6 / self.points as f64
+        }
+    }
+
+    /// Per-point query time in microseconds (query time amortized over every
+    /// stream point, as in Figures 8–10).
+    #[must_use]
+    pub fn query_micros_per_point(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.query_seconds * 1e6 / self.points as f64
+        }
+    }
+
+    /// Per-point total time in microseconds.
+    #[must_use]
+    pub fn total_micros_per_point(&self) -> f64 {
+        self.update_micros_per_point() + self.query_micros_per_point()
+    }
+}
+
+/// Aggregated measurements of one algorithm at one experimental setting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Algorithm name ("CT", "CC", …).
+    pub algorithm: String,
+    /// Dataset name ("Covtype", "Power", …).
+    pub dataset: String,
+    /// Name of the swept parameter ("k", "q", "bucket_size", "alpha", …).
+    pub parameter: String,
+    /// Value of the swept parameter for this record.
+    pub parameter_value: f64,
+    /// One entry per independent run.
+    pub runs: Vec<RunMeasurement>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record for the given experimental setting.
+    #[must_use]
+    pub fn new(
+        algorithm: impl Into<String>,
+        dataset: impl Into<String>,
+        parameter: impl Into<String>,
+        parameter_value: f64,
+    ) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            dataset: dataset.into(),
+            parameter: parameter.into(),
+            parameter_value,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Appends one run's measurements.
+    pub fn push_run(&mut self, run: RunMeasurement) {
+        self.runs.push(run);
+    }
+
+    /// Median of an arbitrary per-run metric, or `None` when no runs exist.
+    #[must_use]
+    pub fn median_of(&self, metric: impl Fn(&RunMeasurement) -> f64) -> Option<f64> {
+        let values: Vec<f64> = self.runs.iter().map(metric).collect();
+        Summary::of(&values).map(|s| s.median)
+    }
+
+    /// Median final cost across runs.
+    #[must_use]
+    pub fn median_cost(&self) -> Option<f64> {
+        self.median_of(|r| r.final_cost)
+    }
+
+    /// Median total runtime (seconds) across runs.
+    #[must_use]
+    pub fn median_total_seconds(&self) -> Option<f64> {
+        self.median_of(RunMeasurement::total_seconds)
+    }
+
+    /// Median memory (points) across runs.
+    #[must_use]
+    pub fn median_memory_points(&self) -> Option<f64> {
+        self.median_of(|r| r.memory_points as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(update: f64, query: f64, cost: f64) -> RunMeasurement {
+        RunMeasurement {
+            update_seconds: update,
+            query_seconds: query,
+            points: 1_000,
+            queries: 10,
+            final_cost: cost,
+            memory_points: 500,
+        }
+    }
+
+    #[test]
+    fn per_point_conversions() {
+        let r = run(0.5, 1.5, 10.0);
+        assert!((r.total_seconds() - 2.0).abs() < 1e-12);
+        assert!((r.update_micros_per_point() - 500.0).abs() < 1e-9);
+        assert!((r.query_micros_per_point() - 1_500.0).abs() < 1e-9);
+        assert!((r.total_micros_per_point() - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_points_is_safe() {
+        let mut r = run(0.5, 1.5, 10.0);
+        r.points = 0;
+        assert_eq!(r.update_micros_per_point(), 0.0);
+        assert_eq!(r.query_micros_per_point(), 0.0);
+    }
+
+    #[test]
+    fn record_medians() {
+        let mut rec = ExperimentRecord::new("CC", "Covtype", "k", 30.0);
+        assert!(rec.median_cost().is_none());
+        rec.push_run(run(1.0, 1.0, 10.0));
+        rec.push_run(run(2.0, 2.0, 30.0));
+        rec.push_run(run(3.0, 9.0, 20.0));
+        assert_eq!(rec.runs.len(), 3);
+        assert!((rec.median_cost().unwrap() - 20.0).abs() < 1e-12);
+        assert!((rec.median_total_seconds().unwrap() - 4.0).abs() < 1e-12);
+        assert!((rec.median_memory_points().unwrap() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rec = ExperimentRecord::new("RCC", "Power", "q", 100.0);
+        rec.push_run(run(1.0, 2.0, 3.0));
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.algorithm, "RCC");
+        assert_eq!(back.runs.len(), 1);
+        assert_eq!(back.runs[0], rec.runs[0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # skm-metrics
+//!
+//! Measurement utilities for the *Streaming k-Means Clustering with Fast
+//! Queries* reproduction: split update/query timers, summary statistics
+//! (the paper reports the **median of nine runs**), memory accounting in
+//! points and bytes (Table 4), experiment records and plain-text /
+//! CSV / JSON reporting for the figure and table harnesses.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiment;
+pub mod memory;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use experiment::{ExperimentRecord, RunMeasurement};
+pub use memory::memory_bytes;
+pub use stats::Summary;
+pub use table::Table;
+pub use timer::SplitTimer;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::experiment::{ExperimentRecord, RunMeasurement};
+    pub use crate::memory::memory_bytes;
+    pub use crate::stats::Summary;
+    pub use crate::table::Table;
+    pub use crate::timer::SplitTimer;
+}

@@ -1,0 +1,154 @@
+//! Summary statistics over repeated measurement runs.
+//!
+//! The paper reports, for every statistic, "the median from nine independent
+//! runs of each algorithm to improve robustness" (Section 5.2). [`Summary`]
+//! computes the median together with the usual companions (mean, min, max,
+//! standard deviation, percentiles) so the harness can report both.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of `f64` measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (the paper's headline statistic).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values`. Returns `None` for an empty
+    /// slice or if any value is NaN.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = percentile_sorted(&sorted, 50.0);
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let std_dev = if count < 2 {
+            0.0
+        } else {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64;
+            var.sqrt()
+        };
+        Some(Self {
+            count,
+            mean,
+            median,
+            min,
+            max,
+            std_dev,
+        })
+    }
+}
+
+/// Returns the `p`-th percentile (0–100) of an already sorted slice using
+/// linear interpolation. Returns NaN for an empty slice.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Convenience: median of a (not necessarily sorted) slice. Returns NaN for
+/// an empty slice.
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_nan_inputs_are_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        // Sample std dev of this classic example is ~2.138.
+        assert!((s.std_dev - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn median_of_odd_and_even_counts() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
+        assert!((percentile_sorted(&sorted, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 75.0) - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        let with_outlier = [1.0, 1.1, 0.9, 1.05, 1_000.0];
+        let s = Summary::of(&with_outlier).unwrap();
+        assert!(
+            s.median < 1.2,
+            "median {} should ignore the outlier",
+            s.median
+        );
+        assert!(
+            s.mean > 100.0,
+            "mean {} should be dragged by the outlier",
+            s.mean
+        );
+    }
+}

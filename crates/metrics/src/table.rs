@@ -1,0 +1,192 @@
+//! Plain-text and CSV tables for the experiment harness output.
+//!
+//! Every figure/table binary in `skm-bench` prints its result as a table of
+//! rows and columns (the same rows/series the paper reports). This module
+//! renders those tables as aligned plain text (for the terminal) and CSV
+//! (for plotting), with no third-party dependencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple rectangular table of string cells with a header row.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row of already formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of floating point values formatted with `precision`
+    /// decimal places, prefixed by a label cell.
+    pub fn push_labelled_row(
+        &mut self,
+        label: impl Into<String>,
+        values: &[f64],
+        precision: usize,
+    ) {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.into());
+        for v in values {
+            cells.push(format!("{v:.precision$}"));
+        }
+        self.push_row(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    #[must_use]
+    pub fn to_plain_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "# {}", self.title);
+        }
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows). Cells containing commas or
+    /// quotes are quoted.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Figure 5 (Covtype)", &["q", "CT", "CC"]);
+        t.push_row(vec!["50".into(), "812.1".into(), "401.3".into()]);
+        t.push_labelled_row("100", &[410.0, 205.5], 1);
+        t
+    }
+
+    #[test]
+    fn dimensions_and_accessors() {
+        let t = sample();
+        assert_eq!(t.title(), "Figure 5 (Covtype)");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn plain_text_contains_all_cells_aligned() {
+        let text = sample().to_plain_text();
+        assert!(text.contains("# Figure 5 (Covtype)"));
+        assert!(text.contains("812.1"));
+        assert!(text.contains("205.5"));
+        // Header separator line present.
+        assert!(text.lines().any(|l| l.starts_with('-')));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("t", &["name", "value"]);
+        t.push_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.starts_with("name,value\n"));
+    }
+
+    #[test]
+    fn labelled_row_formats_precision() {
+        let mut t = Table::new("t", &["k", "cost"]);
+        t.push_labelled_row("10", &[1.23456], 2);
+        assert_eq!(t.to_csv().lines().nth(1).unwrap(), "10,1.23");
+    }
+}

@@ -1,0 +1,166 @@
+//! Split timers separating update time from query time.
+//!
+//! The paper reports runtime in two parts (Section 5.2): the *update time*
+//! (processing arriving points) and the *query time* (answering clustering
+//! queries), both as totals over the stream and as per-point averages.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Accumulates update time and query time separately.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SplitTimer {
+    update_nanos: u128,
+    query_nanos: u128,
+    updates: u64,
+    queries: u64,
+}
+
+impl SplitTimer {
+    /// Creates a zeroed timer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` and charges the elapsed time to the update budget.
+    pub fn time_update<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.update_nanos += start.elapsed().as_nanos();
+        self.updates += 1;
+        out
+    }
+
+    /// Times `f` and charges the elapsed time to the query budget.
+    pub fn time_query<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.query_nanos += start.elapsed().as_nanos();
+        self.queries += 1;
+        out
+    }
+
+    /// Adds externally measured durations (used when the caller batches
+    /// operations itself).
+    pub fn add_update(&mut self, elapsed: Duration, count: u64) {
+        self.update_nanos += elapsed.as_nanos();
+        self.updates += count;
+    }
+
+    /// Adds externally measured query time.
+    pub fn add_query(&mut self, elapsed: Duration, count: u64) {
+        self.query_nanos += elapsed.as_nanos();
+        self.queries += count;
+    }
+
+    /// Number of timed updates.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Number of timed queries.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Total update time in seconds.
+    #[must_use]
+    pub fn update_seconds(&self) -> f64 {
+        self.update_nanos as f64 / 1e9
+    }
+
+    /// Total query time in seconds.
+    #[must_use]
+    pub fn query_seconds(&self) -> f64 {
+        self.query_nanos as f64 / 1e9
+    }
+
+    /// Total (update + query) time in seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.update_seconds() + self.query_seconds()
+    }
+
+    /// Average update time per timed update, in microseconds — the unit of
+    /// the paper's Figures 7–10. Returns 0 for an empty timer.
+    #[must_use]
+    pub fn update_micros_per_op(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.update_nanos as f64 / 1e3 / self.updates as f64
+        }
+    }
+
+    /// Average query time per timed query, in microseconds.
+    #[must_use]
+    pub fn query_micros_per_op(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.query_nanos as f64 / 1e3 / self.queries as f64
+        }
+    }
+
+    /// Average *per stream point* update / query / total time in
+    /// microseconds, which is how the paper normalizes Figures 7–10
+    /// (query time is spread over every point, not just the queried ones).
+    #[must_use]
+    pub fn per_point_micros(&self, stream_points: u64) -> (f64, f64, f64) {
+        if stream_points == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = stream_points as f64;
+        let update = self.update_nanos as f64 / 1e3 / n;
+        let query = self.query_nanos as f64 / 1e3 / n;
+        (update, query, update + query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_timer_reports_zero() {
+        let t = SplitTimer::new();
+        assert_eq!(t.updates(), 0);
+        assert_eq!(t.queries(), 0);
+        assert_eq!(t.update_micros_per_op(), 0.0);
+        assert_eq!(t.query_micros_per_op(), 0.0);
+        assert_eq!(t.per_point_micros(0), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn time_update_and_query_accumulate() {
+        let mut t = SplitTimer::new();
+        let x = t.time_update(|| 21 * 2);
+        assert_eq!(x, 42);
+        let y = t.time_query(|| "ok");
+        assert_eq!(y, "ok");
+        assert_eq!(t.updates(), 1);
+        assert_eq!(t.queries(), 1);
+        assert!(t.total_seconds() >= 0.0);
+        assert!(t.total_seconds() == t.update_seconds() + t.query_seconds());
+    }
+
+    #[test]
+    fn add_external_durations() {
+        let mut t = SplitTimer::new();
+        t.add_update(Duration::from_millis(10), 100);
+        t.add_query(Duration::from_millis(30), 3);
+        assert_eq!(t.updates(), 100);
+        assert_eq!(t.queries(), 3);
+        assert!((t.update_seconds() - 0.010).abs() < 1e-9);
+        assert!((t.query_seconds() - 0.030).abs() < 1e-9);
+        assert!((t.update_micros_per_op() - 100.0).abs() < 1e-6);
+        assert!((t.query_micros_per_op() - 10_000.0).abs() < 1e-6);
+        let (u, q, total) = t.per_point_micros(1_000);
+        assert!((u - 10.0).abs() < 1e-6);
+        assert!((q - 30.0).abs() < 1e-6);
+        assert!((total - 40.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the reproduction.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use streaming_kmeans::clustering::cost::kmeans_cost;
+use streaming_kmeans::clustering::kmeanspp::kmeanspp;
+use streaming_kmeans::clustering::{Centers, PointSet};
+use streaming_kmeans::coreset::construct::{CoresetBuilder, CoresetMethod};
+use streaming_kmeans::coreset::Span;
+use streaming_kmeans::prelude::*;
+use streaming_kmeans::stream::numeric::{ceil_log, major, minor, nonzero_digits, prefixsum};
+
+/// Strategy: a small weighted point set in 1–4 dimensions.
+fn point_set_strategy() -> impl Strategy<Value = PointSet> {
+    (1usize..=4, 1usize..=120).prop_flat_map(|(dim, n)| {
+        proptest::collection::vec(proptest::collection::vec(-1_000.0f64..1_000.0, dim), n..=n)
+            .prop_map(move |rows| {
+                let mut set = PointSet::new(dim);
+                for row in rows {
+                    set.push(&row, 1.0);
+                }
+                set
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- numeric: base-r decompositions -------------------------------
+
+    #[test]
+    fn major_plus_minor_reconstructs_n(n in 0u64..1_000_000, r in 2u64..10) {
+        prop_assert_eq!(major(n, r) + minor(n, r), n);
+    }
+
+    #[test]
+    fn minor_is_a_single_base_r_digit(n in 1u64..1_000_000, r in 2u64..10) {
+        let m = minor(n, r);
+        prop_assert!(m > 0);
+        // minor must be of the form beta * r^alpha with 0 < beta < r.
+        let mut value = m;
+        while value % r == 0 {
+            value /= r;
+        }
+        prop_assert!(value < r);
+        prop_assert!(value > 0);
+    }
+
+    #[test]
+    fn prefixsum_is_decreasing_and_bounded(n in 1u64..1_000_000, r in 2u64..10) {
+        let ps = prefixsum(n, r);
+        prop_assert_eq!(ps.len() as u32, nonzero_digits(n, r).saturating_sub(1));
+        for w in ps.windows(2) {
+            prop_assert!(w[0] > w[1]);
+        }
+        for v in &ps {
+            prop_assert!(*v < n);
+            prop_assert!(*v > 0);
+        }
+        if !ps.is_empty() {
+            prop_assert_eq!(ps[0], major(n, r));
+        }
+    }
+
+    #[test]
+    fn fact_2_prefixsum_recurrence(n in 1u64..100_000, r in 2u64..8) {
+        // prefixsum(N+1, r) ⊆ prefixsum(N, r) ∪ {N}
+        let mut allowed = prefixsum(n, r);
+        allowed.push(n);
+        for v in prefixsum(n + 1, r) {
+            prop_assert!(allowed.contains(&v));
+        }
+    }
+
+    #[test]
+    fn ceil_log_bounds_power(n in 1u64..1_000_000, r in 2u64..10) {
+        let e = ceil_log(n, r);
+        // r^e >= n and r^(e-1) < n (for n > 1).
+        let pow = r.checked_pow(e).unwrap_or(u64::MAX);
+        prop_assert!(pow >= n);
+        if n > 1 && e > 0 {
+            let lower = r.checked_pow(e - 1).unwrap_or(u64::MAX);
+            prop_assert!(lower < n);
+        }
+    }
+
+    // --- clustering substrate ------------------------------------------
+
+    #[test]
+    fn kmeans_cost_is_zero_iff_centers_cover_points(points in point_set_strategy()) {
+        // Centers equal to every distinct point => cost 0.
+        let rows: Vec<Vec<f64>> = points.iter().map(|(p, _)| p.to_vec()).collect();
+        let centers = Centers::from_rows(points.dim(), &rows).unwrap();
+        let cost = kmeans_cost(&points, &centers).unwrap();
+        prop_assert!(cost.abs() < 1e-9);
+    }
+
+    #[test]
+    fn kmeanspp_returns_requested_centers_and_finite_cost(
+        points in point_set_strategy(),
+        k in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers = kmeanspp(&points, k, &mut rng).unwrap();
+        prop_assert_eq!(centers.len(), k.min(points.len()));
+        prop_assert_eq!(centers.dim(), points.dim());
+        let cost = kmeans_cost(&points, &centers).unwrap();
+        prop_assert!(cost.is_finite());
+        prop_assert!(cost >= 0.0);
+    }
+
+    #[test]
+    fn adding_a_center_never_increases_cost(
+        points in point_set_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let two = kmeanspp(&points, 2, &mut rng).unwrap();
+        if two.len() == 2 {
+            let one = Centers::from_rows(points.dim(), &[two.center(0).to_vec()]).unwrap();
+            let cost_one = kmeans_cost(&points, &one).unwrap();
+            let cost_two = kmeans_cost(&points, &two).unwrap();
+            prop_assert!(cost_two <= cost_one + 1e-9);
+        }
+    }
+
+    // --- coresets --------------------------------------------------------
+
+    #[test]
+    fn coreset_preserves_total_weight_and_caps_size(
+        points in point_set_strategy(),
+        seed in 0u64..1_000,
+        method_choice in 0u8..2,
+    ) {
+        let method = if method_choice == 0 {
+            CoresetMethod::KMeansPP
+        } else {
+            CoresetMethod::SensitivitySampling
+        };
+        let size = 30usize;
+        let builder = CoresetBuilder::new(3).with_size(size).with_method(method);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let coreset = builder.build(&points, Span::single(1), 1, &mut rng).unwrap();
+        prop_assert!(coreset.len() <= size.max(points.len().min(size)));
+        prop_assert!(coreset.len() <= points.len());
+        let diff = (coreset.total_weight() - points.total_weight()).abs();
+        prop_assert!(diff < 1e-6 * (1.0 + points.total_weight()));
+        prop_assert_eq!(coreset.points().dim(), points.dim());
+    }
+
+    // --- streaming algorithms ------------------------------------------
+
+    #[test]
+    fn streaming_clusterers_accept_any_stream_and_answer_queries(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3),
+            30..200,
+        ),
+        seed in 0u64..500,
+    ) {
+        let config = StreamConfig::new(3)
+            .with_bucket_size(15)
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(1);
+        let mut cc = CachedCoresetTree::new(config, seed).unwrap();
+        let mut ct = CoresetTreeClusterer::new(config, seed).unwrap();
+        let mut online = OnlineCC::new(config, 1.5, seed).unwrap();
+        for row in &rows {
+            cc.update(row).unwrap();
+            ct.update(row).unwrap();
+            online.update(row).unwrap();
+        }
+        for (name, centers) in [
+            ("CC", cc.query().unwrap()),
+            ("CT", ct.query().unwrap()),
+            ("OnlineCC", online.query().unwrap()),
+        ] {
+            prop_assert!(centers.len() <= 3, "{} returned too many centers", name);
+            prop_assert!(!centers.is_empty(), "{} returned no centers", name);
+            prop_assert_eq!(centers.dim(), 3);
+            // All centers lie within the (slightly padded) data bounding box.
+            for c in centers.iter() {
+                for &x in c {
+                    prop_assert!(x >= -101.0 && x <= 101.0, "{} center escaped: {}", name, x);
+                }
+            }
+        }
+        prop_assert_eq!(cc.points_seen(), rows.len() as u64);
+    }
+
+    #[test]
+    fn coreset_tree_weight_equals_points_seen(
+        n_points in 1usize..400,
+        bucket in 5usize..40,
+        seed in 0u64..500,
+    ) {
+        let config = StreamConfig::new(2)
+            .with_bucket_size(bucket.max(2))
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(1);
+        let mut ct = CoresetTreeClusterer::new(config, seed).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..n_points {
+            use rand::Rng;
+            ct.update(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+        }
+        // Weight stored in the tree + points still in the partial buffer
+        // must equal the number of points fed in (mass conservation through
+        // arbitrary merge patterns).
+        let tree_weight = ct.tree().stored_weight();
+        let buffered = (n_points % ct.config().bucket_size) as f64;
+        prop_assert!((tree_weight + buffered - n_points as f64).abs() < 1e-6);
+        prop_assert!(ct.tree().digit_invariant_holds());
+    }
+}
