@@ -43,6 +43,7 @@ pub fn harness_config(k: usize, bucket_size: usize) -> StreamConfig {
 
 /// Runs `runs` independent repetitions of (`kind`, `dataset`, `schedule`)
 /// and returns the filled experiment record.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     kind: AlgorithmKind,
     dataset: &skm_data::Dataset,

@@ -58,7 +58,7 @@ pub fn table1_theory(args: &BenchArgs) -> Result<Table> {
             let t = Instant::now();
             algo.update(p)?;
             update_nanos += t.elapsed().as_nanos();
-            if (i + 1) as u64 % bucket == 0 {
+            if ((i + 1) as u64).is_multiple_of(bucket) {
                 let t = Instant::now();
                 algo.query()?;
                 query_ms.push(t.elapsed().as_secs_f64() * 1e3);
@@ -125,7 +125,7 @@ pub fn table2_rcc_tradeoffs(args: &BenchArgs) -> Result<Table> {
         let mut query_ms = Vec::new();
         for (i, p) in dataset.stream().enumerate() {
             rcc.update(p)?;
-            if (i + 1) as u64 % bucket == 0 {
+            if ((i + 1) as u64).is_multiple_of(bucket) {
                 let t = Instant::now();
                 rcc.query()?;
                 query_ms.push(t.elapsed().as_secs_f64() * 1e3);
@@ -264,7 +264,7 @@ pub fn ablation_merge_degree(args: &BenchArgs) -> Result<Table> {
         let start = Instant::now();
         for (i, p) in dataset.stream().enumerate() {
             cc.update(p)?;
-            if (i + 1) as u64 % bucket == 0 {
+            if ((i + 1) as u64).is_multiple_of(bucket) {
                 cc.query()?;
                 if let Some(stats) = cc.last_query_stats() {
                     merged.push(stats.coresets_merged as f64);

@@ -61,7 +61,7 @@ impl PointSet {
                 message: "dimension must be positive".to_string(),
             });
         }
-        if coords.len() % dim != 0 {
+        if !coords.len().is_multiple_of(dim) {
             return Err(ClusteringError::DimensionMismatch {
                 expected: dim,
                 got: coords.len() % dim,

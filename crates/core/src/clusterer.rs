@@ -51,7 +51,7 @@ pub trait StreamingClusterer {
 /// Diagnostics about a single clustering query, used to validate the
 /// paper's analytical claims (coresets merged per query, coreset level) and
 /// to drive the Table 1 reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct QueryStats {
     /// Number of stored coresets/buckets that were unioned to answer the
     /// query (CT merges up to `(r−1)·log_r N`, CC at most `r`, RCC `O(ι)`).
@@ -66,18 +66,6 @@ pub struct QueryStats {
     /// Whether OnlineCC fell back to the (expensive) CC path; `false` for
     /// other algorithms unless a k-means++ run happened at query time.
     pub ran_kmeans: bool,
-}
-
-impl Default for QueryStats {
-    fn default() -> Self {
-        Self {
-            coresets_merged: 0,
-            candidate_points: 0,
-            coreset_level: None,
-            used_cache: false,
-            ran_kmeans: false,
-        }
-    }
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ impl OnlineCC {
     /// Returns an error if the configuration is invalid or `alpha <= 1`.
     pub fn new(config: StreamConfig, alpha: f64, seed: u64) -> Result<Self> {
         config.validate()?;
-        if !(alpha > 1.0) || !alpha.is_finite() {
+        if alpha <= 1.0 || !alpha.is_finite() {
             return Err(ClusteringError::InvalidParameter {
                 name: "alpha",
                 message: format!("switching threshold must be a finite value > 1, got {alpha}"),

@@ -163,8 +163,8 @@ impl GaussianMixture {
                 target -= c.weight;
             }
             let c = &self.components[chosen];
-            for d in 0..self.dim {
-                buf[d] = normal_sample(c.mean[d], c.std_dev[d], rng);
+            for (d, slot) in buf.iter_mut().enumerate() {
+                *slot = normal_sample(c.mean[d], c.std_dev[d], rng);
             }
             points.push(&buf, 1.0);
         }

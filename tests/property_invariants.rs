@@ -1,8 +1,12 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the reproduction.
+//! Property-style tests on the core data structures and invariants of the
+//! reproduction.
+//!
+//! These were originally written against `proptest`; the offline build
+//! environment cannot fetch it, so the same properties are exercised with a
+//! deterministic ChaCha-driven case generator (fixed seed per test, many
+//! cases per property). Failures therefore always reproduce exactly.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use streaming_kmeans::clustering::cost::kmeans_cost;
 use streaming_kmeans::clustering::kmeanspp::kmeanspp;
@@ -12,156 +16,197 @@ use streaming_kmeans::coreset::Span;
 use streaming_kmeans::prelude::*;
 use streaming_kmeans::stream::numeric::{ceil_log, major, minor, nonzero_digits, prefixsum};
 
-/// Strategy: a small weighted point set in 1–4 dimensions.
-fn point_set_strategy() -> impl Strategy<Value = PointSet> {
-    (1usize..=4, 1usize..=120).prop_flat_map(|(dim, n)| {
-        proptest::collection::vec(proptest::collection::vec(-1_000.0f64..1_000.0, dim), n..=n)
-            .prop_map(move |rows| {
-                let mut set = PointSet::new(dim);
-                for row in rows {
-                    set.push(&row, 1.0);
-                }
-                set
-            })
-    })
+const CASES: usize = 64;
+
+/// Generates a small weighted point set in 1–4 dimensions (unit weights).
+fn random_point_set(rng: &mut ChaCha8Rng) -> PointSet {
+    let dim = rng.gen_range(1..=4usize);
+    let n = rng.gen_range(1..=120usize);
+    let mut set = PointSet::new(dim);
+    let mut row = vec![0.0f64; dim];
+    for _ in 0..n {
+        for x in row.iter_mut() {
+            *x = rng.gen_range(-1_000.0..1_000.0f64);
+        }
+        set.push(&row, 1.0);
+    }
+    set
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// --- numeric: base-r decompositions -------------------------------------
 
-    // --- numeric: base-r decompositions -------------------------------
-
-    #[test]
-    fn major_plus_minor_reconstructs_n(n in 0u64..1_000_000, r in 2u64..10) {
-        prop_assert_eq!(major(n, r) + minor(n, r), n);
+#[test]
+fn major_plus_minor_reconstructs_n() {
+    let mut rng = ChaCha8Rng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..1_000_000u64);
+        let r = rng.gen_range(2..10u64);
+        assert_eq!(major(n, r) + minor(n, r), n, "n={n} r={r}");
     }
+}
 
-    #[test]
-    fn minor_is_a_single_base_r_digit(n in 1u64..1_000_000, r in 2u64..10) {
+#[test]
+fn minor_is_a_single_base_r_digit() {
+    let mut rng = ChaCha8Rng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..1_000_000u64);
+        let r = rng.gen_range(2..10u64);
         let m = minor(n, r);
-        prop_assert!(m > 0);
+        assert!(m > 0, "n={n} r={r}");
         // minor must be of the form beta * r^alpha with 0 < beta < r.
         let mut value = m;
-        while value % r == 0 {
+        while value.is_multiple_of(r) {
             value /= r;
         }
-        prop_assert!(value < r);
-        prop_assert!(value > 0);
+        assert!(value < r, "n={n} r={r} m={m}");
+        assert!(value > 0, "n={n} r={r} m={m}");
     }
+}
 
-    #[test]
-    fn prefixsum_is_decreasing_and_bounded(n in 1u64..1_000_000, r in 2u64..10) {
+#[test]
+fn prefixsum_is_decreasing_and_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..1_000_000u64);
+        let r = rng.gen_range(2..10u64);
         let ps = prefixsum(n, r);
-        prop_assert_eq!(ps.len() as u32, nonzero_digits(n, r).saturating_sub(1));
+        assert_eq!(
+            ps.len() as u32,
+            nonzero_digits(n, r).saturating_sub(1),
+            "n={n} r={r}"
+        );
         for w in ps.windows(2) {
-            prop_assert!(w[0] > w[1]);
+            assert!(w[0] > w[1], "n={n} r={r} ps={ps:?}");
         }
         for v in &ps {
-            prop_assert!(*v < n);
-            prop_assert!(*v > 0);
+            assert!(*v < n, "n={n} r={r} ps={ps:?}");
+            assert!(*v > 0, "n={n} r={r} ps={ps:?}");
         }
         if !ps.is_empty() {
-            prop_assert_eq!(ps[0], major(n, r));
+            assert_eq!(ps[0], major(n, r), "n={n} r={r}");
         }
     }
+}
 
-    #[test]
-    fn fact_2_prefixsum_recurrence(n in 1u64..100_000, r in 2u64..8) {
+#[test]
+fn fact_2_prefixsum_recurrence() {
+    let mut rng = ChaCha8Rng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..100_000u64);
+        let r = rng.gen_range(2..8u64);
         // prefixsum(N+1, r) ⊆ prefixsum(N, r) ∪ {N}
         let mut allowed = prefixsum(n, r);
         allowed.push(n);
         for v in prefixsum(n + 1, r) {
-            prop_assert!(allowed.contains(&v));
+            assert!(allowed.contains(&v), "n={n} r={r} v={v}");
         }
     }
+}
 
-    #[test]
-    fn ceil_log_bounds_power(n in 1u64..1_000_000, r in 2u64..10) {
+#[test]
+fn ceil_log_bounds_power() {
+    let mut rng = ChaCha8Rng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..1_000_000u64);
+        let r = rng.gen_range(2..10u64);
         let e = ceil_log(n, r);
         // r^e >= n and r^(e-1) < n (for n > 1).
         let pow = r.checked_pow(e).unwrap_or(u64::MAX);
-        prop_assert!(pow >= n);
+        assert!(pow >= n, "n={n} r={r} e={e}");
         if n > 1 && e > 0 {
             let lower = r.checked_pow(e - 1).unwrap_or(u64::MAX);
-            prop_assert!(lower < n);
+            assert!(lower < n, "n={n} r={r} e={e}");
         }
     }
+}
 
-    // --- clustering substrate ------------------------------------------
+// --- clustering substrate ------------------------------------------------
 
-    #[test]
-    fn kmeans_cost_is_zero_iff_centers_cover_points(points in point_set_strategy()) {
+#[test]
+fn kmeans_cost_is_zero_iff_centers_cover_points() {
+    let mut rng = ChaCha8Rng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let points = random_point_set(&mut rng);
         // Centers equal to every distinct point => cost 0.
         let rows: Vec<Vec<f64>> = points.iter().map(|(p, _)| p.to_vec()).collect();
         let centers = Centers::from_rows(points.dim(), &rows).unwrap();
         let cost = kmeans_cost(&points, &centers).unwrap();
-        prop_assert!(cost.abs() < 1e-9);
+        assert!(cost.abs() < 1e-9, "cost={cost}");
     }
+}
 
-    #[test]
-    fn kmeanspp_returns_requested_centers_and_finite_cost(
-        points in point_set_strategy(),
-        k in 1usize..8,
-        seed in 0u64..1_000,
-    ) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let centers = kmeanspp(&points, k, &mut rng).unwrap();
-        prop_assert_eq!(centers.len(), k.min(points.len()));
-        prop_assert_eq!(centers.dim(), points.dim());
+#[test]
+fn kmeanspp_returns_requested_centers_and_finite_cost() {
+    let mut rng = ChaCha8Rng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let points = random_point_set(&mut rng);
+        let k = rng.gen_range(1..8usize);
+        let seed = rng.gen_range(0..1_000u64);
+        let mut seeding_rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers = kmeanspp(&points, k, &mut seeding_rng).unwrap();
+        assert_eq!(centers.len(), k.min(points.len()));
+        assert_eq!(centers.dim(), points.dim());
         let cost = kmeans_cost(&points, &centers).unwrap();
-        prop_assert!(cost.is_finite());
-        prop_assert!(cost >= 0.0);
+        assert!(cost.is_finite());
+        assert!(cost >= 0.0);
     }
+}
 
-    #[test]
-    fn adding_a_center_never_increases_cost(
-        points in point_set_strategy(),
-        seed in 0u64..1_000,
-    ) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let two = kmeanspp(&points, 2, &mut rng).unwrap();
+#[test]
+fn adding_a_center_never_increases_cost() {
+    let mut rng = ChaCha8Rng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let points = random_point_set(&mut rng);
+        let seed = rng.gen_range(0..1_000u64);
+        let mut seeding_rng = ChaCha8Rng::seed_from_u64(seed);
+        let two = kmeanspp(&points, 2, &mut seeding_rng).unwrap();
         if two.len() == 2 {
             let one = Centers::from_rows(points.dim(), &[two.center(0).to_vec()]).unwrap();
             let cost_one = kmeans_cost(&points, &one).unwrap();
             let cost_two = kmeans_cost(&points, &two).unwrap();
-            prop_assert!(cost_two <= cost_one + 1e-9);
+            assert!(cost_two <= cost_one + 1e-9, "{cost_two} > {cost_one}");
         }
     }
+}
 
-    // --- coresets --------------------------------------------------------
+// --- coresets ------------------------------------------------------------
 
-    #[test]
-    fn coreset_preserves_total_weight_and_caps_size(
-        points in point_set_strategy(),
-        seed in 0u64..1_000,
-        method_choice in 0u8..2,
-    ) {
-        let method = if method_choice == 0 {
+#[test]
+fn coreset_preserves_total_weight_and_caps_size() {
+    let mut rng = ChaCha8Rng::seed_from_u64(109);
+    for case in 0..CASES {
+        let points = random_point_set(&mut rng);
+        let seed = rng.gen_range(0..1_000u64);
+        let method = if case % 2 == 0 {
             CoresetMethod::KMeansPP
         } else {
             CoresetMethod::SensitivitySampling
         };
         let size = 30usize;
         let builder = CoresetBuilder::new(3).with_size(size).with_method(method);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let coreset = builder.build(&points, Span::single(1), 1, &mut rng).unwrap();
-        prop_assert!(coreset.len() <= size.max(points.len().min(size)));
-        prop_assert!(coreset.len() <= points.len());
+        let mut build_rng = ChaCha8Rng::seed_from_u64(seed);
+        let coreset = builder
+            .build(&points, Span::single(1), 1, &mut build_rng)
+            .unwrap();
+        assert!(coreset.len() <= size);
+        assert!(coreset.len() <= points.len());
         let diff = (coreset.total_weight() - points.total_weight()).abs();
-        prop_assert!(diff < 1e-6 * (1.0 + points.total_weight()));
-        prop_assert_eq!(coreset.points().dim(), points.dim());
+        assert!(diff < 1e-6 * (1.0 + points.total_weight()));
+        assert_eq!(coreset.points().dim(), points.dim());
     }
+}
 
-    // --- streaming algorithms ------------------------------------------
+// --- streaming algorithms ------------------------------------------------
 
-    #[test]
-    fn streaming_clusterers_accept_any_stream_and_answer_queries(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, 3),
-            30..200,
-        ),
-        seed in 0u64..500,
-    ) {
+#[test]
+fn streaming_clusterers_accept_any_stream_and_answer_queries() {
+    let mut rng = ChaCha8Rng::seed_from_u64(110);
+    for _ in 0..CASES {
+        let n = rng.gen_range(30..200usize);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(-100.0..100.0f64)).collect())
+            .collect();
+        let seed = rng.gen_range(0..500u64);
         let config = StreamConfig::new(3)
             .with_bucket_size(15)
             .with_kmeans_runs(1)
@@ -174,46 +219,52 @@ proptest! {
             ct.update(row).unwrap();
             online.update(row).unwrap();
         }
+        let points_seen = cc.points_seen();
         for (name, centers) in [
             ("CC", cc.query().unwrap()),
             ("CT", ct.query().unwrap()),
             ("OnlineCC", online.query().unwrap()),
         ] {
-            prop_assert!(centers.len() <= 3, "{} returned too many centers", name);
-            prop_assert!(!centers.is_empty(), "{} returned no centers", name);
-            prop_assert_eq!(centers.dim(), 3);
+            assert!(centers.len() <= 3, "{name} returned too many centers");
+            assert!(!centers.is_empty(), "{name} returned no centers");
+            assert_eq!(centers.dim(), 3);
             // All centers lie within the (slightly padded) data bounding box.
             for c in centers.iter() {
                 for &x in c {
-                    prop_assert!(x >= -101.0 && x <= 101.0, "{} center escaped: {}", name, x);
+                    assert!((-101.0..=101.0).contains(&x), "{name} center escaped: {x}");
                 }
             }
         }
-        prop_assert_eq!(cc.points_seen(), rows.len() as u64);
+        assert_eq!(points_seen, rows.len() as u64);
     }
+}
 
-    #[test]
-    fn coreset_tree_weight_equals_points_seen(
-        n_points in 1usize..400,
-        bucket in 5usize..40,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn coreset_tree_weight_equals_points_seen() {
+    let mut rng = ChaCha8Rng::seed_from_u64(111);
+    for _ in 0..CASES {
+        let n_points = rng.gen_range(1..400usize);
+        let bucket = rng.gen_range(5..40usize);
+        let seed = rng.gen_range(0..500u64);
         let config = StreamConfig::new(2)
             .with_bucket_size(bucket.max(2))
             .with_kmeans_runs(1)
             .with_lloyd_iterations(1);
         let mut ct = CoresetTreeClusterer::new(config, seed).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut point_rng = ChaCha8Rng::seed_from_u64(seed);
         for _ in 0..n_points {
-            use rand::Rng;
-            ct.update(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+            ct.update(&[point_rng.gen::<f64>(), point_rng.gen::<f64>()])
+                .unwrap();
         }
         // Weight stored in the tree + points still in the partial buffer
         // must equal the number of points fed in (mass conservation through
         // arbitrary merge patterns).
         let tree_weight = ct.tree().stored_weight();
         let buffered = (n_points % ct.config().bucket_size) as f64;
-        prop_assert!((tree_weight + buffered - n_points as f64).abs() < 1e-6);
-        prop_assert!(ct.tree().digit_invariant_holds());
+        assert!(
+            (tree_weight + buffered - n_points as f64).abs() < 1e-6,
+            "n={n_points} bucket={bucket} tree={tree_weight} buffered={buffered}"
+        );
+        assert!(ct.tree().digit_invariant_holds());
     }
 }

@@ -1,0 +1,294 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, since
+//! the build environment is offline). Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * non-generic structs with named fields, and
+//! * non-generic enums whose variants are unit or struct-like.
+//!
+//! Anything else panics with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Variant {
+    Unit { name: String },
+    Struct { name: String, fields: Vec<Field> },
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading attributes (`#[...]`) from the token iterator.
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive: expected attribute body, found {other:?}"),
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => match tokens.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {}
+            }
+            tokens.next();
+        }
+        fields.push(Field { name });
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                variants.push(Variant::Struct { name, fields });
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde_derive: tuple variant `{name}` is not supported by the vendored derive"
+                )
+            }
+            _ => variants.push(Variant::Unit { name }),
+        }
+        // Consume the trailing comma, if any.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    // Skip visibility (`pub`, `pub(crate)`, ...).
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive: only non-generic braced types are supported for `{name}`, found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn struct_fields_to_value(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({a})),",
+                n = f.name,
+                a = access(&f.name)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.concat())
+}
+
+fn struct_fields_from_map(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{n}: ::serde::Deserialize::from_value(::serde::get_field(map, \"{n}\")?)?,",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+/// Derives the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = struct_fields_to_value(&fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit { name: vn } => format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    ),
+                    Variant::Struct { name: vn, fields } => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = struct_fields_to_value(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                            binds = bindings.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    generated
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = struct_fields_from_map(&fields);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let map = match value {{\n\
+                             ::serde::Value::Map(m) => m,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected map for struct {name}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{ {body} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit { name: vn } => Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Variant::Struct { .. } => None,
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit { .. } => None,
+                    Variant::Struct { name: vn, fields } => {
+                        let body = struct_fields_from_map(fields);
+                        Some(format!(
+                            "\"{vn}\" => {{\n\
+                                 let map = match inner {{\n\
+                                     ::serde::Value::Map(m) => m,\n\
+                                     _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected map for variant {vn}\")),\n\
+                                 }};\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {body} }})\n\
+                             }}"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {struct_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                         ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\"expected variant for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
