@@ -1,0 +1,183 @@
+//! `skm-bench` — the machine-readable benchmark pipeline.
+//!
+//! Measures, per selected workload, the per-update and per-query latency of
+//! every streaming algorithm (all of which route through the fused distance
+//! kernels), the coreset construction time and peak memory, then:
+//!
+//! * prints a human-readable summary,
+//! * with `--json DIR`, writes one `BENCH_<workload>.json` per workload,
+//! * with `--baseline-out PATH`, writes all reports as a baseline file,
+//! * with `--check BASELINE`, compares fresh medians against the committed
+//!   baseline and exits with status 1 on a >25% median slowdown,
+//! * with `--guard-only` (plus `--json` and `--check`), skips measuring and
+//!   only replays the guard against reports already on disk — this is how
+//!   CI separates the measurement step from the gating step.
+//!
+//! See the README section "Benchmarking & perf methodology" for the JSON
+//! schema and the baseline-refresh workflow.
+
+use skm_bench::report::{compare_reports, measure_workload, BaselineFile, WorkloadReport};
+use skm_bench::{BenchArgs, DatasetSpec};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// The guard fails on a median slowdown beyond this ratio (>25%).
+const MAX_SLOWDOWN_RATIO: f64 = 1.25;
+
+fn read_baseline(path: &str) -> Result<BaselineFile, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline `{path}`: {e:?}"))
+}
+
+fn read_fresh_reports(dir: &str, specs: &[DatasetSpec]) -> Result<Vec<WorkloadReport>, String> {
+    let mut reports = Vec::new();
+    for spec in specs {
+        let path = Path::new(dir).join(format!("BENCH_{}.json", spec.name()));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // Workloads that were not benched are simply not guarded.
+            continue;
+        };
+        let report: WorkloadReport = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse `{}`: {e:?}", path.display()))?;
+        reports.push(report);
+    }
+    if reports.is_empty() {
+        return Err(format!("no BENCH_*.json reports found in `{dir}`"));
+    }
+    Ok(reports)
+}
+
+fn write_reports(dir: &str, reports: &[WorkloadReport]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    for report in reports {
+        let path = Path::new(dir).join(report.file_name());
+        let json = serde_json::to_string(report).map_err(|e| format!("serialize: {e:?}"))?;
+        std::fs::write(&path, json).map_err(|e| format!("write `{}`: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn print_summary(report: &WorkloadReport) {
+    println!(
+        "== {} (n = {}, d = {}, k = {}, seed = {}) ==",
+        report.workload, report.points, report.dim, report.k, report.seed
+    );
+    println!(
+        "  coreset build: median {:.0} ns, p95 {:.0} ns",
+        report.coreset_build_ns.median_ns, report.coreset_build_ns.p95_ns
+    );
+    for a in &report.algorithms {
+        println!(
+            "  {:<12} update median {:>8.0} ns (p95 {:>8.0})  query median {:>10.0} ns (p95 {:>10.0})  peak {:>8} B",
+            a.algorithm,
+            a.update_ns.median_ns,
+            a.update_ns.p95_ns,
+            a.query_ns.median_ns,
+            a.query_ns.p95_ns,
+            a.peak_memory_bytes
+        );
+    }
+}
+
+fn run_guard(baseline_path: &str, fresh: &[WorkloadReport]) -> ExitCode {
+    let baseline = match read_baseline(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let regressions = compare_reports(&baseline.reports, fresh, MAX_SLOWDOWN_RATIO);
+    if regressions.is_empty() {
+        println!(
+            "regression guard: all medians within {:.0}% of `{baseline_path}`",
+            (MAX_SLOWDOWN_RATIO - 1.0) * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "regression guard: {} metric(s) regressed more than {:.0}% vs `{baseline_path}`:",
+        regressions.len(),
+        (MAX_SLOWDOWN_RATIO - 1.0) * 100.0
+    );
+    for r in &regressions {
+        eprintln!("  {}", r.describe());
+    }
+    eprintln!(
+        "If the slowdown is expected, refresh bench/baseline.json (see README \
+         \"Benchmarking & perf methodology\") or apply the `bench-override` PR label."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = BenchArgs::from_env();
+    if !args.errors.is_empty() {
+        for e in &args.errors {
+            eprintln!("{e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let specs = args.datasets();
+
+    let fresh: Vec<WorkloadReport> = if args.guard_only {
+        let Some(dir) = args.json.as_deref() else {
+            eprintln!("--guard-only requires --json DIR (where to load reports from)");
+            return ExitCode::FAILURE;
+        };
+        match read_fresh_reports(dir, &specs) {
+            Ok(reports) => reports,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut reports = Vec::new();
+        for spec in &specs {
+            match measure_workload(*spec, args.points, args.k, args.seed) {
+                Ok(report) => {
+                    print_summary(&report);
+                    reports.push(report);
+                }
+                Err(e) => {
+                    eprintln!("benchmark of {} failed: {e}", spec.name());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(dir) = args.json.as_deref() {
+            if let Err(e) = write_reports(dir, &reports) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = args.baseline_out.as_deref() {
+            let baseline = BaselineFile {
+                schema_version: skm_bench::report::SCHEMA_VERSION,
+                reports: reports.clone(),
+            };
+            match serde_json::to_string(&baseline) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("write `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote baseline {path}");
+                }
+                Err(e) => {
+                    eprintln!("serialize baseline: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        reports
+    };
+
+    match args.check.as_deref() {
+        Some(baseline_path) => run_guard(baseline_path, &fresh),
+        None => ExitCode::SUCCESS,
+    }
+}

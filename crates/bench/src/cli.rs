@@ -13,6 +13,19 @@
 //! --csv          also print each table as CSV
 //! --seed S       base RNG seed                      (default 42)
 //! ```
+//!
+//! The `skm-bench` binary additionally understands the machine-readable
+//! report pipeline (see `crate::report` and the README's "Benchmarking &
+//! perf methodology" section):
+//!
+//! ```text
+//! --json DIR          write one BENCH_<workload>.json per dataset into DIR
+//! --check BASELINE    compare fresh medians against BASELINE (bench/baseline.json)
+//!                     and exit non-zero on a >25% median slowdown
+//! --guard-only        with --json + --check: skip measuring, load the
+//!                     BENCH_*.json already in DIR and only run the guard
+//! --baseline-out PATH write all fresh reports as a new baseline file
+//! ```
 
 use crate::workloads::DatasetSpec;
 
@@ -31,6 +44,19 @@ pub struct BenchArgs {
     pub csv: bool,
     /// Base RNG seed.
     pub seed: u64,
+    /// Directory to write `BENCH_<workload>.json` reports into.
+    pub json: Option<String>,
+    /// Baseline file to compare fresh reports against (regression guard).
+    pub check: Option<String>,
+    /// Skip measuring; load existing reports from `--json` and only guard.
+    pub guard_only: bool,
+    /// Write all fresh reports as a combined baseline file at this path.
+    pub baseline_out: Option<String>,
+    /// Hard parse errors (a report-pipeline flag missing its value). The
+    /// `skm-bench` binary refuses to run when this is non-empty — a guard
+    /// invocation that silently dropped `--check` would green-light
+    /// regressions.
+    pub errors: Vec<String>,
 }
 
 impl Default for BenchArgs {
@@ -42,6 +68,27 @@ impl Default for BenchArgs {
             dataset: None,
             csv: false,
             seed: 42,
+            json: None,
+            check: None,
+            guard_only: false,
+            baseline_out: None,
+            errors: Vec::new(),
+        }
+    }
+}
+
+/// Takes the value of a path-taking flag; a missing value or a following
+/// `--flag` token is recorded as a hard error instead of being swallowed.
+fn take_path_value<I: Iterator<Item = String>>(
+    iter: &mut std::iter::Peekable<I>,
+    flag: &str,
+    errors: &mut Vec<String>,
+) -> Option<String> {
+    match iter.peek() {
+        Some(v) if !v.starts_with("--") => iter.next(),
+        _ => {
+            errors.push(format!("flag `{flag}` requires a value"));
+            None
         }
     }
 }
@@ -53,7 +100,7 @@ impl BenchArgs {
     /// additions do not break older invocations.
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut parsed = Self::default();
-        let mut iter = args.into_iter();
+        let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--points" => {
@@ -93,6 +140,17 @@ impl BenchArgs {
                     parsed.runs = 5;
                 }
                 "--csv" => parsed.csv = true,
+                "--json" => {
+                    parsed.json = take_path_value(&mut iter, "--json", &mut parsed.errors);
+                }
+                "--check" => {
+                    parsed.check = take_path_value(&mut iter, "--check", &mut parsed.errors);
+                }
+                "--guard-only" => parsed.guard_only = true,
+                "--baseline-out" => {
+                    parsed.baseline_out =
+                        take_path_value(&mut iter, "--baseline-out", &mut parsed.errors);
+                }
                 other => eprintln!("ignoring unknown argument `{other}`"),
             }
         }
@@ -176,6 +234,40 @@ mod tests {
     fn unknown_flags_are_ignored() {
         let args = parse(&["--bogus", "--points", "900"]);
         assert_eq!(args.points, 900);
+    }
+
+    #[test]
+    fn report_pipeline_flags() {
+        let args = parse(&[
+            "--json",
+            "out-dir",
+            "--check",
+            "bench/baseline.json",
+            "--guard-only",
+            "--baseline-out",
+            "fresh.json",
+        ]);
+        assert_eq!(args.json.as_deref(), Some("out-dir"));
+        assert_eq!(args.check.as_deref(), Some("bench/baseline.json"));
+        assert!(args.guard_only);
+        assert_eq!(args.baseline_out.as_deref(), Some("fresh.json"));
+        assert!(args.errors.is_empty());
+        assert!(!parse(&[]).guard_only);
+    }
+
+    #[test]
+    fn missing_pipeline_flag_values_are_hard_errors() {
+        // `--check` swallowing `--guard-only` (or having no value at all)
+        // must not silently disable the regression guard.
+        let args = parse(&["--json", "out", "--check", "--guard-only"]);
+        assert_eq!(args.check, None);
+        assert!(args.guard_only, "flag after the missing value still parses");
+        assert_eq!(args.errors.len(), 1);
+        assert!(args.errors[0].contains("--check"));
+
+        let args = parse(&["--json"]);
+        assert_eq!(args.json, None);
+        assert_eq!(args.errors.len(), 1);
     }
 
     #[test]

@@ -359,8 +359,8 @@ mod tests {
             k: 3,
             runs: 1,
             dataset: Some(DatasetSpec::Power),
-            csv: false,
             seed: 7,
+            ..BenchArgs::default()
         }
     }
 

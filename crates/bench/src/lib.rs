@@ -8,6 +8,9 @@
 //!   Intrusion-like, Drift) at configurable stream lengths,
 //! * [`runner`] — construction of the algorithms under test and the stream
 //!   loop that measures update time, query time, accuracy and memory,
+//! * [`report`] — machine-readable `BENCH_<workload>.json` reports
+//!   (median/p95 latencies, coreset build time, peak memory) and the
+//!   baseline comparison behind CI's regression guard,
 //! * [`cli`] — the tiny flag parser shared by the figure/table binaries.
 //!
 //! Each figure or table of the paper has a dedicated binary in `src/bin/`
@@ -20,10 +23,14 @@
 
 pub mod cli;
 pub mod figures;
+pub mod report;
 pub mod runner;
 pub mod tables;
 pub mod workloads;
 
 pub use cli::BenchArgs;
+pub use report::{
+    compare_reports, measure_workload, BaselineFile, LatencySummary, Regression, WorkloadReport,
+};
 pub use runner::{make_algorithm, run_stream, AlgorithmKind, StreamRunResult};
 pub use workloads::{build_dataset, DatasetSpec};

@@ -344,8 +344,8 @@ mod tests {
             k: 5,
             runs: 1,
             dataset: Some(DatasetSpec::Power),
-            csv: false,
             seed: 3,
+            ..BenchArgs::default()
         }
     }
 

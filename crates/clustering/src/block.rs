@@ -1,0 +1,558 @@
+//! Flat structure-of-arrays point storage with cached squared norms.
+//!
+//! [`PointBlock`] is the hot-path representation used by every
+//! distance-heavy inner loop in the workspace: one contiguous `Vec<f64>` of
+//! `n × d` coordinates, a parallel weight slice, and a cached `‖x‖²` per
+//! point. The cached norms are what make the fused distance kernel
+//! ([`crate::distance::sq_dist_block`]) pay off — once `‖x‖²` is known,
+//! every `‖x − c‖²` collapses to a single dot product, and the norms are
+//! computed exactly once per point no matter how many passes k-means++
+//! seeding, Lloyd iterations or repeated k-means runs make over the data.
+//!
+//! [`BlockView`] is the borrowed form that the kernels actually consume. It
+//! lets [`crate::PointSet`]-based public APIs stay thin adapters: they
+//! compute a norm cache once per call, borrow the coordinates they already
+//! own, and hand a `BlockView` to the same fused core the block-native
+//! entry points use.
+
+use crate::distance::{squared_norm, squared_norms};
+use crate::error::{ClusteringError, Result};
+use crate::point::PointSet;
+
+/// A weighted point block in `R^d`: flat row-major coordinates, per-point
+/// weights and cached squared norms, all in parallel arrays.
+///
+/// Unlike [`PointSet`] (the general-purpose container used for storage and
+/// serialization), a `PointBlock` maintains `norms[i] = ‖point i‖²` as an
+/// invariant on every push, so fused distance kernels never recompute norms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointBlock {
+    dim: usize,
+    coords: Vec<f64>,
+    weights: Vec<f64>,
+    norms: Vec<f64>,
+}
+
+impl PointBlock {
+    /// Creates an empty block of dimension `dim` without allocating.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "point dimension must be positive");
+        Self {
+            dim,
+            coords: Vec::new(),
+            weights: Vec::new(),
+            norms: Vec::new(),
+        }
+    }
+
+    /// Creates an empty block with capacity for `capacity` points.
+    #[must_use]
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "point dimension must be positive");
+        Self {
+            dim,
+            coords: Vec::with_capacity(capacity * dim),
+            weights: Vec::with_capacity(capacity),
+            norms: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Builds a block from a [`PointSet`], computing the norm cache in one
+    /// `O(nd)` pass.
+    #[must_use]
+    pub fn from_point_set(points: &PointSet) -> Self {
+        Self {
+            dim: points.dim(),
+            coords: points.coords().to_vec(),
+            weights: points.weights().to_vec(),
+            norms: squared_norms(points.coords(), points.dim()),
+        }
+    }
+
+    /// Builds a block by taking ownership of a [`PointSet`]'s buffers (no
+    /// coordinate copy); only the norm cache is computed.
+    #[must_use]
+    pub fn from_point_set_owned(points: PointSet) -> Self {
+        let (dim, coords, weights) = points.into_raw();
+        let norms = squared_norms(&coords, dim);
+        Self {
+            dim,
+            coords,
+            weights,
+            norms,
+        }
+    }
+
+    /// Reserves spare capacity for at least `additional` more points, so
+    /// subsequent pushes write straight into the reserved tail without
+    /// reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.coords.reserve(additional * self.dim);
+        self.weights.reserve(additional);
+        self.norms.reserve(additional);
+    }
+
+    /// Number of points the block can hold before its coordinate buffer
+    /// must grow.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.weights
+            .capacity()
+            .min(self.coords.capacity() / self.dim)
+    }
+
+    /// Dimension `d` of the points.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` when the block holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Appends a point, computing and caching its squared norm.
+    ///
+    /// # Panics
+    /// Panics if the point's dimension differs from the block's dimension.
+    #[inline]
+    pub fn push(&mut self, point: &[f64], weight: f64) {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        self.coords.extend_from_slice(point);
+        self.weights.push(weight);
+        self.norms.push(squared_norm(point));
+    }
+
+    /// Appends a point, reporting shape/weight problems as errors.
+    ///
+    /// # Errors
+    /// Returns an error if the dimension does not match or the weight is
+    /// negative / non-finite.
+    pub fn try_push(&mut self, point: &[f64], weight: f64) -> Result<()> {
+        if point.len() != self.dim {
+            return Err(ClusteringError::DimensionMismatch {
+                expected: self.dim,
+                got: point.len(),
+            });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(ClusteringError::InvalidWeight { index: self.len() });
+        }
+        self.push(point, weight);
+        Ok(())
+    }
+
+    /// Appends every point of `set`, extending the norm cache.
+    ///
+    /// # Errors
+    /// Returns an error if dimensions differ.
+    pub fn extend_from_set(&mut self, set: &PointSet) -> Result<()> {
+        if set.dim() != self.dim {
+            return Err(ClusteringError::DimensionMismatch {
+                expected: self.dim,
+                got: set.dim(),
+            });
+        }
+        self.coords.extend_from_slice(set.coords());
+        self.weights.extend_from_slice(set.weights());
+        self.norms
+            .extend(set.coords().chunks_exact(self.dim).map(squared_norm));
+        Ok(())
+    }
+
+    /// Appends every point of `other`, **reusing** its cached norms instead
+    /// of recomputing them — this is how query paths thread the norms a
+    /// bucket buffer computed at update time through to the fused kernels.
+    ///
+    /// # Errors
+    /// Returns an error if dimensions differ.
+    pub fn extend_from_block(&mut self, other: &PointBlock) -> Result<()> {
+        if other.dim != self.dim {
+            return Err(ClusteringError::DimensionMismatch {
+                expected: self.dim,
+                got: other.dim,
+            });
+        }
+        self.coords.extend_from_slice(&other.coords);
+        self.weights.extend_from_slice(&other.weights);
+        self.norms.extend_from_slice(&other.norms);
+        Ok(())
+    }
+
+    /// Appends every point of this block to `set`.
+    ///
+    /// # Errors
+    /// Returns an error if dimensions differ.
+    pub fn append_to(&self, set: &mut PointSet) -> Result<()> {
+        if set.dim() != self.dim {
+            return Err(ClusteringError::DimensionMismatch {
+                expected: set.dim(),
+                got: self.dim,
+            });
+        }
+        set.extend_from_raw(&self.coords, &self.weights);
+        Ok(())
+    }
+
+    /// Coordinates of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Weight of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Cached squared norm `‖point i‖²`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    #[inline]
+    pub fn norm(&self, i: usize) -> f64 {
+        self.norms[i]
+    }
+
+    /// Raw row-major coordinate storage.
+    #[must_use]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Raw weight storage.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Cached squared-norm storage (`norms()[i] = ‖point i‖²`).
+    #[must_use]
+    pub fn norms(&self) -> &[f64] {
+        &self.norms
+    }
+
+    /// Sum of all weights.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Removes all points while keeping the allocations.
+    pub fn clear(&mut self) {
+        self.coords.clear();
+        self.weights.clear();
+        self.norms.clear();
+    }
+
+    /// Borrowed view suitable for the fused kernels.
+    #[must_use]
+    pub fn view(&self) -> BlockView<'_> {
+        BlockView {
+            dim: self.dim,
+            coords: &self.coords,
+            weights: &self.weights,
+            norms: &self.norms,
+        }
+    }
+
+    /// Converts into a [`PointSet`] by moving the coordinate and weight
+    /// buffers (no copy); the norm cache is dropped.
+    #[must_use]
+    pub fn into_point_set(self) -> PointSet {
+        PointSet::from_rows(self.dim, self.coords, self.weights)
+            .expect("PointBlock invariants guarantee a valid PointSet")
+    }
+
+    /// Copies the block into a fresh [`PointSet`].
+    #[must_use]
+    pub fn to_point_set(&self) -> PointSet {
+        PointSet::from_rows(self.dim, self.coords.clone(), self.weights.clone())
+            .expect("PointBlock invariants guarantee a valid PointSet")
+    }
+}
+
+impl From<&PointSet> for PointBlock {
+    fn from(points: &PointSet) -> Self {
+        PointBlock::from_point_set(points)
+    }
+}
+
+impl From<PointBlock> for PointSet {
+    fn from(block: PointBlock) -> Self {
+        block.into_point_set()
+    }
+}
+
+/// Borrowed structure-of-arrays view over weighted points with a norm cache.
+///
+/// This is the argument type of every fused inner loop. Block-native code
+/// gets it from [`PointBlock::view`]; [`PointSet`] adapters build it with
+/// [`BlockView::over`] after computing a norm cache once per call.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a> {
+    dim: usize,
+    coords: &'a [f64],
+    weights: &'a [f64],
+    norms: &'a [f64],
+}
+
+impl<'a> BlockView<'a> {
+    /// Builds a view over a [`PointSet`] and a caller-provided norm cache
+    /// (one `‖x‖²` per point, e.g. from [`squared_norms`]).
+    ///
+    /// # Panics
+    /// Panics if `norms` does not have exactly one entry per point.
+    #[must_use]
+    pub fn over(points: &'a PointSet, norms: &'a [f64]) -> Self {
+        assert_eq!(norms.len(), points.len(), "norm cache length mismatch");
+        Self {
+            dim: points.dim(),
+            coords: points.coords(),
+            weights: points.weights(),
+            norms,
+        }
+    }
+
+    /// Dimension `d` of the points.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` when the view covers no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Coordinates of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    #[inline]
+    pub fn point(&self, i: usize) -> &'a [f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Weight of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Cached squared norm of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    #[inline]
+    pub fn norm(&self, i: usize) -> f64 {
+        self.norms[i]
+    }
+
+    /// Raw row-major coordinates.
+    #[must_use]
+    pub fn coords(&self) -> &'a [f64] {
+        self.coords
+    }
+
+    /// Raw weights.
+    #[must_use]
+    pub fn weights(&self) -> &'a [f64] {
+        self.weights
+    }
+
+    /// Raw norm cache.
+    #[must_use]
+    pub fn norms(&self) -> &'a [f64] {
+        self.norms
+    }
+
+    /// Iterator over `(coordinates, weight, squared norm)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a [f64], f64, f64)> + 'a {
+        self.coords
+            .chunks_exact(self.dim)
+            .zip(self.weights.iter().copied())
+            .zip(self.norms.iter().copied())
+            .map(|((p, w), n)| (p, w, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::squared_distance;
+
+    fn sample_block() -> PointBlock {
+        let mut b = PointBlock::new(2);
+        b.push(&[3.0, 4.0], 1.0);
+        b.push(&[1.0, 0.0], 2.0);
+        b.push(&[0.0, 0.0], 0.5);
+        b
+    }
+
+    #[test]
+    fn push_maintains_norm_cache() {
+        let b = sample_block();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.norms(), &[25.0, 1.0, 0.0]);
+        assert_eq!(b.point(0), &[3.0, 4.0]);
+        assert_eq!(b.weight(1), 2.0);
+        assert_eq!(b.norm(0), 25.0);
+        assert!((b.total_weight() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_push_validates() {
+        let mut b = PointBlock::new(2);
+        assert!(b.try_push(&[1.0], 1.0).is_err());
+        assert!(b.try_push(&[1.0, 2.0], -1.0).is_err());
+        assert!(b.try_push(&[1.0, 2.0], f64::NAN).is_err());
+        assert!(b.try_push(&[1.0, 2.0], 1.0).is_ok());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn round_trips_with_point_set() {
+        let b = sample_block();
+        let set = b.to_point_set();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.point(0), &[3.0, 4.0]);
+        let back = PointBlock::from_point_set(&set);
+        assert_eq!(back, b);
+        let moved = b.clone().into_point_set();
+        assert_eq!(moved, set);
+    }
+
+    #[test]
+    fn extend_from_set_extends_norms() {
+        let mut b = PointBlock::new(2);
+        let set = sample_block().to_point_set();
+        b.extend_from_set(&set).unwrap();
+        assert_eq!(b.norms(), &[25.0, 1.0, 0.0]);
+        let bad = PointSet::new(3);
+        assert!(b.extend_from_set(&bad).is_err());
+    }
+
+    #[test]
+    fn extend_from_block_copies_cached_norms() {
+        let mut b = PointBlock::new(2);
+        b.push(&[1.0, 1.0], 1.0);
+        let other = sample_block();
+        b.extend_from_block(&other).unwrap();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.norms(), &[2.0, 25.0, 1.0, 0.0]);
+        assert_eq!(b.point(1), &[3.0, 4.0]);
+        let wrong = PointBlock::new(3);
+        assert!(b.extend_from_block(&wrong).is_err());
+    }
+
+    #[test]
+    fn from_point_set_owned_matches_borrowed_conversion() {
+        let set = sample_block().to_point_set();
+        let owned = PointBlock::from_point_set_owned(set.clone());
+        assert_eq!(owned, PointBlock::from_point_set(&set));
+    }
+
+    #[test]
+    fn append_to_copies_points_and_weights() {
+        let b = sample_block();
+        let mut set = PointSet::new(2);
+        set.push(&[9.0, 9.0], 4.0);
+        b.append_to(&mut set).unwrap();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.point(1), &[3.0, 4.0]);
+        assert_eq!(set.weight(3), 0.5);
+        let mut wrong = PointSet::new(3);
+        assert!(b.append_to(&mut wrong).is_err());
+    }
+
+    #[test]
+    fn reserve_creates_spare_capacity() {
+        let mut b = PointBlock::new(4);
+        b.reserve(100);
+        assert!(b.capacity() >= 100);
+        let before = b.coords().as_ptr();
+        for i in 0..100 {
+            b.push(&[f64::from(i), 0.0, 0.0, 1.0], 1.0);
+        }
+        // Writing into the reserved tail must not move the buffer.
+        assert_eq!(b.coords().as_ptr(), before);
+    }
+
+    #[test]
+    fn clear_keeps_dim_and_allocation() {
+        let mut b = sample_block();
+        b.reserve(10);
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.capacity(), cap);
+    }
+
+    #[test]
+    fn view_exposes_consistent_triples() {
+        let b = sample_block();
+        let view = b.view();
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.dim(), 2);
+        for (i, (p, w, n)) in view.iter().enumerate() {
+            assert_eq!(p, view.point(i));
+            assert_eq!(w, view.weight(i));
+            assert!((n - squared_distance(p, &[0.0, 0.0])).abs() < 1e-12);
+            assert_eq!(n, view.norm(i));
+        }
+    }
+
+    #[test]
+    fn view_over_point_set_with_norms() {
+        let set = sample_block().to_point_set();
+        let norms = squared_norms(set.coords(), set.dim());
+        let view = BlockView::over(&set, &norms);
+        assert_eq!(view.norm(0), 25.0);
+        assert_eq!(view.weights(), set.weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "norm cache length mismatch")]
+    fn view_over_rejects_wrong_norm_count() {
+        let set = sample_block().to_point_set();
+        let norms = [1.0];
+        let _ = BlockView::over(&set, &norms);
+    }
+}

@@ -4,11 +4,30 @@
 //! center set `Ψ`, the clustering cost is
 //! `φ_Ψ(P) = Σ_{x∈P} w(x) · D²(x, Ψ)` — the within-cluster sum of squares
 //! (SSQ) used as the accuracy metric throughout the evaluation.
+//!
+//! All entry points route through one fused inner loop over a
+//! [`BlockView`]: the [`PointSet`] adapters compute a squared-norm cache
+//! once per call, while the `_block` variants reuse the norms cached in a
+//! [`PointBlock`].
 
+use crate::block::{BlockView, PointBlock};
 use crate::centers::Centers;
-use crate::distance::nearest_center;
+use crate::distance::{nearest_block_row, squared_norms};
 use crate::error::{ClusteringError, Result};
 use crate::point::PointSet;
+
+fn check_shapes(points_dim: usize, centers: &Centers) -> Result<()> {
+    if centers.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if points_dim != centers.dim() {
+        return Err(ClusteringError::DimensionMismatch {
+            expected: points_dim,
+            got: centers.dim(),
+        });
+    }
+    Ok(())
+}
 
 /// Weighted k-means cost `φ_Ψ(P)` of `points` with respect to `centers`.
 ///
@@ -22,22 +41,33 @@ pub fn kmeans_cost(points: &PointSet, centers: &Centers) -> Result<f64> {
     if points.is_empty() {
         return Ok(0.0);
     }
-    if centers.is_empty() {
-        return Err(ClusteringError::EmptyInput);
+    check_shapes(points.dim(), centers)?;
+    let norms = squared_norms(points.coords(), points.dim());
+    Ok(kmeans_cost_view(BlockView::over(points, &norms), centers))
+}
+
+/// [`kmeans_cost`] over a [`PointBlock`], reusing its cached norms.
+///
+/// # Errors
+/// Same failure modes as [`kmeans_cost`].
+pub fn kmeans_cost_block(block: &PointBlock, centers: &Centers) -> Result<f64> {
+    if block.is_empty() {
+        return Ok(0.0);
     }
-    if points.dim() != centers.dim() {
-        return Err(ClusteringError::DimensionMismatch {
-            expected: points.dim(),
-            got: centers.dim(),
-        });
-    }
+    check_shapes(block.dim(), centers)?;
+    Ok(kmeans_cost_view(block.view(), centers))
+}
+
+/// Fused-kernel core of [`kmeans_cost`]. The caller has validated shapes.
+pub(crate) fn kmeans_cost_view(view: BlockView<'_>, centers: &Centers) -> f64 {
+    let center_norms = squared_norms(centers.coords(), centers.dim());
     let mut cost = 0.0;
-    for (p, w) in points.iter() {
-        // Unwrap is safe: centers is non-empty.
-        let (_, d2) = nearest_center(p, centers).expect("non-empty centers");
+    for (p, w, n) in view.iter() {
+        let (_, d2) = nearest_block_row(p, n, centers.coords(), &center_norms, centers.dim())
+            .expect("non-empty centers");
         cost += w * d2;
     }
-    Ok(cost)
+    cost
 }
 
 /// Assignment of each point to its nearest center.
@@ -56,29 +86,38 @@ pub struct Assignment {
 /// # Errors
 /// Same failure modes as [`kmeans_cost`].
 pub fn assign(points: &PointSet, centers: &Centers) -> Result<Assignment> {
-    if centers.is_empty() {
-        return Err(ClusteringError::EmptyInput);
-    }
-    if points.dim() != centers.dim() {
-        return Err(ClusteringError::DimensionMismatch {
-            expected: points.dim(),
-            got: centers.dim(),
-        });
-    }
-    let mut labels = Vec::with_capacity(points.len());
+    check_shapes(points.dim(), centers)?;
+    let norms = squared_norms(points.coords(), points.dim());
+    Ok(assign_view(BlockView::over(points, &norms), centers))
+}
+
+/// [`assign`] over a [`PointBlock`], reusing its cached norms.
+///
+/// # Errors
+/// Same failure modes as [`kmeans_cost`].
+pub fn assign_block(block: &PointBlock, centers: &Centers) -> Result<Assignment> {
+    check_shapes(block.dim(), centers)?;
+    Ok(assign_view(block.view(), centers))
+}
+
+/// Fused-kernel core of [`assign`]. The caller has validated shapes.
+pub(crate) fn assign_view(view: BlockView<'_>, centers: &Centers) -> Assignment {
+    let center_norms = squared_norms(centers.coords(), centers.dim());
+    let mut labels = Vec::with_capacity(view.len());
     let mut cluster_weights = vec![0.0; centers.len()];
     let mut cost = 0.0;
-    for (p, w) in points.iter() {
-        let (idx, d2) = nearest_center(p, centers).expect("non-empty centers");
+    for (p, w, n) in view.iter() {
+        let (idx, d2) = nearest_block_row(p, n, centers.coords(), &center_norms, centers.dim())
+            .expect("non-empty centers");
         labels.push(idx);
         cluster_weights[idx] += w;
         cost += w * d2;
     }
-    Ok(Assignment {
+    Assignment {
         labels,
         cost,
         cluster_weights,
-    })
+    }
 }
 
 /// Per-cluster contribution to the total cost. `result[j]` is the weighted
@@ -87,18 +126,14 @@ pub fn assign(points: &PointSet, centers: &Centers) -> Result<Assignment> {
 /// # Errors
 /// Same failure modes as [`kmeans_cost`].
 pub fn per_cluster_cost(points: &PointSet, centers: &Centers) -> Result<Vec<f64>> {
-    if centers.is_empty() {
-        return Err(ClusteringError::EmptyInput);
-    }
-    if points.dim() != centers.dim() {
-        return Err(ClusteringError::DimensionMismatch {
-            expected: points.dim(),
-            got: centers.dim(),
-        });
-    }
+    check_shapes(points.dim(), centers)?;
+    let norms = squared_norms(points.coords(), points.dim());
+    let view = BlockView::over(points, &norms);
+    let center_norms = squared_norms(centers.coords(), centers.dim());
     let mut out = vec![0.0; centers.len()];
-    for (p, w) in points.iter() {
-        let (idx, d2) = nearest_center(p, centers).expect("non-empty centers");
+    for (p, w, n) in view.iter() {
+        let (idx, d2) = nearest_block_row(p, n, centers.coords(), &center_norms, centers.dim())
+            .expect("non-empty centers");
         out[idx] += w * d2;
     }
     Ok(out)
@@ -185,6 +220,26 @@ mod tests {
         // Ties ([2,0] and [0,2] are equidistant) resolve to the first center.
         assert_eq!(a.cluster_weights, vec![3.0, 1.0]);
         assert!((a.cost - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_variants_agree_with_point_set_variants() {
+        let points = square_points();
+        let block = PointBlock::from_point_set(&points);
+        let centers = Centers::from_rows(2, &[vec![0.5, 0.5], vec![2.0, 2.0]]).unwrap();
+        let a = kmeans_cost(&points, &centers).unwrap();
+        let b = kmeans_cost_block(&block, &centers).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        let asg_a = assign(&points, &centers).unwrap();
+        let asg_b = assign_block(&block, &centers).unwrap();
+        assert_eq!(asg_a, asg_b);
+    }
+
+    #[test]
+    fn empty_block_has_zero_cost() {
+        let block = PointBlock::new(2);
+        let centers = Centers::from_rows(2, &[vec![0.0, 0.0]]).unwrap();
+        assert_eq!(kmeans_cost_block(&block, &centers).unwrap(), 0.0);
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! k-means++ is followed by up to 20 iterations of Lloyd's algorithm".
 //! It also serves as the batch baseline line in Figure 4.
 
+use crate::block::{BlockView, PointBlock};
 use crate::centers::Centers;
+use crate::distance::squared_norms;
 use crate::error::{ClusteringError, Result};
-use crate::kmeanspp::kmeanspp;
-use crate::lloyd::{lloyd, LloydConfig};
+use crate::kmeanspp::kmeanspp_view;
+use crate::lloyd::{lloyd_view, LloydConfig};
 use crate::point::PointSet;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -63,15 +65,38 @@ impl KMeans {
 
     /// Runs the procedure on a weighted point set.
     ///
+    /// This is a thin adapter over the fused kernel path: the point-norm
+    /// cache is computed once and shared by every seeding run, every Lloyd
+    /// iteration and every cost evaluation.
+    ///
     /// # Errors
     /// * [`ClusteringError::InvalidK`] if `k == 0`.
     /// * [`ClusteringError::EmptyInput`] if `points` is empty.
     /// * [`ClusteringError::InvalidParameter`] if `runs == 0`.
     pub fn fit<R: Rng + ?Sized>(&self, points: &PointSet, rng: &mut R) -> Result<KMeansResult> {
+        self.validate(points.is_empty())?;
+        let norms = squared_norms(points.coords(), points.dim());
+        Ok(self.fit_view(BlockView::over(points, &norms), rng))
+    }
+
+    /// [`KMeans::fit`] over a [`PointBlock`], reusing its cached norms.
+    ///
+    /// # Errors
+    /// Same failure modes as [`KMeans::fit`].
+    pub fn fit_block<R: Rng + ?Sized>(
+        &self,
+        block: &PointBlock,
+        rng: &mut R,
+    ) -> Result<KMeansResult> {
+        self.validate(block.is_empty())?;
+        Ok(self.fit_view(block.view(), rng))
+    }
+
+    fn validate(&self, empty_input: bool) -> Result<()> {
         if self.k == 0 {
             return Err(ClusteringError::InvalidK { k: self.k });
         }
-        if points.is_empty() {
+        if empty_input {
             return Err(ClusteringError::EmptyInput);
         }
         if self.runs == 0 {
@@ -80,7 +105,11 @@ impl KMeans {
                 message: "must be at least 1".to_string(),
             });
         }
+        Ok(())
+    }
 
+    /// Fused-kernel core shared by [`KMeans::fit`] and [`KMeans::fit_block`].
+    fn fit_view<R: Rng + ?Sized>(&self, view: BlockView<'_>, rng: &mut R) -> KMeansResult {
         let lloyd_config = LloydConfig {
             max_iterations: self.max_lloyd_iterations,
             tolerance: self.tolerance,
@@ -88,12 +117,12 @@ impl KMeans {
 
         let mut best: Option<KMeansResult> = None;
         for _ in 0..self.runs {
-            let seeded = kmeanspp(points, self.k, rng)?;
+            let seeded = kmeanspp_view(view, self.k, rng);
             let (centers, cost, iterations) = if self.max_lloyd_iterations == 0 {
-                let cost = crate::cost::kmeans_cost(points, &seeded)?;
+                let cost = crate::cost::kmeans_cost_view(view, &seeded);
                 (seeded, cost, 0)
             } else {
-                let out = lloyd(points, &seeded, lloyd_config)?;
+                let out = lloyd_view(view, &seeded, lloyd_config);
                 (out.centers, out.cost, out.iterations)
             };
             let candidate = KMeansResult {
@@ -106,7 +135,7 @@ impl KMeans {
                 _ => best = Some(candidate),
             }
         }
-        Ok(best.expect("runs >= 1"))
+        best.expect("runs >= 1")
     }
 }
 
@@ -197,6 +226,22 @@ mod tests {
         assert!(KMeans::new(2).with_runs(0).fit(&points, &mut rng).is_err());
         let empty = PointSet::new(2);
         assert!(KMeans::new(2).fit(&empty, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fit_block_matches_fit_exactly() {
+        let points = four_blobs();
+        let block = PointBlock::from_point_set(&points);
+        let a = KMeans::new(4)
+            .with_runs(2)
+            .fit(&points, &mut ChaCha8Rng::seed_from_u64(5))
+            .unwrap();
+        let b = KMeans::new(4)
+            .with_runs(2)
+            .fit_block(&block, &mut ChaCha8Rng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(a.centers.to_rows(), b.centers.to_rows());
+        assert!((a.cost - b.cost).abs() < 1e-12);
     }
 
     #[test]

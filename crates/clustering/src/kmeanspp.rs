@@ -11,8 +11,9 @@
 //! the D² distribution weighted: the probability of selecting point `x` as
 //! the next center is proportional to `w(x) · D²(x, Ψ_so_far)`.
 
+use crate::block::{BlockView, PointBlock};
 use crate::centers::Centers;
-use crate::distance::squared_distance;
+use crate::distance::sq_dist_block;
 use crate::error::{ClusteringError, Result};
 use crate::point::PointSet;
 use crate::sampling::{uniform_index, weighted_index};
@@ -35,6 +36,10 @@ use rand::Rng;
 /// Each returned center carries the weight of the input point it was copied
 /// from (callers that need assignment mass should run [`crate::cost::assign`]).
 ///
+/// This is a thin adapter over the fused kernel path: it computes a
+/// squared-norm cache once and delegates to the same core as
+/// [`kmeanspp_block`].
+///
 /// # Errors
 /// * [`ClusteringError::EmptyInput`] if `points` is empty.
 /// * [`ClusteringError::InvalidK`] if `k == 0`.
@@ -45,24 +50,61 @@ pub fn kmeanspp<R: Rng + ?Sized>(points: &PointSet, k: usize, rng: &mut R) -> Re
     if points.is_empty() {
         return Err(ClusteringError::EmptyInput);
     }
-    let n = points.len();
-    let dim = points.dim();
+    let norms = crate::distance::squared_norms(points.coords(), points.dim());
+    Ok(kmeanspp_view(BlockView::over(points, &norms), k, rng))
+}
+
+/// [`kmeanspp`] over a [`PointBlock`], reusing its cached squared norms so
+/// no per-call norm pass is needed.
+///
+/// # Errors
+/// Same failure modes as [`kmeanspp`].
+pub fn kmeanspp_block<R: Rng + ?Sized>(
+    block: &PointBlock,
+    k: usize,
+    rng: &mut R,
+) -> Result<Centers> {
+    if k == 0 {
+        return Err(ClusteringError::InvalidK { k });
+    }
+    if block.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    Ok(kmeanspp_view(block.view(), k, rng))
+}
+
+/// Fused-kernel core of k-means++ seeding. The caller guarantees a
+/// non-empty view and `k > 0`.
+///
+/// Every D² evaluation uses `‖x‖² − 2·x·c + ‖c‖²` with the point norm read
+/// from the view's cache and the center norm computed once per selected
+/// center, so the incremental distribution update costs one dot product per
+/// point per round.
+pub(crate) fn kmeanspp_view<R: Rng + ?Sized>(
+    view: BlockView<'_>,
+    k: usize,
+    rng: &mut R,
+) -> Centers {
+    let n = view.len();
+    let dim = view.dim();
     let k_eff = k.min(n);
 
     let mut centers = Centers::with_capacity(dim, k_eff);
 
     // First center: sample proportionally to weight (uniform if all weights
     // are zero).
-    let first = weighted_index(points.weights(), rng)
+    let first = weighted_index(view.weights(), rng)
         .or_else(|| uniform_index(n, rng))
         .expect("non-empty point set");
-    centers.push(points.point(first), points.weight(first));
+    centers.push(view.point(first), view.weight(first));
 
     // dist2[i] = w(i) * D²(point i, chosen centers); updated incrementally as
     // centers are added so seeding stays O(k d n).
-    let mut dist2: Vec<f64> = points
+    let first_norm = view.norm(first);
+    let first_center = centers.center(0);
+    let mut dist2: Vec<f64> = view
         .iter()
-        .map(|(p, w)| w * squared_distance(p, centers.center(0)))
+        .map(|(p, w, norm)| w * sq_dist_block(p, norm, first_center, first_norm))
         .collect();
 
     while centers.len() < k_eff {
@@ -73,17 +115,18 @@ pub fn kmeanspp<R: Rng + ?Sized>(points: &PointSet, k: usize, rng: &mut R) -> Re
             // return k centers (duplicates are acceptable, cost is 0).
             None => uniform_index(n, rng).expect("non-empty point set"),
         };
-        centers.push(points.point(chosen), points.weight(chosen));
-        let new_center_idx = centers.len() - 1;
-        // Incremental update of the D² distribution.
-        for (i, (p, w)) in points.iter().enumerate() {
-            let d = w * squared_distance(p, centers.center(new_center_idx));
+        let chosen_norm = view.norm(chosen);
+        centers.push(view.point(chosen), view.weight(chosen));
+        let new_center = centers.center(centers.len() - 1);
+        // Incremental update of the D² distribution through the fused kernel.
+        for (i, (p, w, norm)) in view.iter().enumerate() {
+            let d = w * sq_dist_block(p, norm, new_center, chosen_norm);
             if d < dist2[i] {
                 dist2[i] = d;
             }
         }
     }
-    Ok(centers)
+    centers
 }
 
 /// Runs k-means++ seeding `runs` times and returns the seeding with the
@@ -233,5 +276,25 @@ mod tests {
         let a = kmeanspp(&points, 3, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
         let b = kmeanspp(&points, 3, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
         assert_eq!(a.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn block_path_matches_point_set_path_exactly() {
+        // Both adapters feed the same fused core with identical norms, so
+        // given the same seed they must draw identical centers.
+        let points = three_clusters();
+        let block = crate::block::PointBlock::from_point_set(&points);
+        let a = kmeanspp(&points, 4, &mut ChaCha8Rng::seed_from_u64(21)).unwrap();
+        let b = kmeanspp_block(&block, 4, &mut ChaCha8Rng::seed_from_u64(21)).unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn block_path_rejects_invalid_inputs() {
+        let block = crate::block::PointBlock::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(kmeanspp_block(&block, 3, &mut rng).is_err());
+        let filled = crate::block::PointBlock::from_point_set(&three_clusters());
+        assert!(kmeanspp_block(&filled, 0, &mut rng).is_err());
     }
 }

@@ -8,8 +8,11 @@
 //!
 //! * [`PointSet`] — a weighted, dense, flat-storage point set in `R^d`
 //!   (Problem 1 of the paper works on weighted points).
+//! * [`PointBlock`] / [`BlockView`] — the hot-path structure-of-arrays form
+//!   with cached squared norms that feeds the fused distance kernels.
 //! * [`Centers`] — a set of `k` cluster centers.
-//! * [`distance`] — squared-Euclidean kernels and nearest-center search.
+//! * [`distance`] — squared-Euclidean kernels (legacy and fused) and
+//!   nearest-center search.
 //! * [`cost`] — the k-means objective `φ_Ψ(P)` (weighted SSQ) and point
 //!   assignments.
 //! * [`kmeanspp`] — the weighted k-means++ seeding algorithm (Theorem 1).
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod block;
 pub mod centers;
 pub mod cost;
 pub mod distance;
@@ -55,6 +59,7 @@ pub mod lloyd;
 pub mod point;
 pub mod sampling;
 
+pub use block::{BlockView, PointBlock};
 pub use centers::Centers;
 pub use error::{ClusteringError, Result};
 pub use kmeans::{KMeans, KMeansResult};
@@ -62,6 +67,7 @@ pub use point::PointSet;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::block::{BlockView, PointBlock};
     pub use crate::centers::Centers;
     pub use crate::cost::{assign, kmeans_cost};
     pub use crate::error::{ClusteringError, Result};

@@ -6,9 +6,10 @@
 //! and moving every center to the weighted centroid of its assigned points;
 //! the cost is non-increasing across iterations.
 
+use crate::block::{BlockView, PointBlock};
 use crate::centers::Centers;
-use crate::cost::assign;
-use crate::distance::nearest_center;
+use crate::cost::assign_view;
+use crate::distance::{nearest_block_row, squared_norms};
 use crate::error::{ClusteringError, Result};
 use crate::point::PointSet;
 
@@ -50,6 +51,10 @@ impl Default for LloydConfig {
 /// the most to the cost, a standard remedy that keeps exactly `k` centers
 /// alive.
 ///
+/// This is a thin adapter over the fused kernel path: the point-norm cache
+/// is computed once and reused by **every** iteration (and the final cost
+/// evaluation), which is where the cached-norm representation pays off most.
+///
 /// # Errors
 /// * [`ClusteringError::EmptyInput`] if `points` or `initial` is empty.
 /// * Dimension mismatch between `points` and `initial`.
@@ -63,8 +68,39 @@ pub fn lloyd(points: &PointSet, initial: &Centers, config: LloydConfig) -> Resul
             got: initial.dim(),
         });
     }
+    let norms = squared_norms(points.coords(), points.dim());
+    Ok(lloyd_view(BlockView::over(points, &norms), initial, config))
+}
 
-    let dim = points.dim();
+/// [`lloyd`] over a [`PointBlock`], reusing its cached squared norms.
+///
+/// # Errors
+/// Same failure modes as [`lloyd`].
+pub fn lloyd_block(
+    block: &PointBlock,
+    initial: &Centers,
+    config: LloydConfig,
+) -> Result<LloydOutcome> {
+    if block.is_empty() || initial.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if block.dim() != initial.dim() {
+        return Err(ClusteringError::DimensionMismatch {
+            expected: block.dim(),
+            got: initial.dim(),
+        });
+    }
+    Ok(lloyd_view(block.view(), initial, config))
+}
+
+/// Fused-kernel core of Lloyd's algorithm. The caller has validated shapes
+/// and non-emptiness.
+pub(crate) fn lloyd_view(
+    view: BlockView<'_>,
+    initial: &Centers,
+    config: LloydConfig,
+) -> LloydOutcome {
+    let dim = view.dim();
     let k = initial.len();
     let mut centers = initial.clone();
     let mut prev_cost = f64::INFINITY;
@@ -75,14 +111,18 @@ pub fn lloyd(points: &PointSet, initial: &Centers, config: LloydConfig) -> Resul
         iterations += 1;
 
         // Assignment step; also gives the cost of the *current* centers.
+        // Center norms change every iteration (centers move) and are
+        // recomputed once per iteration; point norms come from the cache.
+        let center_norms = squared_norms(centers.coords(), dim);
         let mut sums = vec![0.0; k * dim];
         let mut masses = vec![0.0; k];
         let mut cost = 0.0;
         // Track the single worst point for empty-cluster reseeding.
         let mut worst_point = 0usize;
         let mut worst_contrib = -1.0;
-        for (i, (p, w)) in points.iter().enumerate() {
-            let (idx, d2) = nearest_center(p, &centers).expect("non-empty centers");
+        for (i, (p, w, n)) in view.iter().enumerate() {
+            let (idx, d2) = nearest_block_row(p, n, centers.coords(), &center_norms, dim)
+                .expect("non-empty centers");
             cost += w * d2;
             masses[idx] += w;
             let row = &mut sums[idx * dim..(idx + 1) * dim];
@@ -117,26 +157,26 @@ pub fn lloyd(points: &PointSet, initial: &Centers, config: LloydConfig) -> Resul
                 }
                 *centers.weight_mut(j) = masses[j];
             } else {
-                let p = points.point(worst_point);
+                let p = view.point(worst_point);
                 centers.center_mut(j).copy_from_slice(p);
-                *centers.weight_mut(j) = points.weight(worst_point);
+                *centers.weight_mut(j) = view.weight(worst_point);
             }
         }
     }
 
     // Final cost of the returned centers (they may have moved after the last
     // cost evaluation above).
-    let final_assignment = assign(points, &centers)?;
+    let final_assignment = assign_view(view, &centers);
     let cost = final_assignment.cost.min(prev_cost);
     // Keep the cheaper of (last evaluated centers, updated centers): Lloyd
     // updates never increase cost in exact arithmetic, so this only guards
     // against floating-point noise.
-    Ok(LloydOutcome {
+    LloydOutcome {
         centers,
         cost,
         iterations,
         converged,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +269,18 @@ mod tests {
         let empty_points = PointSet::new(2);
         let init = Centers::from_rows(2, &[vec![0.0, 0.0]]).unwrap();
         assert!(lloyd(&empty_points, &init, LloydConfig::default()).is_err());
+    }
+
+    #[test]
+    fn block_path_matches_point_set_path() {
+        let points = two_blobs();
+        let block = crate::block::PointBlock::from_point_set(&points);
+        let init = Centers::from_rows(2, &[vec![0.0, 0.0], vec![9.0, 9.0]]).unwrap();
+        let a = lloyd(&points, &init, LloydConfig::default()).unwrap();
+        let b = lloyd_block(&block, &init, LloydConfig::default()).unwrap();
+        assert_eq!(a.centers.to_rows(), b.centers.to_rows());
+        assert_eq!(a.iterations, b.iterations);
+        assert!((a.cost - b.cost).abs() < 1e-12);
     }
 
     #[test]

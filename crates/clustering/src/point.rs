@@ -217,6 +217,21 @@ impl PointSet {
         Ok(())
     }
 
+    /// Appends points given as raw parallel slices. The caller guarantees
+    /// `coords.len() == weights.len() * self.dim` and valid weights; the
+    /// block type upholds this by construction.
+    pub(crate) fn extend_from_raw(&mut self, coords: &[f64], weights: &[f64]) {
+        debug_assert_eq!(coords.len(), weights.len() * self.dim);
+        self.data.extend_from_slice(coords);
+        self.weights.extend_from_slice(weights);
+    }
+
+    /// Decomposes into `(dim, coords, weights)`, transferring the buffers
+    /// without copying (used by the block type for owned conversions).
+    pub(crate) fn into_raw(self) -> (usize, Vec<f64>, Vec<f64>) {
+        (self.dim, self.data, self.weights)
+    }
+
     /// Removes all points while keeping the allocation.
     pub fn clear(&mut self) {
         self.data.clear();

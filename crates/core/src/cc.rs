@@ -16,12 +16,12 @@ use crate::cache::CoresetCache;
 use crate::clusterer::{QueryStats, StreamingClusterer};
 use crate::config::StreamConfig;
 use crate::coreset_tree::CoresetTree;
-use crate::driver::{extract_centers, BucketBuffer};
+use crate::driver::{extract_centers_block, BucketBuffer};
 use crate::numeric::{major, minor_term};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use skm_clustering::error::{ClusteringError, Result};
-use skm_clustering::{Centers, PointSet};
+use skm_clustering::{Centers, PointBlock};
 use skm_coreset::coreset::Coreset;
 use skm_coreset::merge::merge_coresets;
 
@@ -146,22 +146,24 @@ impl CachedCoresetTree {
         Ok(Some((reduced, stats)))
     }
 
-    /// The candidate point set a query hands to k-means++: the CC coreset
-    /// for `[1, N]` unioned with the partially filled base bucket.
+    /// The candidate points a query hands to k-means++ (as a norm-cached
+    /// block): the CC coreset for `[1, N]` unioned with the partially
+    /// filled base bucket, whose update-time norm cache is reused verbatim.
     ///
     /// # Errors
     /// Returns [`ClusteringError::EmptyInput`] when no points have arrived.
-    pub fn query_candidates(&mut self) -> Result<(PointSet, QueryStats)> {
+    pub fn query_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
         if self.buffer.points_seen() == 0 {
             return Err(ClusteringError::EmptyInput);
         }
-        let partial = self.buffer.partial();
         match self.query_coreset()? {
             Some((coreset, mut stats)) => {
-                let mut candidates = coreset.into_points();
-                if let Some(p) = partial {
+                let mut candidates = PointBlock::from_point_set_owned(coreset.into_points());
+                if let Some(p) = self.buffer.partial() {
                     if !p.is_empty() {
-                        candidates.extend_from(&p)?;
+                        // Borrowed append — no bucket-sized clone per query,
+                        // and the buffered points' norms ride along.
+                        candidates.extend_from_block(p)?;
                         stats.coresets_merged += 1;
                     }
                 }
@@ -170,7 +172,11 @@ impl CachedCoresetTree {
                 Ok((candidates, stats))
             }
             None => {
-                let candidates = partial.ok_or(ClusteringError::EmptyInput)?;
+                let candidates = self
+                    .buffer
+                    .partial()
+                    .cloned()
+                    .ok_or(ClusteringError::EmptyInput)?;
                 let stats = QueryStats {
                     coresets_merged: 1,
                     candidate_points: candidates.len(),
@@ -191,14 +197,15 @@ impl StreamingClusterer for CachedCoresetTree {
 
     fn update(&mut self, point: &[f64]) -> Result<()> {
         if let Some(full_bucket) = self.buffer.push(point)? {
-            self.tree.insert_bucket(full_bucket, &mut self.rng)?;
+            self.tree
+                .insert_bucket(full_bucket.into_point_set(), &mut self.rng)?;
         }
         Ok(())
     }
 
     fn query(&mut self) -> Result<Centers> {
         let (candidates, stats) = self.query_candidates()?;
-        let centers = extract_centers(&candidates, &self.config, &mut self.rng)?;
+        let centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
         self.last_stats = Some(stats);
         Ok(centers)
     }

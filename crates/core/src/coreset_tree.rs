@@ -142,23 +142,32 @@ impl CoresetTree {
 
     /// Union of all active buckets as one weighted point set, together with
     /// the number of buckets unioned and the maximum coreset level among
-    /// them. This is what `StreamCluster-Query` hands to k-means++ when the
-    /// plain CT algorithm is used.
+    /// them. Thin wrapper over [`CoresetTree::union_all_block`] (the form
+    /// the query path consumes).
     ///
     /// Returns `(empty set, 0, 0)` when the tree holds no buckets.
     #[must_use]
     pub fn union_all(&self, dim_hint: usize) -> (PointSet, usize, u32) {
+        let (block, merged, max_level) = self.union_all_block(dim_hint);
+        (block.into_point_set(), merged, max_level)
+    }
+
+    /// Like [`CoresetTree::union_all`], but the union is assembled as a
+    /// norm-cached [`skm_clustering::PointBlock`] so the query-side k-means
+    /// runs entirely on the fused kernels without a separate norm pass.
+    #[must_use]
+    pub fn union_all_block(&self, dim_hint: usize) -> (skm_clustering::PointBlock, usize, u32) {
         let coresets = self.active_coresets();
         if coresets.is_empty() {
-            return (PointSet::new(dim_hint.max(1)), 0, 0);
+            return (skm_clustering::PointBlock::new(dim_hint.max(1)), 0, 0);
         }
         let dim = coresets[0].points().dim();
         let total: usize = coresets.iter().map(|c| c.len()).sum();
-        let mut union = PointSet::with_capacity(dim, total);
+        let mut union = skm_clustering::PointBlock::with_capacity(dim, total);
         let mut max_level = 0;
         for c in &coresets {
             union
-                .extend_from(c.points())
+                .extend_from_set(c.points())
                 .expect("all tree buckets share one dimension");
             max_level = max_level.max(c.level());
         }

@@ -10,11 +10,11 @@
 use crate::clusterer::{QueryStats, StreamingClusterer};
 use crate::config::StreamConfig;
 use crate::coreset_tree::CoresetTree;
-use crate::driver::{extract_centers, BucketBuffer};
+use crate::driver::{extract_centers_block, BucketBuffer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use skm_clustering::error::{ClusteringError, Result};
-use skm_clustering::{Centers, PointSet};
+use skm_clustering::{Centers, PointBlock};
 
 /// Streaming clusterer built on the plain r-way coreset tree (Algorithm 2).
 ///
@@ -58,25 +58,24 @@ impl CoresetTreeClusterer {
         &self.tree
     }
 
-    /// The candidate point set a query would hand to k-means++: the union of
-    /// every active tree bucket plus the partially filled base bucket.
+    /// The candidate points a query would hand to k-means++ (as a
+    /// norm-cached block): the union of every active tree bucket plus the
+    /// partially filled base bucket, whose update-time norm cache is reused
+    /// verbatim.
     ///
     /// # Errors
     /// Returns [`ClusteringError::EmptyInput`] when no points have arrived.
-    pub fn query_candidates(&mut self) -> Result<(PointSet, QueryStats)> {
+    pub fn query_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
         if self.buffer.points_seen() == 0 {
             return Err(ClusteringError::EmptyInput);
         }
         let dim = self.buffer.dim().unwrap_or(1);
-        let (mut union, merged, max_level) = self.tree.union_all(dim);
-        let mut merged = merged;
+        let (mut union, mut merged, max_level) = self.tree.union_all_block(dim);
         if let Some(partial) = self.buffer.partial() {
             if !partial.is_empty() {
-                if union.is_empty() {
-                    union = partial;
-                } else {
-                    union.extend_from(&partial)?;
-                }
+                // Append the borrowed partial bucket directly — no
+                // bucket-sized clone, and its cached norms ride along.
+                union.extend_from_block(partial)?;
                 merged += 1;
             }
         }
@@ -98,14 +97,17 @@ impl StreamingClusterer for CoresetTreeClusterer {
 
     fn update(&mut self, point: &[f64]) -> Result<()> {
         if let Some(full_bucket) = self.buffer.push(point)? {
-            self.tree.insert_bucket(full_bucket, &mut self.rng)?;
+            // The block's coordinate and weight buffers move into the tree
+            // without copying; only the norm cache is dropped.
+            self.tree
+                .insert_bucket(full_bucket.into_point_set(), &mut self.rng)?;
         }
         Ok(())
     }
 
     fn query(&mut self) -> Result<Centers> {
         let (candidates, stats) = self.query_candidates()?;
-        let centers = extract_centers(&candidates, &self.config, &mut self.rng)?;
+        let centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
         self.last_stats = Some(stats);
         Ok(centers)
     }

@@ -15,13 +15,24 @@ use crate::config::StreamConfig;
 use rand::Rng;
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::kmeans::KMeans;
-use skm_clustering::{Centers, PointSet};
+use skm_clustering::{Centers, PointBlock, PointSet};
 
 /// Buffers arriving points into base buckets of `m` points.
+///
+/// The buffer is a [`PointBlock`]: the bucket's full capacity is reserved
+/// when its first point arrives, and every subsequent update writes the
+/// point (and its cached squared norm) straight into the block's spare
+/// capacity — no per-update temporary, no reallocation during the fill, and
+/// no eager replacement allocation when a bucket flushes (the next bucket's
+/// buffers are only allocated when its first point actually arrives).
 #[derive(Debug, Clone)]
 pub struct BucketBuffer {
     bucket_size: usize,
-    partial: Option<PointSet>,
+    /// Dimension of the stream, fixed by the first point ever observed (it
+    /// must outlive bucket flushes so a wrong-dimension point arriving
+    /// right after a flush is still rejected).
+    dim: Option<usize>,
+    partial: Option<PointBlock>,
     points_seen: u64,
 }
 
@@ -35,6 +46,7 @@ impl BucketBuffer {
         assert!(bucket_size > 0, "bucket size must be positive");
         Self {
             bucket_size,
+            dim: None,
             partial: None,
             points_seen: 0,
         }
@@ -49,59 +61,63 @@ impl BucketBuffer {
     /// Number of points currently sitting in the partial bucket.
     #[must_use]
     pub fn buffered_points(&self) -> usize {
-        self.partial.as_ref().map_or(0, PointSet::len)
+        self.partial.as_ref().map_or(0, PointBlock::len)
     }
 
     /// Dimensionality inferred from the first observed point, if any.
     #[must_use]
     pub fn dim(&self) -> Option<usize> {
-        self.partial.as_ref().map(PointSet::dim)
+        self.dim
     }
 
     /// Adds a point. When the buffer reaches the bucket size, the full base
-    /// bucket is returned and the buffer restarts empty.
+    /// bucket is returned (as a norm-cached [`PointBlock`], moved out
+    /// without copying) and the buffer restarts empty.
     ///
     /// # Errors
     /// Returns a dimension-mismatch error if `point` disagrees with earlier
-    /// points.
-    pub fn push(&mut self, point: &[f64]) -> Result<Option<PointSet>> {
+    /// points (including points from already-flushed buckets).
+    pub fn push(&mut self, point: &[f64]) -> Result<Option<PointBlock>> {
         if point.is_empty() {
             return Err(ClusteringError::InvalidParameter {
                 name: "point",
                 message: "points must have at least one dimension".to_string(),
             });
         }
-        let partial = match &mut self.partial {
-            Some(p) => {
-                if p.dim() != point.len() {
-                    return Err(ClusteringError::DimensionMismatch {
-                        expected: p.dim(),
-                        got: point.len(),
-                    });
-                }
-                p
+        match self.dim {
+            Some(d) if d != point.len() => {
+                return Err(ClusteringError::DimensionMismatch {
+                    expected: d,
+                    got: point.len(),
+                });
             }
-            None => self
-                .partial
-                .insert(PointSet::with_capacity(point.len(), self.bucket_size)),
+            Some(_) => {}
+            None => self.dim = Some(point.len()),
+        }
+        let partial = match &mut self.partial {
+            Some(p) => p,
+            None => {
+                // First point of a fresh bucket: reserve the whole bucket
+                // up front so every later push lands in spare capacity.
+                let mut block = PointBlock::new(point.len());
+                block.reserve(self.bucket_size);
+                self.partial.insert(block)
+            }
         };
         partial.push(point, 1.0);
         self.points_seen += 1;
         if partial.len() == self.bucket_size {
-            let full = std::mem::replace(
-                partial,
-                PointSet::with_capacity(point.len(), self.bucket_size),
-            );
-            return Ok(Some(full));
+            return Ok(self.partial.take());
         }
         Ok(None)
     }
 
-    /// A copy of the partially filled bucket (empty when no points are
-    /// buffered and no dimension is known yet).
+    /// Borrow of the partially filled bucket (`None` when no points are
+    /// buffered). Borrowing instead of cloning keeps query paths free of
+    /// bucket-sized temporary copies.
     #[must_use]
-    pub fn partial(&self) -> Option<PointSet> {
-        self.partial.clone()
+    pub fn partial(&self) -> Option<&PointBlock> {
+        self.partial.as_ref()
     }
 }
 
@@ -123,6 +139,27 @@ pub fn extract_centers<R: Rng + ?Sized>(
         .with_runs(config.kmeans_runs)
         .with_max_lloyd_iterations(config.lloyd_iterations)
         .fit(candidates, rng)?;
+    Ok(result.centers)
+}
+
+/// [`extract_centers`] over a norm-cached [`PointBlock`]: every seeding
+/// run and Lloyd iteration reuses the cached norms (including the ones the
+/// bucket buffer computed at update time for partially filled buckets).
+///
+/// # Errors
+/// Returns [`ClusteringError::EmptyInput`] when `candidates` is empty.
+pub fn extract_centers_block<R: Rng + ?Sized>(
+    candidates: &PointBlock,
+    config: &StreamConfig,
+    rng: &mut R,
+) -> Result<Centers> {
+    if candidates.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    let result = KMeans::new(config.k)
+        .with_runs(config.kmeans_runs)
+        .with_max_lloyd_iterations(config.lloyd_iterations)
+        .fit_block(candidates, rng)?;
     Ok(result.centers)
 }
 
@@ -153,6 +190,19 @@ mod tests {
         buf.push(&[1.0, 2.0]).unwrap();
         assert!(buf.push(&[1.0]).is_err());
         assert!(buf.push(&[]).is_err());
+    }
+
+    #[test]
+    fn buffer_rejects_dimension_change_right_after_flush() {
+        // The partial block is consumed by a flush; the stream dimension
+        // must survive it so the very next point is still validated.
+        let mut buf = BucketBuffer::new(2);
+        buf.push(&[1.0, 2.0]).unwrap();
+        let full = buf.push(&[3.0, 4.0]).unwrap().unwrap();
+        assert_eq!(full.len(), 2);
+        assert_eq!(buf.dim(), Some(2));
+        assert!(buf.push(&[1.0, 2.0, 3.0]).is_err());
+        assert_eq!(buf.points_seen(), 2);
     }
 
     #[test]

@@ -86,6 +86,9 @@ impl StreamingClusterer for KMedianCC {
 
     fn query(&mut self) -> Result<Centers> {
         let (candidates, mut stats) = self.inner.query_candidates()?;
+        // k-median works on plain Euclidean (not squared) distances, so the
+        // norm cache does not apply; move the buffers out without copying.
+        let candidates = candidates.into_point_set();
         let seeded = kmedianpp(&candidates, self.config.k, &mut self.rng)?;
         let (centers, _cost) = if self.refine_rounds == 0 {
             let cost = skm_clustering::kmedian::kmedian_cost(&candidates, &seeded)?;

@@ -17,10 +17,10 @@
 use crate::cc::CachedCoresetTree;
 use crate::clusterer::{QueryStats, StreamingClusterer};
 use crate::config::StreamConfig;
-use crate::driver::extract_centers;
+use crate::driver::{extract_centers, extract_centers_block};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
-use skm_clustering::cost::assign;
+use skm_clustering::cost::{assign, assign_block};
 use skm_clustering::distance::nearest_center;
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::{Centers, PointSet};
@@ -130,8 +130,8 @@ impl OnlineCC {
     /// branch of `OnlineCC-Query`).
     fn fall_back(&mut self) -> Result<Centers> {
         let (candidates, mut stats) = self.inner.query_candidates()?;
-        let mut centers = extract_centers(&candidates, &self.config, &mut self.rng)?;
-        let assignment = assign(&candidates, &centers)?;
+        let mut centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
+        let assignment = assign_block(&candidates, &centers)?;
         for (j, mass) in assignment.cluster_weights.iter().enumerate() {
             *centers.weight_mut(j) = mass.max(1.0);
         }
@@ -201,7 +201,7 @@ impl StreamingClusterer for OnlineCC {
             // the CC structure directly so early queries still succeed.
             None => {
                 let (candidates, mut stats) = self.inner.query_candidates()?;
-                let centers = extract_centers(&candidates, &self.config, &mut self.rng)?;
+                let centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
                 stats.ran_kmeans = true;
                 self.last_stats = Some(stats);
                 Ok(centers)

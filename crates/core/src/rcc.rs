@@ -19,13 +19,13 @@
 use crate::cache::CoresetCache;
 use crate::clusterer::{QueryStats, StreamingClusterer};
 use crate::config::StreamConfig;
-use crate::driver::{extract_centers, BucketBuffer};
+use crate::driver::{extract_centers_block, BucketBuffer};
 use crate::numeric::major;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use skm_clustering::error::{ClusteringError, Result};
-use skm_clustering::{Centers, PointSet};
+use skm_clustering::{Centers, PointBlock};
 use skm_coreset::construct::CoresetBuilder;
 use skm_coreset::coreset::Coreset;
 use skm_coreset::merge::merge_coresets;
@@ -339,24 +339,26 @@ impl RecursiveCachedTree {
         self.node.max_list_level()
     }
 
-    /// The candidate point set a query hands to k-means++ (RCC coreset plus
-    /// the partial bucket), together with query statistics.
+    /// The candidate points a query hands to k-means++ (RCC coreset plus
+    /// the partial bucket) as a norm-cached block, together with query
+    /// statistics.
     ///
     /// # Errors
     /// Returns [`ClusteringError::EmptyInput`] when no points have arrived.
-    pub fn query_candidates(&mut self) -> Result<(PointSet, QueryStats)> {
+    pub fn query_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
         if self.buffer.points_seen() == 0 {
             return Err(ClusteringError::EmptyInput);
         }
-        let partial = self.buffer.partial();
         match self.node.query_coreset(&mut self.rng)? {
             Some((coreset, merged)) => {
                 let level = coreset.level();
-                let mut candidates = coreset.into_points();
+                let mut candidates = PointBlock::from_point_set_owned(coreset.into_points());
                 let mut merged = merged;
-                if let Some(p) = partial {
+                if let Some(p) = self.buffer.partial() {
                     if !p.is_empty() {
-                        candidates.extend_from(&p)?;
+                        // Borrowed append — no bucket-sized clone per query,
+                        // and the buffered points' norms ride along.
+                        candidates.extend_from_block(p)?;
                         merged += 1;
                     }
                 }
@@ -370,7 +372,11 @@ impl RecursiveCachedTree {
                 Ok((candidates, stats))
             }
             None => {
-                let candidates = partial.ok_or(ClusteringError::EmptyInput)?;
+                let candidates = self
+                    .buffer
+                    .partial()
+                    .cloned()
+                    .ok_or(ClusteringError::EmptyInput)?;
                 let stats = QueryStats {
                     coresets_merged: 1,
                     candidate_points: candidates.len(),
@@ -403,7 +409,7 @@ impl StreamingClusterer for RecursiveCachedTree {
     fn update(&mut self, point: &[f64]) -> Result<()> {
         if let Some(full_bucket) = self.buffer.push(point)? {
             let bucket_no = self.node.buckets_inserted + 1;
-            let base = Coreset::base_bucket(full_bucket, bucket_no);
+            let base = Coreset::base_bucket(full_bucket.into_point_set(), bucket_no);
             self.node.insert(base, &mut self.rng)?;
         }
         Ok(())
@@ -411,7 +417,7 @@ impl StreamingClusterer for RecursiveCachedTree {
 
     fn query(&mut self) -> Result<Centers> {
         let (candidates, stats) = self.query_candidates()?;
-        let centers = extract_centers(&candidates, &self.config, &mut self.rng)?;
+        let centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
         self.last_stats = Some(stats);
         Ok(centers)
     }

@@ -17,11 +17,12 @@ use crate::coreset::Coreset;
 use crate::span::Span;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use skm_clustering::cost::assign;
+use skm_clustering::cost::assign_block;
+use skm_clustering::distance::sq_dist_block;
 use skm_clustering::error::{ClusteringError, Result};
-use skm_clustering::kmeanspp::kmeanspp;
+use skm_clustering::kmeanspp::kmeanspp_block;
 use skm_clustering::sampling::{cumulative_sums, sample_from_cumulative};
-use skm_clustering::{Centers, PointSet};
+use skm_clustering::{Centers, PointBlock, PointSet};
 
 /// Which coreset construction to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,6 +85,11 @@ impl CoresetBuilder {
     /// are copied verbatim (a 0-error coreset), which mirrors what the
     /// streaming algorithms do with partially filled buckets.
     ///
+    /// This is a thin adapter over [`CoresetBuilder::build_block`]: the input
+    /// is lifted into a [`PointBlock`] once so the k-means++ D² sampling and
+    /// the weight-transfer assignment both run through the fused distance
+    /// kernels with a single shared norm cache.
+    ///
     /// # Errors
     /// Returns an error if `points` is empty or the builder size is zero.
     pub fn build<R: Rng + ?Sized>(
@@ -105,10 +111,38 @@ impl CoresetBuilder {
         if points.len() <= self.size {
             return Ok(Coreset::with_parts(points.clone(), span, level));
         }
+        let block = PointBlock::from_point_set(points);
+        self.build_block(&block, span, level, rng)
+    }
+
+    /// Builds a coreset from a [`PointBlock`], reusing its cached squared
+    /// norms for every distance evaluated during construction.
+    ///
+    /// # Errors
+    /// Same failure modes as [`CoresetBuilder::build`].
+    pub fn build_block<R: Rng + ?Sized>(
+        &self,
+        block: &PointBlock,
+        span: Span,
+        level: u32,
+        rng: &mut R,
+    ) -> Result<Coreset> {
+        if block.is_empty() {
+            return Err(ClusteringError::EmptyInput);
+        }
+        if self.size == 0 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "size",
+                message: "coreset size must be positive".to_string(),
+            });
+        }
+        if block.len() <= self.size {
+            return Ok(Coreset::with_parts(block.to_point_set(), span, level));
+        }
         let summary = match self.method {
-            CoresetMethod::KMeansPP => kmeanspp_coreset(points, self.size, rng)?,
+            CoresetMethod::KMeansPP => kmeanspp_coreset(block, self.size, rng)?,
             CoresetMethod::SensitivitySampling => {
-                sensitivity_coreset(points, self.k, self.size, rng)?
+                sensitivity_coreset(block, self.k, self.size, rng)?
             }
         };
         Ok(Coreset::with_parts(summary, span, level))
@@ -118,17 +152,17 @@ impl CoresetBuilder {
 /// k-means++ based construction: the returned set has exactly
 /// `min(size, n)` points and the same total weight as the input.
 fn kmeanspp_coreset<R: Rng + ?Sized>(
-    points: &PointSet,
+    block: &PointBlock,
     size: usize,
     rng: &mut R,
 ) -> Result<PointSet> {
     // Sample `size` representatives by D² sampling. We reuse the k-means++
     // seeding with k = size.
-    let representatives: Centers = kmeanspp(points, size, rng)?;
+    let representatives: Centers = kmeanspp_block(block, size, rng)?;
     // Assign every input point to its nearest representative and accumulate
     // the weights there.
-    let assignment = assign(points, &representatives)?;
-    let mut out = PointSet::with_capacity(points.dim(), representatives.len());
+    let assignment = assign_block(block, &representatives)?;
+    let mut out = PointSet::with_capacity(block.dim(), representatives.len());
     for (j, rep) in representatives.iter().enumerate() {
         let w = assignment.cluster_weights[j];
         // Representatives that received no weight are still kept with zero
@@ -153,22 +187,23 @@ fn kmeanspp_coreset<R: Rng + ?Sized>(
 /// final rescaling step pins the total weight exactly, which empirically
 /// improves stability without affecting the guarantee.
 fn sensitivity_coreset<R: Rng + ?Sized>(
-    points: &PointSet,
+    points: &PointBlock,
     k: usize,
     size: usize,
     rng: &mut R,
 ) -> Result<PointSet> {
-    let rough = kmeanspp(points, k, rng)?;
-    let assignment = assign(points, &rough)?;
+    let rough = kmeanspp_block(points, k, rng)?;
+    let assignment = assign_block(points, &rough)?;
     let total_cost = assignment.cost;
     let total_weight = points.total_weight();
 
-    // Sensitivity upper bounds.
+    // Sensitivity upper bounds, via the fused kernel and the cached norms.
+    let rough_norms = skm_clustering::distance::squared_norms(rough.coords(), rough.dim());
     let mut sens = Vec::with_capacity(points.len());
-    for (i, (p, w)) in points.iter().enumerate() {
+    for (i, (p, w, norm)) in points.view().iter().enumerate() {
         let label = assignment.labels[i];
         let cluster_mass = assignment.cluster_weights[label].max(f64::MIN_POSITIVE);
-        let d2 = skm_clustering::distance::squared_distance(p, rough.center(label));
+        let d2 = sq_dist_block(p, norm, rough.center(label), rough_norms[label]);
         let cost_term = if total_cost > 0.0 {
             w * d2 / total_cost
         } else {

@@ -13,7 +13,7 @@ use crate::coreset::Coreset;
 use crate::span::Span;
 use rand::Rng;
 use skm_clustering::error::{ClusteringError, Result};
-use skm_clustering::PointSet;
+use skm_clustering::{PointBlock, PointSet};
 
 /// Merges `inputs` (which must cover contiguous, non-overlapping,
 /// consecutive spans, in order) into a single coreset of at most
@@ -47,13 +47,16 @@ pub fn merge_coresets<R: Rng + ?Sized>(
     if total_points == 0 {
         return Err(ClusteringError::EmptyInput);
     }
-    let mut union = PointSet::with_capacity(dim, total_points);
+    // Union directly into a PointBlock: the norm cache fills while copying,
+    // so the reduction below runs entirely on fused kernels without a
+    // separate norm pass over the merged points.
+    let mut union = PointBlock::with_capacity(dim, total_points);
     for c in inputs {
-        union.extend_from(c.points())?;
+        union.extend_from_set(c.points())?;
     }
 
     let level = 1 + inputs.iter().map(Coreset::level).max().unwrap_or(0);
-    builder.build(&union, union_span, level, rng)
+    builder.build_block(&union, union_span, level, rng)
 }
 
 /// Unions the points of the given coresets **without** reducing them.

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use streaming_kmeans::clustering::cost::kmeans_cost;
 use streaming_kmeans::clustering::kmeanspp::kmeanspp;
-use streaming_kmeans::clustering::{Centers, PointSet};
+use streaming_kmeans::clustering::{Centers, PointBlock, PointSet};
 use streaming_kmeans::coreset::construct::{CoresetBuilder, CoresetMethod};
 use streaming_kmeans::coreset::Span;
 use streaming_kmeans::prelude::*;
@@ -166,6 +166,147 @@ fn adding_a_center_never_increases_cost() {
             let cost_two = kmeans_cost(&points, &two).unwrap();
             assert!(cost_two <= cost_one + 1e-9, "{cost_two} > {cost_one}");
         }
+    }
+}
+
+// --- fused kernels vs the legacy per-point path --------------------------
+
+/// Generates a point set with random (positive, finite) weights in 1–9
+/// dimensions, exercising every tail length of the 4-lane dot kernel.
+fn random_weighted_point_set(rng: &mut ChaCha8Rng) -> PointSet {
+    let dim = rng.gen_range(1..=9usize);
+    let n = rng.gen_range(1..=100usize);
+    let mut set = PointSet::new(dim);
+    let mut row = vec![0.0f64; dim];
+    for _ in 0..n {
+        for x in row.iter_mut() {
+            *x = rng.gen_range(-1_000.0..1_000.0f64);
+        }
+        set.push(&row, rng.gen_range(0.0..10.0f64));
+    }
+    set
+}
+
+/// Error budget for comparing the fused expansion `‖x‖² − 2x·c + ‖c‖²`
+/// against the legacy `Σ (x_j − c_j)²`: 1e-9 relative to the magnitudes
+/// involved (the fused form's rounding error scales with the norms, the
+/// legacy form's with the distance itself).
+fn fused_tolerance(legacy: f64, x_norm: f64, c_norm: f64) -> f64 {
+    1e-9 * (1.0 + legacy.abs() + x_norm + c_norm)
+}
+
+#[test]
+fn fused_kernel_matches_legacy_per_point_path() {
+    use streaming_kmeans::clustering::distance::{sq_dist_block, squared_distance, squared_norm};
+    let mut rng = ChaCha8Rng::seed_from_u64(301);
+    for _ in 0..CASES {
+        let points = random_weighted_point_set(&mut rng);
+        let block = PointBlock::from_point_set(&points);
+        // Pit every pair (i, j) of a small prefix against each other.
+        let limit = points.len().min(12);
+        for i in 0..limit {
+            for j in 0..limit {
+                let (x, c) = (points.point(i), points.point(j));
+                let legacy = squared_distance(x, c);
+                let fused = sq_dist_block(x, block.norm(i), c, block.norm(j));
+                assert!(
+                    (legacy - fused).abs() <= fused_tolerance(legacy, block.norm(i), block.norm(j)),
+                    "dim={} i={i} j={j}: legacy={legacy} fused={fused}",
+                    points.dim()
+                );
+            }
+        }
+        // The cached norms themselves must match a direct evaluation.
+        for i in 0..points.len() {
+            let direct = squared_norm(points.point(i));
+            assert!((block.norm(i) - direct).abs() <= 1e-12 * (1.0 + direct));
+        }
+    }
+}
+
+#[test]
+fn fused_nearest_search_matches_legacy_distances() {
+    use streaming_kmeans::clustering::distance::{
+        nearest_block_row, nearest_center, squared_norm, squared_norms,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(302);
+    for _ in 0..CASES {
+        let points = random_weighted_point_set(&mut rng);
+        let k = rng.gen_range(1..=6usize).min(points.len());
+        let rows: Vec<Vec<f64>> = (0..k).map(|i| points.point(i).to_vec()).collect();
+        let centers = Centers::from_rows(points.dim(), &rows).unwrap();
+        let center_norms = squared_norms(centers.coords(), centers.dim());
+        for (p, _) in points.iter() {
+            let legacy = nearest_center(p, &centers).unwrap();
+            let fused = nearest_block_row(
+                p,
+                squared_norm(p),
+                centers.coords(),
+                &center_norms,
+                centers.dim(),
+            )
+            .unwrap();
+            // Indices may differ on exact ties; the attained distances must
+            // agree to within the fused error budget.
+            let scale = squared_norm(p) + center_norms[legacy.0] + center_norms[fused.0];
+            assert!(
+                (legacy.1 - fused.1).abs() <= 1e-9 * (1.0 + legacy.1 + scale),
+                "legacy={:?} fused={fused:?}",
+                legacy
+            );
+        }
+    }
+}
+
+#[test]
+fn block_cost_path_matches_legacy_cost_loop() {
+    use streaming_kmeans::clustering::cost::kmeans_cost_block;
+    use streaming_kmeans::clustering::distance::squared_distance;
+    let mut rng = ChaCha8Rng::seed_from_u64(303);
+    for _ in 0..CASES {
+        let points = random_weighted_point_set(&mut rng);
+        let block = PointBlock::from_point_set(&points);
+        let k = rng.gen_range(1..=5usize).min(points.len());
+        let rows: Vec<Vec<f64>> = (0..k).map(|i| points.point(i).to_vec()).collect();
+        let centers = Centers::from_rows(points.dim(), &rows).unwrap();
+        // Hand-rolled legacy cost: Σ w(x) · min_c Σ_j (x_j − c_j)².
+        let mut legacy = 0.0;
+        let mut scale = 0.0;
+        for (i, (p, w)) in points.iter().enumerate() {
+            let d2 = centers
+                .iter()
+                .map(|c| squared_distance(p, c))
+                .fold(f64::INFINITY, f64::min);
+            legacy += w * d2;
+            scale += w * block.norm(i);
+        }
+        let via_set = kmeans_cost(&points, &centers).unwrap();
+        let via_block = kmeans_cost_block(&block, &centers).unwrap();
+        let tol = 1e-9 * (1.0 + legacy + scale);
+        assert!(
+            (legacy - via_set).abs() <= tol,
+            "legacy={legacy} fused={via_set}"
+        );
+        assert!(
+            (legacy - via_block).abs() <= tol,
+            "legacy={legacy} fused-block={via_block}"
+        );
+    }
+}
+
+#[test]
+fn point_block_round_trips_preserve_points_and_weights() {
+    let mut rng = ChaCha8Rng::seed_from_u64(304);
+    for _ in 0..CASES {
+        let points = random_weighted_point_set(&mut rng);
+        let block = PointBlock::from_point_set(&points);
+        assert_eq!(block.len(), points.len());
+        assert_eq!(block.dim(), points.dim());
+        let back = block.clone().into_point_set();
+        assert_eq!(back, points);
+        let copied = block.to_point_set();
+        assert_eq!(copied, points);
+        assert!((block.total_weight() - points.total_weight()).abs() < 1e-9);
     }
 }
 
