@@ -17,6 +17,7 @@
 //! schema and the baseline-refresh workflow.
 
 use skm_bench::report::{compare_reports, measure_workload, BaselineFile, WorkloadReport};
+use skm_bench::sharded::measure_sharded_workload;
 use skm_bench::{BenchArgs, DatasetSpec};
 use std::path::Path;
 use std::process::ExitCode;
@@ -30,10 +31,18 @@ fn read_baseline(path: &str) -> Result<BaselineFile, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline `{path}`: {e:?}"))
 }
 
-fn read_fresh_reports(dir: &str, specs: &[DatasetSpec]) -> Result<Vec<WorkloadReport>, String> {
+fn read_fresh_reports(
+    dir: &str,
+    specs: &[DatasetSpec],
+    sharded: bool,
+) -> Result<Vec<WorkloadReport>, String> {
+    let mut names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
+    if sharded {
+        names.push(skm_bench::SHARDED_WORKLOAD.to_string());
+    }
     let mut reports = Vec::new();
-    for spec in specs {
-        let path = Path::new(dir).join(format!("BENCH_{}.json", spec.name()));
+    for name in &names {
+        let path = Path::new(dir).join(format!("BENCH_{name}.json"));
         let Ok(text) = std::fs::read_to_string(&path) else {
             // Workloads that were not benched are simply not guarded.
             continue;
@@ -127,7 +136,7 @@ fn main() -> ExitCode {
             eprintln!("--guard-only requires --json DIR (where to load reports from)");
             return ExitCode::FAILURE;
         };
-        match read_fresh_reports(dir, &specs) {
+        match read_fresh_reports(dir, &specs, args.sharded) {
             Ok(reports) => reports,
             Err(e) => {
                 eprintln!("{e}");
@@ -144,6 +153,18 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("benchmark of {} failed: {e}", spec.name());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if args.sharded {
+            match measure_sharded_workload(args.points, args.k, args.seed) {
+                Ok(report) => {
+                    print_summary(&report);
+                    reports.push(report);
+                }
+                Err(e) => {
+                    eprintln!("sharded benchmark failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

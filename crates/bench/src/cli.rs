@@ -25,6 +25,8 @@
 //! --guard-only        with --json + --check: skip measuring, load the
 //!                     BENCH_*.json already in DIR and only run the guard
 //! --baseline-out PATH write all fresh reports as a new baseline file
+//! --sharded           additionally measure (or, with --guard-only, load)
+//!                     the sharded-ingestion grid (BENCH_sharded.json)
 //! ```
 
 use crate::workloads::DatasetSpec;
@@ -52,6 +54,9 @@ pub struct BenchArgs {
     pub guard_only: bool,
     /// Write all fresh reports as a combined baseline file at this path.
     pub baseline_out: Option<String>,
+    /// Also measure (or, with `guard_only`, load) the sharded-ingestion
+    /// throughput grid (`BENCH_sharded.json`).
+    pub sharded: bool,
     /// Hard parse errors (a report-pipeline flag missing its value). The
     /// `skm-bench` binary refuses to run when this is non-empty — a guard
     /// invocation that silently dropped `--check` would green-light
@@ -72,6 +77,7 @@ impl Default for BenchArgs {
             check: None,
             guard_only: false,
             baseline_out: None,
+            sharded: false,
             errors: Vec::new(),
         }
     }
@@ -147,6 +153,7 @@ impl BenchArgs {
                     parsed.check = take_path_value(&mut iter, "--check", &mut parsed.errors);
                 }
                 "--guard-only" => parsed.guard_only = true,
+                "--sharded" => parsed.sharded = true,
                 "--baseline-out" => {
                     parsed.baseline_out =
                         take_path_value(&mut iter, "--baseline-out", &mut parsed.errors);
@@ -253,6 +260,12 @@ mod tests {
         assert_eq!(args.baseline_out.as_deref(), Some("fresh.json"));
         assert!(args.errors.is_empty());
         assert!(!parse(&[]).guard_only);
+    }
+
+    #[test]
+    fn sharded_flag_parses() {
+        assert!(parse(&["--sharded"]).sharded);
+        assert!(!parse(&[]).sharded);
     }
 
     #[test]

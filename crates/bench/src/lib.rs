@@ -11,6 +11,8 @@
 //! * [`report`] — machine-readable `BENCH_<workload>.json` reports
 //!   (median/p95 latencies, coreset build time, peak memory) and the
 //!   baseline comparison behind CI's regression guard,
+//! * [`sharded`] — the sharded-ingestion throughput grid
+//!   (`BENCH_sharded.json`, shards × batch-size on the Power dataset),
 //! * [`cli`] — the tiny flag parser shared by the figure/table binaries.
 //!
 //! Each figure or table of the paper has a dedicated binary in `src/bin/`
@@ -25,6 +27,7 @@ pub mod cli;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod sharded;
 pub mod tables;
 pub mod workloads;
 
@@ -33,4 +36,5 @@ pub use report::{
     compare_reports, measure_workload, BaselineFile, LatencySummary, Regression, WorkloadReport,
 };
 pub use runner::{make_algorithm, run_stream, AlgorithmKind, StreamRunResult};
+pub use sharded::{measure_sharded_workload, SHARDED_WORKLOAD};
 pub use workloads::{build_dataset, DatasetSpec};

@@ -23,6 +23,28 @@ pub trait StreamingClusterer {
     /// previously observed points or an internal invariant is violated.
     fn update(&mut self, point: &[f64]) -> Result<()>;
 
+    /// Processes a batch of arriving points (unit weight each), in order.
+    ///
+    /// The default implementation is a per-point [`update`] loop. The
+    /// coreset-based algorithms override it to push whole slices into their
+    /// bucket buffer's spare capacity — one dimension check and one norm
+    /// pass per batch — which is what the sharded ingestion layer
+    /// ([`crate::shard::ShardedStream`]) and throughput-sensitive
+    /// single-threaded callers use to amortize per-point call overhead.
+    ///
+    /// # Errors
+    /// Returns the same errors as [`update`]. Overrides that pre-validate
+    /// the batch reject it atomically (no point is consumed); the default
+    /// loop stops at the first failing point.
+    ///
+    /// [`update`]: StreamingClusterer::update
+    fn update_batch(&mut self, points: &[&[f64]]) -> Result<()> {
+        for point in points {
+            self.update(point)?;
+        }
+        Ok(())
+    }
+
     /// Returns `k` cluster centers for everything observed so far.
     ///
     /// Querying an algorithm that has seen no points is an error.

@@ -39,7 +39,7 @@ impl CoresetTreeClusterer {
         Ok(Self {
             config,
             tree: CoresetTree::new(&config)?,
-            buffer: BucketBuffer::new(config.bucket_size),
+            buffer: BucketBuffer::new(config.bucket_size)?,
             rng: ChaCha20Rng::seed_from_u64(seed),
             last_stats: None,
         })
@@ -103,6 +103,14 @@ impl StreamingClusterer for CoresetTreeClusterer {
                 .insert_bucket(full_bucket.into_point_set(), &mut self.rng)?;
         }
         Ok(())
+    }
+
+    fn update_batch(&mut self, points: &[&[f64]]) -> Result<()> {
+        let tree = &mut self.tree;
+        let rng = &mut self.rng;
+        self.buffer.push_batch(points, |full_bucket| {
+            tree.insert_bucket(full_bucket.into_point_set(), rng)
+        })
     }
 
     fn query(&mut self) -> Result<Centers> {

@@ -17,6 +17,18 @@ use skm_clustering::distance::nearest_center;
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::Centers;
 
+/// Floor applied to every center's effective weight after decay.
+///
+/// Without it, a center that goes unmatched for long enough (e.g. a stale
+/// cluster on a very long drifting stream) has its weight multiplied by `λ`
+/// on every arrival until it underflows to subnormals and finally to `0.0`
+/// — around 70 000 points at `λ = 0.99` — at which point the MacQueen step
+/// degenerates: the effective learning rate `1 / (w + 1)` saturates, the
+/// center teleports wholesale onto the next point it matches, and any
+/// downstream consumer dividing by the weight blows up. The floor keeps the
+/// update well conditioned while still letting stale centers move quickly.
+pub const MIN_CENTER_WEIGHT: f64 = 1e-8;
+
 /// Sequential k-means with exponentially time-decayed weights.
 #[derive(Debug, Clone)]
 pub struct DecayedSequentialKMeans {
@@ -107,10 +119,12 @@ impl StreamingClusterer for DecayedSequentialKMeans {
             return Ok(());
         }
 
-        // Decay every center's effective mass, then perform the MacQueen
+        // Decay every center's effective mass (clamped so long streams can
+        // never underflow a weight to zero), then perform the MacQueen
         // update against the (now lighter) nearest center.
         for j in 0..self.centers.len() {
-            *self.centers.weight_mut(j) *= self.decay;
+            let w = self.centers.weight_mut(j);
+            *w = (*w * self.decay).max(MIN_CENTER_WEIGHT);
         }
         let (idx, _) = nearest_center(point, &self.centers).expect("centers initialized");
         let w = self.centers.weight(idx);
@@ -224,6 +238,38 @@ mod tests {
                 assert!((xa - xb).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn weights_never_underflow_on_a_million_point_drift() {
+        // Regression: a center that never matches has its weight multiplied
+        // by λ on every arrival; over 10^6 points at λ = 0.999 that used to
+        // underflow to exactly 0.0 (0.999^1e6 ≈ 10^-435), degenerating the
+        // MacQueen step. The clamp keeps every weight at or above the floor.
+        let mut d = DecayedSequentialKMeans::new(2, 0.999).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        d.update(&[0.0]).unwrap();
+        d.update(&[100.0]).unwrap();
+        // A long drifting phase that only ever feeds the low cluster.
+        for _ in 0..1_000_000 {
+            d.update(&[rng.gen::<f64>()]).unwrap();
+        }
+        for j in 0..d.centers().len() {
+            let w = d.centers().weight(j);
+            assert!(
+                w >= MIN_CENTER_WEIGHT,
+                "center {j} weight {w:e} underflowed below the floor"
+            );
+            assert!(d.centers().center(j)[0].is_finite());
+        }
+        // The stale center still reacts sanely to its next match instead of
+        // dividing by a vanished weight.
+        d.update(&[80.0]).unwrap();
+        let revived = d.query().unwrap().center(1)[0];
+        assert!(
+            revived.is_finite() && (revived - 80.0).abs() < 1.0,
+            "revived center landed at {revived}"
+        );
     }
 
     #[test]

@@ -17,6 +17,43 @@ use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::kmeans::KMeans;
 use skm_clustering::{Centers, PointBlock, PointSet};
 
+/// Validates one arriving stream point against an optional known stream
+/// dimension, returning the (possibly newly learned) dimension on success.
+///
+/// Shared by [`BucketBuffer`] and the sharded ingestion coordinator so
+/// both reject empty, wrong-dimension and non-finite points identically —
+/// and, crucially, without committing any state for rejected input (the
+/// caller stores the returned dimension only after validation succeeds, so
+/// a rejected first point cannot lock in a bogus stream dimension).
+///
+/// `index` is the point's position within the batch being validated
+/// (0 for single-point pushes); it is reported in
+/// [`ClusteringError::NonFiniteCoordinate`].
+pub(crate) fn validate_stream_point(
+    dim: Option<usize>,
+    point: &[f64],
+    index: usize,
+) -> Result<usize> {
+    if point.is_empty() {
+        return Err(ClusteringError::InvalidParameter {
+            name: "point",
+            message: "points must have at least one dimension".to_string(),
+        });
+    }
+    if let Some(d) = dim {
+        if d != point.len() {
+            return Err(ClusteringError::DimensionMismatch {
+                expected: d,
+                got: point.len(),
+            });
+        }
+    }
+    if point.iter().any(|x| !x.is_finite()) {
+        return Err(ClusteringError::NonFiniteCoordinate { index });
+    }
+    Ok(point.len())
+}
+
 /// Buffers arriving points into base buckets of `m` points.
 ///
 /// The buffer is a [`PointBlock`]: the bucket's full capacity is reserved
@@ -39,17 +76,26 @@ pub struct BucketBuffer {
 impl BucketBuffer {
     /// Creates an empty buffer for base buckets of `bucket_size` points.
     ///
-    /// # Panics
-    /// Panics if `bucket_size == 0`.
-    #[must_use]
-    pub fn new(bucket_size: usize) -> Self {
-        assert!(bucket_size > 0, "bucket size must be positive");
-        Self {
+    /// Bucket-size validation mirrors [`StreamConfig::validate`]: the
+    /// clusterers construct their buffer from an already-validated
+    /// configuration, and ad-hoc callers get the same
+    /// [`ClusteringError::InvalidParameter`] instead of a panic.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::InvalidParameter`] if `bucket_size == 0`.
+    pub fn new(bucket_size: usize) -> Result<Self> {
+        if bucket_size == 0 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "bucket_size",
+                message: "must be positive".to_string(),
+            });
+        }
+        Ok(Self {
             bucket_size,
             dim: None,
             partial: None,
             points_seen: 0,
-        }
+        })
     }
 
     /// Number of points observed so far (both flushed and buffered).
@@ -70,30 +116,9 @@ impl BucketBuffer {
         self.dim
     }
 
-    /// Adds a point. When the buffer reaches the bucket size, the full base
-    /// bucket is returned (as a norm-cached [`PointBlock`], moved out
-    /// without copying) and the buffer restarts empty.
-    ///
-    /// # Errors
-    /// Returns a dimension-mismatch error if `point` disagrees with earlier
-    /// points (including points from already-flushed buckets).
-    pub fn push(&mut self, point: &[f64]) -> Result<Option<PointBlock>> {
-        if point.is_empty() {
-            return Err(ClusteringError::InvalidParameter {
-                name: "point",
-                message: "points must have at least one dimension".to_string(),
-            });
-        }
-        match self.dim {
-            Some(d) if d != point.len() => {
-                return Err(ClusteringError::DimensionMismatch {
-                    expected: d,
-                    got: point.len(),
-                });
-            }
-            Some(_) => {}
-            None => self.dim = Some(point.len()),
-        }
+    /// Appends one validated point to the partial bucket, returning the full
+    /// bucket when this push completes it.
+    fn push_validated(&mut self, point: &[f64]) -> Option<PointBlock> {
         let partial = match &mut self.partial {
             Some(p) => p,
             None => {
@@ -107,9 +132,58 @@ impl BucketBuffer {
         partial.push(point, 1.0);
         self.points_seen += 1;
         if partial.len() == self.bucket_size {
-            return Ok(self.partial.take());
+            return self.partial.take();
         }
-        Ok(None)
+        None
+    }
+
+    /// Adds a point. When the buffer reaches the bucket size, the full base
+    /// bucket is returned (as a norm-cached [`PointBlock`], moved out
+    /// without copying) and the buffer restarts empty.
+    ///
+    /// # Errors
+    /// Returns a dimension-mismatch error if `point` disagrees with earlier
+    /// points (including points from already-flushed buckets), and
+    /// [`ClusteringError::NonFiniteCoordinate`] if any coordinate is NaN or
+    /// infinite (the point is rejected before touching the buffer).
+    pub fn push(&mut self, point: &[f64]) -> Result<Option<PointBlock>> {
+        self.dim = Some(validate_stream_point(self.dim, point, 0)?);
+        Ok(self.push_validated(point))
+    }
+
+    /// Adds a whole batch of points, invoking `on_full` for every base
+    /// bucket completed along the way.
+    ///
+    /// The entire batch is validated (one dimension check and finiteness
+    /// pass) *before* any point is buffered, so a rejected batch leaves the
+    /// buffer untouched, and the per-point bookkeeping of [`push`] is
+    /// amortized across the batch.
+    ///
+    /// # Errors
+    /// Returns the same validation errors as [`push`] (with the offending
+    /// batch index in [`ClusteringError::NonFiniteCoordinate`]) and
+    /// propagates errors from `on_full`.
+    ///
+    /// [`push`]: BucketBuffer::push
+    pub fn push_batch<F>(&mut self, points: &[&[f64]], mut on_full: F) -> Result<()>
+    where
+        F: FnMut(PointBlock) -> Result<()>,
+    {
+        // Validate against a local dimension first: a rejected batch must
+        // leave everything untouched, including a not-yet-learned stream
+        // dimension (the batch's own points still have to agree with each
+        // other, which threading `dim` through the loop enforces).
+        let mut dim = self.dim;
+        for (i, point) in points.iter().enumerate() {
+            dim = Some(validate_stream_point(dim, point, i)?);
+        }
+        self.dim = dim;
+        for point in points {
+            if let Some(full) = self.push_validated(point) {
+                on_full(full)?;
+            }
+        }
+        Ok(())
     }
 
     /// Borrow of the partially filled bucket (`None` when no points are
@@ -171,7 +245,7 @@ mod tests {
 
     #[test]
     fn buffer_flushes_full_buckets() {
-        let mut buf = BucketBuffer::new(3);
+        let mut buf = BucketBuffer::new(3).unwrap();
         assert!(buf.push(&[1.0, 0.0]).unwrap().is_none());
         assert!(buf.push(&[2.0, 0.0]).unwrap().is_none());
         let full = buf.push(&[3.0, 0.0]).unwrap().unwrap();
@@ -186,7 +260,7 @@ mod tests {
 
     #[test]
     fn buffer_rejects_dimension_changes() {
-        let mut buf = BucketBuffer::new(4);
+        let mut buf = BucketBuffer::new(4).unwrap();
         buf.push(&[1.0, 2.0]).unwrap();
         assert!(buf.push(&[1.0]).is_err());
         assert!(buf.push(&[]).is_err());
@@ -196,7 +270,7 @@ mod tests {
     fn buffer_rejects_dimension_change_right_after_flush() {
         // The partial block is consumed by a flush; the stream dimension
         // must survive it so the very next point is still validated.
-        let mut buf = BucketBuffer::new(2);
+        let mut buf = BucketBuffer::new(2).unwrap();
         buf.push(&[1.0, 2.0]).unwrap();
         let full = buf.push(&[3.0, 4.0]).unwrap().unwrap();
         assert_eq!(full.len(), 2);
@@ -207,7 +281,7 @@ mod tests {
 
     #[test]
     fn partial_reflects_buffered_points() {
-        let mut buf = BucketBuffer::new(5);
+        let mut buf = BucketBuffer::new(5).unwrap();
         assert!(buf.partial().is_none());
         buf.push(&[1.0]).unwrap();
         buf.push(&[2.0]).unwrap();
@@ -238,8 +312,106 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bucket size must be positive")]
-    fn zero_bucket_size_panics() {
-        let _ = BucketBuffer::new(0);
+    fn zero_bucket_size_is_an_error_not_a_panic() {
+        // Regression: this used to `assert!` and abort the caller; the
+        // validation now matches `StreamConfig::validate`.
+        match BucketBuffer::new(0) {
+            Err(ClusteringError::InvalidParameter { name, .. }) => {
+                assert_eq!(name, "bucket_size");
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_coordinates_are_rejected_without_poisoning_state() {
+        let mut buf = BucketBuffer::new(4).unwrap();
+        buf.push(&[1.0, 2.0]).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match buf.push(&[bad, 0.0]) {
+                Err(ClusteringError::NonFiniteCoordinate { index: 0 }) => {}
+                other => panic!("expected NonFiniteCoordinate, got {other:?}"),
+            }
+        }
+        // The rejected points must not have advanced any bookkeeping.
+        assert_eq!(buf.points_seen(), 1);
+        assert_eq!(buf.buffered_points(), 1);
+        assert!(buf.partial().unwrap().norms().iter().all(|n| n.is_finite()));
+    }
+
+    #[test]
+    fn rejected_first_point_does_not_lock_the_stream_dimension() {
+        // A rejected point must not commit anything — including the stream
+        // dimension learned from it: after a bad 2-d first point, a valid
+        // 3-d stream must still be accepted.
+        let mut buf = BucketBuffer::new(4).unwrap();
+        assert!(buf.push(&[f64::NAN, 0.0]).is_err());
+        assert_eq!(buf.dim(), None);
+        buf.push(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(buf.dim(), Some(3));
+
+        // Same through the batch path: the rejected batch leaves the
+        // dimension unlearned, but a batch must still be self-consistent.
+        let mut buf = BucketBuffer::new(4).unwrap();
+        let bad2d: &[f64] = &[f64::INFINITY, 0.0];
+        assert!(buf.push_batch(&[bad2d], |_| Ok(())).is_err());
+        assert_eq!(buf.dim(), None);
+        let a: &[f64] = &[1.0, 2.0];
+        let b: &[f64] = &[3.0];
+        assert!(matches!(
+            buf.push_batch(&[a, b], |_| Ok(())),
+            Err(ClusteringError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert_eq!(buf.dim(), None);
+        buf.push_batch(&[a], |_| Ok(())).unwrap();
+        assert_eq!(buf.dim(), Some(2));
+    }
+
+    #[test]
+    fn push_batch_flushes_buckets_and_matches_per_point_pushes() {
+        let points: Vec<Vec<f64>> = (0..7).map(|i| vec![f64::from(i), 1.0]).collect();
+        let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+
+        let mut batched = BucketBuffer::new(3).unwrap();
+        let mut batched_full = Vec::new();
+        batched
+            .push_batch(&refs, |b| {
+                batched_full.push(b);
+                Ok(())
+            })
+            .unwrap();
+
+        let mut single = BucketBuffer::new(3).unwrap();
+        let mut single_full = Vec::new();
+        for p in &refs {
+            if let Some(b) = single.push(p).unwrap() {
+                single_full.push(b);
+            }
+        }
+
+        assert_eq!(batched_full, single_full);
+        assert_eq!(batched.points_seen(), single.points_seen());
+        assert_eq!(batched.partial(), single.partial());
+        assert_eq!(batched_full.len(), 2);
+        assert_eq!(batched.buffered_points(), 1);
+    }
+
+    #[test]
+    fn push_batch_rejects_whole_batch_before_buffering() {
+        let mut buf = BucketBuffer::new(10).unwrap();
+        let good = [0.0, 1.0];
+        let bad = [2.0, f64::NAN];
+        let batch: Vec<&[f64]> = vec![&good, &bad];
+        match buf.push_batch(&batch, |_| Ok(())) {
+            Err(ClusteringError::NonFiniteCoordinate { index: 1 }) => {}
+            other => panic!("expected NonFiniteCoordinate, got {other:?}"),
+        }
+        // Validation happens before buffering: even the valid prefix point
+        // must not have been consumed.
+        assert_eq!(buf.points_seen(), 0);
+        assert_eq!(buf.buffered_points(), 0);
     }
 }

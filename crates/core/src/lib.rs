@@ -24,6 +24,9 @@
 //!   degree `r`, query-time k-means++ settings).
 //! * [`driver`] — the Algorithm 1 driver pieces: [`driver::BucketBuffer`]
 //!   and [`driver::extract_centers`].
+//! * [`shard`] — [`ShardedStream`]: multi-threaded ingestion that
+//!   partitions the stream round-robin across per-shard clusterers and
+//!   merges their coresets at query time.
 //! * [`coreset_tree`] — the r-way merging coreset tree (Algorithm 2).
 //! * [`cache`] — the coreset cache keyed by right endpoints.
 //! * [`numeric`] — `major`, `minor` and `prefixsum` in base `r`
@@ -62,6 +65,7 @@ pub mod numeric;
 pub mod online_cc;
 pub mod rcc;
 pub mod sequential;
+pub mod shard;
 
 pub use batch::BatchKMeansPP;
 pub use cc::CachedCoresetTree;
@@ -74,6 +78,7 @@ pub use kmedian_stream::KMedianCC;
 pub use online_cc::OnlineCC;
 pub use rcc::RecursiveCachedTree;
 pub use sequential::SequentialKMeans;
+pub use shard::{ShardClusterer, ShardedStream};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -88,4 +93,5 @@ pub mod prelude {
     pub use crate::online_cc::OnlineCC;
     pub use crate::rcc::RecursiveCachedTree;
     pub use crate::sequential::SequentialKMeans;
+    pub use crate::shard::{ShardClusterer, ShardedStream};
 }

@@ -25,6 +25,25 @@ use skm_clustering::distance::nearest_center;
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::{Centers, PointSet};
 
+/// Absolute slack added to the fallback threshold `φ_now > α·φ_prev`.
+///
+/// With a purely relative threshold, a rebuild that lands on a zero-cost
+/// clustering (e.g. an all-duplicate or near-duplicate stream) sets
+/// `φ_prev = 0`, after which *any* strictly positive `φ_now` — even one
+/// produced by floating-point jitter — triggers a fallback on every query
+/// forever, silently degrading OnlineCC into CC. The absolute term keeps
+/// genuinely negligible costs on the O(1) fast path while leaving the
+/// paper's switching behaviour untouched for any non-degenerate stream
+/// (where `φ` values dwarf this slack).
+///
+/// Tradeoff: on streams whose *absolute* SSQ scale is below this slack
+/// (e.g. coordinates around `1e-5`), fallbacks are suppressed until the
+/// accumulated degradation itself exceeds `1e-9`. Since `φ_now` is a
+/// running sum over all arrivals, that suppression is transient — the
+/// relative test takes over as soon as the total degradation stops being
+/// negligible in absolute terms.
+const PHI_FALLBACK_EPS: f64 = 1e-9;
+
 /// Streaming clusterer implementing the Online Coreset Cache (OnlineCC).
 #[derive(Debug, Clone)]
 pub struct OnlineCC {
@@ -106,7 +125,15 @@ impl OnlineCC {
     /// the Figure 11 harness to count rebuilds without triggering them).
     #[must_use]
     pub fn would_fall_back(&self) -> bool {
-        self.centers.is_none() || self.phi_now > self.alpha * self.phi_prev
+        self.centers.is_none() || self.needs_fallback()
+    }
+
+    /// The switching test: the maintained centers have degraded by more
+    /// than the threshold `α` since the last rebuild, judged with a
+    /// relative-plus-absolute comparison so a zero-cost `φ_prev` cannot
+    /// force a fallback on every query.
+    fn needs_fallback(&self) -> bool {
+        self.phi_now > self.alpha * self.phi_prev + PHI_FALLBACK_EPS
     }
 
     /// Initializes the sequential centers from the buffered prefix by
@@ -207,7 +234,7 @@ impl StreamingClusterer for OnlineCC {
                 Ok(centers)
             }
             Some(current) => {
-                if self.phi_now > self.alpha * self.phi_prev {
+                if self.needs_fallback() {
                     self.fall_back()
                 } else {
                     // Fast path: O(1) — return the sequentially maintained
@@ -392,6 +419,40 @@ mod tests {
             loose.fallback_count(),
             strict.fallback_count()
         );
+    }
+
+    #[test]
+    fn duplicate_stream_does_not_fall_back_forever() {
+        // Regression: a (near-)duplicate stream drives every clustering
+        // cost to ~0, so `phi_prev = 0` after the first rebuild. With a
+        // purely relative threshold, any strictly positive `phi_now` —
+        // here, femtoscale floating-point jitter — then forced a fallback
+        // on EVERY query, silently turning OnlineCC into CC. The
+        // relative-plus-absolute threshold keeps these queries on the O(1)
+        // fast path.
+        let mut o = OnlineCC::new(config(2, 20), 1.2, 21).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let anchors = [[0.0, 0.0], [1.0, 0.0]];
+        let feed = |o: &mut OnlineCC, n: usize, rng: &mut ChaCha8Rng| {
+            for i in 0..n {
+                let a = anchors[i % 2];
+                // Duplicates up to ~1e-9 jitter: every cost is ~1e-18.
+                o.update(&[a[0] + rng.gen::<f64>() * 1e-9, a[1]]).unwrap();
+            }
+        };
+        feed(&mut o, 40, &mut rng);
+        o.query().unwrap();
+        for _ in 0..10 {
+            feed(&mut o, 50, &mut rng);
+            o.query().unwrap();
+        }
+        assert_eq!(
+            o.fallback_count(),
+            0,
+            "negligible-cost stream must stay on the fast path"
+        );
+        assert!(!o.last_query_stats().unwrap().ran_kmeans);
+        assert!(!o.would_fall_back());
     }
 
     #[test]

@@ -309,7 +309,7 @@ impl RecursiveCachedTree {
             config,
             nesting_depth,
             node: RccNode::new(nesting_depth, top_merge_degree, builder),
-            buffer: BucketBuffer::new(config.bucket_size),
+            buffer: BucketBuffer::new(config.bucket_size)?,
             rng: ChaCha20Rng::seed_from_u64(seed),
             last_stats: None,
         })
@@ -413,6 +413,16 @@ impl StreamingClusterer for RecursiveCachedTree {
             self.node.insert(base, &mut self.rng)?;
         }
         Ok(())
+    }
+
+    fn update_batch(&mut self, points: &[&[f64]]) -> Result<()> {
+        let node = &mut self.node;
+        let rng = &mut self.rng;
+        self.buffer.push_batch(points, |full_bucket| {
+            let bucket_no = node.buckets_inserted + 1;
+            let base = Coreset::base_bucket(full_bucket.into_point_set(), bucket_no);
+            node.insert(base, rng)
+        })
     }
 
     fn query(&mut self) -> Result<Centers> {

@@ -1,0 +1,611 @@
+//! Sharded, multi-threaded stream ingestion (extension).
+//!
+//! The paper's algorithms make a *single* update thread fast; this module
+//! scales ingestion horizontally, the way the coreset machinery was built
+//! to be scaled: partition the stream across `S` shards, let each shard
+//! maintain its own clusterer (CT, CC or RCC) on a dedicated worker
+//! thread, and at query time union the per-shard coreset summaries into
+//! one candidate set for the usual k-means++ extraction. Because every
+//! shard summarizes a *disjoint* sub-stream, Observation 1 applies: the
+//! union of the per-shard `(k, ε)`-coresets is a `(k, ε)`-coreset of the
+//! whole stream, so sharding costs no approximation quality beyond the
+//! coreset guarantee the single-threaded algorithms already pay.
+//!
+//! ## Architecture
+//!
+//! * **Partitioning** is deterministic round-robin by arrival index: point
+//!   `i` belongs to shard `i mod S`. Combined with per-shard seeds derived
+//!   from the master seed, this makes the whole structure reproducible:
+//!   for a fixed `(seed, shards, batch_size)` the merged query answer is
+//!   bit-identical across runs regardless of thread scheduling, because
+//!   each worker consumes a deterministic sub-stream and all cross-thread
+//!   communication is ordered per-shard FIFO.
+//! * **Batching**: the ingestion thread buffers each shard's points into a
+//!   flat coordinate block and ships full blocks over an [`mpsc`] channel;
+//!   workers ingest them via [`StreamingClusterer::update_batch`], so the
+//!   per-point cost on both sides of the channel is amortized (one send
+//!   per `batch_size` points, one dimension check and norm pass per batch).
+//! * **Queries** enqueue a query command behind any in-flight batches
+//!   (channel FIFO ⇒ a query observes every point accepted before it),
+//!   collect the per-shard candidate blocks *in shard order*, union them
+//!   with [`skm_coreset::merge::union_blocks`] and run the shared
+//!   [`extract_centers_block`] driver on the result.
+//!
+//! Sharding pays off when update cost dominates (frequent arrivals, spare
+//! cores); on a single core it only adds channel overhead. Note that the
+//! answer is deterministic for a fixed shard count but *not* identical
+//! across different shard counts — the stream is partitioned differently,
+//! so different (equally valid) coresets are built.
+
+use crate::cc::CachedCoresetTree;
+use crate::clusterer::{QueryStats, StreamingClusterer};
+use crate::config::StreamConfig;
+use crate::ct::CoresetTreeClusterer;
+use crate::driver::extract_centers_block;
+use crate::rcc::RecursiveCachedTree;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use skm_clustering::error::{ClusteringError, Result};
+use skm_clustering::{Centers, PointBlock};
+use skm_coreset::merge::union_blocks;
+use std::sync::mpsc;
+use std::thread;
+
+/// Default number of points buffered per shard before a batch is shipped
+/// to its worker thread.
+pub const DEFAULT_BATCH_SIZE: usize = 128;
+
+/// Upper bound on the shard count (a guard against typos like passing a
+/// point count where a shard count belongs — far above any sensible
+/// configuration, which tracks the machine's core count).
+pub const MAX_SHARDS: usize = 256;
+
+/// A streaming clusterer that can serve as a shard worker: besides the
+/// per-point interface it exposes its query-time candidate coreset (as a
+/// norm-cached block) so a coordinator can merge summaries across shards.
+pub trait ShardClusterer: StreamingClusterer + Send + 'static {
+    /// The candidate points a query would hand to k-means++, summarizing
+    /// everything this shard has absorbed, plus query diagnostics.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] when the shard has seen no
+    /// points (the coordinator skips such shards).
+    fn shard_candidates(&mut self) -> Result<(PointBlock, QueryStats)>;
+}
+
+impl ShardClusterer for CoresetTreeClusterer {
+    fn shard_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
+        self.query_candidates()
+    }
+}
+
+impl ShardClusterer for CachedCoresetTree {
+    fn shard_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
+        self.query_candidates()
+    }
+}
+
+impl ShardClusterer for RecursiveCachedTree {
+    fn shard_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
+        self.query_candidates()
+    }
+}
+
+/// Commands the ingestion thread sends to a shard worker. Replies travel
+/// over per-request channels so a worker never blocks on a slow consumer.
+enum ShardCmd {
+    /// A flat row-major batch of `coords.len() / dim` points to ingest.
+    Batch { dim: usize, coords: Vec<f64> },
+    /// Produce the shard's candidate coreset (`None` when the shard is
+    /// empty). Ordered behind all previously sent batches, so the answer
+    /// covers every point accepted before the query.
+    Query {
+        reply: mpsc::Sender<Result<Option<(PointBlock, QueryStats)>>>,
+    },
+    /// Report `(memory_points, points_seen)`; also used as a cheap barrier
+    /// that drains the shard's queue.
+    Stats { reply: mpsc::Sender<(usize, u64)> },
+}
+
+/// The worker loop: owns one clusterer and processes commands FIFO until
+/// the coordinator drops its sender. The first update error is latched and
+/// reported on the next query instead of killing the thread, so the
+/// coordinator can surface it as a normal `Result`.
+fn shard_worker<C: ShardClusterer>(mut clusterer: C, commands: &mpsc::Receiver<ShardCmd>) {
+    let mut failed: Option<ClusteringError> = None;
+    while let Ok(cmd) = commands.recv() {
+        match cmd {
+            ShardCmd::Batch { dim, coords } => {
+                if failed.is_none() {
+                    let points: Vec<&[f64]> = coords.chunks_exact(dim).collect();
+                    if let Err(e) = clusterer.update_batch(&points) {
+                        failed = Some(e);
+                    }
+                }
+            }
+            ShardCmd::Query { reply } => {
+                let response = match &failed {
+                    Some(e) => Err(e.clone()),
+                    None if clusterer.points_seen() == 0 => Ok(None),
+                    None => clusterer.shard_candidates().map(Some),
+                };
+                let _ = reply.send(response);
+            }
+            ShardCmd::Stats { reply } => {
+                let _ = reply.send((clusterer.memory_points(), clusterer.points_seen()));
+            }
+        }
+    }
+}
+
+/// Error reported when a shard's worker thread is gone (it panicked or was
+/// torn down); ingestion cannot continue correctly past a lost shard.
+fn shard_disconnected(shard: usize) -> ClusteringError {
+    ClusteringError::InvalidParameter {
+        name: "shard",
+        message: format!("worker thread of shard {shard} disconnected"),
+    }
+}
+
+/// Derives a per-shard seed from the master seed (splitmix-style odd
+/// multiplier keeps the seeds distinct and uncorrelated across shards).
+fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)
+}
+
+/// Sharded multi-threaded ingestion over any [`ShardClusterer`].
+///
+/// See the [module documentation](self) for the architecture. Construct
+/// with [`ShardedStream::with_factory`] (any clusterer) or the
+/// [`cc`](ShardedStream::cc) / [`ct`](ShardedStream::ct) /
+/// [`rcc`](ShardedStream::rcc) shorthands, then drive it through the
+/// ordinary [`StreamingClusterer`] interface.
+#[derive(Debug)]
+pub struct ShardedStream<C: ShardClusterer> {
+    config: StreamConfig,
+    batch_size: usize,
+    /// Stream dimension, fixed by the first point ever observed.
+    dim: Option<usize>,
+    senders: Vec<mpsc::Sender<ShardCmd>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    /// Per-shard flat coordinate buffers awaiting shipment.
+    pending: Vec<Vec<f64>>,
+    /// Shard of the next arrival (round-robin by arrival index).
+    next_shard: usize,
+    points_seen: u64,
+    /// Query-side RNG (k-means++ extraction over the merged candidates).
+    rng: ChaCha20Rng,
+    last_stats: Option<QueryStats>,
+    /// The worker clusterer type (owned by the threads, not the struct).
+    clusterer: std::marker::PhantomData<fn() -> C>,
+}
+
+impl<C: ShardClusterer> ShardedStream<C> {
+    /// Creates a sharded stream whose `shards` workers are built by
+    /// `factory(shard_index, shard_seed)`. The factory runs on the calling
+    /// thread; each clusterer is then moved onto its worker thread.
+    ///
+    /// `seed` drives both the per-shard seeds handed to `factory` and the
+    /// query-side k-means++ RNG, making results reproducible for a fixed
+    /// `(seed, shards)`.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::InvalidParameter`] for an invalid
+    /// configuration, shard count, or batch size, and propagates factory
+    /// failures.
+    pub fn with_factory<F>(
+        config: StreamConfig,
+        shards: usize,
+        batch_size: usize,
+        seed: u64,
+        mut factory: F,
+    ) -> Result<Self>
+    where
+        F: FnMut(usize, u64) -> Result<C>,
+    {
+        config.validate()?;
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(ClusteringError::InvalidParameter {
+                name: "shards",
+                message: format!("must be in 1..={MAX_SHARDS}, got {shards}"),
+            });
+        }
+        if batch_size == 0 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "batch_size",
+                message: "must be positive".to_string(),
+            });
+        }
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let clusterer = factory(shard, shard_seed(seed, shard))?;
+            let (tx, rx) = mpsc::channel();
+            let handle = thread::Builder::new()
+                .name(format!("skm-shard-{shard}"))
+                .spawn(move || shard_worker(clusterer, &rx))
+                .map_err(|e| ClusteringError::InvalidParameter {
+                    name: "shards",
+                    message: format!("cannot spawn worker thread {shard}: {e}"),
+                })?;
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Ok(Self {
+            config,
+            batch_size,
+            dim: None,
+            senders,
+            workers,
+            pending: vec![Vec::new(); shards],
+            next_shard: 0,
+            points_seen: 0,
+            rng: ChaCha20Rng::seed_from_u64(seed),
+            last_stats: None,
+            clusterer: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of shards (worker threads).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Points buffered per shard before a batch is shipped.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The configuration shared by every shard.
+    #[must_use]
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Points currently sitting in the coordinator's per-shard batch
+    /// buffers (not yet shipped to any worker).
+    #[must_use]
+    pub fn coordinator_buffered_points(&self) -> usize {
+        match self.dim {
+            Some(d) => self.pending.iter().map(|p| p.len() / d).sum(),
+            None => 0,
+        }
+    }
+
+    /// Ships shard `s`'s pending batch, if any.
+    fn flush_shard(&mut self, shard: usize) -> Result<()> {
+        if self.pending[shard].is_empty() {
+            return Ok(());
+        }
+        let dim = self.dim.expect("pending points imply a known dimension");
+        // Keep a same-sized allocation in place so steady-state ingestion
+        // reuses buffers instead of growing fresh ones from zero.
+        let coords = std::mem::replace(
+            &mut self.pending[shard],
+            Vec::with_capacity(self.batch_size * dim),
+        );
+        self.senders[shard]
+            .send(ShardCmd::Batch { dim, coords })
+            .map_err(|_| shard_disconnected(shard))
+    }
+
+    /// Ships every pending batch and waits until all workers have caught
+    /// up (a full barrier across shards). Useful to bound ingestion work
+    /// before measuring, and before dropping the stream on a schedule.
+    ///
+    /// # Errors
+    /// Returns an error when a worker thread is gone.
+    pub fn drain(&mut self) -> Result<()> {
+        for shard in 0..self.shards() {
+            self.flush_shard(shard)?;
+        }
+        // One Stats round-trip per shard: the reply arrives only after the
+        // worker has processed everything queued before it.
+        let mut replies = Vec::with_capacity(self.shards());
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(ShardCmd::Stats { reply: tx })
+                .map_err(|_| shard_disconnected(shard))?;
+            replies.push(rx);
+        }
+        for (shard, rx) in replies.into_iter().enumerate() {
+            rx.recv().map_err(|_| shard_disconnected(shard))?;
+        }
+        Ok(())
+    }
+}
+
+impl ShardedStream<CachedCoresetTree> {
+    /// Sharded ingestion over per-shard CC clusterers (the recommended
+    /// default: cheap updates *and* cached queries on every shard).
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn cc(config: StreamConfig, shards: usize, batch_size: usize, seed: u64) -> Result<Self> {
+        Self::with_factory(config, shards, batch_size, seed, |_, s| {
+            CachedCoresetTree::new(config, s)
+        })
+    }
+}
+
+impl ShardedStream<CoresetTreeClusterer> {
+    /// Sharded ingestion over per-shard CT (streamkm++) clusterers.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn ct(config: StreamConfig, shards: usize, batch_size: usize, seed: u64) -> Result<Self> {
+        Self::with_factory(config, shards, batch_size, seed, |_, s| {
+            CoresetTreeClusterer::new(config, s)
+        })
+    }
+}
+
+impl ShardedStream<RecursiveCachedTree> {
+    /// Sharded ingestion over per-shard RCC clusterers with the given
+    /// nesting depth.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn rcc(
+        config: StreamConfig,
+        shards: usize,
+        batch_size: usize,
+        nesting_depth: u32,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::with_factory(config, shards, batch_size, seed, |_, s| {
+            RecursiveCachedTree::new(config, nesting_depth, s)
+        })
+    }
+}
+
+impl<C: ShardClusterer> StreamingClusterer for ShardedStream<C> {
+    fn name(&self) -> &'static str {
+        "Sharded"
+    }
+
+    fn update(&mut self, point: &[f64]) -> Result<()> {
+        // Validate on the ingestion thread so the caller learns about a bad
+        // point synchronously (workers then never see invalid input, which
+        // keeps their latched-error path for genuine internal failures).
+        // The shared helper commits the learned dimension only on success.
+        self.dim = Some(crate::driver::validate_stream_point(self.dim, point, 0)?);
+
+        let shard = self.next_shard;
+        self.next_shard = (shard + 1) % self.shards();
+        self.pending[shard].extend_from_slice(point);
+        self.points_seen += 1;
+        if self.pending[shard].len() >= self.batch_size * point.len() {
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    fn query(&mut self) -> Result<Centers> {
+        if self.points_seen == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        // Ship partial batches, then enqueue one query per shard *before*
+        // collecting any reply: every worker computes its candidates
+        // concurrently, and channel FIFO guarantees each answer reflects
+        // all points routed to that shard so far.
+        let mut replies = Vec::with_capacity(self.shards());
+        for shard in 0..self.shards() {
+            self.flush_shard(shard)?;
+        }
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(ShardCmd::Query { reply: tx })
+                .map_err(|_| shard_disconnected(shard))?;
+            replies.push(rx);
+        }
+        // Collect in shard order so the merged candidate block — and with
+        // it the k-means++ extraction — is deterministic.
+        let mut blocks = Vec::with_capacity(self.shards());
+        let mut merged = 0usize;
+        let mut level: Option<u32> = None;
+        let mut used_cache = false;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let response = rx.recv().map_err(|_| shard_disconnected(shard))?;
+            if let Some((block, stats)) = response? {
+                merged += stats.coresets_merged;
+                level = level.max(stats.coreset_level);
+                used_cache |= stats.used_cache;
+                blocks.push(block);
+            }
+        }
+        let candidates = union_blocks(&blocks)?;
+        let centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
+        self.last_stats = Some(QueryStats {
+            coresets_merged: merged,
+            candidate_points: candidates.len(),
+            coreset_level: level,
+            used_cache,
+            ran_kmeans: true,
+        });
+        Ok(centers)
+    }
+
+    fn memory_points(&self) -> usize {
+        let mut total = self.coordinator_buffered_points();
+        for sender in &self.senders {
+            let (tx, rx) = mpsc::channel();
+            if sender.send(ShardCmd::Stats { reply: tx }).is_ok() {
+                if let Ok((memory, _)) = rx.recv() {
+                    total += memory;
+                }
+            }
+        }
+        total
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.points_seen
+    }
+
+    fn last_query_stats(&self) -> Option<QueryStats> {
+        self.last_stats
+    }
+}
+
+impl<C: ShardClusterer> Drop for ShardedStream<C> {
+    fn drop(&mut self) {
+        // Hang up the command channels; each worker's `recv` then errors
+        // and its loop exits. Joining keeps worker lifetime bounded by the
+        // coordinator's (no detached threads outliving the stream).
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn config(k: usize, m: usize) -> StreamConfig {
+        StreamConfig::new(k)
+            .with_bucket_size(m)
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(2)
+    }
+
+    fn blob(i: usize, rng: &mut ChaCha8Rng) -> [f64; 2] {
+        let anchors = [[0.0, 0.0], [40.0, 0.0], [0.0, 40.0]];
+        let a = anchors[i % anchors.len()];
+        [a[0] + rng.gen::<f64>(), a[1] + rng.gen::<f64>()]
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ShardedStream::cc(config(2, 20), 0, 64, 1).is_err());
+        assert!(ShardedStream::cc(config(2, 20), MAX_SHARDS + 1, 64, 1).is_err());
+        assert!(ShardedStream::cc(config(2, 20), 2, 0, 1).is_err());
+        assert!(ShardedStream::cc(StreamConfig::new(5).with_bucket_size(2), 2, 64, 1).is_err());
+    }
+
+    #[test]
+    fn query_before_any_point_is_error() {
+        let mut s = ShardedStream::cc(config(2, 20), 2, 16, 1).unwrap();
+        assert!(s.query().is_err());
+    }
+
+    #[test]
+    fn validates_points_at_ingestion() {
+        let mut s = ShardedStream::cc(config(2, 20), 2, 16, 1).unwrap();
+        assert!(s.update(&[]).is_err());
+        s.update(&[1.0, 2.0]).unwrap();
+        assert!(s.update(&[1.0]).is_err());
+        assert!(s.update(&[f64::NAN, 0.0]).is_err());
+        assert_eq!(s.points_seen(), 1);
+    }
+
+    #[test]
+    fn rejected_first_point_does_not_lock_the_stream_dimension() {
+        let mut s = ShardedStream::cc(config(2, 20), 2, 16, 1).unwrap();
+        assert!(s.update(&[f64::NAN, 0.0]).is_err());
+        // The rejected 2-d point must not have fixed the dimension.
+        s.update(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.points_seen(), 1);
+        assert!(s.update(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn round_robin_splits_points_evenly() {
+        let mut s = ShardedStream::cc(config(2, 10), 3, 4, 7).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for i in 0..91 {
+            s.update(&blob(i, &mut rng)).unwrap();
+        }
+        s.drain().unwrap();
+        assert_eq!(s.points_seen(), 91);
+        assert_eq!(s.coordinator_buffered_points(), 0);
+        // 91 points over 3 shards: shard 0 gets 31, shards 1-2 get 30 —
+        // confirmed through the per-shard stats barrier.
+        let mut per_shard = Vec::new();
+        for sender in &s.senders {
+            let (tx, rx) = mpsc::channel();
+            sender.send(ShardCmd::Stats { reply: tx }).unwrap();
+            per_shard.push(rx.recv().unwrap().1);
+        }
+        assert_eq!(per_shard, vec![31, 30, 30]);
+    }
+
+    #[test]
+    fn finds_clusters_and_reports_stats() {
+        let mut s = ShardedStream::cc(config(3, 30), 4, 32, 11).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for i in 0..1_800 {
+            s.update(&blob(i, &mut rng)).unwrap();
+        }
+        let centers = s.query().unwrap();
+        assert_eq!(centers.len(), 3);
+        for anchor in [[0.5, 0.5], [40.5, 0.5], [0.5, 40.5]] {
+            let closest = centers
+                .iter()
+                .map(|c| skm_clustering::distance::distance(c, &anchor))
+                .fold(f64::INFINITY, f64::min);
+            assert!(closest < 2.0, "anchor {anchor:?} missed ({closest})");
+        }
+        let stats = s.last_query_stats().unwrap();
+        assert!(stats.ran_kmeans);
+        assert!(stats.candidate_points > 0);
+        assert!(stats.coresets_merged >= 4, "one candidate set per shard");
+    }
+
+    #[test]
+    fn deterministic_at_fixed_seed_and_shard_count() {
+        let run = || {
+            let mut s = ShardedStream::cc(config(3, 20), 3, 8, 99).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut mid = None;
+            for i in 0..700 {
+                s.update(&blob(i, &mut rng)).unwrap();
+                if i == 350 {
+                    mid = Some(s.query().unwrap());
+                }
+            }
+            (mid.unwrap(), s.query().unwrap())
+        };
+        let (a_mid, a_end) = run();
+        let (b_mid, b_end) = run();
+        // Bit-identical, not approximately equal.
+        assert_eq!(a_mid, b_mid);
+        assert_eq!(a_end, b_end);
+    }
+
+    #[test]
+    fn single_shard_batches_do_not_change_points_seen_accounting() {
+        let mut s = ShardedStream::ct(config(2, 10), 1, 4, 3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for i in 0..25 {
+            s.update(&blob(i, &mut rng)).unwrap();
+        }
+        assert_eq!(s.points_seen(), 25);
+        s.drain().unwrap();
+        // All 25 points are inside the worker now (tree + partial bucket).
+        assert!(s.memory_points() >= 5);
+        assert_eq!(s.coordinator_buffered_points(), 0);
+    }
+
+    #[test]
+    fn rcc_sharding_works_end_to_end() {
+        let mut s = ShardedStream::rcc(config(2, 16), 2, 16, 2, 5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for i in 0..400 {
+            s.update(&blob(i, &mut rng)).unwrap();
+        }
+        let centers = s.query().unwrap();
+        assert_eq!(centers.len(), 2);
+        assert_eq!(s.name(), "Sharded");
+        assert_eq!(s.shards(), 2);
+        assert_eq!(s.batch_size(), 16);
+    }
+}

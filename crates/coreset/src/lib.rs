@@ -33,13 +33,13 @@ pub mod span;
 
 pub use construct::{CoresetBuilder, CoresetMethod};
 pub use coreset::Coreset;
-pub use merge::merge_coresets;
+pub use merge::{merge_coresets, union_blocks};
 pub use span::Span;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::construct::{CoresetBuilder, CoresetMethod};
     pub use crate::coreset::Coreset;
-    pub use crate::merge::merge_coresets;
+    pub use crate::merge::{merge_coresets, union_blocks};
     pub use crate::span::Span;
 }

@@ -78,6 +78,35 @@ pub fn union_points(inputs: &[&Coreset]) -> Result<PointSet> {
     Ok(out)
 }
 
+/// Unions norm-cached point blocks into a single block **without** reducing
+/// them, reusing every input's cached squared norms.
+///
+/// This is the cross-shard counterpart of [`union_points`]: each shard of a
+/// sharded stream summarizes a *disjoint* slice of the input (so by
+/// Observation 1 the union of the per-shard coresets is a coreset of the
+/// whole stream), and the blocks carry the norms their buffers computed at
+/// update time, so the union feeds the fused query kernels without an extra
+/// norm pass. Empty inputs are skipped.
+///
+/// # Errors
+/// Returns [`ClusteringError::EmptyInput`] when the inputs contain no
+/// points at all, and a dimension-mismatch error when non-empty inputs
+/// disagree on dimensionality.
+pub fn union_blocks(inputs: &[PointBlock]) -> Result<PointBlock> {
+    let total: usize = inputs.iter().map(PointBlock::len).sum();
+    let first = inputs
+        .iter()
+        .find(|b| !b.is_empty())
+        .ok_or(ClusteringError::EmptyInput)?;
+    let mut out = PointBlock::with_capacity(first.dim(), total);
+    for block in inputs {
+        if !block.is_empty() {
+            out.extend_from_block(block)?;
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +199,27 @@ mod tests {
     #[test]
     fn union_points_empty_is_error() {
         assert!(union_points(&[]).is_err());
+    }
+
+    #[test]
+    fn union_blocks_concatenates_and_reuses_norms() {
+        let a = PointBlock::from_point_set(bucket(3.0, 4, 1).points());
+        let b = PointBlock::from_point_set(bucket(5.0, 2, 2).points());
+        let empty = PointBlock::new(1);
+        let u = union_blocks(&[a.clone(), empty, b.clone()]).unwrap();
+        assert_eq!(u.len(), 6);
+        assert_eq!(u.norms()[..4], a.norms()[..]);
+        assert_eq!(u.norms()[4..], b.norms()[..]);
+        assert!((u.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_blocks_rejects_empty_and_mismatched_inputs() {
+        assert!(union_blocks(&[]).is_err());
+        assert!(union_blocks(&[PointBlock::new(2)]).is_err());
+        let a = PointBlock::from_point_set(bucket(1.0, 3, 1).points());
+        let mut wrong = PointBlock::new(2);
+        wrong.push(&[0.0, 0.0], 1.0);
+        assert!(union_blocks(&[a, wrong]).is_err());
     }
 }

@@ -182,6 +182,94 @@ fn trait_objects_are_usable_in_collections() {
     }
 }
 
+/// Sharded ingestion is fully deterministic at a fixed `(seed, shards)`
+/// pair: repeated runs return bit-identical centers, including queries
+/// issued mid-stream (which drain in-flight batches first).
+#[test]
+fn sharded_stream_is_deterministic_at_fixed_seed_and_shards() {
+    let dataset = mixture_stream(4_000, 41);
+    let config = test_config();
+    for shards in [1, 2, 4] {
+        let run = || {
+            let mut sharded =
+                ShardedStream::cc(config, shards, 64, 7).expect("valid configuration");
+            let mut mid = None;
+            for (i, p) in dataset.stream().enumerate() {
+                sharded.update(p).expect("update");
+                if i + 1 == dataset.len() / 2 {
+                    mid = Some(sharded.query().expect("mid-stream query"));
+                }
+            }
+            (
+                mid.expect("stream long enough"),
+                sharded.query().expect("final query"),
+            )
+        };
+        let (a_mid, a_end) = run();
+        let (b_mid, b_end) = run();
+        assert_eq!(a_mid, b_mid, "{shards} shards: mid-stream query diverged");
+        assert_eq!(a_end, b_end, "{shards} shards: final query diverged");
+    }
+}
+
+/// Sharding costs no accuracy beyond the coreset guarantee: on the Gaussian
+/// drift workload, the merged multi-shard answer stays within the paper's
+/// approximation envelope of the single-shard baseline (each shard
+/// summarizes a disjoint sub-stream, so the union of the per-shard coresets
+/// is a coreset of the whole stream — Observation 1).
+#[test]
+fn sharded_cost_stays_within_envelope_of_single_shard_on_gaussian_drift() {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let dataset = RbfDriftGenerator::new(K, 8)
+        .expect("valid generator")
+        .with_speed(0.5)
+        .with_points_per_step(100)
+        .generate(6_000, &mut rng);
+    let config = test_config();
+
+    let mut single = ShardedStream::cc(config, 1, 128, 5).expect("valid configuration");
+    let mut sharded = ShardedStream::cc(config, 4, 128, 5).expect("valid configuration");
+    for p in dataset.stream() {
+        single.update(p).expect("update");
+        sharded.update(p).expect("update");
+    }
+    let single_cost = kmeans_cost(dataset.points(), &single.query().expect("query")).expect("cost");
+    let sharded_cost =
+        kmeans_cost(dataset.points(), &sharded.query().expect("query")).expect("cost");
+    assert!(
+        sharded_cost <= 2.5 * single_cost + 1e-9,
+        "4-shard cost {sharded_cost:.4e} outside the envelope of 1-shard cost {single_cost:.4e}"
+    );
+    assert!(
+        single_cost <= 2.5 * sharded_cost + 1e-9,
+        "1-shard cost {single_cost:.4e} outside the envelope of 4-shard cost {sharded_cost:.4e}"
+    );
+}
+
+/// `update_batch` is behaviourally identical to a per-point update loop:
+/// same buckets, same RNG consumption, bit-identical query answers.
+#[test]
+fn batch_updates_match_per_point_updates_bit_for_bit() {
+    let dataset = mixture_stream(2_500, 51);
+    let config = test_config();
+    let points: Vec<&[f64]> = dataset.stream().collect();
+
+    let mut per_point = CachedCoresetTree::new(config, 13).unwrap();
+    for p in &points {
+        per_point.update(p).expect("update");
+    }
+    let mut batched = CachedCoresetTree::new(config, 13).unwrap();
+    for chunk in points.chunks(97) {
+        batched.update_batch(chunk).expect("update_batch");
+    }
+    assert_eq!(per_point.points_seen(), batched.points_seen());
+    assert_eq!(
+        per_point.query().expect("query"),
+        batched.query().expect("query"),
+        "batched ingestion must be indistinguishable from per-point ingestion"
+    );
+}
+
 /// Query statistics expose the paper's central quantitative difference: with
 /// frequent queries, CC touches far fewer coresets per query than CT.
 #[test]

@@ -409,3 +409,110 @@ fn coreset_tree_weight_equals_points_seen() {
         assert!(ct.tree().digit_invariant_holds());
     }
 }
+
+// --- robustness: non-finite input and batch-update equivalence -----------
+
+/// Injecting NaN/±∞ points anywhere in a stream must (a) be rejected with
+/// an error and (b) leave the clusterer in exactly the state of a clean run
+/// over only the valid points — no poisoned norms, no advanced RNG, no
+/// phantom `points_seen`.
+#[test]
+fn non_finite_points_are_rejected_without_poisoning_state() {
+    let mut rng = ChaCha8Rng::seed_from_u64(131);
+    for _ in 0..CASES {
+        let dim = rng.gen_range(1..=4usize);
+        let n = rng.gen_range(30..200usize);
+        let seed = rng.gen_range(0..500u64);
+        let config = StreamConfig::new(2)
+            .with_bucket_size(rng.gen_range(5..30usize).max(2))
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(1);
+
+        let mut poisoned = CachedCoresetTree::new(config, seed).unwrap();
+        let mut clean = CachedCoresetTree::new(config, seed).unwrap();
+        let mut row = vec![0.0f64; dim];
+        for _ in 0..n {
+            for x in row.iter_mut() {
+                *x = rng.gen_range(-100.0..100.0f64);
+            }
+            poisoned.update(&row).unwrap();
+            clean.update(&row).unwrap();
+            if rng.gen_bool(0.2) {
+                // A corrupted copy of the point, fed only to `poisoned`.
+                let mut bad = row.clone();
+                let coord = rng.gen_range(0..dim);
+                bad[coord] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][rng.gen_range(0..3usize)];
+                assert!(
+                    poisoned.update(&bad).is_err(),
+                    "non-finite point must be rejected (dim={dim})"
+                );
+            }
+        }
+        assert_eq!(poisoned.points_seen(), clean.points_seen());
+        let a = poisoned.query().unwrap();
+        let b = clean.query().unwrap();
+        assert_eq!(
+            a, b,
+            "rejected points must leave no trace (dim={dim}, n={n})"
+        );
+        for c in a.iter() {
+            assert!(c.iter().all(|x| x.is_finite()));
+        }
+    }
+}
+
+/// Feeding a stream through `update_batch` in random chunk sizes yields the
+/// same internal state as the per-point loop: identical `points_seen` and
+/// bit-identical query answers, across all overriding algorithms.
+#[test]
+fn update_batch_equals_per_point_updates() {
+    let mut rng = ChaCha8Rng::seed_from_u64(137);
+    for _ in 0..16 {
+        let n = rng.gen_range(50..250usize);
+        let seed = rng.gen_range(0..500u64);
+        let config = StreamConfig::new(2)
+            .with_bucket_size(rng.gen_range(4..25usize).max(2))
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(1);
+        let rows: Vec<[f64; 2]> = (0..n)
+            .map(|_| [rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+
+        let check = |single: &mut dyn StreamingClusterer,
+                     batched: &mut dyn StreamingClusterer,
+                     chunk_rng: &mut ChaCha8Rng| {
+            for r in &refs {
+                single.update(r).unwrap();
+            }
+            let mut rest: &[&[f64]] = &refs;
+            while !rest.is_empty() {
+                let take = chunk_rng.gen_range(1..=rest.len());
+                batched.update_batch(&rest[..take]).unwrap();
+                rest = &rest[take..];
+            }
+            assert_eq!(single.points_seen(), batched.points_seen());
+            assert_eq!(
+                single.query().unwrap(),
+                batched.query().unwrap(),
+                "batched ingestion diverged ({})",
+                single.name()
+            );
+        };
+        check(
+            &mut CoresetTreeClusterer::new(config, seed).unwrap(),
+            &mut CoresetTreeClusterer::new(config, seed).unwrap(),
+            &mut rng,
+        );
+        check(
+            &mut CachedCoresetTree::new(config, seed).unwrap(),
+            &mut CachedCoresetTree::new(config, seed).unwrap(),
+            &mut rng,
+        );
+        check(
+            &mut RecursiveCachedTree::new(config, 2, seed).unwrap(),
+            &mut RecursiveCachedTree::new(config, 2, seed).unwrap(),
+            &mut rng,
+        );
+    }
+}
