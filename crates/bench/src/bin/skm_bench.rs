@@ -16,7 +16,10 @@
 //! See the README section "Benchmarking & perf methodology" for the JSON
 //! schema and the baseline-refresh workflow.
 
-use skm_bench::report::{compare_reports, measure_workload, BaselineFile, WorkloadReport};
+use skm_bench::report::{
+    compare_reports, measure_workload, write_baseline, write_reports, BaselineFile, WorkloadReport,
+};
+use skm_bench::serving::measure_serving_workload;
 use skm_bench::sharded::measure_sharded_workload;
 use skm_bench::{BenchArgs, DatasetSpec};
 use std::path::Path;
@@ -35,10 +38,14 @@ fn read_fresh_reports(
     dir: &str,
     specs: &[DatasetSpec],
     sharded: bool,
+    serving: bool,
 ) -> Result<Vec<WorkloadReport>, String> {
     let mut names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
     if sharded {
         names.push(skm_bench::SHARDED_WORKLOAD.to_string());
+    }
+    if serving {
+        names.push(skm_bench::SERVING_WORKLOAD.to_string());
     }
     let mut reports = Vec::new();
     for name in &names {
@@ -55,17 +62,6 @@ fn read_fresh_reports(
         return Err(format!("no BENCH_*.json reports found in `{dir}`"));
     }
     Ok(reports)
-}
-
-fn write_reports(dir: &str, reports: &[WorkloadReport]) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
-    for report in reports {
-        let path = Path::new(dir).join(report.file_name());
-        let json = serde_json::to_string(report).map_err(|e| format!("serialize: {e:?}"))?;
-        std::fs::write(&path, json).map_err(|e| format!("write `{}`: {e}", path.display()))?;
-        println!("wrote {}", path.display());
-    }
-    Ok(())
 }
 
 fn print_summary(report: &WorkloadReport) {
@@ -136,7 +132,7 @@ fn main() -> ExitCode {
             eprintln!("--guard-only requires --json DIR (where to load reports from)");
             return ExitCode::FAILURE;
         };
-        match read_fresh_reports(dir, &specs, args.sharded) {
+        match read_fresh_reports(dir, &specs, args.sharded, args.serving) {
             Ok(reports) => reports,
             Err(e) => {
                 eprintln!("{e}");
@@ -169,30 +165,45 @@ fn main() -> ExitCode {
                 }
             }
         }
-        if let Some(dir) = args.json.as_deref() {
-            if let Err(e) = write_reports(dir, &reports) {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        if let Some(path) = args.baseline_out.as_deref() {
-            let baseline = BaselineFile {
-                schema_version: skm_bench::report::SCHEMA_VERSION,
-                reports: reports.clone(),
-            };
-            match serde_json::to_string(&baseline) {
-                Ok(json) => {
-                    if let Err(e) = std::fs::write(path, json) {
-                        eprintln!("write `{path}`: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                    println!("wrote baseline {path}");
+        if args.serving {
+            match measure_serving_workload(args.points, args.k, args.seed) {
+                Ok(report) => {
+                    print_summary(&report);
+                    reports.push(report);
                 }
                 Err(e) => {
-                    eprintln!("serialize baseline: {e:?}");
+                    eprintln!("serving benchmark failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }
+        }
+        if let Some(dir) = args.json.as_deref() {
+            match write_reports(dir, &reports) {
+                Ok(written) => {
+                    for path in written {
+                        println!("wrote {path}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = args.baseline_out.as_deref() {
+            // Serving cells never enter the baseline (their loopback-RTT
+            // medians are too machine-varying to guard); the filter lives
+            // in the library so a `--serving` baseline refresh cannot
+            // re-enable that guard by accident.
+            let baseline = BaselineFile {
+                schema_version: skm_bench::report::SCHEMA_VERSION,
+                reports: skm_bench::report::guardable_reports(&reports),
+            };
+            if let Err(e) = write_baseline(path, &baseline) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote baseline {path}");
         }
         reports
     };

@@ -27,6 +27,8 @@
 //! --baseline-out PATH write all fresh reports as a new baseline file
 //! --sharded           additionally measure (or, with --guard-only, load)
 //!                     the sharded-ingestion grid (BENCH_sharded.json)
+//! --serving           additionally measure (or, with --guard-only, load)
+//!                     the TCP serving workload (BENCH_serving.json)
 //! ```
 
 use crate::workloads::DatasetSpec;
@@ -57,6 +59,9 @@ pub struct BenchArgs {
     /// Also measure (or, with `guard_only`, load) the sharded-ingestion
     /// throughput grid (`BENCH_sharded.json`).
     pub sharded: bool,
+    /// Also measure (or, with `guard_only`, load) the TCP serving workload
+    /// (`BENCH_serving.json`).
+    pub serving: bool,
     /// Hard parse errors (a report-pipeline flag missing its value). The
     /// `skm-bench` binary refuses to run when this is non-empty — a guard
     /// invocation that silently dropped `--check` would green-light
@@ -78,6 +83,7 @@ impl Default for BenchArgs {
             guard_only: false,
             baseline_out: None,
             sharded: false,
+            serving: false,
             errors: Vec::new(),
         }
     }
@@ -154,6 +160,7 @@ impl BenchArgs {
                 }
                 "--guard-only" => parsed.guard_only = true,
                 "--sharded" => parsed.sharded = true,
+                "--serving" => parsed.serving = true,
                 "--baseline-out" => {
                     parsed.baseline_out =
                         take_path_value(&mut iter, "--baseline-out", &mut parsed.errors);
@@ -266,6 +273,12 @@ mod tests {
     fn sharded_flag_parses() {
         assert!(parse(&["--sharded"]).sharded);
         assert!(!parse(&[]).sharded);
+    }
+
+    #[test]
+    fn serving_flag_parses() {
+        assert!(parse(&["--serving"]).serving);
+        assert!(!parse(&[]).serving);
     }
 
     #[test]

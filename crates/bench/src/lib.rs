@@ -13,6 +13,9 @@
 //!   baseline comparison behind CI's regression guard,
 //! * [`sharded`] — the sharded-ingestion throughput grid
 //!   (`BENCH_sharded.json`, shards × batch-size on the Power dataset),
+//! * [`serving`] — the TCP serving workload (`BENCH_serving.json`,
+//!   request latency of the `skm-serve` server under a concurrent
+//!   ingest:query mix driven by the built-in load generator),
 //! * [`cli`] — the tiny flag parser shared by the figure/table binaries.
 //!
 //! Each figure or table of the paper has a dedicated binary in `src/bin/`
@@ -27,14 +30,17 @@ pub mod cli;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod serving;
 pub mod sharded;
 pub mod tables;
 pub mod workloads;
 
 pub use cli::BenchArgs;
 pub use report::{
-    compare_reports, measure_workload, BaselineFile, LatencySummary, Regression, WorkloadReport,
+    compare_reports, measure_workload, write_baseline, write_reports, BaselineFile, LatencySummary,
+    Regression, WorkloadReport,
 };
 pub use runner::{make_algorithm, run_stream, AlgorithmKind, StreamRunResult};
+pub use serving::{measure_serving_workload, SERVING_WORKLOAD};
 pub use sharded::{measure_sharded_workload, SHARDED_WORKLOAD};
 pub use workloads::{build_dataset, DatasetSpec};

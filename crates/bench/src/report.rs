@@ -251,6 +251,61 @@ pub fn compare_reports(
     out
 }
 
+/// Writes one `BENCH_<workload>.json` per report into `dir`, creating the
+/// directory (and any missing parents) first — `skm-bench --json DIR` must
+/// work without a `mkdir -p` preamble in CI or locally.
+///
+/// # Errors
+/// Returns a human-readable message when the directory cannot be created or
+/// a file cannot be written.
+pub fn write_reports(
+    dir: &str,
+    reports: &[WorkloadReport],
+) -> std::result::Result<Vec<String>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    let mut written = Vec::with_capacity(reports.len());
+    for report in reports {
+        let path = std::path::Path::new(dir).join(report.file_name());
+        let json = serde_json::to_string(report).map_err(|e| format!("serialize: {e:?}"))?;
+        std::fs::write(&path, json).map_err(|e| format!("write `{}`: {e}", path.display()))?;
+        written.push(path.display().to_string());
+    }
+    Ok(written)
+}
+
+/// The subset of `reports` that belongs in `bench/baseline.json`: the
+/// serving workload is excluded by design — its request latencies include
+/// loopback RTT and scheduler noise, which varies across machines far more
+/// than the ±25% guard tolerates, so guarding it would make CI flaky.
+/// Keeping the filter here (rather than as a convention of the committed
+/// file) means a routine `--serving --baseline-out` baseline refresh cannot
+/// silently re-enable that guard.
+#[must_use]
+pub fn guardable_reports(reports: &[WorkloadReport]) -> Vec<WorkloadReport> {
+    reports
+        .iter()
+        .filter(|r| r.workload != crate::serving::SERVING_WORKLOAD)
+        .cloned()
+        .collect()
+}
+
+/// Writes a combined baseline file, creating missing parent directories
+/// (the same no-`mkdir -p` guarantee as [`write_reports`]).
+///
+/// # Errors
+/// Returns a human-readable message when the parent directory cannot be
+/// created or the file cannot be written.
+pub fn write_baseline(path: &str, baseline: &BaselineFile) -> std::result::Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+        }
+    }
+    let json = serde_json::to_string(baseline).map_err(|e| format!("serialize: {e:?}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write `{path}`: {e}"))
+}
+
 /// Number of coreset builds timed per workload (after warmup).
 const CORESET_BUILD_REPS: usize = 15;
 
@@ -515,6 +570,53 @@ mod tests {
         let regressions = compare_reports(&base, &fresh, 1.25);
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].metric, "update_ns.median");
+    }
+
+    #[test]
+    fn guardable_reports_exclude_the_serving_workload() {
+        let reports = vec![
+            workload_report("Power", 100.0, vec![]),
+            workload_report(crate::serving::SERVING_WORKLOAD, 100.0, vec![]),
+            workload_report("sharded", 100.0, vec![]),
+        ];
+        let kept: Vec<String> = guardable_reports(&reports)
+            .into_iter()
+            .map(|r| r.workload)
+            .collect();
+        assert_eq!(kept, vec!["Power".to_string(), "sharded".to_string()]);
+    }
+
+    #[test]
+    fn write_reports_creates_missing_nested_directories() {
+        // Regression guard for the CI serve step and local runs: writing
+        // into a directory that does not exist yet (even a nested one) must
+        // succeed without a `mkdir -p` preamble.
+        let dir = std::env::temp_dir().join(format!(
+            "skm-bench-report-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let nested = dir.join("deeper/still");
+        let report = workload_report("Power", 100.0, vec![algo_report("CC", 10.0, 20.0)]);
+        let written =
+            write_reports(nested.to_str().unwrap(), std::slice::from_ref(&report)).unwrap();
+        assert_eq!(written.len(), 1);
+        let text = std::fs::read_to_string(&written[0]).unwrap();
+        let back: WorkloadReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+
+        // Same guarantee for the baseline writer.
+        let baseline_path = dir.join("also/new/baseline.json");
+        let baseline = BaselineFile {
+            schema_version: SCHEMA_VERSION,
+            reports: vec![report],
+        };
+        write_baseline(baseline_path.to_str().unwrap(), &baseline).unwrap();
+        let back: BaselineFile =
+            serde_json::from_str(&std::fs::read_to_string(&baseline_path).unwrap()).unwrap();
+        assert_eq!(back, baseline);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! The `serving` workload: request latency of the `skm-serve` TCP server
+//! under a concurrent ingest:query mix, emitted as `BENCH_serving.json`.
+//!
+//! For each connection count in [`CONNECTION_GRID`] the harness starts a
+//! fresh in-process server (sharded-CC engine, ephemeral port), drives it
+//! with the built-in load generator (Power-dataset points split across the
+//! connections, one query per `QUERY_EVERY` ingest requests per
+//! connection) and asserts a clean shutdown. The resulting
+//! [`AlgorithmReport`] cells reuse the standard schema:
+//!
+//! * `update_ns` — per-request `IngestBatch` round-trip latency (loopback
+//!   RTT included: this is what a remote caller experiences),
+//! * `query_ns` — per-request `Query` round-trip latency,
+//! * `peak_memory_bytes` / `final_cost` — engine memory after the run and
+//!   the cost of the final served centers on the full dataset.
+//!
+//! The serving workload is **not** added to `bench/baseline.json`: request
+//! latency includes kernel networking and scheduler behaviour, which varies
+//! across machines far more than the in-process medians the guard is
+//! calibrated for. The report is uploaded as a CI artifact for trend
+//! inspection instead.
+
+use crate::report::{AlgorithmReport, LatencySummary, WorkloadReport, SCHEMA_VERSION};
+use crate::workloads::{build_dataset, DatasetSpec};
+use skm_clustering::cost::kmeans_cost;
+use skm_clustering::error::{ClusteringError, Result};
+use skm_clustering::Centers;
+use skm_metrics::memory_bytes;
+use skm_serve::{run_load, Client, Engine, EngineSpec, LoadSpec, Server};
+use skm_stream::StreamConfig;
+use std::sync::Arc;
+
+/// Workload name — file name becomes `BENCH_serving.json`.
+pub const SERVING_WORKLOAD: &str = "serving";
+
+/// Connection counts measured (1 isolates protocol overhead; 4 is the
+/// concurrent-ingest headline cell).
+pub const CONNECTION_GRID: [usize; 2] = [1, 4];
+
+/// Points per `IngestBatch` request.
+const REQUEST_BATCH: usize = 128;
+
+/// One `Query` per this many ingest requests per connection.
+const QUERY_EVERY: usize = 8;
+
+/// Shards behind the served engine.
+const SHARDS: usize = 2;
+
+/// Stream length used for the serving cells: capped so the CI smoke run
+/// stays in the ~2s-per-cell range even in debug builds.
+#[must_use]
+pub fn serving_points(points: usize) -> usize {
+    points.clamp(1_000, 50_000)
+}
+
+fn io_error(context: &str, e: &std::io::Error) -> ClusteringError {
+    ClusteringError::InvalidParameter {
+        name: "serving",
+        message: format!("{context}: {e}"),
+    }
+}
+
+/// Runs one connection-count cell: fresh engine + server, load generation,
+/// final query, clean shutdown. Returns the cell report.
+fn run_cell(
+    points: &[Vec<f64>],
+    config: StreamConfig,
+    connections: usize,
+    seed: u64,
+) -> Result<(AlgorithmReport, Centers)> {
+    let engine = Arc::new(Engine::new(&EngineSpec::sharded_cc(
+        config,
+        SHARDS,
+        REQUEST_BATCH,
+        seed,
+    ))?);
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&engine), None).map_err(|e| io_error("bind", &e))?;
+    let handle = server.spawn().map_err(|e| io_error("spawn", &e))?;
+
+    let spec = LoadSpec {
+        addr: handle.addr(),
+        connections,
+        batch: REQUEST_BATCH,
+        query_every: QUERY_EVERY,
+    };
+    let report = run_load(&spec, points).map_err(|e| io_error("load generator", &e))?;
+    if report.server_errors > 0 {
+        return Err(ClusteringError::InvalidParameter {
+            name: "serving",
+            message: format!(
+                "{} typed server errors during the run",
+                report.server_errors
+            ),
+        });
+    }
+
+    // One final end-of-stream query through the protocol, like every other
+    // workload's final measurement.
+    let mut client = Client::connect(handle.addr()).map_err(|e| io_error("connect", &e))?;
+    let final_rows = client
+        .query_centers()
+        .map_err(|e| io_error("final query", &e))?;
+    let dim = points[0].len();
+    let final_centers = Centers::from_rows(dim, &final_rows)?;
+    let peak_memory = memory_bytes(engine.memory_points()?, dim) as u64;
+    client
+        .shutdown()
+        .map_err(|e| io_error("shutdown request", &e))?;
+    // Clean shutdown is part of the measurement contract: a hang here means
+    // the server leaked a connection handler.
+    handle
+        .shutdown()
+        .map_err(|e| io_error("shutdown join", &e))?;
+
+    let cell = AlgorithmReport {
+        algorithm: format!("serve/conns={connections}"),
+        update_ns: LatencySummary::from_samples(&report.ingest_ns)
+            .expect("at least one ingest request"),
+        query_ns: LatencySummary::from_samples(&report.query_ns)
+            .expect("at least one interleaved query"),
+        peak_memory_bytes: peak_memory,
+        final_cost: f64::NAN, // filled by the caller (needs the dataset)
+    };
+    Ok((cell, final_centers))
+}
+
+/// Measures the serving workload and packages it as a [`WorkloadReport`]
+/// (one [`AlgorithmReport`] per connection count), so the report writer and
+/// CI artifact pipeline apply unchanged.
+///
+/// # Errors
+/// Propagates engine/configuration errors and reports transport failures or
+/// unclean shutdowns as [`ClusteringError::InvalidParameter`].
+pub fn measure_serving_workload(points: usize, k: usize, seed: u64) -> Result<WorkloadReport> {
+    let n = serving_points(points);
+    let dataset = build_dataset(DatasetSpec::Power, n, seed);
+    let config = StreamConfig::new(k)
+        .with_bucket_size(20 * k)
+        .with_kmeans_runs(1)
+        .with_lloyd_iterations(5);
+    let rows: Vec<Vec<f64>> = dataset.points().iter().map(|(p, _)| p.to_vec()).collect();
+
+    let mut algorithms = Vec::with_capacity(CONNECTION_GRID.len());
+    for &connections in &CONNECTION_GRID {
+        let (mut cell, final_centers) = run_cell(&rows, config, connections, seed)?;
+        cell.final_cost = kmeans_cost(dataset.points(), &final_centers)?;
+        algorithms.push(cell);
+    }
+
+    // The schema's workload-level coreset-build metric is not meaningful
+    // for a network workload; reuse the single-connection ingest latency so
+    // the field carries a real (and comparable) measurement.
+    let coreset_build_ns = algorithms[0].update_ns.clone();
+
+    Ok(WorkloadReport {
+        schema_version: SCHEMA_VERSION,
+        workload: SERVING_WORKLOAD.to_string(),
+        points: n as u64,
+        dim: dataset.dim() as u64,
+        k: k as u64,
+        seed,
+        coreset_build_ns,
+        algorithms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_scaling_is_clamped() {
+        assert_eq!(serving_points(10), 1_000);
+        assert_eq!(serving_points(2_000), 2_000);
+        assert_eq!(serving_points(1_000_000), 50_000);
+    }
+
+    #[test]
+    fn serving_report_covers_the_connection_grid() {
+        let report = measure_serving_workload(1_000, 3, 11).unwrap();
+        assert_eq!(report.workload, SERVING_WORKLOAD);
+        assert_eq!(report.file_name(), "BENCH_serving.json");
+        assert_eq!(report.points, 1_000);
+        assert_eq!(report.algorithms.len(), CONNECTION_GRID.len());
+        assert_eq!(report.algorithms[0].algorithm, "serve/conns=1");
+        assert_eq!(report.algorithms[1].algorithm, "serve/conns=4");
+        for cell in &report.algorithms {
+            assert!(cell.update_ns.median_ns > 0.0, "{}", cell.algorithm);
+            assert!(cell.update_ns.count > 0, "{}", cell.algorithm);
+            assert!(cell.query_ns.count > 0, "{}", cell.algorithm);
+            assert!(cell.final_cost.is_finite(), "{}", cell.algorithm);
+            assert!(cell.peak_memory_bytes > 0, "{}", cell.algorithm);
+        }
+    }
+}

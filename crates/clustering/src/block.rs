@@ -18,6 +18,7 @@
 use crate::distance::{squared_norm, squared_norms};
 use crate::error::{ClusteringError, Result};
 use crate::point::PointSet;
+use serde::{Deserialize, Serialize, Value};
 
 /// A weighted point block in `R^d`: flat row-major coordinates, per-point
 /// weights and cached squared norms, all in parallel arrays.
@@ -294,6 +295,63 @@ impl PointBlock {
     }
 }
 
+/// Only `dim`, coordinates and weights are serialized; the norm cache is
+/// recomputed on deserialization (it is a pure function of the coordinates,
+/// so the rebuilt cache is bit-identical and the invariant cannot be
+/// poisoned by a hand-edited snapshot).
+impl Serialize for PointBlock {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("coords".to_string(), self.coords.to_value()),
+            ("weights".to_string(), self.weights.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PointBlock {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::Error> {
+        let map = match value {
+            Value::Map(m) => m,
+            _ => return Err(serde::Error::custom("expected map for PointBlock")),
+        };
+        let dim: usize = Deserialize::from_value(serde::get_field(map, "dim")?)?;
+        let coords: Vec<f64> = Deserialize::from_value(serde::get_field(map, "coords")?)?;
+        let weights: Vec<f64> = Deserialize::from_value(serde::get_field(map, "weights")?)?;
+        if dim == 0 {
+            return Err(serde::Error::custom(
+                "PointBlock dimension must be positive",
+            ));
+        }
+        if coords.len() != weights.len() * dim {
+            return Err(serde::Error::custom(
+                "PointBlock coordinate/weight lengths are inconsistent",
+            ));
+        }
+        // Mirror the push-path validation: the vendored JSON layer decodes
+        // `null` as NaN, so a corrupt or hand-edited snapshot could
+        // otherwise smuggle in values that poison every cached norm and
+        // distance downstream.
+        if coords.iter().any(|x| !x.is_finite()) {
+            return Err(serde::Error::custom(
+                "PointBlock coordinates must be finite",
+            ));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(serde::Error::custom(
+                "PointBlock weights must be finite and non-negative",
+            ));
+        }
+        let norms = squared_norms(&coords, dim);
+        Ok(Self {
+            dim,
+            coords,
+            weights,
+            norms,
+        })
+    }
+}
+
 impl From<&PointSet> for PointBlock {
     fn from(points: &PointSet) -> Self {
         PointBlock::from_point_set(points)
@@ -554,5 +612,52 @@ mod tests {
         let set = sample_block().to_point_set();
         let norms = [1.0];
         let _ = BlockView::over(&set, &norms);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_norms() {
+        let b = sample_block();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: PointBlock = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.norms(), &[25.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn serde_rejects_inconsistent_shapes() {
+        use serde::{Deserialize as _, Value};
+        let bad = Value::Map(vec![
+            ("dim".to_string(), Value::UInt(2)),
+            (
+                "coords".to_string(),
+                Value::Seq(vec![
+                    Value::Float(1.0),
+                    Value::Float(2.0),
+                    Value::Float(3.0),
+                ]),
+            ),
+            ("weights".to_string(), Value::Seq(vec![Value::Float(1.0)])),
+        ]);
+        assert!(PointBlock::from_value(&bad).is_err());
+        assert!(PointBlock::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn serde_rejects_non_finite_coordinates_and_bad_weights() {
+        // JSON `null` decodes to NaN in the vendored serde; neither a NaN
+        // coordinate nor a NaN/negative weight may survive a restore.
+        for bad in [
+            r#"{"dim":2,"coords":[null,1],"weights":[1]}"#,
+            r#"{"dim":2,"coords":[1,1],"weights":[null]}"#,
+            r#"{"dim":2,"coords":[1,1],"weights":[-1]}"#,
+        ] {
+            assert!(
+                serde_json::from_str::<PointBlock>(bad).is_err(),
+                "accepted: {bad}"
+            );
+        }
+        let good: PointBlock =
+            serde_json::from_str(r#"{"dim":2,"coords":[1,2],"weights":[0.5]}"#).unwrap();
+        assert_eq!(good.len(), 1);
     }
 }

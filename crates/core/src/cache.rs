@@ -8,6 +8,7 @@
 //! `O(log_r N)` cached coresets alive (Lemma 7).
 
 use crate::numeric::prefixsum;
+use serde::{Deserialize, Serialize, Value};
 use skm_coreset::coreset::Coreset;
 use std::collections::HashMap;
 
@@ -83,6 +84,28 @@ impl CoresetCache {
     /// Removes every entry (used when an enclosing RCC structure is reset).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+}
+
+/// The cache serializes as a sequence of coresets sorted by right endpoint
+/// (the map key is recomputed from each coreset's span on restore, and the
+/// sort keeps snapshot bytes independent of `HashMap` iteration order).
+impl Serialize for CoresetCache {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<&Coreset> = self.entries.values().collect();
+        entries.sort_by_key(|c| c.right_endpoint());
+        Value::Seq(entries.iter().map(|c| c.to_value()).collect())
+    }
+}
+
+impl Deserialize for CoresetCache {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::Error> {
+        let coresets: Vec<Coreset> = Deserialize::from_value(value)?;
+        let mut cache = Self::new();
+        for coreset in coresets {
+            cache.insert(coreset);
+        }
+        Ok(cache)
     }
 }
 
@@ -174,5 +197,21 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stored_points(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_entries_in_sorted_order() {
+        let mut cache = CoresetCache::new();
+        for end in [9u64, 2, 5] {
+            cache.insert(coreset(Span::new(1, end), end as usize));
+        }
+        let json = serde_json::to_string(&cache).unwrap();
+        let back: CoresetCache = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.keys(), vec![2, 5, 9]);
+        assert_eq!(back.stored_points(), cache.stored_points());
+        assert_eq!(back.lookup(5).unwrap().span(), Span::new(1, 5));
+        // Serialized form is key-sorted, so snapshot bytes are stable across
+        // runs despite HashMap's randomized iteration order.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
     }
 }

@@ -20,13 +20,19 @@ use crate::driver::{extract_centers_block, BucketBuffer};
 use crate::numeric::{major, minor_term};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
+use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::{Centers, PointBlock};
 use skm_coreset::coreset::Coreset;
 use skm_coreset::merge::merge_coresets;
 
 /// Streaming clusterer implementing the Cached Coreset Tree (CC).
-#[derive(Debug, Clone)]
+///
+/// The whole clusterer state — configuration, tree, cache, partial bucket
+/// and RNG position — is `Serialize`/`Deserialize`, so a snapshot restored
+/// via `serde_json` continues the stream bit-identically to an
+/// uninterrupted run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CachedCoresetTree {
     config: StreamConfig,
     tree: CoresetTree,
@@ -224,6 +230,10 @@ impl StreamingClusterer for CachedCoresetTree {
 
     fn points_seen(&self) -> u64 {
         self.buffer.points_seen()
+    }
+
+    fn dim(&self) -> Option<usize> {
+        self.buffer.dim()
     }
 
     fn last_query_stats(&self) -> Option<QueryStats> {

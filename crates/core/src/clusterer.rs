@@ -61,6 +61,14 @@ pub trait StreamingClusterer {
     /// Number of stream points observed so far.
     fn points_seen(&self) -> u64;
 
+    /// Dimensionality of the stream, once it has been fixed by the first
+    /// accepted point (`None` before that, or for algorithms that do not
+    /// track it). Serving layers use this to pre-validate whole batches
+    /// without consuming any point.
+    fn dim(&self) -> Option<usize> {
+        None
+    }
+
     /// Diagnostics describing the most recent call to [`query`]
     /// (`None` before the first query).
     ///

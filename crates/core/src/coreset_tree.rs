@@ -18,6 +18,7 @@
 
 use crate::config::StreamConfig;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use skm_clustering::error::Result;
 use skm_clustering::PointSet;
 use skm_coreset::construct::CoresetBuilder;
@@ -25,7 +26,11 @@ use skm_coreset::coreset::Coreset;
 use skm_coreset::merge::merge_coresets;
 
 /// The r-way merging coreset tree.
-#[derive(Debug, Clone)]
+///
+/// Serialization captures the full structure (levels, merge degree,
+/// builder, insertion count), so a deserialized tree continues exactly
+/// where the serialized one stopped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CoresetTree {
     /// `levels[j]` holds the active buckets of level `j`, oldest first.
     levels: Vec<Vec<Coreset>>,

@@ -13,6 +13,7 @@ use crate::coreset_tree::CoresetTree;
 use crate::driver::{extract_centers_block, BucketBuffer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
+use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::{Centers, PointBlock};
 
@@ -20,7 +21,12 @@ use skm_clustering::{Centers, PointBlock};
 ///
 /// With the default merge degree `r = 2` and bucket size `20·k` this is the
 /// streamkm++ configuration used throughout the paper's evaluation.
-#[derive(Debug, Clone)]
+///
+/// The whole clusterer state — configuration, tree, partial bucket and RNG
+/// position — is `Serialize`/`Deserialize`, so a snapshot restored via
+/// `serde_json` continues the stream bit-identically to an uninterrupted
+/// run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CoresetTreeClusterer {
     config: StreamConfig,
     tree: CoresetTree,
@@ -126,6 +132,10 @@ impl StreamingClusterer for CoresetTreeClusterer {
 
     fn points_seen(&self) -> u64 {
         self.buffer.points_seen()
+    }
+
+    fn dim(&self) -> Option<usize> {
+        self.buffer.dim()
     }
 
     fn last_query_stats(&self) -> Option<QueryStats> {

@@ -13,6 +13,7 @@
 
 use crate::config::StreamConfig;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::kmeans::KMeans;
 use skm_clustering::{Centers, PointBlock, PointSet};
@@ -62,7 +63,13 @@ pub(crate) fn validate_stream_point(
 /// capacity — no per-update temporary, no reallocation during the fill, and
 /// no eager replacement allocation when a bucket flushes (the next bucket's
 /// buffers are only allocated when its first point actually arrives).
-#[derive(Debug, Clone)]
+///
+/// The buffer serializes with the rest of a clusterer's state (the partial
+/// bucket's norm cache is rebuilt on restore), so snapshots taken mid-bucket
+/// resume bit-identically. Deserialization re-checks the constructor's
+/// invariants, so a hand-edited snapshot cannot smuggle in a state the
+/// update path could never have produced.
+#[derive(Debug, Clone, Serialize)]
 pub struct BucketBuffer {
     bucket_size: usize,
     /// Dimension of the stream, fixed by the first point ever observed (it
@@ -192,6 +199,51 @@ impl BucketBuffer {
     #[must_use]
     pub fn partial(&self) -> Option<&PointBlock> {
         self.partial.as_ref()
+    }
+}
+
+/// Restoring a buffer re-checks the invariants the update path maintains
+/// (positive bucket size, a partial bucket strictly below it and matching
+/// the learned dimension, bookkeeping that covers the buffered points), so
+/// a tampered snapshot is rejected instead of producing a buffer that never
+/// flushes or silently disagrees with its own dimension.
+impl Deserialize for BucketBuffer {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let map = match value {
+            serde::Value::Map(m) => m,
+            _ => return Err(serde::Error::custom("expected map for BucketBuffer")),
+        };
+        let bucket_size: usize = Deserialize::from_value(serde::get_field(map, "bucket_size")?)?;
+        let dim: Option<usize> = Deserialize::from_value(serde::get_field(map, "dim")?)?;
+        let partial: Option<PointBlock> =
+            Deserialize::from_value(serde::get_field(map, "partial")?)?;
+        let points_seen: u64 = Deserialize::from_value(serde::get_field(map, "points_seen")?)?;
+        if bucket_size == 0 {
+            return Err(serde::Error::custom("bucket_size must be positive"));
+        }
+        if let Some(block) = &partial {
+            if block.is_empty() || block.len() >= bucket_size {
+                return Err(serde::Error::custom(
+                    "partial bucket must hold between 1 and bucket_size - 1 points",
+                ));
+            }
+            if dim != Some(block.dim()) {
+                return Err(serde::Error::custom(
+                    "partial bucket dimension disagrees with the stream dimension",
+                ));
+            }
+            if points_seen < block.len() as u64 {
+                return Err(serde::Error::custom(
+                    "points_seen is smaller than the buffered point count",
+                ));
+            }
+        }
+        Ok(Self {
+            bucket_size,
+            dim,
+            partial,
+            points_seen,
+        })
     }
 }
 
@@ -397,6 +449,36 @@ mod tests {
         assert_eq!(batched.partial(), single.partial());
         assert_eq!(batched_full.len(), 2);
         assert_eq!(batched.buffered_points(), 1);
+    }
+
+    #[test]
+    fn deserialize_rejects_states_the_update_path_cannot_produce() {
+        use serde::{Deserialize as _, Serialize as _};
+
+        let mut buf = BucketBuffer::new(4).unwrap();
+        buf.push(&[1.0, 2.0]).unwrap();
+        let good = buf.to_value();
+        assert!(BucketBuffer::from_value(&good).is_ok());
+
+        let tamper = |field: &str, value: serde::Value| {
+            let mut map = match good.clone() {
+                serde::Value::Map(m) => m,
+                other => panic!("expected map, got {other:?}"),
+            };
+            let entry = map.iter_mut().find(|(k, _)| k == field).unwrap();
+            entry.1 = value;
+            serde::Value::Map(map)
+        };
+
+        // Zero bucket size: the partial bucket would never flush.
+        assert!(BucketBuffer::from_value(&tamper("bucket_size", serde::Value::UInt(0))).is_err());
+        // A partial at/above the bucket size should have flushed already.
+        assert!(BucketBuffer::from_value(&tamper("bucket_size", serde::Value::UInt(1))).is_err());
+        // Dimension bookkeeping must agree with the buffered block.
+        assert!(BucketBuffer::from_value(&tamper("dim", serde::Value::UInt(3))).is_err());
+        assert!(BucketBuffer::from_value(&tamper("dim", serde::Value::Null)).is_err());
+        // points_seen cannot be smaller than what is sitting in the buffer.
+        assert!(BucketBuffer::from_value(&tamper("points_seen", serde::Value::UInt(0))).is_err());
     }
 
     #[test]

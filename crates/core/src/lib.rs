@@ -78,7 +78,7 @@ pub use kmedian_stream::KMedianCC;
 pub use online_cc::OnlineCC;
 pub use rcc::RecursiveCachedTree;
 pub use sequential::SequentialKMeans;
-pub use shard::{ShardClusterer, ShardedStream};
+pub use shard::{ShardClusterer, ShardedStream, ShardedStreamState, StreamStats};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -93,5 +93,5 @@ pub mod prelude {
     pub use crate::online_cc::OnlineCC;
     pub use crate::rcc::RecursiveCachedTree;
     pub use crate::sequential::SequentialKMeans;
-    pub use crate::shard::{ShardClusterer, ShardedStream};
+    pub use crate::shard::{ShardClusterer, ShardedStream, ShardedStreamState, StreamStats};
 }

@@ -24,6 +24,7 @@ use crate::numeric::major;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
+use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::{Centers, PointBlock};
 use skm_coreset::construct::CoresetBuilder;
@@ -32,7 +33,7 @@ use skm_coreset::merge::merge_coresets;
 
 /// One level of an [`RccNode`]: the list `L_ℓ` of buckets plus (for orders
 /// above 0) the recursive structure that mirrors the list's contents.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct RccLevel {
     list: Vec<Coreset>,
     inner: Option<Box<RccNode>>,
@@ -63,7 +64,7 @@ fn inner_merge_degree(r: u64) -> u64 {
 }
 
 /// The recursive data structure `RCC(i)` of Algorithms 4–6.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct RccNode {
     order: u32,
     merge_degree: u64,
@@ -234,7 +235,12 @@ impl RccNode {
 }
 
 /// Streaming clusterer implementing the Recursive Coreset Cache (RCC).
-#[derive(Debug, Clone)]
+///
+/// The whole clusterer state — including every recursive sub-structure and
+/// its cache — is `Serialize`/`Deserialize`, so a snapshot restored via
+/// `serde_json` continues the stream bit-identically to an uninterrupted
+/// run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RecursiveCachedTree {
     config: StreamConfig,
     nesting_depth: u32,
@@ -438,6 +444,10 @@ impl StreamingClusterer for RecursiveCachedTree {
 
     fn points_seen(&self) -> u64 {
         self.buffer.points_seen()
+    }
+
+    fn dim(&self) -> Option<usize> {
+        self.buffer.dim()
     }
 
     fn last_query_stats(&self) -> Option<QueryStats> {

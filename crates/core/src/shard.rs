@@ -45,6 +45,7 @@ use crate::driver::extract_centers_block;
 use crate::rcc::RecursiveCachedTree;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
+use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::{Centers, PointBlock};
 use skm_coreset::merge::union_blocks;
@@ -63,7 +64,11 @@ pub const MAX_SHARDS: usize = 256;
 /// A streaming clusterer that can serve as a shard worker: besides the
 /// per-point interface it exposes its query-time candidate coreset (as a
 /// norm-cached block) so a coordinator can merge summaries across shards.
-pub trait ShardClusterer: StreamingClusterer + Send + 'static {
+///
+/// `Clone` lets the coordinator snapshot a worker's state without stopping
+/// it (the worker ships a clone of itself over the reply channel and keeps
+/// processing).
+pub trait ShardClusterer: StreamingClusterer + Clone + Send + 'static {
     /// The candidate points a query would hand to k-means++, summarizing
     /// everything this shard has absorbed, plus query diagnostics.
     ///
@@ -93,7 +98,7 @@ impl ShardClusterer for RecursiveCachedTree {
 
 /// Commands the ingestion thread sends to a shard worker. Replies travel
 /// over per-request channels so a worker never blocks on a slow consumer.
-enum ShardCmd {
+enum ShardCmd<C> {
     /// A flat row-major batch of `coords.len() / dim` points to ingest.
     Batch { dim: usize, coords: Vec<f64> },
     /// Produce the shard's candidate coreset (`None` when the shard is
@@ -105,13 +110,17 @@ enum ShardCmd {
     /// Report `(memory_points, points_seen)`; also used as a cheap barrier
     /// that drains the shard's queue.
     Stats { reply: mpsc::Sender<(usize, u64)> },
+    /// Ship a clone of the clusterer's current state back to the
+    /// coordinator (snapshot support). Ordered behind all previously sent
+    /// batches, so the clone covers every point routed to this shard.
+    Snapshot { reply: mpsc::Sender<Result<C>> },
 }
 
 /// The worker loop: owns one clusterer and processes commands FIFO until
 /// the coordinator drops its sender. The first update error is latched and
 /// reported on the next query instead of killing the thread, so the
 /// coordinator can surface it as a normal `Result`.
-fn shard_worker<C: ShardClusterer>(mut clusterer: C, commands: &mpsc::Receiver<ShardCmd>) {
+fn shard_worker<C: ShardClusterer>(mut clusterer: C, commands: &mpsc::Receiver<ShardCmd<C>>) {
     let mut failed: Option<ClusteringError> = None;
     while let Ok(cmd) = commands.recv() {
         match cmd {
@@ -134,6 +143,13 @@ fn shard_worker<C: ShardClusterer>(mut clusterer: C, commands: &mpsc::Receiver<S
             ShardCmd::Stats { reply } => {
                 let _ = reply.send((clusterer.memory_points(), clusterer.points_seen()));
             }
+            ShardCmd::Snapshot { reply } => {
+                let response = match &failed {
+                    Some(e) => Err(e.clone()),
+                    None => Ok(clusterer.clone()),
+                };
+                let _ = reply.send(response);
+            }
         }
     }
 }
@@ -153,6 +169,61 @@ fn shard_seed(seed: u64, shard: usize) -> u64 {
     seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)
 }
 
+/// Maps a serde failure while restoring a snapshot to a clustering error.
+fn snapshot_error(e: serde::Error) -> ClusteringError {
+    ClusteringError::InvalidParameter {
+        name: "snapshot",
+        message: e.to_string(),
+    }
+}
+
+/// Aggregate statistics of a [`ShardedStream`], as reported by
+/// [`ShardedStream::stats`]. Serializable so serving layers can hand it
+/// straight to a wire protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Total points accepted by the coordinator.
+    pub points_seen: u64,
+    /// Number of shards (worker threads).
+    pub shards: usize,
+    /// Points absorbed by each shard's clusterer, in shard order. Sums to
+    /// [`StreamStats::points_seen`] because [`ShardedStream::stats`] flushes
+    /// the coordinator's buffers before collecting.
+    pub per_shard_points: Vec<u64>,
+    /// Diagnostics of the most recent query (`None` before the first).
+    pub last_query: Option<QueryStats>,
+}
+
+/// Serialized form of a [`ShardedStream`], produced by
+/// [`ShardedStream::snapshot`] and consumed by [`ShardedStream::restore`].
+///
+/// The per-shard clusterer states are stored in the self-describing
+/// [`serde::Value`] form so this struct stays non-generic (the concrete
+/// worker type is fixed again at restore time). Restoring a snapshot and
+/// continuing the stream is bit-identical to never having stopped: the
+/// coordinator RNG, per-shard clusterer states (including their RNG
+/// positions and partial buckets) and the round-robin cursor are all
+/// captured exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedStreamState {
+    /// Configuration shared by every shard.
+    pub config: StreamConfig,
+    /// Points buffered per shard before a batch ships to its worker.
+    pub batch_size: usize,
+    /// Stream dimension learned from the first accepted point, if any.
+    pub dim: Option<usize>,
+    /// Shard the next arrival will be routed to.
+    pub next_shard: usize,
+    /// Total points accepted before the snapshot.
+    pub points_seen: u64,
+    /// Query-side k-means++ RNG, captured mid-stream.
+    pub rng: ChaCha20Rng,
+    /// Diagnostics of the most recent query at snapshot time.
+    pub last_stats: Option<QueryStats>,
+    /// Per-shard clusterer states, in shard order.
+    pub shards: Vec<serde::Value>,
+}
+
 /// Sharded multi-threaded ingestion over any [`ShardClusterer`].
 ///
 /// See the [module documentation](self) for the architecture. Construct
@@ -166,7 +237,7 @@ pub struct ShardedStream<C: ShardClusterer> {
     batch_size: usize,
     /// Stream dimension, fixed by the first point ever observed.
     dim: Option<usize>,
-    senders: Vec<mpsc::Sender<ShardCmd>>,
+    senders: Vec<mpsc::Sender<ShardCmd<C>>>,
     workers: Vec<thread::JoinHandle<()>>,
     /// Per-shard flat coordinate buffers awaiting shipment.
     pending: Vec<Vec<f64>>,
@@ -176,8 +247,6 @@ pub struct ShardedStream<C: ShardClusterer> {
     /// Query-side RNG (k-means++ extraction over the merged candidates).
     rng: ChaCha20Rng,
     last_stats: Option<QueryStats>,
-    /// The worker clusterer type (owned by the threads, not the struct).
-    clusterer: std::marker::PhantomData<fn() -> C>,
 }
 
 impl<C: ShardClusterer> ShardedStream<C> {
@@ -216,34 +285,38 @@ impl<C: ShardClusterer> ShardedStream<C> {
                 message: "must be positive".to_string(),
             });
         }
-        let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let clusterer = factory(shard, shard_seed(seed, shard))?;
-            let (tx, rx) = mpsc::channel();
-            let handle = thread::Builder::new()
-                .name(format!("skm-shard-{shard}"))
-                .spawn(move || shard_worker(clusterer, &rx))
-                .map_err(|e| ClusteringError::InvalidParameter {
-                    name: "shards",
-                    message: format!("cannot spawn worker thread {shard}: {e}"),
-                })?;
-            senders.push(tx);
-            workers.push(handle);
-        }
-        Ok(Self {
+        let mut stream = Self {
             config,
             batch_size,
             dim: None,
-            senders,
-            workers,
+            senders: Vec::with_capacity(shards),
+            workers: Vec::with_capacity(shards),
             pending: vec![Vec::new(); shards],
             next_shard: 0,
             points_seen: 0,
             rng: ChaCha20Rng::seed_from_u64(seed),
             last_stats: None,
-            clusterer: std::marker::PhantomData,
-        })
+        };
+        for shard in 0..shards {
+            let clusterer = factory(shard, shard_seed(seed, shard))?;
+            stream.spawn_worker(shard, clusterer)?;
+        }
+        Ok(stream)
+    }
+
+    /// Spawns the worker thread for `shard`, moving `clusterer` onto it.
+    fn spawn_worker(&mut self, shard: usize, clusterer: C) -> Result<()> {
+        let (tx, rx) = mpsc::channel();
+        let handle = thread::Builder::new()
+            .name(format!("skm-shard-{shard}"))
+            .spawn(move || shard_worker(clusterer, &rx))
+            .map_err(|e| ClusteringError::InvalidParameter {
+                name: "shards",
+                message: format!("cannot spawn worker thread {shard}: {e}"),
+            })?;
+        self.senders.push(tx);
+        self.workers.push(handle);
+        Ok(())
     }
 
     /// Number of shards (worker threads).
@@ -315,6 +388,135 @@ impl<C: ShardClusterer> ShardedStream<C> {
             rx.recv().map_err(|_| shard_disconnected(shard))?;
         }
         Ok(())
+    }
+
+    /// Aggregated per-shard statistics: total and per-shard point counts
+    /// plus the most recent query's diagnostics.
+    ///
+    /// Buffered points are flushed to their workers first, so the per-shard
+    /// counts always sum to [`StreamingClusterer::points_seen`] (the call
+    /// doubles as a drain barrier, like [`ShardedStream::drain`]).
+    ///
+    /// # Errors
+    /// Returns an error when a worker thread is gone.
+    pub fn stats(&mut self) -> Result<StreamStats> {
+        for shard in 0..self.shards() {
+            self.flush_shard(shard)?;
+        }
+        let mut replies = Vec::with_capacity(self.shards());
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(ShardCmd::Stats { reply: tx })
+                .map_err(|_| shard_disconnected(shard))?;
+            replies.push(rx);
+        }
+        let mut per_shard_points = Vec::with_capacity(self.shards());
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let (_, seen) = rx.recv().map_err(|_| shard_disconnected(shard))?;
+            per_shard_points.push(seen);
+        }
+        Ok(StreamStats {
+            points_seen: self.points_seen,
+            shards: self.shards(),
+            per_shard_points,
+            last_query: self.last_stats,
+        })
+    }
+}
+
+impl<C: ShardClusterer + Serialize> ShardedStream<C> {
+    /// Captures the complete stream state for persistence.
+    ///
+    /// Buffered points are flushed to their workers first (batch boundaries
+    /// do not affect clusterer state, so this is behaviour-preserving), then
+    /// every worker ships a clone of its clusterer back to the coordinator.
+    /// Workers keep running: a snapshot does not stop ingestion, and the
+    /// stream continues exactly as if the snapshot had never been taken.
+    ///
+    /// # Errors
+    /// Returns an error when a worker thread is gone or has latched an
+    /// ingestion failure (a poisoned shard must not be persisted silently).
+    pub fn snapshot(&mut self) -> Result<ShardedStreamState> {
+        for shard in 0..self.shards() {
+            self.flush_shard(shard)?;
+        }
+        let mut replies = Vec::with_capacity(self.shards());
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(ShardCmd::Snapshot { reply: tx })
+                .map_err(|_| shard_disconnected(shard))?;
+            replies.push(rx);
+        }
+        let mut shards = Vec::with_capacity(self.shards());
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let clusterer = rx.recv().map_err(|_| shard_disconnected(shard))??;
+            shards.push(clusterer.to_value());
+        }
+        Ok(ShardedStreamState {
+            config: self.config,
+            batch_size: self.batch_size,
+            dim: self.dim,
+            next_shard: self.next_shard,
+            points_seen: self.points_seen,
+            rng: self.rng.clone(),
+            last_stats: self.last_stats,
+            shards,
+        })
+    }
+}
+
+impl<C: ShardClusterer + Deserialize> ShardedStream<C> {
+    /// Reconstructs a sharded stream from a [`ShardedStreamState`], spawning
+    /// one worker per serialized shard. Continuing the restored stream is
+    /// bit-identical to continuing the stream the snapshot was taken from.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::InvalidParameter`] when the state is
+    /// internally inconsistent (bad shard count, cursor out of range,
+    /// malformed per-shard payload) and propagates configuration errors.
+    pub fn restore(state: &ShardedStreamState) -> Result<Self> {
+        state.config.validate()?;
+        let shards = state.shards.len();
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(ClusteringError::InvalidParameter {
+                name: "snapshot",
+                message: format!("shard count must be in 1..={MAX_SHARDS}, got {shards}"),
+            });
+        }
+        if state.batch_size == 0 {
+            return Err(ClusteringError::InvalidParameter {
+                name: "snapshot",
+                message: "batch_size must be positive".to_string(),
+            });
+        }
+        if state.next_shard >= shards {
+            return Err(ClusteringError::InvalidParameter {
+                name: "snapshot",
+                message: format!(
+                    "next_shard {} out of range for {shards} shards",
+                    state.next_shard
+                ),
+            });
+        }
+        let mut stream = Self {
+            config: state.config,
+            batch_size: state.batch_size,
+            dim: state.dim,
+            senders: Vec::with_capacity(shards),
+            workers: Vec::with_capacity(shards),
+            pending: vec![Vec::new(); shards],
+            next_shard: state.next_shard,
+            points_seen: state.points_seen,
+            rng: state.rng.clone(),
+            last_stats: state.last_stats,
+        };
+        for (shard, value) in state.shards.iter().enumerate() {
+            let clusterer = C::from_value(value).map_err(snapshot_error)?;
+            stream.spawn_worker(shard, clusterer)?;
+        }
+        Ok(stream)
     }
 }
 
@@ -447,6 +649,10 @@ impl<C: ShardClusterer> StreamingClusterer for ShardedStream<C> {
         self.points_seen
     }
 
+    fn dim(&self) -> Option<usize> {
+        self.dim
+    }
+
     fn last_query_stats(&self) -> Option<QueryStats> {
         self.last_stats
     }
@@ -524,18 +730,110 @@ mod tests {
         for i in 0..91 {
             s.update(&blob(i, &mut rng)).unwrap();
         }
-        s.drain().unwrap();
         assert_eq!(s.points_seen(), 91);
-        assert_eq!(s.coordinator_buffered_points(), 0);
         // 91 points over 3 shards: shard 0 gets 31, shards 1-2 get 30 —
-        // confirmed through the per-shard stats barrier.
-        let mut per_shard = Vec::new();
-        for sender in &s.senders {
-            let (tx, rx) = mpsc::channel();
-            sender.send(ShardCmd::Stats { reply: tx }).unwrap();
-            per_shard.push(rx.recv().unwrap().1);
+        // reported by the public stats aggregation (which flushes first, so
+        // it doubles as the drain barrier).
+        let stats = s.stats().unwrap();
+        assert_eq!(s.coordinator_buffered_points(), 0);
+        assert_eq!(stats.points_seen, 91);
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.per_shard_points, vec![31, 30, 30]);
+        assert_eq!(stats.last_query, None);
+    }
+
+    #[test]
+    fn stats_counts_sum_to_points_seen_and_track_queries() {
+        let mut s = ShardedStream::cc(config(2, 10), 2, 8, 3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for i in 0..137 {
+            s.update(&blob(i, &mut rng)).unwrap();
         }
-        assert_eq!(per_shard, vec![31, 30, 30]);
+        s.query().unwrap();
+        let stats = s.stats().unwrap();
+        assert_eq!(stats.per_shard_points.iter().sum::<u64>(), 137);
+        assert_eq!(stats.points_seen, s.points_seen());
+        let q = stats.last_query.expect("query already ran");
+        assert!(q.ran_kmeans);
+        assert_eq!(stats.last_query, s.last_query_stats());
+    }
+
+    #[test]
+    fn snapshot_restore_continue_is_bit_identical() {
+        let total = 700usize;
+        let cut = 337usize;
+        let mk = || ShardedStream::cc(config(3, 20), 3, 16, 55).unwrap();
+        let points: Vec<[f64; 2]> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(8);
+            (0..total).map(|i| blob(i, &mut rng)).collect()
+        };
+
+        // Uninterrupted reference run.
+        let mut reference = mk();
+        for p in &points {
+            reference.update(p).unwrap();
+        }
+        let expected = reference.query().unwrap();
+
+        // Snapshot mid-stream, serialize through JSON, restore, continue.
+        let mut first = mk();
+        for p in &points[..cut] {
+            first.update(p).unwrap();
+        }
+        let state = first.snapshot().unwrap();
+        // Snapshots are non-destructive: the source keeps working...
+        let json = serde_json::to_string(&state).unwrap();
+        drop(first);
+        let restored: ShardedStreamState = serde_json::from_str(&json).unwrap();
+        let mut resumed = ShardedStream::<CachedCoresetTree>::restore(&restored).unwrap();
+        assert_eq!(resumed.points_seen(), cut as u64);
+        for p in &points[cut..] {
+            resumed.update(p).unwrap();
+        }
+        assert_eq!(resumed.query().unwrap(), expected);
+    }
+
+    #[test]
+    fn snapshot_does_not_perturb_the_source_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let points: Vec<[f64; 2]> = (0..500).map(|i| blob(i, &mut rng)).collect();
+        let run = |snapshot_at: Option<usize>| {
+            let mut s = ShardedStream::cc(config(2, 15), 2, 8, 21).unwrap();
+            for (i, p) in points.iter().enumerate() {
+                s.update(p).unwrap();
+                if snapshot_at == Some(i) {
+                    s.snapshot().unwrap();
+                }
+            }
+            s.query().unwrap()
+        };
+        assert_eq!(run(Some(250)), run(None));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_states() {
+        let mut s = ShardedStream::cc(config(2, 10), 2, 8, 1).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for i in 0..40 {
+            s.update(&blob(i, &mut rng)).unwrap();
+        }
+        let good = s.snapshot().unwrap();
+
+        let mut no_shards = good.clone();
+        no_shards.shards.clear();
+        assert!(ShardedStream::<CachedCoresetTree>::restore(&no_shards).is_err());
+
+        let mut bad_cursor = good.clone();
+        bad_cursor.next_shard = 99;
+        assert!(ShardedStream::<CachedCoresetTree>::restore(&bad_cursor).is_err());
+
+        let mut bad_batch = good.clone();
+        bad_batch.batch_size = 0;
+        assert!(ShardedStream::<CachedCoresetTree>::restore(&bad_batch).is_err());
+
+        let mut bad_payload = good;
+        bad_payload.shards[0] = serde::Value::Str("not a clusterer".to_string());
+        assert!(ShardedStream::<CachedCoresetTree>::restore(&bad_payload).is_err());
     }
 
     #[test]

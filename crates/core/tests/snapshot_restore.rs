@@ -1,0 +1,128 @@
+//! Property tests pinning snapshot → restore → continue bit-identical to an
+//! uninterrupted run, for every serializable clusterer (CT, CC, RCC) and the
+//! sharded stream, across several ChaCha-driven random streams and cut
+//! points (including cuts inside a partially filled base bucket).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use skm_stream::prelude::*;
+use skm_stream::ShardedStreamState;
+
+fn stream_points(n: usize, seed: u64) -> Vec<[f64; 2]> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let anchors = [[0.0, 0.0], [35.0, 0.0], [0.0, 35.0]];
+    (0..n)
+        .map(|i| {
+            let a = anchors[i % anchors.len()];
+            [a[0] + rng.gen::<f64>(), a[1] + rng.gen::<f64>()]
+        })
+        .collect()
+}
+
+fn config(k: usize, m: usize) -> StreamConfig {
+    StreamConfig::new(k)
+        .with_bucket_size(m)
+        .with_kmeans_runs(1)
+        .with_lloyd_iterations(2)
+}
+
+/// Runs the generic round trip: stream `points`, snapshotting (JSON
+/// round trip included) after `cut` points, and checks the continued run's
+/// queries are bit-identical to an uninterrupted run. A mid-stream query
+/// before the cut exercises cache state surviving the snapshot.
+fn check_round_trip<C, F>(points: &[[f64; 2]], cut: usize, make: F)
+where
+    C: StreamingClusterer + serde::Serialize + serde::Deserialize,
+    F: Fn() -> C,
+{
+    let mut reference = make();
+    let mut resumable = make();
+    for p in &points[..cut] {
+        reference.update(p).unwrap();
+        resumable.update(p).unwrap();
+    }
+    // Queries mutate coreset caches and RNG state; both copies must carry
+    // that mutated state across the snapshot boundary identically.
+    assert_eq!(reference.query().unwrap(), resumable.query().unwrap());
+
+    let json = serde_json::to_string(&resumable).unwrap();
+    drop(resumable);
+    let mut restored: C = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored.points_seen(), cut as u64);
+    assert_eq!(restored.memory_points(), reference.memory_points());
+
+    for p in &points[cut..] {
+        reference.update(p).unwrap();
+        restored.update(p).unwrap();
+    }
+    assert_eq!(reference.query().unwrap(), restored.query().unwrap());
+    assert_eq!(reference.points_seen(), restored.points_seen());
+}
+
+#[test]
+fn ct_snapshot_round_trips_bit_identically() {
+    for seed in [1u64, 2, 3] {
+        let points = stream_points(600, seed);
+        // 287 cuts inside a partial bucket (bucket size 20).
+        for cut in [287, 400] {
+            check_round_trip(&points, cut, || {
+                CoresetTreeClusterer::new(config(3, 20), 40 + seed).unwrap()
+            });
+        }
+    }
+}
+
+#[test]
+fn cc_snapshot_round_trips_bit_identically() {
+    for seed in [4u64, 5, 6] {
+        let points = stream_points(600, seed);
+        for cut in [293, 380] {
+            check_round_trip(&points, cut, || {
+                CachedCoresetTree::new(config(3, 20), 70 + seed).unwrap()
+            });
+        }
+    }
+}
+
+#[test]
+fn rcc_snapshot_round_trips_bit_identically() {
+    for seed in [7u64, 8] {
+        let points = stream_points(600, seed);
+        for cut in [301, 450] {
+            check_round_trip(&points, cut, || {
+                RecursiveCachedTree::with_top_merge_degree(config(2, 16), 2, 4, 90 + seed).unwrap()
+            });
+        }
+    }
+}
+
+#[test]
+fn sharded_snapshot_round_trips_bit_identically_across_seeds() {
+    for seed in [11u64, 12] {
+        let points = stream_points(800, seed);
+        let cut = 411usize;
+        let mk = || ShardedStream::cc(config(3, 20), 4, 32, 500 + seed).unwrap();
+
+        let mut reference = mk();
+        let mut resumable = mk();
+        for p in &points[..cut] {
+            reference.update(p).unwrap();
+            resumable.update(p).unwrap();
+        }
+        assert_eq!(reference.query().unwrap(), resumable.query().unwrap());
+
+        let json = serde_json::to_string(&resumable.snapshot().unwrap()).unwrap();
+        drop(resumable);
+        let state: ShardedStreamState = serde_json::from_str(&json).unwrap();
+        let mut restored = ShardedStream::<CachedCoresetTree>::restore(&state).unwrap();
+
+        for p in &points[cut..] {
+            reference.update(p).unwrap();
+            restored.update(p).unwrap();
+        }
+        assert_eq!(reference.query().unwrap(), restored.query().unwrap());
+        let a = reference.stats().unwrap();
+        let b = restored.stats().unwrap();
+        assert_eq!(a, b);
+    }
+}

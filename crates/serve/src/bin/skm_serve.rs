@@ -1,0 +1,258 @@
+//! `skm-serve` — run the TCP/JSON clustering server, or drive one with the
+//! built-in load generator.
+//!
+//! ```text
+//! skm-serve serve [--addr 127.0.0.1:7878] [--backend sharded-cc|cc|ct|rcc]
+//!                 [--k 8] [--shards 4] [--batch 128] [--seed 42]
+//!                 [--snapshot-dir DIR] [--restore FILE]
+//! skm-serve bench [--addr 127.0.0.1:7878] [--connections 4] [--points 20000]
+//!                 [--dim 8] [--batch 128] [--query-every 8] [--seed 42]
+//! ```
+//!
+//! `serve` blocks until a client sends `{"Shutdown":{}}`. `bench` connects
+//! to an already-running server, drives it with a mixed ingest:query
+//! workload of Gaussian-blob points and prints per-request latency
+//! percentiles. See the README's "Serving" section for the protocol.
+
+use skm_serve::engine::{BackendKind, Engine, EngineSpec};
+use skm_serve::loadgen::{run_load, LoadSpec};
+use skm_serve::protocol::MAX_BATCH_POINTS;
+use skm_serve::server::Server;
+use skm_stream::StreamConfig;
+use std::net::ToSocketAddrs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Parsed flags shared by both subcommands (unused ones are ignored).
+#[derive(Debug)]
+struct Args {
+    addr: String,
+    backend: BackendKind,
+    k: usize,
+    shards: usize,
+    batch: usize,
+    seed: u64,
+    snapshot_dir: Option<PathBuf>,
+    restore: Option<PathBuf>,
+    connections: usize,
+    points: usize,
+    dim: usize,
+    query_every: usize,
+    errors: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            backend: BackendKind::ShardedCc,
+            k: 8,
+            shards: 4,
+            batch: 128,
+            seed: 42,
+            snapshot_dir: None,
+            restore: None,
+            connections: 4,
+            points: 20_000,
+            dim: 8,
+            query_every: 8,
+            errors: Vec::new(),
+        }
+    }
+}
+
+fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
+    let mut args = Args::default();
+    let mut iter = tokens.peekable();
+    while let Some(flag) = iter.next() {
+        let mut take = |name: &str, errors: &mut Vec<String>| match iter.next() {
+            Some(v) => Some(v),
+            None => {
+                errors.push(format!("flag `{name}` requires a value"));
+                None
+            }
+        };
+        match flag.as_str() {
+            "--addr" => {
+                if let Some(v) = take("--addr", &mut args.errors) {
+                    args.addr = v;
+                }
+            }
+            "--backend" => {
+                if let Some(v) = take("--backend", &mut args.errors) {
+                    match BackendKind::parse(&v) {
+                        Some(kind) => args.backend = kind,
+                        None => args.errors.push(format!("unknown backend `{v}`")),
+                    }
+                }
+            }
+            "--snapshot-dir" => {
+                args.snapshot_dir = take("--snapshot-dir", &mut args.errors).map(PathBuf::from);
+            }
+            "--restore" => {
+                args.restore = take("--restore", &mut args.errors).map(PathBuf::from);
+            }
+            "--k" | "--shards" | "--batch" | "--seed" | "--connections" | "--points" | "--dim"
+            | "--query-every" => {
+                let Some(v) = take(&flag, &mut args.errors) else {
+                    continue;
+                };
+                let Ok(n) = v.parse::<u64>() else {
+                    args.errors
+                        .push(format!("flag `{flag}` wants a number, got `{v}`"));
+                    continue;
+                };
+                match flag.as_str() {
+                    "--k" => args.k = (n as usize).max(1),
+                    "--shards" => args.shards = (n as usize).max(1),
+                    "--batch" => args.batch = (n as usize).max(1),
+                    "--seed" => args.seed = n,
+                    "--connections" => args.connections = (n as usize).max(1),
+                    "--points" => args.points = (n as usize).max(100),
+                    "--dim" => args.dim = (n as usize).max(1),
+                    "--query-every" => args.query_every = n as usize,
+                    _ => unreachable!(),
+                }
+            }
+            other => eprintln!("ignoring unknown argument `{other}`"),
+        }
+    }
+    args
+}
+
+fn build_engine(args: &Args) -> Result<Engine, String> {
+    if let Some(path) = &args.restore {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot `{}`: {e}", path.display()))?;
+        return Engine::from_snapshot_json(&text)
+            .map_err(|e| format!("cannot restore snapshot `{}`: {e}", path.display()));
+    }
+    let spec = EngineSpec {
+        kind: args.backend,
+        stream: StreamConfig::new(args.k),
+        shards: args.shards,
+        batch: args.batch,
+        nesting_depth: 2,
+        seed: args.seed,
+    };
+    Engine::new(&spec).map_err(|e| format!("cannot build engine: {e}"))
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let engine = Arc::new(build_engine(args)?);
+    let server = Server::bind(args.addr.as_str(), engine, args.snapshot_dir.clone())
+        .map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("skm-serve listening on {addr} (send {{\"Shutdown\":{{}}}} to stop)");
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// Deterministic Gaussian-ish blobs for the bench subcommand (splitmix-style
+/// hashing; no RNG crate needed in the binary).
+fn blob_points(points: usize, dim: usize, k: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..points)
+        .map(|i| {
+            let anchor = (i % k) as f64 * 50.0;
+            (0..dim)
+                .map(|d| anchor + next() + d as f64 * 0.01)
+                .collect()
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn bench(args: &Args) -> Result<(), String> {
+    let addr = args
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{}`: {e}", args.addr))?
+        .next()
+        .ok_or_else(|| format!("`{}` resolves to no address", args.addr))?;
+    let points = blob_points(args.points, args.dim, args.k, args.seed);
+    // The server rejects batches above the protocol limit outright; clamp
+    // here so an oversized --batch degrades to the maximum instead of a
+    // run where every request fails with BatchTooLarge.
+    let batch = args.batch.min(MAX_BATCH_POINTS);
+    if batch != args.batch {
+        eprintln!(
+            "--batch {} exceeds the protocol limit; clamped to {MAX_BATCH_POINTS}",
+            args.batch
+        );
+    }
+    let spec = LoadSpec {
+        addr,
+        connections: args.connections,
+        batch,
+        query_every: args.query_every,
+    };
+    let report = run_load(&spec, &points).map_err(|e| format!("load generator failed: {e}"))?;
+    let mut ingest = report.ingest_ns.clone();
+    ingest.sort_by(f64::total_cmp);
+    let mut query = report.query_ns.clone();
+    query.sort_by(f64::total_cmp);
+    println!(
+        "sent {} points over {} connections ({} ingest requests, {} queries, {} server errors)",
+        report.points_sent,
+        args.connections,
+        ingest.len(),
+        report.queries,
+        report.server_errors
+    );
+    println!(
+        "ingest request latency: p50 {:>9.0} ns   p95 {:>9.0} ns   p99 {:>9.0} ns",
+        percentile(&ingest, 50.0),
+        percentile(&ingest, 95.0),
+        percentile(&ingest, 99.0)
+    );
+    println!(
+        "query latency:          p50 {:>9.0} ns   p95 {:>9.0} ns   p99 {:>9.0} ns",
+        percentile(&query, 50.0),
+        percentile(&query, 95.0),
+        percentile(&query, 99.0)
+    );
+    if report.server_errors > 0 {
+        return Err(format!("{} server errors", report.server_errors));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let subcommand = argv.next().unwrap_or_default();
+    let args = parse_args(argv);
+    if !args.errors.is_empty() {
+        for e in &args.errors {
+            eprintln!("{e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let result = match subcommand.as_str() {
+        "serve" => serve(&args),
+        "bench" => bench(&args),
+        other => Err(format!(
+            "unknown subcommand `{other}` (expected `serve` or `bench`)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("skm-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

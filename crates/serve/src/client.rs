@@ -1,0 +1,132 @@
+//! A small blocking client for the newline-delimited JSON protocol, used by
+//! the load generator, the examples and the protocol tests.
+
+use crate::protocol::{Request, Response};
+use skm_stream::StreamStats;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One protocol connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Maps a protocol-level surprise (unparseable response line) to `io::Error`.
+fn protocol_error(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response round trips are latency-bound: without NODELAY,
+        // Nagle + delayed ACKs put a ~40 ms floor under every request.
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the matching response.
+    ///
+    /// # Errors
+    /// Propagates socket errors; an unparseable response or a server that
+    /// hung up mid-exchange is reported as [`io::ErrorKind::InvalidData`] /
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.send_raw_line(&request.to_line())
+    }
+
+    /// Sends a raw line verbatim (the protocol tests use this to exercise
+    /// malformed input) and reads one response.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Client::call`].
+    pub fn send_raw_line(&mut self, line: &str) -> io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::from_line(reply.trim()).map_err(protocol_error)
+    }
+
+    /// Ingests one point.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn ingest(&mut self, point: Vec<f64>) -> io::Result<Response> {
+        self.call(&Request::Ingest { point })
+    }
+
+    /// Ingests a batch of points.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn ingest_batch(&mut self, points: Vec<Vec<f64>>) -> io::Result<Response> {
+        self.call(&Request::IngestBatch { points })
+    }
+
+    /// Queries the current centers, returning the full response.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn query(&mut self) -> io::Result<Response> {
+        self.call(&Request::Query {})
+    }
+
+    /// Queries and unwraps the center rows, mapping a server-side error
+    /// response to [`io::ErrorKind::Other`].
+    ///
+    /// # Errors
+    /// Transport errors, plus any typed server error.
+    pub fn query_centers(&mut self) -> io::Result<Vec<Vec<f64>>> {
+        match self.query()? {
+            Response::Centers { centers, .. } => Ok(centers),
+            other => Err(io::Error::other(format!("query failed: {other:?}"))),
+        }
+    }
+
+    /// Fetches ingestion statistics, mapping a server-side error response
+    /// to [`io::ErrorKind::Other`].
+    ///
+    /// # Errors
+    /// Transport errors, plus any typed server error.
+    pub fn stats(&mut self) -> io::Result<StreamStats> {
+        match self.call(&Request::Stats {})? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(io::Error::other(format!("stats failed: {other:?}"))),
+        }
+    }
+
+    /// Asks the server to persist a snapshot under `file`.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn snapshot(&mut self, file: &str) -> io::Result<Response> {
+        self.call(&Request::Snapshot {
+            file: file.to_string(),
+        })
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(&Request::Shutdown {})
+    }
+}

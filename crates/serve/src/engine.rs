@@ -1,0 +1,548 @@
+//! The [`Engine`] facade: one shared clusterer behind a mutex, plus
+//! snapshot/restore.
+//!
+//! The engine is what connection handler threads talk to. It wraps either a
+//! [`ShardedStream`] over per-shard CC clusterers (the default — ingestion
+//! parallelism comes from the shard worker threads, so the coordinator
+//! mutex is held only for cheap buffering and channel sends) or one of the
+//! single-threaded clusterers (CC, CT, RCC) for small deployments.
+//!
+//! Snapshots serialize the complete backend state — configuration, coreset
+//! tree levels, caches, partially filled buckets and RNG positions — into a
+//! versioned JSON envelope ([`SnapshotFile`]), so a server restarted from a
+//! snapshot continues the stream bit-identically to one that never stopped.
+
+use serde::{Deserialize, Serialize};
+use skm_clustering::error::{ClusteringError, Result};
+use skm_clustering::Centers;
+use skm_stream::{
+    CachedCoresetTree, CoresetTreeClusterer, QueryStats, RecursiveCachedTree, ShardedStream,
+    ShardedStreamState, StreamConfig, StreamStats, StreamingClusterer,
+};
+use std::sync::Mutex;
+
+/// Current snapshot envelope version; bump when [`SnapshotFile`] or any
+/// serialized backend state changes shape incompatibly.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Which clusterer the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Sharded multi-threaded ingestion over per-shard CC clusterers
+    /// (the recommended default).
+    ShardedCc,
+    /// Single-threaded cached coreset tree.
+    Cc,
+    /// Single-threaded plain coreset tree (streamkm++).
+    Ct,
+    /// Single-threaded recursive coreset cache.
+    Rcc,
+}
+
+impl BackendKind {
+    /// The tag stored in snapshot files and accepted by
+    /// [`BackendKind::parse`].
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BackendKind::ShardedCc => "sharded-cc",
+            BackendKind::Cc => "cc",
+            BackendKind::Ct => "ct",
+            BackendKind::Rcc => "rcc",
+        }
+    }
+
+    /// Parses a backend tag (case-insensitive).
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<Self> {
+        match tag.to_ascii_lowercase().as_str() {
+            "sharded-cc" | "sharded" => Some(BackendKind::ShardedCc),
+            "cc" => Some(BackendKind::Cc),
+            "ct" => Some(BackendKind::Ct),
+            "rcc" => Some(BackendKind::Rcc),
+            _ => None,
+        }
+    }
+}
+
+/// How to build an [`Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineSpec {
+    /// Backend to run.
+    pub kind: BackendKind,
+    /// Shared streaming configuration (k, bucket size, query settings).
+    pub stream: StreamConfig,
+    /// Shard count (only used by [`BackendKind::ShardedCc`]).
+    pub shards: usize,
+    /// Points buffered per shard before a batch ships (sharded backend).
+    pub batch: usize,
+    /// RCC nesting depth (only used by [`BackendKind::Rcc`]).
+    pub nesting_depth: u32,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl EngineSpec {
+    /// The default serving spec: sharded CC with `shards` workers.
+    #[must_use]
+    pub fn sharded_cc(stream: StreamConfig, shards: usize, batch: usize, seed: u64) -> Self {
+        Self {
+            kind: BackendKind::ShardedCc,
+            stream,
+            shards,
+            batch,
+            nesting_depth: 2,
+            seed,
+        }
+    }
+}
+
+/// The concrete clusterer behind the engine mutex.
+#[derive(Debug)]
+enum Backend {
+    ShardedCc(ShardedStream<CachedCoresetTree>),
+    Cc(CachedCoresetTree),
+    Ct(CoresetTreeClusterer),
+    Rcc(RecursiveCachedTree),
+}
+
+impl Backend {
+    fn build(spec: &EngineSpec) -> Result<Self> {
+        Ok(match spec.kind {
+            BackendKind::ShardedCc => Backend::ShardedCc(ShardedStream::cc(
+                spec.stream,
+                spec.shards,
+                spec.batch,
+                spec.seed,
+            )?),
+            BackendKind::Cc => Backend::Cc(CachedCoresetTree::new(spec.stream, spec.seed)?),
+            BackendKind::Ct => Backend::Ct(CoresetTreeClusterer::new(spec.stream, spec.seed)?),
+            BackendKind::Rcc => Backend::Rcc(RecursiveCachedTree::new(
+                spec.stream,
+                spec.nesting_depth,
+                spec.seed,
+            )?),
+        })
+    }
+
+    fn kind(&self) -> BackendKind {
+        match self {
+            Backend::ShardedCc(_) => BackendKind::ShardedCc,
+            Backend::Cc(_) => BackendKind::Cc,
+            Backend::Ct(_) => BackendKind::Ct,
+            Backend::Rcc(_) => BackendKind::Rcc,
+        }
+    }
+
+    fn clusterer(&mut self) -> &mut dyn StreamingClusterer {
+        match self {
+            Backend::ShardedCc(s) => s,
+            Backend::Cc(c) => c,
+            Backend::Ct(c) => c,
+            Backend::Rcc(c) => c,
+        }
+    }
+
+    fn stats(&mut self) -> Result<StreamStats> {
+        match self {
+            Backend::ShardedCc(s) => s.stats(),
+            other => {
+                let c = other.clusterer();
+                Ok(StreamStats {
+                    points_seen: c.points_seen(),
+                    shards: 1,
+                    per_shard_points: vec![c.points_seen()],
+                    last_query: c.last_query_stats(),
+                })
+            }
+        }
+    }
+
+    fn state_value(&mut self) -> Result<serde::Value> {
+        Ok(match self {
+            Backend::ShardedCc(s) => s.snapshot()?.to_value(),
+            Backend::Cc(c) => c.to_value(),
+            Backend::Ct(c) => c.to_value(),
+            Backend::Rcc(c) => c.to_value(),
+        })
+    }
+
+    fn from_state(kind: BackendKind, state: &serde::Value) -> Result<Self> {
+        let restore_err = |e: serde::Error| ClusteringError::InvalidParameter {
+            name: "snapshot",
+            message: e.to_string(),
+        };
+        let backend = match kind {
+            BackendKind::ShardedCc => {
+                // `ShardedStream::restore` validates config and cursor
+                // itself.
+                let state = ShardedStreamState::from_value(state).map_err(restore_err)?;
+                Backend::ShardedCc(ShardedStream::restore(&state)?)
+            }
+            BackendKind::Cc => {
+                Backend::Cc(CachedCoresetTree::from_value(state).map_err(restore_err)?)
+            }
+            BackendKind::Ct => {
+                Backend::Ct(CoresetTreeClusterer::from_value(state).map_err(restore_err)?)
+            }
+            BackendKind::Rcc => {
+                Backend::Rcc(RecursiveCachedTree::from_value(state).map_err(restore_err)?)
+            }
+        };
+        // A tampered single-backend snapshot must not smuggle in a
+        // configuration the constructors would have rejected.
+        match &backend {
+            Backend::ShardedCc(_) => {}
+            Backend::Cc(c) => c.config().validate()?,
+            Backend::Ct(c) => c.config().validate()?,
+            Backend::Rcc(c) => c.config().validate()?,
+        }
+        Ok(backend)
+    }
+}
+
+/// Versioned on-disk snapshot envelope: the backend tag picks the concrete
+/// state type at restore time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotFile {
+    /// Envelope version ([`SNAPSHOT_VERSION`]).
+    pub snapshot_version: u32,
+    /// Backend tag ([`BackendKind::tag`]).
+    pub backend: String,
+    /// The backend's serialized state.
+    pub state: serde::Value,
+}
+
+/// The thread-safe serving facade over one streaming clusterer.
+///
+/// All methods take `&self`; connection handler threads share the engine
+/// through an `Arc`.
+#[derive(Debug)]
+pub struct Engine {
+    inner: Mutex<Backend>,
+}
+
+/// An engine mutex can only be poisoned by a panic inside a clusterer; the
+/// state may be mid-update, so refuse to serve from it.
+fn poisoned() -> ClusteringError {
+    ClusteringError::InvalidParameter {
+        name: "engine",
+        message: "engine poisoned by an earlier panic".to_string(),
+    }
+}
+
+impl Engine {
+    /// Builds an engine from a spec.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn new(spec: &EngineSpec) -> Result<Self> {
+        Ok(Self {
+            inner: Mutex::new(Backend::build(spec)?),
+        })
+    }
+
+    /// Which backend this engine runs.
+    ///
+    /// # Errors
+    /// Fails only when the engine is poisoned.
+    pub fn kind(&self) -> Result<BackendKind> {
+        Ok(self.inner.lock().map_err(|_| poisoned())?.kind())
+    }
+
+    /// Ingests one point; returns the total points seen afterwards.
+    ///
+    /// # Errors
+    /// Returns validation errors (dimension mismatch, non-finite
+    /// coordinates, empty point); the engine state is unchanged on error.
+    pub fn ingest(&self, point: &[f64]) -> Result<u64> {
+        let mut guard = self.inner.lock().map_err(|_| poisoned())?;
+        let clusterer = guard.clusterer();
+        clusterer.update(point)?;
+        Ok(clusterer.points_seen())
+    }
+
+    /// Ingests a batch of points atomically: the whole batch is validated
+    /// against the stream dimension before any point is consumed, so a
+    /// rejected batch leaves the engine untouched.
+    ///
+    /// # Errors
+    /// Returns the first validation failure (with the offending in-batch
+    /// index for non-finite coordinates).
+    pub fn ingest_batch(&self, points: &[Vec<f64>]) -> Result<u64> {
+        let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+        let mut guard = self.inner.lock().map_err(|_| poisoned())?;
+        let clusterer = guard.clusterer();
+        // Pre-validate the whole batch so even backends whose
+        // `update_batch` is a per-point loop (the sharded coordinator)
+        // reject atomically at the serving layer.
+        let mut dim = clusterer.dim();
+        for (index, point) in refs.iter().enumerate() {
+            if point.is_empty() {
+                return Err(ClusteringError::InvalidParameter {
+                    name: "point",
+                    message: "points must have at least one dimension".to_string(),
+                });
+            }
+            if let Some(d) = dim {
+                if d != point.len() {
+                    return Err(ClusteringError::DimensionMismatch {
+                        expected: d,
+                        got: point.len(),
+                    });
+                }
+            }
+            if point.iter().any(|x| !x.is_finite()) {
+                return Err(ClusteringError::NonFiniteCoordinate { index });
+            }
+            dim = Some(point.len());
+        }
+        clusterer.update_batch(&refs)?;
+        Ok(clusterer.points_seen())
+    }
+
+    /// Answers a clustering query.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] before the first point.
+    pub fn query(&self) -> Result<(Centers, QueryStats, u64)> {
+        let mut guard = self.inner.lock().map_err(|_| poisoned())?;
+        let clusterer = guard.clusterer();
+        let centers = clusterer.query()?;
+        let stats = clusterer.last_query_stats().unwrap_or_default();
+        Ok((centers, stats, clusterer.points_seen()))
+    }
+
+    /// Aggregated ingestion statistics.
+    ///
+    /// # Errors
+    /// Fails when the engine is poisoned or a shard worker is gone.
+    pub fn stats(&self) -> Result<StreamStats> {
+        self.inner.lock().map_err(|_| poisoned())?.stats()
+    }
+
+    /// Total points ingested so far.
+    ///
+    /// # Errors
+    /// Fails only when the engine is poisoned.
+    pub fn points_seen(&self) -> Result<u64> {
+        Ok(self
+            .inner
+            .lock()
+            .map_err(|_| poisoned())?
+            .clusterer()
+            .points_seen())
+    }
+
+    /// Points held by the backend's internal structures (paper accounting).
+    ///
+    /// # Errors
+    /// Fails only when the engine is poisoned.
+    pub fn memory_points(&self) -> Result<usize> {
+        Ok(self
+            .inner
+            .lock()
+            .map_err(|_| poisoned())?
+            .clusterer()
+            .memory_points())
+    }
+
+    /// Serializes the full engine state into the versioned JSON envelope.
+    ///
+    /// # Errors
+    /// Fails when the engine is poisoned or a shard has latched an error.
+    pub fn snapshot_json(&self) -> Result<String> {
+        let mut guard = self.inner.lock().map_err(|_| poisoned())?;
+        let file = SnapshotFile {
+            snapshot_version: SNAPSHOT_VERSION,
+            backend: guard.kind().tag().to_string(),
+            state: guard.state_value()?,
+        };
+        serde_json::to_string(&file).map_err(|e| ClusteringError::InvalidParameter {
+            name: "snapshot",
+            message: e.to_string(),
+        })
+    }
+
+    /// Cold-starts an engine from a snapshot produced by
+    /// [`Engine::snapshot_json`]. Continuing the restored engine is
+    /// bit-identical to continuing the engine the snapshot was taken from.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::InvalidParameter`] for unparseable
+    /// snapshots, unknown backends or unsupported versions.
+    pub fn from_snapshot_json(text: &str) -> Result<Self> {
+        let invalid = |message: String| ClusteringError::InvalidParameter {
+            name: "snapshot",
+            message,
+        };
+        let file: SnapshotFile = serde_json::from_str(text).map_err(|e| invalid(e.to_string()))?;
+        if file.snapshot_version != SNAPSHOT_VERSION {
+            return Err(invalid(format!(
+                "unsupported snapshot version {} (this build reads version {SNAPSHOT_VERSION})",
+                file.snapshot_version
+            )));
+        }
+        let kind = BackendKind::parse(&file.backend)
+            .ok_or_else(|| invalid(format!("unknown backend `{}`", file.backend)))?;
+        Ok(Self {
+            inner: Mutex::new(Backend::from_state(kind, &file.state)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: BackendKind) -> EngineSpec {
+        EngineSpec {
+            kind,
+            stream: StreamConfig::new(2)
+                .with_bucket_size(20)
+                .with_kmeans_runs(1)
+                .with_lloyd_iterations(2),
+            shards: 2,
+            batch: 8,
+            nesting_depth: 2,
+            seed: 7,
+        }
+    }
+
+    fn feed(engine: &Engine, n: usize, offset: f64) {
+        for i in 0..n {
+            let x = if i % 2 == 0 { 0.0 } else { 60.0 };
+            engine.ingest(&[x + offset, (i % 5) as f64 * 0.1]).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_backend_ingests_and_queries() {
+        for kind in [
+            BackendKind::ShardedCc,
+            BackendKind::Cc,
+            BackendKind::Ct,
+            BackendKind::Rcc,
+        ] {
+            let engine = Engine::new(&spec(kind)).unwrap();
+            assert_eq!(engine.kind().unwrap(), kind);
+            feed(&engine, 300, 0.0);
+            let (centers, stats, seen) = engine.query().unwrap();
+            assert_eq!(centers.len(), 2, "{kind:?}");
+            assert_eq!(seen, 300, "{kind:?}");
+            assert!(stats.ran_kmeans, "{kind:?}");
+            let s = engine.stats().unwrap();
+            assert_eq!(s.points_seen, 300, "{kind:?}");
+            assert_eq!(s.per_shard_points.iter().sum::<u64>(), 300, "{kind:?}");
+            assert!(engine.memory_points().unwrap() > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn batch_rejection_is_atomic_for_every_backend() {
+        for kind in [BackendKind::ShardedCc, BackendKind::Cc] {
+            let engine = Engine::new(&spec(kind)).unwrap();
+            engine.ingest(&[1.0, 2.0]).unwrap();
+            // Good point followed by a wrong-dimension point: nothing of the
+            // batch may be consumed.
+            let err = engine
+                .ingest_batch(&[vec![3.0, 4.0], vec![5.0]])
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                ClusteringError::DimensionMismatch {
+                    expected: 2,
+                    got: 1
+                }
+            ));
+            let err = engine
+                .ingest_batch(&[vec![3.0, 4.0], vec![f64::NAN, 0.0]])
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                ClusteringError::NonFiniteCoordinate { index: 1 }
+            ));
+            assert!(engine.ingest_batch(&[vec![3.0, 4.0], vec![]]).is_err());
+            assert_eq!(engine.points_seen().unwrap(), 1, "{kind:?}");
+            // A self-inconsistent first batch on a fresh engine must also be
+            // rejected whole.
+            let fresh = Engine::new(&spec(kind)).unwrap();
+            assert!(fresh
+                .ingest_batch(&[vec![1.0, 2.0], vec![1.0, 2.0, 3.0]])
+                .is_err());
+            assert_eq!(fresh.points_seen().unwrap(), 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_continue_matches_uninterrupted() {
+        for kind in [
+            BackendKind::ShardedCc,
+            BackendKind::Cc,
+            BackendKind::Ct,
+            BackendKind::Rcc,
+        ] {
+            let reference = Engine::new(&spec(kind)).unwrap();
+            let snapshotted = Engine::new(&spec(kind)).unwrap();
+            feed(&reference, 150, 0.0);
+            feed(&snapshotted, 150, 0.0);
+            let json = snapshotted.snapshot_json().unwrap();
+            drop(snapshotted);
+            let restored = Engine::from_snapshot_json(&json).unwrap();
+            assert_eq!(restored.kind().unwrap(), kind);
+            feed(&reference, 150, 0.5);
+            feed(&restored, 150, 0.5);
+            let (a, _, _) = reference.query().unwrap();
+            let (b, _, _) = restored.query().unwrap();
+            assert_eq!(a, b, "{kind:?} snapshot continuation diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_envelope_is_versioned_and_validated() {
+        let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        feed(&engine, 30, 0.0);
+        let json = engine.snapshot_json().unwrap();
+        assert!(json.contains("\"snapshot_version\":1"));
+        assert!(json.contains("\"backend\":\"cc\""));
+
+        assert!(Engine::from_snapshot_json("not json").is_err());
+        let wrong_version = json.replace("\"snapshot_version\":1", "\"snapshot_version\":99");
+        assert!(Engine::from_snapshot_json(&wrong_version).is_err());
+        let wrong_backend = json.replace("\"backend\":\"cc\"", "\"backend\":\"nope\"");
+        assert!(Engine::from_snapshot_json(&wrong_backend).is_err());
+    }
+
+    #[test]
+    fn tampered_snapshots_are_rejected_not_restored() {
+        let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        feed(&engine, 30, 0.0);
+        let json = engine.snapshot_json().unwrap();
+
+        // A hand-edited bucket size of 0 would make the partial bucket
+        // never flush; both the buffer's own deserializer and the config
+        // validation must refuse it.
+        let zero_bucket = json.replace("\"bucket_size\":20", "\"bucket_size\":0");
+        assert_ne!(zero_bucket, json, "fixture drifted: bucket_size not found");
+        assert!(Engine::from_snapshot_json(&zero_bucket).is_err());
+
+        // Same for a config-level k = 0.
+        let zero_k = json.replace("\"k\":2", "\"k\":0");
+        assert_ne!(zero_k, json, "fixture drifted: k not found");
+        assert!(Engine::from_snapshot_json(&zero_k).is_err());
+    }
+
+    #[test]
+    fn backend_tags_round_trip() {
+        for kind in [
+            BackendKind::ShardedCc,
+            BackendKind::Cc,
+            BackendKind::Ct,
+            BackendKind::Rcc,
+        ] {
+            assert_eq!(BackendKind::parse(kind.tag()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("SHARDED"), Some(BackendKind::ShardedCc));
+        assert_eq!(BackendKind::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,72 @@
+//! # skm-serve
+//!
+//! The network serving layer over the streaming clusterers: turn the
+//! in-process `ShardedStream` machinery into an actual online service that
+//! remote clients can feed and query *while the stream is live* — the
+//! paper's headline claim (cheap queries against a continuously updated
+//! summary) exercised under real request traffic.
+//!
+//! ## Pieces
+//!
+//! * [`protocol`] — the newline-delimited JSON wire protocol: typed
+//!   [`Request`]/[`Response`] enums, request limits, and the mapping from
+//!   engine errors to typed [`protocol::ErrorCode`]s.
+//! * [`engine`] — the [`Engine`] facade: one shared clusterer (sharded CC
+//!   by default; single-threaded CC/CT/RCC also available) behind a mutex,
+//!   plus versioned JSON snapshot/restore of the complete state
+//!   (configuration, coreset tree levels, caches, partial buckets, RNG
+//!   positions) with bit-identical continuation.
+//! * [`server`] — the multi-threaded TCP [`Server`]: one handler thread per
+//!   connection, typed error responses for malformed lines, clean shutdown.
+//! * [`client`] — a small blocking [`Client`] for the protocol.
+//! * [`loadgen`] — the built-in load generator: N concurrent connections,
+//!   configurable ingest:query mix, per-request latency collection
+//!   (feeds the `BENCH_serving.json` workload in `skm-bench`).
+//!
+//! ## Example
+//!
+//! ```
+//! use skm_serve::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let config = StreamConfig::new(2).with_bucket_size(40).with_kmeans_runs(1);
+//! let engine = Arc::new(Engine::new(&EngineSpec::sharded_cc(config, 2, 32, 7)).unwrap());
+//! let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), None).unwrap();
+//! let handle = server.spawn().unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! for i in 0..200u32 {
+//!     let x = if i % 2 == 0 { 0.0 } else { 100.0 };
+//!     client.ingest(vec![x, f64::from(i % 10)]).unwrap();
+//! }
+//! let centers = client.query_centers().unwrap();
+//! assert_eq!(centers.len(), 2);
+//!
+//! client.shutdown().unwrap();
+//! handle.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use engine::{BackendKind, Engine, EngineSpec, SnapshotFile, SNAPSHOT_VERSION};
+pub use loadgen::{run_load, LoadReport, LoadSpec};
+pub use protocol::{Request, Response};
+pub use server::{Server, ServerHandle};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::client::Client;
+    pub use crate::engine::{BackendKind, Engine, EngineSpec};
+    pub use crate::loadgen::{run_load, LoadReport, LoadSpec};
+    pub use crate::protocol::{ErrorCode, Request, Response};
+    pub use crate::server::{Server, ServerHandle};
+    pub use skm_stream::{StreamConfig, StreamStats};
+}

@@ -1,0 +1,176 @@
+//! The built-in load generator: N concurrent connections driving a
+//! configurable ingest:query mix, with per-request latency collection.
+//!
+//! The caller supplies the points (so it can later evaluate the returned
+//! centers against exactly the data that was served); the generator
+//! partitions them round-robin across connections, ships them in
+//! `IngestBatch` requests and interleaves `Query` requests at the
+//! configured rate. Latencies are whole request/response round trips as a
+//! client observes them — loopback RTT included, because that is what a
+//! remote caller experiences.
+
+use crate::client::Client;
+use crate::protocol::Response;
+use std::io;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Instant;
+
+/// Load-generator settings.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Server to drive.
+    pub addr: SocketAddr,
+    /// Concurrent connections (each runs on its own thread).
+    pub connections: usize,
+    /// Points per `IngestBatch` request.
+    pub batch: usize,
+    /// Issue one `Query` after every `query_every` ingest requests per
+    /// connection (0 disables interleaved queries).
+    pub query_every: usize,
+}
+
+/// Latencies and counters collected by [`run_load`], pooled across all
+/// connections.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// One sample per `IngestBatch` request, in nanoseconds.
+    pub ingest_ns: Vec<f64>,
+    /// One sample per `Query` request, in nanoseconds.
+    pub query_ns: Vec<f64>,
+    /// Total points acknowledged by the server.
+    pub points_sent: u64,
+    /// Total queries answered with centers.
+    pub queries: u64,
+    /// Typed error responses received (0 on a healthy run).
+    pub server_errors: u64,
+}
+
+impl LoadReport {
+    fn merge(&mut self, other: LoadReport) {
+        self.ingest_ns.extend(other.ingest_ns);
+        self.query_ns.extend(other.query_ns);
+        self.points_sent += other.points_sent;
+        self.queries += other.queries;
+        self.server_errors += other.server_errors;
+    }
+}
+
+/// One connection's share of the stream: points `i`, `i + C`, `i + 2C`, …
+/// (round-robin keeps every connection's sub-stream statistically similar,
+/// so per-shard clusterers never see a skewed slice).
+fn connection_share(points: &[Vec<f64>], connection: usize, connections: usize) -> Vec<Vec<f64>> {
+    points
+        .iter()
+        .skip(connection)
+        .step_by(connections)
+        .cloned()
+        .collect()
+}
+
+fn drive_connection(spec: &LoadSpec, share: Vec<Vec<f64>>) -> io::Result<LoadReport> {
+    let mut client = Client::connect(spec.addr)?;
+    let mut report = LoadReport::default();
+    let mut since_query = 0usize;
+    for chunk in share.chunks(spec.batch.max(1)) {
+        let start = Instant::now();
+        let response = client.ingest_batch(chunk.to_vec())?;
+        report.ingest_ns.push(start.elapsed().as_nanos() as f64);
+        match response {
+            Response::Ingested { accepted, .. } => report.points_sent += accepted,
+            Response::Error { .. } => report.server_errors += 1,
+            _ => {}
+        }
+        since_query += 1;
+        if spec.query_every > 0 && since_query >= spec.query_every {
+            since_query = 0;
+            run_query(&mut client, &mut report)?;
+        }
+    }
+    // Short shares may never reach `query_every` ingest requests; issue one
+    // end-of-share query anyway so a query-mixing run always produces at
+    // least one query sample per connection.
+    if spec.query_every > 0 && report.query_ns.is_empty() && !share.is_empty() {
+        run_query(&mut client, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Issues one timed `Query` request, recording the latency and outcome.
+fn run_query(client: &mut Client, report: &mut LoadReport) -> io::Result<()> {
+    let start = Instant::now();
+    let response = client.query()?;
+    report.query_ns.push(start.elapsed().as_nanos() as f64);
+    match response {
+        Response::Centers { .. } => report.queries += 1,
+        Response::Error { .. } => report.server_errors += 1,
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Drives the server with `spec.connections` concurrent clients ingesting
+/// `points` (split round-robin) and interleaving queries, and returns the
+/// pooled per-request latencies.
+///
+/// # Errors
+/// Propagates connection/transport failures from any connection thread
+/// (typed server error *responses* are counted, not failures).
+pub fn run_load(spec: &LoadSpec, points: &[Vec<f64>]) -> io::Result<LoadReport> {
+    let connections = spec.connections.max(1);
+    let mut threads = Vec::with_capacity(connections);
+    for connection in 0..connections {
+        let share = connection_share(points, connection, connections);
+        let spec = LoadSpec {
+            connections,
+            ..*spec
+        };
+        threads.push(thread::spawn(move || drive_connection(&spec, share)));
+    }
+    let mut report = LoadReport::default();
+    for handle in threads {
+        let per_connection = handle
+            .join()
+            .map_err(|_| io::Error::other("load-generator thread panicked"))??;
+        report.merge(per_connection);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_partition_the_stream_without_overlap() {
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let shares: Vec<Vec<Vec<f64>>> = (0..3).map(|c| connection_share(&points, c, 3)).collect();
+        assert_eq!(shares[0].len(), 4);
+        assert_eq!(shares[1].len(), 3);
+        assert_eq!(shares[2].len(), 3);
+        let mut all: Vec<f64> = shares.iter().flatten().map(|p| p[0]).collect();
+        all.sort_by(f64::total_cmp);
+        assert_eq!(all, (0..10).map(f64::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_pools_samples_and_counters() {
+        let mut a = LoadReport {
+            ingest_ns: vec![1.0],
+            query_ns: vec![2.0],
+            points_sent: 10,
+            queries: 1,
+            server_errors: 0,
+        };
+        a.merge(LoadReport {
+            ingest_ns: vec![3.0],
+            query_ns: vec![],
+            points_sent: 5,
+            queries: 0,
+            server_errors: 2,
+        });
+        assert_eq!(a.ingest_ns, vec![1.0, 3.0]);
+        assert_eq!(a.points_sent, 15);
+        assert_eq!(a.server_errors, 2);
+    }
+}

@@ -1,0 +1,310 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request and every response is one JSON document on one line,
+//! terminated by `\n`. Requests are externally tagged by their variant name
+//! (the shape the vendored serde derive produces), e.g.:
+//!
+//! ```text
+//! {"Ingest":{"point":[1.0,2.0]}}
+//! {"IngestBatch":{"points":[[1.0,2.0],[3.0,4.0]]}}
+//! {"Query":{}}
+//! {"Stats":{}}
+//! {"Snapshot":{"file":"state.json"}}
+//! {"Shutdown":{}}
+//! ```
+//!
+//! Responses mirror that shape (`Ingested`, `Centers`, `Stats`,
+//! `Snapshotted`, `Bye`, `Error`). A malformed or oversized line is answered
+//! with a typed [`Response::Error`] instead of dropping the connection, so a
+//! client bug never takes down its session, let alone the engine. See the
+//! README's "Serving" section for the full protocol reference table.
+
+use serde::{Deserialize, Serialize};
+use skm_clustering::error::ClusteringError;
+use skm_stream::{QueryStats, StreamStats};
+
+/// Maximum points accepted in one `IngestBatch` request. Larger batches are
+/// rejected with [`ErrorCode::BatchTooLarge`] before touching the engine,
+/// bounding per-request memory; clients should split their load instead.
+pub const MAX_BATCH_POINTS: usize = 4096;
+
+/// Maximum accepted request-line length in bytes. A line that reaches this
+/// limit without a terminating `\n` is answered with
+/// [`ErrorCode::LineTooLong`] and the connection is closed (there is no way
+/// to resynchronize mid-line).
+pub const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// A client request (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Ingest a single point.
+    Ingest {
+        /// The point's coordinates; must match the stream dimension.
+        point: Vec<f64>,
+    },
+    /// Ingest a batch of points atomically: either every point is accepted
+    /// or none is (the whole batch is validated before any point is fed to
+    /// the engine).
+    IngestBatch {
+        /// The points, all of the stream dimension, at most
+        /// [`MAX_BATCH_POINTS`] of them.
+        points: Vec<Vec<f64>>,
+    },
+    /// Ask for the current k cluster centers.
+    Query {},
+    /// Ask for ingestion statistics.
+    Stats {},
+    /// Persist the engine state to `file` inside the server's configured
+    /// snapshot directory.
+    Snapshot {
+        /// Bare file name (no path separators) within the snapshot
+        /// directory.
+        file: String,
+    },
+    /// Stop the server: the connection is answered with [`Response::Bye`]
+    /// and the accept loop shuts down cleanly.
+    Shutdown {},
+}
+
+/// A server response (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Points were accepted.
+    Ingested {
+        /// Number of points accepted by this request.
+        accepted: u64,
+        /// Total points the engine has seen after this request.
+        points_seen: u64,
+    },
+    /// Answer to a [`Request::Query`].
+    Centers {
+        /// The k cluster centers, one coordinate row per center.
+        centers: Vec<Vec<f64>>,
+        /// Total points summarized by this answer.
+        points_seen: u64,
+        /// Query diagnostics (coresets merged, cache usage, …).
+        stats: QueryStats,
+    },
+    /// Answer to a [`Request::Stats`].
+    Stats {
+        /// Aggregated ingestion statistics.
+        stats: StreamStats,
+    },
+    /// Answer to a [`Request::Snapshot`]: the state was written.
+    Snapshotted {
+        /// Path of the snapshot file, as seen by the server.
+        file: String,
+        /// Size of the written snapshot in bytes.
+        bytes: u64,
+    },
+    /// Answer to a [`Request::Shutdown`]; the server stops accepting.
+    Bye {},
+    /// A request failed; the engine state is unchanged (for ingest
+    /// requests: no point of the failed request was consumed).
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Machine-readable failure classes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON or not a known request shape.
+    MalformedRequest,
+    /// The request line exceeded [`MAX_LINE_BYTES`].
+    LineTooLong,
+    /// A point's dimensionality disagrees with the stream's.
+    DimensionMismatch,
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// A point was empty or otherwise invalid.
+    InvalidPoint,
+    /// An `IngestBatch` exceeded [`MAX_BATCH_POINTS`].
+    BatchTooLarge,
+    /// A query arrived before any point was ingested.
+    EmptyStream,
+    /// Snapshotting is not available (no snapshot directory configured, or
+    /// the file name tried to escape it).
+    SnapshotUnavailable,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+/// Maps an engine error to the wire-level failure class.
+#[must_use]
+pub fn error_code(e: &ClusteringError) -> ErrorCode {
+    match e {
+        ClusteringError::DimensionMismatch { .. } => ErrorCode::DimensionMismatch,
+        ClusteringError::NonFiniteCoordinate { .. } => ErrorCode::NonFiniteCoordinate,
+        ClusteringError::EmptyInput => ErrorCode::EmptyStream,
+        ClusteringError::InvalidParameter { name, .. } if *name == "point" => {
+            ErrorCode::InvalidPoint
+        }
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Builds the error response for an engine failure.
+#[must_use]
+pub fn error_response(e: &ClusteringError) -> Response {
+    Response::Error {
+        code: error_code(e),
+        message: e.to_string(),
+    }
+}
+
+impl Request {
+    /// Encodes the request as one JSON line (without the trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("request serialization is infallible")
+    }
+
+    /// Parses a request from one JSON line.
+    ///
+    /// # Errors
+    /// Returns the parse failure message (the server wraps it in a
+    /// [`Response::Error`] with [`ErrorCode::MalformedRequest`]).
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (without the trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("response serialization is infallible")
+    }
+
+    /// Parses a response from one JSON line.
+    ///
+    /// # Errors
+    /// Returns the parse failure message.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_lines() {
+        let requests = vec![
+            Request::Ingest {
+                point: vec![1.0, -2.5],
+            },
+            Request::IngestBatch {
+                points: vec![vec![0.5, 0.25], vec![3.0, 4.0]],
+            },
+            Request::Query {},
+            Request::Stats {},
+            Request::Snapshot {
+                file: "state.json".to_string(),
+            },
+            Request::Shutdown {},
+        ];
+        for req in requests {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "one request = one line: {line}");
+            assert_eq!(Request::from_line(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_lines() {
+        let responses = vec![
+            Response::Ingested {
+                accepted: 3,
+                points_seen: 100,
+            },
+            Response::Centers {
+                centers: vec![vec![1.0, 2.0], vec![-3.0, 0.5]],
+                points_seen: 100,
+                stats: QueryStats {
+                    coresets_merged: 4,
+                    candidate_points: 80,
+                    coreset_level: Some(2),
+                    used_cache: true,
+                    ran_kmeans: true,
+                },
+            },
+            Response::Stats {
+                stats: StreamStats {
+                    points_seen: 100,
+                    shards: 2,
+                    per_shard_points: vec![50, 50],
+                    last_query: None,
+                },
+            },
+            Response::Snapshotted {
+                file: "snaps/state.json".to_string(),
+                bytes: 12345,
+            },
+            Response::Bye {},
+            Response::Error {
+                code: ErrorCode::DimensionMismatch,
+                message: "expected 2, got 3".to_string(),
+            },
+        ];
+        for resp in responses {
+            let line = resp.to_line();
+            assert!(!line.contains('\n'), "one response = one line: {line}");
+            assert_eq!(Response::from_line(&line).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn wire_shape_is_the_documented_external_tagging() {
+        let line = Request::Ingest {
+            point: vec![1.0, 2.0],
+        }
+        .to_line();
+        assert_eq!(line, r#"{"Ingest":{"point":[1,2]}}"#);
+        assert_eq!(Request::Query {}.to_line(), r#"{"Query":{}}"#);
+    }
+
+    #[test]
+    fn malformed_lines_are_parse_errors_not_panics() {
+        assert!(Request::from_line("").is_err());
+        assert!(Request::from_line("not json").is_err());
+        assert!(Request::from_line("{\"Unknown\":{}}").is_err());
+        assert!(Request::from_line("{\"Ingest\":{\"point\":\"oops\"}}").is_err());
+        assert!(Request::from_line("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn engine_errors_map_to_typed_codes() {
+        assert_eq!(
+            error_code(&ClusteringError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }),
+            ErrorCode::DimensionMismatch
+        );
+        assert_eq!(
+            error_code(&ClusteringError::NonFiniteCoordinate { index: 1 }),
+            ErrorCode::NonFiniteCoordinate
+        );
+        assert_eq!(
+            error_code(&ClusteringError::EmptyInput),
+            ErrorCode::EmptyStream
+        );
+        assert_eq!(
+            error_code(&ClusteringError::InvalidParameter {
+                name: "point",
+                message: "empty".to_string()
+            }),
+            ErrorCode::InvalidPoint
+        );
+        assert_eq!(
+            error_code(&ClusteringError::InvalidK { k: 0 }),
+            ErrorCode::Internal
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! The multi-threaded TCP server: one handler thread per connection, all
+//! feeding the shared [`Engine`].
+//!
+//! The accept loop runs until a `Shutdown` request arrives (or
+//! [`ServerHandle::shutdown`] is called from the hosting process); it then
+//! stops accepting, joins every handler thread and returns. Malformed
+//! request lines are answered with typed error responses — a broken client
+//! cannot take the server down, and every failure leaves the engine usable.
+
+use crate::engine::Engine;
+use crate::protocol::{
+    error_response, ErrorCode, Request, Response, MAX_BATCH_POINTS, MAX_LINE_BYTES,
+};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    snapshot_dir: Option<PathBuf>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Control handle for a server running on a background thread
+/// (see [`Server::spawn`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) around a shared
+    /// engine. `snapshot_dir` enables the `Snapshot` request: when `None`,
+    /// snapshot requests are answered with
+    /// [`ErrorCode::SnapshotUnavailable`].
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<Engine>,
+        snapshot_dir: Option<PathBuf>,
+    ) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            snapshot_dir,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the server is listening on (resolves port 0).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until shutdown, then
+    /// joins every connection handler.
+    ///
+    /// # Errors
+    /// Propagates accept-loop socket errors.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        // Join handles paired with a clone of the connection socket: on
+        // shutdown the sockets are closed first, so handlers parked in
+        // `read_line` on an idle connection wake up and exit instead of
+        // deadlocking the join.
+        let mut handlers: Vec<(thread::JoinHandle<()>, TcpStream)> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // A single failed accept (e.g. the peer vanished between
+                // SYN and accept) must not stop the server; back off so a
+                // persistent failure (fd exhaustion) cannot busy-spin this
+                // thread and starve the handlers that would free fds.
+                Err(_) => {
+                    thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            // One response per request line: answer immediately instead of
+            // letting Nagle + delayed ACKs add a ~40 ms floor per request.
+            let _ = stream.set_nodelay(true);
+            let Ok(stream_for_shutdown) = stream.try_clone() else {
+                continue;
+            };
+            let engine = Arc::clone(&self.engine);
+            let snapshot_dir = self.snapshot_dir.clone();
+            let shutdown = Arc::clone(&self.shutdown);
+            let handle = thread::spawn(move || {
+                let _ =
+                    handle_connection(stream, &engine, snapshot_dir.as_deref(), &shutdown, addr);
+            });
+            // Reap finished handlers so a long-lived server does not
+            // accumulate one join handle per connection ever served.
+            handlers.retain(|(h, _)| !h.is_finished());
+            handlers.push((handle, stream_for_shutdown));
+        }
+        for (handle, stream) in handlers {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Moves the accept loop onto a background thread and returns a control
+    /// handle.
+    ///
+    /// # Errors
+    /// Propagates socket errors from resolving the local address.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let engine = Arc::clone(&self.engine);
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = thread::Builder::new()
+            .name("skm-serve-accept".to_string())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            engine,
+            shutdown,
+            thread,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine (e.g. to read memory accounting from the hosting
+    /// process).
+    #[must_use]
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Requests shutdown and blocks until the accept loop and every
+    /// connection handler have exited.
+    ///
+    /// # Errors
+    /// Propagates accept-loop socket errors; a panicked accept thread is
+    /// reported as [`io::ErrorKind::Other`].
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_accept_loop(self.addr);
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server accept thread panicked")),
+        }
+    }
+}
+
+/// Unblocks a `TcpListener::accept` that is waiting for a connection by
+/// connecting (and immediately dropping) a throwaway socket. A wildcard
+/// bind address is not connectable on every platform, so the wake targets
+/// the matching loopback address instead.
+fn wake_accept_loop(mut addr: SocketAddr) {
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect(addr);
+}
+
+/// Serves one connection: reads newline-delimited JSON requests, answers
+/// each with exactly one response line, and keeps going until EOF, an I/O
+/// failure, an unrecoverable oversized line, or a `Shutdown` request.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    snapshot_dir: Option<&Path>,
+    shutdown: &AtomicBool,
+    server_addr: SocketAddr,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        // Read raw bytes (not `read_line`) so invalid UTF-8 is answered
+        // with a typed error below instead of killing the connection with
+        // an unexplained EOF.
+        let n = (&mut reader)
+            .take(MAX_LINE_BYTES)
+            .read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(()); // client hung up
+        }
+        if line.last() != Some(&b'\n') && n as u64 >= MAX_LINE_BYTES {
+            // The line hit the cap without a newline: there is no way to
+            // find the next request boundary, so answer and hang up.
+            write_response(
+                &mut writer,
+                &Response::Error {
+                    code: ErrorCode::LineTooLong,
+                    message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                },
+            )?;
+            return Ok(());
+        }
+        let response = match std::str::from_utf8(&line) {
+            // The newline boundary is known even for a bad line, so the
+            // connection stays usable after the typed error.
+            Err(_) => Response::Error {
+                code: ErrorCode::MalformedRequest,
+                message: "request line is not valid UTF-8".to_string(),
+            },
+            Ok(text) => {
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    continue; // tolerate blank keep-alive lines
+                }
+                match Request::from_line(trimmed) {
+                    Err(parse_error) => Response::Error {
+                        code: ErrorCode::MalformedRequest,
+                        message: parse_error,
+                    },
+                    Ok(request) => dispatch(request, engine, snapshot_dir),
+                }
+            }
+        };
+        let is_bye = matches!(response, Response::Bye {});
+        write_response(&mut writer, &response)?;
+        if is_bye {
+            shutdown.store(true, Ordering::SeqCst);
+            wake_accept_loop(server_addr);
+            return Ok(());
+        }
+    }
+}
+
+fn write_response(writer: &mut BufWriter<TcpStream>, response: &Response) -> io::Result<()> {
+    writer.write_all(response.to_line().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Executes one parsed request against the engine.
+fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&Path>) -> Response {
+    match request {
+        Request::Ingest { point } => match engine.ingest(&point) {
+            Ok(points_seen) => Response::Ingested {
+                accepted: 1,
+                points_seen,
+            },
+            Err(e) => error_response(&e),
+        },
+        Request::IngestBatch { points } => {
+            if points.len() > MAX_BATCH_POINTS {
+                return Response::Error {
+                    code: ErrorCode::BatchTooLarge,
+                    message: format!(
+                        "batch of {} points exceeds the limit of {MAX_BATCH_POINTS}",
+                        points.len()
+                    ),
+                };
+            }
+            let accepted = points.len() as u64;
+            match engine.ingest_batch(&points) {
+                Ok(points_seen) => Response::Ingested {
+                    accepted,
+                    points_seen,
+                },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Query {} => match engine.query() {
+            Ok((centers, stats, points_seen)) => Response::Centers {
+                centers: centers.to_rows(),
+                points_seen,
+                stats,
+            },
+            Err(e) => error_response(&e),
+        },
+        Request::Stats {} => match engine.stats() {
+            Ok(stats) => Response::Stats { stats },
+            Err(e) => error_response(&e),
+        },
+        Request::Snapshot { file } => snapshot_to(engine, snapshot_dir, &file),
+        Request::Shutdown {} => Response::Bye {},
+    }
+}
+
+/// Writes the engine snapshot to `file` inside `snapshot_dir`. The file
+/// name must be bare (no separators, no `..`): the request names a file,
+/// the server owns the directory.
+fn snapshot_to(engine: &Engine, snapshot_dir: Option<&Path>, file: &str) -> Response {
+    let Some(dir) = snapshot_dir else {
+        return Response::Error {
+            code: ErrorCode::SnapshotUnavailable,
+            message: "server was started without a snapshot directory".to_string(),
+        };
+    };
+    if file.is_empty()
+        || file == ".."
+        || file.contains('/')
+        || file.contains('\\')
+        || file.contains('\0')
+    {
+        return Response::Error {
+            code: ErrorCode::SnapshotUnavailable,
+            message: format!("snapshot file name `{file}` must be a bare file name"),
+        };
+    }
+    let json = match engine.snapshot_json() {
+        Ok(json) => json,
+        Err(e) => return error_response(&e),
+    };
+    let path = dir.join(file);
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &json)) {
+        return Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("cannot write snapshot `{}`: {e}", path.display()),
+        };
+    }
+    Response::Snapshotted {
+        file: path.display().to_string(),
+        bytes: json.len() as u64,
+    }
+}

@@ -1,0 +1,260 @@
+//! Protocol-layer robustness: every class of bad input is answered with a
+//! typed error response over the wire, and the engine stays usable
+//! afterwards — the regression surface the serving layer adds on top of
+//! `BucketBuffer`'s own validation.
+
+use skm_serve::prelude::*;
+use skm_serve::protocol::MAX_BATCH_POINTS;
+use std::sync::Arc;
+
+fn start_server() -> ServerHandle {
+    let config = StreamConfig::new(2)
+        .with_bucket_size(20)
+        .with_kmeans_runs(1)
+        .with_lloyd_iterations(2);
+    let engine = Arc::new(Engine::new(&EngineSpec::sharded_cc(config, 2, 8, 7)).unwrap());
+    Server::bind("127.0.0.1:0", engine, None)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+fn expect_error(response: Response, expected: ErrorCode) {
+    match response {
+        Response::Error { code, message } => {
+            assert_eq!(code, expected, "unexpected error class: {message}");
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected {expected:?} error, got {other:?}"),
+    }
+}
+
+/// After any rejected request, the engine must still ingest and answer
+/// queries on the same connection.
+fn assert_still_usable(client: &mut Client, ingested_before: u64) {
+    for i in 0..40u32 {
+        let x = if i % 2 == 0 { 0.0 } else { 80.0 };
+        match client.ingest(vec![x, f64::from(i % 7)]).unwrap() {
+            Response::Ingested { .. } => {}
+            other => panic!("healthy ingest failed: {other:?}"),
+        }
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.points_seen, ingested_before + 40);
+    let centers = client.query_centers().unwrap();
+    assert_eq!(centers.len(), 2);
+}
+
+#[test]
+fn malformed_json_lines_get_typed_errors_not_dropped_connections() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for bad in [
+        "this is not json",
+        "{\"Ingest\":",
+        "{\"NoSuchCommand\":{}}",
+        "{\"Ingest\":{\"point\":\"strings are not points\"}}",
+        "[1,2,3]",
+        "42",
+    ] {
+        expect_error(
+            client.send_raw_line(bad).unwrap(),
+            ErrorCode::MalformedRequest,
+        );
+    }
+    assert_still_usable(&mut client, 0);
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn invalid_utf8_lines_get_a_typed_error_and_the_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = start_server();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // A line of raw non-UTF-8 bytes: the newline boundary is intact, so
+    // the server must answer with MalformedRequest and keep the
+    // connection aligned for the next (valid) request.
+    stream.write_all(&[0xFF, 0xFE, 0x80, b'\n']).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    match Response::from_line(reply.trim()).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::MalformedRequest);
+            assert!(message.contains("UTF-8"), "{message}");
+        }
+        other => panic!("expected MalformedRequest, got {other:?}"),
+    }
+
+    stream
+        .write_all(b"{\"Ingest\":{\"point\":[1.0,2.0]}}\n")
+        .unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        matches!(
+            Response::from_line(reply.trim()).unwrap(),
+            Response::Ingested { .. }
+        ),
+        "connection desynced after the invalid-UTF-8 line: {reply}"
+    );
+    drop(stream);
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn wrong_dimension_ingest_is_rejected_and_engine_survives() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ingest(vec![1.0, 2.0]).unwrap();
+
+    expect_error(
+        client.ingest(vec![1.0, 2.0, 3.0]).unwrap(),
+        ErrorCode::DimensionMismatch,
+    );
+    expect_error(client.ingest(vec![]).unwrap(), ErrorCode::InvalidPoint);
+    // Batch with a late wrong-dimension point: rejected atomically.
+    expect_error(
+        client
+            .ingest_batch(vec![vec![5.0, 6.0], vec![7.0]])
+            .unwrap(),
+        ErrorCode::DimensionMismatch,
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.points_seen, 1, "rejected requests consumed points");
+
+    assert_still_usable(&mut client, 1);
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn non_finite_coordinates_are_rejected_over_the_wire() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ingest(vec![1.0, 2.0]).unwrap();
+
+    // The vendored JSON layer prints non-finite floats as `null`, which the
+    // wire then decodes as NaN — exactly the hostile input the engine's
+    // finiteness validation must catch.
+    expect_error(
+        client
+            .send_raw_line("{\"Ingest\":{\"point\":[null,0]}}")
+            .unwrap(),
+        ErrorCode::NonFiniteCoordinate,
+    );
+    expect_error(
+        client
+            .ingest_batch(vec![vec![3.0, 4.0], vec![f64::NAN, 0.0]])
+            .unwrap(),
+        ErrorCode::NonFiniteCoordinate,
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.points_seen, 1);
+
+    assert_still_usable(&mut client, 1);
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_batches_are_rejected_before_touching_the_engine() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let oversized: Vec<Vec<f64>> = (0..=MAX_BATCH_POINTS)
+        .map(|i| vec![i as f64, 0.0])
+        .collect();
+    expect_error(
+        client.ingest_batch(oversized).unwrap(),
+        ErrorCode::BatchTooLarge,
+    );
+    assert_eq!(client.stats().unwrap().points_seen, 0);
+    // The limit itself is accepted.
+    let exactly: Vec<Vec<f64>> = (0..MAX_BATCH_POINTS).map(|i| vec![i as f64, 0.0]).collect();
+    match client.ingest_batch(exactly).unwrap() {
+        Response::Ingested { accepted, .. } => assert_eq!(accepted, MAX_BATCH_POINTS as u64),
+        other => panic!("limit-sized batch rejected: {other:?}"),
+    }
+    assert_still_usable(&mut client, MAX_BATCH_POINTS as u64);
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn query_before_any_point_is_a_typed_empty_stream_error() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    expect_error(client.query().unwrap(), ErrorCode::EmptyStream);
+    assert_still_usable(&mut client, 0);
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn snapshot_without_directory_and_path_escapes_are_refused() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ingest(vec![1.0, 2.0]).unwrap();
+    // This server has no snapshot directory configured.
+    expect_error(
+        client.snapshot("state.json").unwrap(),
+        ErrorCode::SnapshotUnavailable,
+    );
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+
+    // A snapshot-enabled server still refuses names that escape the
+    // directory.
+    let dir = std::env::temp_dir().join(format!("skm-serve-snap-{}", std::process::id()));
+    let config = StreamConfig::new(2)
+        .with_bucket_size(20)
+        .with_kmeans_runs(1);
+    let engine = Arc::new(Engine::new(&EngineSpec::sharded_cc(config, 1, 8, 9)).unwrap());
+    let handle = Server::bind("127.0.0.1:0", engine, Some(dir.clone()))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ingest(vec![1.0, 2.0]).unwrap();
+    for bad in ["../escape.json", "a/b.json", "", ".."] {
+        expect_error(
+            client.snapshot(bad).unwrap(),
+            ErrorCode::SnapshotUnavailable,
+        );
+    }
+    match client.snapshot("ok.json").unwrap() {
+        Response::Snapshotted { bytes, .. } => assert!(bytes > 0),
+        other => panic!("legitimate snapshot failed: {other:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn blank_lines_are_tolerated_and_multiple_clients_interleave() {
+    let handle = start_server();
+    let mut a = Client::connect(handle.addr()).unwrap();
+    let mut b = Client::connect(handle.addr()).unwrap();
+    // A blank line is skipped, not answered; follow with a real request to
+    // confirm the connection is still aligned.
+    match a
+        .send_raw_line("\n{\"Ingest\":{\"point\":[0.0,0.0]}}")
+        .unwrap()
+    {
+        Response::Ingested { .. } => {}
+        other => panic!("blank line desynced the connection: {other:?}"),
+    }
+    b.ingest(vec![50.0, 50.0]).unwrap();
+    let stats = a.stats().unwrap();
+    assert_eq!(stats.points_seen, 2);
+    a.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}

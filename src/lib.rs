@@ -14,6 +14,8 @@
 //!   batch reference.
 //! * [`data`] — workload generators (Gaussian mixtures, UCI-like synthetic
 //!   datasets, drifting RBF streams) and query schedules.
+//! * [`serve`] — the network serving layer: TCP/JSON ingest+query server,
+//!   blocking client, load generator and snapshot/restore.
 //! * [`metrics`] — measurement utilities used by the experiment harness.
 //!
 //! ## Quick start
@@ -41,6 +43,7 @@ pub use skm_clustering as clustering;
 pub use skm_coreset as coreset;
 pub use skm_data as data;
 pub use skm_metrics as metrics;
+pub use skm_serve as serve;
 pub use skm_stream as stream;
 
 /// One-stop prelude with the most common types from every sub-crate.
