@@ -16,8 +16,9 @@ use crate::cache::CoresetCache;
 use crate::clusterer::{QueryStats, StreamingClusterer};
 use crate::config::StreamConfig;
 use crate::coreset_tree::CoresetTree;
-use crate::driver::{extract_centers_block, BucketBuffer};
+use crate::driver::{extract_centers_block, extract_clustering_result, BucketBuffer};
 use crate::numeric::{major, minor_term};
+use crate::publish::ClusteringResult;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use serde::{Deserialize, Serialize};
@@ -222,6 +223,19 @@ impl StreamingClusterer for CachedCoresetTree {
         let centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
         self.last_stats = Some(stats);
         Ok(centers)
+    }
+
+    fn query_clustering(&mut self) -> Result<ClusteringResult> {
+        let (candidates, stats) = self.query_candidates()?;
+        let result = extract_clustering_result(
+            &candidates,
+            stats,
+            self.buffer.points_seen(),
+            &self.config,
+            &mut self.rng,
+        )?;
+        self.last_stats = Some(result.stats);
+        Ok(result)
     }
 
     fn memory_points(&self) -> usize {

@@ -5,6 +5,7 @@
 //! the examples and the benchmark harness can treat them uniformly
 //! (including through `Box<dyn StreamingClusterer>`).
 
+use crate::publish::ClusteringResult;
 use serde::{Deserialize, Serialize};
 use skm_clustering::error::Result;
 use skm_clustering::Centers;
@@ -32,6 +33,29 @@ pub trait StreamingClusterer {
     /// ([`crate::shard::ShardedStream`]) and throughput-sensitive
     /// single-threaded callers use to amortize per-point call overhead.
     ///
+    /// Batched ingestion is bit-identical to per-point ingestion (a
+    /// property test pins this), so batch boundaries are purely a
+    /// throughput knob:
+    ///
+    /// ```rust
+    /// use skm_stream::{CachedCoresetTree, StreamConfig, StreamingClusterer};
+    ///
+    /// let config = StreamConfig::new(2).with_bucket_size(20).with_kmeans_runs(1);
+    /// let mut batched = CachedCoresetTree::new(config, 7).unwrap();
+    /// let mut per_point = CachedCoresetTree::new(config, 7).unwrap();
+    ///
+    /// let points: Vec<Vec<f64>> = (0..50)
+    ///     .map(|i| vec![if i % 2 == 0 { 0.0 } else { 100.0 }, f64::from(i % 5)])
+    ///     .collect();
+    /// let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+    ///
+    /// batched.update_batch(&refs).unwrap();
+    /// for p in &refs {
+    ///     per_point.update(p).unwrap();
+    /// }
+    /// assert_eq!(batched.query().unwrap(), per_point.query().unwrap());
+    /// ```
+    ///
     /// # Errors
     /// Returns the same errors as [`update`]. Overrides that pre-validate
     /// the batch reject it atomically (no point is consumed); the default
@@ -52,6 +76,31 @@ pub trait StreamingClusterer {
     /// # Errors
     /// Returns an error when no points have been observed yet.
     fn query(&mut self) -> Result<Centers>;
+
+    /// Runs a query and returns the complete answer in publishable form:
+    /// centers, a coreset-estimated clustering cost, the points-seen
+    /// watermark and the query diagnostics
+    /// (see [`crate::publish::PublishedClustering`]).
+    ///
+    /// The coreset-based algorithms override this to compute a genuine cost
+    /// estimate (one assignment pass over the query-time candidate set —
+    /// deterministic, so the returned centers stay bit-identical to
+    /// [`query`]). The default implementation wraps [`query`] with
+    /// `cost = NaN`.
+    ///
+    /// # Errors
+    /// Same failure modes as [`query`].
+    ///
+    /// [`query`]: StreamingClusterer::query
+    fn query_clustering(&mut self) -> Result<ClusteringResult> {
+        let centers = self.query()?;
+        Ok(ClusteringResult {
+            centers,
+            cost: f64::NAN,
+            points_seen: self.points_seen(),
+            stats: self.last_query_stats().unwrap_or_default(),
+        })
+    }
 
     /// Number of points currently held by the internal data structures
     /// (coreset tree + cache + partial bucket + …). This is the quantity the

@@ -14,6 +14,7 @@
 use crate::config::StreamConfig;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use skm_clustering::cost::assign_block;
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::kmeans::KMeans;
 use skm_clustering::{Centers, PointBlock, PointSet};
@@ -287,6 +288,46 @@ pub fn extract_centers_block<R: Rng + ?Sized>(
         .with_max_lloyd_iterations(config.lloyd_iterations)
         .fit_block(candidates, rng)?;
     Ok(result.centers)
+}
+
+/// Clustering cost of `centers` over the query-time candidate coreset: the
+/// weighted SSQ of the candidates against their nearest centers, which is
+/// the standard coreset estimate of the cost over the whole stream. Shared
+/// by every backend's [`query_clustering`] so published costs are computed
+/// identically everywhere; the pass is deterministic (no RNG), so adding it
+/// after center extraction cannot perturb query results.
+///
+/// # Errors
+/// Returns [`ClusteringError::EmptyInput`] when `candidates` or `centers`
+/// is empty.
+///
+/// [`query_clustering`]: crate::StreamingClusterer::query_clustering
+pub fn candidate_cost(candidates: &PointBlock, centers: &Centers) -> Result<f64> {
+    Ok(assign_block(candidates, centers)?.cost)
+}
+
+/// The shared tail of every backend's [`query_clustering`]: extract centers
+/// from the candidate block ([`extract_centers_block`]), estimate their
+/// cost on the same candidates ([`candidate_cost`] — deterministic, after
+/// extraction, so the centers and the RNG position are bit-identical to a
+/// plain `query`), and assemble the publishable answer.
+///
+/// [`query_clustering`]: crate::StreamingClusterer::query_clustering
+pub(crate) fn extract_clustering_result<R: Rng + ?Sized>(
+    candidates: &PointBlock,
+    stats: crate::clusterer::QueryStats,
+    points_seen: u64,
+    config: &StreamConfig,
+    rng: &mut R,
+) -> Result<crate::publish::ClusteringResult> {
+    let centers = extract_centers_block(candidates, config, rng)?;
+    let cost = candidate_cost(candidates, &centers)?;
+    Ok(crate::publish::ClusteringResult {
+        centers,
+        cost,
+        points_seen,
+        stats,
+    })
 }
 
 #[cfg(test)]

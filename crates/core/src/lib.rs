@@ -16,7 +16,11 @@
 //! | [`BatchKMeansPP`] | batch k-means++ | accuracy reference (not streaming) |
 //!
 //! All of them implement [`StreamingClusterer`], so the examples and the
-//! benchmark harness can drive them uniformly.
+//! benchmark harness can drive them uniformly. The repository-level
+//! `ARCHITECTURE.md` carries the full system picture: the ingest → bucket
+//! buffer → coreset tree → merge → query data flow, the complete
+//! algorithm-to-module table, the shard/thread model and the
+//! snapshot-published read path.
 //!
 //! ## Structure
 //!
@@ -27,6 +31,9 @@
 //! * [`shard`] — [`ShardedStream`]: multi-threaded ingestion that
 //!   partitions the stream round-robin across per-shard clusterers and
 //!   merges their coresets at query time.
+//! * [`publish`] — the snapshot-published query fast path:
+//!   [`PublishedClustering`] values swapped through a [`PublishSlot`] so
+//!   concurrent readers serve cached answers without the ingest lock.
 //! * [`coreset_tree`] — the r-way merging coreset tree (Algorithm 2).
 //! * [`cache`] — the coreset cache keyed by right endpoints.
 //! * [`numeric`] — `major`, `minor` and `prefixsum` in base `r`
@@ -63,6 +70,7 @@ pub mod driver;
 pub mod kmedian_stream;
 pub mod numeric;
 pub mod online_cc;
+pub mod publish;
 pub mod rcc;
 pub mod sequential;
 pub mod shard;
@@ -76,6 +84,7 @@ pub use ct::CoresetTreeClusterer;
 pub use decay::DecayedSequentialKMeans;
 pub use kmedian_stream::KMedianCC;
 pub use online_cc::OnlineCC;
+pub use publish::{ClusteringResult, PublishSlot, PublishedClustering};
 pub use rcc::RecursiveCachedTree;
 pub use sequential::SequentialKMeans;
 pub use shard::{ShardClusterer, ShardedStream, ShardedStreamState, StreamStats};
@@ -91,6 +100,7 @@ pub mod prelude {
     pub use crate::decay::DecayedSequentialKMeans;
     pub use crate::kmedian_stream::KMedianCC;
     pub use crate::online_cc::OnlineCC;
+    pub use crate::publish::{ClusteringResult, PublishSlot, PublishedClustering};
     pub use crate::rcc::RecursiveCachedTree;
     pub use crate::sequential::SequentialKMeans;
     pub use crate::shard::{ShardClusterer, ShardedStream, ShardedStreamState, StreamStats};

@@ -17,7 +17,8 @@
 use crate::cc::CachedCoresetTree;
 use crate::clusterer::{QueryStats, StreamingClusterer};
 use crate::config::StreamConfig;
-use crate::driver::{extract_centers, extract_centers_block};
+use crate::driver::{extract_centers, extract_centers_block, extract_clustering_result};
+use crate::publish::ClusteringResult;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use skm_clustering::cost::{assign, assign_block};
@@ -220,34 +221,59 @@ impl StreamingClusterer for OnlineCC {
     }
 
     fn query(&mut self) -> Result<Centers> {
+        Ok(self.query_clustering()?.centers)
+    }
+
+    fn query_clustering(&mut self) -> Result<ClusteringResult> {
         if self.inner.points_seen() == 0 {
             return Err(ClusteringError::EmptyInput);
         }
+        let points_seen = self.inner.points_seen();
         match &self.centers {
             // Not yet initialized (fewer than init_size points): answer from
             // the CC structure directly so early queries still succeed.
             None => {
                 let (candidates, mut stats) = self.inner.query_candidates()?;
-                let centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
                 stats.ran_kmeans = true;
-                self.last_stats = Some(stats);
-                Ok(centers)
+                let result = extract_clustering_result(
+                    &candidates,
+                    stats,
+                    points_seen,
+                    &self.config,
+                    &mut self.rng,
+                )?;
+                self.last_stats = Some(result.stats);
+                Ok(result)
             }
             Some(current) => {
                 if self.needs_fallback() {
-                    self.fall_back()
+                    let centers = self.fall_back()?;
+                    // `fall_back` just reset `phi_now` to the rebuilt
+                    // centers' (epsilon-corrected) coreset cost.
+                    Ok(ClusteringResult {
+                        centers,
+                        cost: self.phi_now,
+                        points_seen,
+                        stats: self.last_stats.unwrap_or_default(),
+                    })
                 } else {
                     // Fast path: O(1) — return the sequentially maintained
-                    // centers.
+                    // centers; `phi_now` is the running cost upper bound.
                     let centers = current.clone();
-                    self.last_stats = Some(QueryStats {
+                    let stats = QueryStats {
                         coresets_merged: 0,
                         candidate_points: centers.len(),
                         coreset_level: None,
                         used_cache: false,
                         ran_kmeans: false,
-                    });
-                    Ok(centers)
+                    };
+                    self.last_stats = Some(stats);
+                    Ok(ClusteringResult {
+                        centers,
+                        cost: self.phi_now,
+                        points_seen,
+                        stats,
+                    })
                 }
             }
         }

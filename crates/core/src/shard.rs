@@ -29,7 +29,12 @@
 //!   (channel FIFO ⇒ a query observes every point accepted before it),
 //!   collect the per-shard candidate blocks *in shard order*, union them
 //!   with [`skm_coreset::merge::union_blocks`] and run the shared
-//!   [`extract_centers_block`] driver on the result.
+//!   [`extract_centers_block`](crate::driver::extract_centers_block)
+//!   driver on the result. The complete answer
+//!   (centers, cost estimate, watermark, diagnostics) is then republished
+//!   through a shared [`PublishSlot`], so
+//!   concurrent readers can serve stale-but-consistent answers without
+//!   stopping ingestion (see [`crate::publish`]).
 //!
 //! Sharding pays off when update cost dominates (frequent arrivals, spare
 //! cores); on a single core it only adds channel overhead. Note that the
@@ -41,7 +46,8 @@ use crate::cc::CachedCoresetTree;
 use crate::clusterer::{QueryStats, StreamingClusterer};
 use crate::config::StreamConfig;
 use crate::ct::CoresetTreeClusterer;
-use crate::driver::extract_centers_block;
+use crate::driver::extract_clustering_result;
+use crate::publish::{ClusteringResult, PublishSlot, PublishedClustering};
 use crate::rcc::RecursiveCachedTree;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
@@ -49,7 +55,7 @@ use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::{Centers, PointBlock};
 use skm_coreset::merge::union_blocks;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 
 /// Default number of points buffered per shard before a batch is shipped
@@ -186,9 +192,12 @@ pub struct StreamStats {
     pub points_seen: u64,
     /// Number of shards (worker threads).
     pub shards: usize,
-    /// Points absorbed by each shard's clusterer, in shard order. Sums to
-    /// [`StreamStats::points_seen`] because [`ShardedStream::stats`] flushes
-    /// the coordinator's buffers before collecting.
+    /// Points absorbed by each shard's clusterer, in shard order. When
+    /// produced by [`ShardedStream::stats`] it sums to
+    /// [`StreamStats::points_seen`] (the coordinator's buffers are flushed
+    /// before collecting). Serving layers answering a *cached* stats
+    /// request leave it **empty** instead: exact per-shard counts require
+    /// a drain, which the lock-free read path deliberately avoids.
     pub per_shard_points: Vec<u64>,
     /// Diagnostics of the most recent query (`None` before the first).
     pub last_query: Option<QueryStats>,
@@ -220,6 +229,10 @@ pub struct ShardedStreamState {
     pub rng: ChaCha20Rng,
     /// Diagnostics of the most recent query at snapshot time.
     pub last_stats: Option<QueryStats>,
+    /// The answer published at snapshot time, if any: restoring republishes
+    /// it so the restored stream's readers continue from the same epoch
+    /// instead of an empty slot.
+    pub published: Option<PublishedClustering>,
     /// Per-shard clusterer states, in shard order.
     pub shards: Vec<serde::Value>,
 }
@@ -231,6 +244,31 @@ pub struct ShardedStreamState {
 /// [`cc`](ShardedStream::cc) / [`ct`](ShardedStream::ct) /
 /// [`rcc`](ShardedStream::rcc) shorthands, then drive it through the
 /// ordinary [`StreamingClusterer`] interface.
+///
+/// Every query republishes its full answer through a shared
+/// [`PublishSlot`], so concurrent readers can serve stale-but-consistent
+/// answers without stopping ingestion:
+///
+/// ```rust
+/// use skm_stream::{ShardedStream, StreamConfig, StreamingClusterer};
+///
+/// let config = StreamConfig::new(2).with_bucket_size(20).with_kmeans_runs(1);
+/// // 2 shards, 8-point batches, seed 7.
+/// let mut stream = ShardedStream::cc(config, 2, 8, 7).unwrap();
+/// for i in 0..200u32 {
+///     let x = if i % 2 == 0 { 0.0 } else { 100.0 };
+///     stream.update(&[x, f64::from(i % 10)]).unwrap();
+/// }
+/// let centers = stream.query().unwrap();
+/// assert_eq!(centers.len(), 2);
+///
+/// // The query's answer is now published: another thread holding a clone
+/// // of `stream.publish_slot()` reads it without touching the stream.
+/// let published = stream.published().unwrap();
+/// assert_eq!(published.epoch, 1);
+/// assert_eq!(published.centers, centers);
+/// assert_eq!(published.points_seen, 200);
+/// ```
 #[derive(Debug)]
 pub struct ShardedStream<C: ShardClusterer> {
     config: StreamConfig,
@@ -247,6 +285,9 @@ pub struct ShardedStream<C: ShardClusterer> {
     /// Query-side RNG (k-means++ extraction over the merged candidates).
     rng: ChaCha20Rng,
     last_stats: Option<QueryStats>,
+    /// Shared cell the latest query answer is published into (the
+    /// lock-free read path; see [`crate::publish`]).
+    publish: Arc<PublishSlot>,
 }
 
 impl<C: ShardClusterer> ShardedStream<C> {
@@ -296,6 +337,7 @@ impl<C: ShardClusterer> ShardedStream<C> {
             points_seen: 0,
             rng: ChaCha20Rng::seed_from_u64(seed),
             last_stats: None,
+            publish: Arc::new(PublishSlot::new()),
         };
         for shard in 0..shards {
             let clusterer = factory(shard, shard_seed(seed, shard))?;
@@ -335,6 +377,22 @@ impl<C: ShardClusterer> ShardedStream<C> {
     #[must_use]
     pub fn config(&self) -> &StreamConfig {
         &self.config
+    }
+
+    /// A handle to the publish slot this stream republishes its query
+    /// answers into. Clone it onto reader threads: they can serve cached
+    /// answers ([`PublishSlot::load`]) while this thread keeps ingesting —
+    /// no shared lock on the stream itself.
+    #[must_use]
+    pub fn publish_slot(&self) -> Arc<PublishSlot> {
+        Arc::clone(&self.publish)
+    }
+
+    /// The most recently published query answer, if any (shorthand for
+    /// `publish_slot().load()`).
+    #[must_use]
+    pub fn published(&self) -> Option<Arc<PublishedClustering>> {
+        self.publish.load()
     }
 
     /// Points currently sitting in the coordinator's per-shard batch
@@ -388,6 +446,71 @@ impl<C: ShardClusterer> ShardedStream<C> {
             rx.recv().map_err(|_| shard_disconnected(shard))?;
         }
         Ok(())
+    }
+
+    /// Runs a strict query — drain in-flight batches, collect and union the
+    /// per-shard candidate coresets, extract centers with k-means++ — then
+    /// republishes the complete answer through the [`PublishSlot`] and
+    /// returns the freshly published value.
+    ///
+    /// This is what [`StreamingClusterer::query`] delegates to; use it
+    /// directly when you also want the epoch, cost estimate and
+    /// diagnostics without a second lookup.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] before the first point and
+    /// propagates lost-worker failures.
+    pub fn query_published(&mut self) -> Result<Arc<PublishedClustering>> {
+        if self.points_seen == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        // Ship partial batches, then enqueue one query per shard *before*
+        // collecting any reply: every worker computes its candidates
+        // concurrently, and channel FIFO guarantees each answer reflects
+        // all points routed to that shard so far.
+        let mut replies = Vec::with_capacity(self.shards());
+        for shard in 0..self.shards() {
+            self.flush_shard(shard)?;
+        }
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(ShardCmd::Query { reply: tx })
+                .map_err(|_| shard_disconnected(shard))?;
+            replies.push(rx);
+        }
+        // Collect in shard order so the merged candidate block — and with
+        // it the k-means++ extraction — is deterministic.
+        let mut blocks = Vec::with_capacity(self.shards());
+        let mut merged = 0usize;
+        let mut level: Option<u32> = None;
+        let mut used_cache = false;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let response = rx.recv().map_err(|_| shard_disconnected(shard))?;
+            if let Some((block, stats)) = response? {
+                merged += stats.coresets_merged;
+                level = level.max(stats.coreset_level);
+                used_cache |= stats.used_cache;
+                blocks.push(block);
+            }
+        }
+        let candidates = union_blocks(&blocks)?;
+        let stats = QueryStats {
+            coresets_merged: merged,
+            candidate_points: candidates.len(),
+            coreset_level: level,
+            used_cache,
+            ran_kmeans: true,
+        };
+        let result = extract_clustering_result(
+            &candidates,
+            stats,
+            self.points_seen,
+            &self.config,
+            &mut self.rng,
+        )?;
+        self.last_stats = Some(result.stats);
+        Ok(self.publish.publish(result))
     }
 
     /// Aggregated per-shard statistics: total and per-shard point counts
@@ -462,6 +585,7 @@ impl<C: ShardClusterer + Serialize> ShardedStream<C> {
             points_seen: self.points_seen,
             rng: self.rng.clone(),
             last_stats: self.last_stats,
+            published: self.published().map(|p| p.as_ref().clone()),
             shards,
         })
     }
@@ -511,7 +635,11 @@ impl<C: ShardClusterer + Deserialize> ShardedStream<C> {
             points_seen: state.points_seen,
             rng: state.rng.clone(),
             last_stats: state.last_stats,
+            publish: Arc::new(PublishSlot::new()),
         };
+        // Republish the snapshot-time answer so readers of the restored
+        // stream continue from the saved epoch, not from an empty slot.
+        stream.publish.restore(state.published.clone());
         for (shard, value) in state.shards.iter().enumerate() {
             let clusterer = C::from_value(value).map_err(snapshot_error)?;
             stream.spawn_worker(shard, clusterer)?;
@@ -587,49 +715,17 @@ impl<C: ShardClusterer> StreamingClusterer for ShardedStream<C> {
     }
 
     fn query(&mut self) -> Result<Centers> {
-        if self.points_seen == 0 {
-            return Err(ClusteringError::EmptyInput);
-        }
-        // Ship partial batches, then enqueue one query per shard *before*
-        // collecting any reply: every worker computes its candidates
-        // concurrently, and channel FIFO guarantees each answer reflects
-        // all points routed to that shard so far.
-        let mut replies = Vec::with_capacity(self.shards());
-        for shard in 0..self.shards() {
-            self.flush_shard(shard)?;
-        }
-        for (shard, sender) in self.senders.iter().enumerate() {
-            let (tx, rx) = mpsc::channel();
-            sender
-                .send(ShardCmd::Query { reply: tx })
-                .map_err(|_| shard_disconnected(shard))?;
-            replies.push(rx);
-        }
-        // Collect in shard order so the merged candidate block — and with
-        // it the k-means++ extraction — is deterministic.
-        let mut blocks = Vec::with_capacity(self.shards());
-        let mut merged = 0usize;
-        let mut level: Option<u32> = None;
-        let mut used_cache = false;
-        for (shard, rx) in replies.into_iter().enumerate() {
-            let response = rx.recv().map_err(|_| shard_disconnected(shard))?;
-            if let Some((block, stats)) = response? {
-                merged += stats.coresets_merged;
-                level = level.max(stats.coreset_level);
-                used_cache |= stats.used_cache;
-                blocks.push(block);
-            }
-        }
-        let candidates = union_blocks(&blocks)?;
-        let centers = extract_centers_block(&candidates, &self.config, &mut self.rng)?;
-        self.last_stats = Some(QueryStats {
-            coresets_merged: merged,
-            candidate_points: candidates.len(),
-            coreset_level: level,
-            used_cache,
-            ran_kmeans: true,
-        });
-        Ok(centers)
+        Ok(self.query_published()?.centers.clone())
+    }
+
+    fn query_clustering(&mut self) -> Result<ClusteringResult> {
+        let published = self.query_published()?;
+        Ok(ClusteringResult {
+            centers: published.centers.clone(),
+            cost: published.cost,
+            points_seen: published.points_seen,
+            stats: published.stats,
+        })
     }
 
     fn memory_points(&self) -> usize {
@@ -791,6 +887,38 @@ mod tests {
             resumed.update(p).unwrap();
         }
         assert_eq!(resumed.query().unwrap(), expected);
+    }
+
+    #[test]
+    fn queries_publish_epochs_and_snapshots_carry_them() {
+        let mut s = ShardedStream::cc(config(2, 10), 2, 8, 33).unwrap();
+        let slot = s.publish_slot();
+        assert!(s.published().is_none());
+        assert_eq!(slot.epoch(), 0);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for i in 0..120 {
+            s.update(&blob(i, &mut rng)).unwrap();
+        }
+        let centers = s.query().unwrap();
+        let published = s.published().expect("query published");
+        assert_eq!(published.epoch, 1);
+        assert_eq!(published.centers, centers);
+        assert_eq!(published.points_seen, 120);
+        assert!(published.cost.is_finite() && published.cost >= 0.0);
+        assert_eq!(Some(published.stats), s.last_query_stats());
+        // The externally held slot handle sees the same value.
+        assert_eq!(slot.load().unwrap().epoch, 1);
+
+        // Snapshots carry the published answer; restore republishes it and
+        // the epoch sequence continues.
+        let state = s.snapshot().unwrap();
+        assert_eq!(state.published.as_ref().unwrap().epoch, 1);
+        let restored = ShardedStream::<CachedCoresetTree>::restore(&state).unwrap();
+        assert_eq!(restored.published().unwrap().as_ref(), published.as_ref());
+        let mut restored = restored;
+        restored.query().unwrap();
+        assert_eq!(restored.published().unwrap().epoch, 2);
     }
 
     #[test]

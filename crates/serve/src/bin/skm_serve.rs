@@ -7,6 +7,7 @@
 //!                 [--snapshot-dir DIR] [--restore FILE]
 //! skm-serve bench [--addr 127.0.0.1:7878] [--connections 4] [--points 20000]
 //!                 [--dim 8] [--batch 128] [--query-every 8] [--seed 42]
+//!                 [--freshness strict|cached]
 //! ```
 //!
 //! `serve` blocks until a client sends `{"Shutdown":{}}`. `bench` connects
@@ -16,7 +17,7 @@
 
 use skm_serve::engine::{BackendKind, Engine, EngineSpec};
 use skm_serve::loadgen::{run_load, LoadSpec};
-use skm_serve::protocol::MAX_BATCH_POINTS;
+use skm_serve::protocol::{Freshness, MAX_BATCH_POINTS};
 use skm_serve::server::Server;
 use skm_stream::StreamConfig;
 use std::net::ToSocketAddrs;
@@ -39,6 +40,7 @@ struct Args {
     points: usize,
     dim: usize,
     query_every: usize,
+    freshness: Freshness,
     errors: Vec<String>,
 }
 
@@ -57,6 +59,7 @@ impl Default for Args {
             points: 20_000,
             dim: 8,
             query_every: 8,
+            freshness: Freshness::Strict,
             errors: Vec::new(),
         }
     }
@@ -92,6 +95,16 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
             }
             "--restore" => {
                 args.restore = take("--restore", &mut args.errors).map(PathBuf::from);
+            }
+            "--freshness" => {
+                if let Some(v) = take("--freshness", &mut args.errors) {
+                    match Freshness::parse(&v) {
+                        Some(freshness) => args.freshness = freshness,
+                        None => args.errors.push(format!(
+                            "unknown freshness `{v}` (expected `strict` or `cached`)"
+                        )),
+                    }
+                }
             }
             "--k" | "--shards" | "--batch" | "--seed" | "--connections" | "--points" | "--dim"
             | "--query-every" => {
@@ -199,6 +212,7 @@ fn bench(args: &Args) -> Result<(), String> {
         connections: args.connections,
         batch,
         query_every: args.query_every,
+        freshness: args.freshness,
     };
     let report = run_load(&spec, &points).map_err(|e| format!("load generator failed: {e}"))?;
     let mut ingest = report.ingest_ns.clone();

@@ -1,7 +1,7 @@
 //! A small blocking client for the newline-delimited JSON protocol, used by
 //! the load generator, the examples and the protocol tests.
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{Freshness, Request, Response};
 use skm_stream::StreamStats;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -80,16 +80,26 @@ impl Client {
         self.call(&Request::IngestBatch { points })
     }
 
-    /// Queries the current centers, returning the full response.
+    /// Queries the current centers on the strict read path, returning the
+    /// full response.
     ///
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn query(&mut self) -> io::Result<Response> {
-        self.call(&Request::Query {})
+        self.query_with(Freshness::Strict)
     }
 
-    /// Queries and unwraps the center rows, mapping a server-side error
-    /// response to [`io::ErrorKind::Other`].
+    /// Queries on the requested read path (strict or cached), returning
+    /// the full response.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn query_with(&mut self, freshness: Freshness) -> io::Result<Response> {
+        self.call(&Request::Query { freshness })
+    }
+
+    /// Queries (strict) and unwraps the center rows, mapping a server-side
+    /// error response to [`io::ErrorKind::Other`].
     ///
     /// # Errors
     /// Transport errors, plus any typed server error.
@@ -100,13 +110,22 @@ impl Client {
         }
     }
 
-    /// Fetches ingestion statistics, mapping a server-side error response
-    /// to [`io::ErrorKind::Other`].
+    /// Fetches ingestion statistics on the strict read path, mapping a
+    /// server-side error response to [`io::ErrorKind::Other`].
     ///
     /// # Errors
     /// Transport errors, plus any typed server error.
     pub fn stats(&mut self) -> io::Result<StreamStats> {
-        match self.call(&Request::Stats {})? {
+        self.stats_with(Freshness::Strict)
+    }
+
+    /// Fetches ingestion statistics on the requested read path, mapping a
+    /// server-side error response to [`io::ErrorKind::Other`].
+    ///
+    /// # Errors
+    /// Transport errors, plus any typed server error.
+    pub fn stats_with(&mut self, freshness: Freshness) -> io::Result<StreamStats> {
+        match self.call(&Request::Stats { freshness })? {
             Response::Stats { stats } => Ok(stats),
             other => Err(io::Error::other(format!("stats failed: {other:?}"))),
         }

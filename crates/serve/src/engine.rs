@@ -1,4 +1,5 @@
-//! The [`Engine`] facade: one shared clusterer behind a mutex, plus
+//! The [`Engine`] facade: one shared clusterer behind a mutex for writes,
+//! an atomically swapped published snapshot for reads, plus
 //! snapshot/restore.
 //!
 //! The engine is what connection handler threads talk to. It wraps either a
@@ -7,23 +8,38 @@
 //! mutex is held only for cheap buffering and channel sends) or one of the
 //! single-threaded clusterers (CC, CT, RCC) for small deployments.
 //!
+//! ## The two read paths
+//!
+//! Every **strict** query runs under the ingest mutex, drains in-flight
+//! batches, recomputes the answer and republishes it (with a fresh epoch)
+//! through a [`PublishSlot`]. A **cached** query never touches the mutex:
+//! it loads the currently published [`PublishedClustering`] — one `Arc`
+//! clone — so a slow coreset merge or a burst of ingest batches cannot
+//! stall it. Cached answers are stale (up to the time since the last
+//! publish) but never torn: epoch, centers, cost and `points_seen` all come
+//! from one immutable value.
+//!
 //! Snapshots serialize the complete backend state — configuration, coreset
 //! tree levels, caches, partially filled buckets and RNG positions — into a
 //! versioned JSON envelope ([`SnapshotFile`]), so a server restarted from a
 //! snapshot continues the stream bit-identically to one that never stopped.
+//! The envelope also carries the currently published answer, so a restored
+//! engine republishes the same epoch instead of starting readers cold.
 
+use crate::protocol::Freshness;
 use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
-use skm_clustering::Centers;
 use skm_stream::{
-    CachedCoresetTree, CoresetTreeClusterer, QueryStats, RecursiveCachedTree, ShardedStream,
-    ShardedStreamState, StreamConfig, StreamStats, StreamingClusterer,
+    CachedCoresetTree, CoresetTreeClusterer, PublishSlot, PublishedClustering, RecursiveCachedTree,
+    ShardedStream, ShardedStreamState, StreamConfig, StreamStats, StreamingClusterer,
 };
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Current snapshot envelope version; bump when [`SnapshotFile`] or any
-/// serialized backend state changes shape incompatibly.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// serialized backend state changes shape incompatibly. Version 2 added the
+/// `published` field (and the published-answer plumbing inside the sharded
+/// backend state).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Which clusterer the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,6 +225,9 @@ pub struct SnapshotFile {
     pub snapshot_version: u32,
     /// Backend tag ([`BackendKind::tag`]).
     pub backend: String,
+    /// The answer published at snapshot time, if any; restoring republishes
+    /// it so cached reads resume at the saved epoch.
+    pub published: Option<PublishedClustering>,
     /// The backend's serialized state.
     pub state: serde::Value,
 }
@@ -216,18 +235,31 @@ pub struct SnapshotFile {
 /// The thread-safe serving facade over one streaming clusterer.
 ///
 /// All methods take `&self`; connection handler threads share the engine
-/// through an `Arc`.
+/// through an `Arc`. Writes (and strict reads) serialize on the backend
+/// mutex; cached reads go through the publish slot only.
 #[derive(Debug)]
 pub struct Engine {
     inner: Mutex<Backend>,
+    /// The published-answer cell cached reads are served from. For the
+    /// sharded backend this is the stream's own slot (the stream publishes
+    /// from inside its query); for single-threaded backends the engine
+    /// publishes after each strict query.
+    slot: Arc<PublishSlot>,
+    /// Shard count, fixed at construction (reported by cached stats
+    /// without taking the lock).
+    shards: usize,
 }
 
-/// An engine mutex can only be poisoned by a panic inside a clusterer; the
-/// state may be mid-update, so refuse to serve from it.
-fn poisoned() -> ClusteringError {
-    ClusteringError::InvalidParameter {
-        name: "engine",
-        message: "engine poisoned by an earlier panic".to_string(),
+/// Wraps a freshly built backend with its publish slot and shard count.
+fn assemble(backend: Backend) -> Engine {
+    let (slot, shards) = match &backend {
+        Backend::ShardedCc(s) => (s.publish_slot(), s.shards()),
+        _ => (Arc::new(PublishSlot::new()), 1),
+    };
+    Engine {
+        inner: Mutex::new(backend),
+        slot,
+        shards,
     }
 }
 
@@ -237,17 +269,26 @@ impl Engine {
     /// # Errors
     /// Propagates configuration validation errors.
     pub fn new(spec: &EngineSpec) -> Result<Self> {
-        Ok(Self {
-            inner: Mutex::new(Backend::build(spec)?),
-        })
+        Ok(assemble(Backend::build(spec)?))
+    }
+
+    /// Locks the backend, recovering from mutex poisoning.
+    ///
+    /// A poisoned lock means a handler thread panicked while holding it.
+    /// The clusterers maintain their invariants through `Result`s — a panic
+    /// indicates a bug, not a routine failure — and before this recovery
+    /// existed, one such panic made *every* later request on *every*
+    /// connection fail with an "engine poisoned" error until the process
+    /// was restarted. Availability wins: recover the guard and keep
+    /// serving.
+    fn lock(&self) -> MutexGuard<'_, Backend> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Which backend this engine runs.
-    ///
-    /// # Errors
-    /// Fails only when the engine is poisoned.
-    pub fn kind(&self) -> Result<BackendKind> {
-        Ok(self.inner.lock().map_err(|_| poisoned())?.kind())
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        self.lock().kind()
     }
 
     /// Ingests one point; returns the total points seen afterwards.
@@ -256,7 +297,7 @@ impl Engine {
     /// Returns validation errors (dimension mismatch, non-finite
     /// coordinates, empty point); the engine state is unchanged on error.
     pub fn ingest(&self, point: &[f64]) -> Result<u64> {
-        let mut guard = self.inner.lock().map_err(|_| poisoned())?;
+        let mut guard = self.lock();
         let clusterer = guard.clusterer();
         clusterer.update(point)?;
         Ok(clusterer.points_seen())
@@ -271,7 +312,7 @@ impl Engine {
     /// index for non-finite coordinates).
     pub fn ingest_batch(&self, points: &[Vec<f64>]) -> Result<u64> {
         let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
-        let mut guard = self.inner.lock().map_err(|_| poisoned())?;
+        let mut guard = self.lock();
         let clusterer = guard.clusterer();
         // Pre-validate the whole batch so even backends whose
         // `update_batch` is a per-point loop (the sharded coordinator)
@@ -301,61 +342,96 @@ impl Engine {
         Ok(clusterer.points_seen())
     }
 
-    /// Answers a clustering query.
+    /// Answers a clustering query on the requested read path.
+    ///
+    /// [`Freshness::Strict`] drains in-flight ingestion under the backend
+    /// mutex, recomputes, republishes and returns the new epoch — exactly
+    /// the pre-freshness behaviour (bit-identical at a fixed seed).
+    /// [`Freshness::Cached`] returns the last published epoch without
+    /// taking the mutex; when nothing has been published yet it falls back
+    /// to one strict query to seed the slot.
     ///
     /// # Errors
     /// Returns [`ClusteringError::EmptyInput`] before the first point.
-    pub fn query(&self) -> Result<(Centers, QueryStats, u64)> {
-        let mut guard = self.inner.lock().map_err(|_| poisoned())?;
-        let clusterer = guard.clusterer();
-        let centers = clusterer.query()?;
-        let stats = clusterer.last_query_stats().unwrap_or_default();
-        Ok((centers, stats, clusterer.points_seen()))
+    pub fn query(&self, freshness: Freshness) -> Result<Arc<PublishedClustering>> {
+        if freshness == Freshness::Cached {
+            if let Some(published) = self.slot.load() {
+                return Ok(published);
+            }
+        }
+        let mut guard = self.lock();
+        match &mut *guard {
+            // The sharded stream publishes from inside its own query (its
+            // slot is this engine's slot).
+            Backend::ShardedCc(s) => s.query_published(),
+            other => {
+                let result = other.clusterer().query_clustering()?;
+                Ok(self.slot.publish(result))
+            }
+        }
+    }
+
+    /// The currently published answer, if any (never takes the backend
+    /// mutex).
+    #[must_use]
+    pub fn published(&self) -> Option<Arc<PublishedClustering>> {
+        self.slot.load()
+    }
+
+    /// Epoch of the currently published answer (0 before the first strict
+    /// query).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.slot.epoch()
     }
 
     /// Aggregated ingestion statistics.
     ///
+    /// [`Freshness::Strict`] flushes the coordinator buffers and collects
+    /// exact per-shard counts under the backend mutex.
+    /// [`Freshness::Cached`] answers from the published snapshot without
+    /// the mutex: `points_seen` and `last_query` are as of the published
+    /// epoch, and `per_shard_points` is empty (per-shard counts require a
+    /// drain). Falls back to strict when nothing has been published yet.
+    ///
     /// # Errors
-    /// Fails when the engine is poisoned or a shard worker is gone.
-    pub fn stats(&self) -> Result<StreamStats> {
-        self.inner.lock().map_err(|_| poisoned())?.stats()
+    /// Fails when a shard worker is gone (strict path only).
+    pub fn stats(&self, freshness: Freshness) -> Result<StreamStats> {
+        if freshness == Freshness::Cached {
+            if let Some(published) = self.slot.load() {
+                return Ok(StreamStats {
+                    points_seen: published.points_seen,
+                    shards: self.shards,
+                    per_shard_points: Vec::new(),
+                    last_query: Some(published.stats),
+                });
+            }
+        }
+        self.lock().stats()
     }
 
     /// Total points ingested so far.
-    ///
-    /// # Errors
-    /// Fails only when the engine is poisoned.
-    pub fn points_seen(&self) -> Result<u64> {
-        Ok(self
-            .inner
-            .lock()
-            .map_err(|_| poisoned())?
-            .clusterer()
-            .points_seen())
+    #[must_use]
+    pub fn points_seen(&self) -> u64 {
+        self.lock().clusterer().points_seen()
     }
 
     /// Points held by the backend's internal structures (paper accounting).
-    ///
-    /// # Errors
-    /// Fails only when the engine is poisoned.
-    pub fn memory_points(&self) -> Result<usize> {
-        Ok(self
-            .inner
-            .lock()
-            .map_err(|_| poisoned())?
-            .clusterer()
-            .memory_points())
+    #[must_use]
+    pub fn memory_points(&self) -> usize {
+        self.lock().clusterer().memory_points()
     }
 
     /// Serializes the full engine state into the versioned JSON envelope.
     ///
     /// # Errors
-    /// Fails when the engine is poisoned or a shard has latched an error.
+    /// Fails when a shard has latched an error.
     pub fn snapshot_json(&self) -> Result<String> {
-        let mut guard = self.inner.lock().map_err(|_| poisoned())?;
+        let mut guard = self.lock();
         let file = SnapshotFile {
             snapshot_version: SNAPSHOT_VERSION,
             backend: guard.kind().tag().to_string(),
+            published: self.slot.load().map(|p| p.as_ref().clone()),
             state: guard.state_value()?,
         };
         serde_json::to_string(&file).map_err(|e| ClusteringError::InvalidParameter {
@@ -385,9 +461,24 @@ impl Engine {
         }
         let kind = BackendKind::parse(&file.backend)
             .ok_or_else(|| invalid(format!("unknown backend `{}`", file.backend)))?;
-        Ok(Self {
-            inner: Mutex::new(Backend::from_state(kind, &file.state)?),
-        })
+        let engine = assemble(Backend::from_state(kind, &file.state)?);
+        // The sharded backend's state carries its own copy of the published
+        // answer (in-process `ShardedStream` restores need it) and has
+        // already seeded the slot with it. Both copies were written from
+        // the same slot under one lock hold, so a disagreement means the
+        // snapshot was tampered with or corrupted — reject it instead of
+        // silently letting one copy win.
+        if kind == BackendKind::ShardedCc
+            && engine.slot.load().map(|p| p.as_ref().clone()) != file.published
+        {
+            return Err(invalid(
+                "published answer in the envelope disagrees with the backend state".to_string(),
+            ));
+        }
+        // Republish the snapshot-time answer so cached reads on the
+        // restored engine resume at the saved epoch.
+        engine.slot.restore(file.published);
+        Ok(engine)
     }
 }
 
@@ -425,17 +516,98 @@ mod tests {
             BackendKind::Rcc,
         ] {
             let engine = Engine::new(&spec(kind)).unwrap();
-            assert_eq!(engine.kind().unwrap(), kind);
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.epoch(), 0, "{kind:?}");
             feed(&engine, 300, 0.0);
-            let (centers, stats, seen) = engine.query().unwrap();
-            assert_eq!(centers.len(), 2, "{kind:?}");
-            assert_eq!(seen, 300, "{kind:?}");
-            assert!(stats.ran_kmeans, "{kind:?}");
-            let s = engine.stats().unwrap();
+            let published = engine.query(Freshness::Strict).unwrap();
+            assert_eq!(published.centers.len(), 2, "{kind:?}");
+            assert_eq!(published.points_seen, 300, "{kind:?}");
+            assert_eq!(published.epoch, 1, "{kind:?}");
+            assert!(published.cost.is_finite(), "{kind:?}");
+            assert!(published.stats.ran_kmeans, "{kind:?}");
+            let s = engine.stats(Freshness::Strict).unwrap();
             assert_eq!(s.points_seen, 300, "{kind:?}");
             assert_eq!(s.per_shard_points.iter().sum::<u64>(), 300, "{kind:?}");
-            assert!(engine.memory_points().unwrap() > 0, "{kind:?}");
+            assert!(engine.memory_points() > 0, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn cached_queries_reuse_the_published_epoch() {
+        for kind in [BackendKind::ShardedCc, BackendKind::Cc] {
+            let engine = Engine::new(&spec(kind)).unwrap();
+            feed(&engine, 100, 0.0);
+            // Nothing published yet: the first cached query falls back to a
+            // strict one (seeding the slot) instead of erroring.
+            let seeded = engine.query(Freshness::Cached).unwrap();
+            assert_eq!(seeded.epoch, 1, "{kind:?}");
+            // More ingestion does not move the published answer …
+            feed(&engine, 100, 0.5);
+            let cached = engine.query(Freshness::Cached).unwrap();
+            assert_eq!(cached.epoch, 1, "{kind:?}");
+            assert_eq!(cached.points_seen, 100, "{kind:?}");
+            assert_eq!(cached.centers, seeded.centers, "{kind:?}");
+            // … until the next strict query republishes.
+            let strict = engine.query(Freshness::Strict).unwrap();
+            assert_eq!(strict.epoch, 2, "{kind:?}");
+            assert_eq!(strict.points_seen, 200, "{kind:?}");
+            let cached = engine.query(Freshness::Cached).unwrap();
+            assert_eq!(cached.epoch, 2, "{kind:?}");
+
+            // Cached stats come from the published snapshot, lock-free.
+            let stats = engine.stats(Freshness::Cached).unwrap();
+            assert_eq!(stats.points_seen, 200, "{kind:?}");
+            assert!(stats.per_shard_points.is_empty(), "{kind:?}");
+            assert_eq!(stats.last_query, Some(cached.stats), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn strict_queries_match_the_direct_clusterer_bit_for_bit() {
+        // The engine's strict path must stay bit-identical to driving the
+        // clusterer directly (the pre-publish code path) at a fixed seed.
+        let engine = Engine::new(&spec(BackendKind::ShardedCc)).unwrap();
+        let mut direct = ShardedStream::cc(
+            spec(BackendKind::ShardedCc).stream,
+            2, // shards, as in `spec`
+            8, // batch, as in `spec`
+            7, // seed, as in `spec`
+        )
+        .unwrap();
+        for i in 0..300usize {
+            let x = if i % 2 == 0 { 0.0 } else { 60.0 };
+            let p = [x, (i % 5) as f64 * 0.1];
+            engine.ingest(&p).unwrap();
+            direct.update(&p).unwrap();
+        }
+        let served = engine.query(Freshness::Strict).unwrap();
+        let expected = direct.query().unwrap();
+        assert_eq!(served.centers, expected);
+    }
+
+    #[test]
+    fn a_panicked_handler_does_not_poison_the_engine() {
+        // Regression: a handler thread panicking while holding the backend
+        // lock used to poison it, after which every request on every
+        // connection failed until restart. The engine now recovers.
+        let engine = Arc::new(Engine::new(&spec(BackendKind::Cc)).unwrap());
+        feed(&engine, 50, 0.0);
+        let clone = Arc::clone(&engine);
+        let panicked = std::thread::spawn(move || {
+            let _guard = clone.lock();
+            panic!("handler bug while holding the engine lock");
+        })
+        .join();
+        assert!(panicked.is_err(), "the helper thread must have panicked");
+
+        // Every path still works.
+        engine.ingest(&[1.0, 2.0]).unwrap();
+        assert_eq!(engine.points_seen(), 51);
+        let published = engine.query(Freshness::Strict).unwrap();
+        assert_eq!(published.centers.len(), 2);
+        engine.query(Freshness::Cached).unwrap();
+        engine.stats(Freshness::Strict).unwrap();
+        engine.snapshot_json().unwrap();
     }
 
     #[test]
@@ -463,14 +635,14 @@ mod tests {
                 ClusteringError::NonFiniteCoordinate { index: 1 }
             ));
             assert!(engine.ingest_batch(&[vec![3.0, 4.0], vec![]]).is_err());
-            assert_eq!(engine.points_seen().unwrap(), 1, "{kind:?}");
+            assert_eq!(engine.points_seen(), 1, "{kind:?}");
             // A self-inconsistent first batch on a fresh engine must also be
             // rejected whole.
             let fresh = Engine::new(&spec(kind)).unwrap();
             assert!(fresh
                 .ingest_batch(&[vec![1.0, 2.0], vec![1.0, 2.0, 3.0]])
                 .is_err());
-            assert_eq!(fresh.points_seen().unwrap(), 0, "{kind:?}");
+            assert_eq!(fresh.points_seen(), 0, "{kind:?}");
         }
     }
 
@@ -489,13 +661,68 @@ mod tests {
             let json = snapshotted.snapshot_json().unwrap();
             drop(snapshotted);
             let restored = Engine::from_snapshot_json(&json).unwrap();
-            assert_eq!(restored.kind().unwrap(), kind);
+            assert_eq!(restored.kind(), kind);
             feed(&reference, 150, 0.5);
             feed(&restored, 150, 0.5);
-            let (a, _, _) = reference.query().unwrap();
-            let (b, _, _) = restored.query().unwrap();
-            assert_eq!(a, b, "{kind:?} snapshot continuation diverged");
+            let a = reference.query(Freshness::Strict).unwrap();
+            let b = restored.query(Freshness::Strict).unwrap();
+            assert_eq!(
+                a.centers, b.centers,
+                "{kind:?} snapshot continuation diverged"
+            );
         }
+    }
+
+    #[test]
+    fn restored_engine_republishes_the_saved_epoch() {
+        for kind in [BackendKind::ShardedCc, BackendKind::Cc] {
+            let engine = Engine::new(&spec(kind)).unwrap();
+            feed(&engine, 150, 0.0);
+            engine.query(Freshness::Strict).unwrap();
+            engine.query(Freshness::Strict).unwrap();
+            let saved = engine.published().unwrap();
+            assert_eq!(saved.epoch, 2, "{kind:?}");
+
+            let json = engine.snapshot_json().unwrap();
+            let restored = Engine::from_snapshot_json(&json).unwrap();
+            // Cached reads resume at the saved epoch, without any query.
+            let republished = restored.query(Freshness::Cached).unwrap();
+            assert_eq!(republished.as_ref(), saved.as_ref(), "{kind:?}");
+            assert_eq!(restored.epoch(), 2, "{kind:?}");
+            // The next strict query continues the sequence.
+            let next = restored.query(Freshness::Strict).unwrap();
+            assert_eq!(next.epoch, 3, "{kind:?}");
+        }
+
+        // An engine snapshotted before any query restores with an empty
+        // slot (epoch 0), not a fabricated answer.
+        let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        feed(&engine, 30, 0.0);
+        let restored = Engine::from_snapshot_json(&engine.snapshot_json().unwrap()).unwrap();
+        assert_eq!(restored.epoch(), 0);
+        assert!(restored.published().is_none());
+    }
+
+    #[test]
+    fn diverging_published_copies_in_a_sharded_snapshot_are_rejected() {
+        // A sharded snapshot stores the published answer both in the
+        // envelope and inside the stream state (the latter serves
+        // in-process ShardedStream restores). The two are written from one
+        // slot under one lock hold; a snapshot where they disagree was
+        // tampered with or corrupted and must not restore as either copy.
+        let engine = Engine::new(&spec(BackendKind::ShardedCc)).unwrap();
+        feed(&engine, 150, 0.0);
+        engine.query(Freshness::Strict).unwrap();
+        let json = engine.snapshot_json().unwrap();
+
+        // The epoch appears exactly twice (envelope + stream state); bump
+        // only the first (envelope-level) occurrence.
+        assert_eq!(json.matches("\"epoch\":1").count(), 2, "fixture drifted");
+        let tampered = json.replacen("\"epoch\":1", "\"epoch\":9", 1);
+        assert!(Engine::from_snapshot_json(&tampered).is_err());
+
+        // Untampered, the same snapshot restores fine.
+        assert!(Engine::from_snapshot_json(&json).is_ok());
     }
 
     #[test]
@@ -503,11 +730,11 @@ mod tests {
         let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
         feed(&engine, 30, 0.0);
         let json = engine.snapshot_json().unwrap();
-        assert!(json.contains("\"snapshot_version\":1"));
+        assert!(json.contains("\"snapshot_version\":2"));
         assert!(json.contains("\"backend\":\"cc\""));
 
         assert!(Engine::from_snapshot_json("not json").is_err());
-        let wrong_version = json.replace("\"snapshot_version\":1", "\"snapshot_version\":99");
+        let wrong_version = json.replace("\"snapshot_version\":2", "\"snapshot_version\":99");
         assert!(Engine::from_snapshot_json(&wrong_version).is_err());
         let wrong_backend = json.replace("\"backend\":\"cc\"", "\"backend\":\"nope\"");
         assert!(Engine::from_snapshot_json(&wrong_backend).is_err());

@@ -9,13 +9,16 @@
 //! ## Pieces
 //!
 //! * [`protocol`] — the newline-delimited JSON wire protocol: typed
-//!   [`Request`]/[`Response`] enums, request limits, and the mapping from
-//!   engine errors to typed [`protocol::ErrorCode`]s.
+//!   [`Request`]/[`Response`] enums, the [`protocol::Freshness`] knob
+//!   (strict vs cached reads), request limits, and the mapping from engine
+//!   errors to typed [`protocol::ErrorCode`]s. The normative spec lives in
+//!   `docs/PROTOCOL.md`.
 //! * [`engine`] — the [`Engine`] facade: one shared clusterer (sharded CC
-//!   by default; single-threaded CC/CT/RCC also available) behind a mutex,
-//!   plus versioned JSON snapshot/restore of the complete state
-//!   (configuration, coreset tree levels, caches, partial buckets, RNG
-//!   positions) with bit-identical continuation.
+//!   by default; single-threaded CC/CT/RCC also available) behind a mutex
+//!   for writes and strict reads, an atomically swapped published snapshot
+//!   for cached reads, plus versioned JSON snapshot/restore of the complete
+//!   state (configuration, coreset tree levels, caches, partial buckets,
+//!   RNG positions, published epoch) with bit-identical continuation.
 //! * [`server`] — the multi-threaded TCP [`Server`]: one handler thread per
 //!   connection, typed error responses for malformed lines, clean shutdown.
 //! * [`client`] — a small blocking [`Client`] for the protocol.
@@ -58,7 +61,7 @@ pub mod server;
 pub use client::Client;
 pub use engine::{BackendKind, Engine, EngineSpec, SnapshotFile, SNAPSHOT_VERSION};
 pub use loadgen::{run_load, LoadReport, LoadSpec};
-pub use protocol::{Request, Response};
+pub use protocol::{Freshness, Request, Response};
 pub use server::{Server, ServerHandle};
 
 /// Commonly used items, for glob import.
@@ -66,7 +69,7 @@ pub mod prelude {
     pub use crate::client::Client;
     pub use crate::engine::{BackendKind, Engine, EngineSpec};
     pub use crate::loadgen::{run_load, LoadReport, LoadSpec};
-    pub use crate::protocol::{ErrorCode, Request, Response};
+    pub use crate::protocol::{ErrorCode, Freshness, Request, Response};
     pub use crate::server::{Server, ServerHandle};
-    pub use skm_stream::{StreamConfig, StreamStats};
+    pub use skm_stream::{PublishedClustering, StreamConfig, StreamStats};
 }

@@ -10,7 +10,7 @@
 //! remote caller experiences.
 
 use crate::client::Client;
-use crate::protocol::Response;
+use crate::protocol::{Freshness, Response};
 use std::io;
 use std::net::SocketAddr;
 use std::thread;
@@ -28,6 +28,9 @@ pub struct LoadSpec {
     /// Issue one `Query` after every `query_every` ingest requests per
     /// connection (0 disables interleaved queries).
     pub query_every: usize,
+    /// Read path of the interleaved queries (strict = recompute under the
+    /// ingest lock, cached = last published epoch).
+    pub freshness: Freshness,
 }
 
 /// Latencies and counters collected by [`run_load`], pooled across all
@@ -84,22 +87,22 @@ fn drive_connection(spec: &LoadSpec, share: Vec<Vec<f64>>) -> io::Result<LoadRep
         since_query += 1;
         if spec.query_every > 0 && since_query >= spec.query_every {
             since_query = 0;
-            run_query(&mut client, &mut report)?;
+            run_query(&mut client, spec.freshness, &mut report)?;
         }
     }
     // Short shares may never reach `query_every` ingest requests; issue one
     // end-of-share query anyway so a query-mixing run always produces at
     // least one query sample per connection.
     if spec.query_every > 0 && report.query_ns.is_empty() && !share.is_empty() {
-        run_query(&mut client, &mut report)?;
+        run_query(&mut client, spec.freshness, &mut report)?;
     }
     Ok(report)
 }
 
 /// Issues one timed `Query` request, recording the latency and outcome.
-fn run_query(client: &mut Client, report: &mut LoadReport) -> io::Result<()> {
+fn run_query(client: &mut Client, freshness: Freshness, report: &mut LoadReport) -> io::Result<()> {
     let start = Instant::now();
-    let response = client.query()?;
+    let response = client.query_with(freshness)?;
     report.query_ns.push(start.elapsed().as_nanos() as f64);
     match response {
         Response::Centers { .. } => report.queries += 1,

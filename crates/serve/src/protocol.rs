@@ -8,6 +8,7 @@
 //! {"Ingest":{"point":[1.0,2.0]}}
 //! {"IngestBatch":{"points":[[1.0,2.0],[3.0,4.0]]}}
 //! {"Query":{}}
+//! {"Query":{"freshness":"cached"}}
 //! {"Stats":{}}
 //! {"Snapshot":{"file":"state.json"}}
 //! {"Shutdown":{}}
@@ -16,8 +17,18 @@
 //! Responses mirror that shape (`Ingested`, `Centers`, `Stats`,
 //! `Snapshotted`, `Bye`, `Error`). A malformed or oversized line is answered
 //! with a typed [`Response::Error`] instead of dropping the connection, so a
-//! client bug never takes down its session, let alone the engine. See the
-//! README's "Serving" section for the full protocol reference table.
+//! client bug never takes down its session, let alone the engine.
+//!
+//! `Query` and `Stats` accept an optional [`Freshness`] field selecting the
+//! read path: `"strict"` (the default, and the behaviour when the field is
+//! omitted — so pre-freshness clients keep working unchanged) drains
+//! in-flight ingestion and recomputes, `"cached"` answers from the last
+//! published epoch without taking the ingest lock.
+//!
+//! The normative wire specification — every variant, every error code, the
+//! request limits and one worked example per exchange — lives in
+//! [`docs/PROTOCOL.md`](https://github.com/paper-repo-growth/streaming-kmeans/blob/main/docs/PROTOCOL.md);
+//! this module is its implementation.
 
 use serde::{Deserialize, Serialize};
 use skm_clustering::error::ClusteringError;
@@ -34,8 +45,69 @@ pub const MAX_BATCH_POINTS: usize = 4096;
 /// to resynchronize mid-line).
 pub const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
 
+/// Which read path a `Query` or `Stats` request takes.
+///
+/// On the wire this is the optional `freshness` field, spelled `"strict"`
+/// or `"cached"` (case-insensitive); an omitted field means
+/// [`Freshness::Strict`], so clients written before the field existed keep
+/// their exact pre-freshness semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Freshness {
+    /// Drain in-flight ingestion and recompute the answer under the engine
+    /// lock — linearizable with respect to every previously acknowledged
+    /// ingest, and bit-identical at a fixed `(seed, shards, batch)` to the
+    /// pre-freshness query path.
+    #[default]
+    Strict,
+    /// Answer immediately from the last published epoch without taking the
+    /// ingest lock. Stale by up to the time since the last strict
+    /// query/publish, but always internally consistent (epoch, centers,
+    /// cost and `points_seen` come from one immutable published value).
+    Cached,
+}
+
+impl Freshness {
+    /// The wire spelling (`"strict"` / `"cached"`).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Freshness::Strict => "strict",
+            Freshness::Cached => "cached",
+        }
+    }
+
+    /// Parses the wire spelling (case-insensitive).
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<Self> {
+        match tag.to_ascii_lowercase().as_str() {
+            "strict" => Some(Freshness::Strict),
+            "cached" => Some(Freshness::Cached),
+            _ => None,
+        }
+    }
+}
+
+impl serde::Serialize for Freshness {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl serde::Deserialize for Freshness {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Str(s) => Self::parse(s).ok_or_else(|| {
+                serde::Error::custom(format!(
+                    "unknown freshness `{s}` (expected `strict` or `cached`)"
+                ))
+            }),
+            _ => Err(serde::Error::custom("expected string for freshness")),
+        }
+    }
+}
+
 /// A client request (one JSON line).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Request {
     /// Ingest a single point.
     Ingest {
@@ -51,9 +123,15 @@ pub enum Request {
         points: Vec<Vec<f64>>,
     },
     /// Ask for the current k cluster centers.
-    Query {},
+    Query {
+        /// Read path: strict (default) or cached.
+        freshness: Freshness,
+    },
     /// Ask for ingestion statistics.
-    Stats {},
+    Stats {
+        /// Read path: strict (default) or cached.
+        freshness: Freshness,
+    },
     /// Persist the engine state to `file` inside the server's configured
     /// snapshot directory.
     Snapshot {
@@ -64,6 +142,55 @@ pub enum Request {
     /// Stop the server: the connection is answered with [`Response::Bye`]
     /// and the accept loop shuts down cleanly.
     Shutdown {},
+}
+
+/// Hand-written deserializer (the vendored derive treats every field as
+/// required, but `freshness` must be optional so `{"Query":{}}` — the
+/// complete pre-freshness wire shape — keeps parsing as a strict query).
+impl serde::Deserialize for Request {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = match value {
+            serde::Value::Map(entries) if entries.len() == 1 => entries,
+            _ => return Err(serde::Error::custom("expected variant for Request")),
+        };
+        let (tag, inner) = &entries[0];
+        let map = match inner {
+            serde::Value::Map(m) => m,
+            _ => {
+                return Err(serde::Error::custom(format!(
+                    "expected map for variant {tag}"
+                )))
+            }
+        };
+        let freshness = |map: &[(String, serde::Value)]| -> Result<Freshness, serde::Error> {
+            match map.iter().find(|(k, _)| k == "freshness") {
+                None => Ok(Freshness::default()),
+                Some((_, serde::Value::Null)) => Ok(Freshness::default()),
+                Some((_, v)) => serde::Deserialize::from_value(v),
+            }
+        };
+        match tag.as_str() {
+            "Ingest" => Ok(Request::Ingest {
+                point: serde::Deserialize::from_value(serde::get_field(map, "point")?)?,
+            }),
+            "IngestBatch" => Ok(Request::IngestBatch {
+                points: serde::Deserialize::from_value(serde::get_field(map, "points")?)?,
+            }),
+            "Query" => Ok(Request::Query {
+                freshness: freshness(map)?,
+            }),
+            "Stats" => Ok(Request::Stats {
+                freshness: freshness(map)?,
+            }),
+            "Snapshot" => Ok(Request::Snapshot {
+                file: serde::Deserialize::from_value(serde::get_field(map, "file")?)?,
+            }),
+            "Shutdown" => Ok(Request::Shutdown {}),
+            other => Err(serde::Error::custom(format!(
+                "unknown variant `{other}` for Request"
+            ))),
+        }
+    }
 }
 
 /// A server response (one JSON line).
@@ -82,6 +209,12 @@ pub enum Response {
         centers: Vec<Vec<f64>>,
         /// Total points summarized by this answer.
         points_seen: u64,
+        /// Publish epoch this answer belongs to: strict queries return the
+        /// epoch they just published, cached queries the epoch they read.
+        epoch: u64,
+        /// Coreset-estimated clustering cost of `centers` (JSON `null`
+        /// when the backend cannot estimate it).
+        cost: f64,
         /// Query diagnostics (coresets merged, cache usage, …).
         stats: QueryStats,
     },
@@ -202,8 +335,18 @@ mod tests {
             Request::IngestBatch {
                 points: vec![vec![0.5, 0.25], vec![3.0, 4.0]],
             },
-            Request::Query {},
-            Request::Stats {},
+            Request::Query {
+                freshness: Freshness::Strict,
+            },
+            Request::Query {
+                freshness: Freshness::Cached,
+            },
+            Request::Stats {
+                freshness: Freshness::Strict,
+            },
+            Request::Stats {
+                freshness: Freshness::Cached,
+            },
             Request::Snapshot {
                 file: "state.json".to_string(),
             },
@@ -217,6 +360,39 @@ mod tests {
     }
 
     #[test]
+    fn omitted_freshness_parses_as_strict() {
+        // The complete pre-freshness wire shapes must keep working, and an
+        // explicit null is treated like an omitted field.
+        for line in [
+            r#"{"Query":{}}"#,
+            r#"{"Query":{"freshness":null}}"#,
+            r#"{"Query":{"freshness":"STRICT"}}"#,
+        ] {
+            assert_eq!(
+                Request::from_line(line).unwrap(),
+                Request::Query {
+                    freshness: Freshness::Strict,
+                },
+                "{line}"
+            );
+        }
+        assert_eq!(
+            Request::from_line(r#"{"Stats":{}}"#).unwrap(),
+            Request::Stats {
+                freshness: Freshness::Strict,
+            }
+        );
+        assert_eq!(
+            Request::from_line(r#"{"Query":{"freshness":"cached"}}"#).unwrap(),
+            Request::Query {
+                freshness: Freshness::Cached,
+            }
+        );
+        assert!(Request::from_line(r#"{"Query":{"freshness":"nope"}}"#).is_err());
+        assert!(Request::from_line(r#"{"Query":{"freshness":3}}"#).is_err());
+    }
+
+    #[test]
     fn responses_round_trip_through_lines() {
         let responses = vec![
             Response::Ingested {
@@ -226,6 +402,8 @@ mod tests {
             Response::Centers {
                 centers: vec![vec![1.0, 2.0], vec![-3.0, 0.5]],
                 points_seen: 100,
+                epoch: 7,
+                cost: 12.5,
                 stats: QueryStats {
                     coresets_merged: 4,
                     candidate_points: 80,
@@ -266,7 +444,20 @@ mod tests {
         }
         .to_line();
         assert_eq!(line, r#"{"Ingest":{"point":[1,2]}}"#);
-        assert_eq!(Request::Query {}.to_line(), r#"{"Query":{}}"#);
+        assert_eq!(
+            Request::Query {
+                freshness: Freshness::Strict,
+            }
+            .to_line(),
+            r#"{"Query":{"freshness":"strict"}}"#
+        );
+        assert_eq!(
+            Request::Query {
+                freshness: Freshness::Cached,
+            }
+            .to_line(),
+            r#"{"Query":{"freshness":"cached"}}"#
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The multi-threaded TCP server: one handler thread per connection, all
-//! feeding the shared [`Engine`].
+//! feeding the shared [`Engine`]. Ingest requests (and strict queries)
+//! serialize on the engine's backend mutex; `cached` queries are served
+//! from the engine's published snapshot and never wait on ingestion.
 //!
 //! The accept loop runs until a `Shutdown` request arrives (or
 //! [`ServerHandle::shutdown`] is called from the hosting process); it then
@@ -285,15 +287,17 @@ fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&Path>) -> R
                 Err(e) => error_response(&e),
             }
         }
-        Request::Query {} => match engine.query() {
-            Ok((centers, stats, points_seen)) => Response::Centers {
-                centers: centers.to_rows(),
-                points_seen,
-                stats,
+        Request::Query { freshness } => match engine.query(freshness) {
+            Ok(published) => Response::Centers {
+                centers: published.centers.to_rows(),
+                points_seen: published.points_seen,
+                epoch: published.epoch,
+                cost: published.cost,
+                stats: published.stats,
             },
             Err(e) => error_response(&e),
         },
-        Request::Stats {} => match engine.stats() {
+        Request::Stats { freshness } => match engine.stats(freshness) {
             Ok(stats) => Response::Stats { stats },
             Err(e) => error_response(&e),
         },

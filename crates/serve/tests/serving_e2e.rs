@@ -77,6 +77,7 @@ fn four_concurrent_clients_match_the_in_process_cost_envelope() {
         connections: 4,
         batch: BATCH,
         query_every: 16,
+        freshness: Freshness::Strict,
     };
     let report = run_load(&spec, &points).unwrap();
     assert_eq!(report.points_sent, 50_000);
@@ -154,7 +155,7 @@ fn snapshot_kill_restore_continue_is_bit_identical_over_the_wire() {
 
     let snapshot = std::fs::read_to_string(&snapshot_path).unwrap();
     let restored = Arc::new(Engine::from_snapshot_json(&snapshot).unwrap());
-    assert_eq!(restored.points_seen().unwrap(), cut as u64);
+    assert_eq!(restored.points_seen(), cut as u64);
     let handle = Server::bind("127.0.0.1:0", restored, None)
         .unwrap()
         .spawn()

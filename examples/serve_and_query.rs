@@ -83,9 +83,18 @@ fn main() {
                 centers,
                 points_seen,
                 stats,
+                ..
             } => (centers, points_seen, stats),
             other => panic!("query failed: {other:?}"),
         };
+        // A cached follow-up re-reads the answer the strict query just
+        // published — no drain, no k-means++, same epoch-stamped value.
+        match query.query_with(Freshness::Cached).expect("cached query") {
+            Response::Centers {
+                epoch, points_seen, ..
+            } => assert_eq!((epoch, points_seen), (phase as u64 + 1, seen)),
+            other => panic!("cached query failed: {other:?}"),
+        }
         let drift = previous.as_ref().map(|prev| centroid_drift(prev, &centers));
         match drift {
             Some(d) => println!(
