@@ -1,22 +1,30 @@
 //! The `serving` workload: request latency of the `skm-serve` TCP server
 //! under a concurrent ingest:query mix, emitted as `BENCH_serving.json`.
 //!
-//! The grid is connection count × query freshness. For each cell the
-//! harness starts a fresh in-process server (sharded-CC engine, ephemeral
-//! port), drives it with the built-in load generator (Power-dataset points
-//! split across the connections, one query per `QUERY_EVERY` ingest
-//! requests per connection, all queries on the cell's freshness) and
-//! asserts a clean shutdown. The resulting [`AlgorithmReport`] cells reuse
-//! the standard schema:
+//! The grid is tenant count × connection count × query freshness. For each
+//! cell the harness starts a fresh in-process server (sharded-CC engine,
+//! ephemeral port), drives it with the built-in load generator
+//! (Power-dataset points split across the connections, one query per
+//! `QUERY_EVERY` ingest requests per connection, all queries on the cell's
+//! freshness) and asserts a clean shutdown. Single-tenant cells send
+//! namespace-free requests — the exact pre-tenancy wire traffic — while
+//! multi-tenant cells spread batches over `t0` … `t{N-1}` with
+//! Zipf(`ZIPF_S`) skew, so the tenant-map and per-tenant locking overhead
+//! shows up as a direct latency delta against the matching single-tenant
+//! cell. The resulting [`AlgorithmReport`] cells reuse the standard schema:
 //!
 //! * `update_ns` — per-request `IngestBatch` round-trip latency (loopback
 //!   RTT included: this is what a remote caller experiences),
 //! * `query_ns` — per-request `Query` round-trip latency on the cell's
-//!   freshness (`strict` queries drain and recompute under the ingest
-//!   lock; `cached` queries read the published snapshot and never wait on
-//!   ingestion — the `conns=4` pair is the headline comparison),
-//! * `peak_memory_bytes` / `final_cost` — engine memory after the run and
-//!   the cost of the final served centers on the full dataset.
+//!   freshness (`strict` queries drain and recompute under the tenant's
+//!   ingest lock; `cached` queries read that tenant's published snapshot
+//!   and never wait on ingestion),
+//! * `peak_memory_bytes` / `final_cost` — engine memory after the run
+//!   (summed over all resident tenants) and the cost of the final served
+//!   centers on the full dataset. In multi-tenant cells the final query
+//!   targets `t0`, the Zipf-hottest tenant; its sub-stream is a uniform
+//!   pseudo-random sample of the same mixture, so the cost remains
+//!   comparable across cells.
 //!
 //! The serving workload is **not** added to `bench/baseline.json`: request
 //! latency includes kernel networking and scheduler behaviour, which varies
@@ -30,6 +38,7 @@ use skm_clustering::cost::kmeans_cost;
 use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::Centers;
 use skm_metrics::memory_bytes;
+use skm_serve::loadgen::tenant_name;
 use skm_serve::{run_load, Client, Engine, EngineSpec, Freshness, LoadSpec, Server};
 use skm_stream::StreamConfig;
 use std::sync::Arc;
@@ -37,12 +46,20 @@ use std::sync::Arc;
 /// Workload name — file name becomes `BENCH_serving.json`.
 pub const SERVING_WORKLOAD: &str = "serving";
 
+/// Tenant counts measured (1 keeps the pre-tenancy namespace-free wire
+/// traffic; 8 exercises the tenant map under a Zipf-skewed mix).
+pub const TENANT_GRID: [usize; 2] = [1, 8];
+
 /// Connection counts measured (1 isolates protocol overhead; 4 is the
 /// concurrent-ingest headline cell).
 pub const CONNECTION_GRID: [usize; 2] = [1, 4];
 
-/// Query read paths measured for every connection count.
+/// Query read paths measured for every tenant × connection count.
 pub const FRESHNESS_GRID: [Freshness; 2] = [Freshness::Strict, Freshness::Cached];
+
+/// Zipf skew exponent of the multi-tenant cells (`weight(rank) ∝
+/// 1/rank^s`) — mildly super-linear, the classic web-traffic shape.
+pub const ZIPF_S: f64 = 1.1;
 
 /// Points per `IngestBatch` request.
 const REQUEST_BATCH: usize = 128;
@@ -50,7 +67,7 @@ const REQUEST_BATCH: usize = 128;
 /// One `Query` per this many ingest requests per connection.
 const QUERY_EVERY: usize = 8;
 
-/// Shards behind the served engine.
+/// Shards behind each tenant's served engine.
 const SHARDS: usize = 2;
 
 /// Stream length used for the serving cells: capped so the CI smoke run
@@ -67,11 +84,12 @@ fn io_error(context: &str, e: &std::io::Error) -> ClusteringError {
     }
 }
 
-/// Runs one (connection count, freshness) cell: fresh engine + server,
+/// Runs one (tenants, connections, freshness) cell: fresh engine + server,
 /// load generation, final query, clean shutdown. Returns the cell report.
 fn run_cell(
     points: &[Vec<f64>],
     config: StreamConfig,
+    tenants: usize,
     connections: usize,
     freshness: Freshness,
     seed: u64,
@@ -92,6 +110,8 @@ fn run_cell(
         batch: REQUEST_BATCH,
         query_every: QUERY_EVERY,
         freshness,
+        tenants,
+        zipf_s: ZIPF_S,
     };
     let report = run_load(&spec, points).map_err(|e| io_error("load generator", &e))?;
     if report.server_errors > 0 {
@@ -106,8 +126,13 @@ fn run_cell(
 
     // One final strict end-of-stream query through the protocol, like every
     // other workload's final measurement (strict regardless of the cell's
-    // freshness, so `final_cost` always reflects the complete stream).
+    // freshness, so `final_cost` always reflects the complete stream the
+    // queried tenant saw). Multi-tenant cells query `t0`, the Zipf-hottest
+    // tenant; single-tenant cells stay namespace-free.
     let mut client = Client::connect(handle.addr()).map_err(|e| io_error("connect", &e))?;
+    if tenants > 1 {
+        client.set_namespace(Some(tenant_name(0)));
+    }
     let final_rows = client
         .query_centers()
         .map_err(|e| io_error("final query", &e))?;
@@ -124,7 +149,10 @@ fn run_cell(
         .map_err(|e| io_error("shutdown join", &e))?;
 
     let cell = AlgorithmReport {
-        algorithm: format!("serve/conns={connections}/{}", freshness.as_str()),
+        algorithm: format!(
+            "serve/tenants={tenants}/conns={connections}/{}",
+            freshness.as_str()
+        ),
         update_ns: LatencySummary::from_samples(&report.ingest_ns)
             .expect("at least one ingest request"),
         query_ns: LatencySummary::from_samples(&report.query_ns)
@@ -136,8 +164,9 @@ fn run_cell(
 }
 
 /// Measures the serving workload and packages it as a [`WorkloadReport`]
-/// (one [`AlgorithmReport`] per connection count × freshness cell), so the
-/// report writer and CI artifact pipeline apply unchanged.
+/// (one [`AlgorithmReport`] per tenant count × connection count ×
+/// freshness cell), so the report writer and CI artifact pipeline apply
+/// unchanged.
 ///
 /// # Errors
 /// Propagates engine/configuration errors and reports transport failures or
@@ -151,18 +180,23 @@ pub fn measure_serving_workload(points: usize, k: usize, seed: u64) -> Result<Wo
         .with_lloyd_iterations(5);
     let rows: Vec<Vec<f64>> = dataset.points().iter().map(|(p, _)| p.to_vec()).collect();
 
-    let mut algorithms = Vec::with_capacity(CONNECTION_GRID.len() * FRESHNESS_GRID.len());
-    for &connections in &CONNECTION_GRID {
-        for &freshness in &FRESHNESS_GRID {
-            let (mut cell, final_centers) = run_cell(&rows, config, connections, freshness, seed)?;
-            cell.final_cost = kmeans_cost(dataset.points(), &final_centers)?;
-            algorithms.push(cell);
+    let mut algorithms =
+        Vec::with_capacity(TENANT_GRID.len() * CONNECTION_GRID.len() * FRESHNESS_GRID.len());
+    for &tenants in &TENANT_GRID {
+        for &connections in &CONNECTION_GRID {
+            for &freshness in &FRESHNESS_GRID {
+                let (mut cell, final_centers) =
+                    run_cell(&rows, config, tenants, connections, freshness, seed)?;
+                cell.final_cost = kmeans_cost(dataset.points(), &final_centers)?;
+                algorithms.push(cell);
+            }
         }
     }
 
     // The schema's workload-level coreset-build metric is not meaningful
-    // for a network workload; reuse the single-connection strict ingest
-    // latency so the field carries a real (and comparable) measurement.
+    // for a network workload; reuse the single-tenant single-connection
+    // strict ingest latency so the field carries a real (and comparable)
+    // measurement.
     let coreset_build_ns = algorithms[0].update_ns.clone();
 
     Ok(WorkloadReport {
@@ -189,19 +223,33 @@ mod tests {
     }
 
     #[test]
-    fn serving_report_covers_the_conns_by_freshness_grid() {
+    fn serving_report_covers_the_tenants_by_conns_by_freshness_grid() {
         let report = measure_serving_workload(1_000, 3, 11).unwrap();
         assert_eq!(report.workload, SERVING_WORKLOAD);
         assert_eq!(report.file_name(), "BENCH_serving.json");
         assert_eq!(report.points, 1_000);
         assert_eq!(
             report.algorithms.len(),
-            CONNECTION_GRID.len() * FRESHNESS_GRID.len()
+            TENANT_GRID.len() * CONNECTION_GRID.len() * FRESHNESS_GRID.len()
         );
-        assert_eq!(report.algorithms[0].algorithm, "serve/conns=1/strict");
-        assert_eq!(report.algorithms[1].algorithm, "serve/conns=1/cached");
-        assert_eq!(report.algorithms[2].algorithm, "serve/conns=4/strict");
-        assert_eq!(report.algorithms[3].algorithm, "serve/conns=4/cached");
+        let names: Vec<&str> = report
+            .algorithms
+            .iter()
+            .map(|c| c.algorithm.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "serve/tenants=1/conns=1/strict",
+                "serve/tenants=1/conns=1/cached",
+                "serve/tenants=1/conns=4/strict",
+                "serve/tenants=1/conns=4/cached",
+                "serve/tenants=8/conns=1/strict",
+                "serve/tenants=8/conns=1/cached",
+                "serve/tenants=8/conns=4/strict",
+                "serve/tenants=8/conns=4/cached",
+            ]
+        );
         for cell in &report.algorithms {
             assert!(cell.update_ns.median_ns > 0.0, "{}", cell.algorithm);
             assert!(cell.update_ns.count > 0, "{}", cell.algorithm);
@@ -211,19 +259,21 @@ mod tests {
         }
         // The point of the published read path: cached queries never wait
         // on ingestion or recompute. The comparison is only meaningful at
-        // conns=4 (where strict queries structurally contend with three
-        // ingesting connections for the engine mutex — at conns=1 both
-        // modes are RTT-dominated) and with spare cores (on a single-CPU
-        // machine every round trip is dominated by waiting for the ingest
-        // threads to be descheduled, which swamps the difference), and it
-        // gets a 1.25× slack so runner jitter cannot flake the suite.
-        // (The acceptance target — cached p95 ≤ 0.5× strict p95 at
-        // conns=4 — is read off the emitted BENCH_serving.json on CI
-        // hardware; this in-test bound is only a tripwire.)
+        // tenants=1 conns=4 (where strict queries structurally contend
+        // with three ingesting connections for the same tenant's mutex —
+        // at conns=1 both modes are RTT-dominated, and at tenants=8 the
+        // Zipf mix spreads contention over eight independent locks) and
+        // with spare cores (on a single-CPU machine every round trip is
+        // dominated by waiting for the ingest threads to be descheduled,
+        // which swamps the difference), and it gets a 1.25× slack so
+        // runner jitter cannot flake the suite. (The acceptance target —
+        // cached p95 ≤ 0.5× strict p95 at conns=4 — is read off the
+        // emitted BENCH_serving.json on CI hardware; this in-test bound is
+        // only a tripwire.)
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         if cores > 1 {
-            let strict_cell = &report.algorithms[2]; // serve/conns=4/strict
-            let cached_cell = &report.algorithms[3]; // serve/conns=4/cached
+            let strict_cell = &report.algorithms[2]; // serve/tenants=1/conns=4/strict
+            let cached_cell = &report.algorithms[3]; // serve/tenants=1/conns=4/cached
             assert!(
                 cached_cell.query_ns.median_ns <= 1.25 * strict_cell.query_ns.median_ns,
                 "cached median {} ns should not exceed strict median {} ns by >25% ({})",

@@ -4,18 +4,26 @@
 //! ```text
 //! skm-serve serve [--addr 127.0.0.1:7878] [--backend sharded-cc|cc|ct|rcc]
 //!                 [--k 8] [--shards 4] [--batch 128] [--seed 42]
-//!                 [--snapshot-dir DIR] [--restore FILE]
+//!                 [--snapshot-dir DIR] [--restore FILE] [--max-resident 64]
 //! skm-serve bench [--addr 127.0.0.1:7878] [--connections 4] [--points 20000]
 //!                 [--dim 8] [--batch 128] [--query-every 8] [--seed 42]
-//!                 [--freshness strict|cached]
+//!                 [--freshness strict|cached] [--tenants 1] [--zipf 1.1]
+//!                 [--shutdown]
 //! ```
 //!
-//! `serve` blocks until a client sends `{"Shutdown":{}}`. `bench` connects
-//! to an already-running server, drives it with a mixed ingest:query
-//! workload of Gaussian-blob points and prints per-request latency
-//! percentiles. See the README's "Serving" section for the protocol.
+//! `serve` blocks until a client sends `{"Shutdown":{}}`. At most
+//! `--max-resident` tenant streams stay in memory; with `--snapshot-dir`
+//! the least-recently-used tenant is paged out to disk (and restored
+//! transparently on next touch), without it the cap is a hard limit.
+//! `bench` connects to an already-running server, drives it with a mixed
+//! ingest:query workload of Gaussian-blob points — spread over `--tenants`
+//! namespaces with Zipf(`--zipf`) skew when above 1 — and prints
+//! per-request latency percentiles; `--conns` is an alias for
+//! `--connections`, and `--shutdown` stops the server afterwards. See the
+//! README's "Serving" section for the protocol.
 
-use skm_serve::engine::{BackendKind, Engine, EngineSpec};
+use skm_serve::client::Client;
+use skm_serve::engine::{BackendKind, Engine, EngineSpec, DEFAULT_MAX_RESIDENT};
 use skm_serve::loadgen::{run_load, LoadSpec};
 use skm_serve::protocol::{Freshness, MAX_BATCH_POINTS};
 use skm_serve::server::Server;
@@ -41,6 +49,10 @@ struct Args {
     dim: usize,
     query_every: usize,
     freshness: Freshness,
+    max_resident: usize,
+    tenants: usize,
+    zipf_s: f64,
+    shutdown: bool,
     errors: Vec<String>,
 }
 
@@ -60,6 +72,10 @@ impl Default for Args {
             dim: 8,
             query_every: 8,
             freshness: Freshness::Strict,
+            max_resident: DEFAULT_MAX_RESIDENT,
+            tenants: 1,
+            zipf_s: 1.1,
+            shutdown: false,
             errors: Vec::new(),
         }
     }
@@ -106,8 +122,19 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
                     }
                 }
             }
-            "--k" | "--shards" | "--batch" | "--seed" | "--connections" | "--points" | "--dim"
-            | "--query-every" => {
+            "--zipf" => {
+                if let Some(v) = take("--zipf", &mut args.errors) {
+                    match v.parse::<f64>() {
+                        Ok(s) if s >= 0.0 && s.is_finite() => args.zipf_s = s,
+                        _ => args.errors.push(format!(
+                            "flag `--zipf` wants a non-negative number, got `{v}`"
+                        )),
+                    }
+                }
+            }
+            "--shutdown" => args.shutdown = true,
+            "--k" | "--shards" | "--batch" | "--seed" | "--connections" | "--conns"
+            | "--points" | "--dim" | "--query-every" | "--max-resident" | "--tenants" => {
                 let Some(v) = take(&flag, &mut args.errors) else {
                     continue;
                 };
@@ -121,10 +148,12 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
                     "--shards" => args.shards = (n as usize).max(1),
                     "--batch" => args.batch = (n as usize).max(1),
                     "--seed" => args.seed = n,
-                    "--connections" => args.connections = (n as usize).max(1),
+                    "--connections" | "--conns" => args.connections = (n as usize).max(1),
                     "--points" => args.points = (n as usize).max(100),
                     "--dim" => args.dim = (n as usize).max(1),
                     "--query-every" => args.query_every = n as usize,
+                    "--max-resident" => args.max_resident = (n as usize).max(1),
+                    "--tenants" => args.tenants = (n as usize).max(1),
                     _ => unreachable!(),
                 }
             }
@@ -135,10 +164,14 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
 }
 
 fn build_engine(args: &Args) -> Result<Engine, String> {
+    // The snapshot directory doubles as the eviction directory: both hold
+    // the same versioned envelope, and tenants must not be able to write
+    // anywhere else.
     if let Some(path) = &args.restore {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read snapshot `{}`: {e}", path.display()))?;
         return Engine::from_snapshot_json(&text)
+            .map(|e| e.with_eviction(args.max_resident, args.snapshot_dir.clone()))
             .map_err(|e| format!("cannot restore snapshot `{}`: {e}", path.display()));
     }
     let spec = EngineSpec {
@@ -149,7 +182,8 @@ fn build_engine(args: &Args) -> Result<Engine, String> {
         nesting_depth: 2,
         seed: args.seed,
     };
-    Engine::new(&spec).map_err(|e| format!("cannot build engine: {e}"))
+    Engine::with_options(&spec, args.max_resident, args.snapshot_dir.clone())
+        .map_err(|e| format!("cannot build engine: {e}"))
 }
 
 fn serve(args: &Args) -> Result<(), String> {
@@ -213,6 +247,8 @@ fn bench(args: &Args) -> Result<(), String> {
         batch,
         query_every: args.query_every,
         freshness: args.freshness,
+        tenants: args.tenants,
+        zipf_s: args.zipf_s,
     };
     let report = run_load(&spec, &points).map_err(|e| format!("load generator failed: {e}"))?;
     let mut ingest = report.ingest_ns.clone();
@@ -241,6 +277,13 @@ fn bench(args: &Args) -> Result<(), String> {
     );
     if report.server_errors > 0 {
         return Err(format!("{} server errors", report.server_errors));
+    }
+    if args.shutdown {
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("cannot connect for shutdown: {e}"))?;
+        client
+            .shutdown()
+            .map_err(|e| format!("shutdown request failed: {e}"))?;
     }
     Ok(())
 }

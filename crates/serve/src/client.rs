@@ -1,16 +1,18 @@
 //! A small blocking client for the newline-delimited JSON protocol, used by
 //! the load generator, the examples and the protocol tests.
 
-use crate::protocol::{Freshness, Request, Response};
+use crate::protocol::{Freshness, Request, Response, TenantConfig};
 use skm_stream::StreamStats;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-/// One protocol connection.
+/// One protocol connection, optionally pinned to a tenant namespace: when
+/// set, every request built by the convenience methods carries it.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    namespace: Option<String>,
 }
 
 /// Maps a protocol-level surprise (unparseable response line) to `io::Error`.
@@ -31,7 +33,28 @@ impl Client {
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            namespace: None,
         })
+    }
+
+    /// Pins this connection to a tenant namespace (builder-style): every
+    /// request built by the convenience methods carries it from now on.
+    #[must_use]
+    pub fn with_namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.namespace = Some(namespace.into());
+        self
+    }
+
+    /// Switches the tenant the convenience methods target (`None` means
+    /// the server-side default tenant).
+    pub fn set_namespace(&mut self, namespace: Option<String>) {
+        self.namespace = namespace;
+    }
+
+    /// The tenant the convenience methods currently target.
+    #[must_use]
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
     }
 
     /// Sends one request and reads the matching response.
@@ -69,7 +92,8 @@ impl Client {
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn ingest(&mut self, point: Vec<f64>) -> io::Result<Response> {
-        self.call(&Request::Ingest { point })
+        let namespace = self.namespace.clone();
+        self.call(&Request::Ingest { point, namespace })
     }
 
     /// Ingests a batch of points.
@@ -77,7 +101,8 @@ impl Client {
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn ingest_batch(&mut self, points: Vec<Vec<f64>>) -> io::Result<Response> {
-        self.call(&Request::IngestBatch { points })
+        let namespace = self.namespace.clone();
+        self.call(&Request::IngestBatch { points, namespace })
     }
 
     /// Queries the current centers on the strict read path, returning the
@@ -95,7 +120,11 @@ impl Client {
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn query_with(&mut self, freshness: Freshness) -> io::Result<Response> {
-        self.call(&Request::Query { freshness })
+        let namespace = self.namespace.clone();
+        self.call(&Request::Query {
+            freshness,
+            namespace,
+        })
     }
 
     /// Queries (strict) and unwraps the center rows, mapping a server-side
@@ -125,7 +154,11 @@ impl Client {
     /// # Errors
     /// Transport errors, plus any typed server error.
     pub fn stats_with(&mut self, freshness: Freshness) -> io::Result<StreamStats> {
-        match self.call(&Request::Stats { freshness })? {
+        let namespace = self.namespace.clone();
+        match self.call(&Request::Stats {
+            freshness,
+            namespace,
+        })? {
             Response::Stats { stats } => Ok(stats),
             other => Err(io::Error::other(format!("stats failed: {other:?}"))),
         }
@@ -136,9 +169,22 @@ impl Client {
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn snapshot(&mut self, file: &str) -> io::Result<Response> {
+        let namespace = self.namespace.clone();
         self.call(&Request::Snapshot {
             file: file.to_string(),
+            namespace,
         })
+    }
+
+    /// Creates this connection's tenant with non-default settings. Must
+    /// happen before the tenant's first ingest/query (a lazily created
+    /// tenant uses the server defaults and cannot be reconfigured).
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn configure(&mut self, config: TenantConfig) -> io::Result<Response> {
+        let namespace = self.namespace.clone();
+        self.call(&Request::Configure { namespace, config })
     }
 
     /// Asks the server to shut down.

@@ -1,23 +1,43 @@
-//! The [`Engine`] facade: one shared clusterer behind a mutex for writes,
-//! an atomically swapped published snapshot for reads, plus
-//! snapshot/restore.
+//! The [`Engine`] facade: a concurrent map of per-tenant streams, each one
+//! a clusterer behind its own mutex for writes and an atomically swapped
+//! published snapshot for reads, plus snapshot/restore and LRU eviction.
 //!
-//! The engine is what connection handler threads talk to. It wraps either a
+//! The engine is what connection handler threads talk to. Each **tenant**
+//! (wire-level `namespace`) owns an independent stream: either a
 //! [`ShardedStream`] over per-shard CC clusterers (the default — ingestion
 //! parallelism comes from the shard worker threads, so the coordinator
 //! mutex is held only for cheap buffering and channel sends) or one of the
-//! single-threaded clusterers (CC, CT, RCC) for small deployments.
+//! single-threaded clusterers (CC, CT, RCC) for small deployments. Tenants
+//! are created lazily on first touch from the engine's default spec, or
+//! explicitly with a custom spec via [`Engine::configure`]; requests that
+//! carry no namespace run against [`DEFAULT_NAMESPACE`], which exists from
+//! construction — so an engine that never sees a namespace behaves exactly
+//! like the pre-tenancy single-stream engine.
 //!
 //! ## The two read paths
 //!
-//! Every **strict** query runs under the ingest mutex, drains in-flight
-//! batches, recomputes the answer and republishes it (with a fresh epoch)
-//! through a [`PublishSlot`]. A **cached** query never touches the mutex:
-//! it loads the currently published [`PublishedClustering`] — one `Arc`
-//! clone — so a slow coreset merge or a burst of ingest batches cannot
-//! stall it. Cached answers are stale (up to the time since the last
-//! publish) but never torn: epoch, centers, cost and `points_seen` all come
-//! from one immutable value.
+//! Every **strict** query runs under its tenant's ingest mutex, drains
+//! in-flight batches, recomputes the answer and republishes it (with a
+//! fresh epoch) through that tenant's [`PublishSlot`]. A **cached** query
+//! never touches the mutex: it loads the currently published
+//! [`PublishedClustering`] — one `Arc` clone — so a slow coreset merge or a
+//! burst of ingest batches on *any* tenant cannot stall it. Cached answers
+//! are stale (up to the time since the last publish) but never torn:
+//! epoch, centers, cost and `points_seen` all come from one immutable
+//! value.
+//!
+//! ## Eviction
+//!
+//! The engine holds at most `max_resident` tenants in memory. When a new
+//! tenant would exceed the cap, the least-recently-touched resident is
+//! paged out: its complete state is snapshotted to
+//! `<dir>/tenant-<namespace>.json` (the same versioned envelope as an
+//! explicit snapshot) and it is dropped from the map. The next request
+//! that names the evicted tenant transparently restores it from that file
+//! and continues the stream **bit-identically** — evict → restore →
+//! continue equals never having evicted, including the republished epoch.
+//! Without an eviction directory the cap is a hard limit
+//! (`tenant_limit`).
 //!
 //! Snapshots serialize the complete backend state — configuration, coreset
 //! tree levels, caches, partially filled buckets and RNG positions — into a
@@ -26,20 +46,40 @@
 //! The envelope also carries the currently published answer, so a restored
 //! engine republishes the same epoch instead of starting readers cold.
 
-use crate::protocol::Freshness;
+use crate::protocol::{validate_namespace, Freshness, DEFAULT_NAMESPACE};
 use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_stream::{
     CachedCoresetTree, CoresetTreeClusterer, PublishSlot, PublishedClustering, RecursiveCachedTree,
     ShardedStream, ShardedStreamState, StreamConfig, StreamStats, StreamingClusterer,
 };
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// Current snapshot envelope version; bump when [`SnapshotFile`] or any
 /// serialized backend state changes shape incompatibly. Version 2 added the
-/// `published` field (and the published-answer plumbing inside the sharded
-/// backend state).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// `published` field; version 3 added the `namespace` field (per-tenant
+/// snapshots and eviction files).
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// Default cap on resident (in-memory) tenants.
+pub const DEFAULT_MAX_RESIDENT: usize = 64;
+
+/// RNG seed recorded in the derived default spec when an engine is
+/// cold-started from a snapshot (the backend's own RNG state is restored
+/// bit-exactly from the file; this seed only parameterizes tenants created
+/// lazily *afterwards*).
+pub const DERIVED_SEED: u64 = 42;
+
+/// The eviction file name for a tenant, relative to the eviction
+/// directory. Namespaces pass [`validate_namespace`], so the result is
+/// always a bare file name inside the directory.
+#[must_use]
+pub fn evict_file_name(namespace: &str) -> String {
+    format!("tenant-{namespace}.json")
+}
 
 /// Which clusterer the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +121,8 @@ impl BackendKind {
     }
 }
 
-/// How to build an [`Engine`].
+/// How to build one tenant's stream (and, as the engine's default spec,
+/// every lazily created tenant).
 #[derive(Debug, Clone, Copy)]
 pub struct EngineSpec {
     /// Backend to run.
@@ -113,7 +154,7 @@ impl EngineSpec {
     }
 }
 
-/// The concrete clusterer behind the engine mutex.
+/// The concrete clusterer behind a tenant's mutex.
 #[derive(Debug)]
 enum Backend {
     ShardedCc(ShardedStream<CachedCoresetTree>),
@@ -147,6 +188,48 @@ impl Backend {
             Backend::Cc(_) => BackendKind::Cc,
             Backend::Ct(_) => BackendKind::Ct,
             Backend::Rcc(_) => BackendKind::Rcc,
+        }
+    }
+
+    /// Reconstructs a spec describing this backend. Used when an engine is
+    /// cold-started from a snapshot: the restored tenant keeps its exact
+    /// state, and tenants created lazily afterwards inherit this shape
+    /// (with [`DERIVED_SEED`], since a backend's original seed is not
+    /// recoverable from its mid-stream RNG position).
+    fn derived_spec(&self) -> EngineSpec {
+        match self {
+            Backend::ShardedCc(s) => EngineSpec {
+                kind: BackendKind::ShardedCc,
+                stream: *s.config(),
+                shards: s.shards(),
+                batch: s.batch_size(),
+                nesting_depth: 2,
+                seed: DERIVED_SEED,
+            },
+            Backend::Cc(c) => EngineSpec {
+                kind: BackendKind::Cc,
+                stream: *c.config(),
+                shards: 1,
+                batch: 128,
+                nesting_depth: 2,
+                seed: DERIVED_SEED,
+            },
+            Backend::Ct(c) => EngineSpec {
+                kind: BackendKind::Ct,
+                stream: *c.config(),
+                shards: 1,
+                batch: 128,
+                nesting_depth: 2,
+                seed: DERIVED_SEED,
+            },
+            Backend::Rcc(c) => EngineSpec {
+                kind: BackendKind::Rcc,
+                stream: *c.config(),
+                shards: 1,
+                batch: 128,
+                nesting_depth: c.nesting_depth(),
+                seed: DERIVED_SEED,
+            },
         }
     }
 
@@ -223,6 +306,9 @@ impl Backend {
 pub struct SnapshotFile {
     /// Envelope version ([`SNAPSHOT_VERSION`]).
     pub snapshot_version: u32,
+    /// The tenant this snapshot belongs to ([`DEFAULT_NAMESPACE`] for the
+    /// anonymous pre-tenancy stream).
+    pub namespace: String,
     /// Backend tag ([`BackendKind::tag`]).
     pub backend: String,
     /// The answer published at snapshot time, if any; restoring republishes
@@ -232,14 +318,12 @@ pub struct SnapshotFile {
     pub state: serde::Value,
 }
 
-/// The thread-safe serving facade over one streaming clusterer.
-///
-/// All methods take `&self`; connection handler threads share the engine
-/// through an `Arc`. Writes (and strict reads) serialize on the backend
-/// mutex; cached reads go through the publish slot only.
+/// One resident tenant: its stream behind a mutex, its publish slot, and
+/// the bookkeeping eviction needs.
 #[derive(Debug)]
-pub struct Engine {
-    inner: Mutex<Backend>,
+struct Tenant {
+    namespace: String,
+    backend: Mutex<Backend>,
     /// The published-answer cell cached reads are served from. For the
     /// sharded backend this is the stream's own slot (the stream publishes
     /// from inside its query); for single-threaded backends the engine
@@ -248,28 +332,35 @@ pub struct Engine {
     /// Shard count, fixed at construction (reported by cached stats
     /// without taking the lock).
     shards: usize,
+    /// Set under the backend mutex when this tenant is paged out. An
+    /// operation that locked the backend through a stale `Arc` observes
+    /// the flag and retries through the map, which restores the tenant —
+    /// so no update can land on a zombie copy after its state went to
+    /// disk.
+    evicted: AtomicBool,
+    /// Engine-clock timestamp of the last touch (LRU victim selection).
+    last_touch: AtomicU64,
 }
 
-/// Wraps a freshly built backend with its publish slot and shard count.
-fn assemble(backend: Backend) -> Engine {
-    let (slot, shards) = match &backend {
-        Backend::ShardedCc(s) => (s.publish_slot(), s.shards()),
-        _ => (Arc::new(PublishSlot::new()), 1),
-    };
-    Engine {
-        inner: Mutex::new(backend),
-        slot,
-        shards,
+impl Tenant {
+    /// Wraps a freshly built backend with its publish slot and shard count.
+    fn assemble(namespace: &str, backend: Backend) -> Self {
+        let (slot, shards) = match &backend {
+            Backend::ShardedCc(s) => (s.publish_slot(), s.shards()),
+            _ => (Arc::new(PublishSlot::new()), 1),
+        };
+        Tenant {
+            namespace: namespace.to_string(),
+            backend: Mutex::new(backend),
+            slot,
+            shards,
+            evicted: AtomicBool::new(false),
+            last_touch: AtomicU64::new(0),
+        }
     }
-}
 
-impl Engine {
-    /// Builds an engine from a spec.
-    ///
-    /// # Errors
-    /// Propagates configuration validation errors.
-    pub fn new(spec: &EngineSpec) -> Result<Self> {
-        Ok(assemble(Backend::build(spec)?))
+    fn create(namespace: &str, spec: &EngineSpec) -> Result<Self> {
+        Ok(Self::assemble(namespace, Backend::build(spec)?))
     }
 
     /// Locks the backend, recovering from mutex poisoning.
@@ -282,157 +373,19 @@ impl Engine {
     /// was restarted. Availability wins: recover the guard and keep
     /// serving.
     fn lock(&self) -> MutexGuard<'_, Backend> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        self.backend.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Which backend this engine runs.
-    #[must_use]
-    pub fn kind(&self) -> BackendKind {
-        self.lock().kind()
-    }
-
-    /// Ingests one point; returns the total points seen afterwards.
-    ///
-    /// # Errors
-    /// Returns validation errors (dimension mismatch, non-finite
-    /// coordinates, empty point); the engine state is unchanged on error.
-    pub fn ingest(&self, point: &[f64]) -> Result<u64> {
-        let mut guard = self.lock();
-        let clusterer = guard.clusterer();
-        clusterer.update(point)?;
-        Ok(clusterer.points_seen())
-    }
-
-    /// Ingests a batch of points atomically: the whole batch is validated
-    /// against the stream dimension before any point is consumed, so a
-    /// rejected batch leaves the engine untouched.
-    ///
-    /// # Errors
-    /// Returns the first validation failure (with the offending in-batch
-    /// index for non-finite coordinates).
-    pub fn ingest_batch(&self, points: &[Vec<f64>]) -> Result<u64> {
-        let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
-        let mut guard = self.lock();
-        let clusterer = guard.clusterer();
-        // Pre-validate the whole batch so even backends whose
-        // `update_batch` is a per-point loop (the sharded coordinator)
-        // reject atomically at the serving layer.
-        let mut dim = clusterer.dim();
-        for (index, point) in refs.iter().enumerate() {
-            if point.is_empty() {
-                return Err(ClusteringError::InvalidParameter {
-                    name: "point",
-                    message: "points must have at least one dimension".to_string(),
-                });
-            }
-            if let Some(d) = dim {
-                if d != point.len() {
-                    return Err(ClusteringError::DimensionMismatch {
-                        expected: d,
-                        got: point.len(),
-                    });
-                }
-            }
-            if point.iter().any(|x| !x.is_finite()) {
-                return Err(ClusteringError::NonFiniteCoordinate { index });
-            }
-            dim = Some(point.len());
-        }
-        clusterer.update_batch(&refs)?;
-        Ok(clusterer.points_seen())
-    }
-
-    /// Answers a clustering query on the requested read path.
-    ///
-    /// [`Freshness::Strict`] drains in-flight ingestion under the backend
-    /// mutex, recomputes, republishes and returns the new epoch — exactly
-    /// the pre-freshness behaviour (bit-identical at a fixed seed).
-    /// [`Freshness::Cached`] returns the last published epoch without
-    /// taking the mutex; when nothing has been published yet it falls back
-    /// to one strict query to seed the slot.
-    ///
-    /// # Errors
-    /// Returns [`ClusteringError::EmptyInput`] before the first point.
-    pub fn query(&self, freshness: Freshness) -> Result<Arc<PublishedClustering>> {
-        if freshness == Freshness::Cached {
-            if let Some(published) = self.slot.load() {
-                return Ok(published);
-            }
-        }
-        let mut guard = self.lock();
-        match &mut *guard {
-            // The sharded stream publishes from inside its own query (its
-            // slot is this engine's slot).
-            Backend::ShardedCc(s) => s.query_published(),
-            other => {
-                let result = other.clusterer().query_clustering()?;
-                Ok(self.slot.publish(result))
-            }
-        }
-    }
-
-    /// The currently published answer, if any (never takes the backend
-    /// mutex).
-    #[must_use]
-    pub fn published(&self) -> Option<Arc<PublishedClustering>> {
-        self.slot.load()
-    }
-
-    /// Epoch of the currently published answer (0 before the first strict
-    /// query).
-    #[must_use]
-    pub fn epoch(&self) -> u64 {
-        self.slot.epoch()
-    }
-
-    /// Aggregated ingestion statistics.
-    ///
-    /// [`Freshness::Strict`] flushes the coordinator buffers and collects
-    /// exact per-shard counts under the backend mutex.
-    /// [`Freshness::Cached`] answers from the published snapshot without
-    /// the mutex: `points_seen` and `last_query` are as of the published
-    /// epoch, and `per_shard_points` is empty (per-shard counts require a
-    /// drain). Falls back to strict when nothing has been published yet.
-    ///
-    /// # Errors
-    /// Fails when a shard worker is gone (strict path only).
-    pub fn stats(&self, freshness: Freshness) -> Result<StreamStats> {
-        if freshness == Freshness::Cached {
-            if let Some(published) = self.slot.load() {
-                return Ok(StreamStats {
-                    points_seen: published.points_seen,
-                    shards: self.shards,
-                    per_shard_points: Vec::new(),
-                    last_query: Some(published.stats),
-                });
-            }
-        }
-        self.lock().stats()
-    }
-
-    /// Total points ingested so far.
-    #[must_use]
-    pub fn points_seen(&self) -> u64 {
-        self.lock().clusterer().points_seen()
-    }
-
-    /// Points held by the backend's internal structures (paper accounting).
-    #[must_use]
-    pub fn memory_points(&self) -> usize {
-        self.lock().clusterer().memory_points()
-    }
-
-    /// Serializes the full engine state into the versioned JSON envelope.
-    ///
-    /// # Errors
-    /// Fails when a shard has latched an error.
-    pub fn snapshot_json(&self) -> Result<String> {
-        let mut guard = self.lock();
+    /// Serializes this tenant into the versioned JSON envelope. Caller
+    /// holds the backend guard, so state and published answer are written
+    /// from one consistent lock hold.
+    fn snapshot_string(&self, backend: &mut Backend) -> Result<String> {
         let file = SnapshotFile {
             snapshot_version: SNAPSHOT_VERSION,
-            backend: guard.kind().tag().to_string(),
+            namespace: self.namespace.clone(),
+            backend: backend.kind().tag().to_string(),
             published: self.slot.load().map(|p| p.as_ref().clone()),
-            state: guard.state_value()?,
+            state: backend.state_value()?,
         };
         serde_json::to_string(&file).map_err(|e| ClusteringError::InvalidParameter {
             name: "snapshot",
@@ -440,14 +393,10 @@ impl Engine {
         })
     }
 
-    /// Cold-starts an engine from a snapshot produced by
-    /// [`Engine::snapshot_json`]. Continuing the restored engine is
-    /// bit-identical to continuing the engine the snapshot was taken from.
-    ///
-    /// # Errors
-    /// Returns [`ClusteringError::InvalidParameter`] for unparseable
-    /// snapshots, unknown backends or unsupported versions.
-    pub fn from_snapshot_json(text: &str) -> Result<Self> {
+    /// Rebuilds a tenant from a snapshot envelope. `expected_namespace`
+    /// pins the envelope to the tenant an eviction file is named after; a
+    /// mismatch means the file was renamed or tampered with.
+    fn from_snapshot_text(text: &str, expected_namespace: Option<&str>) -> Result<Self> {
         let invalid = |message: String| ClusteringError::InvalidParameter {
             name: "snapshot",
             message,
@@ -459,9 +408,18 @@ impl Engine {
                 file.snapshot_version
             )));
         }
+        validate_namespace(&file.namespace).map_err(invalid)?;
+        if let Some(expected) = expected_namespace {
+            if file.namespace != expected {
+                return Err(invalid(format!(
+                    "snapshot belongs to tenant `{}`, expected `{expected}`",
+                    file.namespace
+                )));
+            }
+        }
         let kind = BackendKind::parse(&file.backend)
             .ok_or_else(|| invalid(format!("unknown backend `{}`", file.backend)))?;
-        let engine = assemble(Backend::from_state(kind, &file.state)?);
+        let tenant = Tenant::assemble(&file.namespace, Backend::from_state(kind, &file.state)?);
         // The sharded backend's state carries its own copy of the published
         // answer (in-process `ShardedStream` restores need it) and has
         // already seeded the slot with it. Both copies were written from
@@ -469,16 +427,535 @@ impl Engine {
         // snapshot was tampered with or corrupted — reject it instead of
         // silently letting one copy win.
         if kind == BackendKind::ShardedCc
-            && engine.slot.load().map(|p| p.as_ref().clone()) != file.published
+            && tenant.slot.load().map(|p| p.as_ref().clone()) != file.published
         {
             return Err(invalid(
                 "published answer in the envelope disagrees with the backend state".to_string(),
             ));
         }
         // Republish the snapshot-time answer so cached reads on the
-        // restored engine resume at the saved epoch.
-        engine.slot.restore(file.published);
-        Ok(engine)
+        // restored tenant resume at the saved epoch.
+        tenant.slot.restore(file.published);
+        Ok(tenant)
+    }
+}
+
+/// The thread-safe serving facade over the tenant map.
+///
+/// All methods take `&self`; connection handler threads share the engine
+/// through an `Arc`. Writes (and strict reads) serialize on the target
+/// tenant's mutex only — tenants never contend with each other — and
+/// cached reads go through the tenant's publish slot without any lock.
+/// Lock order is strictly map → tenant; no path acquires the map lock
+/// while holding a tenant's backend mutex.
+#[derive(Debug)]
+pub struct Engine {
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    /// Spec used for every lazily created tenant (and the eagerly created
+    /// default tenant).
+    default_spec: EngineSpec,
+    /// Cap on resident tenants (≥ 1).
+    max_resident: usize,
+    /// Where evicted tenants are paged out to; `None` makes the cap a hard
+    /// limit.
+    evict_dir: Option<PathBuf>,
+    /// Monotone logical clock stamping tenant touches for LRU.
+    clock: AtomicU64,
+}
+
+impl Engine {
+    /// Builds an engine from a spec with the default resident cap and no
+    /// eviction directory. The [`DEFAULT_NAMESPACE`] tenant is created
+    /// eagerly, so spec validation errors surface here rather than on the
+    /// first request.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn new(spec: &EngineSpec) -> Result<Self> {
+        Self::with_options(spec, DEFAULT_MAX_RESIDENT, None)
+    }
+
+    /// Builds an engine with an explicit resident-tenant cap and an
+    /// optional eviction directory. A `max_resident` of 0 is treated as 1
+    /// (the default tenant always exists).
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn with_options(
+        spec: &EngineSpec,
+        max_resident: usize,
+        evict_dir: Option<PathBuf>,
+    ) -> Result<Self> {
+        let default_tenant = Tenant::create(DEFAULT_NAMESPACE, spec)?;
+        let mut map = HashMap::new();
+        map.insert(DEFAULT_NAMESPACE.to_string(), Arc::new(default_tenant));
+        Ok(Engine {
+            tenants: RwLock::new(map),
+            default_spec: *spec,
+            max_resident: max_resident.max(1),
+            evict_dir,
+            clock: AtomicU64::new(1),
+        })
+    }
+
+    /// Replaces the resident cap and eviction directory (builder-style, for
+    /// engines cold-started via [`Engine::from_snapshot_json`]).
+    #[must_use]
+    pub fn with_eviction(mut self, max_resident: usize, evict_dir: Option<PathBuf>) -> Self {
+        self.max_resident = max_resident.max(1);
+        self.evict_dir = evict_dir;
+        self
+    }
+
+    /// The spec lazily created tenants are built from.
+    #[must_use]
+    pub fn default_spec(&self) -> &EngineSpec {
+        &self.default_spec
+    }
+
+    /// The resident-tenant cap.
+    #[must_use]
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Namespaces of the currently resident tenants, in no particular
+    /// order.
+    #[must_use]
+    pub fn resident_tenants(&self) -> Vec<String> {
+        self.read_map().keys().cloned().collect()
+    }
+
+    fn read_map(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Tenant>>> {
+        self.tenants.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_map(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Tenant>>> {
+        self.tenants.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn touch(&self, tenant: &Tenant) {
+        tenant.last_touch.store(
+            self.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    fn bad_namespace(message: String) -> ClusteringError {
+        ClusteringError::InvalidParameter {
+            name: "namespace",
+            message,
+        }
+    }
+
+    fn evict_path(&self, namespace: &str) -> Option<PathBuf> {
+        self.evict_dir
+            .as_ref()
+            .map(|d| d.join(evict_file_name(namespace)))
+    }
+
+    /// Evicts least-recently-touched tenants until a new one fits under
+    /// the cap. Caller holds the map write lock.
+    fn make_room(&self, map: &mut HashMap<String, Arc<Tenant>>) -> Result<()> {
+        while map.len() >= self.max_resident {
+            let victim = map
+                .values()
+                .min_by_key(|t| t.last_touch.load(Ordering::Relaxed))
+                .cloned()
+                .expect("cap >= 1 and len >= cap, so the map is non-empty");
+            let Some(path) = self.evict_path(&victim.namespace) else {
+                return Err(ClusteringError::InvalidParameter {
+                    name: "tenant_limit",
+                    message: format!(
+                        "resident tenant cap {} reached and no eviction directory is configured",
+                        self.max_resident
+                    ),
+                });
+            };
+            let write_err = |e: std::io::Error| ClusteringError::InvalidParameter {
+                name: "snapshot",
+                message: format!("evicting tenant `{}`: {e}", victim.namespace),
+            };
+            // Snapshot and flag under the victim's backend lock: every
+            // operation that raced us either completed before the
+            // snapshot (and is in it) or will observe `evicted` and
+            // retry through the map (and the restore).
+            let mut guard = victim.lock();
+            let json = victim.snapshot_string(&mut guard)?;
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).map_err(write_err)?;
+            }
+            std::fs::write(&path, json).map_err(write_err)?;
+            victim.evicted.store(true, Ordering::Release);
+            drop(guard);
+            map.remove(&victim.namespace);
+        }
+        Ok(())
+    }
+
+    /// Fetches (lazily creating or restoring) the tenant for `namespace`
+    /// and stamps its LRU touch.
+    fn tenant(&self, namespace: &str) -> Result<Arc<Tenant>> {
+        validate_namespace(namespace).map_err(Self::bad_namespace)?;
+        {
+            let map = self.read_map();
+            if let Some(tenant) = map.get(namespace) {
+                self.touch(tenant);
+                return Ok(Arc::clone(tenant));
+            }
+        }
+        let mut map = self.write_map();
+        // Double-check: another thread may have created it between locks.
+        if let Some(tenant) = map.get(namespace) {
+            self.touch(tenant);
+            return Ok(Arc::clone(tenant));
+        }
+        self.make_room(&mut map)?;
+        let evicted_file = self.evict_path(namespace).filter(|p| p.exists());
+        let tenant = match &evicted_file {
+            Some(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    ClusteringError::InvalidParameter {
+                        name: "snapshot",
+                        message: format!("restoring tenant `{namespace}`: {e}"),
+                    }
+                })?;
+                Tenant::from_snapshot_text(&text, Some(namespace))?
+            }
+            None => Tenant::create(namespace, &self.default_spec)?,
+        };
+        let tenant = Arc::new(tenant);
+        self.touch(&tenant);
+        map.insert(namespace.to_string(), Arc::clone(&tenant));
+        // The tenant is resident again; drop the page-out file so disk and
+        // map never disagree about where the live state is.
+        if let Some(path) = evicted_file {
+            std::fs::remove_file(path).ok();
+        }
+        Ok(tenant)
+    }
+
+    /// Runs `f` under the tenant's backend lock, retrying through the map
+    /// if the tenant was evicted between the map lookup and the lock
+    /// acquisition (the retry restores it from disk).
+    fn with_backend<T>(
+        &self,
+        namespace: &str,
+        mut f: impl FnMut(&mut Backend, &Tenant) -> Result<T>,
+    ) -> Result<T> {
+        loop {
+            let tenant = self.tenant(namespace)?;
+            let mut guard = tenant.lock();
+            if tenant.evicted.load(Ordering::Acquire) {
+                drop(guard);
+                continue;
+            }
+            return f(&mut guard, &tenant);
+        }
+    }
+
+    /// Creates `namespace` with an explicit spec instead of the engine
+    /// default. Only valid before the tenant exists: reconfiguring a live
+    /// (or paged-out) stream would invalidate its state.
+    ///
+    /// # Errors
+    /// `tenant_exists` when the tenant is resident or evicted to disk;
+    /// `tenant_limit` when the cap is full and no eviction directory is
+    /// configured; otherwise spec validation errors.
+    pub fn configure(&self, namespace: &str, spec: &EngineSpec) -> Result<(BackendKind, usize)> {
+        validate_namespace(namespace).map_err(Self::bad_namespace)?;
+        let exists = |namespace: &str| ClusteringError::InvalidParameter {
+            name: "tenant_exists",
+            message: format!("tenant `{namespace}` already exists"),
+        };
+        let mut map = self.write_map();
+        if map.contains_key(namespace) {
+            return Err(exists(namespace));
+        }
+        if self.evict_path(namespace).is_some_and(|p| p.exists()) {
+            return Err(exists(namespace));
+        }
+        self.make_room(&mut map)?;
+        let tenant = Arc::new(Tenant::create(namespace, spec)?);
+        self.touch(&tenant);
+        let shards = tenant.shards;
+        map.insert(namespace.to_string(), tenant);
+        Ok((spec.kind, shards))
+    }
+
+    /// Which backend lazily created tenants run (and, for an engine built
+    /// from [`Engine::new`], the default tenant too).
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        self.default_spec.kind
+    }
+
+    /// Ingests one point into a tenant; returns its total points seen
+    /// afterwards.
+    ///
+    /// # Errors
+    /// Returns validation errors (dimension mismatch, non-finite
+    /// coordinates, empty point, bad namespace); the tenant state is
+    /// unchanged on error.
+    pub fn ingest_in(&self, namespace: &str, point: &[f64]) -> Result<u64> {
+        self.with_backend(namespace, |backend, _| {
+            let clusterer = backend.clusterer();
+            clusterer.update(point)?;
+            Ok(clusterer.points_seen())
+        })
+    }
+
+    /// Ingests a batch of points atomically into a tenant: the whole batch
+    /// is validated against the stream dimension before any point is
+    /// consumed, so a rejected batch leaves the tenant untouched.
+    ///
+    /// # Errors
+    /// Returns the first validation failure (with the offending in-batch
+    /// index for non-finite coordinates).
+    pub fn ingest_batch_in(&self, namespace: &str, points: &[Vec<f64>]) -> Result<u64> {
+        let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+        self.with_backend(namespace, |backend, _| {
+            let clusterer = backend.clusterer();
+            // Pre-validate the whole batch so even backends whose
+            // `update_batch` is a per-point loop (the sharded coordinator)
+            // reject atomically at the serving layer.
+            let mut dim = clusterer.dim();
+            for (index, point) in refs.iter().enumerate() {
+                if point.is_empty() {
+                    return Err(ClusteringError::InvalidParameter {
+                        name: "point",
+                        message: "points must have at least one dimension".to_string(),
+                    });
+                }
+                if let Some(d) = dim {
+                    if d != point.len() {
+                        return Err(ClusteringError::DimensionMismatch {
+                            expected: d,
+                            got: point.len(),
+                        });
+                    }
+                }
+                if point.iter().any(|x| !x.is_finite()) {
+                    return Err(ClusteringError::NonFiniteCoordinate { index });
+                }
+                dim = Some(point.len());
+            }
+            clusterer.update_batch(&refs)?;
+            Ok(clusterer.points_seen())
+        })
+    }
+
+    /// Answers a clustering query on the requested read path for one
+    /// tenant.
+    ///
+    /// [`Freshness::Strict`] drains in-flight ingestion under the tenant's
+    /// mutex, recomputes, republishes and returns the new epoch — exactly
+    /// the pre-freshness behaviour (bit-identical at a fixed seed).
+    /// [`Freshness::Cached`] returns the last published epoch without
+    /// taking the mutex; when nothing has been published yet it falls back
+    /// to one strict query to seed the slot. Touching an evicted tenant
+    /// (either path) transparently restores it first.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] before the tenant's first
+    /// point.
+    pub fn query_in(
+        &self,
+        namespace: &str,
+        freshness: Freshness,
+    ) -> Result<Arc<PublishedClustering>> {
+        if freshness == Freshness::Cached {
+            let tenant = self.tenant(namespace)?;
+            if let Some(published) = tenant.slot.load() {
+                return Ok(published);
+            }
+        }
+        self.with_backend(namespace, |backend, tenant| match backend {
+            // The sharded stream publishes from inside its own query (its
+            // slot is this tenant's slot).
+            Backend::ShardedCc(s) => s.query_published(),
+            other => {
+                let result = other.clusterer().query_clustering()?;
+                Ok(tenant.slot.publish(result))
+            }
+        })
+    }
+
+    /// The tenant's currently published answer, if any (never takes the
+    /// backend mutex, but restores the tenant if it was evicted).
+    ///
+    /// # Errors
+    /// Returns namespace-validation or restore failures.
+    pub fn published_in(&self, namespace: &str) -> Result<Option<Arc<PublishedClustering>>> {
+        Ok(self.tenant(namespace)?.slot.load())
+    }
+
+    /// Epoch of the tenant's currently published answer (0 before its
+    /// first strict query).
+    ///
+    /// # Errors
+    /// Returns namespace-validation or restore failures.
+    pub fn epoch_in(&self, namespace: &str) -> Result<u64> {
+        Ok(self.tenant(namespace)?.slot.epoch())
+    }
+
+    /// Aggregated ingestion statistics for one tenant.
+    ///
+    /// [`Freshness::Strict`] flushes the coordinator buffers and collects
+    /// exact per-shard counts under the tenant's mutex.
+    /// [`Freshness::Cached`] answers from the published snapshot without
+    /// the mutex: `points_seen` and `last_query` are as of the published
+    /// epoch, and `per_shard_points` is empty (per-shard counts require a
+    /// drain). Falls back to strict when nothing has been published yet.
+    ///
+    /// # Errors
+    /// Fails when a shard worker is gone (strict path only).
+    pub fn stats_in(&self, namespace: &str, freshness: Freshness) -> Result<StreamStats> {
+        if freshness == Freshness::Cached {
+            let tenant = self.tenant(namespace)?;
+            if let Some(published) = tenant.slot.load() {
+                return Ok(StreamStats {
+                    points_seen: published.points_seen,
+                    shards: tenant.shards,
+                    per_shard_points: Vec::new(),
+                    last_query: Some(published.stats),
+                });
+            }
+        }
+        self.with_backend(namespace, |backend, _| backend.stats())
+    }
+
+    /// Total points one tenant has ingested so far.
+    ///
+    /// # Errors
+    /// Returns namespace-validation or restore failures.
+    pub fn points_seen_in(&self, namespace: &str) -> Result<u64> {
+        self.with_backend(namespace, |backend, _| {
+            Ok(backend.clusterer().points_seen())
+        })
+    }
+
+    /// Points held by one tenant's internal structures (paper accounting).
+    ///
+    /// # Errors
+    /// Returns namespace-validation or restore failures.
+    pub fn memory_points_in(&self, namespace: &str) -> Result<usize> {
+        self.with_backend(namespace, |backend, _| {
+            Ok(backend.clusterer().memory_points())
+        })
+    }
+
+    /// Serializes one tenant's full state into the versioned JSON
+    /// envelope.
+    ///
+    /// # Errors
+    /// Fails when a shard has latched an error.
+    pub fn snapshot_json_in(&self, namespace: &str) -> Result<String> {
+        self.with_backend(namespace, |backend, tenant| tenant.snapshot_string(backend))
+    }
+
+    /// Ingests one point into the default tenant ([`Engine::ingest_in`]).
+    ///
+    /// # Errors
+    /// See [`Engine::ingest_in`].
+    pub fn ingest(&self, point: &[f64]) -> Result<u64> {
+        self.ingest_in(DEFAULT_NAMESPACE, point)
+    }
+
+    /// Batch-ingests into the default tenant
+    /// ([`Engine::ingest_batch_in`]).
+    ///
+    /// # Errors
+    /// See [`Engine::ingest_batch_in`].
+    pub fn ingest_batch(&self, points: &[Vec<f64>]) -> Result<u64> {
+        self.ingest_batch_in(DEFAULT_NAMESPACE, points)
+    }
+
+    /// Queries the default tenant ([`Engine::query_in`]).
+    ///
+    /// # Errors
+    /// See [`Engine::query_in`].
+    pub fn query(&self, freshness: Freshness) -> Result<Arc<PublishedClustering>> {
+        self.query_in(DEFAULT_NAMESPACE, freshness)
+    }
+
+    /// The default tenant's published answer, if any.
+    #[must_use]
+    pub fn published(&self) -> Option<Arc<PublishedClustering>> {
+        self.published_in(DEFAULT_NAMESPACE).ok().flatten()
+    }
+
+    /// The default tenant's publish epoch (0 before the first strict
+    /// query).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch_in(DEFAULT_NAMESPACE).unwrap_or(0)
+    }
+
+    /// Stats for the default tenant ([`Engine::stats_in`]).
+    ///
+    /// # Errors
+    /// See [`Engine::stats_in`].
+    pub fn stats(&self, freshness: Freshness) -> Result<StreamStats> {
+        self.stats_in(DEFAULT_NAMESPACE, freshness)
+    }
+
+    /// Total points the default tenant has ingested so far.
+    #[must_use]
+    pub fn points_seen(&self) -> u64 {
+        self.points_seen_in(DEFAULT_NAMESPACE).unwrap_or(0)
+    }
+
+    /// Points held in memory across **all** resident tenants (paper
+    /// accounting; evicted tenants cost disk, not RAM).
+    #[must_use]
+    pub fn memory_points(&self) -> usize {
+        let tenants: Vec<Arc<Tenant>> = self.read_map().values().cloned().collect();
+        tenants
+            .iter()
+            .map(|t| t.lock().clusterer().memory_points())
+            .sum()
+    }
+
+    /// Serializes the default tenant into the versioned JSON envelope
+    /// ([`Engine::snapshot_json_in`]).
+    ///
+    /// # Errors
+    /// See [`Engine::snapshot_json_in`].
+    pub fn snapshot_json(&self) -> Result<String> {
+        self.snapshot_json_in(DEFAULT_NAMESPACE)
+    }
+
+    /// Cold-starts an engine from a snapshot produced by
+    /// [`Engine::snapshot_json`] / [`Engine::snapshot_json_in`]. The
+    /// restored tenant keeps the namespace recorded in the envelope;
+    /// continuing it is bit-identical to continuing the engine the
+    /// snapshot was taken from. Tenants created lazily afterwards inherit
+    /// the restored backend's shape (see [`DERIVED_SEED`]).
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::InvalidParameter`] for unparseable
+    /// snapshots, unknown backends or unsupported versions.
+    pub fn from_snapshot_json(text: &str) -> Result<Self> {
+        let tenant = Tenant::from_snapshot_text(text, None)?;
+        let default_spec = tenant.lock().derived_spec();
+        let mut map = HashMap::new();
+        map.insert(tenant.namespace.clone(), Arc::new(tenant));
+        Ok(Engine {
+            tenants: RwLock::new(map),
+            default_spec,
+            max_resident: DEFAULT_MAX_RESIDENT,
+            evict_dir: None,
+            clock: AtomicU64::new(1),
+        })
+    }
+
+    /// Whether a tenant currently lives on disk (paged out) rather than
+    /// in memory. Diagnostic; the answer can change concurrently.
+    #[must_use]
+    pub fn is_evicted_to_disk(&self, namespace: &str) -> bool {
+        !self.read_map().contains_key(namespace)
+            && self.evict_path(namespace).is_some_and(|p| p.exists())
     }
 }
 
@@ -505,6 +982,25 @@ mod tests {
             let x = if i % 2 == 0 { 0.0 } else { 60.0 };
             engine.ingest(&[x + offset, (i % 5) as f64 * 0.1]).unwrap();
         }
+    }
+
+    fn feed_in(engine: &Engine, namespace: &str, n: usize, offset: f64) {
+        for i in 0..n {
+            let x = if i % 2 == 0 { 0.0 } else { 60.0 };
+            engine
+                .ingest_in(namespace, &[x + offset, (i % 5) as f64 * 0.1])
+                .unwrap();
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "skm-engine-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -587,14 +1083,15 @@ mod tests {
 
     #[test]
     fn a_panicked_handler_does_not_poison_the_engine() {
-        // Regression: a handler thread panicking while holding the backend
-        // lock used to poison it, after which every request on every
-        // connection failed until restart. The engine now recovers.
+        // Regression: a handler thread panicking while holding a tenant's
+        // backend lock used to poison it, after which every request on
+        // every connection failed until restart. The engine now recovers.
         let engine = Arc::new(Engine::new(&spec(BackendKind::Cc)).unwrap());
         feed(&engine, 50, 0.0);
         let clone = Arc::clone(&engine);
         let panicked = std::thread::spawn(move || {
-            let _guard = clone.lock();
+            let tenant = clone.tenant(DEFAULT_NAMESPACE).unwrap();
+            let _guard = tenant.backend.lock().unwrap();
             panic!("handler bug while holding the engine lock");
         })
         .join();
@@ -730,14 +1227,19 @@ mod tests {
         let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
         feed(&engine, 30, 0.0);
         let json = engine.snapshot_json().unwrap();
-        assert!(json.contains("\"snapshot_version\":2"));
+        assert!(json.contains("\"snapshot_version\":3"));
+        assert!(json.contains("\"namespace\":\"default\""));
         assert!(json.contains("\"backend\":\"cc\""));
 
         assert!(Engine::from_snapshot_json("not json").is_err());
-        let wrong_version = json.replace("\"snapshot_version\":2", "\"snapshot_version\":99");
+        let wrong_version = json.replace("\"snapshot_version\":3", "\"snapshot_version\":99");
         assert!(Engine::from_snapshot_json(&wrong_version).is_err());
         let wrong_backend = json.replace("\"backend\":\"cc\"", "\"backend\":\"nope\"");
         assert!(Engine::from_snapshot_json(&wrong_backend).is_err());
+        // A namespace that could escape the snapshot directory must never
+        // come back from disk either.
+        let escaping = json.replace("\"namespace\":\"default\"", "\"namespace\":\"../x\"");
+        assert!(Engine::from_snapshot_json(&escaping).is_err());
     }
 
     #[test]
@@ -771,5 +1273,190 @@ mod tests {
         }
         assert_eq!(BackendKind::parse("SHARDED"), Some(BackendKind::ShardedCc));
         assert_eq!(BackendKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn namespaces_are_isolated_streams() {
+        let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        feed_in(&engine, "a", 100, 0.0);
+        feed_in(&engine, "b", 40, 10.0);
+        feed(&engine, 10, 0.0);
+        assert_eq!(engine.points_seen_in("a").unwrap(), 100);
+        assert_eq!(engine.points_seen_in("b").unwrap(), 40);
+        assert_eq!(engine.points_seen(), 10);
+
+        let a = engine.query_in("a", Freshness::Strict).unwrap();
+        let b = engine.query_in("b", Freshness::Strict).unwrap();
+        assert_eq!(a.points_seen, 100);
+        assert_eq!(b.points_seen, 40);
+        // Epochs are per tenant, not global.
+        assert_eq!(a.epoch, 1);
+        assert_eq!(b.epoch, 1);
+        assert_eq!(engine.epoch(), 0);
+
+        // A tenant that was never touched does not exist until touched.
+        let mut resident = engine.resident_tenants();
+        resident.sort();
+        assert_eq!(resident, vec!["a", "b", "default"]);
+    }
+
+    #[test]
+    fn bad_namespaces_are_rejected_before_touching_anything() {
+        let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        for bad in ["", ".", "..", "a/b", "a\\b"] {
+            let err = engine.ingest_in(bad, &[1.0, 2.0]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ClusteringError::InvalidParameter {
+                        name: "namespace",
+                        ..
+                    }
+                ),
+                "{bad:?}: {err:?}"
+            );
+        }
+        assert_eq!(engine.resident_tenants().len(), 1);
+    }
+
+    #[test]
+    fn lru_tenant_is_evicted_and_transparently_restored() {
+        let dir = temp_dir("lru");
+        let engine = Engine::with_options(&spec(BackendKind::Cc), 2, Some(dir.clone())).unwrap();
+        feed_in(&engine, "a", 60, 0.0);
+        engine.query_in("a", Freshness::Strict).unwrap();
+        // Touch default so `a` is the LRU when `b` arrives.
+        let _ = engine.points_seen();
+        feed_in(&engine, "b", 20, 0.0);
+
+        assert!(engine.is_evicted_to_disk("a"), "a should be paged out");
+        assert!(dir.join(evict_file_name("a")).exists());
+
+        // Touching `a` restores it (and pages out the new LRU).
+        assert_eq!(engine.points_seen_in("a").unwrap(), 60);
+        assert!(!dir.join(evict_file_name("a")).exists());
+        // Epoch continuity across the round trip.
+        assert_eq!(engine.epoch_in("a").unwrap(), 1);
+        assert_eq!(engine.resident_tenants().len(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evict_restore_continue_is_bit_identical() {
+        let dir = temp_dir("bitident");
+        // Twin A lives in an engine with an aggressive cap; twin B is
+        // never evicted. Identical feeds must give identical answers.
+        let evicting = Engine::with_options(&spec(BackendKind::Cc), 1, Some(dir.clone())).unwrap();
+        let reference = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        feed_in(&evicting, "t", 100, 0.0);
+        feed_in(&reference, "t", 100, 0.0);
+        let a = evicting.query_in("t", Freshness::Strict).unwrap();
+        let b = reference.query_in("t", Freshness::Strict).unwrap();
+        assert_eq!(a.centers, b.centers);
+
+        // Force `t` out by touching another tenant (cap is 1).
+        feed_in(&evicting, "other", 10, 5.0);
+        assert!(evicting.is_evicted_to_disk("t"));
+
+        // Continue both twins; the restored one must not diverge.
+        feed_in(&evicting, "t", 100, 0.5);
+        feed_in(&reference, "t", 100, 0.5);
+        let a = evicting.query_in("t", Freshness::Strict).unwrap();
+        let b = reference.query_in("t", Freshness::Strict).unwrap();
+        assert_eq!(a.centers, b.centers, "evict→restore→continue diverged");
+        assert_eq!(a.epoch, b.epoch, "epoch sequence diverged");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tenant_cap_without_eviction_dir_is_a_hard_limit() {
+        let engine = Engine::with_options(&spec(BackendKind::Cc), 2, None).unwrap();
+        feed_in(&engine, "a", 10, 0.0);
+        let err = engine.ingest_in("b", &[1.0, 2.0]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClusteringError::InvalidParameter {
+                    name: "tenant_limit",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Existing tenants keep working at the cap.
+        engine.ingest_in("a", &[1.0, 2.0]).unwrap();
+        engine.ingest(&[1.0, 2.0]).unwrap();
+    }
+
+    #[test]
+    fn configure_creates_and_refuses_duplicates() {
+        let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        let custom = EngineSpec {
+            stream: StreamConfig::new(3)
+                .with_bucket_size(30)
+                .with_kmeans_runs(1)
+                .with_lloyd_iterations(2),
+            ..spec(BackendKind::Cc)
+        };
+        let (kind, shards) = engine.configure("big", &custom).unwrap();
+        assert_eq!(kind, BackendKind::Cc);
+        assert_eq!(shards, 1);
+        feed_in(&engine, "big", 200, 0.0);
+        let q = engine.query_in("big", Freshness::Strict).unwrap();
+        assert_eq!(q.centers.len(), 3, "configured k must win");
+
+        // Resident duplicate (including the eagerly created default).
+        for dup in ["big", DEFAULT_NAMESPACE] {
+            let err = engine.configure(dup, &custom).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ClusteringError::InvalidParameter {
+                        name: "tenant_exists",
+                        ..
+                    }
+                ),
+                "{dup}: {err:?}"
+            );
+        }
+        // An evicted (on-disk) tenant is also a duplicate.
+        let dir = temp_dir("cfgdup");
+        let capped = Engine::with_options(&spec(BackendKind::Cc), 1, Some(dir.clone())).unwrap();
+        feed_in(&capped, "t", 10, 0.0);
+        let _ = capped.points_seen(); // make default the MRU
+        assert!(capped.is_evicted_to_disk("t"));
+        let err = capped.configure("t", &custom).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClusteringError::InvalidParameter {
+                    name: "tenant_exists",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evicted_sharded_tenant_round_trips_with_epoch() {
+        let dir = temp_dir("sharded-evict");
+        let engine =
+            Engine::with_options(&spec(BackendKind::ShardedCc), 1, Some(dir.clone())).unwrap();
+        feed_in(&engine, "s", 120, 0.0);
+        let before = engine.query_in("s", Freshness::Strict).unwrap();
+        feed_in(&engine, "other", 8, 0.0); // evicts `s`
+        assert!(engine.is_evicted_to_disk("s"));
+
+        // Cached read on the restored tenant resumes at the saved epoch.
+        let cached = engine.query_in("s", Freshness::Cached).unwrap();
+        assert_eq!(cached.as_ref(), before.as_ref());
+        let strict = engine.query_in("s", Freshness::Strict).unwrap();
+        assert_eq!(strict.epoch, before.epoch + 1);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,21 +10,28 @@
 //!
 //! * [`protocol`] — the newline-delimited JSON wire protocol: typed
 //!   [`Request`]/[`Response`] enums, the [`protocol::Freshness`] knob
-//!   (strict vs cached reads), request limits, and the mapping from engine
-//!   errors to typed [`protocol::ErrorCode`]s. The normative spec lives in
-//!   `docs/PROTOCOL.md`.
-//! * [`engine`] — the [`Engine`] facade: one shared clusterer (sharded CC
-//!   by default; single-threaded CC/CT/RCC also available) behind a mutex
-//!   for writes and strict reads, an atomically swapped published snapshot
-//!   for cached reads, plus versioned JSON snapshot/restore of the complete
-//!   state (configuration, coreset tree levels, caches, partial buckets,
-//!   RNG positions, published epoch) with bit-identical continuation.
+//!   (strict vs cached reads), the optional per-request `namespace` field
+//!   (tenant selection; omitted means `"default"`), request limits, and
+//!   the mapping from engine errors to typed [`protocol::ErrorCode`]s.
+//!   The normative spec lives in `docs/PROTOCOL.md`.
+//! * [`engine`] — the [`Engine`] facade: a concurrent map of per-tenant
+//!   streams (sharded CC by default; single-threaded CC/CT/RCC also
+//!   available), each behind its own mutex for writes and strict reads
+//!   with an atomically swapped published snapshot for cached reads.
+//!   Tenants are created lazily (or via `Configure` with custom
+//!   settings), and an LRU policy pages idle tenants out to versioned
+//!   JSON snapshots on disk and restores them bit-identically on next
+//!   touch. The same envelope serves explicit snapshot/restore of the
+//!   complete state (configuration, coreset tree levels, caches, partial
+//!   buckets, RNG positions, published epoch).
 //! * [`server`] — the multi-threaded TCP [`Server`]: one handler thread per
 //!   connection, typed error responses for malformed lines, clean shutdown.
-//! * [`client`] — a small blocking [`Client`] for the protocol.
+//! * [`client`] — a small blocking [`Client`] for the protocol, optionally
+//!   pinned to a tenant namespace.
 //! * [`loadgen`] — the built-in load generator: N concurrent connections,
-//!   configurable ingest:query mix, per-request latency collection
-//!   (feeds the `BENCH_serving.json` workload in `skm-bench`).
+//!   configurable ingest:query mix, an optional Zipf-skewed multi-tenant
+//!   traffic mix, per-request latency collection (feeds the
+//!   `BENCH_serving.json` workload in `skm-bench`).
 //!
 //! ## Example
 //!
@@ -61,7 +68,7 @@ pub mod server;
 pub use client::Client;
 pub use engine::{BackendKind, Engine, EngineSpec, SnapshotFile, SNAPSHOT_VERSION};
 pub use loadgen::{run_load, LoadReport, LoadSpec};
-pub use protocol::{Freshness, Request, Response};
+pub use protocol::{Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE};
 pub use server::{Server, ServerHandle};
 
 /// Commonly used items, for glob import.
@@ -69,7 +76,9 @@ pub mod prelude {
     pub use crate::client::Client;
     pub use crate::engine::{BackendKind, Engine, EngineSpec};
     pub use crate::loadgen::{run_load, LoadReport, LoadSpec};
-    pub use crate::protocol::{ErrorCode, Freshness, Request, Response};
+    pub use crate::protocol::{
+        ErrorCode, Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE,
+    };
     pub use crate::server::{Server, ServerHandle};
     pub use skm_stream::{PublishedClustering, StreamConfig, StreamStats};
 }

@@ -1,13 +1,19 @@
 //! The built-in load generator: N concurrent connections driving a
-//! configurable ingest:query mix, with per-request latency collection.
+//! configurable ingest:query mix over one or many tenants, with
+//! per-request latency collection.
 //!
 //! The caller supplies the points (so it can later evaluate the returned
 //! centers against exactly the data that was served); the generator
 //! partitions them round-robin across connections, ships them in
 //! `IngestBatch` requests and interleaves `Query` requests at the
-//! configured rate. Latencies are whole request/response round trips as a
-//! client observes them — loopback RTT included, because that is what a
-//! remote caller experiences.
+//! configured rate. With `tenants > 1` each batch is addressed to a tenant
+//! (`t0` … `t{N-1}`) drawn from a Zipf(`zipf_s`) distribution — rank 1
+//! (`t0`) is the hottest, matching the skewed per-user traffic a
+//! multi-tenant server actually sees — and the draw is a deterministic
+//! hash of `(connection, batch index)`, so a run is reproducible without
+//! any shared RNG state across threads. Latencies are whole
+//! request/response round trips as a client observes them — loopback RTT
+//! included, because that is what a remote caller experiences.
 
 use crate::client::Client;
 use crate::protocol::{Freshness, Response};
@@ -31,6 +37,79 @@ pub struct LoadSpec {
     /// Read path of the interleaved queries (strict = recompute under the
     /// ingest lock, cached = last published epoch).
     pub freshness: Freshness,
+    /// Tenant streams to spread the load over. 0 or 1 sends every request
+    /// without a namespace — byte-for-byte the pre-tenancy behaviour.
+    pub tenants: usize,
+    /// Zipf skew exponent `s` of the tenant mix (`weight(rank) ∝
+    /// 1/rank^s`); 0.0 is uniform. Ignored when `tenants <= 1`.
+    pub zipf_s: f64,
+}
+
+impl LoadSpec {
+    /// A single-tenant spec (the pre-tenancy shape): fills the tenant
+    /// fields so call sites that don't care about tenancy stay terse.
+    #[must_use]
+    pub fn single_tenant(
+        addr: SocketAddr,
+        connections: usize,
+        batch: usize,
+        query_every: usize,
+        freshness: Freshness,
+    ) -> Self {
+        Self {
+            addr,
+            connections,
+            batch,
+            query_every,
+            freshness,
+            tenants: 1,
+            zipf_s: 0.0,
+        }
+    }
+}
+
+/// Cumulative distribution over tenant ranks `1..=n` with Zipf weights
+/// `1/rank^s`, normalized to end at 1.0.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|rank| (rank as f64).powf(-s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// SplitMix64: a deterministic, well-mixed hash of the (connection, batch
+/// index) pair, giving each batch an independent uniform draw in [0, 1)
+/// with no cross-thread RNG state.
+fn mix_to_unit(connection: u64, batch_index: u64) -> f64 {
+    let mut z = connection
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(batch_index)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 53 mantissa bits → uniform in [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Draws the tenant rank (0-based) for one batch from the precomputed CDF.
+fn pick_tenant(cdf: &[f64], connection: u64, batch_index: u64) -> usize {
+    let u = mix_to_unit(connection, batch_index);
+    cdf.iter()
+        .position(|&c| u < c)
+        .unwrap_or(cdf.len().saturating_sub(1))
+}
+
+/// The namespace the load generator uses for tenant rank `rank` (0-based).
+#[must_use]
+pub fn tenant_name(rank: usize) -> String {
+    format!("t{rank}")
 }
 
 /// Latencies and counters collected by [`run_load`], pooled across all
@@ -71,11 +150,22 @@ fn connection_share(points: &[Vec<f64>], connection: usize, connections: usize) 
         .collect()
 }
 
-fn drive_connection(spec: &LoadSpec, share: Vec<Vec<f64>>) -> io::Result<LoadReport> {
+fn drive_connection(
+    spec: &LoadSpec,
+    connection: usize,
+    share: Vec<Vec<f64>>,
+) -> io::Result<LoadReport> {
     let mut client = Client::connect(spec.addr)?;
     let mut report = LoadReport::default();
     let mut since_query = 0usize;
-    for chunk in share.chunks(spec.batch.max(1)) {
+    // `None` (tenants <= 1) keeps every request namespace-free: the exact
+    // pre-tenancy wire traffic.
+    let cdf = (spec.tenants > 1).then(|| zipf_cdf(spec.tenants, spec.zipf_s));
+    for (batch_index, chunk) in share.chunks(spec.batch.max(1)).enumerate() {
+        if let Some(cdf) = &cdf {
+            let rank = pick_tenant(cdf, connection as u64, batch_index as u64);
+            client.set_namespace(Some(tenant_name(rank)));
+        }
         let start = Instant::now();
         let response = client.ingest_batch(chunk.to_vec())?;
         report.ingest_ns.push(start.elapsed().as_nanos() as f64);
@@ -87,6 +177,9 @@ fn drive_connection(spec: &LoadSpec, share: Vec<Vec<f64>>) -> io::Result<LoadRep
         since_query += 1;
         if spec.query_every > 0 && since_query >= spec.query_every {
             since_query = 0;
+            // The query targets whichever tenant the last batch went to
+            // (the client keeps its namespace), mirroring a user querying
+            // the stream they just fed.
             run_query(&mut client, spec.freshness, &mut report)?;
         }
     }
@@ -128,7 +221,9 @@ pub fn run_load(spec: &LoadSpec, points: &[Vec<f64>]) -> io::Result<LoadReport> 
             connections,
             ..*spec
         };
-        threads.push(thread::spawn(move || drive_connection(&spec, share)));
+        threads.push(thread::spawn(move || {
+            drive_connection(&spec, connection, share)
+        }));
     }
     let mut report = LoadReport::default();
     for handle in threads {
@@ -154,6 +249,49 @@ mod tests {
         let mut all: Vec<f64> = shares.iter().flatten().map(|p| p[0]).collect();
         all.sort_by(f64::total_cmp);
         assert_eq!(all, (0..10).map(f64::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_skewed() {
+        let cdf = zipf_cdf(8, 1.1);
+        assert_eq!(cdf.len(), 8);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]), "CDF must be monotone");
+        assert!((cdf[7] - 1.0).abs() < 1e-12, "CDF must end at 1");
+        // Rank 1 dominates at s = 1.1.
+        assert!(cdf[0] > 0.3, "rank-1 mass {} too small", cdf[0]);
+
+        // s = 0 degenerates to uniform.
+        let uniform = zipf_cdf(4, 0.0);
+        assert!((uniform[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_picks_are_deterministic_and_skewed() {
+        let cdf = zipf_cdf(8, 1.1);
+        let mut counts = [0usize; 8];
+        for conn in 0..4u64 {
+            for batch in 0..250u64 {
+                let a = pick_tenant(&cdf, conn, batch);
+                let b = pick_tenant(&cdf, conn, batch);
+                assert_eq!(a, b, "picks must be reproducible");
+                counts[a] += 1;
+            }
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        assert!(
+            counts[0] > counts[7],
+            "rank 1 ({}) must outdraw rank 8 ({})",
+            counts[0],
+            counts[7]
+        );
+        // Every rank gets some traffic at this sample size.
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn tenant_names_are_stable() {
+        assert_eq!(tenant_name(0), "t0");
+        assert_eq!(tenant_name(7), "t7");
     }
 
     #[test]

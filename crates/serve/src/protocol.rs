@@ -8,22 +8,33 @@
 //! {"Ingest":{"point":[1.0,2.0]}}
 //! {"IngestBatch":{"points":[[1.0,2.0],[3.0,4.0]]}}
 //! {"Query":{}}
-//! {"Query":{"freshness":"cached"}}
+//! {"Query":{"freshness":"cached","namespace":"alice"}}
 //! {"Stats":{}}
+//! {"Configure":{"namespace":"alice","k":4,"backend":"cc"}}
 //! {"Snapshot":{"file":"state.json"}}
 //! {"Shutdown":{}}
 //! ```
 //!
 //! Responses mirror that shape (`Ingested`, `Centers`, `Stats`,
-//! `Snapshotted`, `Bye`, `Error`). A malformed or oversized line is answered
-//! with a typed [`Response::Error`] instead of dropping the connection, so a
-//! client bug never takes down its session, let alone the engine.
+//! `Configured`, `Snapshotted`, `Bye`, `Error`). A malformed or oversized
+//! line is answered with a typed [`Response::Error`] instead of dropping the
+//! connection, so a client bug never takes down its session, let alone the
+//! engine.
 //!
 //! `Query` and `Stats` accept an optional [`Freshness`] field selecting the
 //! read path: `"strict"` (the default, and the behaviour when the field is
 //! omitted — so pre-freshness clients keep working unchanged) drains
 //! in-flight ingestion and recomputes, `"cached"` answers from the last
 //! published epoch without taking the ingest lock.
+//!
+//! Every data request accepts an optional `namespace` field selecting the
+//! tenant stream it applies to. An omitted (or `null`) namespace means
+//! [`DEFAULT_NAMESPACE`] — byte-for-byte the pre-tenancy wire behaviour, so
+//! single-tenant clients keep working unchanged. Namespaces are validated
+//! with the same path-escaping rule as snapshot file names
+//! ([`validate_namespace`]); a failing namespace is answered with
+//! [`ErrorCode::BadNamespace`] before it can touch the engine (or name a
+//! file outside the snapshot directory on eviction).
 //!
 //! The normative wire specification — every variant, every error code, the
 //! request limits and one worked example per exchange — lives in
@@ -44,6 +55,50 @@ pub const MAX_BATCH_POINTS: usize = 4096;
 /// [`ErrorCode::LineTooLong`] and the connection is closed (there is no way
 /// to resynchronize mid-line).
 pub const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// The tenant a request without a `namespace` field applies to. Requests
+/// that spell it out explicitly are equivalent to omitting it.
+pub const DEFAULT_NAMESPACE: &str = "default";
+
+/// Maximum accepted namespace length in bytes (long names make poor file
+/// names, and eviction persists one file per tenant).
+pub const MAX_NAMESPACE_BYTES: usize = 128;
+
+/// Is `name` safe to use as a bare file name inside a server-owned
+/// directory? Shared by snapshot file names and tenant namespaces: no
+/// separators, no parent references, no NUL, non-empty.
+#[must_use]
+pub fn is_bare_name(name: &str) -> bool {
+    !name.is_empty()
+        && name != "."
+        && name != ".."
+        && !name.contains('/')
+        && !name.contains('\\')
+        && !name.contains('\0')
+}
+
+/// Validates a tenant namespace: the same path-escaping rule as snapshot
+/// file names ([`is_bare_name`]) plus a length cap, so a tenant id can
+/// never write outside the snapshot directory when it is evicted to disk.
+///
+/// # Errors
+/// Returns a human-readable description of the violated constraint (the
+/// server wraps it in [`ErrorCode::BadNamespace`]).
+pub fn validate_namespace(namespace: &str) -> std::result::Result<(), String> {
+    if !is_bare_name(namespace) {
+        return Err(format!(
+            "namespace `{namespace}` must be non-empty and must not contain \
+             path separators, NUL, or be `.`/`..`"
+        ));
+    }
+    if namespace.len() > MAX_NAMESPACE_BYTES {
+        return Err(format!(
+            "namespace of {} bytes exceeds the limit of {MAX_NAMESPACE_BYTES}",
+            namespace.len()
+        ));
+    }
+    Ok(())
+}
 
 /// Which read path a `Query` or `Stats` request takes.
 ///
@@ -106,13 +161,33 @@ impl serde::Deserialize for Freshness {
     }
 }
 
+/// Per-tenant engine settings carried by [`Request::Configure`]. Every
+/// field is optional; an omitted field keeps the server's default for that
+/// setting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantConfig {
+    /// Number of cluster centers `k` (derived settings such as the bucket
+    /// size follow the paper defaults for this `k`).
+    pub k: Option<usize>,
+    /// Backend tag: `sharded-cc` (default), `cc`, `ct` or `rcc`.
+    pub backend: Option<String>,
+    /// Shard worker count (sharded backend only).
+    pub shards: Option<usize>,
+    /// Points buffered per shard before a batch ships (sharded backend).
+    pub batch: Option<usize>,
+    /// Master RNG seed for this tenant.
+    pub seed: Option<u64>,
+}
+
 /// A client request (one JSON line).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Ingest a single point.
     Ingest {
         /// The point's coordinates; must match the stream dimension.
         point: Vec<f64>,
+        /// Tenant stream; `None` means [`DEFAULT_NAMESPACE`].
+        namespace: Option<String>,
     },
     /// Ingest a batch of points atomically: either every point is accepted
     /// or none is (the whole batch is validated before any point is fed to
@@ -121,32 +196,113 @@ pub enum Request {
         /// The points, all of the stream dimension, at most
         /// [`MAX_BATCH_POINTS`] of them.
         points: Vec<Vec<f64>>,
+        /// Tenant stream; `None` means [`DEFAULT_NAMESPACE`].
+        namespace: Option<String>,
     },
     /// Ask for the current k cluster centers.
     Query {
         /// Read path: strict (default) or cached.
         freshness: Freshness,
+        /// Tenant stream; `None` means [`DEFAULT_NAMESPACE`].
+        namespace: Option<String>,
     },
     /// Ask for ingestion statistics.
     Stats {
         /// Read path: strict (default) or cached.
         freshness: Freshness,
+        /// Tenant stream; `None` means [`DEFAULT_NAMESPACE`].
+        namespace: Option<String>,
     },
-    /// Persist the engine state to `file` inside the server's configured
-    /// snapshot directory.
+    /// Create a tenant with non-default settings. Only valid before the
+    /// tenant exists: a lazily created tenant (first touched by an ingest
+    /// or query) uses the server defaults, and reconfiguring a live stream
+    /// would invalidate its state, so configuring an existing tenant is
+    /// answered with [`ErrorCode::TenantExists`].
+    Configure {
+        /// Tenant to create; `None` means [`DEFAULT_NAMESPACE`].
+        namespace: Option<String>,
+        /// The settings to apply (each omitted field keeps the default).
+        config: TenantConfig,
+    },
+    /// Persist one tenant's engine state to `file` inside the server's
+    /// configured snapshot directory.
     Snapshot {
         /// Bare file name (no path separators) within the snapshot
         /// directory.
         file: String,
+        /// Tenant to snapshot; `None` means [`DEFAULT_NAMESPACE`].
+        namespace: Option<String>,
     },
     /// Stop the server: the connection is answered with [`Response::Bye`]
     /// and the accept loop shuts down cleanly.
     Shutdown {},
 }
 
+/// Hand-written serializer: optional fields (`namespace`, the `Configure`
+/// settings) are omitted when `None`, so a request that does not opt into
+/// tenancy is byte-for-byte the pre-tenancy wire shape.
+impl serde::Serialize for Request {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        fn variant(tag: &str, fields: Vec<(String, Value)>) -> Value {
+            Value::Map(vec![(tag.to_string(), Value::Map(fields))])
+        }
+        fn push_opt<T: Serialize>(fields: &mut Vec<(String, Value)>, key: &str, opt: &Option<T>) {
+            if let Some(v) = opt {
+                fields.push((key.to_string(), v.to_value()));
+            }
+        }
+        match self {
+            Request::Ingest { point, namespace } => {
+                let mut fields = vec![("point".to_string(), point.to_value())];
+                push_opt(&mut fields, "namespace", namespace);
+                variant("Ingest", fields)
+            }
+            Request::IngestBatch { points, namespace } => {
+                let mut fields = vec![("points".to_string(), points.to_value())];
+                push_opt(&mut fields, "namespace", namespace);
+                variant("IngestBatch", fields)
+            }
+            Request::Query {
+                freshness,
+                namespace,
+            } => {
+                let mut fields = vec![("freshness".to_string(), freshness.to_value())];
+                push_opt(&mut fields, "namespace", namespace);
+                variant("Query", fields)
+            }
+            Request::Stats {
+                freshness,
+                namespace,
+            } => {
+                let mut fields = vec![("freshness".to_string(), freshness.to_value())];
+                push_opt(&mut fields, "namespace", namespace);
+                variant("Stats", fields)
+            }
+            Request::Configure { namespace, config } => {
+                let mut fields = Vec::new();
+                push_opt(&mut fields, "namespace", namespace);
+                push_opt(&mut fields, "k", &config.k);
+                push_opt(&mut fields, "backend", &config.backend);
+                push_opt(&mut fields, "shards", &config.shards);
+                push_opt(&mut fields, "batch", &config.batch);
+                push_opt(&mut fields, "seed", &config.seed);
+                variant("Configure", fields)
+            }
+            Request::Snapshot { file, namespace } => {
+                let mut fields = vec![("file".to_string(), file.to_value())];
+                push_opt(&mut fields, "namespace", namespace);
+                variant("Snapshot", fields)
+            }
+            Request::Shutdown {} => variant("Shutdown", Vec::new()),
+        }
+    }
+}
+
 /// Hand-written deserializer (the vendored derive treats every field as
-/// required, but `freshness` must be optional so `{"Query":{}}` — the
-/// complete pre-freshness wire shape — keeps parsing as a strict query).
+/// required, but `freshness` and `namespace` must be optional so
+/// `{"Query":{}}` — the complete pre-freshness, pre-tenancy wire shape —
+/// keeps parsing as a strict default-namespace query).
 impl serde::Deserialize for Request {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         let entries = match value {
@@ -162,28 +318,50 @@ impl serde::Deserialize for Request {
                 )))
             }
         };
-        let freshness = |map: &[(String, serde::Value)]| -> Result<Freshness, serde::Error> {
-            match map.iter().find(|(k, _)| k == "freshness") {
-                None => Ok(Freshness::default()),
-                Some((_, serde::Value::Null)) => Ok(Freshness::default()),
-                Some((_, v)) => serde::Deserialize::from_value(v),
+        /// An omitted field and an explicit `null` both read as `None`.
+        fn opt_field<T: serde::Deserialize>(
+            map: &[(String, serde::Value)],
+            key: &str,
+        ) -> Result<Option<T>, serde::Error> {
+            match map.iter().find(|(k, _)| k == key) {
+                None => Ok(None),
+                Some((_, serde::Value::Null)) => Ok(None),
+                Some((_, v)) => T::from_value(v).map(Some),
             }
+        }
+        let freshness = |map: &[(String, serde::Value)]| -> Result<Freshness, serde::Error> {
+            Ok(opt_field::<Freshness>(map, "freshness")?.unwrap_or_default())
         };
         match tag.as_str() {
             "Ingest" => Ok(Request::Ingest {
                 point: serde::Deserialize::from_value(serde::get_field(map, "point")?)?,
+                namespace: opt_field(map, "namespace")?,
             }),
             "IngestBatch" => Ok(Request::IngestBatch {
                 points: serde::Deserialize::from_value(serde::get_field(map, "points")?)?,
+                namespace: opt_field(map, "namespace")?,
             }),
             "Query" => Ok(Request::Query {
                 freshness: freshness(map)?,
+                namespace: opt_field(map, "namespace")?,
             }),
             "Stats" => Ok(Request::Stats {
                 freshness: freshness(map)?,
+                namespace: opt_field(map, "namespace")?,
+            }),
+            "Configure" => Ok(Request::Configure {
+                namespace: opt_field(map, "namespace")?,
+                config: TenantConfig {
+                    k: opt_field(map, "k")?,
+                    backend: opt_field(map, "backend")?,
+                    shards: opt_field(map, "shards")?,
+                    batch: opt_field(map, "batch")?,
+                    seed: opt_field(map, "seed")?,
+                },
             }),
             "Snapshot" => Ok(Request::Snapshot {
                 file: serde::Deserialize::from_value(serde::get_field(map, "file")?)?,
+                namespace: opt_field(map, "namespace")?,
             }),
             "Shutdown" => Ok(Request::Shutdown {}),
             other => Err(serde::Error::custom(format!(
@@ -222,6 +400,17 @@ pub enum Response {
     Stats {
         /// Aggregated ingestion statistics.
         stats: StreamStats,
+    },
+    /// Answer to a [`Request::Configure`]: the tenant was created.
+    Configured {
+        /// The tenant that was created.
+        namespace: String,
+        /// Backend tag the tenant runs (`sharded-cc`, `cc`, `ct`, `rcc`).
+        backend: String,
+        /// Number of cluster centers.
+        k: u64,
+        /// Shard worker count (1 for single-threaded backends).
+        shards: u64,
     },
     /// Answer to a [`Request::Snapshot`]: the state was written.
     Snapshotted {
@@ -262,6 +451,15 @@ pub enum ErrorCode {
     /// Snapshotting is not available (no snapshot directory configured, or
     /// the file name tried to escape it).
     SnapshotUnavailable,
+    /// A `namespace` failed [`validate_namespace`]: empty, contains a path
+    /// separator or NUL, is `.`/`..`, or exceeds [`MAX_NAMESPACE_BYTES`].
+    BadNamespace,
+    /// The resident-tenant cap is full and the server has no eviction
+    /// directory to page a tenant out to.
+    TenantLimit,
+    /// A `Configure` request named a tenant that already exists (resident
+    /// or evicted to disk).
+    TenantExists,
     /// An unexpected server-side failure.
     Internal,
 }
@@ -273,9 +471,13 @@ pub fn error_code(e: &ClusteringError) -> ErrorCode {
         ClusteringError::DimensionMismatch { .. } => ErrorCode::DimensionMismatch,
         ClusteringError::NonFiniteCoordinate { .. } => ErrorCode::NonFiniteCoordinate,
         ClusteringError::EmptyInput => ErrorCode::EmptyStream,
-        ClusteringError::InvalidParameter { name, .. } if *name == "point" => {
-            ErrorCode::InvalidPoint
-        }
+        ClusteringError::InvalidParameter { name, .. } => match *name {
+            "point" => ErrorCode::InvalidPoint,
+            "namespace" => ErrorCode::BadNamespace,
+            "tenant_limit" => ErrorCode::TenantLimit,
+            "tenant_exists" => ErrorCode::TenantExists,
+            _ => ErrorCode::Internal,
+        },
         _ => ErrorCode::Internal,
     }
 }
@@ -331,24 +533,57 @@ mod tests {
         let requests = vec![
             Request::Ingest {
                 point: vec![1.0, -2.5],
+                namespace: None,
+            },
+            Request::Ingest {
+                point: vec![1.0, -2.5],
+                namespace: Some("tenant-a".to_string()),
             },
             Request::IngestBatch {
                 points: vec![vec![0.5, 0.25], vec![3.0, 4.0]],
+                namespace: None,
+            },
+            Request::IngestBatch {
+                points: vec![vec![0.5, 0.25]],
+                namespace: Some("tenant-a".to_string()),
             },
             Request::Query {
                 freshness: Freshness::Strict,
+                namespace: None,
             },
             Request::Query {
                 freshness: Freshness::Cached,
+                namespace: Some("tenant-b".to_string()),
             },
             Request::Stats {
                 freshness: Freshness::Strict,
+                namespace: None,
             },
             Request::Stats {
                 freshness: Freshness::Cached,
+                namespace: Some("tenant-b".to_string()),
+            },
+            Request::Configure {
+                namespace: Some("tenant-c".to_string()),
+                config: TenantConfig {
+                    k: Some(8),
+                    backend: Some("cc".to_string()),
+                    shards: None,
+                    batch: Some(64),
+                    seed: Some(7),
+                },
+            },
+            Request::Configure {
+                namespace: None,
+                config: TenantConfig::default(),
             },
             Request::Snapshot {
                 file: "state.json".to_string(),
+                namespace: None,
+            },
+            Request::Snapshot {
+                file: "state.json".to_string(),
+                namespace: Some("tenant-a".to_string()),
             },
             Request::Shutdown {},
         ];
@@ -372,6 +607,7 @@ mod tests {
                 Request::from_line(line).unwrap(),
                 Request::Query {
                     freshness: Freshness::Strict,
+                    namespace: None,
                 },
                 "{line}"
             );
@@ -380,16 +616,86 @@ mod tests {
             Request::from_line(r#"{"Stats":{}}"#).unwrap(),
             Request::Stats {
                 freshness: Freshness::Strict,
+                namespace: None,
             }
         );
         assert_eq!(
             Request::from_line(r#"{"Query":{"freshness":"cached"}}"#).unwrap(),
             Request::Query {
                 freshness: Freshness::Cached,
+                namespace: None,
             }
         );
         assert!(Request::from_line(r#"{"Query":{"freshness":"nope"}}"#).is_err());
         assert!(Request::from_line(r#"{"Query":{"freshness":3}}"#).is_err());
+    }
+
+    #[test]
+    fn omitted_namespace_parses_as_none_and_is_not_emitted() {
+        // Omitted and explicit-null namespaces both mean the default
+        // tenant, and a `None` namespace round-trips to the exact
+        // pre-tenancy wire bytes.
+        for line in [
+            r#"{"Ingest":{"point":[1,2]}}"#,
+            r#"{"Ingest":{"point":[1,2],"namespace":null}}"#,
+        ] {
+            assert_eq!(
+                Request::from_line(line).unwrap(),
+                Request::Ingest {
+                    point: vec![1.0, 2.0],
+                    namespace: None,
+                },
+                "{line}"
+            );
+        }
+        assert_eq!(
+            Request::from_line(r#"{"Ingest":{"point":[1,2],"namespace":"t1"}}"#).unwrap(),
+            Request::Ingest {
+                point: vec![1.0, 2.0],
+                namespace: Some("t1".to_string()),
+            }
+        );
+        // A non-string namespace is malformed, not silently defaulted.
+        assert!(Request::from_line(r#"{"Ingest":{"point":[1,2],"namespace":7}}"#).is_err());
+    }
+
+    #[test]
+    fn configure_parses_with_flattened_optional_fields() {
+        assert_eq!(
+            Request::from_line(r#"{"Configure":{"namespace":"a","k":4,"backend":"sharded-cc","shards":2,"batch":128,"seed":42}}"#)
+                .unwrap(),
+            Request::Configure {
+                namespace: Some("a".to_string()),
+                config: TenantConfig {
+                    k: Some(4),
+                    backend: Some("sharded-cc".to_string()),
+                    shards: Some(2),
+                    batch: Some(128),
+                    seed: Some(42),
+                },
+            }
+        );
+        // Every field is optional.
+        assert_eq!(
+            Request::from_line(r#"{"Configure":{}}"#).unwrap(),
+            Request::Configure {
+                namespace: None,
+                config: TenantConfig::default(),
+            }
+        );
+        assert!(Request::from_line(r#"{"Configure":{"k":"four"}}"#).is_err());
+    }
+
+    #[test]
+    fn namespace_validation_rejects_path_escapes() {
+        for ok in ["default", "tenant-a", "t0", "a.b", "UPPER_case.9"] {
+            assert!(validate_namespace(ok).is_ok(), "{ok}");
+        }
+        for bad in ["", ".", "..", "a/b", "a\\b", "a\0b", "../x", "/etc"] {
+            assert!(validate_namespace(bad).is_err(), "{bad:?}");
+        }
+        assert!(validate_namespace(&"n".repeat(MAX_NAMESPACE_BYTES)).is_ok());
+        assert!(validate_namespace(&"n".repeat(MAX_NAMESPACE_BYTES + 1)).is_err());
     }
 
     #[test]
@@ -420,6 +726,12 @@ mod tests {
                     last_query: None,
                 },
             },
+            Response::Configured {
+                namespace: "tenant-a".to_string(),
+                backend: "sharded-cc".to_string(),
+                k: 4,
+                shards: 2,
+            },
             Response::Snapshotted {
                 file: "snaps/state.json".to_string(),
                 bytes: 12345,
@@ -428,6 +740,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::DimensionMismatch,
                 message: "expected 2, got 3".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::BadNamespace,
+                message: "namespace `../x` escapes".to_string(),
             },
         ];
         for resp in responses {
@@ -441,12 +757,14 @@ mod tests {
     fn wire_shape_is_the_documented_external_tagging() {
         let line = Request::Ingest {
             point: vec![1.0, 2.0],
+            namespace: None,
         }
         .to_line();
         assert_eq!(line, r#"{"Ingest":{"point":[1,2]}}"#);
         assert_eq!(
             Request::Query {
                 freshness: Freshness::Strict,
+                namespace: None,
             }
             .to_line(),
             r#"{"Query":{"freshness":"strict"}}"#
@@ -454,9 +772,18 @@ mod tests {
         assert_eq!(
             Request::Query {
                 freshness: Freshness::Cached,
+                namespace: None,
             }
             .to_line(),
             r#"{"Query":{"freshness":"cached"}}"#
+        );
+        assert_eq!(
+            Request::Query {
+                freshness: Freshness::Strict,
+                namespace: Some("t1".to_string()),
+            }
+            .to_line(),
+            r#"{"Query":{"freshness":"strict","namespace":"t1"}}"#
         );
     }
 
@@ -492,6 +819,27 @@ mod tests {
                 message: "empty".to_string()
             }),
             ErrorCode::InvalidPoint
+        );
+        assert_eq!(
+            error_code(&ClusteringError::InvalidParameter {
+                name: "namespace",
+                message: "escapes".to_string()
+            }),
+            ErrorCode::BadNamespace
+        );
+        assert_eq!(
+            error_code(&ClusteringError::InvalidParameter {
+                name: "tenant_limit",
+                message: "cap".to_string()
+            }),
+            ErrorCode::TenantLimit
+        );
+        assert_eq!(
+            error_code(&ClusteringError::InvalidParameter {
+                name: "tenant_exists",
+                message: "resident".to_string()
+            }),
+            ErrorCode::TenantExists
         );
         assert_eq!(
             error_code(&ClusteringError::InvalidK { k: 0 }),

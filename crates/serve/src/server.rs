@@ -1,7 +1,9 @@
 //! The multi-threaded TCP server: one handler thread per connection, all
-//! feeding the shared [`Engine`]. Ingest requests (and strict queries)
-//! serialize on the engine's backend mutex; `cached` queries are served
-//! from the engine's published snapshot and never wait on ingestion.
+//! feeding the shared [`Engine`]. Each request resolves its optional
+//! `namespace` to a tenant stream (`"default"` when omitted); ingest
+//! requests (and strict queries) serialize on that tenant's backend mutex
+//! only, and `cached` queries are served from the tenant's published
+//! snapshot and never wait on ingestion.
 //!
 //! The accept loop runs until a `Shutdown` request arrives (or
 //! [`ServerHandle::shutdown`] is called from the hosting process); it then
@@ -9,10 +11,12 @@
 //! request lines are answered with typed error responses — a broken client
 //! cannot take the server down, and every failure leaves the engine usable.
 
-use crate::engine::Engine;
+use crate::engine::{BackendKind, Engine, EngineSpec};
 use crate::protocol::{
-    error_response, ErrorCode, Request, Response, MAX_BATCH_POINTS, MAX_LINE_BYTES,
+    error_response, is_bare_name, validate_namespace, ErrorCode, Request, Response, TenantConfig,
+    DEFAULT_NAMESPACE, MAX_BATCH_POINTS, MAX_LINE_BYTES,
 };
+use skm_stream::StreamConfig;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
@@ -258,17 +262,41 @@ fn write_response(writer: &mut BufWriter<TcpStream>, response: &Response) -> io:
     writer.flush()
 }
 
+/// Resolves the optional wire-level namespace to the tenant it names,
+/// rejecting path-escaping names before they can reach the engine (or name
+/// an eviction file).
+fn resolve_namespace(namespace: Option<&str>) -> Result<&str, Response> {
+    let namespace = namespace.unwrap_or(DEFAULT_NAMESPACE);
+    match validate_namespace(namespace) {
+        Ok(()) => Ok(namespace),
+        Err(message) => Err(Response::Error {
+            code: ErrorCode::BadNamespace,
+            message,
+        }),
+    }
+}
+
 /// Executes one parsed request against the engine.
 fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&Path>) -> Response {
     match request {
-        Request::Ingest { point } => match engine.ingest(&point) {
-            Ok(points_seen) => Response::Ingested {
-                accepted: 1,
-                points_seen,
-            },
-            Err(e) => error_response(&e),
-        },
-        Request::IngestBatch { points } => {
+        Request::Ingest { point, namespace } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            match engine.ingest_in(ns, &point) {
+                Ok(points_seen) => Response::Ingested {
+                    accepted: 1,
+                    points_seen,
+                },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::IngestBatch { points, namespace } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
             if points.len() > MAX_BATCH_POINTS {
                 return Response::Error {
                     code: ErrorCode::BatchTooLarge,
@@ -279,7 +307,7 @@ fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&Path>) -> R
                 };
             }
             let accepted = points.len() as u64;
-            match engine.ingest_batch(&points) {
+            match engine.ingest_batch_in(ns, &points) {
                 Ok(points_seen) => Response::Ingested {
                     accepted,
                     points_seen,
@@ -287,47 +315,130 @@ fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&Path>) -> R
                 Err(e) => error_response(&e),
             }
         }
-        Request::Query { freshness } => match engine.query(freshness) {
-            Ok(published) => Response::Centers {
-                centers: published.centers.to_rows(),
-                points_seen: published.points_seen,
-                epoch: published.epoch,
-                cost: published.cost,
-                stats: published.stats,
-            },
-            Err(e) => error_response(&e),
-        },
-        Request::Stats { freshness } => match engine.stats(freshness) {
-            Ok(stats) => Response::Stats { stats },
-            Err(e) => error_response(&e),
-        },
-        Request::Snapshot { file } => snapshot_to(engine, snapshot_dir, &file),
+        Request::Query {
+            freshness,
+            namespace,
+        } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            match engine.query_in(ns, freshness) {
+                Ok(published) => Response::Centers {
+                    centers: published.centers.to_rows(),
+                    points_seen: published.points_seen,
+                    epoch: published.epoch,
+                    cost: published.cost,
+                    stats: published.stats,
+                },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Stats {
+            freshness,
+            namespace,
+        } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            match engine.stats_in(ns, freshness) {
+                Ok(stats) => Response::Stats { stats },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Configure { namespace, config } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            configure_tenant(engine, ns, &config)
+        }
+        Request::Snapshot { file, namespace } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            snapshot_to(engine, ns, snapshot_dir, &file)
+        }
         Request::Shutdown {} => Response::Bye {},
     }
 }
 
-/// Writes the engine snapshot to `file` inside `snapshot_dir`. The file
+/// Builds a per-tenant spec from the engine's default spec plus the
+/// request's overrides, and creates the tenant.
+fn configure_tenant(engine: &Engine, namespace: &str, config: &TenantConfig) -> Response {
+    let mut spec: EngineSpec = *engine.default_spec();
+    if let Some(tag) = &config.backend {
+        match BackendKind::parse(tag) {
+            Some(kind) => spec.kind = kind,
+            None => {
+                return Response::Error {
+                    code: ErrorCode::MalformedRequest,
+                    message: format!(
+                        "unknown backend `{tag}` (expected sharded-cc, cc, ct or rcc)"
+                    ),
+                }
+            }
+        }
+    }
+    if let Some(k) = config.k {
+        // `StreamConfig::new` panics on k == 0; answer with a typed error
+        // instead.
+        if k == 0 {
+            return Response::Error {
+                code: ErrorCode::MalformedRequest,
+                message: "k must be positive".to_string(),
+            };
+        }
+        // Re-derive the k-dependent defaults (bucket size) for the new k
+        // instead of keeping the default spec's.
+        let fresh = StreamConfig::new(k);
+        spec.stream.k = fresh.k;
+        spec.stream.bucket_size = fresh.bucket_size;
+    }
+    if let Some(shards) = config.shards {
+        spec.shards = shards;
+    }
+    if let Some(batch) = config.batch {
+        spec.batch = batch;
+    }
+    if let Some(seed) = config.seed {
+        spec.seed = seed;
+    }
+    match engine.configure(namespace, &spec) {
+        Ok((kind, shards)) => Response::Configured {
+            namespace: namespace.to_string(),
+            backend: kind.tag().to_string(),
+            k: spec.stream.k as u64,
+            shards: shards as u64,
+        },
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Writes one tenant's snapshot to `file` inside `snapshot_dir`. The file
 /// name must be bare (no separators, no `..`): the request names a file,
 /// the server owns the directory.
-fn snapshot_to(engine: &Engine, snapshot_dir: Option<&Path>, file: &str) -> Response {
+fn snapshot_to(
+    engine: &Engine,
+    namespace: &str,
+    snapshot_dir: Option<&Path>,
+    file: &str,
+) -> Response {
     let Some(dir) = snapshot_dir else {
         return Response::Error {
             code: ErrorCode::SnapshotUnavailable,
             message: "server was started without a snapshot directory".to_string(),
         };
     };
-    if file.is_empty()
-        || file == ".."
-        || file.contains('/')
-        || file.contains('\\')
-        || file.contains('\0')
-    {
+    if !is_bare_name(file) {
         return Response::Error {
             code: ErrorCode::SnapshotUnavailable,
             message: format!("snapshot file name `{file}` must be a bare file name"),
         };
     }
-    let json = match engine.snapshot_json() {
+    let json = match engine.snapshot_json_in(namespace) {
         Ok(json) => json,
         Err(e) => return error_response(&e),
     };
