@@ -1,30 +1,38 @@
 //! The `serving` workload: request latency of the `skm-serve` TCP server
 //! under a concurrent ingest:query mix, emitted as `BENCH_serving.json`.
 //!
-//! The grid is tenant count × connection count × query freshness. For each
-//! cell the harness starts a fresh in-process server (sharded-CC engine,
-//! ephemeral port), drives it with the built-in load generator
-//! (Power-dataset points split across the connections, one query per
-//! `QUERY_EVERY` ingest requests per connection, all queries on the cell's
-//! freshness) and asserts a clean shutdown. Single-tenant cells send
-//! namespace-free requests — the exact pre-tenancy wire traffic — while
-//! multi-tenant cells spread batches over `t0` … `t{N-1}` with
-//! Zipf(`ZIPF_S`) skew, so the tenant-map and per-tenant locking overhead
-//! shows up as a direct latency delta against the matching single-tenant
-//! cell. The resulting [`AlgorithmReport`] cells reuse the standard schema:
+//! Since protocol revision 1.3 the headline grid is the **I/O-tier grid**:
+//! the three server/wire combinations `blocking+json` (the legacy
+//! thread-per-connection baseline, retained for one release as the
+//! comparison anchor), `evented+json` (the readiness-polling core on the
+//! debug codec) and `evented+binary` (the evented core with the negotiated
+//! length-prefixed codec) — each measured at 1, 4 and 64 concurrent
+//! connections on a single tenant with strict queries. A second, smaller
+//! **tenancy grid** keeps the multi-tenant/freshness comparison from the
+//! earlier revisions on the default tier (evented+json, 4 connections):
+//! tenants ∈ {1, 8} with strict and cached queries, multi-tenant cells
+//! spreading batches over `t0` … `t7` with Zipf(`ZIPF_S`) skew.
+//!
+//! For each cell the harness starts a fresh in-process server (sharded-CC
+//! engine, ephemeral port) with the cell's core, drives it with the
+//! built-in load generator on the cell's codec (Power-dataset points split
+//! across the connections, one query per `QUERY_EVERY` ingest requests per
+//! connection) and asserts a clean shutdown. The resulting
+//! [`AlgorithmReport`] cells reuse the standard schema:
 //!
 //! * `update_ns` — per-request `IngestBatch` round-trip latency (loopback
 //!   RTT included: this is what a remote caller experiences),
 //! * `query_ns` — per-request `Query` round-trip latency on the cell's
-//!   freshness (`strict` queries drain and recompute under the tenant's
-//!   ingest lock; `cached` queries read that tenant's published snapshot
-//!   and never wait on ingestion),
+//!   freshness,
 //! * `peak_memory_bytes` / `final_cost` — engine memory after the run
 //!   (summed over all resident tenants) and the cost of the final served
 //!   centers on the full dataset. In multi-tenant cells the final query
 //!   targets `t0`, the Zipf-hottest tenant; its sub-stream is a uniform
 //!   pseudo-random sample of the same mixture, so the cost remains
 //!   comparable across cells.
+//!
+//! Cell names follow `serve/core=<core>/codec=<codec>/tenants=<T>/
+//! conns=<C>/<freshness>` (see the tier table in `bench/README.md`).
 //!
 //! The serving workload is **not** added to `bench/baseline.json`: request
 //! latency includes kernel networking and scheduler behaviour, which varies
@@ -39,22 +47,36 @@ use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::Centers;
 use skm_metrics::memory_bytes;
 use skm_serve::loadgen::tenant_name;
-use skm_serve::{run_load, Client, Engine, EngineSpec, Freshness, LoadSpec, Server};
+use skm_serve::{
+    run_load, Client, CodecKind, CoreMode, Engine, EngineSpec, Freshness, LoadSpec, RequestOptions,
+    Server,
+};
 use skm_stream::StreamConfig;
 use std::sync::Arc;
 
 /// Workload name — file name becomes `BENCH_serving.json`.
 pub const SERVING_WORKLOAD: &str = "serving";
 
-/// Tenant counts measured (1 keeps the pre-tenancy namespace-free wire
-/// traffic; 8 exercises the tenant map under a Zipf-skewed mix).
+/// The three I/O tiers measured: server core × wire codec. The blocking
+/// JSON tier is the pre-1.3 baseline, kept for one release so the evented
+/// rewrite has an in-report comparison anchor.
+pub const TIER_GRID: [(CoreMode, CodecKind); 3] = [
+    (CoreMode::Blocking, CodecKind::Json),
+    (CoreMode::Evented, CodecKind::Json),
+    (CoreMode::Evented, CodecKind::Binary),
+];
+
+/// Connection counts measured per tier (1 isolates protocol overhead; 4 is
+/// the concurrent-ingest cell; 64 is where the evented core's poll set has
+/// to pay off against 64 blocked handler threads).
+pub const CONNECTION_GRID: [usize; 3] = [1, 4, 64];
+
+/// Tenant counts of the tenancy grid (1 keeps the pre-tenancy
+/// namespace-free wire traffic; 8 exercises the tenant map under a
+/// Zipf-skewed mix).
 pub const TENANT_GRID: [usize; 2] = [1, 8];
 
-/// Connection counts measured (1 isolates protocol overhead; 4 is the
-/// concurrent-ingest headline cell).
-pub const CONNECTION_GRID: [usize; 2] = [1, 4];
-
-/// Query read paths measured for every tenant × connection count.
+/// Query read paths measured in the tenancy grid.
 pub const FRESHNESS_GRID: [Freshness; 2] = [Freshness::Strict, Freshness::Cached];
 
 /// Zipf skew exponent of the multi-tenant cells (`weight(rank) ∝
@@ -70,6 +92,65 @@ const QUERY_EVERY: usize = 8;
 /// Shards behind each tenant's served engine.
 const SHARDS: usize = 2;
 
+/// Connections of the tenancy-grid cells.
+const TENANCY_CONNS: usize = 4;
+
+/// One measured cell of the serving grid.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    core: CoreMode,
+    codec: CodecKind,
+    tenants: usize,
+    connections: usize,
+    freshness: Freshness,
+}
+
+impl Cell {
+    fn name(&self) -> String {
+        format!(
+            "serve/core={}/codec={}/tenants={}/conns={}/{}",
+            self.core.as_str(),
+            self.codec.as_str(),
+            self.tenants,
+            self.connections,
+            self.freshness.as_str()
+        )
+    }
+}
+
+/// The full cell list: the tier grid (single tenant, strict) followed by
+/// the tenancy grid (default tier) minus its duplicate of the tier-grid
+/// `evented+json` strict cell.
+fn cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &(core, codec) in &TIER_GRID {
+        for &connections in &CONNECTION_GRID {
+            cells.push(Cell {
+                core,
+                codec,
+                tenants: 1,
+                connections,
+                freshness: Freshness::Strict,
+            });
+        }
+    }
+    for &tenants in &TENANT_GRID {
+        for &freshness in &FRESHNESS_GRID {
+            if tenants == 1 && freshness == Freshness::Strict {
+                continue; // already measured as the evented+json tier cell
+            }
+            cells.push(Cell {
+                core: CoreMode::Evented,
+                codec: CodecKind::Json,
+                tenants,
+                connections: TENANCY_CONNS,
+                freshness,
+            });
+        }
+    }
+    cells
+}
+
 /// Stream length used for the serving cells: capped so the CI smoke run
 /// stays in the ~2s-per-cell range even in debug builds.
 #[must_use]
@@ -84,14 +165,13 @@ fn io_error(context: &str, e: &std::io::Error) -> ClusteringError {
     }
 }
 
-/// Runs one (tenants, connections, freshness) cell: fresh engine + server,
-/// load generation, final query, clean shutdown. Returns the cell report.
+/// Runs one cell: fresh engine + server on the cell's core, load
+/// generation on the cell's codec, final query, clean shutdown. Returns
+/// the cell report.
 fn run_cell(
     points: &[Vec<f64>],
     config: StreamConfig,
-    tenants: usize,
-    connections: usize,
-    freshness: Freshness,
+    cell: Cell,
     seed: u64,
 ) -> Result<(AlgorithmReport, Centers)> {
     let engine = Arc::new(Engine::new(&EngineSpec::sharded_cc(
@@ -100,19 +180,18 @@ fn run_cell(
         REQUEST_BATCH,
         seed,
     ))?);
-    let server =
-        Server::bind("127.0.0.1:0", Arc::clone(&engine), None).map_err(|e| io_error("bind", &e))?;
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), None)
+        .map_err(|e| io_error("bind", &e))?
+        .with_core(cell.core);
     let handle = server.spawn().map_err(|e| io_error("spawn", &e))?;
 
-    let spec = LoadSpec {
-        addr: handle.addr(),
-        connections,
-        batch: REQUEST_BATCH,
-        query_every: QUERY_EVERY,
-        freshness,
-        tenants,
-        zipf_s: ZIPF_S,
-    };
+    let spec = LoadSpec::new(handle.addr())
+        .with_connections(cell.connections)
+        .with_batch(REQUEST_BATCH)
+        .with_query_every(QUERY_EVERY)
+        .with_freshness(cell.freshness)
+        .with_tenants(cell.tenants, ZIPF_S)
+        .with_codec(cell.codec);
     let report = run_load(&spec, points).map_err(|e| io_error("load generator", &e))?;
     if report.server_errors > 0 {
         return Err(ClusteringError::InvalidParameter {
@@ -130,12 +209,22 @@ fn run_cell(
     // queried tenant saw). Multi-tenant cells query `t0`, the Zipf-hottest
     // tenant; single-tenant cells stay namespace-free.
     let mut client = Client::connect(handle.addr()).map_err(|e| io_error("connect", &e))?;
-    if tenants > 1 {
-        client.set_namespace(Some(tenant_name(0)));
+    let mut options = RequestOptions::new();
+    if cell.tenants > 1 {
+        options.namespace = Some(tenant_name(0));
     }
-    let final_rows = client
-        .query_centers()
-        .map_err(|e| io_error("final query", &e))?;
+    let final_rows = match client
+        .query_opts(&options)
+        .map_err(|e| io_error("final query", &e))?
+    {
+        skm_serve::Response::Centers { centers, .. } => centers,
+        other => {
+            return Err(ClusteringError::InvalidParameter {
+                name: "serving",
+                message: format!("final query failed: {other:?}"),
+            })
+        }
+    };
     let dim = points[0].len();
     let final_centers = Centers::from_rows(dim, &final_rows)?;
     let peak_memory = memory_bytes(engine.memory_points(), dim) as u64;
@@ -143,16 +232,14 @@ fn run_cell(
         .shutdown()
         .map_err(|e| io_error("shutdown request", &e))?;
     // Clean shutdown is part of the measurement contract: a hang here means
-    // the server leaked a connection handler.
+    // the server leaked a connection handler (blocking core) or an event
+    // loop failed to drain (evented core).
     handle
         .shutdown()
         .map_err(|e| io_error("shutdown join", &e))?;
 
-    let cell = AlgorithmReport {
-        algorithm: format!(
-            "serve/tenants={tenants}/conns={connections}/{}",
-            freshness.as_str()
-        ),
+    let cell_report = AlgorithmReport {
+        algorithm: cell.name(),
         update_ns: LatencySummary::from_samples(&report.ingest_ns)
             .expect("at least one ingest request"),
         query_ns: LatencySummary::from_samples(&report.query_ns)
@@ -160,13 +247,12 @@ fn run_cell(
         peak_memory_bytes: peak_memory,
         final_cost: f64::NAN, // filled by the caller (needs the dataset)
     };
-    Ok((cell, final_centers))
+    Ok((cell_report, final_centers))
 }
 
 /// Measures the serving workload and packages it as a [`WorkloadReport`]
-/// (one [`AlgorithmReport`] per tenant count × connection count ×
-/// freshness cell), so the report writer and CI artifact pipeline apply
-/// unchanged.
+/// (one [`AlgorithmReport`] per tier-grid and tenancy-grid cell), so the
+/// report writer and CI artifact pipeline apply unchanged.
 ///
 /// # Errors
 /// Propagates engine/configuration errors and reports transport failures or
@@ -180,21 +266,15 @@ pub fn measure_serving_workload(points: usize, k: usize, seed: u64) -> Result<Wo
         .with_lloyd_iterations(5);
     let rows: Vec<Vec<f64>> = dataset.points().iter().map(|(p, _)| p.to_vec()).collect();
 
-    let mut algorithms =
-        Vec::with_capacity(TENANT_GRID.len() * CONNECTION_GRID.len() * FRESHNESS_GRID.len());
-    for &tenants in &TENANT_GRID {
-        for &connections in &CONNECTION_GRID {
-            for &freshness in &FRESHNESS_GRID {
-                let (mut cell, final_centers) =
-                    run_cell(&rows, config, tenants, connections, freshness, seed)?;
-                cell.final_cost = kmeans_cost(dataset.points(), &final_centers)?;
-                algorithms.push(cell);
-            }
-        }
+    let mut algorithms = Vec::new();
+    for cell in cells() {
+        let (mut cell_report, final_centers) = run_cell(&rows, config, cell, seed)?;
+        cell_report.final_cost = kmeans_cost(dataset.points(), &final_centers)?;
+        algorithms.push(cell_report);
     }
 
     // The schema's workload-level coreset-build metric is not meaningful
-    // for a network workload; reuse the single-tenant single-connection
+    // for a network workload; reuse the blocking-baseline single-connection
     // strict ingest latency so the field carries a real (and comparable)
     // measurement.
     let coreset_build_ns = algorithms[0].update_ns.clone();
@@ -223,15 +303,11 @@ mod tests {
     }
 
     #[test]
-    fn serving_report_covers_the_tenants_by_conns_by_freshness_grid() {
+    fn serving_report_covers_the_tier_and_tenancy_grids() {
         let report = measure_serving_workload(1_000, 3, 11).unwrap();
         assert_eq!(report.workload, SERVING_WORKLOAD);
         assert_eq!(report.file_name(), "BENCH_serving.json");
         assert_eq!(report.points, 1_000);
-        assert_eq!(
-            report.algorithms.len(),
-            TENANT_GRID.len() * CONNECTION_GRID.len() * FRESHNESS_GRID.len()
-        );
         let names: Vec<&str> = report
             .algorithms
             .iter()
@@ -240,14 +316,18 @@ mod tests {
         assert_eq!(
             names,
             [
-                "serve/tenants=1/conns=1/strict",
-                "serve/tenants=1/conns=1/cached",
-                "serve/tenants=1/conns=4/strict",
-                "serve/tenants=1/conns=4/cached",
-                "serve/tenants=8/conns=1/strict",
-                "serve/tenants=8/conns=1/cached",
-                "serve/tenants=8/conns=4/strict",
-                "serve/tenants=8/conns=4/cached",
+                "serve/core=blocking/codec=json/tenants=1/conns=1/strict",
+                "serve/core=blocking/codec=json/tenants=1/conns=4/strict",
+                "serve/core=blocking/codec=json/tenants=1/conns=64/strict",
+                "serve/core=evented/codec=json/tenants=1/conns=1/strict",
+                "serve/core=evented/codec=json/tenants=1/conns=4/strict",
+                "serve/core=evented/codec=json/tenants=1/conns=64/strict",
+                "serve/core=evented/codec=binary/tenants=1/conns=1/strict",
+                "serve/core=evented/codec=binary/tenants=1/conns=4/strict",
+                "serve/core=evented/codec=binary/tenants=1/conns=64/strict",
+                "serve/core=evented/codec=json/tenants=1/conns=4/cached",
+                "serve/core=evented/codec=json/tenants=8/conns=4/strict",
+                "serve/core=evented/codec=json/tenants=8/conns=4/cached",
             ]
         );
         for cell in &report.algorithms {
@@ -257,29 +337,34 @@ mod tests {
             assert!(cell.final_cost.is_finite(), "{}", cell.algorithm);
             assert!(cell.peak_memory_bytes > 0, "{}", cell.algorithm);
         }
-        // The point of the published read path: cached queries never wait
-        // on ingestion or recompute. The comparison is only meaningful at
-        // tenants=1 conns=4 (where strict queries structurally contend
-        // with three ingesting connections for the same tenant's mutex —
-        // at conns=1 both modes are RTT-dominated, and at tenants=8 the
-        // Zipf mix spreads contention over eight independent locks) and
-        // with spare cores (on a single-CPU machine every round trip is
-        // dominated by waiting for the ingest threads to be descheduled,
-        // which swamps the difference), and it gets a 1.25× slack so
-        // runner jitter cannot flake the suite. (The acceptance target —
-        // cached p95 ≤ 0.5× strict p95 at conns=4 — is read off the
-        // emitted BENCH_serving.json on CI hardware; this in-test bound is
-        // only a tripwire.)
+        // Tripwires, gated on spare cores: on a single-CPU machine every
+        // round trip is dominated by scheduler waits, which swamps both
+        // comparisons. Each gets generous slack so runner jitter cannot
+        // flake the suite — the real acceptance targets are read off the
+        // emitted BENCH_serving.json on CI hardware.
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         if cores > 1 {
-            let strict_cell = &report.algorithms[2]; // serve/tenants=1/conns=4/strict
-            let cached_cell = &report.algorithms[3]; // serve/tenants=1/conns=4/cached
+            // 1. The published read path: cached queries never wait on
+            //    ingestion (only meaningful at conns=4 where strict queries
+            //    structurally contend with three ingesting connections).
+            let strict_cell = &report.algorithms[4]; // evented/json/tenants=1/conns=4/strict
+            let cached_cell = &report.algorithms[9]; // evented/json/tenants=1/conns=4/cached
             assert!(
                 cached_cell.query_ns.median_ns <= 1.25 * strict_cell.query_ns.median_ns,
-                "cached median {} ns should not exceed strict median {} ns by >25% ({})",
+                "cached median {} ns should not exceed strict median {} ns by >25%",
                 cached_cell.query_ns.median_ns,
                 strict_cell.query_ns.median_ns,
-                strict_cell.algorithm
+            );
+            // 2. The evented rewrite: at 64 connections the poll set must
+            //    not lose to 64 blocked handler threads (the acceptance
+            //    target is an outright win; the tripwire allows 25%).
+            let blocking = &report.algorithms[2]; // blocking/json/conns=64
+            let binary = &report.algorithms[8]; // evented/binary/conns=64
+            assert!(
+                binary.update_ns.median_ns <= 1.25 * blocking.update_ns.median_ns,
+                "evented+binary ingest median {} ns should not exceed blocking+json median {} ns by >25% at 64 connections",
+                binary.update_ns.median_ns,
+                blocking.update_ns.median_ns,
             );
         }
     }

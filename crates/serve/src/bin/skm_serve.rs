@@ -5,28 +5,36 @@
 //! skm-serve serve [--addr 127.0.0.1:7878] [--backend sharded-cc|cc|ct|rcc]
 //!                 [--k 8] [--shards 4] [--batch 128] [--seed 42]
 //!                 [--snapshot-dir DIR] [--restore FILE] [--max-resident 64]
+//!                 [--core evented|blocking]
 //! skm-serve bench [--addr 127.0.0.1:7878] [--connections 4] [--points 20000]
 //!                 [--dim 8] [--batch 128] [--query-every 8] [--seed 42]
 //!                 [--freshness strict|cached] [--tenants 1] [--zipf 1.1]
-//!                 [--shutdown]
+//!                 [--codec json|binary] [--idle-conns 0] [--shutdown]
 //! ```
 //!
 //! `serve` blocks until a client sends `{"Shutdown":{}}`. At most
 //! `--max-resident` tenant streams stay in memory; with `--snapshot-dir`
 //! the least-recently-used tenant is paged out to disk (and restored
 //! transparently on next touch), without it the cap is a hard limit.
+//! `--core` selects the I/O core: `evented` (default, readiness-polling
+//! loops, JSON + negotiated binary) or `blocking` (the legacy
+//! thread-per-connection baseline, JSON only).
 //! `bench` connects to an already-running server, drives it with a mixed
 //! ingest:query workload of Gaussian-blob points — spread over `--tenants`
 //! namespaces with Zipf(`--zipf`) skew when above 1 — and prints
-//! per-request latency percentiles; `--conns` is an alias for
-//! `--connections`, and `--shutdown` stops the server afterwards. See the
-//! README's "Serving" section for the protocol.
+//! per-request latency percentiles. `--codec binary` negotiates the
+//! length-prefixed binary framing on each driving connection, and
+//! `--idle-conns N` holds N extra idle connections open across the run
+//! (liveness-checked at the end); `--conns` is an alias for
+//! `--connections`, and `--shutdown` stops the server afterwards. See
+//! `docs/PROTOCOL.md` for the wire protocol.
 
 use skm_serve::client::Client;
+use skm_serve::codec::CodecKind;
 use skm_serve::engine::{BackendKind, Engine, EngineSpec, DEFAULT_MAX_RESIDENT};
 use skm_serve::loadgen::{run_load, LoadSpec};
 use skm_serve::protocol::{Freshness, MAX_BATCH_POINTS};
-use skm_serve::server::Server;
+use skm_serve::server::{CoreMode, Server};
 use skm_stream::StreamConfig;
 use std::net::ToSocketAddrs;
 use std::path::PathBuf;
@@ -52,6 +60,9 @@ struct Args {
     max_resident: usize,
     tenants: usize,
     zipf_s: f64,
+    codec: CodecKind,
+    idle_conns: usize,
+    core: CoreMode,
     shutdown: bool,
     errors: Vec<String>,
 }
@@ -75,6 +86,9 @@ impl Default for Args {
             max_resident: DEFAULT_MAX_RESIDENT,
             tenants: 1,
             zipf_s: 1.1,
+            codec: CodecKind::Json,
+            idle_conns: 0,
+            core: CoreMode::Evented,
             shutdown: false,
             errors: Vec::new(),
         }
@@ -132,9 +146,30 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
                     }
                 }
             }
+            "--codec" => {
+                if let Some(v) = take("--codec", &mut args.errors) {
+                    match CodecKind::parse(&v) {
+                        Some(codec) => args.codec = codec,
+                        None => args
+                            .errors
+                            .push(format!("unknown codec `{v}` (expected `json` or `binary`)")),
+                    }
+                }
+            }
+            "--core" => {
+                if let Some(v) = take("--core", &mut args.errors) {
+                    match CoreMode::parse(&v) {
+                        Some(core) => args.core = core,
+                        None => args.errors.push(format!(
+                            "unknown core `{v}` (expected `evented` or `blocking`)"
+                        )),
+                    }
+                }
+            }
             "--shutdown" => args.shutdown = true,
             "--k" | "--shards" | "--batch" | "--seed" | "--connections" | "--conns"
-            | "--points" | "--dim" | "--query-every" | "--max-resident" | "--tenants" => {
+            | "--points" | "--dim" | "--query-every" | "--max-resident" | "--tenants"
+            | "--idle-conns" => {
                 let Some(v) = take(&flag, &mut args.errors) else {
                     continue;
                 };
@@ -154,6 +189,7 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
                     "--query-every" => args.query_every = n as usize,
                     "--max-resident" => args.max_resident = (n as usize).max(1),
                     "--tenants" => args.tenants = (n as usize).max(1),
+                    "--idle-conns" => args.idle_conns = n as usize,
                     _ => unreachable!(),
                 }
             }
@@ -189,9 +225,13 @@ fn build_engine(args: &Args) -> Result<Engine, String> {
 fn serve(args: &Args) -> Result<(), String> {
     let engine = Arc::new(build_engine(args)?);
     let server = Server::bind(args.addr.as_str(), engine, args.snapshot_dir.clone())
-        .map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?;
+        .map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?
+        .with_core(args.core);
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    println!("skm-serve listening on {addr} (send {{\"Shutdown\":{{}}}} to stop)");
+    println!(
+        "skm-serve listening on {addr} ({} core; send {{\"Shutdown\":{{}}}} to stop)",
+        args.core.as_str()
+    );
     server.run().map_err(|e| format!("server failed: {e}"))
 }
 
@@ -241,28 +281,34 @@ fn bench(args: &Args) -> Result<(), String> {
             args.batch
         );
     }
-    let spec = LoadSpec {
-        addr,
-        connections: args.connections,
-        batch,
-        query_every: args.query_every,
-        freshness: args.freshness,
-        tenants: args.tenants,
-        zipf_s: args.zipf_s,
-    };
+    let spec = LoadSpec::new(addr)
+        .with_connections(args.connections)
+        .with_batch(batch)
+        .with_query_every(args.query_every)
+        .with_freshness(args.freshness)
+        .with_tenants(args.tenants, args.zipf_s)
+        .with_codec(args.codec)
+        .with_idle_conns(args.idle_conns);
     let report = run_load(&spec, &points).map_err(|e| format!("load generator failed: {e}"))?;
     let mut ingest = report.ingest_ns.clone();
     ingest.sort_by(f64::total_cmp);
     let mut query = report.query_ns.clone();
     query.sort_by(f64::total_cmp);
     println!(
-        "sent {} points over {} connections ({} ingest requests, {} queries, {} server errors)",
+        "sent {} points over {} connections, {} codec ({} ingest requests, {} queries, {} server errors)",
         report.points_sent,
         args.connections,
+        args.codec.as_str(),
         ingest.len(),
         report.queries,
         report.server_errors
     );
+    if args.idle_conns > 0 {
+        println!(
+            "held {} idle connections across the run (requested {})",
+            report.idle_held, args.idle_conns
+        );
+    }
     println!(
         "ingest request latency: p50 {:>9.0} ns   p95 {:>9.0} ns   p99 {:>9.0} ns",
         percentile(&ingest, 50.0),

@@ -1,44 +1,252 @@
-//! A small blocking client for the newline-delimited JSON protocol, used by
-//! the load generator, the examples and the protocol tests.
+//! A small blocking client for the protocol, used by the load generator,
+//! the examples and the protocol tests.
+//!
+//! Connections are built with [`Client::builder`] ([`ClientBuilder`]):
+//! address, default tenant namespace, wire codec (JSON or binary — the
+//! builder performs the `Hello` handshake), and socket timeouts. Requests
+//! take typed per-request options ([`RequestOptions`]: freshness +
+//! namespace override) through the `*_opts` methods; the plain methods are
+//! the strict/default-tenant conveniences.
+//!
+//! ```no_run
+//! use skm_serve::client::{Client, RequestOptions};
+//! use skm_serve::codec::CodecKind;
+//!
+//! let mut client = Client::builder("127.0.0.1:7878")
+//!     .namespace("tenant-a")
+//!     .codec(CodecKind::Binary)
+//!     .connect()
+//!     .unwrap();
+//! client.ingest(vec![1.0, 2.0]).unwrap();
+//! let cached = client.query_opts(&RequestOptions::cached()).unwrap();
+//! # let _ = cached;
+//! ```
+//!
+//! The pre-1.3 surface (`with_namespace`, `set_namespace`, `query_with`,
+//! `stats_with`) survives as thin `#[deprecated]` shims for one release of
+//! grace (see the README).
 
+use crate::codec::{codec, Codec, CodecKind, MAX_FRAME_BYTES};
 use crate::protocol::{Freshness, Request, Response, TenantConfig};
 use skm_stream::StreamStats;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-/// One protocol connection, optionally pinned to a tenant namespace: when
-/// set, every request built by the convenience methods carries it.
+/// Per-request options: which read path, and (optionally) which tenant —
+/// overriding the connection's default namespace for this request only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Tenant override; `None` falls back to the connection's namespace.
+    pub namespace: Option<String>,
+    /// Read path for `Query`/`Stats` (ignored by other requests).
+    pub freshness: Freshness,
+}
+
+impl RequestOptions {
+    /// Default options: strict freshness, connection namespace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Strict-freshness options (same as [`RequestOptions::new`]).
+    #[must_use]
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// Cached-freshness options.
+    #[must_use]
+    pub fn cached() -> Self {
+        Self {
+            freshness: Freshness::Cached,
+            ..Self::default()
+        }
+    }
+
+    /// Targets `namespace` for this request only.
+    #[must_use]
+    pub fn with_namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.namespace = Some(namespace.into());
+        self
+    }
+
+    /// Selects the read path.
+    #[must_use]
+    pub fn with_freshness(mut self, freshness: Freshness) -> Self {
+        self.freshness = freshness;
+        self
+    }
+}
+
+/// Configures and connects a [`Client`]; see the module docs for an
+/// example.
+#[derive(Debug)]
+pub struct ClientBuilder<A: ToSocketAddrs> {
+    addr: A,
+    namespace: Option<String>,
+    codec: CodecKind,
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+}
+
+impl<A: ToSocketAddrs> ClientBuilder<A> {
+    /// Pins the connection to a default tenant namespace: every request
+    /// without a per-request override carries it.
+    #[must_use]
+    pub fn namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.namespace = Some(namespace.into());
+        self
+    }
+
+    /// Selects the wire codec. [`CodecKind::Binary`] makes
+    /// [`ClientBuilder::connect`] perform the `Hello` handshake; the
+    /// default is JSON, which needs none (and works against pre-1.3
+    /// servers).
+    #[must_use]
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Bounds the TCP connect.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds every read and write on the connected socket.
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = Some(timeout);
+        self
+    }
+
+    /// Connects (and, for the binary codec, handshakes).
+    ///
+    /// # Errors
+    /// Socket errors; a refused or malformed handshake is reported as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn connect(self) -> io::Result<Client> {
+        let stream = match self.connect_timeout {
+            None => TcpStream::connect(&self.addr)?,
+            Some(timeout) => {
+                let mut last_err = None;
+                let mut connected = None;
+                for addr in self.addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&addr, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidInput,
+                                "address resolved to no socket addresses",
+                            )
+                        }))
+                    }
+                }
+            }
+        };
+        // Request/response round trips are latency-bound: without NODELAY,
+        // Nagle + delayed ACKs put a ~40 ms floor under every request.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        let mut client = Client {
+            stream,
+            codec: codec(CodecKind::Json),
+            read_buf: Vec::new(),
+            namespace: self.namespace,
+        };
+        if self.codec == CodecKind::Binary {
+            client.handshake(CodecKind::Binary)?;
+        }
+        Ok(client)
+    }
+}
+
+/// One protocol connection. Build with [`Client::builder`] (or the
+/// JSON-default [`Client::connect`]).
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    stream: TcpStream,
+    codec: &'static dyn Codec,
+    read_buf: Vec<u8>,
     namespace: Option<String>,
 }
 
-/// Maps a protocol-level surprise (unparseable response line) to `io::Error`.
+/// Maps a protocol-level surprise (unparseable response frame) to
+/// `io::Error`.
 fn protocol_error(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Starts a [`ClientBuilder`] for `addr`.
+    pub fn builder<A: ToSocketAddrs>(addr: A) -> ClientBuilder<A> {
+        ClientBuilder {
+            addr,
+            namespace: None,
+            codec: CodecKind::Json,
+            connect_timeout: None,
+            io_timeout: None,
+        }
+    }
+
+    /// Connects with the defaults: JSON codec, no namespace, no timeouts.
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        // Request/response round trips are latency-bound: without NODELAY,
-        // Nagle + delayed ACKs put a ~40 ms floor under every request.
-        stream.set_nodelay(true)?;
-        Ok(Self {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            namespace: None,
-        })
+        Self::builder(addr).connect()
     }
 
-    /// Pins this connection to a tenant namespace (builder-style): every
-    /// request built by the convenience methods carries it from now on.
+    /// Negotiates `kind` as the first exchange on this connection (the
+    /// `Hello` travels in the current codec; the switch takes effect after
+    /// the server's accept).
+    fn handshake(&mut self, kind: CodecKind) -> io::Result<()> {
+        let response = self.call(&Request::Hello {
+            codec: kind.as_str().to_string(),
+        })?;
+        match response {
+            Response::Hello { .. } => {
+                self.codec = codec(kind);
+                Ok(())
+            }
+            Response::Error { code, message } => Err(protocol_error(format!(
+                "handshake refused ({code:?}): {message}"
+            ))),
+            other => Err(protocol_error(format!("handshake answered with {other:?}"))),
+        }
+    }
+
+    /// The wire codec this connection speaks.
+    #[must_use]
+    pub fn codec_kind(&self) -> CodecKind {
+        self.codec.kind()
+    }
+
+    /// The tenant the convenience methods currently target.
+    #[must_use]
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
+    }
+
+    /// Pins this connection to a tenant namespace (builder-style).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Client::builder(addr).namespace(..)` instead; shim kept for one release"
+    )]
     #[must_use]
     pub fn with_namespace(mut self, namespace: impl Into<String>) -> Self {
         self.namespace = Some(namespace.into());
@@ -47,14 +255,18 @@ impl Client {
 
     /// Switches the tenant the convenience methods target (`None` means
     /// the server-side default tenant).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use per-request `RequestOptions::with_namespace` instead; shim kept for one release"
+    )]
     pub fn set_namespace(&mut self, namespace: Option<String>) {
         self.namespace = namespace;
     }
 
-    /// The tenant the convenience methods currently target.
-    #[must_use]
-    pub fn namespace(&self) -> Option<&str> {
-        self.namespace.as_deref()
+    /// The namespace a request should carry: the per-request override, or
+    /// this connection's default.
+    fn resolve_namespace(&self, options: &RequestOptions) -> Option<String> {
+        options.namespace.clone().or_else(|| self.namespace.clone())
     }
 
     /// Sends one request and reads the matching response.
@@ -64,44 +276,115 @@ impl Client {
     /// hung up mid-exchange is reported as [`io::ErrorKind::InvalidData`] /
     /// [`io::ErrorKind::UnexpectedEof`].
     pub fn call(&mut self, request: &Request) -> io::Result<Response> {
-        self.send_raw_line(&request.to_line())
+        let mut wire = Vec::new();
+        self.codec.encode_request(request, &mut wire);
+        self.stream.write_all(&wire)?;
+        self.read_response()
     }
 
-    /// Sends a raw line verbatim (the protocol tests use this to exercise
-    /// malformed input) and reads one response.
+    /// Sends every request back-to-back in one write, then reads the
+    /// responses in order — request pipelining: the server answers frame
+    /// by frame without waiting for the client to read.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Client::call`]; on error the connection
+    /// state is indeterminate (some responses may be unread).
+    pub fn pipeline(&mut self, requests: &[Request]) -> io::Result<Vec<Response>> {
+        let mut wire = Vec::new();
+        for request in requests {
+            self.codec.encode_request(request, &mut wire);
+        }
+        self.stream.write_all(&wire)?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            responses.push(self.read_response()?);
+        }
+        Ok(responses)
+    }
+
+    /// Sends a raw JSON line verbatim (the protocol tests use this to
+    /// exercise malformed input) and reads one response. Only meaningful
+    /// on a JSON connection.
     ///
     /// # Errors
     /// Same failure modes as [`Client::call`].
     pub fn send_raw_line(&mut self, line: &str) -> io::Result<Response> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Response::from_line(reply.trim()).map_err(protocol_error)
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.read_response()
     }
 
-    /// Ingests one point.
+    /// Reads exactly one response frame in the connection's codec.
+    fn read_response(&mut self) -> io::Result<Response> {
+        loop {
+            match self.codec.next_frame(&self.read_buf) {
+                Ok(Some(frame)) => {
+                    let response = self
+                        .codec
+                        .decode_response(&self.read_buf[frame.start..frame.end])
+                        .map_err(protocol_error);
+                    self.read_buf.drain(..frame.consumed);
+                    return response;
+                }
+                Ok(None) => {}
+                Err(frame_error) => return Err(protocol_error(frame_error.message)),
+            }
+            if self.read_buf.len() > MAX_FRAME_BYTES {
+                return Err(protocol_error(
+                    "response frame exceeds the protocol frame cap".to_string(),
+                ));
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.read_buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Ingests one point into the connection's tenant.
     ///
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn ingest(&mut self, point: Vec<f64>) -> io::Result<Response> {
-        let namespace = self.namespace.clone();
+        self.ingest_opts(point, &RequestOptions::new())
+    }
+
+    /// Ingests one point with explicit options.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn ingest_opts(
+        &mut self,
+        point: Vec<f64>,
+        options: &RequestOptions,
+    ) -> io::Result<Response> {
+        let namespace = self.resolve_namespace(options);
         self.call(&Request::Ingest { point, namespace })
     }
 
-    /// Ingests a batch of points.
+    /// Ingests a batch of points into the connection's tenant.
     ///
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn ingest_batch(&mut self, points: Vec<Vec<f64>>) -> io::Result<Response> {
-        let namespace = self.namespace.clone();
+        self.ingest_batch_opts(points, &RequestOptions::new())
+    }
+
+    /// Ingests a batch with explicit options.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn ingest_batch_opts(
+        &mut self,
+        points: Vec<Vec<f64>>,
+        options: &RequestOptions,
+    ) -> io::Result<Response> {
+        let namespace = self.resolve_namespace(options);
         self.call(&Request::IngestBatch { points, namespace })
     }
 
@@ -111,20 +394,28 @@ impl Client {
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn query(&mut self) -> io::Result<Response> {
-        self.query_with(Freshness::Strict)
+        self.query_opts(&RequestOptions::new())
     }
 
-    /// Queries on the requested read path (strict or cached), returning
-    /// the full response.
+    /// Queries with explicit options (read path and/or tenant override).
     ///
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
-    pub fn query_with(&mut self, freshness: Freshness) -> io::Result<Response> {
-        let namespace = self.namespace.clone();
+    pub fn query_opts(&mut self, options: &RequestOptions) -> io::Result<Response> {
+        let namespace = self.resolve_namespace(options);
         self.call(&Request::Query {
-            freshness,
+            freshness: options.freshness,
             namespace,
         })
+    }
+
+    /// Queries on the requested read path, returning the full response.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `query_opts(&RequestOptions::cached())` etc. instead; shim kept for one release"
+    )]
+    pub fn query_with(&mut self, freshness: Freshness) -> io::Result<Response> {
+        self.query_opts(&RequestOptions::new().with_freshness(freshness))
     }
 
     /// Queries (strict) and unwraps the center rows, mapping a server-side
@@ -145,18 +436,18 @@ impl Client {
     /// # Errors
     /// Transport errors, plus any typed server error.
     pub fn stats(&mut self) -> io::Result<StreamStats> {
-        self.stats_with(Freshness::Strict)
+        self.stats_opts(&RequestOptions::new())
     }
 
-    /// Fetches ingestion statistics on the requested read path, mapping a
+    /// Fetches ingestion statistics with explicit options, mapping a
     /// server-side error response to [`io::ErrorKind::Other`].
     ///
     /// # Errors
     /// Transport errors, plus any typed server error.
-    pub fn stats_with(&mut self, freshness: Freshness) -> io::Result<StreamStats> {
-        let namespace = self.namespace.clone();
+    pub fn stats_opts(&mut self, options: &RequestOptions) -> io::Result<StreamStats> {
+        let namespace = self.resolve_namespace(options);
         match self.call(&Request::Stats {
-            freshness,
+            freshness: options.freshness,
             namespace,
         })? {
             Response::Stats { stats } => Ok(stats),
@@ -164,12 +455,29 @@ impl Client {
         }
     }
 
+    /// Fetches ingestion statistics on the requested read path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `stats_opts(&RequestOptions::cached())` etc. instead; shim kept for one release"
+    )]
+    pub fn stats_with(&mut self, freshness: Freshness) -> io::Result<StreamStats> {
+        self.stats_opts(&RequestOptions::new().with_freshness(freshness))
+    }
+
     /// Asks the server to persist a snapshot under `file`.
     ///
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn snapshot(&mut self, file: &str) -> io::Result<Response> {
-        let namespace = self.namespace.clone();
+        self.snapshot_opts(file, &RequestOptions::new())
+    }
+
+    /// Snapshots with explicit options.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn snapshot_opts(&mut self, file: &str, options: &RequestOptions) -> io::Result<Response> {
+        let namespace = self.resolve_namespace(options);
         self.call(&Request::Snapshot {
             file: file.to_string(),
             namespace,
@@ -183,7 +491,19 @@ impl Client {
     /// # Errors
     /// Propagates transport errors ([`Client::call`]).
     pub fn configure(&mut self, config: TenantConfig) -> io::Result<Response> {
-        let namespace = self.namespace.clone();
+        self.configure_opts(config, &RequestOptions::new())
+    }
+
+    /// Configures a tenant with explicit options.
+    ///
+    /// # Errors
+    /// Propagates transport errors ([`Client::call`]).
+    pub fn configure_opts(
+        &mut self,
+        config: TenantConfig,
+        options: &RequestOptions,
+    ) -> io::Result<Response> {
+        let namespace = self.resolve_namespace(options);
         self.call(&Request::Configure { namespace, config })
     }
 

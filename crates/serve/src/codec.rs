@@ -1,0 +1,845 @@
+//! Wire codecs: framing + encode/decode for [`Request`]/[`Response`].
+//!
+//! Revision 1.3 of the protocol (see `docs/PROTOCOL.md`) speaks two codecs
+//! over the same message model:
+//!
+//! * [`JsonCodec`] — one externally-tagged JSON document per `\n`-terminated
+//!   line. The default, the debug protocol, and the only codec a connection
+//!   speaks until a `Hello{binary}` handshake succeeds; byte-compatible with
+//!   every pre-1.3 client.
+//! * [`BinaryCodec`] — length-prefixed compact binary: a `u32` little-endian
+//!   payload length followed by a tag byte and fixed-width fields. No text
+//!   parsing on the hot path, and `f64`s travel as IEEE-754 bit patterns
+//!   (NaN costs survive a round trip, which JSON `null` cannot represent).
+//!
+//! Both implement the [`Codec`] trait: incremental frame extraction from a
+//! receive buffer ([`Codec::next_frame`]) plus whole-message encode/decode.
+//! The server, the client and the tests all share these two implementations,
+//! so there is exactly one definition of the bytes on the wire.
+
+use crate::protocol::{ErrorCode, Freshness, Request, Response, TenantConfig, MAX_LINE_BYTES};
+use skm_stream::{QueryStats, StreamStats};
+
+/// Maximum frame payload in bytes, both codecs. For JSON this is the
+/// existing [`MAX_LINE_BYTES`] line cap; for binary it bounds the declared
+/// length prefix ([`ErrorCode::FrameTooLarge`] beyond it).
+pub const MAX_FRAME_BYTES: usize = MAX_LINE_BYTES as usize;
+
+/// Which codec a connection (or client) speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecKind {
+    /// Newline-delimited JSON (the default and the debug protocol).
+    #[default]
+    Json,
+    /// Length-prefixed compact binary.
+    Binary,
+}
+
+impl CodecKind {
+    /// The wire spelling used by `Hello{codec}` and `--codec` flags.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CodecKind::Json => "json",
+            CodecKind::Binary => "binary",
+        }
+    }
+
+    /// Parses the wire spelling (case-insensitive).
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<Self> {
+        match tag.to_ascii_lowercase().as_str() {
+            "json" => Some(CodecKind::Json),
+            "binary" => Some(CodecKind::Binary),
+            _ => None,
+        }
+    }
+}
+
+/// One complete frame located inside a receive buffer: the payload is
+/// `&buf[start..end]`, and `consumed` bytes (payload plus framing) must be
+/// drained from the front of the buffer once the frame is processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Payload start offset in the scanned buffer.
+    pub start: usize,
+    /// Payload end offset (exclusive).
+    pub end: usize,
+    /// Total bytes this frame occupies at the front of the buffer.
+    pub consumed: usize,
+}
+
+/// A framing-level failure: the connection cannot be resynchronized, so the
+/// server answers with `code` and closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// [`ErrorCode::LineTooLong`] (JSON) or [`ErrorCode::FrameTooLarge`]
+    /// (binary).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A wire codec: framing plus message encode/decode. Implementations are
+/// stateless unit structs shared via [`codec`].
+pub trait Codec: std::fmt::Debug + Send + Sync {
+    /// Which codec this is.
+    fn kind(&self) -> CodecKind;
+
+    /// Scans the front of a receive buffer for one complete frame.
+    /// `Ok(None)` means more bytes are needed.
+    ///
+    /// # Errors
+    /// A [`FrameError`] when the frame can never complete within
+    /// [`MAX_FRAME_BYTES`]; the connection must be closed after reporting
+    /// it.
+    fn next_frame(&self, buf: &[u8]) -> Result<Option<Frame>, FrameError>;
+
+    /// Appends one complete frame (framing included) encoding `request`.
+    fn encode_request(&self, request: &Request, out: &mut Vec<u8>);
+
+    /// Decodes a frame payload (as located by [`Codec::next_frame`]) into a
+    /// request.
+    ///
+    /// # Errors
+    /// A parse failure message (the server answers it as
+    /// [`ErrorCode::MalformedRequest`]).
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, String>;
+
+    /// Appends one complete frame (framing included) encoding `response`.
+    fn encode_response(&self, response: &Response, out: &mut Vec<u8>);
+
+    /// Decodes a frame payload into a response.
+    ///
+    /// # Errors
+    /// A parse failure message.
+    fn decode_response(&self, payload: &[u8]) -> Result<Response, String>;
+}
+
+/// The shared stateless instance for `kind` (codecs carry no state, so one
+/// `'static` instance each serves every connection).
+#[must_use]
+pub fn codec(kind: CodecKind) -> &'static dyn Codec {
+    match kind {
+        CodecKind::Json => &JsonCodec,
+        CodecKind::Binary => &BinaryCodec,
+    }
+}
+
+/// Newline-delimited JSON codec (protocol default; see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct JsonCodec;
+
+impl Codec for JsonCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Json
+    }
+
+    fn next_frame(&self, buf: &[u8]) -> Result<Option<Frame>, FrameError> {
+        match buf.iter().position(|b| *b == b'\n') {
+            Some(nl) => Ok(Some(Frame {
+                start: 0,
+                end: nl,
+                consumed: nl + 1,
+            })),
+            None if buf.len() >= MAX_FRAME_BYTES => Err(FrameError {
+                code: ErrorCode::LineTooLong,
+                message: format!(
+                    "request line exceeded the {MAX_FRAME_BYTES}-byte limit without a newline"
+                ),
+            }),
+            None => Ok(None),
+        }
+    }
+
+    fn encode_request(&self, request: &Request, out: &mut Vec<u8>) {
+        out.extend_from_slice(request.to_line().as_bytes());
+        out.push(b'\n');
+    }
+
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, String> {
+        let line = std::str::from_utf8(payload)
+            .map_err(|_| "request line is not valid UTF-8".to_string())?;
+        Request::from_line(line.trim())
+    }
+
+    fn encode_response(&self, response: &Response, out: &mut Vec<u8>) {
+        out.extend_from_slice(response.to_line().as_bytes());
+        out.push(b'\n');
+    }
+
+    fn decode_response(&self, payload: &[u8]) -> Result<Response, String> {
+        let line = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+        Response::from_line(line.trim())
+    }
+}
+
+// Binary message tags. Requests are 0x01.., responses 0x81.. so a stray
+// response frame can never parse as a request (and vice versa).
+const TAG_REQ_INGEST: u8 = 0x01;
+const TAG_REQ_INGEST_BATCH: u8 = 0x02;
+const TAG_REQ_QUERY: u8 = 0x03;
+const TAG_REQ_STATS: u8 = 0x04;
+const TAG_REQ_CONFIGURE: u8 = 0x05;
+const TAG_REQ_SNAPSHOT: u8 = 0x06;
+const TAG_REQ_SHUTDOWN: u8 = 0x07;
+const TAG_REQ_HELLO: u8 = 0x08;
+const TAG_RESP_INGESTED: u8 = 0x81;
+const TAG_RESP_CENTERS: u8 = 0x82;
+const TAG_RESP_STATS: u8 = 0x83;
+const TAG_RESP_CONFIGURED: u8 = 0x84;
+const TAG_RESP_SNAPSHOTTED: u8 = 0x85;
+const TAG_RESP_BYE: u8 = 0x86;
+const TAG_RESP_ERROR: u8 = 0x87;
+const TAG_RESP_HELLO: u8 = 0x88;
+
+/// Length-prefixed compact binary codec (see module docs and
+/// `docs/PROTOCOL.md` §Binary framing for the normative byte layout).
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryCodec;
+
+impl Codec for BinaryCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Binary
+    }
+
+    fn next_frame(&self, buf: &[u8]) -> Result<Option<Frame>, FrameError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError {
+                code: ErrorCode::FrameTooLarge,
+                message: format!(
+                    "frame declares {len} payload bytes, above the {MAX_FRAME_BYTES}-byte limit"
+                ),
+            });
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        Ok(Some(Frame {
+            start: 4,
+            end: 4 + len,
+            consumed: 4 + len,
+        }))
+    }
+
+    fn encode_request(&self, request: &Request, out: &mut Vec<u8>) {
+        with_length_prefix(out, |payload| encode_request_payload(request, payload));
+    }
+
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, String> {
+        let mut r = Reader::new(payload);
+        let request = decode_request_payload(&mut r)?;
+        r.finish()?;
+        Ok(request)
+    }
+
+    fn encode_response(&self, response: &Response, out: &mut Vec<u8>) {
+        with_length_prefix(out, |payload| encode_response_payload(response, payload));
+    }
+
+    fn decode_response(&self, payload: &[u8]) -> Result<Response, String> {
+        let mut r = Reader::new(payload);
+        let response = decode_response_payload(&mut r)?;
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+/// Reserves the 4-byte length slot, runs `fill` to append the payload, then
+/// patches the slot with the payload length.
+fn with_length_prefix(out: &mut Vec<u8>, fill: impl FnOnce(&mut Vec<u8>)) {
+    let slot = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    fill(out);
+    let len = out.len() - slot - 4;
+    assert!(
+        len <= MAX_FRAME_BYTES,
+        "encoded frame exceeds MAX_FRAME_BYTES"
+    );
+    let len32 = u32::try_from(len).expect("frame cap fits u32");
+    out[slot..slot + 4].copy_from_slice(&len32.to_le_bytes());
+}
+
+// ---- binary writers (all integers little-endian) ------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+fn put_len(out: &mut Vec<u8>, len: usize) {
+    put_u32(out, u32::try_from(len).expect("length fits the frame cap"));
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Option presence flag: 0 = absent, 1 = present followed by the value.
+fn put_opt<T>(out: &mut Vec<u8>, opt: &Option<T>, put: impl FnOnce(&mut Vec<u8>, &T)) {
+    match opt {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put(out, v);
+        }
+    }
+}
+
+fn put_row(out: &mut Vec<u8>, row: &[f64]) {
+    put_len(out, row.len());
+    for v in row {
+        put_f64(out, *v);
+    }
+}
+
+/// Row count, then each row as its own length + coordinates (rows are not
+/// assumed rectangular; the message model is `Vec<Vec<f64>>`).
+fn put_points(out: &mut Vec<u8>, points: &[Vec<f64>]) {
+    put_len(out, points.len());
+    for row in points {
+        put_row(out, row);
+    }
+}
+
+fn put_freshness(out: &mut Vec<u8>, f: Freshness) {
+    out.push(match f {
+        Freshness::Strict => 0,
+        Freshness::Cached => 1,
+    });
+}
+
+fn put_namespace(out: &mut Vec<u8>, ns: &Option<String>) {
+    put_opt(out, ns, |out, s| put_str(out, s));
+}
+
+fn put_query_stats(out: &mut Vec<u8>, s: &QueryStats) {
+    put_usize(out, s.coresets_merged);
+    put_usize(out, s.candidate_points);
+    put_opt(out, &s.coreset_level, |out, v| put_u32(out, *v));
+    put_bool(out, s.used_cache);
+    put_bool(out, s.ran_kmeans);
+}
+
+fn put_stream_stats(out: &mut Vec<u8>, s: &StreamStats) {
+    put_u64(out, s.points_seen);
+    put_usize(out, s.shards);
+    put_len(out, s.per_shard_points.len());
+    for v in &s.per_shard_points {
+        put_u64(out, *v);
+    }
+    put_opt(out, &s.last_query, put_query_stats);
+}
+
+/// [`ErrorCode`] as a stable one-byte tag (wire order is part of the
+/// protocol; append-only — see `docs/PROTOCOL.md`).
+fn error_code_tag(code: ErrorCode) -> u8 {
+    match code {
+        ErrorCode::MalformedRequest => 0,
+        ErrorCode::LineTooLong => 1,
+        ErrorCode::DimensionMismatch => 2,
+        ErrorCode::NonFiniteCoordinate => 3,
+        ErrorCode::InvalidPoint => 4,
+        ErrorCode::BatchTooLarge => 5,
+        ErrorCode::EmptyStream => 6,
+        ErrorCode::SnapshotUnavailable => 7,
+        ErrorCode::BadNamespace => 8,
+        ErrorCode::TenantLimit => 9,
+        ErrorCode::TenantExists => 10,
+        ErrorCode::Internal => 11,
+        ErrorCode::BadCodec => 12,
+        ErrorCode::FrameTooLarge => 13,
+    }
+}
+
+fn error_code_from_tag(tag: u8) -> Result<ErrorCode, String> {
+    Ok(match tag {
+        0 => ErrorCode::MalformedRequest,
+        1 => ErrorCode::LineTooLong,
+        2 => ErrorCode::DimensionMismatch,
+        3 => ErrorCode::NonFiniteCoordinate,
+        4 => ErrorCode::InvalidPoint,
+        5 => ErrorCode::BatchTooLarge,
+        6 => ErrorCode::EmptyStream,
+        7 => ErrorCode::SnapshotUnavailable,
+        8 => ErrorCode::BadNamespace,
+        9 => ErrorCode::TenantLimit,
+        10 => ErrorCode::TenantExists,
+        11 => ErrorCode::Internal,
+        12 => ErrorCode::BadCodec,
+        13 => ErrorCode::FrameTooLarge,
+        other => return Err(format!("unknown error-code tag {other:#04x}")),
+    })
+}
+
+fn encode_request_payload(request: &Request, out: &mut Vec<u8>) {
+    match request {
+        Request::Hello { codec } => {
+            out.push(TAG_REQ_HELLO);
+            put_str(out, codec);
+        }
+        Request::Ingest { point, namespace } => {
+            out.push(TAG_REQ_INGEST);
+            put_row(out, point);
+            put_namespace(out, namespace);
+        }
+        Request::IngestBatch { points, namespace } => {
+            out.push(TAG_REQ_INGEST_BATCH);
+            put_points(out, points);
+            put_namespace(out, namespace);
+        }
+        Request::Query {
+            freshness,
+            namespace,
+        } => {
+            out.push(TAG_REQ_QUERY);
+            put_freshness(out, *freshness);
+            put_namespace(out, namespace);
+        }
+        Request::Stats {
+            freshness,
+            namespace,
+        } => {
+            out.push(TAG_REQ_STATS);
+            put_freshness(out, *freshness);
+            put_namespace(out, namespace);
+        }
+        Request::Configure { namespace, config } => {
+            out.push(TAG_REQ_CONFIGURE);
+            put_namespace(out, namespace);
+            put_opt(out, &config.k, |out, v| put_usize(out, *v));
+            put_opt(out, &config.backend, |out, s| put_str(out, s));
+            put_opt(out, &config.shards, |out, v| put_usize(out, *v));
+            put_opt(out, &config.batch, |out, v| put_usize(out, *v));
+            put_opt(out, &config.seed, |out, v| put_u64(out, *v));
+        }
+        Request::Snapshot { file, namespace } => {
+            out.push(TAG_REQ_SNAPSHOT);
+            put_str(out, file);
+            put_namespace(out, namespace);
+        }
+        Request::Shutdown {} => out.push(TAG_REQ_SHUTDOWN),
+    }
+}
+
+fn encode_response_payload(response: &Response, out: &mut Vec<u8>) {
+    match response {
+        Response::Hello { codec, revision } => {
+            out.push(TAG_RESP_HELLO);
+            put_str(out, codec);
+            put_str(out, revision);
+        }
+        Response::Ingested {
+            accepted,
+            points_seen,
+        } => {
+            out.push(TAG_RESP_INGESTED);
+            put_u64(out, *accepted);
+            put_u64(out, *points_seen);
+        }
+        Response::Centers {
+            centers,
+            points_seen,
+            epoch,
+            cost,
+            stats,
+        } => {
+            out.push(TAG_RESP_CENTERS);
+            put_points(out, centers);
+            put_u64(out, *points_seen);
+            put_u64(out, *epoch);
+            put_f64(out, *cost);
+            put_query_stats(out, stats);
+        }
+        Response::Stats { stats } => {
+            out.push(TAG_RESP_STATS);
+            put_stream_stats(out, stats);
+        }
+        Response::Configured {
+            namespace,
+            backend,
+            k,
+            shards,
+        } => {
+            out.push(TAG_RESP_CONFIGURED);
+            put_str(out, namespace);
+            put_str(out, backend);
+            put_u64(out, *k);
+            put_u64(out, *shards);
+        }
+        Response::Snapshotted { file, bytes } => {
+            out.push(TAG_RESP_SNAPSHOTTED);
+            put_str(out, file);
+            put_u64(out, *bytes);
+        }
+        Response::Bye {} => out.push(TAG_RESP_BYE),
+        Response::Error { code, message } => {
+            out.push(TAG_RESP_ERROR);
+            out.push(error_code_tag(*code));
+            put_str(out, message);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over one frame payload. Every
+/// variable-length count is validated against the bytes actually remaining
+/// (`count * min_element_size ≤ remaining`) before any allocation, so a
+/// hostile length field cannot balloon memory.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated frame: wanted {n} bytes, {} remain",
+                self.remaining()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "count exceeds usize".to_string())
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("invalid bool byte {other:#04x}")),
+        }
+    }
+
+    /// A count of elements each at least `min_element_size` bytes; rejected
+    /// if the declared count cannot fit in the remaining payload.
+    fn count(&mut self, min_element_size: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() / min_element_size.max(1) {
+            return Err(format!(
+                "declared count {n} does not fit the {} remaining payload bytes",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| e.to_string())
+    }
+
+    fn opt<T>(
+        &mut self,
+        read: impl FnOnce(&mut Reader<'a>) -> Result<T, String>,
+    ) -> Result<Option<T>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => read(self).map(Some),
+            other => Err(format!("invalid option flag {other:#04x}")),
+        }
+    }
+
+    fn row(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.count(8)?;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(self.f64()?);
+        }
+        Ok(row)
+    }
+
+    fn points(&mut self) -> Result<Vec<Vec<f64>>, String> {
+        // Each row is at least its own 4-byte length.
+        let n = self.count(4)?;
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            points.push(self.row()?);
+        }
+        Ok(points)
+    }
+
+    fn freshness(&mut self) -> Result<Freshness, String> {
+        match self.u8()? {
+            0 => Ok(Freshness::Strict),
+            1 => Ok(Freshness::Cached),
+            other => Err(format!("invalid freshness byte {other:#04x}")),
+        }
+    }
+
+    fn namespace(&mut self) -> Result<Option<String>, String> {
+        self.opt(Reader::str)
+    }
+
+    fn query_stats(&mut self) -> Result<QueryStats, String> {
+        Ok(QueryStats {
+            coresets_merged: self.usize()?,
+            candidate_points: self.usize()?,
+            coreset_level: self.opt(Reader::u32)?,
+            used_cache: self.bool()?,
+            ran_kmeans: self.bool()?,
+        })
+    }
+
+    fn stream_stats(&mut self) -> Result<StreamStats, String> {
+        let points_seen = self.u64()?;
+        let shards = self.usize()?;
+        let n = self.count(8)?;
+        let mut per_shard_points = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_shard_points.push(self.u64()?);
+        }
+        Ok(StreamStats {
+            points_seen,
+            shards,
+            per_shard_points,
+            last_query: self.opt(Reader::query_stats)?,
+        })
+    }
+
+    /// Rejects trailing garbage: a valid frame is consumed exactly.
+    fn finish(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!(
+                "{} trailing bytes after a complete message",
+                self.remaining()
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn decode_request_payload(r: &mut Reader<'_>) -> Result<Request, String> {
+    match r.u8()? {
+        TAG_REQ_HELLO => Ok(Request::Hello { codec: r.str()? }),
+        TAG_REQ_INGEST => Ok(Request::Ingest {
+            point: r.row()?,
+            namespace: r.namespace()?,
+        }),
+        TAG_REQ_INGEST_BATCH => Ok(Request::IngestBatch {
+            points: r.points()?,
+            namespace: r.namespace()?,
+        }),
+        TAG_REQ_QUERY => Ok(Request::Query {
+            freshness: r.freshness()?,
+            namespace: r.namespace()?,
+        }),
+        TAG_REQ_STATS => Ok(Request::Stats {
+            freshness: r.freshness()?,
+            namespace: r.namespace()?,
+        }),
+        TAG_REQ_CONFIGURE => Ok(Request::Configure {
+            namespace: r.namespace()?,
+            config: TenantConfig {
+                k: r.opt(Reader::usize)?,
+                backend: r.opt(Reader::str)?,
+                shards: r.opt(Reader::usize)?,
+                batch: r.opt(Reader::usize)?,
+                seed: r.opt(Reader::u64)?,
+            },
+        }),
+        TAG_REQ_SNAPSHOT => Ok(Request::Snapshot {
+            file: r.str()?,
+            namespace: r.namespace()?,
+        }),
+        TAG_REQ_SHUTDOWN => Ok(Request::Shutdown {}),
+        other => Err(format!("unknown request tag {other:#04x}")),
+    }
+}
+
+fn decode_response_payload(r: &mut Reader<'_>) -> Result<Response, String> {
+    match r.u8()? {
+        TAG_RESP_HELLO => Ok(Response::Hello {
+            codec: r.str()?,
+            revision: r.str()?,
+        }),
+        TAG_RESP_INGESTED => Ok(Response::Ingested {
+            accepted: r.u64()?,
+            points_seen: r.u64()?,
+        }),
+        TAG_RESP_CENTERS => Ok(Response::Centers {
+            centers: r.points()?,
+            points_seen: r.u64()?,
+            epoch: r.u64()?,
+            cost: r.f64()?,
+            stats: r.query_stats()?,
+        }),
+        TAG_RESP_STATS => Ok(Response::Stats {
+            stats: r.stream_stats()?,
+        }),
+        TAG_RESP_CONFIGURED => Ok(Response::Configured {
+            namespace: r.str()?,
+            backend: r.str()?,
+            k: r.u64()?,
+            shards: r.u64()?,
+        }),
+        TAG_RESP_SNAPSHOTTED => Ok(Response::Snapshotted {
+            file: r.str()?,
+            bytes: r.u64()?,
+        }),
+        TAG_RESP_BYE => Ok(Response::Bye {}),
+        TAG_RESP_ERROR => Ok(Response::Error {
+            code: error_code_from_tag(r.u8()?)?,
+            message: r.str()?,
+        }),
+        other => Err(format!("unknown response tag {other:#04x}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_of(codec: &dyn Codec, buf: &[u8]) -> Frame {
+        codec
+            .next_frame(buf)
+            .expect("no frame error")
+            .expect("complete frame")
+    }
+
+    #[test]
+    fn json_framing_splits_on_newlines() {
+        let c = codec(CodecKind::Json);
+        assert_eq!(c.next_frame(b"{\"Query\":{}").unwrap(), None);
+        let f = frame_of(c, b"{\"Query\":{}}\n{\"Stats\":{}}\n");
+        assert_eq!((f.start, f.end, f.consumed), (0, 12, 13));
+    }
+
+    #[test]
+    fn binary_framing_reads_length_prefix() {
+        let c = codec(CodecKind::Binary);
+        // Too short for the prefix, then too short for the payload.
+        assert_eq!(c.next_frame(&[3, 0, 0]).unwrap(), None);
+        assert_eq!(c.next_frame(&[3, 0, 0, 0, 1]).unwrap(), None);
+        let f = frame_of(c, &[3, 0, 0, 0, 1, 2, 3, 99]);
+        assert_eq!((f.start, f.end, f.consumed), (4, 7, 7));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_with_typed_codes() {
+        let c = codec(CodecKind::Binary);
+        let too_big = u32::try_from(MAX_FRAME_BYTES + 1).unwrap().to_le_bytes();
+        let err = c.next_frame(&too_big).unwrap_err();
+        assert_eq!(err.code, ErrorCode::FrameTooLarge);
+
+        let c = codec(CodecKind::Json);
+        let long_line = vec![b'x'; MAX_FRAME_BYTES];
+        let err = c.next_frame(&long_line).unwrap_err();
+        assert_eq!(err.code, ErrorCode::LineTooLong);
+    }
+
+    #[test]
+    fn every_error_code_round_trips_through_its_tag() {
+        for code in [
+            ErrorCode::MalformedRequest,
+            ErrorCode::LineTooLong,
+            ErrorCode::DimensionMismatch,
+            ErrorCode::NonFiniteCoordinate,
+            ErrorCode::InvalidPoint,
+            ErrorCode::BatchTooLarge,
+            ErrorCode::EmptyStream,
+            ErrorCode::SnapshotUnavailable,
+            ErrorCode::BadNamespace,
+            ErrorCode::TenantLimit,
+            ErrorCode::TenantExists,
+            ErrorCode::Internal,
+            ErrorCode::BadCodec,
+            ErrorCode::FrameTooLarge,
+        ] {
+            assert_eq!(error_code_from_tag(error_code_tag(code)).unwrap(), code);
+        }
+        assert!(error_code_from_tag(200).is_err());
+    }
+
+    #[test]
+    fn binary_decoder_rejects_hostile_counts_and_trailing_bytes() {
+        let c = codec(CodecKind::Binary);
+        // Ingest with a row count claiming 2^32-1 coordinates in 4 bytes.
+        let hostile = [TAG_REQ_INGEST, 0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(c.decode_request(&hostile).unwrap_err().contains("count"));
+        // A valid Shutdown followed by trailing garbage.
+        assert!(c
+            .decode_request(&[TAG_REQ_SHUTDOWN, 0x00])
+            .unwrap_err()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn nan_cost_survives_the_binary_round_trip() {
+        let c = codec(CodecKind::Binary);
+        let resp = Response::Centers {
+            centers: vec![vec![1.0]],
+            points_seen: 1,
+            epoch: 1,
+            cost: f64::NAN,
+            stats: QueryStats {
+                coresets_merged: 0,
+                candidate_points: 0,
+                coreset_level: None,
+                used_cache: false,
+                ran_kmeans: false,
+            },
+        };
+        let mut wire = Vec::new();
+        c.encode_response(&resp, &mut wire);
+        let f = frame_of(c, &wire);
+        let back = c.decode_response(&wire[f.start..f.end]).unwrap();
+        match back {
+            Response::Centers { cost, .. } => assert!(cost.is_nan()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Request execution, shared by both server cores.
+//!
+//! The blocking core ([`crate::server`]) and the evented core
+//! ([`crate::event`]) differ only in how bytes become [`Request`]s and how
+//! [`Response`]s become bytes; everything between — namespace resolution,
+//! limits, engine calls, error mapping — lives here so the two cores cannot
+//! drift apart semantically.
+
+use crate::engine::{BackendKind, Engine, EngineSpec};
+use crate::protocol::{
+    error_response, is_bare_name, validate_namespace, ErrorCode, Request, Response, TenantConfig,
+    DEFAULT_NAMESPACE, MAX_BATCH_POINTS,
+};
+use skm_stream::StreamConfig;
+use std::path::Path;
+
+/// Resolves the optional wire-level namespace to the tenant it names,
+/// rejecting path-escaping names before they can reach the engine (or name
+/// an eviction file).
+pub(crate) fn resolve_namespace(namespace: Option<&str>) -> Result<&str, Response> {
+    let namespace = namespace.unwrap_or(DEFAULT_NAMESPACE);
+    match validate_namespace(namespace) {
+        Ok(()) => Ok(namespace),
+        Err(message) => Err(Response::Error {
+            code: ErrorCode::BadNamespace,
+            message,
+        }),
+    }
+}
+
+/// Executes one parsed request against the engine.
+///
+/// `Hello` is a transport concern, handled by the connection layers before
+/// dispatch; one reaching this function is by definition not the first
+/// frame of its connection, which is a protocol error.
+pub(crate) fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&Path>) -> Response {
+    match request {
+        Request::Hello { .. } => Response::Error {
+            code: ErrorCode::BadCodec,
+            message: "Hello must be the first frame on a connection".to_string(),
+        },
+        Request::Ingest { point, namespace } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            match engine.ingest_in(ns, &point) {
+                Ok(points_seen) => Response::Ingested {
+                    accepted: 1,
+                    points_seen,
+                },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::IngestBatch { points, namespace } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            if points.len() > MAX_BATCH_POINTS {
+                return Response::Error {
+                    code: ErrorCode::BatchTooLarge,
+                    message: format!(
+                        "batch of {} points exceeds the limit of {MAX_BATCH_POINTS}",
+                        points.len()
+                    ),
+                };
+            }
+            let accepted = points.len() as u64;
+            match engine.ingest_batch_in(ns, &points) {
+                Ok(points_seen) => Response::Ingested {
+                    accepted,
+                    points_seen,
+                },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Query {
+            freshness,
+            namespace,
+        } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            match engine.query_in(ns, freshness) {
+                Ok(published) => Response::Centers {
+                    centers: published.centers.to_rows(),
+                    points_seen: published.points_seen,
+                    epoch: published.epoch,
+                    cost: published.cost,
+                    stats: published.stats,
+                },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Stats {
+            freshness,
+            namespace,
+        } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            match engine.stats_in(ns, freshness) {
+                Ok(stats) => Response::Stats { stats },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Configure { namespace, config } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            configure_tenant(engine, ns, &config)
+        }
+        Request::Snapshot { file, namespace } => {
+            let ns = match resolve_namespace(namespace.as_deref()) {
+                Ok(ns) => ns,
+                Err(response) => return response,
+            };
+            snapshot_to(engine, ns, snapshot_dir, &file)
+        }
+        Request::Shutdown {} => Response::Bye {},
+    }
+}
+
+/// Builds a per-tenant spec from the engine's default spec plus the
+/// request's overrides, and creates the tenant.
+fn configure_tenant(engine: &Engine, namespace: &str, config: &TenantConfig) -> Response {
+    let mut spec: EngineSpec = *engine.default_spec();
+    if let Some(tag) = &config.backend {
+        match BackendKind::parse(tag) {
+            Some(kind) => spec.kind = kind,
+            None => {
+                return Response::Error {
+                    code: ErrorCode::MalformedRequest,
+                    message: format!(
+                        "unknown backend `{tag}` (expected sharded-cc, cc, ct or rcc)"
+                    ),
+                }
+            }
+        }
+    }
+    if let Some(k) = config.k {
+        // `StreamConfig::new` panics on k == 0; answer with a typed error
+        // instead.
+        if k == 0 {
+            return Response::Error {
+                code: ErrorCode::MalformedRequest,
+                message: "k must be positive".to_string(),
+            };
+        }
+        // Re-derive the k-dependent defaults (bucket size) for the new k
+        // instead of keeping the default spec's.
+        let fresh = StreamConfig::new(k);
+        spec.stream.k = fresh.k;
+        spec.stream.bucket_size = fresh.bucket_size;
+    }
+    if let Some(shards) = config.shards {
+        spec.shards = shards;
+    }
+    if let Some(batch) = config.batch {
+        spec.batch = batch;
+    }
+    if let Some(seed) = config.seed {
+        spec.seed = seed;
+    }
+    match engine.configure(namespace, &spec) {
+        Ok((kind, shards)) => Response::Configured {
+            namespace: namespace.to_string(),
+            backend: kind.tag().to_string(),
+            k: spec.stream.k as u64,
+            shards: shards as u64,
+        },
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Writes one tenant's snapshot to `file` inside `snapshot_dir`. The file
+/// name must be bare (no separators, no `..`): the request names a file,
+/// the server owns the directory.
+fn snapshot_to(
+    engine: &Engine,
+    namespace: &str,
+    snapshot_dir: Option<&Path>,
+    file: &str,
+) -> Response {
+    let Some(dir) = snapshot_dir else {
+        return Response::Error {
+            code: ErrorCode::SnapshotUnavailable,
+            message: "server was started without a snapshot directory".to_string(),
+        };
+    };
+    if !is_bare_name(file) {
+        return Response::Error {
+            code: ErrorCode::SnapshotUnavailable,
+            message: format!("snapshot file name `{file}` must be a bare file name"),
+        };
+    }
+    let json = match engine.snapshot_json_in(namespace) {
+        Ok(json) => json,
+        Err(e) => return error_response(&e),
+    };
+    let path = dir.join(file);
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &json)) {
+        return Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("cannot write snapshot `{}`: {e}", path.display()),
+        };
+    }
+    Response::Snapshotted {
+        file: path.display().to_string(),
+        bytes: json.len() as u64,
+    }
+}

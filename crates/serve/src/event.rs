@@ -1,0 +1,546 @@
+//! The evented non-blocking server core.
+//!
+//! Instead of one OS thread per connection (the blocking core in
+//! [`crate::server`], kept as the baseline tier), a small fixed set of
+//! event loops multiplexes every connection over [`minipoll`] readiness
+//! polling:
+//!
+//! * **Loop 0** owns the non-blocking listener. Accepted connections are
+//!   distributed round-robin across all loops (itself included) over an
+//!   mpsc handoff channel plus a [`minipoll::Waker`] nudge.
+//! * **Every loop** owns its connections outright — a token-indexed map of
+//!   `Conn` state machines, each holding a read buffer, a write buffer
+//!   and its negotiated codec. No locks are shared between loops; the only
+//!   cross-loop traffic is the connection handoff and the shutdown
+//!   broadcast.
+//!
+//! Per-connection behaviour:
+//!
+//! * **Pipelining** — every complete frame in the read buffer is decoded,
+//!   dispatched and answered in order before the loop moves on; a client
+//!   may write any number of requests without reading a single response.
+//! * **Backpressure** — responses queue in the write buffer; past
+//!   `HIGH_WATER` (1 MiB) the connection stops reading (and stops processing
+//!   frames) until a flush drains it below `LOW_WATER` (512 KiB), so a client that
+//!   writes fast and reads slowly stalls itself, not the server.
+//! * **Codec negotiation** — a connection speaks newline-JSON until a
+//!   `Hello{binary}` first frame switches it (the `Hello` response itself
+//!   travels in the old codec; see `docs/PROTOCOL.md` §Handshake). No
+//!   handshake ⇒ JSON forever: pre-1.3 clients connect unmodified.
+//! * **Shutdown drain** — when the shutdown flag rises (a `Shutdown`
+//!   request on any loop, or [`crate::ServerHandle::shutdown`]), every loop
+//!   wakes, answers the pipelined requests already buffered on each of its
+//!   connections, flushes write buffers with a bounded blocking write, and
+//!   exits. In-flight work is answered, never dropped — the evented
+//!   restatement of the PR 4 idle-connection deadlock fix.
+
+use crate::codec::{codec, Codec, CodecKind};
+use crate::dispatch::dispatch;
+use crate::engine::Engine;
+use crate::protocol::{ErrorCode, Request, Response, PROTOCOL_REVISION};
+use minipoll::{Events, Interest, Poll, Token, Waker};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// Write-buffer level at which a connection stops reading new requests.
+pub(crate) const HIGH_WATER: usize = 1024 * 1024;
+/// Write-buffer level at which a paused connection resumes reading.
+pub(crate) const LOW_WATER: usize = 512 * 1024;
+/// Bytes pulled from a socket per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Read-buffer level past which a fill pauses to process frames before
+/// pulling more (level-triggered polling re-reports the remainder).
+const PROCESS_THRESHOLD: usize = 256 * 1024;
+/// Bound on the blocking flush of a connection during shutdown drain: a
+/// peer that stops reading cannot hold the server open forever.
+const DRAIN_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+const WAKER_TOKEN: Token = Token(0);
+const LISTENER_TOKEN: Token = Token(1);
+const FIRST_CONN_TOKEN: usize = 2;
+
+/// Number of event loops: one per core up to a small cap (loops are
+/// I/O-bound; the engine's own shard threads do the compute).
+fn loop_count() -> usize {
+    thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(8)
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    codec: &'static dyn Codec,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Bytes of `write_buf` already written to the socket.
+    write_pos: usize,
+    /// True once the first frame has been processed; a `Hello` is only
+    /// honoured before this.
+    handshaken: bool,
+    /// Reading paused by backpressure (write buffer above [`HIGH_WATER`]).
+    paused: bool,
+    /// Answer what is queued, then close (fatal framing error or `Bye`).
+    closing: bool,
+    /// The peer half-closed or hung up; no more requests will arrive.
+    peer_closed: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            codec: codec(CodecKind::Json),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            handshaken: false,
+            paused: false,
+            closing: false,
+            peer_closed: false,
+            interest: Interest::READABLE,
+        }
+    }
+
+    /// Bytes queued for the peer but not yet written.
+    fn pending(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+}
+
+/// Pulls whatever the socket has ready into the read buffer (bounded by
+/// backpressure and [`PROCESS_THRESHOLD`]). Returns `false` when the
+/// connection died mid-read.
+fn fill(conn: &mut Conn) -> bool {
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        if conn.pending() >= HIGH_WATER || conn.read_buf.len() >= PROCESS_THRESHOLD {
+            return true;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                return true;
+            }
+            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Decodes, dispatches and answers every complete frame in the read buffer,
+/// in order (request pipelining). `drain` ignores the high-water pause so a
+/// shutting-down loop can answer everything it already received.
+fn process_frames(
+    conn: &mut Conn,
+    engine: &Engine,
+    snapshot_dir: Option<&Path>,
+    shutdown: &AtomicBool,
+    all_wakers: &[Waker],
+    drain: bool,
+) {
+    loop {
+        if conn.closing || (!drain && conn.pending() >= HIGH_WATER) {
+            return;
+        }
+        let frame = match conn.codec.next_frame(&conn.read_buf) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(frame_error) => {
+                // The stream cannot be resynchronized: answer the typed
+                // error, then close once it is flushed.
+                let response = Response::Error {
+                    code: frame_error.code,
+                    message: frame_error.message,
+                };
+                conn.codec.encode_response(&response, &mut conn.write_buf);
+                conn.closing = true;
+                return;
+            }
+        };
+        let payload = conn.read_buf[frame.start..frame.end].to_vec();
+        conn.read_buf.drain(..frame.consumed);
+        // Tolerate blank keep-alive lines on the JSON codec (parity with
+        // the blocking core); they do not count as the first frame.
+        if conn.codec.kind() == CodecKind::Json && payload.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        match conn.codec.decode_request(&payload) {
+            Err(parse_error) => {
+                conn.handshaken = true;
+                let response = Response::Error {
+                    code: ErrorCode::MalformedRequest,
+                    message: parse_error,
+                };
+                conn.codec.encode_response(&response, &mut conn.write_buf);
+            }
+            Ok(request) => {
+                handle_request(conn, request, engine, snapshot_dir, shutdown, all_wakers);
+            }
+        }
+    }
+}
+
+/// Executes one request on a connection, queueing the response. Transport
+/// concerns (`Hello`, `Shutdown`) are intercepted here; everything else
+/// goes through the shared [`dispatch`].
+fn handle_request(
+    conn: &mut Conn,
+    request: Request,
+    engine: &Engine,
+    snapshot_dir: Option<&Path>,
+    shutdown: &AtomicBool,
+    all_wakers: &[Waker],
+) {
+    let first_frame = !conn.handshaken;
+    conn.handshaken = true;
+    let response = match request {
+        Request::Hello { codec: tag } if first_frame => match CodecKind::parse(&tag) {
+            Some(kind) => {
+                // The accept travels in the codec the client spoke it in;
+                // the switch takes effect from the next frame.
+                let response = Response::Hello {
+                    codec: kind.as_str().to_string(),
+                    revision: PROTOCOL_REVISION.to_string(),
+                };
+                conn.codec.encode_response(&response, &mut conn.write_buf);
+                conn.codec = codec(kind);
+                return;
+            }
+            None => Response::Error {
+                code: ErrorCode::BadCodec,
+                message: format!("unknown codec `{tag}` (expected `json` or `binary`)"),
+            },
+        },
+        Request::Shutdown {} => {
+            shutdown.store(true, Ordering::SeqCst);
+            for waker in all_wakers {
+                let _ = waker.wake();
+            }
+            conn.closing = true;
+            Response::Bye {}
+        }
+        other => dispatch(other, engine, snapshot_dir),
+    };
+    conn.codec.encode_response(&response, &mut conn.write_buf);
+}
+
+/// Writes as much of the queued output as the socket accepts. Returns
+/// `false` when the connection died mid-write.
+fn flush(conn: &mut Conn) -> bool {
+    while conn.pending() > 0 {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    if conn.pending() == 0 {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    } else if conn.write_pos >= LOW_WATER {
+        // Reclaim the already-written prefix of a long-lived backlog.
+        conn.write_buf.drain(..conn.write_pos);
+        conn.write_pos = 0;
+    }
+    true
+}
+
+/// One event loop: a poller, its connections, and (on loop 0) the
+/// listener.
+struct EventLoop {
+    index: usize,
+    poll: Poll,
+    engine: Arc<Engine>,
+    snapshot_dir: Option<PathBuf>,
+    shutdown: Arc<AtomicBool>,
+    /// This loop's own waker (drained when its token fires).
+    waker: Waker,
+    /// Every loop's waker, for handoff nudges and the shutdown broadcast.
+    all_wakers: Vec<Waker>,
+    /// Connections handed off by loop 0.
+    incoming: mpsc::Receiver<TcpStream>,
+    /// Handoff senders, indexed by loop (loop 0 only uses these).
+    peers: Vec<mpsc::Sender<TcpStream>>,
+    next_peer: usize,
+    listener: Option<TcpListener>,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+}
+
+impl EventLoop {
+    fn run(mut self) -> io::Result<()> {
+        let mut events = Events::with_capacity(256);
+        let mut ready: Vec<(usize, bool, bool)> = Vec::new();
+        loop {
+            self.poll.poll(&mut events, None)?;
+            ready.clear();
+            let mut accept = false;
+            for event in &events {
+                match event.token() {
+                    WAKER_TOKEN => self.waker.drain(),
+                    LISTENER_TOKEN if self.listener.is_some() => accept = true,
+                    Token(t) => ready.push((t, event.is_readable(), event.is_writable())),
+                }
+            }
+            if accept {
+                self.accept_ready();
+            }
+            for (t, readable, writable) in ready.drain(..) {
+                self.conn_ready(t, readable, writable);
+            }
+            // Adopt connections handed off by loop 0 (the waker nudge got
+            // us here; a nudge with an empty channel is harmless).
+            while let Ok(stream) = self.incoming.try_recv() {
+                self.adopt(stream);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                // Re-broadcast (idempotent) so sibling loops parked in
+                // poll() observe the flag no matter which loop raised it.
+                for waker in &self.all_wakers {
+                    let _ = waker.wake();
+                }
+                self.drain_all();
+                return Ok(());
+            }
+        }
+    }
+
+    /// Accepts until the listener would block, distributing round-robin.
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = self
+                .listener
+                .as_ref()
+                .expect("accept_ready only runs on the listener loop")
+                .accept();
+            match accepted {
+                Ok((stream, _)) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        continue; // drop connections racing shutdown
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let target = self.next_peer;
+                    self.next_peer = (self.next_peer + 1) % self.all_wakers.len();
+                    if target == self.index {
+                        self.adopt(stream);
+                    } else if self.peers[target].send(stream).is_ok() {
+                        let _ = self.all_wakers[target].wake();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient accept failures (peer vanished between SYN and
+                // accept, fd pressure) must not kill the loop; back off so
+                // a persistent failure cannot busy-spin it.
+                Err(_) => {
+                    thread::sleep(Duration::from_millis(10));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Takes ownership of a new connection: non-blocking, registered
+    /// readable, JSON until a handshake says otherwise.
+    fn adopt(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let conn = Conn::new(stream);
+        if self
+            .poll
+            .register(&conn.stream, Token(token), conn.interest)
+            .is_err()
+        {
+            return;
+        }
+        self.conns.insert(token, conn);
+    }
+
+    /// Advances one connection's state machine on a readiness event.
+    fn conn_ready(&mut self, token: usize, readable: bool, writable: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // stale event for a connection dropped this iteration
+        };
+        let mut alive = true;
+        if writable {
+            alive = flush(conn);
+        }
+        if alive && readable && !conn.paused {
+            alive = fill(conn);
+        }
+        if alive {
+            process_frames(
+                conn,
+                &self.engine,
+                self.snapshot_dir.as_deref(),
+                &self.shutdown,
+                &self.all_wakers,
+                false,
+            );
+            alive = flush(conn);
+        }
+        if alive {
+            // Backpressure hysteresis: pause past HIGH_WATER, resume at or
+            // below LOW_WATER.
+            if conn.pending() >= HIGH_WATER {
+                conn.paused = true;
+            } else if conn.paused && conn.pending() <= LOW_WATER {
+                conn.paused = false;
+            }
+        }
+        if !alive {
+            self.drop_conn(token);
+            return;
+        }
+        self.update_interest(token);
+    }
+
+    /// Re-registers the connection for exactly the readiness it can act
+    /// on, or closes it when there is nothing left to do.
+    fn update_interest(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want_write = conn.pending() > 0;
+        let want_read = !conn.closing && !conn.peer_closed && !conn.paused;
+        let desired = match (want_read, want_write) {
+            (true, true) => Interest::READABLE | Interest::WRITABLE,
+            (true, false) => Interest::READABLE,
+            (false, true) => Interest::WRITABLE,
+            // Nothing to send and no more requests can arrive (closing or
+            // peer gone): the connection is finished.
+            (false, false) => {
+                self.drop_conn(token);
+                return;
+            }
+        };
+        if desired != conn.interest
+            && self
+                .poll
+                .reregister(&conn.stream, Token(token), desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    fn drop_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poll.deregister(&conn.stream);
+        }
+    }
+
+    /// Shutdown drain: answer every pipelined request already received,
+    /// flush every write buffer (bounded blocking writes), close.
+    fn drain_all(&mut self) {
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(mut conn) = self.conns.remove(&token) else {
+                continue;
+            };
+            let _ = self.poll.deregister(&conn.stream);
+            // Pull whatever already arrived (non-blocking), then answer it.
+            if !fill(&mut conn) {
+                continue;
+            }
+            process_frames(
+                &mut conn,
+                &self.engine,
+                self.snapshot_dir.as_deref(),
+                &self.shutdown,
+                &self.all_wakers,
+                true,
+            );
+            if conn.pending() > 0
+                && conn.stream.set_nonblocking(false).is_ok()
+                && conn
+                    .stream
+                    .set_write_timeout(Some(DRAIN_WRITE_TIMEOUT))
+                    .is_ok()
+            {
+                let _ = conn.stream.write_all(&conn.write_buf[conn.write_pos..]);
+                let _ = conn.stream.flush();
+            }
+        }
+    }
+}
+
+/// Runs the evented core on the calling thread (plus [`loop_count`]` - 1`
+/// worker loops) until shutdown; all loops are joined before returning.
+pub(crate) fn run_evented(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    snapshot_dir: Option<PathBuf>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    let n = loop_count();
+    let mut polls = Vec::with_capacity(n);
+    let mut all_wakers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let poll = Poll::new()?;
+        all_wakers.push(poll.waker(WAKER_TOKEN)?);
+        polls.push(poll);
+    }
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    listener.set_nonblocking(true)?;
+    polls[0].register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+
+    let make_loop = |index: usize, poll: Poll, incoming, listener: Option<TcpListener>| EventLoop {
+        index,
+        poll,
+        engine: Arc::clone(&engine),
+        snapshot_dir: snapshot_dir.clone(),
+        shutdown: Arc::clone(&shutdown),
+        waker: all_wakers[index].clone(),
+        all_wakers: all_wakers.clone(),
+        incoming,
+        peers: senders.clone(),
+        next_peer: 0,
+        listener,
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+    };
+
+    // Workers take loops n-1 down to 1; loop 0 (with the listener) runs on
+    // the calling thread.
+    let mut workers = Vec::with_capacity(n - 1);
+    for index in (1..n).rev() {
+        let poll = polls.pop().expect("one poll per loop");
+        let incoming = receivers.pop().expect("one receiver per loop");
+        let event_loop = make_loop(index, poll, incoming, None);
+        workers.push(
+            thread::Builder::new()
+                .name(format!("skm-serve-loop-{index}"))
+                .spawn(move || event_loop.run())?,
+        );
+    }
+    let poll0 = polls.pop().expect("loop 0 poll");
+    let incoming0 = receivers.pop().expect("loop 0 receiver");
+    let result = make_loop(0, poll0, incoming0, Some(listener)).run();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    result
+}

@@ -8,12 +8,17 @@
 //!
 //! ## Pieces
 //!
-//! * [`protocol`] — the newline-delimited JSON wire protocol: typed
-//!   [`Request`]/[`Response`] enums, the [`protocol::Freshness`] knob
+//! * [`protocol`] — the wire protocol model: typed
+//!   [`Request`]/[`Response`] enums (including the revision-1.3
+//!   `Hello` codec handshake), the [`protocol::Freshness`] knob
 //!   (strict vs cached reads), the optional per-request `namespace` field
 //!   (tenant selection; omitted means `"default"`), request limits, and
 //!   the mapping from engine errors to typed [`protocol::ErrorCode`]s.
 //!   The normative spec lives in `docs/PROTOCOL.md`.
+//! * [`codec`] — the two framings of that model: newline-delimited JSON
+//!   (the default, debuggable with netcat) and a compact length-prefixed
+//!   binary codec negotiated on connect via `Hello{codec}`. Both sides of
+//!   a connection switch together after the handshake response.
 //! * [`engine`] — the [`Engine`] facade: a concurrent map of per-tenant
 //!   streams (sharded CC by default; single-threaded CC/CT/RCC also
 //!   available), each behind its own mutex for writes and strict reads
@@ -24,14 +29,22 @@
 //!   touch. The same envelope serves explicit snapshot/restore of the
 //!   complete state (configuration, coreset tree levels, caches, partial
 //!   buckets, RNG positions, published epoch).
-//! * [`server`] — the multi-threaded TCP [`Server`]: one handler thread per
-//!   connection, typed error responses for malformed lines, clean shutdown.
-//! * [`client`] — a small blocking [`Client`] for the protocol, optionally
-//!   pinned to a tenant namespace.
+//! * [`server`] — the TCP [`Server`] with two I/O cores selected by
+//!   [`CoreMode`]: the default *evented* core ([`event`]) runs a small
+//!   fixed pool of readiness-polling loops with per-connection state
+//!   machines, explicit read/write backpressure, and request pipelining;
+//!   the legacy *blocking* core keeps one handler thread per connection
+//!   (JSON only, retained for one release as the comparison baseline).
+//!   Both answer malformed input with typed errors and drain in-flight
+//!   requests on shutdown.
+//! * [`client`] — the blocking [`Client`], built via [`ClientBuilder`]
+//!   (address, default namespace, codec, timeouts) and driven with typed
+//!   per-request [`RequestOptions`].
 //! * [`loadgen`] — the built-in load generator: N concurrent connections,
 //!   configurable ingest:query mix, an optional Zipf-skewed multi-tenant
-//!   traffic mix, per-request latency collection (feeds the
-//!   `BENCH_serving.json` workload in `skm-bench`).
+//!   traffic mix, a choice of wire codec, an idle-connection hold pool,
+//!   and per-request latency collection (feeds the `BENCH_serving.json`
+//!   workload in `skm-bench`).
 //!
 //! ## Example
 //!
@@ -60,25 +73,30 @@
 #![warn(clippy::all)]
 
 pub mod client;
+pub mod codec;
+mod dispatch;
 pub mod engine;
+pub mod event;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientBuilder, RequestOptions};
+pub use codec::{Codec, CodecKind};
 pub use engine::{BackendKind, Engine, EngineSpec, SnapshotFile, SNAPSHOT_VERSION};
 pub use loadgen::{run_load, LoadReport, LoadSpec};
 pub use protocol::{Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE};
-pub use server::{Server, ServerHandle};
+pub use server::{CoreMode, Server, ServerHandle};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::client::Client;
+    pub use crate::client::{Client, ClientBuilder, RequestOptions};
+    pub use crate::codec::CodecKind;
     pub use crate::engine::{BackendKind, Engine, EngineSpec};
     pub use crate::loadgen::{run_load, LoadReport, LoadSpec};
     pub use crate::protocol::{
         ErrorCode, Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE,
     };
-    pub use crate::server::{Server, ServerHandle};
+    pub use crate::server::{CoreMode, Server, ServerHandle};
     pub use skm_stream::{PublishedClustering, StreamConfig, StreamStats};
 }

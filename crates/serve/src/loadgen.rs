@@ -14,15 +14,23 @@
 //! any shared RNG state across threads. Latencies are whole
 //! request/response round trips as a client observes them — loopback RTT
 //! included, because that is what a remote caller experiences.
+//!
+//! Revision 1.3 additions: the driving connections speak a configurable
+//! [`CodecKind`] (JSON or negotiated binary), and an optional pool of
+//! `idle_conns` extra connections is opened before the load and held open
+//! across it — the "10k idle connections" scenario the evented core
+//! exists for — then spot-checked for liveness with a `Stats` request.
 
-use crate::client::Client;
+use crate::client::{Client, RequestOptions};
+use crate::codec::CodecKind;
 use crate::protocol::{Freshness, Response};
 use std::io;
 use std::net::SocketAddr;
 use std::thread;
 use std::time::Instant;
 
-/// Load-generator settings.
+/// Load-generator settings. Build with [`LoadSpec::new`] plus the `with_*`
+/// setters; every field is also public for direct struct updates.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadSpec {
     /// Server to drive.
@@ -43,11 +51,89 @@ pub struct LoadSpec {
     /// Zipf skew exponent `s` of the tenant mix (`weight(rank) ∝
     /// 1/rank^s`); 0.0 is uniform. Ignored when `tenants <= 1`.
     pub zipf_s: f64,
+    /// Wire codec the driving connections speak (binary is negotiated on
+    /// connect).
+    pub codec: CodecKind,
+    /// Extra connections opened before the load and held idle across it
+    /// (0 disables the idle pool).
+    pub idle_conns: usize,
 }
 
 impl LoadSpec {
-    /// A single-tenant spec (the pre-tenancy shape): fills the tenant
-    /// fields so call sites that don't care about tenancy stay terse.
+    /// A spec with the defaults: 1 connection, batches of 64, no
+    /// interleaved queries, strict freshness, single tenant, JSON codec,
+    /// no idle pool.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            connections: 1,
+            batch: 64,
+            query_every: 0,
+            freshness: Freshness::Strict,
+            tenants: 1,
+            zipf_s: 0.0,
+            codec: CodecKind::Json,
+            idle_conns: 0,
+        }
+    }
+
+    /// Sets the concurrent connection count.
+    #[must_use]
+    pub fn with_connections(mut self, connections: usize) -> Self {
+        self.connections = connections;
+        self
+    }
+
+    /// Sets the points per `IngestBatch` request.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Interleaves one `Query` after every `query_every` ingest requests.
+    #[must_use]
+    pub fn with_query_every(mut self, query_every: usize) -> Self {
+        self.query_every = query_every;
+        self
+    }
+
+    /// Sets the read path of the interleaved queries.
+    #[must_use]
+    pub fn with_freshness(mut self, freshness: Freshness) -> Self {
+        self.freshness = freshness;
+        self
+    }
+
+    /// Spreads the load over `tenants` tenant streams with Zipf skew
+    /// `zipf_s`.
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: usize, zipf_s: f64) -> Self {
+        self.tenants = tenants;
+        self.zipf_s = zipf_s;
+        self
+    }
+
+    /// Sets the wire codec of the driving connections.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Holds `idle_conns` extra idle connections open across the load.
+    #[must_use]
+    pub fn with_idle_conns(mut self, idle_conns: usize) -> Self {
+        self.idle_conns = idle_conns;
+        self
+    }
+
+    /// A single-tenant spec from positional arguments (the pre-1.3 shape).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `LoadSpec::new(addr)` with the typed `with_*` setters; shim kept for one release"
+    )]
     #[must_use]
     pub fn single_tenant(
         addr: SocketAddr,
@@ -56,15 +142,11 @@ impl LoadSpec {
         query_every: usize,
         freshness: Freshness,
     ) -> Self {
-        Self {
-            addr,
-            connections,
-            batch,
-            query_every,
-            freshness,
-            tenants: 1,
-            zipf_s: 0.0,
-        }
+        Self::new(addr)
+            .with_connections(connections)
+            .with_batch(batch)
+            .with_query_every(query_every)
+            .with_freshness(freshness)
     }
 }
 
@@ -126,6 +208,9 @@ pub struct LoadReport {
     pub queries: u64,
     /// Typed error responses received (0 on a healthy run).
     pub server_errors: u64,
+    /// Idle connections successfully held open across the whole load
+    /// (equals the spec's `idle_conns` on a healthy run).
+    pub idle_held: u64,
 }
 
 impl LoadReport {
@@ -135,6 +220,7 @@ impl LoadReport {
         self.points_sent += other.points_sent;
         self.queries += other.queries;
         self.server_errors += other.server_errors;
+        self.idle_held += other.idle_held;
     }
 }
 
@@ -155,19 +241,20 @@ fn drive_connection(
     connection: usize,
     share: Vec<Vec<f64>>,
 ) -> io::Result<LoadReport> {
-    let mut client = Client::connect(spec.addr)?;
+    let mut client = Client::builder(spec.addr).codec(spec.codec).connect()?;
     let mut report = LoadReport::default();
     let mut since_query = 0usize;
     // `None` (tenants <= 1) keeps every request namespace-free: the exact
     // pre-tenancy wire traffic.
     let cdf = (spec.tenants > 1).then(|| zipf_cdf(spec.tenants, spec.zipf_s));
+    let mut options = RequestOptions::new().with_freshness(spec.freshness);
     for (batch_index, chunk) in share.chunks(spec.batch.max(1)).enumerate() {
         if let Some(cdf) = &cdf {
             let rank = pick_tenant(cdf, connection as u64, batch_index as u64);
-            client.set_namespace(Some(tenant_name(rank)));
+            options.namespace = Some(tenant_name(rank));
         }
         let start = Instant::now();
-        let response = client.ingest_batch(chunk.to_vec())?;
+        let response = client.ingest_batch_opts(chunk.to_vec(), &options)?;
         report.ingest_ns.push(start.elapsed().as_nanos() as f64);
         match response {
             Response::Ingested { accepted, .. } => report.points_sent += accepted,
@@ -178,24 +265,28 @@ fn drive_connection(
         if spec.query_every > 0 && since_query >= spec.query_every {
             since_query = 0;
             // The query targets whichever tenant the last batch went to
-            // (the client keeps its namespace), mirroring a user querying
+            // (the options keep its namespace), mirroring a user querying
             // the stream they just fed.
-            run_query(&mut client, spec.freshness, &mut report)?;
+            run_query(&mut client, &options, &mut report)?;
         }
     }
     // Short shares may never reach `query_every` ingest requests; issue one
     // end-of-share query anyway so a query-mixing run always produces at
     // least one query sample per connection.
     if spec.query_every > 0 && report.query_ns.is_empty() && !share.is_empty() {
-        run_query(&mut client, spec.freshness, &mut report)?;
+        run_query(&mut client, &options, &mut report)?;
     }
     Ok(report)
 }
 
 /// Issues one timed `Query` request, recording the latency and outcome.
-fn run_query(client: &mut Client, freshness: Freshness, report: &mut LoadReport) -> io::Result<()> {
+fn run_query(
+    client: &mut Client,
+    options: &RequestOptions,
+    report: &mut LoadReport,
+) -> io::Result<()> {
     let start = Instant::now();
-    let response = client.query_with(freshness)?;
+    let response = client.query_opts(options)?;
     report.query_ns.push(start.elapsed().as_nanos() as f64);
     match response {
         Response::Centers { .. } => report.queries += 1,
@@ -207,12 +298,23 @@ fn run_query(client: &mut Client, freshness: Freshness, report: &mut LoadReport)
 
 /// Drives the server with `spec.connections` concurrent clients ingesting
 /// `points` (split round-robin) and interleaving queries, and returns the
-/// pooled per-request latencies.
+/// pooled per-request latencies. With `idle_conns > 0`, that many extra
+/// connections are opened first, held idle across the whole load, then
+/// spot-checked for liveness (a `Stats` request on a sample) before the
+/// report is returned.
 ///
 /// # Errors
-/// Propagates connection/transport failures from any connection thread
-/// (typed server error *responses* are counted, not failures).
+/// Propagates connection/transport failures from any connection thread,
+/// idle-pool connect failures, and a dead idle connection at the closing
+/// liveness check (typed server error *responses* are counted, not
+/// failures).
 pub fn run_load(spec: &LoadSpec, points: &[Vec<f64>]) -> io::Result<LoadReport> {
+    // The idle pool opens before the load so the driven requests are
+    // served while the connections are resident in the server's poll set.
+    let mut idle_pool = Vec::with_capacity(spec.idle_conns);
+    for _ in 0..spec.idle_conns {
+        idle_pool.push(Client::connect(spec.addr)?);
+    }
     let connections = spec.connections.max(1);
     let mut threads = Vec::with_capacity(connections);
     for connection in 0..connections {
@@ -232,6 +334,13 @@ pub fn run_load(spec: &LoadSpec, points: &[Vec<f64>]) -> io::Result<LoadReport> 
             .map_err(|_| io::Error::other("load-generator thread panicked"))??;
         report.merge(per_connection);
     }
+    // Liveness spot-check: a sample of the idle pool must still answer
+    // after sitting in the poll set for the whole run.
+    let sample = idle_pool.len().min(8);
+    for idle in idle_pool.iter_mut().take(sample) {
+        idle.stats()?;
+    }
+    report.idle_held = idle_pool.len() as u64;
     Ok(report)
 }
 
@@ -295,6 +404,26 @@ mod tests {
     }
 
     #[test]
+    fn spec_builder_fills_typed_fields() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let spec = LoadSpec::new(addr)
+            .with_connections(4)
+            .with_batch(128)
+            .with_query_every(8)
+            .with_freshness(Freshness::Cached)
+            .with_tenants(8, 1.1)
+            .with_codec(CodecKind::Binary)
+            .with_idle_conns(100);
+        assert_eq!(spec.connections, 4);
+        assert_eq!(spec.batch, 128);
+        assert_eq!(spec.query_every, 8);
+        assert_eq!(spec.freshness, Freshness::Cached);
+        assert_eq!((spec.tenants, spec.zipf_s), (8, 1.1));
+        assert_eq!(spec.codec, CodecKind::Binary);
+        assert_eq!(spec.idle_conns, 100);
+    }
+
+    #[test]
     fn merge_pools_samples_and_counters() {
         let mut a = LoadReport {
             ingest_ns: vec![1.0],
@@ -302,6 +431,7 @@ mod tests {
             points_sent: 10,
             queries: 1,
             server_errors: 0,
+            idle_held: 0,
         };
         a.merge(LoadReport {
             ingest_ns: vec![3.0],
@@ -309,6 +439,7 @@ mod tests {
             points_sent: 5,
             queries: 0,
             server_errors: 2,
+            idle_held: 0,
         });
         assert_eq!(a.ingest_ns, vec![1.0, 3.0]);
         assert_eq!(a.points_sent, 15);

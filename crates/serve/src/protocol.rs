@@ -60,6 +60,11 @@ pub const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
 /// that spell it out explicitly are equivalent to omitting it.
 pub const DEFAULT_NAMESPACE: &str = "default";
 
+/// The protocol revision the server speaks, reported in
+/// [`Response::Hello`]. Revision 1.3 added the `Hello` codec handshake and
+/// the length-prefixed binary framing (see `docs/PROTOCOL.md`).
+pub const PROTOCOL_REVISION: &str = "1.3";
+
 /// Maximum accepted namespace length in bytes (long names make poor file
 /// names, and eviction persists one file per tenant).
 pub const MAX_NAMESPACE_BYTES: usize = 128;
@@ -179,9 +184,21 @@ pub struct TenantConfig {
     pub seed: Option<u64>,
 }
 
-/// A client request (one JSON line).
+/// A client request (one frame: a JSON line, or a length-prefixed binary
+/// message after a binary handshake).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Negotiate the connection codec. Only valid as the **first** frame on
+    /// a connection, always sent in JSON; the connection switches to the
+    /// requested codec after the server's [`Response::Hello`]. A connection
+    /// that never sends `Hello` stays newline-JSON — the complete pre-1.3
+    /// wire behaviour. An unknown codec (or a late `Hello`) is answered
+    /// with [`ErrorCode::BadCodec`] and the connection stays on its current
+    /// codec.
+    Hello {
+        /// Requested codec: `"json"` or `"binary"`.
+        codec: String,
+    },
     /// Ingest a single point.
     Ingest {
         /// The point's coordinates; must match the stream dimension.
@@ -253,6 +270,9 @@ impl serde::Serialize for Request {
             }
         }
         match self {
+            Request::Hello { codec } => {
+                variant("Hello", vec![("codec".to_string(), codec.to_value())])
+            }
             Request::Ingest { point, namespace } => {
                 let mut fields = vec![("point".to_string(), point.to_value())];
                 push_opt(&mut fields, "namespace", namespace);
@@ -333,6 +353,9 @@ impl serde::Deserialize for Request {
             Ok(opt_field::<Freshness>(map, "freshness")?.unwrap_or_default())
         };
         match tag.as_str() {
+            "Hello" => Ok(Request::Hello {
+                codec: serde::Deserialize::from_value(serde::get_field(map, "codec")?)?,
+            }),
             "Ingest" => Ok(Request::Ingest {
                 point: serde::Deserialize::from_value(serde::get_field(map, "point")?)?,
                 namespace: opt_field(map, "namespace")?,
@@ -371,9 +394,19 @@ impl serde::Deserialize for Request {
     }
 }
 
-/// A server response (one JSON line).
+/// A server response (one frame: a JSON line, or a length-prefixed binary
+/// message after a binary handshake).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
+    /// Answer to a [`Request::Hello`]: the handshake was accepted and the
+    /// connection speaks `codec` from the next frame on.
+    Hello {
+        /// The codec now in effect (echo of the accepted request).
+        codec: String,
+        /// The protocol revision the server speaks
+        /// ([`PROTOCOL_REVISION`]).
+        revision: String,
+    },
     /// Points were accepted.
     Ingested {
         /// Number of points accepted by this request.
@@ -460,6 +493,14 @@ pub enum ErrorCode {
     /// A `Configure` request named a tenant that already exists (resident
     /// or evicted to disk).
     TenantExists,
+    /// A `Hello` handshake named an unknown codec, or arrived after the
+    /// first frame of the connection. The connection stays on its current
+    /// codec.
+    BadCodec,
+    /// A binary frame declared a length above the frame cap (the binary
+    /// counterpart of [`ErrorCode::LineTooLong`]); the connection is closed
+    /// because the stream cannot be resynchronized.
+    FrameTooLarge,
     /// An unexpected server-side failure.
     Internal,
 }
@@ -531,6 +572,9 @@ mod tests {
     #[test]
     fn requests_round_trip_through_lines() {
         let requests = vec![
+            Request::Hello {
+                codec: "binary".to_string(),
+            },
             Request::Ingest {
                 point: vec![1.0, -2.5],
                 namespace: None,
@@ -701,6 +745,10 @@ mod tests {
     #[test]
     fn responses_round_trip_through_lines() {
         let responses = vec![
+            Response::Hello {
+                codec: "binary".to_string(),
+                revision: PROTOCOL_REVISION.to_string(),
+            },
             Response::Ingested {
                 accepted: 3,
                 points_seen: 100,

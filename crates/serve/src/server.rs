@@ -1,28 +1,72 @@
-//! The multi-threaded TCP server: one handler thread per connection, all
-//! feeding the shared [`Engine`]. Each request resolves its optional
-//! `namespace` to a tenant stream (`"default"` when omitted); ingest
-//! requests (and strict queries) serialize on that tenant's backend mutex
-//! only, and `cached` queries are served from the tenant's published
+//! The TCP server and its two I/O cores.
+//!
+//! [`CoreMode::Evented`] (the default since protocol revision 1.3) runs a
+//! small fixed set of non-blocking event loops multiplexing every
+//! connection — see [`crate::event`] for the state machines, backpressure
+//! and codec negotiation. [`CoreMode::Blocking`] is the original
+//! thread-per-connection core, retained as the measurable baseline tier
+//! (`core=blocking` in `BENCH_serving.json`) and as the simplest possible
+//! reference implementation of the protocol; it speaks newline-JSON only
+//! (a `Hello{json}` handshake is accepted, `Hello{binary}` is answered
+//! with [`ErrorCode::BadCodec`]).
+//!
+//! Both cores execute requests through the shared `crate::dispatch`
+//! layer, so they cannot drift apart semantically: each request resolves
+//! its optional `namespace` to a tenant stream (`"default"` when omitted);
+//! ingest requests (and strict queries) serialize on that tenant's backend
+//! mutex only, and `cached` queries are served from the tenant's published
 //! snapshot and never wait on ingestion.
 //!
-//! The accept loop runs until a `Shutdown` request arrives (or
+//! The server runs until a `Shutdown` request arrives (or
 //! [`ServerHandle::shutdown`] is called from the hosting process); it then
-//! stops accepting, joins every handler thread and returns. Malformed
-//! request lines are answered with typed error responses — a broken client
-//! cannot take the server down, and every failure leaves the engine usable.
+//! drains in-flight requests, flushes responses and returns. Malformed
+//! request frames are answered with typed error responses — a broken
+//! client cannot take the server down, and every failure leaves the engine
+//! usable.
 
-use crate::engine::{BackendKind, Engine, EngineSpec};
-use crate::protocol::{
-    error_response, is_bare_name, validate_namespace, ErrorCode, Request, Response, TenantConfig,
-    DEFAULT_NAMESPACE, MAX_BATCH_POINTS, MAX_LINE_BYTES,
-};
-use skm_stream::StreamConfig;
+use crate::codec::CodecKind;
+use crate::dispatch::dispatch;
+use crate::engine::Engine;
+use crate::event::run_evented;
+use crate::protocol::{ErrorCode, Request, Response, MAX_LINE_BYTES, PROTOCOL_REVISION};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+
+/// Which I/O core a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreMode {
+    /// Evented non-blocking loops with codec negotiation (the default).
+    #[default]
+    Evented,
+    /// Thread-per-connection blocking I/O, newline-JSON only (baseline
+    /// tier).
+    Blocking,
+}
+
+impl CoreMode {
+    /// The CLI spelling (`--core {evented,blocking}`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CoreMode::Evented => "evented",
+            CoreMode::Blocking => "blocking",
+        }
+    }
+
+    /// Parses the CLI spelling (case-insensitive).
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<Self> {
+        match tag.to_ascii_lowercase().as_str() {
+            "evented" => Some(CoreMode::Evented),
+            "blocking" => Some(CoreMode::Blocking),
+            _ => None,
+        }
+    }
+}
 
 /// A bound, not-yet-running server.
 #[derive(Debug)]
@@ -31,6 +75,7 @@ pub struct Server {
     engine: Arc<Engine>,
     snapshot_dir: Option<PathBuf>,
     shutdown: Arc<AtomicBool>,
+    core: CoreMode,
 }
 
 /// Control handle for a server running on a background thread
@@ -45,9 +90,9 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) around a shared
-    /// engine. `snapshot_dir` enables the `Snapshot` request: when `None`,
-    /// snapshot requests are answered with
-    /// [`ErrorCode::SnapshotUnavailable`].
+    /// engine, on the default [`CoreMode::Evented`] core. `snapshot_dir`
+    /// enables the `Snapshot` request: when `None`, snapshot requests are
+    /// answered with [`ErrorCode::SnapshotUnavailable`].
     ///
     /// # Errors
     /// Propagates socket errors.
@@ -61,7 +106,21 @@ impl Server {
             engine,
             snapshot_dir,
             shutdown: Arc::new(AtomicBool::new(false)),
+            core: CoreMode::default(),
         })
+    }
+
+    /// Selects the I/O core (the default is [`CoreMode::Evented`]).
+    #[must_use]
+    pub fn with_core(mut self, core: CoreMode) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// The I/O core this server will run.
+    #[must_use]
+    pub fn core(&self) -> CoreMode {
+        self.core
     }
 
     /// The address the server is listening on (resolves port 0).
@@ -72,12 +131,22 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on the calling thread until shutdown, then
-    /// joins every connection handler.
+    /// Runs the server on the calling thread until shutdown, then drains
+    /// and joins every connection.
     ///
     /// # Errors
     /// Propagates accept-loop socket errors.
     pub fn run(self) -> io::Result<()> {
+        match self.core {
+            CoreMode::Evented => {
+                run_evented(self.listener, self.engine, self.snapshot_dir, self.shutdown)
+            }
+            CoreMode::Blocking => self.run_blocking(),
+        }
+    }
+
+    /// The original thread-per-connection core.
+    fn run_blocking(self) -> io::Result<()> {
         let addr = self.local_addr()?;
         // Join handles paired with a clone of the connection socket: on
         // shutdown the sockets are closed first, so handlers parked in
@@ -124,7 +193,7 @@ impl Server {
         Ok(())
     }
 
-    /// Moves the accept loop onto a background thread and returns a control
+    /// Moves the server onto a background thread and returns a control
     /// handle.
     ///
     /// # Errors
@@ -159,8 +228,8 @@ impl ServerHandle {
         &self.engine
     }
 
-    /// Requests shutdown and blocks until the accept loop and every
-    /// connection handler have exited.
+    /// Requests shutdown and blocks until every loop (or connection
+    /// handler) has drained and exited.
     ///
     /// # Errors
     /// Propagates accept-loop socket errors; a panicked accept thread is
@@ -175,10 +244,11 @@ impl ServerHandle {
     }
 }
 
-/// Unblocks a `TcpListener::accept` that is waiting for a connection by
-/// connecting (and immediately dropping) a throwaway socket. A wildcard
-/// bind address is not connectable on every platform, so the wake targets
-/// the matching loopback address instead.
+/// Unblocks a waiting accept path by connecting (and immediately dropping)
+/// a throwaway socket: the blocking core's `accept()` returns, and the
+/// evented core's listener loop polls ready — either way the shutdown flag
+/// is observed. A wildcard bind address is not connectable on every
+/// platform, so the wake targets the matching loopback address instead.
 fn wake_accept_loop(mut addr: SocketAddr) {
     if addr.ip().is_unspecified() {
         addr.set_ip(match addr {
@@ -189,9 +259,10 @@ fn wake_accept_loop(mut addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
-/// Serves one connection: reads newline-delimited JSON requests, answers
-/// each with exactly one response line, and keeps going until EOF, an I/O
-/// failure, an unrecoverable oversized line, or a `Shutdown` request.
+/// Serves one connection on the blocking core: reads newline-delimited
+/// JSON requests, answers each with exactly one response line, and keeps
+/// going until EOF, an I/O failure, an unrecoverable oversized line, or a
+/// `Shutdown` request.
 fn handle_connection(
     stream: TcpStream,
     engine: &Engine,
@@ -202,6 +273,7 @@ fn handle_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = Vec::new();
+    let mut handshaken = false;
     loop {
         line.clear();
         // Read raw bytes (not `read_line`) so invalid UTF-8 is answered
@@ -225,22 +297,46 @@ fn handle_connection(
             )?;
             return Ok(());
         }
+        let first_frame = !handshaken;
         let response = match std::str::from_utf8(&line) {
             // The newline boundary is known even for a bad line, so the
             // connection stays usable after the typed error.
-            Err(_) => Response::Error {
-                code: ErrorCode::MalformedRequest,
-                message: "request line is not valid UTF-8".to_string(),
-            },
+            Err(_) => {
+                handshaken = true;
+                Response::Error {
+                    code: ErrorCode::MalformedRequest,
+                    message: "request line is not valid UTF-8".to_string(),
+                }
+            }
             Ok(text) => {
                 let trimmed = text.trim();
                 if trimmed.is_empty() {
                     continue; // tolerate blank keep-alive lines
                 }
+                handshaken = true;
                 match Request::from_line(trimmed) {
                     Err(parse_error) => Response::Error {
                         code: ErrorCode::MalformedRequest,
                         message: parse_error,
+                    },
+                    // The blocking core speaks JSON only: a first-frame
+                    // `Hello{json}` is a no-op accept; `Hello{binary}` is
+                    // a typed refusal (the connection stays JSON-usable).
+                    Ok(Request::Hello { codec }) if first_frame => match CodecKind::parse(&codec) {
+                        Some(CodecKind::Json) => Response::Hello {
+                            codec: CodecKind::Json.as_str().to_string(),
+                            revision: PROTOCOL_REVISION.to_string(),
+                        },
+                        Some(CodecKind::Binary) => Response::Error {
+                            code: ErrorCode::BadCodec,
+                            message: "the blocking core serves newline-JSON only".to_string(),
+                        },
+                        None => Response::Error {
+                            code: ErrorCode::BadCodec,
+                            message: format!(
+                                "unknown codec `{codec}` (expected `json` or `binary`)"
+                            ),
+                        },
                     },
                     Ok(request) => dispatch(request, engine, snapshot_dir),
                 }
@@ -260,197 +356,4 @@ fn write_response(writer: &mut BufWriter<TcpStream>, response: &Response) -> io:
     writer.write_all(response.to_line().as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
-}
-
-/// Resolves the optional wire-level namespace to the tenant it names,
-/// rejecting path-escaping names before they can reach the engine (or name
-/// an eviction file).
-fn resolve_namespace(namespace: Option<&str>) -> Result<&str, Response> {
-    let namespace = namespace.unwrap_or(DEFAULT_NAMESPACE);
-    match validate_namespace(namespace) {
-        Ok(()) => Ok(namespace),
-        Err(message) => Err(Response::Error {
-            code: ErrorCode::BadNamespace,
-            message,
-        }),
-    }
-}
-
-/// Executes one parsed request against the engine.
-fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&Path>) -> Response {
-    match request {
-        Request::Ingest { point, namespace } => {
-            let ns = match resolve_namespace(namespace.as_deref()) {
-                Ok(ns) => ns,
-                Err(response) => return response,
-            };
-            match engine.ingest_in(ns, &point) {
-                Ok(points_seen) => Response::Ingested {
-                    accepted: 1,
-                    points_seen,
-                },
-                Err(e) => error_response(&e),
-            }
-        }
-        Request::IngestBatch { points, namespace } => {
-            let ns = match resolve_namespace(namespace.as_deref()) {
-                Ok(ns) => ns,
-                Err(response) => return response,
-            };
-            if points.len() > MAX_BATCH_POINTS {
-                return Response::Error {
-                    code: ErrorCode::BatchTooLarge,
-                    message: format!(
-                        "batch of {} points exceeds the limit of {MAX_BATCH_POINTS}",
-                        points.len()
-                    ),
-                };
-            }
-            let accepted = points.len() as u64;
-            match engine.ingest_batch_in(ns, &points) {
-                Ok(points_seen) => Response::Ingested {
-                    accepted,
-                    points_seen,
-                },
-                Err(e) => error_response(&e),
-            }
-        }
-        Request::Query {
-            freshness,
-            namespace,
-        } => {
-            let ns = match resolve_namespace(namespace.as_deref()) {
-                Ok(ns) => ns,
-                Err(response) => return response,
-            };
-            match engine.query_in(ns, freshness) {
-                Ok(published) => Response::Centers {
-                    centers: published.centers.to_rows(),
-                    points_seen: published.points_seen,
-                    epoch: published.epoch,
-                    cost: published.cost,
-                    stats: published.stats,
-                },
-                Err(e) => error_response(&e),
-            }
-        }
-        Request::Stats {
-            freshness,
-            namespace,
-        } => {
-            let ns = match resolve_namespace(namespace.as_deref()) {
-                Ok(ns) => ns,
-                Err(response) => return response,
-            };
-            match engine.stats_in(ns, freshness) {
-                Ok(stats) => Response::Stats { stats },
-                Err(e) => error_response(&e),
-            }
-        }
-        Request::Configure { namespace, config } => {
-            let ns = match resolve_namespace(namespace.as_deref()) {
-                Ok(ns) => ns,
-                Err(response) => return response,
-            };
-            configure_tenant(engine, ns, &config)
-        }
-        Request::Snapshot { file, namespace } => {
-            let ns = match resolve_namespace(namespace.as_deref()) {
-                Ok(ns) => ns,
-                Err(response) => return response,
-            };
-            snapshot_to(engine, ns, snapshot_dir, &file)
-        }
-        Request::Shutdown {} => Response::Bye {},
-    }
-}
-
-/// Builds a per-tenant spec from the engine's default spec plus the
-/// request's overrides, and creates the tenant.
-fn configure_tenant(engine: &Engine, namespace: &str, config: &TenantConfig) -> Response {
-    let mut spec: EngineSpec = *engine.default_spec();
-    if let Some(tag) = &config.backend {
-        match BackendKind::parse(tag) {
-            Some(kind) => spec.kind = kind,
-            None => {
-                return Response::Error {
-                    code: ErrorCode::MalformedRequest,
-                    message: format!(
-                        "unknown backend `{tag}` (expected sharded-cc, cc, ct or rcc)"
-                    ),
-                }
-            }
-        }
-    }
-    if let Some(k) = config.k {
-        // `StreamConfig::new` panics on k == 0; answer with a typed error
-        // instead.
-        if k == 0 {
-            return Response::Error {
-                code: ErrorCode::MalformedRequest,
-                message: "k must be positive".to_string(),
-            };
-        }
-        // Re-derive the k-dependent defaults (bucket size) for the new k
-        // instead of keeping the default spec's.
-        let fresh = StreamConfig::new(k);
-        spec.stream.k = fresh.k;
-        spec.stream.bucket_size = fresh.bucket_size;
-    }
-    if let Some(shards) = config.shards {
-        spec.shards = shards;
-    }
-    if let Some(batch) = config.batch {
-        spec.batch = batch;
-    }
-    if let Some(seed) = config.seed {
-        spec.seed = seed;
-    }
-    match engine.configure(namespace, &spec) {
-        Ok((kind, shards)) => Response::Configured {
-            namespace: namespace.to_string(),
-            backend: kind.tag().to_string(),
-            k: spec.stream.k as u64,
-            shards: shards as u64,
-        },
-        Err(e) => error_response(&e),
-    }
-}
-
-/// Writes one tenant's snapshot to `file` inside `snapshot_dir`. The file
-/// name must be bare (no separators, no `..`): the request names a file,
-/// the server owns the directory.
-fn snapshot_to(
-    engine: &Engine,
-    namespace: &str,
-    snapshot_dir: Option<&Path>,
-    file: &str,
-) -> Response {
-    let Some(dir) = snapshot_dir else {
-        return Response::Error {
-            code: ErrorCode::SnapshotUnavailable,
-            message: "server was started without a snapshot directory".to_string(),
-        };
-    };
-    if !is_bare_name(file) {
-        return Response::Error {
-            code: ErrorCode::SnapshotUnavailable,
-            message: format!("snapshot file name `{file}` must be a bare file name"),
-        };
-    }
-    let json = match engine.snapshot_json_in(namespace) {
-        Ok(json) => json,
-        Err(e) => return error_response(&e),
-    };
-    let path = dir.join(file);
-    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &json)) {
-        return Response::Error {
-            code: ErrorCode::Internal,
-            message: format!("cannot write snapshot `{}`: {e}", path.display()),
-        };
-    }
-    Response::Snapshotted {
-        file: path.display().to_string(),
-        bytes: json.len() as u64,
-    }
 }

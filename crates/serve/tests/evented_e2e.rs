@@ -1,0 +1,316 @@
+//! End-to-end acceptance for the evented server core and the revision-1.3
+//! handshake: pre-1.3 newline-JSON clients connect unmodified (no
+//! handshake ⇒ JSON assumed), the binary codec negotiates and serves every
+//! request type, pipelined frames are answered in order, hostile
+//! handshakes leave the connection usable, shutdown drains pipelined
+//! in-flight requests (the PR-4 idle-connection deadlock fix restated for
+//! the evented loop), and the blocking core survives as the JSON-only
+//! baseline.
+
+use skm_serve::prelude::*;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec() -> EngineSpec {
+    EngineSpec::sharded_cc(
+        StreamConfig::new(2)
+            .with_bucket_size(20)
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(2),
+        2,
+        8,
+        7,
+    )
+}
+
+fn start(core: CoreMode) -> ServerHandle {
+    let engine = Arc::new(Engine::new(&spec()).unwrap());
+    Server::bind("127.0.0.1:0", engine, None)
+        .unwrap()
+        .with_core(core)
+        .spawn()
+        .unwrap()
+}
+
+/// Joins `handle.shutdown()` under a watchdog: a hang here is exactly the
+/// deadlock class this suite exists to catch, and must fail the test
+/// instead of wedging the runner.
+fn shutdown_with_watchdog(handle: ServerHandle) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        tx.send(handle.shutdown().is_ok()).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(30)) {
+        Ok(clean) => assert!(clean, "server shutdown reported an error"),
+        Err(_) => panic!("server shutdown deadlocked (watchdog expired)"),
+    }
+}
+
+#[test]
+fn a_pre_1_3_json_client_connects_unmodified_without_a_handshake() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = start(CoreMode::Evented);
+    // Raw newline-JSON with no Hello — the complete pre-1.3 wire dialect.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut reply = String::new();
+
+    stream
+        .write_all(b"{\"Ingest\":{\"point\":[1.0,2.0]}}\n")
+        .unwrap();
+    reader.read_line(&mut reply).unwrap();
+    match Response::from_line(reply.trim()).unwrap() {
+        Response::Ingested { accepted, .. } => assert_eq!(accepted, 1),
+        other => panic!("pre-1.3 ingest refused: {other:?}"),
+    }
+
+    // Blank keep-alive lines are still skipped, not answered — and do not
+    // consume the connection's first-frame handshake window.
+    stream.write_all(b"\n{\"Stats\":{}}\n").unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    match Response::from_line(reply.trim()).unwrap() {
+        Response::Stats { stats } => assert_eq!(stats.points_seen, 1),
+        other => panic!("pre-1.3 stats refused: {other:?}"),
+    }
+    drop(stream);
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    shutdown_with_watchdog(handle);
+}
+
+#[test]
+fn the_binary_handshake_negotiates_and_serves_every_request_type() {
+    let handle = start(CoreMode::Evented);
+    let mut client = Client::builder(handle.addr())
+        .codec(CodecKind::Binary)
+        .connect()
+        .unwrap();
+    assert_eq!(client.codec_kind(), CodecKind::Binary);
+
+    for i in 0..40u32 {
+        let x = if i % 2 == 0 { 0.0 } else { 80.0 };
+        match client.ingest(vec![x, f64::from(i % 5)]).unwrap() {
+            Response::Ingested { .. } => {}
+            other => panic!("binary ingest failed: {other:?}"),
+        }
+    }
+    match client
+        .ingest_batch(vec![vec![0.0, 0.0], vec![80.0, 1.0]])
+        .unwrap()
+    {
+        Response::Ingested { accepted, .. } => assert_eq!(accepted, 2),
+        other => panic!("binary batch failed: {other:?}"),
+    }
+    assert_eq!(client.query_centers().unwrap().len(), 2);
+    assert_eq!(client.stats().unwrap().points_seen, 42);
+    match client.query_opts(&RequestOptions::cached()).unwrap() {
+        Response::Centers { .. } => {}
+        other => panic!("binary cached query failed: {other:?}"),
+    }
+    // Typed errors travel the binary codec too.
+    match client.ingest(vec![1.0]).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::DimensionMismatch),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    shutdown_with_watchdog(handle);
+}
+
+#[test]
+fn binary_and_json_connections_interleave_on_one_server() {
+    let handle = start(CoreMode::Evented);
+    let mut json = Client::connect(handle.addr()).unwrap();
+    let mut binary = Client::builder(handle.addr())
+        .codec(CodecKind::Binary)
+        .connect()
+        .unwrap();
+    json.ingest(vec![1.0, 2.0]).unwrap();
+    binary.ingest(vec![3.0, 4.0]).unwrap();
+    assert_eq!(json.stats().unwrap().points_seen, 2);
+    assert_eq!(binary.stats().unwrap().points_seen, 2);
+    json.shutdown().unwrap();
+    shutdown_with_watchdog(handle);
+}
+
+#[test]
+fn pipelined_frames_are_answered_in_order_on_one_connection() {
+    let handle = start(CoreMode::Evented);
+    for kind in [CodecKind::Json, CodecKind::Binary] {
+        let mut client = Client::builder(handle.addr())
+            .codec(kind)
+            .connect()
+            .unwrap();
+        // One write carrying interleaved ingests, stats and queries; the
+        // responses must come back one per request, in request order.
+        let requests: Vec<Request> = (0..30)
+            .flat_map(|i| {
+                let x = if i % 2 == 0 { 0.0 } else { 80.0 };
+                vec![
+                    Request::Ingest {
+                        point: vec![x, f64::from(i % 5)],
+                        namespace: None,
+                    },
+                    Request::Stats {
+                        freshness: Freshness::Cached,
+                        namespace: None,
+                    },
+                ]
+            })
+            .collect();
+        let responses = client.pipeline(&requests).unwrap();
+        assert_eq!(responses.len(), requests.len());
+        let mut seen = 0;
+        for (i, response) in responses.iter().enumerate() {
+            if i % 2 == 0 {
+                match response {
+                    Response::Ingested { points_seen, .. } => {
+                        assert!(*points_seen > seen, "out-of-order ingest at {i} ({kind:?})");
+                        seen = *points_seen;
+                    }
+                    other => panic!("slot {i} should be Ingested ({kind:?}): {other:?}"),
+                }
+            } else {
+                assert!(
+                    matches!(response, Response::Stats { .. }),
+                    "slot {i} should be Stats ({kind:?}): {response:?}"
+                );
+            }
+        }
+    }
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    shutdown_with_watchdog(handle);
+}
+
+#[test]
+fn garbage_and_late_handshakes_get_bad_codec_and_the_connection_survives() {
+    let handle = start(CoreMode::Evented);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Unknown codec as the first frame: typed refusal, connection stays on
+    // JSON and keeps working.
+    match client
+        .send_raw_line("{\"Hello\":{\"codec\":\"gzip\"}}")
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadCodec),
+        other => panic!("expected BadCodec, got {other:?}"),
+    }
+    match client.ingest(vec![1.0, 2.0]).unwrap() {
+        Response::Ingested { .. } => {}
+        other => panic!("connection unusable after refused handshake: {other:?}"),
+    }
+
+    // A Hello after the first frame is late, even with a valid codec.
+    match client
+        .call(&Request::Hello {
+            codec: "binary".to_string(),
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadCodec),
+        other => panic!("expected BadCodec for a late Hello, got {other:?}"),
+    }
+    assert_eq!(client.stats().unwrap().points_seen, 1);
+
+    client.shutdown().unwrap();
+    shutdown_with_watchdog(handle);
+}
+
+#[test]
+fn shutdown_drains_pipelined_in_flight_requests_before_exit() {
+    let handle = start(CoreMode::Evented);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Everything ships in ONE write: the server sees a buffer holding 20
+    // ingests and the Shutdown. All 21 responses must come back — the
+    // buffered requests ahead of the Shutdown are in-flight work the drain
+    // path owes an answer.
+    let mut requests: Vec<Request> = (0..20)
+        .map(|i| Request::Ingest {
+            point: vec![f64::from(i), 0.0],
+            namespace: None,
+        })
+        .collect();
+    requests.push(Request::Shutdown {});
+    let responses = client.pipeline(&requests).unwrap();
+    assert_eq!(responses.len(), 21);
+    for response in &responses[..20] {
+        assert!(
+            matches!(response, Response::Ingested { .. }),
+            "{response:?}"
+        );
+    }
+    assert!(matches!(responses[20], Response::Bye {}));
+    shutdown_with_watchdog(handle);
+}
+
+#[test]
+fn shutdown_completes_with_idle_connections_held_open() {
+    // The PR-4 regression restated for the evented loop: connections that
+    // never send a byte must not wedge the shutdown join.
+    let handle = start(CoreMode::Evented);
+    let idle: Vec<std::net::TcpStream> = (0..16)
+        .map(|_| std::net::TcpStream::connect(handle.addr()).unwrap())
+        .collect();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ingest(vec![1.0, 2.0]).unwrap();
+    client.shutdown().unwrap();
+    shutdown_with_watchdog(handle);
+    drop(idle);
+}
+
+#[test]
+fn a_write_heavy_pipeline_is_absorbed_by_backpressure_not_a_deadlock() {
+    let handle = start(CoreMode::Evented);
+    let mut feeder = Client::builder(handle.addr())
+        .codec(CodecKind::Binary)
+        .connect()
+        .unwrap();
+    for i in 0..60u32 {
+        let x = if i % 2 == 0 { 0.0 } else { 80.0 };
+        feeder.ingest(vec![x, f64::from(i % 5)]).unwrap();
+    }
+    // 4000 queries written before a single response is read: the response
+    // bytes pile up in the connection's write buffer and the socket, and
+    // the server must keep making progress (pausing reads at the high
+    // water mark rather than blocking a thread) until the client drains.
+    let requests: Vec<Request> = (0..4000)
+        .map(|_| Request::Query {
+            freshness: Freshness::Cached,
+            namespace: None,
+        })
+        .collect();
+    let responses = feeder.pipeline(&requests).unwrap();
+    assert_eq!(responses.len(), 4000);
+    for response in &responses {
+        assert!(matches!(response, Response::Centers { .. }), "{response:?}");
+    }
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    shutdown_with_watchdog(handle);
+}
+
+#[test]
+fn the_blocking_core_still_serves_json_and_refuses_binary() {
+    let handle = start(CoreMode::Blocking);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ingest(vec![1.0, 2.0]).unwrap();
+    assert_eq!(client.stats().unwrap().points_seen, 1);
+
+    // The binary handshake is a typed refusal on the blocking core, and
+    // the builder surfaces it as a connect error.
+    let err = Client::builder(handle.addr())
+        .codec(CodecKind::Binary)
+        .connect()
+        .expect_err("the blocking core must refuse the binary codec");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    client.shutdown().unwrap();
+    shutdown_with_watchdog(handle);
+}

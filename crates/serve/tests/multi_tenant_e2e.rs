@@ -6,6 +6,7 @@
 use skm_serve::engine::{Engine, EngineSpec};
 use skm_serve::prelude::*;
 use skm_serve::server::ServerHandle;
+
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -41,11 +42,24 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 /// Two well-separated blobs, offset per tenant so centers are tellable.
 fn feed(client: &mut Client, n: usize, offset: f64) {
+    feed_opts(client, &RequestOptions::new(), n, offset);
+}
+
+/// Like [`feed`], but addressed with explicit per-request options.
+fn feed_opts(client: &mut Client, opts: &RequestOptions, n: usize, offset: f64) {
     for i in 0..n {
         let x = if i % 2 == 0 { 0.0 } else { 60.0 };
         client
-            .ingest(vec![x + offset, (i % 5) as f64 * 0.1])
+            .ingest_opts(vec![x + offset, (i % 5) as f64 * 0.1], opts)
             .unwrap();
+    }
+}
+
+/// Queries with explicit options and unwraps the centers.
+fn centers_opts(client: &mut Client, opts: &RequestOptions) -> Vec<Vec<f64>> {
+    match client.query_opts(opts).unwrap() {
+        Response::Centers { centers, .. } => centers,
+        other => panic!("query failed: {other:?}"),
     }
 }
 
@@ -66,12 +80,14 @@ fn expect_error(response: Response, code: ErrorCode) {
 #[test]
 fn tenants_are_isolated_and_the_default_is_untouched() {
     let handle = start_server();
-    let mut alpha = Client::connect(handle.addr())
-        .unwrap()
-        .with_namespace("alpha");
-    let mut beta = Client::connect(handle.addr())
-        .unwrap()
-        .with_namespace("beta");
+    let mut alpha = Client::builder(handle.addr())
+        .namespace("alpha")
+        .connect()
+        .unwrap();
+    let mut beta = Client::builder(handle.addr())
+        .namespace("beta")
+        .connect()
+        .unwrap();
 
     feed(&mut alpha, 60, 0.0);
     feed(&mut beta, 40, 1000.0);
@@ -110,9 +126,10 @@ fn an_omitted_namespace_is_the_default_tenant() {
     // One client sends pre-tenancy requests (no namespace), the other
     // explicitly addresses `default`: both must hit the same stream.
     let mut plain = Client::connect(handle.addr()).unwrap();
-    let mut explicit = Client::connect(handle.addr())
-        .unwrap()
-        .with_namespace(DEFAULT_NAMESPACE);
+    let mut explicit = Client::builder(handle.addr())
+        .namespace(DEFAULT_NAMESPACE)
+        .connect()
+        .unwrap();
 
     feed(&mut plain, 30, 0.0);
     feed(&mut explicit, 30, 0.0);
@@ -130,9 +147,10 @@ fn an_omitted_namespace_is_the_default_tenant() {
 #[test]
 fn configure_creates_a_tenant_with_custom_settings_once() {
     let handle = start_server();
-    let mut client = Client::connect(handle.addr())
-        .unwrap()
-        .with_namespace("big");
+    let mut client = Client::builder(handle.addr())
+        .namespace("big")
+        .connect()
+        .unwrap();
 
     // k=3 on the single-threaded CC backend, overriding the server default
     // (k=2 sharded).
@@ -173,9 +191,10 @@ fn configure_creates_a_tenant_with_custom_settings_once() {
         ErrorCode::TenantExists,
     );
     // Unknown backend tags and k=0 are malformed, not tenant errors.
-    let mut bad = Client::connect(handle.addr())
-        .unwrap()
-        .with_namespace("oops");
+    let mut bad = Client::builder(handle.addr())
+        .namespace("oops")
+        .connect()
+        .unwrap();
     expect_error(
         bad.configure(TenantConfig {
             backend: Some("quantum".to_string()),
@@ -202,22 +221,22 @@ fn escaping_and_oversized_namespaces_get_the_typed_error() {
     let handle = start_server();
     let mut client = Client::connect(handle.addr()).unwrap();
     for bad in ["../evil", "a/b", "a\\b", "", ".", ".."] {
-        client.set_namespace(Some(bad.to_string()));
+        let opts = RequestOptions::new().with_namespace(bad);
         expect_error(
-            client.ingest(vec![1.0, 2.0]).unwrap(),
+            client.ingest_opts(vec![1.0, 2.0], &opts).unwrap(),
             ErrorCode::BadNamespace,
         );
-        expect_error(client.query().unwrap(), ErrorCode::BadNamespace);
+        expect_error(client.query_opts(&opts).unwrap(), ErrorCode::BadNamespace);
     }
-    client.set_namespace(Some("x".repeat(129)));
+    let oversized = RequestOptions::new().with_namespace("x".repeat(129));
     expect_error(
-        client.ingest(vec![1.0, 2.0]).unwrap(),
+        client.ingest_opts(vec![1.0, 2.0], &oversized).unwrap(),
         ErrorCode::BadNamespace,
     );
 
     // The connection survives every rejection, and a valid namespace works.
-    client.set_namespace(Some("fine".to_string()));
-    match client.ingest(vec![1.0, 2.0]).unwrap() {
+    let fine = RequestOptions::new().with_namespace("fine");
+    match client.ingest_opts(vec![1.0, 2.0], &fine).unwrap() {
         Response::Ingested { accepted, .. } => assert_eq!(accepted, 1),
         other => panic!("valid namespace refused: {other:?}"),
     }
@@ -233,15 +252,17 @@ fn the_tenant_limit_is_a_typed_error_without_an_eviction_directory() {
         .unwrap()
         .spawn()
         .unwrap();
-    let mut client = Client::connect(handle.addr()).unwrap().with_namespace("t1");
+    let mut client = Client::builder(handle.addr())
+        .namespace("t1")
+        .connect()
+        .unwrap();
     feed(&mut client, 10, 0.0);
-    client.set_namespace(Some("t2".to_string()));
+    let t2 = RequestOptions::new().with_namespace("t2");
     expect_error(
-        client.ingest(vec![1.0, 2.0]).unwrap(),
+        client.ingest_opts(vec![1.0, 2.0], &t2).unwrap(),
         ErrorCode::TenantLimit,
     );
-    // Existing tenants keep serving.
-    client.set_namespace(Some("t1".to_string()));
+    // Existing tenants keep serving (the client's default namespace).
     assert_eq!(client.stats().unwrap().points_seen, 10);
     client.shutdown().unwrap();
     handle.shutdown().unwrap();
@@ -258,27 +279,26 @@ fn eviction_and_restore_are_transparent_under_live_traffic() {
         .spawn()
         .unwrap();
     let mut client = Client::connect(handle.addr()).unwrap();
+    let hot = RequestOptions::new().with_namespace("hot");
+    let cold = RequestOptions::new().with_namespace("cold");
 
-    client.set_namespace(Some("hot".to_string()));
-    feed(&mut client, 40, 0.0);
-    let hot_before = sorted(client.query_centers().unwrap());
+    feed_opts(&mut client, &hot, 40, 0.0);
+    let hot_before = sorted(centers_opts(&mut client, &hot));
 
     // Creating `cold` forces an eviction (cap 2: default + one): the
     // victim is whichever of {default, hot} is colder — touch default so
     // `hot` is paged out.
     let mut plain = Client::connect(handle.addr()).unwrap();
     let _ = plain.query(); // touches default (EmptyStream is fine)
-    client.set_namespace(Some("cold".to_string()));
-    feed(&mut client, 20, 1000.0);
+    feed_opts(&mut client, &cold, 20, 1000.0);
     assert!(engine.is_evicted_to_disk("hot"));
 
     // Going back to `hot` restores it mid-connection; counts, centers and
     // further ingestion all continue as if nothing happened.
-    client.set_namespace(Some("hot".to_string()));
-    assert_eq!(client.stats().unwrap().points_seen, 40);
-    assert_eq!(sorted(client.query_centers().unwrap()), hot_before);
-    feed(&mut client, 10, 0.0);
-    assert_eq!(client.stats().unwrap().points_seen, 50);
+    assert_eq!(client.stats_opts(&hot).unwrap().points_seen, 40);
+    assert_eq!(sorted(centers_opts(&mut client, &hot)), hot_before);
+    feed_opts(&mut client, &hot, 10, 0.0);
+    assert_eq!(client.stats_opts(&hot).unwrap().points_seen, 50);
 
     client.shutdown().unwrap();
     handle.shutdown().unwrap();

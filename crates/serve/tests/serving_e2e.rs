@@ -72,7 +72,11 @@ fn four_concurrent_clients_match_the_in_process_cost_envelope() {
         .unwrap()
         .spawn()
         .unwrap();
-    let spec = LoadSpec::single_tenant(handle.addr(), 4, BATCH, 16, Freshness::Strict);
+    let spec = LoadSpec::new(handle.addr())
+        .with_connections(4)
+        .with_batch(BATCH)
+        .with_query_every(16)
+        .with_freshness(Freshness::Strict);
     let report = run_load(&spec, &points).unwrap();
     assert_eq!(report.points_sent, 50_000);
     assert_eq!(report.server_errors, 0);

@@ -67,7 +67,12 @@ fn main() {
     println!("serving on {} (sharded CC, 4 shards)\n", handle.addr());
 
     let mut ingest = Client::connect(handle.addr()).expect("connect ingest client");
-    let mut query = Client::connect(handle.addr()).expect("connect query client");
+    // The query client negotiates the compact binary codec on connect; the
+    // ingest client stays on newline-JSON — the server speaks both at once.
+    let mut query = Client::builder(handle.addr())
+        .codec(CodecKind::Binary)
+        .connect()
+        .expect("connect query client");
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let mut previous: Option<Vec<Vec<f64>>> = None;
 
@@ -89,7 +94,10 @@ fn main() {
         };
         // A cached follow-up re-reads the answer the strict query just
         // published — no drain, no k-means++, same epoch-stamped value.
-        match query.query_with(Freshness::Cached).expect("cached query") {
+        match query
+            .query_opts(&RequestOptions::cached())
+            .expect("cached query")
+        {
             Response::Centers {
                 epoch, points_seen, ..
             } => assert_eq!((epoch, points_seen), (phase as u64 + 1, seen)),
