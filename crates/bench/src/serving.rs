@@ -1,23 +1,23 @@
 //! The `serving` workload: request latency of the `skm-serve` TCP server
 //! under a concurrent ingest:query mix, emitted as `BENCH_serving.json`.
 //!
-//! Since protocol revision 1.3 the headline grid is the **I/O-tier grid**:
-//! the three server/wire combinations `blocking+json` (the legacy
-//! thread-per-connection baseline, retained for one release as the
-//! comparison anchor), `evented+json` (the readiness-polling core on the
-//! debug codec) and `evented+binary` (the evented core with the negotiated
+//! Since protocol revision 1.3 the headline grid is the **codec-tier
+//! grid**: the two wire framings of the evented core, `json` (the
+//! newline-delimited debug codec) and `binary` (the negotiated
 //! length-prefixed codec) — each measured at 1, 4 and 64 concurrent
-//! connections on a single tenant with strict queries. A second, smaller
-//! **tenancy grid** keeps the multi-tenant/freshness comparison from the
-//! earlier revisions on the default tier (evented+json, 4 connections):
+//! connections on a single tenant with strict queries. (The
+//! thread-per-connection blocking core served one release as the third
+//! tier and has been removed along with its `--core` flag.) A second,
+//! smaller **tenancy grid** keeps the multi-tenant/freshness comparison
+//! from the earlier revisions on the default tier (json, 4 connections):
 //! tenants ∈ {1, 8} with strict and cached queries, multi-tenant cells
 //! spreading batches over `t0` … `t7` with Zipf(`ZIPF_S`) skew.
 //!
 //! For each cell the harness starts a fresh in-process server (sharded-CC
-//! engine, ephemeral port) with the cell's core, drives it with the
-//! built-in load generator on the cell's codec (Power-dataset points split
-//! across the connections, one query per `QUERY_EVERY` ingest requests per
-//! connection) and asserts a clean shutdown. The resulting
+//! engine, ephemeral port), drives it with the built-in load generator on
+//! the cell's codec (Power-dataset points split across the connections,
+//! one query per `QUERY_EVERY` ingest requests per connection) and asserts
+//! a clean shutdown. The resulting
 //! [`AlgorithmReport`] cells reuse the standard schema:
 //!
 //! * `update_ns` — per-request `IngestBatch` round-trip latency (loopback
@@ -31,8 +31,8 @@
 //!   pseudo-random sample of the same mixture, so the cost remains
 //!   comparable across cells.
 //!
-//! Cell names follow `serve/core=<core>/codec=<codec>/tenants=<T>/
-//! conns=<C>/<freshness>` (see the tier table in `bench/README.md`).
+//! Cell names follow `serve/codec=<codec>/tenants=<T>/conns=<C>/
+//! <freshness>` (see the tier table in `bench/README.md`).
 //!
 //! The serving workload is **not** added to `bench/baseline.json`: request
 //! latency includes kernel networking and scheduler behaviour, which varies
@@ -48,8 +48,7 @@ use skm_clustering::Centers;
 use skm_metrics::memory_bytes;
 use skm_serve::loadgen::tenant_name;
 use skm_serve::{
-    run_load, Client, CodecKind, CoreMode, Engine, EngineSpec, Freshness, LoadSpec, RequestOptions,
-    Server,
+    run_load, Client, CodecKind, Engine, EngineSpec, Freshness, LoadSpec, RequestOptions, Server,
 };
 use skm_stream::StreamConfig;
 use std::sync::Arc;
@@ -57,18 +56,14 @@ use std::sync::Arc;
 /// Workload name — file name becomes `BENCH_serving.json`.
 pub const SERVING_WORKLOAD: &str = "serving";
 
-/// The three I/O tiers measured: server core × wire codec. The blocking
-/// JSON tier is the pre-1.3 baseline, kept for one release so the evented
-/// rewrite has an in-report comparison anchor.
-pub const TIER_GRID: [(CoreMode, CodecKind); 3] = [
-    (CoreMode::Blocking, CodecKind::Json),
-    (CoreMode::Evented, CodecKind::Json),
-    (CoreMode::Evented, CodecKind::Binary),
-];
+/// The two wire-codec tiers measured on the evented core. (The blocking
+/// JSON tier was the pre-1.3 baseline; it served one release as the
+/// comparison anchor and has been removed with the blocking core.)
+pub const TIER_GRID: [CodecKind; 2] = [CodecKind::Json, CodecKind::Binary];
 
 /// Connection counts measured per tier (1 isolates protocol overhead; 4 is
 /// the concurrent-ingest cell; 64 is where the evented core's poll set has
-/// to pay off against 64 blocked handler threads).
+/// to prove it scales past the old one-thread-per-connection design).
 pub const CONNECTION_GRID: [usize; 3] = [1, 4, 64];
 
 /// Tenant counts of the tenancy grid (1 keeps the pre-tenancy
@@ -98,7 +93,6 @@ const TENANCY_CONNS: usize = 4;
 /// One measured cell of the serving grid.
 #[derive(Debug, Clone, Copy)]
 struct Cell {
-    core: CoreMode,
     codec: CodecKind,
     tenants: usize,
     connections: usize,
@@ -108,8 +102,7 @@ struct Cell {
 impl Cell {
     fn name(&self) -> String {
         format!(
-            "serve/core={}/codec={}/tenants={}/conns={}/{}",
-            self.core.as_str(),
+            "serve/codec={}/tenants={}/conns={}/{}",
             self.codec.as_str(),
             self.tenants,
             self.connections,
@@ -120,13 +113,12 @@ impl Cell {
 
 /// The full cell list: the tier grid (single tenant, strict) followed by
 /// the tenancy grid (default tier) minus its duplicate of the tier-grid
-/// `evented+json` strict cell.
+/// `json` strict cell.
 fn cells() -> Vec<Cell> {
     let mut cells = Vec::new();
-    for &(core, codec) in &TIER_GRID {
+    for &codec in &TIER_GRID {
         for &connections in &CONNECTION_GRID {
             cells.push(Cell {
-                core,
                 codec,
                 tenants: 1,
                 connections,
@@ -137,10 +129,9 @@ fn cells() -> Vec<Cell> {
     for &tenants in &TENANT_GRID {
         for &freshness in &FRESHNESS_GRID {
             if tenants == 1 && freshness == Freshness::Strict {
-                continue; // already measured as the evented+json tier cell
+                continue; // already measured as the json tier cell
             }
             cells.push(Cell {
-                core: CoreMode::Evented,
                 codec: CodecKind::Json,
                 tenants,
                 connections: TENANCY_CONNS,
@@ -165,9 +156,8 @@ fn io_error(context: &str, e: &std::io::Error) -> ClusteringError {
     }
 }
 
-/// Runs one cell: fresh engine + server on the cell's core, load
-/// generation on the cell's codec, final query, clean shutdown. Returns
-/// the cell report.
+/// Runs one cell: fresh engine + server, load generation on the cell's
+/// codec, final query, clean shutdown. Returns the cell report.
 fn run_cell(
     points: &[Vec<f64>],
     config: StreamConfig,
@@ -180,9 +170,8 @@ fn run_cell(
         REQUEST_BATCH,
         seed,
     ))?);
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), None)
-        .map_err(|e| io_error("bind", &e))?
-        .with_core(cell.core);
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&engine), None).map_err(|e| io_error("bind", &e))?;
     let handle = server.spawn().map_err(|e| io_error("spawn", &e))?;
 
     let spec = LoadSpec::new(handle.addr())
@@ -232,8 +221,7 @@ fn run_cell(
         .shutdown()
         .map_err(|e| io_error("shutdown request", &e))?;
     // Clean shutdown is part of the measurement contract: a hang here means
-    // the server leaked a connection handler (blocking core) or an event
-    // loop failed to drain (evented core).
+    // an event loop failed to drain its connections.
     handle
         .shutdown()
         .map_err(|e| io_error("shutdown join", &e))?;
@@ -274,8 +262,8 @@ pub fn measure_serving_workload(points: usize, k: usize, seed: u64) -> Result<Wo
     }
 
     // The schema's workload-level coreset-build metric is not meaningful
-    // for a network workload; reuse the blocking-baseline single-connection
-    // strict ingest latency so the field carries a real (and comparable)
+    // for a network workload; reuse the json-tier single-connection strict
+    // ingest latency so the field carries a real (and comparable)
     // measurement.
     let coreset_build_ns = algorithms[0].update_ns.clone();
 
@@ -316,18 +304,15 @@ mod tests {
         assert_eq!(
             names,
             [
-                "serve/core=blocking/codec=json/tenants=1/conns=1/strict",
-                "serve/core=blocking/codec=json/tenants=1/conns=4/strict",
-                "serve/core=blocking/codec=json/tenants=1/conns=64/strict",
-                "serve/core=evented/codec=json/tenants=1/conns=1/strict",
-                "serve/core=evented/codec=json/tenants=1/conns=4/strict",
-                "serve/core=evented/codec=json/tenants=1/conns=64/strict",
-                "serve/core=evented/codec=binary/tenants=1/conns=1/strict",
-                "serve/core=evented/codec=binary/tenants=1/conns=4/strict",
-                "serve/core=evented/codec=binary/tenants=1/conns=64/strict",
-                "serve/core=evented/codec=json/tenants=1/conns=4/cached",
-                "serve/core=evented/codec=json/tenants=8/conns=4/strict",
-                "serve/core=evented/codec=json/tenants=8/conns=4/cached",
+                "serve/codec=json/tenants=1/conns=1/strict",
+                "serve/codec=json/tenants=1/conns=4/strict",
+                "serve/codec=json/tenants=1/conns=64/strict",
+                "serve/codec=binary/tenants=1/conns=1/strict",
+                "serve/codec=binary/tenants=1/conns=4/strict",
+                "serve/codec=binary/tenants=1/conns=64/strict",
+                "serve/codec=json/tenants=1/conns=4/cached",
+                "serve/codec=json/tenants=8/conns=4/strict",
+                "serve/codec=json/tenants=8/conns=4/cached",
             ]
         );
         for cell in &report.algorithms {
@@ -347,24 +332,24 @@ mod tests {
             // 1. The published read path: cached queries never wait on
             //    ingestion (only meaningful at conns=4 where strict queries
             //    structurally contend with three ingesting connections).
-            let strict_cell = &report.algorithms[4]; // evented/json/tenants=1/conns=4/strict
-            let cached_cell = &report.algorithms[9]; // evented/json/tenants=1/conns=4/cached
+            let strict_cell = &report.algorithms[1]; // json/tenants=1/conns=4/strict
+            let cached_cell = &report.algorithms[6]; // json/tenants=1/conns=4/cached
             assert!(
                 cached_cell.query_ns.median_ns <= 1.25 * strict_cell.query_ns.median_ns,
                 "cached median {} ns should not exceed strict median {} ns by >25%",
                 cached_cell.query_ns.median_ns,
                 strict_cell.query_ns.median_ns,
             );
-            // 2. The evented rewrite: at 64 connections the poll set must
-            //    not lose to 64 blocked handler threads (the acceptance
+            // 2. The binary codec: at 64 connections the length-prefixed
+            //    framing must not lose to newline-JSON (the acceptance
             //    target is an outright win; the tripwire allows 25%).
-            let blocking = &report.algorithms[2]; // blocking/json/conns=64
-            let binary = &report.algorithms[8]; // evented/binary/conns=64
+            let json = &report.algorithms[2]; // json/conns=64
+            let binary = &report.algorithms[5]; // binary/conns=64
             assert!(
-                binary.update_ns.median_ns <= 1.25 * blocking.update_ns.median_ns,
-                "evented+binary ingest median {} ns should not exceed blocking+json median {} ns by >25% at 64 connections",
+                binary.update_ns.median_ns <= 1.25 * json.update_ns.median_ns,
+                "binary ingest median {} ns should not exceed json median {} ns by >25% at 64 connections",
                 binary.update_ns.median_ns,
-                blocking.update_ns.median_ns,
+                json.update_ns.median_ns,
             );
         }
     }

@@ -407,17 +407,22 @@ impl<C: ShardClusterer> ShardedStream<C> {
 
     /// Ships shard `s`'s pending batch, if any.
     fn flush_shard(&mut self, shard: usize) -> Result<()> {
-        if self.pending[shard].is_empty() {
+        // No dimension means no point was ever buffered: nothing to ship.
+        let Some(dim) = self.dim else {
+            return Ok(());
+        };
+        let Some(pending) = self.pending.get_mut(shard) else {
+            return Ok(());
+        };
+        if pending.is_empty() {
             return Ok(());
         }
-        let dim = self.dim.expect("pending points imply a known dimension");
         // Keep a same-sized allocation in place so steady-state ingestion
         // reuses buffers instead of growing fresh ones from zero.
-        let coords = std::mem::replace(
-            &mut self.pending[shard],
-            Vec::with_capacity(self.batch_size * dim),
-        );
-        self.senders[shard]
+        let coords = std::mem::replace(pending, Vec::with_capacity(self.batch_size * dim));
+        self.senders
+            .get(shard)
+            .ok_or_else(|| shard_disconnected(shard))?
             .send(ShardCmd::Batch { dim, coords })
             .map_err(|_| shard_disconnected(shard))
     }
@@ -706,9 +711,14 @@ impl<C: ShardClusterer> StreamingClusterer for ShardedStream<C> {
 
         let shard = self.next_shard;
         self.next_shard = (shard + 1) % self.shards();
-        self.pending[shard].extend_from_slice(point);
+        let Some(pending) = self.pending.get_mut(shard) else {
+            // `shard < self.shards() == self.pending.len()` by the modulo
+            // above; refuse the point rather than lose it silently.
+            return Err(shard_disconnected(shard));
+        };
+        pending.extend_from_slice(point);
         self.points_seen += 1;
-        if self.pending[shard].len() >= self.batch_size * point.len() {
+        if pending.len() >= self.batch_size * point.len() {
             self.flush_shard(shard)?;
         }
         Ok(())

@@ -1,0 +1,234 @@
+//! A minimal TOML-subset parser for `lint.toml`.
+//!
+//! The linter is deliberately dependency-free, so instead of a full TOML
+//! implementation it reads the small dialect its own config actually uses:
+//! `[section]` headers, `key = "string"` and `key = ["a", "b", …]` (arrays
+//! may span lines). Anything outside that dialect is a hard error — a
+//! config typo should fail the lint run loudly, not silently disable a
+//! rule.
+
+use std::collections::BTreeMap;
+
+/// Parsed `lint.toml`: section name → key → list of string values.
+///
+/// Scalars are represented as single-element lists so every lookup has one
+/// shape.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    sections: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+impl Config {
+    /// Parses config text, returning `Err` with a line-numbered message on
+    /// the first construct outside the supported dialect.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut sections: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+        let mut current = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                current = name.trim().to_string();
+                sections.entry(current.clone()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {}: expected `key = value` or `[section]`",
+                    idx + 1
+                ));
+            };
+            let key = key.trim().to_string();
+            let mut value = value.trim().to_string();
+            // Arrays may span lines: keep consuming until the bracket closes.
+            if value.starts_with('[') {
+                while !value.ends_with(']') {
+                    let Some((_, next)) = lines.next() else {
+                        return Err(format!("line {}: unterminated array for `{key}`", idx + 1));
+                    };
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+            }
+            let values =
+                parse_value(&value).map_err(|e| format!("line {}: {e} for `{key}`", idx + 1))?;
+            if current.is_empty() {
+                return Err(format!(
+                    "line {}: `{key}` appears before any [section]",
+                    idx + 1
+                ));
+            }
+            sections
+                .entry(current.clone())
+                .or_default()
+                .insert(key, values);
+        }
+        Ok(Self { sections })
+    }
+
+    /// The values of `key` in `section`, empty when absent.
+    #[must_use]
+    pub fn list(&self, section: &str, key: &str) -> &[String] {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The single value of `key` in `section`, when present.
+    #[must_use]
+    pub fn scalar(&self, section: &str, key: &str) -> Option<&str> {
+        match self.list(section, key) {
+            [one] => Some(one.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when the config has a `[section]` header for `section`.
+    #[must_use]
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.contains_key(section)
+    }
+}
+
+/// Drops a trailing `# comment`, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parses `"string"` or `["a", "b"]` into a value list.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut values = Vec::new();
+        for part in split_array(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            values.push(parse_string(part)?);
+        }
+        return Ok(values);
+    }
+    Ok(vec![parse_string(value)?])
+}
+
+/// Splits array contents on commas outside quotes.
+fn split_array(inner: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in inner.chars() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                current.push(c);
+                continue;
+            }
+            '"' if !escaped => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ',' if !in_string => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+        escaped = false;
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parses one `"…"` string literal with `\"` / `\\` escapes.
+fn parse_string(part: &str) -> Result<String, String> {
+    let inner = part
+        .strip_prefix('"')
+        .and_then(|p| p.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some(next @ ('"' | '\\')) => out.push(next),
+                Some(next) => {
+                    out.push(c);
+                    out.push(next);
+                }
+                None => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_scalars_and_arrays_parse() {
+        let cfg = Config::parse(
+            r#"
+            # top comment
+            [lint]
+            skip = ["target", ".git"] # trailing comment
+
+            [deprecation-expiry]
+            current = "0.1.0"
+            "#,
+        )
+        .expect("valid config");
+        assert_eq!(
+            cfg.list("lint", "skip"),
+            ["target".to_string(), ".git".to_string()]
+        );
+        assert_eq!(cfg.scalar("deprecation-expiry", "current"), Some("0.1.0"));
+        assert!(cfg.has_section("lint"));
+        assert!(!cfg.has_section("missing"));
+        assert!(cfg.list("lint", "absent").is_empty());
+    }
+
+    #[test]
+    fn multiline_arrays_parse() {
+        let cfg = Config::parse("[panic-freedom]\npaths = [\n  \"a.rs\",\n  \"b.rs\",\n]\n")
+            .expect("valid config");
+        assert_eq!(
+            cfg.list("panic-freedom", "paths"),
+            ["a.rs".to_string(), "b.rs".to_string()]
+        );
+    }
+
+    #[test]
+    fn malformed_configs_are_hard_errors() {
+        assert!(Config::parse("key = \"before section\"").is_err());
+        assert!(Config::parse("[s]\nnot a kv line").is_err());
+        assert!(Config::parse("[s]\nkey = unquoted").is_err());
+        assert!(Config::parse("[s]\nkey = [\"open").is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! A hand-rolled Rust lexer, in the spirit of the vendored `serde_derive`
+//! tokenizer: just enough of the language to reason about *tokens* — never
+//! about text inside comments, strings or doc examples, which is where
+//! naive `grep`-style linting drowns in false positives.
+//!
+//! The lexer understands line/block comments (nested), string / raw-string
+//! / byte-string / char literals, lifetimes, identifiers and numeric
+//! literals. Everything else is a single-character punct. Every token
+//! carries the 1-based line it starts on, so findings are clickable.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `unwrap`, `read_map`, …).
+    Ident,
+    /// A numeric literal (`0x81`, `13`, `1.5`); `text` is the raw spelling.
+    Number,
+    /// A string literal; `text` is the *content* (escapes unprocessed).
+    Str,
+    /// A char literal or lifetime.
+    Char,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token text (see [`TokenKind`] for what it holds per kind).
+    pub text: String,
+    /// Lexeme class.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// The identifier text, when this token is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        (self.kind == TokenKind::Ident).then_some(self.text.as_str())
+    }
+
+    /// True when this token is exactly the punct `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    /// Consumes a `"`-delimited string body (opening quote already
+    /// consumed), returning its raw content.
+    fn string_body(&mut self) -> String {
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    content.push(c);
+                    if let Some(escaped) = self.bump() {
+                        content.push(escaped);
+                    }
+                }
+                _ => content.push(c),
+            }
+        }
+        content
+    }
+
+    /// Consumes a raw-string body after `r#*"`, where `hashes` is the
+    /// number of `#` in the opener.
+    fn raw_string_body(&mut self, hashes: usize) -> String {
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            content.push(c);
+        }
+        content
+    }
+
+    /// Consumes a char-literal body (opening `'` already consumed).
+    fn char_body(&mut self) -> String {
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    content.push(c);
+                    if let Some(escaped) = self.bump() {
+                        content.push(escaped);
+                    }
+                }
+                _ => content.push(c),
+            }
+        }
+        content
+    }
+
+    fn ident(&mut self, first: char) -> String {
+        let mut text = String::from(first);
+        while let Some(c) = self.peek(0).filter(|&c| is_ident_continue(c)) {
+            self.bump();
+            text.push(c);
+        }
+        text
+    }
+
+    fn number(&mut self, first: char) -> String {
+        let mut text = String::from(first);
+        while let Some(c) = self.peek(0).filter(|&c| is_ident_continue(c)) {
+            self.bump();
+            text.push(c);
+        }
+        // A fractional part: consume `.` only when a digit follows, so
+        // ranges (`0..4`) and method calls on literals stay separate
+        // tokens.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            text.push('.');
+            while let Some(c) = self.peek(0).filter(|&c| is_ident_continue(c)) {
+                self.bump();
+                text.push(c);
+            }
+        }
+        text
+    }
+}
+
+/// Lexes Rust source into a token stream, discarding comments.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let line = lx.line;
+        match c {
+            _ if c.is_whitespace() => {
+                lx.bump();
+            }
+            '/' if lx.peek(1) == Some('/') => {
+                while lx.peek(0).is_some_and(|c| c != '\n') {
+                    lx.bump();
+                }
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                lx.bump();
+                lx.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.bump(), lx.peek(0)) {
+                        (None, _) => break,
+                        (Some('/'), Some('*')) => {
+                            lx.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            lx.bump();
+                            depth -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            '"' => {
+                lx.bump();
+                let text = lx.string_body();
+                tokens.push(Token {
+                    line,
+                    text,
+                    kind: TokenKind::Str,
+                });
+            }
+            'r' | 'b' if raw_string_hashes(&lx).is_some() => {
+                let hashes = raw_string_hashes(&lx).unwrap_or_default();
+                // Consume the prefix letters, the hashes and the quote.
+                while lx.peek(0) != Some('"') {
+                    lx.bump();
+                }
+                lx.bump();
+                let text = lx.raw_string_body(hashes);
+                tokens.push(Token {
+                    line,
+                    text,
+                    kind: TokenKind::Str,
+                });
+            }
+            'b' if lx.peek(1) == Some('"') => {
+                lx.bump();
+                lx.bump();
+                let text = lx.string_body();
+                tokens.push(Token {
+                    line,
+                    text,
+                    kind: TokenKind::Str,
+                });
+            }
+            'b' if lx.peek(1) == Some('\'') => {
+                lx.bump();
+                lx.bump();
+                let text = lx.char_body();
+                tokens.push(Token {
+                    line,
+                    text,
+                    kind: TokenKind::Char,
+                });
+            }
+            '\'' => {
+                lx.bump();
+                // `'ident` not closed by `'` is a lifetime; otherwise a
+                // char literal (including `'a'`).
+                let lifetime = lx.peek(0).is_some_and(is_ident_start) && {
+                    let mut i = 1;
+                    while lx.peek(i).is_some_and(is_ident_continue) {
+                        i += 1;
+                    }
+                    lx.peek(i) != Some('\'')
+                };
+                if lifetime {
+                    let mut text = String::new();
+                    while let Some(c) = lx.peek(0).filter(|&c| is_ident_continue(c)) {
+                        lx.bump();
+                        text.push(c);
+                    }
+                    tokens.push(Token {
+                        line,
+                        text,
+                        kind: TokenKind::Char,
+                    });
+                } else {
+                    let text = lx.char_body();
+                    tokens.push(Token {
+                        line,
+                        text,
+                        kind: TokenKind::Char,
+                    });
+                }
+            }
+            _ if is_ident_start(c) => {
+                lx.bump();
+                let text = lx.ident(c);
+                tokens.push(Token {
+                    line,
+                    text,
+                    kind: TokenKind::Ident,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                lx.bump();
+                let text = lx.number(c);
+                tokens.push(Token {
+                    line,
+                    text,
+                    kind: TokenKind::Number,
+                });
+            }
+            _ => {
+                lx.bump();
+                tokens.push(Token {
+                    line,
+                    text: c.to_string(),
+                    kind: TokenKind::Punct(c),
+                });
+            }
+        }
+    }
+    tokens
+}
+
+/// When the cursor sits on a raw-string opener (`r"`, `r#"`, `br##"`, …),
+/// returns the number of `#` in it.
+fn raw_string_hashes(lx: &Lexer) -> Option<usize> {
+    let mut i = 0;
+    if lx.peek(i) == Some('b') {
+        i += 1;
+    }
+    if lx.peek(i) != Some('r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while lx.peek(i) == Some('#') {
+        i += 1;
+        hashes += 1;
+    }
+    (lx.peek(i) == Some('"')).then_some(hashes)
+}
+
+/// Parses a Rust integer literal (`0x81`, `0b1010`, `13`, `4_096`, with or
+/// without a type suffix).
+#[must_use]
+pub fn parse_int(text: &str) -> Option<u64> {
+    let text: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = match text.as_bytes() {
+        [b'0', b'x' | b'X', rest @ ..] => (16, rest),
+        [b'0', b'o' | b'O', rest @ ..] => (8, rest),
+        [b'0', b'b' | b'B', rest @ ..] => (2, rest),
+        rest => (10, rest),
+    };
+    let digits: String = digits
+        .iter()
+        .map(|&b| b as char)
+        .take_while(|c| c.is_digit(radix))
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    u64::from_str_radix(&digits, radix).ok()
+}
+
+/// Drops every token inside an item marked `#[test]` or `#[cfg(test)]`
+/// (the whole `mod tests { … }` body, a test fn, a test-only `use`, …),
+/// so rules that target *non-test* code never see it.
+#[must_use]
+pub fn strip_test_regions(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test) = scan_attribute(tokens, i);
+            if is_test {
+                i = skip_item(tokens, attr_end);
+                continue;
+            }
+            out.extend_from_slice(&tokens[i..attr_end]);
+            i = attr_end;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Scans one `#[…]` attribute starting at `start` (pointing at `#`).
+/// Returns the index one past its closing `]` and whether it marks test
+/// code (`test`, `cfg(test)`).
+fn scan_attribute(tokens: &[Token], start: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut i = start + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, is_test);
+            }
+        } else if t.ident() == Some("test") {
+            is_test = true;
+        }
+        i += 1;
+    }
+    (tokens.len(), is_test)
+}
+
+/// Skips the item following a test attribute: further attributes, then
+/// everything up to a top-level `;` or through a balanced `{ … }` body.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Consume any further attributes on the same item.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        (i, _) = scan_attribute(tokens, i);
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_lifetimes_do_not_produce_idents() {
+        let src = r##"
+            // unsafe in a comment
+            /* unsafe /* nested */ still comment */
+            fn f<'a>(x: &'a str) -> String {
+                let s = "unsafe \" quoted";
+                let r = r#"raw unsafe"#;
+                let c = 'u';
+                format!("{s}{r}{c}")
+            }
+        "##;
+        let tokens = lex(src);
+        assert!(tokens.iter().all(|t| t.ident() != Some("unsafe")));
+        assert!(tokens.iter().any(|t| t.ident() == Some("format")));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let src = "/* a\nb */\nfn g() {}\n";
+        let tokens = lex(src);
+        assert_eq!(tokens[0].ident(), Some("fn"));
+        assert_eq!(tokens[0].line, 3);
+    }
+
+    #[test]
+    fn integer_literals_parse_in_every_radix() {
+        assert_eq!(parse_int("0x81"), Some(0x81));
+        assert_eq!(parse_int("13"), Some(13));
+        assert_eq!(parse_int("4_096"), Some(4096));
+        assert_eq!(parse_int("0b101"), Some(5));
+        assert_eq!(parse_int("0x1Fu8"), Some(0x1F));
+        assert_eq!(parse_int("xyz"), None);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_stripped() {
+        let src = r"
+            fn live() { value.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { other.expect(); }
+            }
+        ";
+        let stripped = strip_test_regions(&lex(src));
+        assert!(stripped.iter().any(|t| t.ident() == Some("unwrap")));
+        assert!(stripped.iter().all(|t| t.ident() != Some("expect")));
+        assert!(stripped.iter().all(|t| t.ident() != Some("tests")));
+    }
+
+    #[test]
+    fn non_test_attributes_are_kept() {
+        let src = "#[derive(Debug)] struct S { x: u8 }";
+        let stripped = strip_test_regions(&lex(src));
+        assert!(stripped.iter().any(|t| t.ident() == Some("derive")));
+        assert!(stripped.iter().any(|t| t.ident() == Some("struct")));
+    }
+}

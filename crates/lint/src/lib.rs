@@ -1,0 +1,232 @@
+//! `skm-lint` — the workspace invariant linter.
+//!
+//! The repo's load-bearing invariants ("`unsafe` only in vendor/minipoll",
+//! "request paths don't panic", "map lock before tenant lock", "the wire
+//! spec and the code agree", "deprecations die on schedule") used to live
+//! in prose. This crate turns them into checks: a hand-rolled Rust lexer
+//! (no dependencies, builds offline before everything else) feeds five
+//! rule families, and CI runs the binary with `--deny`.
+//!
+//! * Findings print as `file:line rule-id message` — stable and
+//!   machine-splittable.
+//! * An allow directive — `lint:allow(panic-freedom) reason text` in a
+//!   `//` comment — on a finding's line (or the line above it) suppresses
+//!   that finding; a missing reason or unknown rule id is itself a
+//!   finding, so every exception is justified in-place.
+//! * Configuration lives in `lint.toml` at the workspace root; see
+//!   `docs/LINTS.md` for the rule catalog.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use lexer::Token;
+
+/// Every rule-id the linter can emit. `lint-allow` covers malformed or
+/// unknown allow directives (the escape hatch polices itself).
+pub const RULES: &[&str] = &[
+    rules::unsafe_confinement::RULE,
+    rules::panic_freedom::RULE,
+    rules::lock_order::RULE,
+    rules::spec_conformance::RULE,
+    rules::deprecation::RULE,
+    "lint-allow",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Root-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id from [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(file: &str, line: u32, rule: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            file: file.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A lexed `.rs` file, shared by every rule.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Root-relative path, forward slashes.
+    pub rel: String,
+    /// Raw text (the allow-directive scan works on lines).
+    pub text: String,
+    /// Full token stream (comments and string contents excluded).
+    pub tokens: Vec<Token>,
+    /// Token stream with `#[test]` / `#[cfg(test)]` items removed.
+    pub non_test: Vec<Token>,
+}
+
+/// Runs every rule over the tree under `root` using the config at
+/// `config_path`, returning suppressed-and-sorted findings.
+///
+/// # Errors
+///
+/// An unreadable or malformed config, or an unwalkable root, is an
+/// internal error (exit 2 territory), not a finding.
+pub fn run(root: &Path, config_path: &Path) -> Result<Vec<Finding>, String> {
+    let config_text = std::fs::read_to_string(config_path)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let config =
+        Config::parse(&config_text).map_err(|e| format!("{}: {e}", config_path.display()))?;
+
+    let files = load_sources(root, &config)?;
+    let mut findings = Vec::new();
+    rules::unsafe_confinement::check(&config, &files, &mut findings);
+    rules::panic_freedom::check(&config, &files, &mut findings);
+    rules::lock_order::check(&config, &files, &mut findings);
+    rules::spec_conformance::check(&config, &files, root, &mut findings);
+    rules::deprecation::check(&config, &files, &mut findings);
+
+    let allows = collect_allows(&files, &mut findings);
+    findings.retain(|f| {
+        f.rule == "lint-allow"
+            || !allows.iter().any(|(file, rule, line)| {
+                file == &f.file && rule == &f.rule && (f.line == *line || f.line == line + 1)
+            })
+    });
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+/// Walks the tree and lexes every `.rs` file outside the skip list.
+fn load_sources(root: &Path, config: &Config) -> Result<Vec<SourceFile>, String> {
+    let mut skip: Vec<String> = config.list("lint", "skip").to_vec();
+    for always in ["target", ".git"] {
+        if !skip.iter().any(|s| s == always) {
+            skip.push(always.to_string());
+        }
+    }
+    let mut paths = Vec::new();
+    walk(root, root, &skip, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for (rel, path) in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let tokens = lexer::lex(&text);
+        let non_test = lexer::strip_test_regions(&tokens);
+        files.push(SourceFile {
+            rel,
+            text,
+            tokens,
+            non_test,
+        });
+    }
+    Ok(files)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    skip: &[String],
+    out: &mut Vec<(String, PathBuf)>,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if skip
+            .iter()
+            .any(|s| rel == *s || rel.starts_with(&format!("{s}/")))
+        {
+            continue;
+        }
+        let kind = entry
+            .file_type()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if kind.is_dir() {
+            walk(root, &path, skip, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Scans raw lines for allow directives (`lint:allow`, a parenthesised
+/// rule id, a reason — inside a `//` comment).
+///
+/// Returns (file, rule, directive line); malformed directives (not in a
+/// line comment, unknown rule, missing reason) become `lint-allow`
+/// findings so the escape hatch cannot rot silently.
+fn collect_allows(
+    files: &[SourceFile],
+    findings: &mut Vec<Finding>,
+) -> Vec<(String, &'static str, u32)> {
+    let mut allows = Vec::new();
+    for file in files {
+        for (idx, raw) in file.text.lines().enumerate() {
+            let Some(at) = raw.find("lint:allow") else {
+                continue;
+            };
+            let line = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            let mut bad = |message: &str| {
+                findings.push(Finding::new(&file.rel, line, "lint-allow", message));
+            };
+            // Only directive-shaped text inside a `//` comment counts; a
+            // bare mention in code or a string is not an attempted
+            // directive.
+            let commented = raw[..at].contains("//");
+            let tail = &raw[at + "lint:allow".len()..];
+            let Some(inner) = tail.strip_prefix('(') else {
+                continue;
+            };
+            if !commented {
+                continue;
+            }
+            let Some((rule_name, reason)) = inner.split_once(')') else {
+                bad("expected a rule id in parentheses followed by a reason");
+                continue;
+            };
+            let Some(rule) = RULES.iter().find(|r| **r == rule_name.trim()).copied() else {
+                bad(&format!(
+                    "unknown rule `{}` in lint:allow",
+                    rule_name.trim()
+                ));
+                continue;
+            };
+            if reason.trim().is_empty() {
+                bad("lint:allow needs a reason after the closing paren");
+                continue;
+            }
+            allows.push((file.rel.clone(), rule, line));
+        }
+    }
+    allows
+}

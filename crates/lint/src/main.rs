@@ -1,0 +1,66 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! skm-lint [--root DIR] [--config FILE] [--deny]
+//! ```
+//!
+//! Prints findings as `file:line rule-id message`, one per line, sorted.
+//! Exit codes: 0 = clean (or findings without `--deny`), 1 = findings
+//! under `--deny`, 2 = internal error (bad config, unreadable tree).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(file) => config = Some(PathBuf::from(file)),
+                None => return usage("--config needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("usage: skm-lint [--root DIR] [--config FILE] [--deny]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let config = config.unwrap_or_else(|| root.join("lint.toml"));
+    match skm_lint::run(&root, &config) {
+        Err(error) => {
+            eprintln!("skm-lint: error: {error}");
+            ExitCode::from(2)
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            if findings.is_empty() {
+                eprintln!("skm-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("skm-lint: {} finding(s)", findings.len());
+                if deny {
+                    ExitCode::from(1)
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("skm-lint: error: {error}");
+    eprintln!("usage: skm-lint [--root DIR] [--config FILE] [--deny]");
+    ExitCode::from(2)
+}

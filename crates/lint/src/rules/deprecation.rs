@@ -1,0 +1,115 @@
+//! `deprecation-expiry`: a deprecation in this repo is a contract with a
+//! deadline, not a vibe. Every `#[deprecated(…)]` note must name its
+//! removal release as `remove-by: X.Y.Z`; once the workspace version
+//! (`[deprecation-expiry].current` in `lint.toml`, kept equal to
+//! `workspace.package.version`) reaches it, the build fails until the
+//! item is deleted. No more shims that outlive their grace window by
+//! accident.
+
+use crate::config::Config;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::punct_at;
+use crate::{Finding, SourceFile};
+
+pub const RULE: &str = "deprecation-expiry";
+
+pub fn check(cfg: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let Some(current) = cfg.scalar(RULE, "current").map(parse_version) else {
+        // No `current` declared: nothing to compare expiry against.
+        return;
+    };
+    let skip = cfg.list(RULE, "skip");
+    for file in files {
+        if skip
+            .iter()
+            .any(|prefix| file.rel.starts_with(prefix.as_str()))
+        {
+            continue;
+        }
+        let tokens = &file.tokens;
+        let mut i = 0;
+        while i < tokens.len() {
+            if !(punct_at(tokens, i, '#') && punct_at(tokens, i + 1, '['))
+                || tokens.get(i + 2).and_then(Token::ident) != Some("deprecated")
+            {
+                i += 1;
+                continue;
+            }
+            let line = tokens[i].line;
+            // Collect the attribute body up to its matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut body = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                body.push(&tokens[j]);
+                j += 1;
+            }
+            check_attribute(&body, &file.rel, line, current, findings);
+            i = j + 1;
+        }
+    }
+}
+
+fn check_attribute(
+    body: &[&Token],
+    rel: &str,
+    line: u32,
+    current: (u64, u64, u64),
+    findings: &mut Vec<Finding>,
+) {
+    let note = body.windows(3).find_map(|w| {
+        (w[0].ident() == Some("note") && w[1].is_punct('=') && w[2].kind == TokenKind::Str)
+            .then(|| w[2].text.as_str())
+    });
+    let remove_by = note.and_then(|n| n.split("remove-by:").nth(1)).map(|tail| {
+        let version: String = tail
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        version
+    });
+    match remove_by {
+        None => findings.push(Finding::new(
+            rel,
+            line,
+            RULE,
+            "deprecation note must declare its removal release as `remove-by: X.Y.Z`",
+        )),
+        Some(version) => {
+            let due = parse_version(&version);
+            if due <= current {
+                findings.push(Finding::new(
+                    rel,
+                    line,
+                    RULE,
+                    format!(
+                        "deprecated item was due for removal by {version} and the workspace \
+                         is now at {}.{}.{}; delete it",
+                        current.0, current.1, current.2
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `"1.2.3"` → `(1, 2, 3)`; missing or malformed components read as 0, so
+/// an unparseable `remove-by:` is immediately expired rather than
+/// silently deferred.
+fn parse_version(text: &str) -> (u64, u64, u64) {
+    let mut parts = text.trim().split('.').map(|p| p.parse().unwrap_or(0));
+    (
+        parts.next().unwrap_or(0),
+        parts.next().unwrap_or(0),
+        parts.next().unwrap_or(0),
+    )
+}

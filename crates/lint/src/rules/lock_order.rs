@@ -1,0 +1,160 @@
+//! `lock-order`: the Engine's deadlock-freedom argument is a total order
+//! on lock acquisition — the tenant-map lock strictly before any
+//! per-tenant lock (docs/ARCHITECTURE.md). This rule is the token
+//! heuristic that keeps the argument honest: within one function body,
+//! acquiring a lock of an earlier class *after* one of a later class is
+//! a finding.
+//!
+//! `lint.toml` declares the order and the acquisition patterns:
+//!
+//! ```toml
+//! [lock-order]
+//! paths = ["crates/serve/src/engine.rs"]
+//! order = ["map", "tenant"]
+//! map = ["tenants.read", "tenants.write", "read_map", "write_map"]
+//! tenant = [".lock"]
+//! ```
+//!
+//! A pattern is a `.`-joined call chain suffix; a leading `.` means "any
+//! receiver" (`.lock` matches `victim.lock(…)`). The heuristic is
+//! intentionally per-function and flow-insensitive: it cannot see guard
+//! drops, so a body that genuinely needs to re-acquire in reverse order
+//! must restructure (preferred) or carry a `lint:allow(lock-order)`.
+
+use crate::config::Config;
+use crate::lexer::Token;
+use crate::rules::{ident_at, punct_at};
+use crate::{Finding, SourceFile};
+
+pub const RULE: &str = "lock-order";
+
+pub fn check(cfg: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let paths = cfg.list(RULE, "paths");
+    let order = cfg.list(RULE, "order");
+    if order.is_empty() {
+        return;
+    }
+    // class index → list of patterns, each pattern a list of segments.
+    let classes: Vec<Vec<Vec<String>>> = order
+        .iter()
+        .map(|class| {
+            cfg.list(RULE, class)
+                .iter()
+                .map(|p| p.split('.').map(str::to_string).collect())
+                .collect()
+        })
+        .collect();
+    for file in files {
+        if !paths.iter().any(|p| file.rel.contains(p.as_str())) {
+            continue;
+        }
+        for body in function_bodies(&file.non_test) {
+            check_body(body, order, &classes, &file.rel, findings);
+        }
+    }
+}
+
+fn check_body(
+    body: &[Token],
+    order: &[String],
+    classes: &[Vec<Vec<String>>],
+    rel: &str,
+    findings: &mut Vec<Finding>,
+) {
+    // Highest-ordered class acquired so far in this body.
+    let mut max_seen: Option<usize> = None;
+    let mut i = 0;
+    while i < body.len() {
+        let Some((class, len)) = match_class(body, i, classes) else {
+            i += 1;
+            continue;
+        };
+        if let Some(seen) = max_seen {
+            if class < seen {
+                findings.push(Finding::new(
+                    rel,
+                    body[i].line,
+                    RULE,
+                    format!(
+                        "`{}` lock acquired after `{}` lock; declared order is {}",
+                        order[class],
+                        order[seen],
+                        order.join(" -> "),
+                    ),
+                ));
+            }
+        }
+        max_seen = Some(max_seen.map_or(class, |seen| seen.max(class)));
+        i += len;
+    }
+}
+
+/// When an acquisition pattern matches at `i`, returns its class index and
+/// the matched token count.
+fn match_class(body: &[Token], i: usize, classes: &[Vec<Vec<String>>]) -> Option<(usize, usize)> {
+    for (class, patterns) in classes.iter().enumerate() {
+        for segments in patterns {
+            if let Some(len) = match_pattern(body, i, segments) {
+                return Some((class, len));
+            }
+        }
+    }
+    None
+}
+
+/// Matches one pattern (segments of a dot chain, empty first segment =
+/// any receiver) followed by `(` — acquisitions are calls.
+fn match_pattern(body: &[Token], i: usize, segments: &[String]) -> Option<usize> {
+    let mut pos = i;
+    for (idx, segment) in segments.iter().enumerate() {
+        if idx > 0 {
+            if !punct_at(body, pos, '.') {
+                return None;
+            }
+            pos += 1;
+        }
+        if !segment.is_empty() {
+            if !ident_at(body, pos, segment) {
+                return None;
+            }
+            pos += 1;
+        }
+    }
+    punct_at(body, pos, '(').then_some(pos + 1 - i)
+}
+
+/// Splits the token stream into `fn` body spans (non-overlapping: a
+/// nested fn or closure is folded into its enclosing body).
+fn function_bodies(tokens: &[Token]) -> Vec<&[Token]> {
+    let mut bodies = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].ident() != Some("fn") {
+            i += 1;
+            continue;
+        }
+        // Find the body `{` — or `;` for a bodyless trait/extern decl.
+        let mut j = i + 1;
+        while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].is_punct(';') {
+            i = j + 1;
+            continue;
+        }
+        let start = j + 1;
+        let mut depth = 1usize;
+        let mut k = start;
+        while k < tokens.len() && depth > 0 {
+            if tokens[k].is_punct('{') {
+                depth += 1;
+            } else if tokens[k].is_punct('}') {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        bodies.push(&tokens[start..k.saturating_sub(1).max(start)]);
+        i = k;
+    }
+    bodies
+}

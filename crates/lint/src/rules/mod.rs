@@ -1,0 +1,22 @@
+//! The five rule families. Each rule is a free function over the shared
+//! [`SourceFile`](crate::SourceFile) cache that pushes
+//! [`Finding`](crate::Finding)s; orchestration (file walking, allow
+//! directives, ordering) lives in the crate root.
+
+pub mod deprecation;
+pub mod lock_order;
+pub mod panic_freedom;
+pub mod spec_conformance;
+pub mod unsafe_confinement;
+
+use crate::lexer::Token;
+
+/// True when the token at `i` is the identifier `name`.
+pub(crate) fn ident_at(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.ident() == Some(name))
+}
+
+/// True when the token at `i` is the punct `c`.
+pub(crate) fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(c))
+}

@@ -1,0 +1,88 @@
+//! `panic-freedom`: request/publish paths must not be able to bring down
+//! the server. In scoped files (`[panic-freedom].paths` in `lint.toml`)
+//! the rule flags, in non-test code:
+//!
+//! * `.unwrap()` / `.expect(…)`
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! * slice/array indexing `x[i]` (except the non-panicking full range
+//!   `x[..]`)
+//!
+//! Sites that are provably fine (bounds established on the lines above,
+//! infallible serialization, …) carry an inline
+//! `// lint:allow(panic-freedom) reason`.
+
+use crate::config::Config;
+use crate::rules::punct_at;
+use crate::{Finding, SourceFile};
+
+pub const RULE: &str = "panic-freedom";
+
+/// Panicking macro names.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can legally precede `[` without forming an index
+/// expression (slice patterns, array literals in expression position…).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "fn", "for", "if", "impl", "in", "let", "loop", "match", "move", "mut", "pub", "ref", "return",
+    "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+pub fn check(cfg: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let paths = cfg.list(RULE, "paths");
+    for file in files {
+        if !paths.iter().any(|p| file.rel.contains(p.as_str())) {
+            continue;
+        }
+        let tokens = &file.non_test;
+        for i in 0..tokens.len() {
+            // `.unwrap()` / `.expect(`
+            if punct_at(tokens, i, '.') && punct_at(tokens, i + 2, '(') {
+                if let Some(name @ ("unwrap" | "expect")) =
+                    tokens.get(i + 1).and_then(|t| t.ident())
+                {
+                    findings.push(Finding::new(
+                        &file.rel,
+                        tokens[i + 1].line,
+                        RULE,
+                        format!("`.{name}()` on a request path; return a typed error instead"),
+                    ));
+                }
+            }
+            // `panic!` and friends.
+            if punct_at(tokens, i + 1, '!') {
+                if let Some(name) = tokens[i].ident().filter(|n| PANIC_MACROS.contains(n)) {
+                    findings.push(Finding::new(
+                        &file.rel,
+                        tokens[i].line,
+                        RULE,
+                        format!("`{name}!` on a request path; return a typed error instead"),
+                    ));
+                }
+            }
+            // Index expressions: `[` in expression position, i.e. directly
+            // after an identifier (non-keyword), `)` or `]`.
+            if punct_at(tokens, i, '[') && i > 0 {
+                let prev = &tokens[i - 1];
+                let expr_position = match prev.ident() {
+                    Some(name) => !NON_INDEX_KEYWORDS.contains(&name),
+                    None => prev.is_punct(')') || prev.is_punct(']') || prev.is_punct('?'),
+                };
+                // `x[..]` never panics: full-range slicing of the whole
+                // container.
+                let full_range = punct_at(tokens, i + 1, '.')
+                    && punct_at(tokens, i + 2, '.')
+                    && punct_at(tokens, i + 3, ']');
+                if expr_position && !full_range {
+                    findings.push(Finding::new(
+                        &file.rel,
+                        tokens[i].line,
+                        RULE,
+                        "slice/array index can panic; use `.get(..)` or justify bounds with \
+                         a lint:allow",
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! `spec-conformance`: docs/PROTOCOL.md is normative, so the binary tag
+//! tables and the error-code catalog it declares are cross-checked
+//! against the code (`codec.rs` tag constants and `error_code_tag`,
+//! `protocol.rs`'s `ErrorCode` enum) and against a committed append-only
+//! baseline (`lint/tags.lock`). A tag that changes value, disappears, or
+//! appears without being recorded in the baseline is a finding — wire
+//! compatibility breaks are loud, not silent.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::lexer::{self, Token};
+use crate::rules::{ident_at, punct_at};
+use crate::{Finding, SourceFile};
+
+pub const RULE: &str = "spec-conformance";
+
+/// Tag namespaces, named as they appear in `lint/tags.lock`.
+const KINDS: [&str; 3] = ["req", "resp", "err"];
+
+/// One declared (name, value) pair with the line it came from.
+#[derive(Debug, Clone)]
+struct Entry {
+    value: u64,
+    line: u32,
+}
+
+type Table = BTreeMap<String, Entry>;
+
+pub fn check(cfg: &Config, files: &[SourceFile], root: &Path, findings: &mut Vec<Finding>) {
+    if !cfg.has_section(RULE) {
+        return;
+    }
+    let Some(spec_rel) = cfg.scalar(RULE, "spec") else {
+        findings.push(Finding::new(
+            "lint.toml",
+            1,
+            RULE,
+            "[spec-conformance] needs `spec = …`",
+        ));
+        return;
+    };
+    let Some(spec_text) = read_rel(root, spec_rel, findings) else {
+        return;
+    };
+    let spec = parse_spec(&spec_text);
+
+    // Spec ↔ codec.rs tag constants and error_code_tag arms.
+    if let Some(codec) = find_file(cfg, files, "codec", findings) {
+        let code = parse_codec(&codec.tokens);
+        for kind in KINDS {
+            let (label, const_hint) = match kind {
+                "req" => ("request tag", "`TAG_REQ_*` constant"),
+                "resp" => ("response tag", "`TAG_RESP_*` constant"),
+                _ => ("error-code tag", "`error_code_tag` arm"),
+            };
+            cross_check(
+                (spec_rel, &spec[kind]),
+                (&codec.rel, &code[kind]),
+                label,
+                const_hint,
+                findings,
+            );
+        }
+    }
+
+    // Spec error-code *table* ↔ error tag list ↔ ErrorCode enum: the three
+    // catalogs must name the same set of codes.
+    let table = parse_error_table(&spec_text);
+    for (name, entry) in &table {
+        if !spec["err"].contains_key(name) {
+            findings.push(Finding::new(
+                spec_rel,
+                entry.line,
+                RULE,
+                format!(
+                    "error code `{name}` is in the table but has no wire tag in §Binary framing"
+                ),
+            ));
+        }
+    }
+    for (name, entry) in &spec["err"] {
+        if !table.contains_key(name) {
+            findings.push(Finding::new(
+                spec_rel,
+                entry.line,
+                RULE,
+                format!("error tag `{name}` has no row in the §Error codes table"),
+            ));
+        }
+    }
+    if let Some(protocol) = find_file(cfg, files, "protocol", findings) {
+        let variants = parse_error_enum(&protocol.tokens);
+        match variants {
+            None => findings.push(Finding::new(
+                &protocol.rel,
+                1,
+                RULE,
+                "no `enum ErrorCode` found to check against the spec",
+            )),
+            Some((line, variants)) => {
+                for (name, entry) in &spec["err"] {
+                    if !variants.contains_key(name) {
+                        findings.push(Finding::new(
+                            spec_rel,
+                            entry.line,
+                            RULE,
+                            format!("spec error code `{name}` has no ErrorCode variant"),
+                        ));
+                    }
+                }
+                for (name, &vline) in &variants {
+                    if !spec["err"].contains_key(name) {
+                        findings.push(Finding::new(
+                            &protocol.rel,
+                            if vline == 0 { line } else { vline },
+                            RULE,
+                            format!("ErrorCode::{name} is not documented in the spec"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Append-only baseline.
+    if let Some(lock_rel) = cfg.scalar(RULE, "tags-lock") {
+        if let Some(lock_text) = read_rel(root, lock_rel, findings) {
+            check_baseline(&lock_text, lock_rel, spec_rel, &spec, findings);
+        }
+    }
+}
+
+/// Compares a spec-side table against a code-side table, reporting
+/// missing entries on either side and value mismatches.
+fn cross_check(
+    (spec_rel, spec): (&str, &Table),
+    (code_rel, code): (&str, &Table),
+    label: &str,
+    const_hint: &str,
+    findings: &mut Vec<Finding>,
+) {
+    for (name, entry) in spec {
+        match code.get(name) {
+            None => findings.push(Finding::new(
+                spec_rel,
+                entry.line,
+                RULE,
+                format!(
+                    "spec declares {label} `{name}` = {} but the code has no matching {const_hint}",
+                    entry.value
+                ),
+            )),
+            Some(have) if have.value != entry.value => findings.push(Finding::new(
+                code_rel,
+                have.line,
+                RULE,
+                format!(
+                    "{label} `{name}` is {} in code but {} in the spec",
+                    have.value, entry.value
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, entry) in code {
+        if !spec.contains_key(name) {
+            findings.push(Finding::new(
+                code_rel,
+                entry.line,
+                RULE,
+                format!(
+                    "{label} `{name}` = {} is not documented in the spec",
+                    entry.value
+                ),
+            ));
+        }
+    }
+}
+
+/// Every lock entry must still exist with the same value (append-only);
+/// every current tag must be recorded.
+fn check_baseline(
+    lock_text: &str,
+    lock_rel: &str,
+    spec_rel: &str,
+    spec: &BTreeMap<&'static str, Table>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut recorded: BTreeMap<String, Entry> = BTreeMap::new();
+    for (idx, raw) in lock_text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let parsed = line.split_once('=').and_then(|(key, value)| {
+            let key = key.trim();
+            let (kind, _) = key.split_once('/')?;
+            KINDS.contains(&kind).then_some(())?;
+            Some((key.to_string(), lexer::parse_int(value.trim())?))
+        });
+        let Some((key, value)) = parsed else {
+            findings.push(Finding::new(
+                lock_rel,
+                lineno,
+                RULE,
+                format!("unparseable baseline line `{line}` (expected `kind/Name = value`)"),
+            ));
+            continue;
+        };
+        recorded.insert(
+            key,
+            Entry {
+                value,
+                line: lineno,
+            },
+        );
+    }
+    for (key, entry) in &recorded {
+        let current = key
+            .split_once('/')
+            .and_then(|(kind, name)| spec.get(kind)?.get(name));
+        match current {
+            None => findings.push(Finding::new(
+                lock_rel,
+                entry.line,
+                RULE,
+                format!("baseline tag `{key}` was removed from the spec; tags are append-only"),
+            )),
+            Some(have) if have.value != entry.value => findings.push(Finding::new(
+                lock_rel,
+                entry.line,
+                RULE,
+                format!(
+                    "baseline tag `{key}` changed value ({} -> {}); tags are append-only",
+                    entry.value, have.value
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for kind in KINDS {
+        for (name, entry) in &spec[kind] {
+            if !recorded.contains_key(&format!("{kind}/{name}")) {
+                findings.push(Finding::new(
+                    spec_rel,
+                    entry.line,
+                    RULE,
+                    format!("tag `{kind}/{name}` is not recorded in {lock_rel}; append it"),
+                ));
+            }
+        }
+    }
+}
+
+fn read_rel(root: &Path, rel: &str, findings: &mut Vec<Finding>) -> Option<String> {
+    match std::fs::read_to_string(root.join(rel)) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            findings.push(Finding::new(rel, 1, RULE, format!("cannot read: {e}")));
+            None
+        }
+    }
+}
+
+/// Looks up the source file named by `[spec-conformance].<key>`.
+fn find_file<'a>(
+    cfg: &Config,
+    files: &'a [SourceFile],
+    key: &str,
+    findings: &mut Vec<Finding>,
+) -> Option<&'a SourceFile> {
+    let rel = cfg.scalar(RULE, key)?;
+    let found = files.iter().find(|f| f.rel == rel);
+    if found.is_none() {
+        findings.push(Finding::new(
+            rel,
+            1,
+            RULE,
+            format!("[spec-conformance] {key} = \"{rel}\" does not name a lintable file"),
+        ));
+    }
+    found
+}
+
+/// Parses the three tag lists out of the spec's "Binary framing" section.
+fn parse_spec(text: &str) -> BTreeMap<&'static str, Table> {
+    let section = section_of(text, "Binary framing");
+    let req = marker_region(text, section.clone(), "Request tags:");
+    let resp = marker_region(text, section.clone(), "Response tags:");
+    let err = marker_region(text, section, "one-byte tag:");
+    let mut spec = BTreeMap::new();
+    spec.insert("req", parse_pairs(text, req));
+    spec.insert("resp", parse_pairs(text, resp));
+    spec.insert("err", parse_pairs(text, err));
+    spec
+}
+
+/// Byte range of a `## <title>` section (start of its body to the next
+/// `## ` heading or end of file).
+fn section_of(text: &str, title: &str) -> std::ops::Range<usize> {
+    let heading = format!("## {title}");
+    let Some(start) = text.find(&heading) else {
+        return 0..0;
+    };
+    let body = start + heading.len();
+    let end = text[body..]
+        .find("\n## ")
+        .map_or(text.len(), |off| body + off);
+    body..end
+}
+
+/// Narrows `section` to start at `marker` and end at the next marker (or
+/// the section end).
+fn marker_region(
+    text: &str,
+    section: std::ops::Range<usize>,
+    marker: &str,
+) -> std::ops::Range<usize> {
+    let slice = &text[section.clone()];
+    let Some(at) = slice.find(marker) else {
+        return 0..0;
+    };
+    let from = section.start + at + marker.len();
+    let next = ["Request tags:", "Response tags:", "one-byte tag:"]
+        .iter()
+        .filter_map(|m| text[from..section.end].find(m))
+        .min()
+        .map_or(section.end, |off| from + off);
+    from..next
+}
+
+/// Collects `` `Name` <number> `` pairs inside `range`.
+fn parse_pairs(text: &str, range: std::ops::Range<usize>) -> Table {
+    let mut table = Table::new();
+    let slice = &text[range.clone()];
+    let mut rest = slice;
+    let mut offset = range.start;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        let name = &after[..close];
+        let tail = &after[close + 1..];
+        let consumed = open + 1 + close + 1;
+        if name.chars().all(|c| c.is_alphanumeric() || c == '_') && !name.is_empty() {
+            let value_text: String = tail
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if value_text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+            {
+                if let Some(value) = lexer::parse_int(&value_text) {
+                    let line = line_of(text, offset + open);
+                    table.insert(name.to_string(), Entry { value, line });
+                }
+            }
+        }
+        offset += consumed;
+        rest = &rest[consumed..];
+    }
+    table
+}
+
+/// Parses the `## Error codes` markdown table: first-cell backticked
+/// names.
+fn parse_error_table(text: &str) -> Table {
+    let section = section_of(text, "Error codes");
+    let mut table = Table::new();
+    let base_line = line_of(text, section.start);
+    for (idx, raw) in text[section].lines().enumerate() {
+        let row = raw.trim();
+        let Some(cell) = row.strip_prefix("| `") else {
+            continue;
+        };
+        let Some((name, _)) = cell.split_once('`') else {
+            continue;
+        };
+        table.insert(
+            name.to_string(),
+            Entry {
+                value: 0,
+                line: base_line + u32::try_from(idx).unwrap_or(0),
+            },
+        );
+    }
+    table
+}
+
+/// 1-based line of a byte offset.
+fn line_of(text: &str, offset: usize) -> u32 {
+    u32::try_from(text[..offset].matches('\n').count() + 1).unwrap_or(u32::MAX)
+}
+
+/// Parses the code-side tables out of `codec.rs` tokens:
+/// `const TAG_REQ_* / TAG_RESP_*: u8 = <n>;` constants and
+/// `ErrorCode::<Name> => <n>` match arms.
+fn parse_codec(tokens: &[Token]) -> BTreeMap<&'static str, Table> {
+    let mut req = Table::new();
+    let mut resp = Table::new();
+    let mut err = Table::new();
+    for i in 0..tokens.len() {
+        // const TAG_…: u8 = <n>
+        if ident_at(tokens, i, "const")
+            && punct_at(tokens, i + 2, ':')
+            && punct_at(tokens, i + 4, '=')
+        {
+            let (name, value) = match (tokens.get(i + 1), tokens.get(i + 5)) {
+                (Some(n), Some(v)) => (n, v),
+                _ => continue,
+            };
+            let Some(value_num) = lexer::parse_int(&value.text) else {
+                continue;
+            };
+            let entry = Entry {
+                value: value_num,
+                line: name.line,
+            };
+            if let Some(ident) = name.ident() {
+                if let Some(tail) = ident.strip_prefix("TAG_REQ_") {
+                    req.insert(camel(tail), entry);
+                } else if let Some(tail) = ident.strip_prefix("TAG_RESP_") {
+                    resp.insert(camel(tail), entry);
+                }
+            }
+        }
+        // ErrorCode::<Name> => <n>
+        if ident_at(tokens, i, "ErrorCode")
+            && punct_at(tokens, i + 1, ':')
+            && punct_at(tokens, i + 2, ':')
+            && punct_at(tokens, i + 4, '=')
+            && punct_at(tokens, i + 5, '>')
+        {
+            if let (Some(name), Some(value)) = (tokens.get(i + 3), tokens.get(i + 6)) {
+                if let (Some(ident), Some(value_num)) =
+                    (name.ident(), lexer::parse_int(&value.text))
+                {
+                    err.insert(
+                        ident.to_string(),
+                        Entry {
+                            value: value_num,
+                            line: name.line,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    let mut code = BTreeMap::new();
+    code.insert("req", req);
+    code.insert("resp", resp);
+    code.insert("err", err);
+    code
+}
+
+/// `INGEST_BATCH` → `IngestBatch`.
+fn camel(screaming: &str) -> String {
+    screaming
+        .split('_')
+        .map(|part| {
+            let mut chars = part.chars();
+            chars.next().map_or_else(String::new, |first| {
+                first.to_uppercase().collect::<String>() + &chars.as_str().to_lowercase()
+            })
+        })
+        .collect()
+}
+
+/// Finds `enum ErrorCode { … }` and returns (enum line, variant → line).
+fn parse_error_enum(tokens: &[Token]) -> Option<(u32, BTreeMap<String, u32>)> {
+    let at = (0..tokens.len()).find(|&i| {
+        ident_at(tokens, i, "enum")
+            && ident_at(tokens, i + 1, "ErrorCode")
+            && punct_at(tokens, i + 2, '{')
+    })?;
+    let mut variants = BTreeMap::new();
+    let mut i = at + 3;
+    let mut depth = 1usize;
+    while i < tokens.len() && depth > 0 {
+        let t = &tokens[i];
+        if t.is_punct('{') || t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') {
+            depth -= 1;
+        } else if depth == 1 && t.is_punct('#') && punct_at(tokens, i + 1, '[') {
+            // Skip variant attributes.
+            let mut j = i + 2;
+            let mut brackets = 1usize;
+            while j < tokens.len() && brackets > 0 {
+                if tokens[j].is_punct('[') {
+                    brackets += 1;
+                } else if tokens[j].is_punct(']') {
+                    brackets -= 1;
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        } else if depth == 1 {
+            if let Some(name) = t.ident() {
+                let terminated = punct_at(tokens, i + 1, ',') || punct_at(tokens, i + 1, '}');
+                if terminated {
+                    variants.insert(name.to_string(), t.line);
+                }
+            }
+        }
+        i += 1;
+    }
+    Some((tokens[at].line, variants))
+}

@@ -1,0 +1,36 @@
+//! `unsafe-confinement`: the workspace forbids `unsafe` everywhere except
+//! an explicit allowed list (in this repo: `vendor/minipoll`, the one
+//! crate that must talk to the OS poller). The workspace-level
+//! `unsafe_code = "forbid"` lint already covers first-party crates; this
+//! rule additionally covers build scripts, fixtures, and any crate that
+//! opts out of the workspace lint table — nothing slips through by
+//! editing a manifest.
+
+use crate::config::Config;
+use crate::{Finding, SourceFile};
+
+pub const RULE: &str = "unsafe-confinement";
+
+pub fn check(cfg: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let allowed = cfg.list(RULE, "allowed");
+    for file in files {
+        if allowed
+            .iter()
+            .any(|prefix| file.rel.starts_with(prefix.as_str()))
+        {
+            continue;
+        }
+        // Full token stream: `unsafe` in test code is just as confined.
+        for token in &file.tokens {
+            if token.ident() == Some("unsafe") {
+                findings.push(Finding::new(
+                    &file.rel,
+                    token.line,
+                    RULE,
+                    "`unsafe` outside the allowed list; only paths under \
+                     [unsafe-confinement].allowed in lint.toml may use it",
+                ));
+            }
+        }
+    }
+}

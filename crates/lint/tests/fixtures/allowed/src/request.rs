@@ -1,0 +1,9 @@
+//! Fixture: seeded violations suppressed by well-formed allow directives
+//! (line-above and same-line placements).
+
+pub fn handle(values: &[u64]) -> u64 {
+    // lint:allow(panic-freedom) fixture: caller guarantees non-empty input
+    let first = values.first().unwrap();
+    let second = values[0]; // lint:allow(panic-freedom) fixture: same-line directive
+    first + second
+}

@@ -1,0 +1,7 @@
+//! Fixture: a scoped file with no violations.
+
+pub fn handle(values: &[u64]) -> Option<u64> {
+    let first = values.first()?;
+    let second = values.get(1)?;
+    Some(first + second)
+}

@@ -1,0 +1,7 @@
+//! Fixture: malformed allow directives are themselves findings.
+
+// lint:allow(no-such-rule) this rule id does not exist
+pub fn unknown_rule() {}
+
+// lint:allow(panic-freedom)
+pub fn missing_reason() {}

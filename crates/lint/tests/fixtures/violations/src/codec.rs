@@ -1,0 +1,15 @@
+//! Fixture codec: `Ingest` disagrees with the spec value, `Query` is
+//! missing entirely, and `Bye` is not documented.
+
+pub const TAG_REQ_INGEST: u8 = 0x05;
+pub const TAG_RESP_CENTERS: u8 = 0x81;
+pub const TAG_RESP_BYE: u8 = 0x86;
+
+use crate::protocol::ErrorCode;
+
+pub fn error_code_tag(code: ErrorCode) -> u8 {
+    match code {
+        ErrorCode::Internal => 0,
+        ErrorCode::BadInput => 1,
+    }
+}

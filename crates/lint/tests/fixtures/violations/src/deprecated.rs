@@ -1,0 +1,7 @@
+//! Fixture: one expired deprecation, one with no removal deadline at all.
+
+#[deprecated(since = "0.0.1", note = "superseded; remove-by: 0.1.0")]
+pub fn expired_shim() {}
+
+#[deprecated(since = "0.0.1", note = "no deadline declared here")]
+pub fn open_ended_shim() {}

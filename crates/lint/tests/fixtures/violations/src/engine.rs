@@ -1,0 +1,24 @@
+//! Fixture: a tenant-class lock acquired before a map-class lock, against
+//! the declared `map -> tenant` order.
+
+pub struct Engine;
+
+impl Engine {
+    fn read_map(&self) -> u32 {
+        0
+    }
+}
+
+pub struct Tenant;
+
+impl Tenant {
+    fn lock(&self) -> u32 {
+        0
+    }
+}
+
+pub fn inverted(engine: &Engine, tenant: &Tenant) -> u32 {
+    let guard = tenant.lock();
+    let map = engine.read_map();
+    guard + map
+}

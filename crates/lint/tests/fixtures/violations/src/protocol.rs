@@ -1,0 +1,7 @@
+//! Fixture protocol model: `Extra` has no row in the spec.
+
+pub enum ErrorCode {
+    Internal,
+    BadInput,
+    Extra,
+}

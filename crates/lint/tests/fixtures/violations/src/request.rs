@@ -1,0 +1,9 @@
+//! Fixture: the three panic-freedom violation shapes on a scoped path.
+
+pub fn handle(values: &[u64]) -> u64 {
+    let first = values.first().unwrap();
+    if *first == 0 {
+        panic!("zero is not a value");
+    }
+    values[1]
+}

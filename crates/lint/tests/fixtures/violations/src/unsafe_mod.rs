@@ -1,0 +1,5 @@
+//! Fixture: `unsafe` outside the allowed list.
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

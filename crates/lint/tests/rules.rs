@@ -1,0 +1,171 @@
+//! Fixture-driven rule tests: each rule family has a seeded violation in
+//! `tests/fixtures/violations/` that must surface under its rule id, the
+//! `allowed/` tree shows that well-formed `lint:allow` directives suppress
+//! the same shapes, and the `clean/` tree produces nothing.
+
+use skm_lint::{run, Finding};
+use std::path::{Path, PathBuf};
+
+fn fixture_root(tree: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(tree)
+}
+
+fn findings(tree: &str) -> Vec<Finding> {
+    let root = fixture_root(tree);
+    run(&root, &root.join("lint.toml")).expect("fixture tree lints")
+}
+
+/// Asserts exactly one finding matches (rule, file, message-substring).
+fn assert_one(findings: &[Finding], rule: &str, file: &str, message_part: &str) {
+    let hits: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == rule && f.file == file && f.message.contains(message_part))
+        .collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one `{rule}` finding in {file} matching {message_part:?}, got {hits:#?}\n\
+         all findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn unsafe_outside_the_allowed_list_is_flagged() {
+    let all = findings("violations");
+    assert_one(
+        &all,
+        "unsafe-confinement",
+        "src/unsafe_mod.rs",
+        "`unsafe` outside the allowed list",
+    );
+}
+
+#[test]
+fn panic_freedom_flags_unwrap_panic_and_indexing() {
+    let all = findings("violations");
+    assert_one(&all, "panic-freedom", "src/request.rs", "`.unwrap()`");
+    assert_one(&all, "panic-freedom", "src/request.rs", "`panic!`");
+    assert_one(&all, "panic-freedom", "src/request.rs", "index can panic");
+}
+
+#[test]
+fn lock_order_flags_map_after_tenant() {
+    let all = findings("violations");
+    assert_one(
+        &all,
+        "lock-order",
+        "src/engine.rs",
+        "`map` lock acquired after `tenant` lock",
+    );
+}
+
+#[test]
+fn spec_conformance_flags_every_drift_direction() {
+    let all = findings("violations");
+    // Spec ↔ codec constants.
+    assert_one(
+        &all,
+        "spec-conformance",
+        "src/codec.rs",
+        "request tag `Ingest` is 5 in code but 1 in the spec",
+    );
+    assert_one(
+        &all,
+        "spec-conformance",
+        "PROTOCOL.md",
+        "spec declares request tag `Query` = 2 but the code has no",
+    );
+    assert_one(
+        &all,
+        "spec-conformance",
+        "src/codec.rs",
+        "response tag `Bye` = 134 is not documented",
+    );
+    // Spec ↔ ErrorCode enum.
+    assert_one(
+        &all,
+        "spec-conformance",
+        "src/protocol.rs",
+        "ErrorCode::Extra is not documented",
+    );
+    // Append-only baseline.
+    assert_one(
+        &all,
+        "spec-conformance",
+        "tags.lock",
+        "baseline tag `req/Ingest` changed value (2 -> 1)",
+    );
+    assert_one(
+        &all,
+        "spec-conformance",
+        "tags.lock",
+        "baseline tag `req/Removed` was removed from the spec",
+    );
+    assert_one(
+        &all,
+        "spec-conformance",
+        "PROTOCOL.md",
+        "tag `req/Query` is not recorded",
+    );
+}
+
+#[test]
+fn deprecation_expiry_flags_due_and_unmarked_items() {
+    let all = findings("violations");
+    assert_one(
+        &all,
+        "deprecation-expiry",
+        "src/deprecated.rs",
+        "due for removal by 0.1.0",
+    );
+    assert_one(
+        &all,
+        "deprecation-expiry",
+        "src/deprecated.rs",
+        "must declare its removal release",
+    );
+}
+
+#[test]
+fn malformed_allow_directives_are_findings() {
+    let all = findings("violations");
+    assert_one(
+        &all,
+        "lint-allow",
+        "src/allow_bad.rs",
+        "unknown rule `no-such-rule`",
+    );
+    assert_one(&all, "lint-allow", "src/allow_bad.rs", "needs a reason");
+}
+
+#[test]
+fn well_formed_allows_suppress_their_findings() {
+    let all = findings("allowed");
+    assert_eq!(
+        all,
+        Vec::<Finding>::new(),
+        "every seeded violation in the allowed tree carries a directive"
+    );
+}
+
+#[test]
+fn a_clean_tree_is_silent() {
+    let all = findings("clean");
+    assert_eq!(all, Vec::<Finding>::new());
+}
+
+#[test]
+fn findings_render_as_file_line_rule_message() {
+    let all = findings("violations");
+    let rendered = all
+        .iter()
+        .find(|f| f.rule == "unsafe-confinement")
+        .expect("unsafe finding exists")
+        .to_string();
+    assert!(
+        rendered.starts_with("src/unsafe_mod.rs:4 unsafe-confinement "),
+        "stable machine-splittable prefix, got {rendered:?}"
+    );
+}

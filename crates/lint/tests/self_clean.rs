@@ -1,0 +1,24 @@
+//! The linter's strongest test: the real workspace, under the real
+//! `lint.toml`, is clean. This is the same invocation CI's `--deny` gate
+//! runs, so a violation introduced anywhere in the tree fails `cargo test`
+//! before it ever reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root two levels up from crates/lint");
+    let findings = skm_lint::run(root, &root.join("lint.toml")).expect("workspace lints");
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay lint-clean; findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -5,7 +5,6 @@
 //! skm-serve serve [--addr 127.0.0.1:7878] [--backend sharded-cc|cc|ct|rcc]
 //!                 [--k 8] [--shards 4] [--batch 128] [--seed 42]
 //!                 [--snapshot-dir DIR] [--restore FILE] [--max-resident 64]
-//!                 [--core evented|blocking]
 //! skm-serve bench [--addr 127.0.0.1:7878] [--connections 4] [--points 20000]
 //!                 [--dim 8] [--batch 128] [--query-every 8] [--seed 42]
 //!                 [--freshness strict|cached] [--tenants 1] [--zipf 1.1]
@@ -16,9 +15,6 @@
 //! `--max-resident` tenant streams stay in memory; with `--snapshot-dir`
 //! the least-recently-used tenant is paged out to disk (and restored
 //! transparently on next touch), without it the cap is a hard limit.
-//! `--core` selects the I/O core: `evented` (default, readiness-polling
-//! loops, JSON + negotiated binary) or `blocking` (the legacy
-//! thread-per-connection baseline, JSON only).
 //! `bench` connects to an already-running server, drives it with a mixed
 //! ingest:query workload of Gaussian-blob points — spread over `--tenants`
 //! namespaces with Zipf(`--zipf`) skew when above 1 — and prints
@@ -34,7 +30,7 @@ use skm_serve::codec::CodecKind;
 use skm_serve::engine::{BackendKind, Engine, EngineSpec, DEFAULT_MAX_RESIDENT};
 use skm_serve::loadgen::{run_load, LoadSpec};
 use skm_serve::protocol::{Freshness, MAX_BATCH_POINTS};
-use skm_serve::server::{CoreMode, Server};
+use skm_serve::server::Server;
 use skm_stream::StreamConfig;
 use std::net::ToSocketAddrs;
 use std::path::PathBuf;
@@ -62,7 +58,6 @@ struct Args {
     zipf_s: f64,
     codec: CodecKind,
     idle_conns: usize,
-    core: CoreMode,
     shutdown: bool,
     errors: Vec<String>,
 }
@@ -88,7 +83,6 @@ impl Default for Args {
             zipf_s: 1.1,
             codec: CodecKind::Json,
             idle_conns: 0,
-            core: CoreMode::Evented,
             shutdown: false,
             errors: Vec::new(),
         }
@@ -156,16 +150,6 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
                     }
                 }
             }
-            "--core" => {
-                if let Some(v) = take("--core", &mut args.errors) {
-                    match CoreMode::parse(&v) {
-                        Some(core) => args.core = core,
-                        None => args.errors.push(format!(
-                            "unknown core `{v}` (expected `evented` or `blocking`)"
-                        )),
-                    }
-                }
-            }
             "--shutdown" => args.shutdown = true,
             "--k" | "--shards" | "--batch" | "--seed" | "--connections" | "--conns"
             | "--points" | "--dim" | "--query-every" | "--max-resident" | "--tenants"
@@ -225,13 +209,9 @@ fn build_engine(args: &Args) -> Result<Engine, String> {
 fn serve(args: &Args) -> Result<(), String> {
     let engine = Arc::new(build_engine(args)?);
     let server = Server::bind(args.addr.as_str(), engine, args.snapshot_dir.clone())
-        .map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?
-        .with_core(args.core);
+        .map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    println!(
-        "skm-serve listening on {addr} ({} core; send {{\"Shutdown\":{{}}}} to stop)",
-        args.core.as_str()
-    );
+    println!("skm-serve listening on {addr} (send {{\"Shutdown\":{{}}}} to stop)");
     server.run().map_err(|e| format!("server failed: {e}"))
 }
 

@@ -23,8 +23,8 @@
 //! ```
 //!
 //! The pre-1.3 surface (`with_namespace`, `set_namespace`, `query_with`,
-//! `stats_with`) survives as thin `#[deprecated]` shims for one release of
-//! grace (see the README).
+//! `stats_with`) had a one-release `#[deprecated]` grace window and has
+//! been removed.
 
 use crate::codec::{codec, Codec, CodecKind, MAX_FRAME_BYTES};
 use crate::protocol::{Freshness, Request, Response, TenantConfig};
@@ -242,27 +242,6 @@ impl Client {
         self.namespace.as_deref()
     }
 
-    /// Pins this connection to a tenant namespace (builder-style).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Client::builder(addr).namespace(..)` instead; shim kept for one release"
-    )]
-    #[must_use]
-    pub fn with_namespace(mut self, namespace: impl Into<String>) -> Self {
-        self.namespace = Some(namespace.into());
-        self
-    }
-
-    /// Switches the tenant the convenience methods target (`None` means
-    /// the server-side default tenant).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use per-request `RequestOptions::with_namespace` instead; shim kept for one release"
-    )]
-    pub fn set_namespace(&mut self, namespace: Option<String>) {
-        self.namespace = namespace;
-    }
-
     /// The namespace a request should carry: the per-request override, or
     /// this connection's default.
     fn resolve_namespace(&self, options: &RequestOptions) -> Option<String> {
@@ -319,10 +298,12 @@ impl Client {
         loop {
             match self.codec.next_frame(&self.read_buf) {
                 Ok(Some(frame)) => {
-                    let response = self
-                        .codec
-                        .decode_response(&self.read_buf[frame.start..frame.end])
-                        .map_err(protocol_error);
+                    let Some(payload) = self.read_buf.get(frame.start..frame.end) else {
+                        return Err(protocol_error(
+                            "codec produced an out-of-bounds frame".to_string(),
+                        ));
+                    };
+                    let response = self.codec.decode_response(payload).map_err(protocol_error);
                     self.read_buf.drain(..frame.consumed);
                     return response;
                 }
@@ -342,7 +323,15 @@ impl Client {
                     "server closed the connection",
                 ));
             }
-            self.read_buf.extend_from_slice(&chunk[..n]);
+            match chunk.get(..n) {
+                Some(filled) => self.read_buf.extend_from_slice(filled),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "read reported more bytes than the buffer holds",
+                    ))
+                }
+            }
         }
     }
 
@@ -409,15 +398,6 @@ impl Client {
         })
     }
 
-    /// Queries on the requested read path, returning the full response.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `query_opts(&RequestOptions::cached())` etc. instead; shim kept for one release"
-    )]
-    pub fn query_with(&mut self, freshness: Freshness) -> io::Result<Response> {
-        self.query_opts(&RequestOptions::new().with_freshness(freshness))
-    }
-
     /// Queries (strict) and unwraps the center rows, mapping a server-side
     /// error response to [`io::ErrorKind::Other`].
     ///
@@ -453,15 +433,6 @@ impl Client {
             Response::Stats { stats } => Ok(stats),
             other => Err(io::Error::other(format!("stats failed: {other:?}"))),
         }
-    }
-
-    /// Fetches ingestion statistics on the requested read path.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `stats_opts(&RequestOptions::cached())` etc. instead; shim kept for one release"
-    )]
-    pub fn stats_with(&mut self, freshness: Freshness) -> io::Result<StreamStats> {
-        self.stats_opts(&RequestOptions::new().with_freshness(freshness))
     }
 
     /// Asks the server to persist a snapshot under `file`.

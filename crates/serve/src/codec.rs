@@ -204,10 +204,10 @@ impl Codec for BinaryCodec {
     }
 
     fn next_frame(&self, buf: &[u8]) -> Result<Option<Frame>, FrameError> {
-        if buf.len() < 4 {
+        let Some(&[b0, b1, b2, b3]) = buf.get(..4) else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        };
+        let len = u32::from_le_bytes([b0, b1, b2, b3]) as usize;
         if len > MAX_FRAME_BYTES {
             return Err(FrameError {
                 code: ErrorCode::FrameTooLarge,
@@ -260,8 +260,11 @@ fn with_length_prefix(out: &mut Vec<u8>, fill: impl FnOnce(&mut Vec<u8>)) {
         len <= MAX_FRAME_BYTES,
         "encoded frame exceeds MAX_FRAME_BYTES"
     );
+    // lint:allow(panic-freedom) encode-side invariant: the assert above bounds len under u32
     let len32 = u32::try_from(len).expect("frame cap fits u32");
-    out[slot..slot + 4].copy_from_slice(&len32.to_le_bytes());
+    if let Some(slot_bytes) = out.get_mut(slot..slot + 4) {
+        slot_bytes.copy_from_slice(&len32.to_le_bytes());
+    }
 }
 
 // ---- binary writers (all integers little-endian) ------------------------
@@ -287,6 +290,7 @@ fn put_usize(out: &mut Vec<u8>, v: usize) {
 }
 
 fn put_len(out: &mut Vec<u8>, len: usize) {
+    // lint:allow(panic-freedom) encode-side invariant: lengths come from in-memory buffers already under the frame cap
     put_u32(out, u32::try_from(len).expect("length fits the frame cap"));
 }
 
@@ -520,31 +524,40 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.remaining() < n {
-            return Err(format!(
-                "truncated frame: wanted {n} bytes, {} remain",
-                self.remaining()
-            ));
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
+        let slice = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| {
+                format!(
+                    "truncated frame: wanted {n} bytes, {} remain",
+                    self.remaining()
+                )
+            })?;
         self.pos += n;
         Ok(slice)
     }
 
     fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or_else(|| "truncated frame: empty byte read".to_string())
     }
 
     fn u32(&mut self) -> Result<u32, String> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| "truncated frame: short u32".to_string())?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| "truncated frame: short u64".to_string())?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn usize(&mut self) -> Result<usize, String> {

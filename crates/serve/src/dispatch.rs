@@ -1,10 +1,10 @@
-//! Request execution, shared by both server cores.
+//! Request execution, independent of the I/O layer.
 //!
-//! The blocking core ([`crate::server`]) and the evented core
-//! ([`crate::event`]) differ only in how bytes become [`Request`]s and how
-//! [`Response`]s become bytes; everything between — namespace resolution,
-//! limits, engine calls, error mapping — lives here so the two cores cannot
-//! drift apart semantically.
+//! The evented core ([`crate::event`]) turns bytes into [`Request`]s and
+//! [`Response`]s back into bytes; everything between — namespace
+//! resolution, limits, engine calls, error mapping — lives here so the
+//! transport and the semantics cannot drift apart. (When the blocking and
+//! evented cores coexisted, this layer is what kept them identical.)
 
 use crate::engine::{BackendKind, Engine, EngineSpec};
 use crate::protocol::{

@@ -558,11 +558,15 @@ impl Engine {
     /// the cap. Caller holds the map write lock.
     fn make_room(&self, map: &mut HashMap<String, Arc<Tenant>>) -> Result<()> {
         while map.len() >= self.max_resident {
-            let victim = map
+            let Some(victim) = map
                 .values()
                 .min_by_key(|t| t.last_touch.load(Ordering::Relaxed))
                 .cloned()
-                .expect("cap >= 1 and len >= cap, so the map is non-empty");
+            else {
+                // `len >= cap >= 1` makes the map non-empty here; if that
+                // invariant ever breaks, stop evicting rather than spin.
+                return Ok(());
+            };
             let Some(path) = self.evict_path(&victim.namespace) else {
                 return Err(ClusteringError::InvalidParameter {
                     name: "tenant_limit",

@@ -130,7 +130,10 @@ fn fill(conn: &mut Conn) -> bool {
                 conn.peer_closed = true;
                 return true;
             }
-            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => match chunk.get(..n) {
+                Some(filled) => conn.read_buf.extend_from_slice(filled),
+                None => return false,
+            },
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return false,
@@ -168,7 +171,16 @@ fn process_frames(
                 return;
             }
         };
-        let payload = conn.read_buf[frame.start..frame.end].to_vec();
+        // The codec contract bounds frames by the buffer it was shown; a
+        // codec that breaks it loses the connection rather than the server.
+        let Some(payload) = conn
+            .read_buf
+            .get(frame.start..frame.end)
+            .map(<[u8]>::to_vec)
+        else {
+            conn.closing = true;
+            return;
+        };
         conn.read_buf.drain(..frame.consumed);
         // Tolerate blank keep-alive lines on the JSON codec (parity with
         // the blocking core); they do not count as the first frame.
@@ -239,7 +251,10 @@ fn handle_request(
 /// `false` when the connection died mid-write.
 fn flush(conn: &mut Conn) -> bool {
     while conn.pending() > 0 {
-        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+        let Some(rest) = conn.write_buf.get(conn.write_pos..) else {
+            return false;
+        };
+        match conn.stream.write(rest) {
             Ok(0) => return false,
             Ok(n) => conn.write_pos += n,
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -319,14 +334,14 @@ impl EventLoop {
     }
 
     /// Accepts until the listener would block, distributing round-robin.
+    /// Only the listener loop is ever woken with `LISTENER_TOKEN`; on any
+    /// other loop this is a no-op.
     fn accept_ready(&mut self) {
+        let Some(listener) = self.listener.take() else {
+            return;
+        };
         loop {
-            let accepted = self
-                .listener
-                .as_ref()
-                .expect("accept_ready only runs on the listener loop")
-                .accept();
-            match accepted {
+            match listener.accept() {
                 Ok((stream, _)) => {
                     if self.shutdown.load(Ordering::SeqCst) {
                         continue; // drop connections racing shutdown
@@ -336,21 +351,26 @@ impl EventLoop {
                     self.next_peer = (self.next_peer + 1) % self.all_wakers.len();
                     if target == self.index {
                         self.adopt(stream);
-                    } else if self.peers[target].send(stream).is_ok() {
-                        let _ = self.all_wakers[target].wake();
+                    } else if let (Some(peer), Some(waker)) =
+                        (self.peers.get(target), self.all_wakers.get(target))
+                    {
+                        if peer.send(stream).is_ok() {
+                            let _ = waker.wake();
+                        }
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 // Transient accept failures (peer vanished between SYN and
                 // accept, fd pressure) must not kill the loop; back off so
                 // a persistent failure cannot busy-spin it.
                 Err(_) => {
                     thread::sleep(Duration::from_millis(10));
-                    return;
+                    break;
                 }
             }
         }
+        self.listener = Some(listener);
     }
 
     /// Takes ownership of a new connection: non-blocking, registered
@@ -474,8 +494,10 @@ impl EventLoop {
                     .set_write_timeout(Some(DRAIN_WRITE_TIMEOUT))
                     .is_ok()
             {
-                let _ = conn.stream.write_all(&conn.write_buf[conn.write_pos..]);
-                let _ = conn.stream.flush();
+                if let Some(rest) = conn.write_buf.get(conn.write_pos..) {
+                    let _ = conn.stream.write_all(rest);
+                    let _ = conn.stream.flush();
+                }
             }
         }
     }
@@ -491,12 +513,12 @@ pub(crate) fn run_evented(
 ) -> io::Result<()> {
     let n = loop_count();
     let mut polls = Vec::with_capacity(n);
-    let mut all_wakers = Vec::with_capacity(n);
     for _ in 0..n {
         let poll = Poll::new()?;
-        all_wakers.push(poll.waker(WAKER_TOKEN)?);
-        polls.push(poll);
+        let waker = poll.waker(WAKER_TOKEN)?;
+        polls.push((poll, waker));
     }
+    let all_wakers: Vec<Waker> = polls.iter().map(|(_, w)| w.clone()).collect();
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
@@ -505,40 +527,49 @@ pub(crate) fn run_evented(
         receivers.push(rx);
     }
     listener.set_nonblocking(true)?;
-    polls[0].register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
 
-    let make_loop = |index: usize, poll: Poll, incoming, listener: Option<TcpListener>| EventLoop {
-        index,
-        poll,
-        engine: Arc::clone(&engine),
-        snapshot_dir: snapshot_dir.clone(),
-        shutdown: Arc::clone(&shutdown),
-        waker: all_wakers[index].clone(),
-        all_wakers: all_wakers.clone(),
-        incoming,
-        peers: senders.clone(),
-        next_peer: 0,
-        listener,
-        conns: HashMap::new(),
-        next_token: FIRST_CONN_TOKEN,
-    };
+    // Loop 0 owns the listener; every loop carries its own waker, so the
+    // construction below never indexes into a shared vector.
+    let mut listener = Some(listener);
+    let mut loops = Vec::with_capacity(n);
+    for (index, ((poll, waker), incoming)) in polls.into_iter().zip(receivers).enumerate() {
+        let listener = listener.take();
+        if let Some(l) = &listener {
+            poll.register(l, LISTENER_TOKEN, Interest::READABLE)?;
+        }
+        loops.push(EventLoop {
+            index,
+            poll,
+            engine: Arc::clone(&engine),
+            snapshot_dir: snapshot_dir.clone(),
+            shutdown: Arc::clone(&shutdown),
+            waker,
+            all_wakers: all_wakers.clone(),
+            incoming,
+            peers: senders.clone(),
+            next_peer: 0,
+            listener,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+        });
+    }
 
-    // Workers take loops n-1 down to 1; loop 0 (with the listener) runs on
+    // Loops 1..n run on worker threads; loop 0 (with the listener) runs on
     // the calling thread.
-    let mut workers = Vec::with_capacity(n - 1);
-    for index in (1..n).rev() {
-        let poll = polls.pop().expect("one poll per loop");
-        let incoming = receivers.pop().expect("one receiver per loop");
-        let event_loop = make_loop(index, poll, incoming, None);
+    let mut loops = loops.into_iter();
+    let Some(loop0) = loops.next() else {
+        return Ok(());
+    };
+    let mut workers = Vec::with_capacity(n.saturating_sub(1));
+    for event_loop in loops {
+        let index = event_loop.index;
         workers.push(
             thread::Builder::new()
                 .name(format!("skm-serve-loop-{index}"))
                 .spawn(move || event_loop.run())?,
         );
     }
-    let poll0 = polls.pop().expect("loop 0 poll");
-    let incoming0 = receivers.pop().expect("loop 0 receiver");
-    let result = make_loop(0, poll0, incoming0, Some(listener)).run();
+    let result = loop0.run();
     for worker in workers {
         let _ = worker.join();
     }

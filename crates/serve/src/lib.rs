@@ -29,14 +29,11 @@
 //!   touch. The same envelope serves explicit snapshot/restore of the
 //!   complete state (configuration, coreset tree levels, caches, partial
 //!   buckets, RNG positions, published epoch).
-//! * [`server`] — the TCP [`Server`] with two I/O cores selected by
-//!   [`CoreMode`]: the default *evented* core ([`event`]) runs a small
-//!   fixed pool of readiness-polling loops with per-connection state
-//!   machines, explicit read/write backpressure, and request pipelining;
-//!   the legacy *blocking* core keeps one handler thread per connection
-//!   (JSON only, retained for one release as the comparison baseline).
-//!   Both answer malformed input with typed errors and drain in-flight
-//!   requests on shutdown.
+//! * [`server`] — the TCP [`Server`] over the *evented* I/O core
+//!   ([`event`]): a small fixed pool of readiness-polling loops with
+//!   per-connection state machines, explicit read/write backpressure, and
+//!   request pipelining. Malformed input is answered with typed errors,
+//!   and in-flight requests drain on shutdown.
 //! * [`client`] — the blocking [`Client`], built via [`ClientBuilder`]
 //!   (address, default namespace, codec, timeouts) and driven with typed
 //!   per-request [`RequestOptions`].
@@ -86,7 +83,7 @@ pub use codec::{Codec, CodecKind};
 pub use engine::{BackendKind, Engine, EngineSpec, SnapshotFile, SNAPSHOT_VERSION};
 pub use loadgen::{run_load, LoadReport, LoadSpec};
 pub use protocol::{Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE};
-pub use server::{CoreMode, Server, ServerHandle};
+pub use server::{Server, ServerHandle};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -97,6 +94,6 @@ pub mod prelude {
     pub use crate::protocol::{
         ErrorCode, Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE,
     };
-    pub use crate::server::{CoreMode, Server, ServerHandle};
+    pub use crate::server::{Server, ServerHandle};
     pub use skm_stream::{PublishedClustering, StreamConfig, StreamStats};
 }

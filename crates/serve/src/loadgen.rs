@@ -128,26 +128,6 @@ impl LoadSpec {
         self.idle_conns = idle_conns;
         self
     }
-
-    /// A single-tenant spec from positional arguments (the pre-1.3 shape).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `LoadSpec::new(addr)` with the typed `with_*` setters; shim kept for one release"
-    )]
-    #[must_use]
-    pub fn single_tenant(
-        addr: SocketAddr,
-        connections: usize,
-        batch: usize,
-        query_every: usize,
-        freshness: Freshness,
-    ) -> Self {
-        Self::new(addr)
-            .with_connections(connections)
-            .with_batch(batch)
-            .with_query_every(query_every)
-            .with_freshness(freshness)
-    }
 }
 
 /// Cumulative distribution over tenant ranks `1..=n` with Zipf weights

@@ -1,21 +1,19 @@
-//! The TCP server and its two I/O cores.
+//! The TCP server around the evented I/O core.
 //!
-//! [`CoreMode::Evented`] (the default since protocol revision 1.3) runs a
-//! small fixed set of non-blocking event loops multiplexing every
-//! connection — see [`crate::event`] for the state machines, backpressure
-//! and codec negotiation. [`CoreMode::Blocking`] is the original
-//! thread-per-connection core, retained as the measurable baseline tier
-//! (`core=blocking` in `BENCH_serving.json`) and as the simplest possible
-//! reference implementation of the protocol; it speaks newline-JSON only
-//! (a `Hello{json}` handshake is accepted, `Hello{binary}` is answered
-//! with [`ErrorCode::BadCodec`]).
+//! Since protocol revision 1.3 the server runs a small fixed set of
+//! non-blocking event loops multiplexing every connection — see
+//! [`crate::event`] for the state machines, backpressure and codec
+//! negotiation. (The original thread-per-connection blocking core served
+//! one release as the measurable `--core blocking` baseline and has been
+//! removed; its newline-JSON dialect is the evented core's default codec,
+//! so nothing on the wire changed.)
 //!
-//! Both cores execute requests through the shared `crate::dispatch`
-//! layer, so they cannot drift apart semantically: each request resolves
-//! its optional `namespace` to a tenant stream (`"default"` when omitted);
-//! ingest requests (and strict queries) serialize on that tenant's backend
-//! mutex only, and `cached` queries are served from the tenant's published
-//! snapshot and never wait on ingestion.
+//! Requests execute through the shared `crate::dispatch` layer: each
+//! request resolves its optional `namespace` to a tenant stream
+//! (`"default"` when omitted); ingest requests (and strict queries)
+//! serialize on that tenant's backend mutex only, and `cached` queries are
+//! served from the tenant's published snapshot and never wait on
+//! ingestion.
 //!
 //! The server runs until a `Shutdown` request arrives (or
 //! [`ServerHandle::shutdown`] is called from the hosting process); it then
@@ -24,49 +22,14 @@
 //! client cannot take the server down, and every failure leaves the engine
 //! usable.
 
-use crate::codec::CodecKind;
-use crate::dispatch::dispatch;
 use crate::engine::Engine;
 use crate::event::run_evented;
-use crate::protocol::{ErrorCode, Request, Response, MAX_LINE_BYTES, PROTOCOL_REVISION};
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-
-/// Which I/O core a [`Server`] runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CoreMode {
-    /// Evented non-blocking loops with codec negotiation (the default).
-    #[default]
-    Evented,
-    /// Thread-per-connection blocking I/O, newline-JSON only (baseline
-    /// tier).
-    Blocking,
-}
-
-impl CoreMode {
-    /// The CLI spelling (`--core {evented,blocking}`).
-    #[must_use]
-    pub fn as_str(self) -> &'static str {
-        match self {
-            CoreMode::Evented => "evented",
-            CoreMode::Blocking => "blocking",
-        }
-    }
-
-    /// Parses the CLI spelling (case-insensitive).
-    #[must_use]
-    pub fn parse(tag: &str) -> Option<Self> {
-        match tag.to_ascii_lowercase().as_str() {
-            "evented" => Some(CoreMode::Evented),
-            "blocking" => Some(CoreMode::Blocking),
-            _ => None,
-        }
-    }
-}
 
 /// A bound, not-yet-running server.
 #[derive(Debug)]
@@ -75,7 +38,6 @@ pub struct Server {
     engine: Arc<Engine>,
     snapshot_dir: Option<PathBuf>,
     shutdown: Arc<AtomicBool>,
-    core: CoreMode,
 }
 
 /// Control handle for a server running on a background thread
@@ -90,9 +52,9 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) around a shared
-    /// engine, on the default [`CoreMode::Evented`] core. `snapshot_dir`
-    /// enables the `Snapshot` request: when `None`, snapshot requests are
-    /// answered with [`ErrorCode::SnapshotUnavailable`].
+    /// engine. `snapshot_dir` enables the `Snapshot` request: when `None`,
+    /// snapshot requests are answered with
+    /// [`crate::protocol::ErrorCode::SnapshotUnavailable`].
     ///
     /// # Errors
     /// Propagates socket errors.
@@ -106,21 +68,7 @@ impl Server {
             engine,
             snapshot_dir,
             shutdown: Arc::new(AtomicBool::new(false)),
-            core: CoreMode::default(),
         })
-    }
-
-    /// Selects the I/O core (the default is [`CoreMode::Evented`]).
-    #[must_use]
-    pub fn with_core(mut self, core: CoreMode) -> Self {
-        self.core = core;
-        self
-    }
-
-    /// The I/O core this server will run.
-    #[must_use]
-    pub fn core(&self) -> CoreMode {
-        self.core
     }
 
     /// The address the server is listening on (resolves port 0).
@@ -132,65 +80,12 @@ impl Server {
     }
 
     /// Runs the server on the calling thread until shutdown, then drains
-    /// and joins every connection.
+    /// and joins every event loop.
     ///
     /// # Errors
     /// Propagates accept-loop socket errors.
     pub fn run(self) -> io::Result<()> {
-        match self.core {
-            CoreMode::Evented => {
-                run_evented(self.listener, self.engine, self.snapshot_dir, self.shutdown)
-            }
-            CoreMode::Blocking => self.run_blocking(),
-        }
-    }
-
-    /// The original thread-per-connection core.
-    fn run_blocking(self) -> io::Result<()> {
-        let addr = self.local_addr()?;
-        // Join handles paired with a clone of the connection socket: on
-        // shutdown the sockets are closed first, so handlers parked in
-        // `read_line` on an idle connection wake up and exit instead of
-        // deadlocking the join.
-        let mut handlers: Vec<(thread::JoinHandle<()>, TcpStream)> = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                // A single failed accept (e.g. the peer vanished between
-                // SYN and accept) must not stop the server; back off so a
-                // persistent failure (fd exhaustion) cannot busy-spin this
-                // thread and starve the handlers that would free fds.
-                Err(_) => {
-                    thread::sleep(std::time::Duration::from_millis(10));
-                    continue;
-                }
-            };
-            // One response per request line: answer immediately instead of
-            // letting Nagle + delayed ACKs add a ~40 ms floor per request.
-            let _ = stream.set_nodelay(true);
-            let Ok(stream_for_shutdown) = stream.try_clone() else {
-                continue;
-            };
-            let engine = Arc::clone(&self.engine);
-            let snapshot_dir = self.snapshot_dir.clone();
-            let shutdown = Arc::clone(&self.shutdown);
-            let handle = thread::spawn(move || {
-                let _ =
-                    handle_connection(stream, &engine, snapshot_dir.as_deref(), &shutdown, addr);
-            });
-            // Reap finished handlers so a long-lived server does not
-            // accumulate one join handle per connection ever served.
-            handlers.retain(|(h, _)| !h.is_finished());
-            handlers.push((handle, stream_for_shutdown));
-        }
-        for (handle, stream) in handlers {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            let _ = handle.join();
-        }
-        Ok(())
+        run_evented(self.listener, self.engine, self.snapshot_dir, self.shutdown)
     }
 
     /// Moves the server onto a background thread and returns a control
@@ -228,8 +123,8 @@ impl ServerHandle {
         &self.engine
     }
 
-    /// Requests shutdown and blocks until every loop (or connection
-    /// handler) has drained and exited.
+    /// Requests shutdown and blocks until every loop has drained and
+    /// exited.
     ///
     /// # Errors
     /// Propagates accept-loop socket errors; a panicked accept thread is
@@ -245,9 +140,8 @@ impl ServerHandle {
 }
 
 /// Unblocks a waiting accept path by connecting (and immediately dropping)
-/// a throwaway socket: the blocking core's `accept()` returns, and the
-/// evented core's listener loop polls ready — either way the shutdown flag
-/// is observed. A wildcard bind address is not connectable on every
+/// a throwaway socket: the listener loop polls ready and observes the
+/// shutdown flag. A wildcard bind address is not connectable on every
 /// platform, so the wake targets the matching loopback address instead.
 fn wake_accept_loop(mut addr: SocketAddr) {
     if addr.ip().is_unspecified() {
@@ -257,103 +151,4 @@ fn wake_accept_loop(mut addr: SocketAddr) {
         });
     }
     let _ = TcpStream::connect(addr);
-}
-
-/// Serves one connection on the blocking core: reads newline-delimited
-/// JSON requests, answers each with exactly one response line, and keeps
-/// going until EOF, an I/O failure, an unrecoverable oversized line, or a
-/// `Shutdown` request.
-fn handle_connection(
-    stream: TcpStream,
-    engine: &Engine,
-    snapshot_dir: Option<&Path>,
-    shutdown: &AtomicBool,
-    server_addr: SocketAddr,
-) -> io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut line = Vec::new();
-    let mut handshaken = false;
-    loop {
-        line.clear();
-        // Read raw bytes (not `read_line`) so invalid UTF-8 is answered
-        // with a typed error below instead of killing the connection with
-        // an unexplained EOF.
-        let n = (&mut reader)
-            .take(MAX_LINE_BYTES)
-            .read_until(b'\n', &mut line)?;
-        if n == 0 {
-            return Ok(()); // client hung up
-        }
-        if line.last() != Some(&b'\n') && n as u64 >= MAX_LINE_BYTES {
-            // The line hit the cap without a newline: there is no way to
-            // find the next request boundary, so answer and hang up.
-            write_response(
-                &mut writer,
-                &Response::Error {
-                    code: ErrorCode::LineTooLong,
-                    message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                },
-            )?;
-            return Ok(());
-        }
-        let first_frame = !handshaken;
-        let response = match std::str::from_utf8(&line) {
-            // The newline boundary is known even for a bad line, so the
-            // connection stays usable after the typed error.
-            Err(_) => {
-                handshaken = true;
-                Response::Error {
-                    code: ErrorCode::MalformedRequest,
-                    message: "request line is not valid UTF-8".to_string(),
-                }
-            }
-            Ok(text) => {
-                let trimmed = text.trim();
-                if trimmed.is_empty() {
-                    continue; // tolerate blank keep-alive lines
-                }
-                handshaken = true;
-                match Request::from_line(trimmed) {
-                    Err(parse_error) => Response::Error {
-                        code: ErrorCode::MalformedRequest,
-                        message: parse_error,
-                    },
-                    // The blocking core speaks JSON only: a first-frame
-                    // `Hello{json}` is a no-op accept; `Hello{binary}` is
-                    // a typed refusal (the connection stays JSON-usable).
-                    Ok(Request::Hello { codec }) if first_frame => match CodecKind::parse(&codec) {
-                        Some(CodecKind::Json) => Response::Hello {
-                            codec: CodecKind::Json.as_str().to_string(),
-                            revision: PROTOCOL_REVISION.to_string(),
-                        },
-                        Some(CodecKind::Binary) => Response::Error {
-                            code: ErrorCode::BadCodec,
-                            message: "the blocking core serves newline-JSON only".to_string(),
-                        },
-                        None => Response::Error {
-                            code: ErrorCode::BadCodec,
-                            message: format!(
-                                "unknown codec `{codec}` (expected `json` or `binary`)"
-                            ),
-                        },
-                    },
-                    Ok(request) => dispatch(request, engine, snapshot_dir),
-                }
-            }
-        };
-        let is_bye = matches!(response, Response::Bye {});
-        write_response(&mut writer, &response)?;
-        if is_bye {
-            shutdown.store(true, Ordering::SeqCst);
-            wake_accept_loop(server_addr);
-            return Ok(());
-        }
-    }
-}
-
-fn write_response(writer: &mut BufWriter<TcpStream>, response: &Response) -> io::Result<()> {
-    writer.write_all(response.to_line().as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
 }

@@ -4,8 +4,7 @@
 //! request type, pipelined frames are answered in order, hostile
 //! handshakes leave the connection usable, shutdown drains pipelined
 //! in-flight requests (the PR-4 idle-connection deadlock fix restated for
-//! the evented loop), and the blocking core survives as the JSON-only
-//! baseline.
+//! the evented loop).
 
 use skm_serve::prelude::*;
 use std::sync::mpsc;
@@ -24,11 +23,10 @@ fn spec() -> EngineSpec {
     )
 }
 
-fn start(core: CoreMode) -> ServerHandle {
+fn start() -> ServerHandle {
     let engine = Arc::new(Engine::new(&spec()).unwrap());
     Server::bind("127.0.0.1:0", engine, None)
         .unwrap()
-        .with_core(core)
         .spawn()
         .unwrap()
 }
@@ -51,7 +49,7 @@ fn shutdown_with_watchdog(handle: ServerHandle) {
 fn a_pre_1_3_json_client_connects_unmodified_without_a_handshake() {
     use std::io::{BufRead, BufReader, Write};
 
-    let handle = start(CoreMode::Evented);
+    let handle = start();
     // Raw newline-JSON with no Hello — the complete pre-1.3 wire dialect.
     let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
     stream.set_nodelay(true).unwrap();
@@ -85,7 +83,7 @@ fn a_pre_1_3_json_client_connects_unmodified_without_a_handshake() {
 
 #[test]
 fn the_binary_handshake_negotiates_and_serves_every_request_type() {
-    let handle = start(CoreMode::Evented);
+    let handle = start();
     let mut client = Client::builder(handle.addr())
         .codec(CodecKind::Binary)
         .connect()
@@ -124,7 +122,7 @@ fn the_binary_handshake_negotiates_and_serves_every_request_type() {
 
 #[test]
 fn binary_and_json_connections_interleave_on_one_server() {
-    let handle = start(CoreMode::Evented);
+    let handle = start();
     let mut json = Client::connect(handle.addr()).unwrap();
     let mut binary = Client::builder(handle.addr())
         .codec(CodecKind::Binary)
@@ -140,7 +138,7 @@ fn binary_and_json_connections_interleave_on_one_server() {
 
 #[test]
 fn pipelined_frames_are_answered_in_order_on_one_connection() {
-    let handle = start(CoreMode::Evented);
+    let handle = start();
     for kind in [CodecKind::Json, CodecKind::Binary] {
         let mut client = Client::builder(handle.addr())
             .codec(kind)
@@ -190,7 +188,7 @@ fn pipelined_frames_are_answered_in_order_on_one_connection() {
 
 #[test]
 fn garbage_and_late_handshakes_get_bad_codec_and_the_connection_survives() {
-    let handle = start(CoreMode::Evented);
+    let handle = start();
     let mut client = Client::connect(handle.addr()).unwrap();
 
     // Unknown codec as the first frame: typed refusal, connection stays on
@@ -225,7 +223,7 @@ fn garbage_and_late_handshakes_get_bad_codec_and_the_connection_survives() {
 
 #[test]
 fn shutdown_drains_pipelined_in_flight_requests_before_exit() {
-    let handle = start(CoreMode::Evented);
+    let handle = start();
     let mut client = Client::connect(handle.addr()).unwrap();
     // Everything ships in ONE write: the server sees a buffer holding 20
     // ingests and the Shutdown. All 21 responses must come back — the
@@ -254,7 +252,7 @@ fn shutdown_drains_pipelined_in_flight_requests_before_exit() {
 fn shutdown_completes_with_idle_connections_held_open() {
     // The PR-4 regression restated for the evented loop: connections that
     // never send a byte must not wedge the shutdown join.
-    let handle = start(CoreMode::Evented);
+    let handle = start();
     let idle: Vec<std::net::TcpStream> = (0..16)
         .map(|_| std::net::TcpStream::connect(handle.addr()).unwrap())
         .collect();
@@ -267,7 +265,7 @@ fn shutdown_completes_with_idle_connections_held_open() {
 
 #[test]
 fn a_write_heavy_pipeline_is_absorbed_by_backpressure_not_a_deadlock() {
-    let handle = start(CoreMode::Evented);
+    let handle = start();
     let mut feeder = Client::builder(handle.addr())
         .codec(CodecKind::Binary)
         .connect()
@@ -292,25 +290,6 @@ fn a_write_heavy_pipeline_is_absorbed_by_backpressure_not_a_deadlock() {
         assert!(matches!(response, Response::Centers { .. }), "{response:?}");
     }
     let mut client = Client::connect(handle.addr()).unwrap();
-    client.shutdown().unwrap();
-    shutdown_with_watchdog(handle);
-}
-
-#[test]
-fn the_blocking_core_still_serves_json_and_refuses_binary() {
-    let handle = start(CoreMode::Blocking);
-    let mut client = Client::connect(handle.addr()).unwrap();
-    client.ingest(vec![1.0, 2.0]).unwrap();
-    assert_eq!(client.stats().unwrap().points_seen, 1);
-
-    // The binary handshake is a typed refusal on the blocking core, and
-    // the builder surfaces it as a connect error.
-    let err = Client::builder(handle.addr())
-        .codec(CodecKind::Binary)
-        .connect()
-        .expect_err("the blocking core must refuse the binary codec");
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-
     client.shutdown().unwrap();
     shutdown_with_watchdog(handle);
 }
