@@ -16,6 +16,7 @@
 //! See the README section "Benchmarking & perf methodology" for the JSON
 //! schema and the baseline-refresh workflow.
 
+use skm_bench::durability::measure_durability_workload;
 use skm_bench::report::{
     compare_reports, measure_workload, write_baseline, write_reports, BaselineFile, WorkloadReport,
 };
@@ -39,6 +40,7 @@ fn read_fresh_reports(
     specs: &[DatasetSpec],
     sharded: bool,
     serving: bool,
+    durability: bool,
 ) -> Result<Vec<WorkloadReport>, String> {
     let mut names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
     if sharded {
@@ -46,6 +48,9 @@ fn read_fresh_reports(
     }
     if serving {
         names.push(skm_bench::SERVING_WORKLOAD.to_string());
+    }
+    if durability {
+        names.push(skm_bench::DURABILITY_WORKLOAD.to_string());
     }
     let mut reports = Vec::new();
     for name in &names {
@@ -132,7 +137,7 @@ fn main() -> ExitCode {
             eprintln!("--guard-only requires --json DIR (where to load reports from)");
             return ExitCode::FAILURE;
         };
-        match read_fresh_reports(dir, &specs, args.sharded, args.serving) {
+        match read_fresh_reports(dir, &specs, args.sharded, args.serving, args.durability) {
             Ok(reports) => reports,
             Err(e) => {
                 eprintln!("{e}");
@@ -173,6 +178,18 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("serving benchmark failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if args.durability {
+            match measure_durability_workload(args.points, args.k, args.seed) {
+                Ok(report) => {
+                    print_summary(&report);
+                    reports.push(report);
+                }
+                Err(e) => {
+                    eprintln!("durability benchmark failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

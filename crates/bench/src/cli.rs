@@ -29,6 +29,8 @@
 //!                     the sharded-ingestion grid (BENCH_sharded.json)
 //! --serving           additionally measure (or, with --guard-only, load)
 //!                     the TCP serving workload (BENCH_serving.json)
+//! --durability        additionally measure (or, with --guard-only, load)
+//!                     the write-ahead-log cost grid (BENCH_durability.json)
 //! ```
 
 use crate::workloads::DatasetSpec;
@@ -62,6 +64,9 @@ pub struct BenchArgs {
     /// Also measure (or, with `guard_only`, load) the TCP serving workload
     /// (`BENCH_serving.json`).
     pub serving: bool,
+    /// Also measure (or, with `guard_only`, load) the write-ahead-log cost
+    /// grid (`BENCH_durability.json`).
+    pub durability: bool,
     /// Hard parse errors (a report-pipeline flag missing its value). The
     /// `skm-bench` binary refuses to run when this is non-empty — a guard
     /// invocation that silently dropped `--check` would green-light
@@ -84,6 +89,7 @@ impl Default for BenchArgs {
             baseline_out: None,
             sharded: false,
             serving: false,
+            durability: false,
             errors: Vec::new(),
         }
     }
@@ -161,6 +167,7 @@ impl BenchArgs {
                 "--guard-only" => parsed.guard_only = true,
                 "--sharded" => parsed.sharded = true,
                 "--serving" => parsed.serving = true,
+                "--durability" => parsed.durability = true,
                 "--baseline-out" => {
                     parsed.baseline_out =
                         take_path_value(&mut iter, "--baseline-out", &mut parsed.errors);
@@ -279,6 +286,12 @@ mod tests {
     fn serving_flag_parses() {
         assert!(parse(&["--serving"]).serving);
         assert!(!parse(&[]).serving);
+    }
+
+    #[test]
+    fn durability_flag_parses() {
+        assert!(parse(&["--durability"]).durability);
+        assert!(!parse(&[]).durability);
     }
 
     #[test]

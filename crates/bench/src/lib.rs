@@ -16,6 +16,9 @@
 //! * [`serving`] — the TCP serving workload (`BENCH_serving.json`,
 //!   request latency of the `skm-serve` server under a concurrent
 //!   ingest:query mix driven by the built-in load generator),
+//! * [`durability`] — the write-ahead-log cost grid
+//!   (`BENCH_durability.json`, fsync interval × ingest batch on the
+//!   in-process engine, plus a cold-recovery cell),
 //! * [`cli`] — the tiny flag parser shared by the figure/table binaries.
 //!
 //! Each figure or table of the paper has a dedicated binary in `src/bin/`
@@ -27,6 +30,7 @@
 #![warn(clippy::all)]
 
 pub mod cli;
+pub mod durability;
 pub mod figures;
 pub mod report;
 pub mod runner;
@@ -36,6 +40,7 @@ pub mod tables;
 pub mod workloads;
 
 pub use cli::BenchArgs;
+pub use durability::{measure_durability_workload, DURABILITY_WORKLOAD};
 pub use report::{
     compare_reports, measure_workload, write_baseline, write_reports, BaselineFile, LatencySummary,
     Regression, WorkloadReport,

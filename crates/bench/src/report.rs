@@ -274,17 +274,22 @@ pub fn write_reports(
 }
 
 /// The subset of `reports` that belongs in `bench/baseline.json`: the
-/// serving workload is excluded by design — its request latencies include
-/// loopback RTT and scheduler noise, which varies across machines far more
-/// than the ±25% guard tolerates, so guarding it would make CI flaky.
-/// Keeping the filter here (rather than as a convention of the committed
-/// file) means a routine `--serving --baseline-out` baseline refresh cannot
-/// silently re-enable that guard.
+/// serving and durability workloads are excluded by design — serving
+/// request latencies include loopback RTT and scheduler noise, and
+/// durability medians are dominated by the runner's fsync latency; both
+/// vary across machines far more than the ±25% guard tolerates, so
+/// guarding them would make CI flaky. Keeping the filter here (rather
+/// than as a convention of the committed file) means a routine
+/// `--serving --baseline-out` baseline refresh cannot silently re-enable
+/// those guards.
 #[must_use]
 pub fn guardable_reports(reports: &[WorkloadReport]) -> Vec<WorkloadReport> {
     reports
         .iter()
-        .filter(|r| r.workload != crate::serving::SERVING_WORKLOAD)
+        .filter(|r| {
+            r.workload != crate::serving::SERVING_WORKLOAD
+                && r.workload != crate::durability::DURABILITY_WORKLOAD
+        })
         .cloned()
         .collect()
 }

@@ -2,19 +2,42 @@
 //! built-in load generator.
 //!
 //! ```text
-//! skm-serve serve [--addr 127.0.0.1:7878] [--backend sharded-cc|cc|ct|rcc]
-//!                 [--k 8] [--shards 4] [--batch 128] [--seed 42]
-//!                 [--snapshot-dir DIR] [--restore FILE] [--max-resident 64]
-//! skm-serve bench [--addr 127.0.0.1:7878] [--connections 4] [--points 20000]
-//!                 [--dim 8] [--batch 128] [--query-every 8] [--seed 42]
-//!                 [--freshness strict|cached] [--tenants 1] [--zipf 1.1]
-//!                 [--codec json|binary] [--idle-conns 0] [--shutdown]
+//! skm-serve serve   [--addr 127.0.0.1:7878] [--backend sharded-cc|cc|ct|rcc]
+//!                   [--k 8] [--shards 4] [--batch 128] [--seed 42]
+//!                   [--snapshot-dir DIR] [--restore FILE] [--max-resident 64]
+//!                   [--wal-dir DIR] [--fsync-ms 5] [--idle-evict-secs 0]
+//! skm-serve follow  --primary HOST:PORT [--addr 127.0.0.1:7879]
+//!                   [--namespace NS] [--max-lag 1024] [--codec json|binary]
+//! skm-serve recover --wal-dir DIR
+//! skm-serve bench   [--addr 127.0.0.1:7878] [--connections 4] [--points 20000]
+//!                   [--dim 8] [--batch 128] [--query-every 8] [--seed 42]
+//!                   [--freshness strict|cached] [--tenants 1] [--zipf 1.1]
+//!                   [--codec json|binary] [--idle-conns 0] [--shutdown]
+//!                   [--follower-of HOST:PORT]
 //! ```
 //!
 //! `serve` blocks until a client sends `{"Shutdown":{}}`. At most
 //! `--max-resident` tenant streams stay in memory; with `--snapshot-dir`
 //! the least-recently-used tenant is paged out to disk (and restored
 //! transparently on next touch), without it the cap is a hard limit.
+//! `--wal-dir` attaches a per-tenant write-ahead log: every accepted
+//! mutation is logged before it is applied, group-committed every
+//! `--fsync-ms` milliseconds (0 = fsync every append), folded into
+//! incremental checkpoints, and replayed bit-identically on restart. The
+//! log directory then supersedes eviction files as the paging store, and
+//! the server accepts `Replicate` subscriptions from followers.
+//! `--idle-evict-secs N` pages out tenants untouched for N seconds.
+//!
+//! `follow` runs a read-only replica: it tails the primary's replication
+//! stream for one tenant, applies it locally, and serves cached reads
+//! while its lag stays within `--max-lag` records (writes and strict
+//! reads are refused with `ReplicationLag`).
+//!
+//! `recover` opens a write-ahead log directory offline, replays every
+//! tenant (checkpoint + tail), folds the tails into fresh checkpoints and
+//! reports per-tenant positions — a crash-recovery dry run and log
+//! compactor in one.
+//!
 //! `bench` connects to an already-running server, drives it with a mixed
 //! ingest:query workload of Gaussian-blob points — spread over `--tenants`
 //! namespaces with Zipf(`--zipf`) skew when above 1 — and prints
@@ -22,12 +45,15 @@
 //! length-prefixed binary framing on each driving connection, and
 //! `--idle-conns N` holds N extra idle connections open across the run
 //! (liveness-checked at the end); `--conns` is an alias for
-//! `--connections`, and `--shutdown` stops the server afterwards. See
-//! `docs/PROTOCOL.md` for the wire protocol.
+//! `--connections`, and `--shutdown` stops the server afterwards.
+//! `--follower-of ADDR` pairs every interleaved primary query with a
+//! cached query against a follower at ADDR, reporting follower latency
+//! and lag refusals. See `docs/PROTOCOL.md` for the wire protocol.
 
 use skm_serve::client::Client;
 use skm_serve::codec::CodecKind;
-use skm_serve::engine::{BackendKind, Engine, EngineSpec, DEFAULT_MAX_RESIDENT};
+use skm_serve::engine::{BackendKind, Engine, EngineSpec, WalConfig, DEFAULT_MAX_RESIDENT};
+use skm_serve::follower::{start_follower, FollowerSpec};
 use skm_serve::loadgen::{run_load, LoadSpec};
 use skm_serve::protocol::{Freshness, MAX_BATCH_POINTS};
 use skm_serve::server::Server;
@@ -36,6 +62,7 @@ use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed flags shared by both subcommands (unused ones are ignored).
 #[derive(Debug)]
@@ -59,6 +86,13 @@ struct Args {
     codec: CodecKind,
     idle_conns: usize,
     shutdown: bool,
+    wal_dir: Option<PathBuf>,
+    fsync_ms: u64,
+    idle_evict_secs: u64,
+    primary: Option<String>,
+    namespace: Option<String>,
+    max_lag: u64,
+    follower_of: Option<String>,
     errors: Vec<String>,
 }
 
@@ -84,6 +118,13 @@ impl Default for Args {
             codec: CodecKind::Json,
             idle_conns: 0,
             shutdown: false,
+            wal_dir: None,
+            fsync_ms: 5,
+            idle_evict_secs: 0,
+            primary: None,
+            namespace: None,
+            max_lag: 1024,
+            follower_of: None,
             errors: Vec::new(),
         }
     }
@@ -120,6 +161,18 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
             "--restore" => {
                 args.restore = take("--restore", &mut args.errors).map(PathBuf::from);
             }
+            "--wal-dir" => {
+                args.wal_dir = take("--wal-dir", &mut args.errors).map(PathBuf::from);
+            }
+            "--primary" => {
+                args.primary = take("--primary", &mut args.errors);
+            }
+            "--namespace" => {
+                args.namespace = take("--namespace", &mut args.errors);
+            }
+            "--follower-of" => {
+                args.follower_of = take("--follower-of", &mut args.errors);
+            }
             "--freshness" => {
                 if let Some(v) = take("--freshness", &mut args.errors) {
                     match Freshness::parse(&v) {
@@ -153,7 +206,7 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
             "--shutdown" => args.shutdown = true,
             "--k" | "--shards" | "--batch" | "--seed" | "--connections" | "--conns"
             | "--points" | "--dim" | "--query-every" | "--max-resident" | "--tenants"
-            | "--idle-conns" => {
+            | "--idle-conns" | "--fsync-ms" | "--idle-evict-secs" | "--max-lag" => {
                 let Some(v) = take(&flag, &mut args.errors) else {
                     continue;
                 };
@@ -174,6 +227,9 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
                     "--max-resident" => args.max_resident = (n as usize).max(1),
                     "--tenants" => args.tenants = (n as usize).max(1),
                     "--idle-conns" => args.idle_conns = n as usize,
+                    "--fsync-ms" => args.fsync_ms = n,
+                    "--idle-evict-secs" => args.idle_evict_secs = n,
+                    "--max-lag" => args.max_lag = n,
                     _ => unreachable!(),
                 }
             }
@@ -183,36 +239,121 @@ fn parse_args(tokens: impl Iterator<Item = String>) -> Args {
     args
 }
 
-fn build_engine(args: &Args) -> Result<Engine, String> {
-    // The snapshot directory doubles as the eviction directory: both hold
-    // the same versioned envelope, and tenants must not be able to write
-    // anywhere else.
-    if let Some(path) = &args.restore {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read snapshot `{}`: {e}", path.display()))?;
-        return Engine::from_snapshot_json(&text)
-            .map(|e| e.with_eviction(args.max_resident, args.snapshot_dir.clone()))
-            .map_err(|e| format!("cannot restore snapshot `{}`: {e}", path.display()));
-    }
-    let spec = EngineSpec {
+fn default_spec(args: &Args) -> EngineSpec {
+    EngineSpec {
         kind: args.backend,
         stream: StreamConfig::new(args.k),
         shards: args.shards,
         batch: args.batch,
         nesting_depth: 2,
         seed: args.seed,
-    };
-    Engine::with_options(&spec, args.max_resident, args.snapshot_dir.clone())
-        .map_err(|e| format!("cannot build engine: {e}"))
+    }
+}
+
+fn build_engine(args: &Args) -> Result<Engine, String> {
+    // The snapshot directory doubles as the eviction directory: both hold
+    // the same versioned envelope, and tenants must not be able to write
+    // anywhere else.
+    if let Some(path) = &args.restore {
+        if args.wal_dir.is_some() {
+            return Err(
+                "--restore conflicts with --wal-dir: with a write-ahead log the log \
+                 directory is the single source of truth (recovery replays it on start)"
+                    .to_string(),
+            );
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot `{}`: {e}", path.display()))?;
+        return Engine::from_snapshot_json(&text)
+            .map(|e| e.with_eviction(args.max_resident, args.snapshot_dir.clone()))
+            .map_err(|e| format!("cannot restore snapshot `{}`: {e}", path.display()));
+    }
+    let engine = Engine::with_options(
+        &default_spec(args),
+        args.max_resident,
+        args.snapshot_dir.clone(),
+    )
+    .map_err(|e| format!("cannot build engine: {e}"))?;
+    match &args.wal_dir {
+        Some(dir) => engine
+            .with_wal(WalConfig::new(dir.clone()).with_fsync_ms(args.fsync_ms))
+            .map_err(|e| format!("cannot open write-ahead log `{}`: {e}", dir.display())),
+        None => Ok(engine),
+    }
 }
 
 fn serve(args: &Args) -> Result<(), String> {
     let engine = Arc::new(build_engine(args)?);
-    let server = Server::bind(args.addr.as_str(), engine, args.snapshot_dir.clone())
+    if engine.wal_enabled() {
+        println!(
+            "write-ahead log at `{}` (group commit every {} ms)",
+            args.wal_dir
+                .as_deref()
+                .unwrap_or_else(|| std::path::Path::new("?"))
+                .display(),
+            args.fsync_ms
+        );
+    }
+    let mut server = Server::bind(args.addr.as_str(), engine, args.snapshot_dir.clone())
         .map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?;
+    if args.idle_evict_secs > 0 {
+        server = server.with_idle_evict(Duration::from_secs(args.idle_evict_secs));
+    }
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!("skm-serve listening on {addr} (send {{\"Shutdown\":{{}}}} to stop)");
     server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// Offline crash-recovery pass: open the log root, replay every tenant,
+/// fold the tails into fresh checkpoints and report the positions.
+fn recover(args: &Args) -> Result<(), String> {
+    let Some(dir) = &args.wal_dir else {
+        return Err("recover requires --wal-dir".to_string());
+    };
+    let engine = Engine::with_options(&default_spec(args), args.max_resident, None)
+        .and_then(|e| e.with_wal(WalConfig::new(dir.clone()).with_fsync_ms(args.fsync_ms)))
+        .map_err(|e| format!("recovery of `{}` failed: {e}", dir.display()))?;
+    for namespace in engine.namespaces() {
+        let durable = engine
+            .wal_durable_seq_in(&namespace)
+            .map_err(|e| format!("tenant `{namespace}`: {e}"))?;
+        let covered = engine
+            .checkpoint_now_in(&namespace)
+            .map_err(|e| format!("cannot checkpoint tenant `{namespace}`: {e}"))?;
+        println!(
+            "recovered tenant `{namespace}`: durable through seq {durable}, \
+             checkpoint now covers seq {covered}"
+        );
+    }
+    Ok(())
+}
+
+/// Runs a read-only follower replica tailing `--primary`.
+fn follow(args: &Args) -> Result<(), String> {
+    let Some(primary) = &args.primary else {
+        return Err("follow requires --primary HOST:PORT".to_string());
+    };
+    let engine = Arc::new(
+        Engine::with_options(&default_spec(args), args.max_resident, None)
+            .map_err(|e| format!("cannot build engine: {e}"))?
+            .with_follower(args.max_lag),
+    );
+    let mut spec = FollowerSpec::new(primary.clone()).with_codec(args.codec);
+    if let Some(namespace) = &args.namespace {
+        spec = spec.with_namespace(namespace.clone());
+    }
+    let tail = start_follower(Arc::clone(&engine), spec)
+        .map_err(|e| format!("cannot start follower: {e}"))?;
+    let server = Server::bind(args.addr.as_str(), engine, None)
+        .map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "skm-serve following {primary} on {addr} (cached reads only, lag bound {} records)",
+        args.max_lag
+    );
+    let result = server.run().map_err(|e| format!("server failed: {e}"));
+    tail.stop();
+    result
 }
 
 /// Deterministic Gaussian-ish blobs for the bench subcommand (splitmix-style
@@ -261,7 +402,7 @@ fn bench(args: &Args) -> Result<(), String> {
             args.batch
         );
     }
-    let spec = LoadSpec::new(addr)
+    let mut spec = LoadSpec::new(addr)
         .with_connections(args.connections)
         .with_batch(batch)
         .with_query_every(args.query_every)
@@ -269,6 +410,14 @@ fn bench(args: &Args) -> Result<(), String> {
         .with_tenants(args.tenants, args.zipf_s)
         .with_codec(args.codec)
         .with_idle_conns(args.idle_conns);
+    if let Some(follower) = &args.follower_of {
+        let follower_addr = follower
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve follower `{follower}`: {e}"))?
+            .next()
+            .ok_or_else(|| format!("`{follower}` resolves to no address"))?;
+        spec = spec.with_follower_of(follower_addr);
+    }
     let report = run_load(&spec, &points).map_err(|e| format!("load generator failed: {e}"))?;
     let mut ingest = report.ingest_ns.clone();
     ingest.sort_by(f64::total_cmp);
@@ -301,6 +450,18 @@ fn bench(args: &Args) -> Result<(), String> {
         percentile(&query, 95.0),
         percentile(&query, 99.0)
     );
+    if args.follower_of.is_some() {
+        let mut follower_ns = report.follower_query_ns.clone();
+        follower_ns.sort_by(f64::total_cmp);
+        println!(
+            "follower (cached) answered {} queries, refused {} for lag; \
+             p50 {:>9.0} ns   p99 {:>9.0} ns",
+            report.follower_queries,
+            report.follower_lag_refusals,
+            percentile(&follower_ns, 50.0),
+            percentile(&follower_ns, 99.0)
+        );
+    }
     if report.server_errors > 0 {
         return Err(format!("{} server errors", report.server_errors));
     }
@@ -326,9 +487,11 @@ fn main() -> ExitCode {
     }
     let result = match subcommand.as_str() {
         "serve" => serve(&args),
+        "follow" => follow(&args),
+        "recover" => recover(&args),
         "bench" => bench(&args),
         other => Err(format!(
-            "unknown subcommand `{other}` (expected `serve` or `bench`)"
+            "unknown subcommand `{other}` (expected `serve`, `follow`, `recover` or `bench`)"
         )),
     };
     match result {

@@ -485,4 +485,47 @@ impl Client {
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.call(&Request::Shutdown {})
     }
+
+    /// Subscribes this connection to the server's replication stream for
+    /// the connection's tenant, resuming after `from_seq` (0 = bootstrap
+    /// from a fresh snapshot). Unlike [`Client::call`] this sends the
+    /// request **without reading a response**: the server turns the
+    /// connection into a one-way stream of `ReplicaSnapshot` / `Replicate`
+    /// frames, which the caller drains with [`Client::recv`].
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn replicate(&mut self, from_seq: u64) -> io::Result<()> {
+        self.replicate_opts(from_seq, &RequestOptions::new())
+    }
+
+    /// Subscribes to the replication stream with explicit options (the
+    /// freshness field is ignored).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn replicate_opts(&mut self, from_seq: u64, options: &RequestOptions) -> io::Result<()> {
+        let namespace = self.resolve_namespace(options);
+        let mut wire = Vec::new();
+        self.codec.encode_request(
+            &Request::Replicate {
+                namespace,
+                from_seq,
+            },
+            &mut wire,
+        );
+        self.stream.write_all(&wire)
+    }
+
+    /// Reads the next server frame without sending anything — the receive
+    /// half of a replication subscription started with
+    /// [`Client::replicate`].
+    ///
+    /// # Errors
+    /// Same failure modes as [`Client::call`]; with an I/O timeout set, a
+    /// quiet stream surfaces as [`io::ErrorKind::WouldBlock`] /
+    /// [`io::ErrorKind::TimedOut`] and the read can simply be retried.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        self.read_response()
+    }
 }

@@ -17,7 +17,9 @@
 //! The server, the client and the tests all share these two implementations,
 //! so there is exactly one definition of the bytes on the wire.
 
-use crate::protocol::{ErrorCode, Freshness, Request, Response, TenantConfig, MAX_LINE_BYTES};
+use crate::protocol::{
+    ErrorCode, Freshness, ReplicationRecord, Request, Response, TenantConfig, MAX_LINE_BYTES,
+};
 use skm_stream::{QueryStats, StreamStats};
 
 /// Maximum frame payload in bytes, both codecs. For JSON this is the
@@ -184,6 +186,7 @@ const TAG_REQ_CONFIGURE: u8 = 0x05;
 const TAG_REQ_SNAPSHOT: u8 = 0x06;
 const TAG_REQ_SHUTDOWN: u8 = 0x07;
 const TAG_REQ_HELLO: u8 = 0x08;
+const TAG_REQ_REPLICATE: u8 = 0x09;
 const TAG_RESP_INGESTED: u8 = 0x81;
 const TAG_RESP_CENTERS: u8 = 0x82;
 const TAG_RESP_STATS: u8 = 0x83;
@@ -192,6 +195,17 @@ const TAG_RESP_SNAPSHOTTED: u8 = 0x85;
 const TAG_RESP_BYE: u8 = 0x86;
 const TAG_RESP_ERROR: u8 = 0x87;
 const TAG_RESP_HELLO: u8 = 0x88;
+const TAG_RESP_REPLICA_SNAPSHOT: u8 = 0x89;
+const TAG_RESP_REPLICATE: u8 = 0x8A;
+
+// Replication-record tags (the payload byte of WAL records and of the
+// `record` field inside `Replicate` responses). Append-only, like the
+// frame tags; 0x00 is deliberately unused so an all-zeroes torn read can
+// never decode as a record.
+const TAG_RECORD_INGEST: u8 = 0x01;
+const TAG_RECORD_INGEST_BATCH: u8 = 0x02;
+const TAG_RECORD_QUERY: u8 = 0x03;
+const TAG_RECORD_STATS: u8 = 0x04;
 
 /// Length-prefixed compact binary codec (see module docs and
 /// `docs/PROTOCOL.md` §Binary framing for the normative byte layout).
@@ -337,6 +351,45 @@ fn put_namespace(out: &mut Vec<u8>, ns: &Option<String>) {
     put_opt(out, ns, |out, s| put_str(out, s));
 }
 
+fn put_replication_record(out: &mut Vec<u8>, record: &ReplicationRecord) {
+    match record {
+        ReplicationRecord::Ingest { point } => {
+            out.push(TAG_RECORD_INGEST);
+            put_row(out, point);
+        }
+        ReplicationRecord::IngestBatch { points } => {
+            out.push(TAG_RECORD_INGEST_BATCH);
+            put_points(out, points);
+        }
+        ReplicationRecord::Query {} => out.push(TAG_RECORD_QUERY),
+        ReplicationRecord::Stats {} => out.push(TAG_RECORD_STATS),
+    }
+}
+
+/// Encodes one [`ReplicationRecord`] as a standalone binary payload: the
+/// byte string stored in the write-ahead log and carried inside binary
+/// `Replicate` frames. One definition of the bytes, so a WAL written by a
+/// primary is replayable by any reader of this module.
+#[must_use]
+pub fn encode_replication_record(record: &ReplicationRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_replication_record(&mut out, record);
+    out
+}
+
+/// Decodes a standalone [`ReplicationRecord`] payload (the inverse of
+/// [`encode_replication_record`]), rejecting truncation, hostile counts
+/// and trailing bytes.
+///
+/// # Errors
+/// A parse failure message (WAL recovery surfaces it as corruption).
+pub fn decode_replication_record(payload: &[u8]) -> Result<ReplicationRecord, String> {
+    let mut r = Reader::new(payload);
+    let record = r.replication_record()?;
+    r.finish()?;
+    Ok(record)
+}
+
 fn put_query_stats(out: &mut Vec<u8>, s: &QueryStats) {
     put_usize(out, s.coresets_merged);
     put_usize(out, s.candidate_points);
@@ -373,6 +426,8 @@ fn error_code_tag(code: ErrorCode) -> u8 {
         ErrorCode::Internal => 11,
         ErrorCode::BadCodec => 12,
         ErrorCode::FrameTooLarge => 13,
+        ErrorCode::ReplicationLag => 14,
+        ErrorCode::WalCorrupt => 15,
     }
 }
 
@@ -392,6 +447,8 @@ fn error_code_from_tag(tag: u8) -> Result<ErrorCode, String> {
         11 => ErrorCode::Internal,
         12 => ErrorCode::BadCodec,
         13 => ErrorCode::FrameTooLarge,
+        14 => ErrorCode::ReplicationLag,
+        15 => ErrorCode::WalCorrupt,
         other => return Err(format!("unknown error-code tag {other:#04x}")),
     })
 }
@@ -443,6 +500,14 @@ fn encode_request_payload(request: &Request, out: &mut Vec<u8>) {
             put_namespace(out, namespace);
         }
         Request::Shutdown {} => out.push(TAG_REQ_SHUTDOWN),
+        Request::Replicate {
+            namespace,
+            from_seq,
+        } => {
+            out.push(TAG_REQ_REPLICATE);
+            put_namespace(out, namespace);
+            put_u64(out, *from_seq);
+        }
     }
 }
 
@@ -497,6 +562,26 @@ fn encode_response_payload(response: &Response, out: &mut Vec<u8>) {
             put_u64(out, *bytes);
         }
         Response::Bye {} => out.push(TAG_RESP_BYE),
+        Response::ReplicaSnapshot {
+            seq,
+            epoch,
+            snapshot,
+        } => {
+            out.push(TAG_RESP_REPLICA_SNAPSHOT);
+            put_u64(out, *seq);
+            put_u64(out, *epoch);
+            put_str(out, snapshot);
+        }
+        Response::Replicate {
+            seq,
+            primary_seq,
+            record,
+        } => {
+            out.push(TAG_RESP_REPLICATE);
+            put_u64(out, *seq);
+            put_u64(out, *primary_seq);
+            put_replication_record(out, record);
+        }
         Response::Error { code, message } => {
             out.push(TAG_RESP_ERROR);
             out.push(error_code_tag(*code));
@@ -637,6 +722,18 @@ impl<'a> Reader<'a> {
         self.opt(Reader::str)
     }
 
+    fn replication_record(&mut self) -> Result<ReplicationRecord, String> {
+        match self.u8()? {
+            TAG_RECORD_INGEST => Ok(ReplicationRecord::Ingest { point: self.row()? }),
+            TAG_RECORD_INGEST_BATCH => Ok(ReplicationRecord::IngestBatch {
+                points: self.points()?,
+            }),
+            TAG_RECORD_QUERY => Ok(ReplicationRecord::Query {}),
+            TAG_RECORD_STATS => Ok(ReplicationRecord::Stats {}),
+            other => Err(format!("unknown replication-record tag {other:#04x}")),
+        }
+    }
+
     fn query_stats(&mut self) -> Result<QueryStats, String> {
         Ok(QueryStats {
             coresets_merged: self.usize()?,
@@ -709,6 +806,10 @@ fn decode_request_payload(r: &mut Reader<'_>) -> Result<Request, String> {
             namespace: r.namespace()?,
         }),
         TAG_REQ_SHUTDOWN => Ok(Request::Shutdown {}),
+        TAG_REQ_REPLICATE => Ok(Request::Replicate {
+            namespace: r.namespace()?,
+            from_seq: r.u64()?,
+        }),
         other => Err(format!("unknown request tag {other:#04x}")),
     }
 }
@@ -744,6 +845,16 @@ fn decode_response_payload(r: &mut Reader<'_>) -> Result<Response, String> {
             bytes: r.u64()?,
         }),
         TAG_RESP_BYE => Ok(Response::Bye {}),
+        TAG_RESP_REPLICA_SNAPSHOT => Ok(Response::ReplicaSnapshot {
+            seq: r.u64()?,
+            epoch: r.u64()?,
+            snapshot: r.str()?,
+        }),
+        TAG_RESP_REPLICATE => Ok(Response::Replicate {
+            seq: r.u64()?,
+            primary_seq: r.u64()?,
+            record: r.replication_record()?,
+        }),
         TAG_RESP_ERROR => Ok(Response::Error {
             code: error_code_from_tag(r.u8()?)?,
             message: r.str()?,
@@ -811,6 +922,8 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::BadCodec,
             ErrorCode::FrameTooLarge,
+            ErrorCode::ReplicationLag,
+            ErrorCode::WalCorrupt,
         ] {
             assert_eq!(error_code_from_tag(error_code_tag(code)).unwrap(), code);
         }
@@ -826,6 +939,35 @@ mod tests {
         // A valid Shutdown followed by trailing garbage.
         assert!(c
             .decode_request(&[TAG_REQ_SHUTDOWN, 0x00])
+            .unwrap_err()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn replication_records_round_trip_as_standalone_payloads() {
+        // The WAL stores exactly these bytes; both directions must agree.
+        let records = vec![
+            ReplicationRecord::Ingest {
+                point: vec![1.5, -2.0],
+            },
+            ReplicationRecord::IngestBatch {
+                points: vec![vec![0.0], vec![f64::NAN]],
+            },
+            ReplicationRecord::Query {},
+            ReplicationRecord::Stats {},
+        ];
+        for record in records {
+            let payload = encode_replication_record(&record);
+            let back = decode_replication_record(&payload).unwrap();
+            // NaN-carrying rows defeat PartialEq; compare re-encodings.
+            assert_eq!(encode_replication_record(&back), payload);
+        }
+        // Truncation, a zero tag and trailing bytes are all typed errors.
+        assert!(decode_replication_record(&[]).is_err());
+        assert!(decode_replication_record(&[0x00]).is_err());
+        let mut padded = encode_replication_record(&ReplicationRecord::Query {});
+        padded.push(0xFF);
+        assert!(decode_replication_record(&padded)
             .unwrap_err()
             .contains("trailing"));
     }

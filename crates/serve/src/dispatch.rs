@@ -6,10 +6,10 @@
 //! transport and the semantics cannot drift apart. (When the blocking and
 //! evented cores coexisted, this layer is what kept them identical.)
 
-use crate::engine::{BackendKind, Engine, EngineSpec};
+use crate::engine::{BackendKind, Engine, EngineSpec, FollowerStatus};
 use crate::protocol::{
-    error_response, is_bare_name, validate_namespace, ErrorCode, Request, Response, TenantConfig,
-    DEFAULT_NAMESPACE, MAX_BATCH_POINTS,
+    error_response, is_bare_name, validate_namespace, ErrorCode, Freshness, Request, Response,
+    TenantConfig, DEFAULT_NAMESPACE, MAX_BATCH_POINTS,
 };
 use skm_stream::StreamConfig;
 use std::path::Path;
@@ -34,6 +34,11 @@ pub(crate) fn resolve_namespace(namespace: Option<&str>) -> Result<&str, Respons
 /// dispatch; one reaching this function is by definition not the first
 /// frame of its connection, which is a protocol error.
 pub(crate) fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&Path>) -> Response {
+    if let Some(follower) = engine.follower() {
+        if let Some(refusal) = refuse_on_follower(&request, follower) {
+            return refusal;
+        }
+    }
     match request {
         Request::Hello { .. } => Response::Error {
             code: ErrorCode::BadCodec,
@@ -122,7 +127,53 @@ pub(crate) fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&
             snapshot_to(engine, ns, snapshot_dir, &file)
         }
         Request::Shutdown {} => Response::Bye {},
+        // Like `Hello`, `Replicate` is a transport concern: the evented
+        // core converts the connection into a subscription before dispatch
+        // when the engine has a WAL. One reaching this function means the
+        // server cannot replicate.
+        Request::Replicate { namespace, .. } => {
+            if let Err(response) = resolve_namespace(namespace.as_deref()) {
+                return response;
+            }
+            Response::Error {
+                code: ErrorCode::ReplicationLag,
+                message: "replication requires a write-ahead log \
+                          (start the server with --wal-dir)"
+                    .to_string(),
+            }
+        }
     }
+}
+
+/// What a follower replica refuses: every write (state arrives only from
+/// the primary's stream), every strict read (strict reads recompute —
+/// they consume RNG and publish epochs, which only the primary may do),
+/// and cached reads while the replication lag is out of bounds. Cached
+/// reads inside the bound, `Snapshot` (a pure read of local state) and
+/// `Shutdown` pass through.
+fn refuse_on_follower(request: &Request, follower: &FollowerStatus) -> Option<Response> {
+    let freshness = match request {
+        Request::Ingest { .. } | Request::IngestBatch { .. } | Request::Configure { .. } => {
+            return Some(Response::Error {
+                code: ErrorCode::ReplicationLag,
+                message: "follower replicas are read-only; send writes to the primary".to_string(),
+            });
+        }
+        Request::Query { freshness, .. } | Request::Stats { freshness, .. } => *freshness,
+        _ => return None,
+    };
+    if freshness == Freshness::Strict {
+        return Some(Response::Error {
+            code: ErrorCode::ReplicationLag,
+            message: "strict reads recompute state and only run on the primary; \
+                      use cached freshness on a follower"
+                .to_string(),
+        });
+    }
+    follower.block_reason().map(|message| Response::Error {
+        code: ErrorCode::ReplicationLag,
+        message,
+    })
 }
 
 /// Builds a per-tenant spec from the engine's default spec plus the

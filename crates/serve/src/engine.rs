@@ -46,17 +46,20 @@
 //! The envelope also carries the currently published answer, so a restored
 //! engine republishes the same epoch instead of starting readers cold.
 
-use crate::protocol::{validate_namespace, Freshness, DEFAULT_NAMESPACE};
+use crate::codec::{decode_replication_record, encode_replication_record};
+use crate::protocol::{validate_namespace, Freshness, ReplicationRecord, DEFAULT_NAMESPACE};
 use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_stream::{
     CachedCoresetTree, CoresetTreeClusterer, PublishSlot, PublishedClustering, RecursiveCachedTree,
     ShardedStream, ShardedStreamState, StreamConfig, StreamStats, StreamingClusterer,
 };
+use skm_wal::{Wal, WalError, WalOptions};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 /// Current snapshot envelope version; bump when [`SnapshotFile`] or any
 /// serialized backend state changes shape incompatibly. Version 2 added the
@@ -79,6 +82,178 @@ pub const DERIVED_SEED: u64 = 42;
 #[must_use]
 pub fn evict_file_name(namespace: &str) -> String {
     format!("tenant-{namespace}.json")
+}
+
+/// Durability settings for the engine's per-tenant write-ahead log.
+///
+/// With a WAL attached ([`Engine::with_wal`]), every accepted state
+/// mutation — ingested points plus strict query/stats markers (strict
+/// reads consume RNG and publish epochs, so replay must re-run them) — is
+/// logged to `<dir>/<namespace>/` *before* it is applied, group-committed
+/// on the configured fsync cadence, and periodically folded into an
+/// incremental checkpoint. Crash recovery (and follower bootstrap) is
+/// checkpoint + tail replay, bit-identical to the uninterrupted run. The
+/// WAL also replaces eviction files: paging a tenant out becomes
+/// "checkpoint and drop", and the log directory is the single on-disk
+/// source of truth.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding one log subdirectory per tenant.
+    pub dir: PathBuf,
+    /// Group-commit fsync interval in milliseconds; `0` makes every
+    /// append durable before it is acknowledged.
+    pub fsync_ms: u64,
+    /// Fold the log into a fresh checkpoint once the tail exceeds this
+    /// many bytes.
+    pub checkpoint_bytes: usize,
+}
+
+impl WalConfig {
+    /// Durability settings rooted at `dir` with the [`WalOptions`]
+    /// defaults (5 ms group commit, 4 MiB checkpoint threshold).
+    #[must_use]
+    pub fn new(dir: PathBuf) -> Self {
+        let defaults = WalOptions::default();
+        WalConfig {
+            dir,
+            fsync_ms: defaults.fsync_interval.as_millis() as u64,
+            checkpoint_bytes: defaults.checkpoint_bytes,
+        }
+    }
+
+    /// Replaces the fsync interval (milliseconds; 0 = every append).
+    #[must_use]
+    pub fn with_fsync_ms(mut self, fsync_ms: u64) -> Self {
+        self.fsync_ms = fsync_ms;
+        self
+    }
+
+    /// Replaces the checkpoint threshold in tail bytes.
+    #[must_use]
+    pub fn with_checkpoint_bytes(mut self, bytes: usize) -> Self {
+        self.checkpoint_bytes = bytes;
+        self
+    }
+
+    /// The per-tenant log options this configuration expands to.
+    #[must_use]
+    pub fn options(&self) -> WalOptions {
+        WalOptions::default()
+            .with_fsync_ms(self.fsync_ms)
+            .with_checkpoint_bytes(self.checkpoint_bytes)
+    }
+
+    /// The log directory for one tenant. Namespaces pass
+    /// [`validate_namespace`], so the result is always directly inside
+    /// `dir`.
+    #[must_use]
+    pub fn tenant_dir(&self, namespace: &str) -> PathBuf {
+        self.dir.join(namespace)
+    }
+}
+
+/// Replication position of a follower engine ([`Engine::with_follower`]),
+/// shared between the tailing loop (the writer) and the serving path (the
+/// reader). Lag is measured in log records: the primary's last known
+/// sequence minus the last sequence applied locally.
+#[derive(Debug)]
+pub struct FollowerStatus {
+    /// Cached reads are refused while the lag exceeds this many records.
+    max_lag: u64,
+    /// Last record sequence applied locally (0 before the first frame).
+    applied_seq: AtomicU64,
+    /// Highest primary sequence observed in any replication frame.
+    primary_seq: AtomicU64,
+    /// True while the tailing connection to the primary is up.
+    live: AtomicBool,
+    /// True once any bootstrap snapshot has been applied.
+    synced: AtomicBool,
+}
+
+impl FollowerStatus {
+    fn new(max_lag: u64) -> Self {
+        FollowerStatus {
+            max_lag,
+            applied_seq: AtomicU64::new(0),
+            primary_seq: AtomicU64::new(0),
+            live: AtomicBool::new(false),
+            synced: AtomicBool::new(false),
+        }
+    }
+
+    /// Records a freshly applied bootstrap snapshot covering `seq`.
+    pub fn note_snapshot(&self, seq: u64) {
+        self.applied_seq.store(seq, Ordering::Release);
+        self.primary_seq.fetch_max(seq, Ordering::AcqRel);
+        self.synced.store(true, Ordering::Release);
+        self.live.store(true, Ordering::Release);
+    }
+
+    /// Records one applied replication record and the primary position it
+    /// was shipped with.
+    pub fn note_record(&self, seq: u64, primary_seq: u64) {
+        self.applied_seq.store(seq, Ordering::Release);
+        self.primary_seq.fetch_max(primary_seq, Ordering::AcqRel);
+        self.live.store(true, Ordering::Release);
+    }
+
+    /// Marks the tailing connection up or down.
+    pub fn set_live(&self, live: bool) {
+        self.live.store(live, Ordering::Release);
+    }
+
+    /// Whether a bootstrap snapshot has ever been applied.
+    #[must_use]
+    pub fn synced(&self) -> bool {
+        self.synced.load(Ordering::Acquire)
+    }
+
+    /// Last record sequence applied locally.
+    #[must_use]
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq.load(Ordering::Acquire)
+    }
+
+    /// Current lag bound in records (primary position minus applied).
+    #[must_use]
+    pub fn lag(&self) -> u64 {
+        self.primary_seq
+            .load(Ordering::Acquire)
+            .saturating_sub(self.applied_seq.load(Ordering::Acquire))
+    }
+
+    /// Why cached reads must currently be refused, or `None` when the
+    /// follower is inside its lag bound.
+    #[must_use]
+    pub fn block_reason(&self) -> Option<String> {
+        if !self.synced() {
+            return Some("follower has not yet synchronized with its primary".to_string());
+        }
+        if !self.live.load(Ordering::Acquire) {
+            return Some("follower lost contact with its primary".to_string());
+        }
+        let lag = self.lag();
+        if lag > self.max_lag {
+            return Some(format!(
+                "follower lag of {lag} records exceeds the bound of {}",
+                self.max_lag
+            ));
+        }
+        None
+    }
+}
+
+/// Maps a log failure to the engine's error type: corruption keeps its
+/// typed identity (`wal_corrupt` ⇒ [`crate::protocol::ErrorCode::WalCorrupt`]),
+/// I/O failures surface as internal errors.
+fn wal_err(e: WalError) -> ClusteringError {
+    ClusteringError::InvalidParameter {
+        name: match e {
+            WalError::Corrupt { .. } => "wal_corrupt",
+            WalError::Io(_) => "wal_io",
+        },
+        message: e.to_string(),
+    }
 }
 
 /// Which clusterer the engine runs.
@@ -340,6 +515,13 @@ struct Tenant {
     evicted: AtomicBool,
     /// Engine-clock timestamp of the last touch (LRU victim selection).
     last_touch: AtomicU64,
+    /// Milliseconds since engine start at the last touch (idle eviction).
+    last_touch_ms: AtomicU64,
+    /// This tenant's write-ahead log, when the engine runs with one.
+    /// Locked strictly **after** the backend mutex (lock order: map →
+    /// tenant backend → tenant WAL), so appends serialize with the state
+    /// mutations they describe.
+    wal: Option<Mutex<Wal>>,
 }
 
 impl Tenant {
@@ -356,6 +538,8 @@ impl Tenant {
             shards,
             evicted: AtomicBool::new(false),
             last_touch: AtomicU64::new(0),
+            last_touch_ms: AtomicU64::new(0),
+            wal: None,
         }
     }
 
@@ -461,6 +645,19 @@ pub struct Engine {
     evict_dir: Option<PathBuf>,
     /// Monotone logical clock stamping tenant touches for LRU.
     clock: AtomicU64,
+    /// Durability settings. `Some` attaches a per-tenant write-ahead log
+    /// and makes the log directory the single on-disk source of truth
+    /// (page-out becomes "checkpoint and drop"; eviction files are never
+    /// written or read).
+    wal: Option<WalConfig>,
+    /// Engine start time: the zero point of `last_touch_ms` stamps (idle
+    /// eviction measures against this clock).
+    started: Instant,
+    /// Follower mode: `Some` makes this engine a read-only replica —
+    /// writes and strict reads are refused at dispatch, and state arrives
+    /// through [`Engine::install_replica_snapshot_in`] /
+    /// [`Engine::apply_replication_record_in`].
+    follower: Option<FollowerStatus>,
 }
 
 impl Engine {
@@ -495,6 +692,9 @@ impl Engine {
             max_resident: max_resident.max(1),
             evict_dir,
             clock: AtomicU64::new(1),
+            wal: None,
+            started: Instant::now(),
+            follower: None,
         })
     }
 
@@ -505,6 +705,153 @@ impl Engine {
         self.max_resident = max_resident.max(1);
         self.evict_dir = evict_dir;
         self
+    }
+
+    /// Attaches a write-ahead log and runs crash recovery (builder-style,
+    /// called once at startup before the engine serves requests).
+    ///
+    /// The default tenant — created fresh by the constructor — is rebuilt
+    /// through recovery (checkpoint + tail replay), and every other
+    /// tenant directory under the log root is recovered eagerly so
+    /// corruption surfaces at startup rather than on first touch.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and [`skm_wal`] corruption verdicts
+    /// (`wal_corrupt`).
+    pub fn with_wal(mut self, config: WalConfig) -> Result<Self> {
+        let root = config.dir.clone();
+        std::fs::create_dir_all(&root).map_err(|e| wal_err(WalError::Io(e)))?;
+        self.wal = Some(config);
+        let default_tenant =
+            Arc::new(self.create_or_recover(DEFAULT_NAMESPACE, &self.default_spec)?);
+        {
+            let mut map = self.write_map();
+            // Drop the constructor's fresh default tenant in favour of the
+            // recovered one.
+            map.clear();
+            self.touch(&default_tenant);
+            map.insert(DEFAULT_NAMESPACE.to_string(), default_tenant);
+        }
+        let mut others = Vec::new();
+        for entry in std::fs::read_dir(&root).map_err(|e| wal_err(WalError::Io(e)))? {
+            let entry = entry.map_err(|e| wal_err(WalError::Io(e)))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let Some(name) = entry.file_name().to_str().map(String::from) else {
+                continue;
+            };
+            if name != DEFAULT_NAMESPACE && validate_namespace(&name).is_ok() {
+                others.push(name);
+            }
+        }
+        // Deterministic recovery order (read_dir order is not).
+        others.sort();
+        for namespace in &others {
+            self.tenant(namespace)?;
+        }
+        Ok(self)
+    }
+
+    /// Builds (or recovers) one tenant. Without a WAL this is a plain
+    /// [`Tenant::create`]. With one, the tenant's log directory is opened
+    /// and recovered: state = checkpoint blob + tail replayed through the
+    /// same code paths that produced it, bit-identical to the
+    /// uninterrupted run. A brand-new tenant writes **checkpoint 0**
+    /// immediately — the fresh snapshot carries its configuration and
+    /// seed, so recovery never needs a special "empty log" state.
+    fn create_or_recover(&self, namespace: &str, spec: &EngineSpec) -> Result<Tenant> {
+        let Some(cfg) = &self.wal else {
+            return Tenant::create(namespace, spec);
+        };
+        let recovered = Wal::open(cfg.tenant_dir(namespace), cfg.options()).map_err(wal_err)?;
+        let skm_wal::Recovered {
+            mut wal,
+            checkpoint,
+            tail,
+        } = recovered;
+        let mut tenant = match checkpoint {
+            Some((_, blob)) => {
+                let text =
+                    String::from_utf8(blob).map_err(|e| ClusteringError::InvalidParameter {
+                        name: "wal_corrupt",
+                        message: format!(
+                            "checkpoint blob for tenant `{namespace}` is not UTF-8: {e}"
+                        ),
+                    })?;
+                Tenant::from_snapshot_text(&text, Some(namespace))?
+            }
+            None => {
+                // Records can only exist after checkpoint 0 was written;
+                // records without any checkpoint mean the checkpoint was
+                // deleted or never survived — unrecoverable.
+                if !tail.is_empty() {
+                    return Err(ClusteringError::InvalidParameter {
+                        name: "wal_corrupt",
+                        message: format!(
+                            "log for tenant `{namespace}` has {} records but no checkpoint",
+                            tail.len()
+                        ),
+                    });
+                }
+                let fresh = Tenant::create(namespace, spec)?;
+                let json = {
+                    let mut guard = fresh.lock();
+                    fresh.snapshot_string(&mut guard)?
+                };
+                wal.checkpoint(json.as_bytes()).map_err(wal_err)?;
+                fresh
+            }
+        };
+        {
+            let mut guard = tenant.lock();
+            for (_, payload) in &tail {
+                let record = decode_replication_record(payload).map_err(|message| {
+                    ClusteringError::InvalidParameter {
+                        name: "wal_corrupt",
+                        message,
+                    }
+                })?;
+                Self::apply_record(&mut guard, &tenant, &record)?;
+            }
+        }
+        tenant.wal = Some(Mutex::new(wal));
+        Ok(tenant)
+    }
+
+    /// Applies one replication record to a backend, through the same code
+    /// paths that produced it on the primary (recovery replay and
+    /// follower apply share this). Caller holds the backend guard.
+    fn apply_record(
+        backend: &mut Backend,
+        tenant: &Tenant,
+        record: &ReplicationRecord,
+    ) -> Result<()> {
+        match record {
+            ReplicationRecord::Ingest { point } => {
+                backend.clusterer().update(point)?;
+            }
+            ReplicationRecord::IngestBatch { points } => {
+                let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+                backend.clusterer().update_batch(&refs)?;
+            }
+            // Strict reads mutate: they drain buffers, consume coordinator
+            // RNG and publish an epoch. Re-running them is what keeps
+            // recovered state bit-identical (including the epoch counter).
+            ReplicationRecord::Query {} => match backend {
+                Backend::ShardedCc(s) => {
+                    s.query_published()?;
+                }
+                other => {
+                    let result = other.clusterer().query_clustering()?;
+                    tenant.slot.publish(result);
+                }
+            },
+            ReplicationRecord::Stats {} => {
+                backend.stats()?;
+            }
+        }
+        Ok(())
     }
 
     /// The spec lazily created tenants are built from.
@@ -539,6 +886,13 @@ impl Engine {
             self.clock.fetch_add(1, Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        tenant.last_touch_ms.store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    /// Milliseconds since engine construction (the clock `last_touch_ms`
+    /// is stamped against).
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
     fn bad_namespace(message: String) -> ClusteringError {
@@ -554,19 +908,23 @@ impl Engine {
             .map(|d| d.join(evict_file_name(namespace)))
     }
 
-    /// Evicts least-recently-touched tenants until a new one fits under
-    /// the cap. Caller holds the map write lock.
-    fn make_room(&self, map: &mut HashMap<String, Arc<Tenant>>) -> Result<()> {
-        while map.len() >= self.max_resident {
-            let Some(victim) = map
-                .values()
-                .min_by_key(|t| t.last_touch.load(Ordering::Relaxed))
-                .cloned()
-            else {
-                // `len >= cap >= 1` makes the map non-empty here; if that
-                // invariant ever breaks, stop evicting rather than spin.
-                return Ok(());
-            };
+    /// Pages one resident tenant out to disk. With a WAL this is
+    /// "checkpoint and drop" — the tenant's log directory already holds
+    /// everything; without one the state goes to an eviction file. The
+    /// caller holds the map write lock and removes the victim afterwards.
+    fn page_out(&self, victim: &Tenant) -> Result<()> {
+        // Snapshot and flag under the victim's backend lock: every
+        // operation that raced us either completed before the snapshot
+        // (and is in it) or will observe `evicted` and retry through the
+        // map (and the restore).
+        let mut guard = victim.lock();
+        let json = victim.snapshot_string(&mut guard)?;
+        if let Some(wal) = &victim.wal {
+            wal.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .checkpoint(json.as_bytes())
+                .map_err(wal_err)?;
+        } else {
             let Some(path) = self.evict_path(&victim.namespace) else {
                 return Err(ClusteringError::InvalidParameter {
                     name: "tenant_limit",
@@ -580,21 +938,68 @@ impl Engine {
                 name: "snapshot",
                 message: format!("evicting tenant `{}`: {e}", victim.namespace),
             };
-            // Snapshot and flag under the victim's backend lock: every
-            // operation that raced us either completed before the
-            // snapshot (and is in it) or will observe `evicted` and
-            // retry through the map (and the restore).
-            let mut guard = victim.lock();
-            let json = victim.snapshot_string(&mut guard)?;
             if let Some(parent) = path.parent() {
                 std::fs::create_dir_all(parent).map_err(write_err)?;
             }
             std::fs::write(&path, json).map_err(write_err)?;
-            victim.evicted.store(true, Ordering::Release);
-            drop(guard);
+        }
+        victim.evicted.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Evicts least-recently-touched tenants until a new one fits under
+    /// the cap. Caller holds the map write lock.
+    fn make_room(&self, map: &mut HashMap<String, Arc<Tenant>>) -> Result<()> {
+        while map.len() >= self.max_resident {
+            let Some(victim) = map
+                .values()
+                .min_by_key(|t| t.last_touch.load(Ordering::Relaxed))
+                .cloned()
+            else {
+                // `len >= cap >= 1` makes the map non-empty here; if that
+                // invariant ever breaks, stop evicting rather than spin.
+                return Ok(());
+            };
+            self.page_out(&victim)?;
             map.remove(&victim.namespace);
         }
         Ok(())
+    }
+
+    /// Pages out every tenant that has gone untouched for longer than
+    /// `max_idle`, freeing its memory (its state stays on disk and the
+    /// next request restores it transparently). A no-op unless the engine
+    /// can page tenants to disk (WAL or eviction directory). Returns the
+    /// namespaces paged out.
+    ///
+    /// # Errors
+    /// Propagates page-out failures.
+    pub fn evict_idle(&self, max_idle: Duration) -> Result<Vec<String>> {
+        self.evict_idle_at(max_idle, self.now_ms())
+    }
+
+    /// Deterministic core of [`Engine::evict_idle`]: `now_ms` is the
+    /// caller's reading of the engine clock (tests pin it).
+    fn evict_idle_at(&self, max_idle: Duration, now_ms: u64) -> Result<Vec<String>> {
+        if self.wal.is_none() && self.evict_dir.is_none() {
+            return Ok(Vec::new());
+        }
+        let max_idle_ms = u64::try_from(max_idle.as_millis()).unwrap_or(u64::MAX);
+        let mut map = self.write_map();
+        let victims: Vec<Arc<Tenant>> = map
+            .values()
+            .filter(|t| {
+                now_ms.saturating_sub(t.last_touch_ms.load(Ordering::Relaxed)) > max_idle_ms
+            })
+            .cloned()
+            .collect();
+        let mut paged_out = Vec::with_capacity(victims.len());
+        for victim in victims {
+            self.page_out(&victim)?;
+            map.remove(&victim.namespace);
+            paged_out.push(victim.namespace.clone());
+        }
+        Ok(paged_out)
     }
 
     /// Fetches (lazily creating or restoring) the tenant for `namespace`
@@ -615,7 +1020,13 @@ impl Engine {
             return Ok(Arc::clone(tenant));
         }
         self.make_room(&mut map)?;
-        let evicted_file = self.evict_path(namespace).filter(|p| p.exists());
+        // With a WAL the log directory is the only on-disk source of
+        // truth: `create_or_recover` both restores paged-out tenants and
+        // creates brand-new ones, and eviction files are never consulted.
+        let evicted_file = match &self.wal {
+            Some(_) => None,
+            None => self.evict_path(namespace).filter(|p| p.exists()),
+        };
         let tenant = match &evicted_file {
             Some(path) => {
                 let text = std::fs::read_to_string(path).map_err(|e| {
@@ -626,7 +1037,7 @@ impl Engine {
                 })?;
                 Tenant::from_snapshot_text(&text, Some(namespace))?
             }
-            None => Tenant::create(namespace, &self.default_spec)?,
+            None => self.create_or_recover(namespace, &self.default_spec)?,
         };
         let tenant = Arc::new(tenant);
         self.touch(&tenant);
@@ -679,8 +1090,19 @@ impl Engine {
         if self.evict_path(namespace).is_some_and(|p| p.exists()) {
             return Err(exists(namespace));
         }
+        // A paged-out WAL tenant is just as much a duplicate as an
+        // eviction file.
+        if self
+            .wal
+            .as_ref()
+            .is_some_and(|cfg| cfg.tenant_dir(namespace).exists())
+        {
+            return Err(exists(namespace));
+        }
         self.make_room(&mut map)?;
-        let tenant = Arc::new(Tenant::create(namespace, spec)?);
+        // `create_or_recover` found no log directory above, so in WAL mode
+        // this creates the tenant and writes its checkpoint 0.
+        let tenant = Arc::new(self.create_or_recover(namespace, spec)?);
         self.touch(&tenant);
         let shards = tenant.shards;
         map.insert(namespace.to_string(), tenant);
@@ -702,11 +1124,75 @@ impl Engine {
     /// coordinates, empty point, bad namespace); the tenant state is
     /// unchanged on error.
     pub fn ingest_in(&self, namespace: &str, point: &[f64]) -> Result<u64> {
-        self.with_backend(namespace, |backend, _| {
+        self.with_backend(namespace, |backend, tenant| {
             let clusterer = backend.clusterer();
+            if let Some(wal) = &tenant.wal {
+                // Log-before-apply. Validation is pulled forward (mirroring
+                // the stream drivers' checks) so only records the backend
+                // will accept are logged — the log and the applied state
+                // stay in lockstep. Without a WAL the backend validates
+                // itself and behavior is unchanged.
+                if point.is_empty() {
+                    return Err(ClusteringError::InvalidParameter {
+                        name: "point",
+                        message: "points must have at least one dimension".to_string(),
+                    });
+                }
+                if let Some(d) = clusterer.dim() {
+                    if d != point.len() {
+                        return Err(ClusteringError::DimensionMismatch {
+                            expected: d,
+                            got: point.len(),
+                        });
+                    }
+                }
+                if point.iter().any(|x| !x.is_finite()) {
+                    return Err(ClusteringError::NonFiniteCoordinate { index: 0 });
+                }
+                Self::wal_append(
+                    wal,
+                    &ReplicationRecord::Ingest {
+                        point: point.to_vec(),
+                    },
+                )?;
+            }
             clusterer.update(point)?;
-            Ok(clusterer.points_seen())
+            let seen = clusterer.points_seen();
+            Self::wal_checkpoint_if_due(tenant, backend)?;
+            Ok(seen)
         })
+    }
+
+    /// Appends one record to a tenant's log (buffered; durability follows
+    /// the group-commit policy). The caller holds the backend lock — that
+    /// lock is what serializes appends with the mutations they describe.
+    fn wal_append(wal: &Mutex<Wal>, record: &ReplicationRecord) -> Result<u64> {
+        let payload = encode_replication_record(record);
+        wal.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .append(&payload)
+            .map_err(wal_err)
+    }
+
+    /// Folds the log into a fresh checkpoint once the un-checkpointed tail
+    /// outgrows the configured threshold. Caller holds the backend lock,
+    /// so the snapshot covers exactly the records appended so far.
+    fn wal_checkpoint_if_due(tenant: &Tenant, backend: &mut Backend) -> Result<()> {
+        let Some(wal) = &tenant.wal else {
+            return Ok(());
+        };
+        let due = wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .checkpoint_due();
+        if due {
+            let json = tenant.snapshot_string(backend)?;
+            wal.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .checkpoint(json.as_bytes())
+                .map_err(wal_err)?;
+        }
+        Ok(())
     }
 
     /// Ingests a batch of points atomically into a tenant: the whole batch
@@ -718,7 +1204,7 @@ impl Engine {
     /// index for non-finite coordinates).
     pub fn ingest_batch_in(&self, namespace: &str, points: &[Vec<f64>]) -> Result<u64> {
         let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
-        self.with_backend(namespace, |backend, _| {
+        self.with_backend(namespace, |backend, tenant| {
             let clusterer = backend.clusterer();
             // Pre-validate the whole batch so even backends whose
             // `update_batch` is a per-point loop (the sharded coordinator)
@@ -744,8 +1230,20 @@ impl Engine {
                 }
                 dim = Some(point.len());
             }
+            if let Some(wal) = &tenant.wal {
+                // The whole batch passed validation above; log it as one
+                // record so replay preserves batch atomicity.
+                Self::wal_append(
+                    wal,
+                    &ReplicationRecord::IngestBatch {
+                        points: points.to_vec(),
+                    },
+                )?;
+            }
             clusterer.update_batch(&refs)?;
-            Ok(clusterer.points_seen())
+            let seen = clusterer.points_seen();
+            Self::wal_checkpoint_if_due(tenant, backend)?;
+            Ok(seen)
         })
     }
 
@@ -773,15 +1271,36 @@ impl Engine {
             if let Some(published) = tenant.slot.load() {
                 return Ok(published);
             }
+            // The seed-the-slot fallback below is a strict query, and
+            // strict reads mutate (drain buffers, consume RNG, publish an
+            // epoch). On a follower only replicated records may mutate —
+            // with nothing published yet there is nothing to serve.
+            self.refuse_unpublished_on_follower()?;
         }
-        self.with_backend(namespace, |backend, tenant| match backend {
-            // The sharded stream publishes from inside its own query (its
-            // slot is this tenant's slot).
-            Backend::ShardedCc(s) => s.query_published(),
-            other => {
-                let result = other.clusterer().query_clustering()?;
-                Ok(tenant.slot.publish(result))
+        self.with_backend(namespace, |backend, tenant| {
+            if let Some(wal) = &tenant.wal {
+                // Strict queries mutate: they drain buffers, consume
+                // coordinator RNG and publish an epoch. Replay must
+                // re-run them, so log a marker — but only for queries
+                // that will execute: an empty stream answers `EmptyInput`
+                // and mutates nothing, so it is checked (and returned)
+                // first.
+                if backend.clusterer().points_seen() == 0 {
+                    return Err(ClusteringError::EmptyInput);
+                }
+                Self::wal_append(wal, &ReplicationRecord::Query {})?;
             }
+            let published = match &mut *backend {
+                // The sharded stream publishes from inside its own query
+                // (its slot is this tenant's slot).
+                Backend::ShardedCc(s) => s.query_published()?,
+                other => {
+                    let result = other.clusterer().query_clustering()?;
+                    tenant.slot.publish(result)
+                }
+            };
+            Self::wal_checkpoint_if_due(tenant, backend)?;
+            Ok(published)
         })
     }
 
@@ -825,8 +1344,20 @@ impl Engine {
                     last_query: Some(published.stats),
                 });
             }
+            // Strict stats drain buffers: never run them implicitly on a
+            // follower (see `query_in`).
+            self.refuse_unpublished_on_follower()?;
         }
-        self.with_backend(namespace, |backend, _| backend.stats())
+        self.with_backend(namespace, |backend, tenant| {
+            if let Some(wal) = &tenant.wal {
+                // Strict stats drain the coordinator buffers — a mutation
+                // replay must repeat.
+                Self::wal_append(wal, &ReplicationRecord::Stats {})?;
+            }
+            let stats = backend.stats()?;
+            Self::wal_checkpoint_if_due(tenant, backend)?;
+            Ok(stats)
+        })
     }
 
     /// Total points one tenant has ingested so far.
@@ -951,6 +1482,9 @@ impl Engine {
             max_resident: DEFAULT_MAX_RESIDENT,
             evict_dir: None,
             clock: AtomicU64::new(1),
+            wal: None,
+            started: Instant::now(),
+            follower: None,
         })
     }
 
@@ -958,8 +1492,203 @@ impl Engine {
     /// in memory. Diagnostic; the answer can change concurrently.
     #[must_use]
     pub fn is_evicted_to_disk(&self, namespace: &str) -> bool {
-        !self.read_map().contains_key(namespace)
-            && self.evict_path(namespace).is_some_and(|p| p.exists())
+        if self.read_map().contains_key(namespace) {
+            return false;
+        }
+        match &self.wal {
+            Some(cfg) => cfg.tenant_dir(namespace).exists(),
+            None => self.evict_path(namespace).is_some_and(|p| p.exists()),
+        }
+    }
+
+    /// Whether this engine runs with a write-ahead log.
+    #[must_use]
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Group-commits every resident tenant's log whose oldest buffered
+    /// record has waited at least the fsync interval. The server core
+    /// calls this from its poll tick; appends that hit the byte or age
+    /// bound sync themselves.
+    ///
+    /// Takes only each tenant's WAL mutex (never a backend lock), so it
+    /// cannot deadlock against the append path's backend → WAL order.
+    ///
+    /// # Errors
+    /// Propagates the first sync failure.
+    pub fn wal_sync_all(&self) -> Result<()> {
+        let tenants: Vec<Arc<Tenant>> = self.read_map().values().cloned().collect();
+        for tenant in tenants {
+            if let Some(wal) = &tenant.wal {
+                wal.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .maybe_sync()
+                    .map_err(wal_err)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn wal_required() -> ClusteringError {
+        ClusteringError::InvalidParameter {
+            name: "wal_io",
+            message: "replication requires a write-ahead log".to_string(),
+        }
+    }
+
+    /// A consistent follower-bootstrap snapshot of one tenant: the log
+    /// sequence it covers, the published epoch, and the full state
+    /// envelope. The log is group-committed first, so the snapshot never
+    /// includes a record a crashed primary could forget — a follower can
+    /// never get ahead of what its primary would recover to.
+    ///
+    /// # Errors
+    /// Fails when the engine runs without a WAL, or on snapshot/log
+    /// failures.
+    pub fn replica_snapshot_in(&self, namespace: &str) -> Result<(u64, u64, String)> {
+        self.with_backend(namespace, |backend, tenant| {
+            let Some(wal) = &tenant.wal else {
+                return Err(Self::wal_required());
+            };
+            let seq = wal
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .sync()
+                .map_err(wal_err)?;
+            let snapshot = tenant.snapshot_string(backend)?;
+            Ok((seq, tenant.slot.epoch(), snapshot))
+        })
+    }
+
+    /// One tenant's durable log records with `seq >= from_seq`, plus its
+    /// last appended sequence (the follower's lag bound). `None` records
+    /// mean `from_seq` was already compacted into a checkpoint — the
+    /// follower must resynchronize from [`Engine::replica_snapshot_in`].
+    ///
+    /// # Errors
+    /// Fails when the engine runs without a WAL.
+    #[allow(clippy::type_complexity)]
+    pub fn wal_tail_in(
+        &self,
+        namespace: &str,
+        from_seq: u64,
+    ) -> Result<(Option<Vec<(u64, Vec<u8>)>>, u64)> {
+        self.with_backend(namespace, |_, tenant| {
+            let Some(wal) = &tenant.wal else {
+                return Err(Self::wal_required());
+            };
+            let wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+            Ok((wal.records_since(from_seq), wal.last_seq()))
+        })
+    }
+
+    /// Highest sequence number of one tenant's log known to be on stable
+    /// storage.
+    ///
+    /// # Errors
+    /// Fails when the engine runs without a WAL.
+    pub fn wal_durable_seq_in(&self, namespace: &str) -> Result<u64> {
+        self.with_backend(namespace, |_, tenant| {
+            let Some(wal) = &tenant.wal else {
+                return Err(Self::wal_required());
+            };
+            Ok(wal
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .durable_seq())
+        })
+    }
+
+    /// Forces a checkpoint of one tenant's log right now, returning the
+    /// sequence it covers. The hot path checkpoints on its own byte
+    /// threshold; this is for the CLI `recover` command and tests.
+    ///
+    /// # Errors
+    /// Fails when the engine runs without a WAL, or on snapshot/log
+    /// failures.
+    pub fn checkpoint_now_in(&self, namespace: &str) -> Result<u64> {
+        self.with_backend(namespace, |backend, tenant| {
+            let Some(wal) = &tenant.wal else {
+                return Err(Self::wal_required());
+            };
+            let json = tenant.snapshot_string(backend)?;
+            wal.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .checkpoint(json.as_bytes())
+                .map_err(wal_err)
+        })
+    }
+
+    /// Applies one replicated record to a tenant through the same code
+    /// paths the primary ran. Follower mode: the follower's engine runs
+    /// *without* a WAL of its own and feeds the primary's stream through
+    /// here, staying bit-identical to the primary's applied state.
+    ///
+    /// # Errors
+    /// Propagates the underlying update/query failure.
+    pub fn apply_replication_record_in(
+        &self,
+        namespace: &str,
+        record: &ReplicationRecord,
+    ) -> Result<()> {
+        self.with_backend(namespace, |backend, tenant| {
+            Self::apply_record(backend, tenant, record)
+        })
+    }
+
+    /// Marks this engine a follower replica (builder-style): writes and
+    /// strict reads are refused at dispatch with
+    /// [`crate::protocol::ErrorCode::ReplicationLag`], and cached reads
+    /// are served only while the replication lag stays within `max_lag`
+    /// records.
+    #[must_use]
+    pub fn with_follower(mut self, max_lag: u64) -> Self {
+        self.follower = Some(FollowerStatus::new(max_lag));
+        self
+    }
+
+    /// This engine's follower status, `None` on a primary.
+    #[must_use]
+    pub fn follower(&self) -> Option<&FollowerStatus> {
+        self.follower.as_ref()
+    }
+
+    /// Errors with the replication-lag class when this engine is a
+    /// follower — called where a cached read would otherwise fall back to
+    /// a mutating strict one.
+    fn refuse_unpublished_on_follower(&self) -> Result<()> {
+        if self.follower.is_some() {
+            return Err(ClusteringError::InvalidParameter {
+                name: "replication_lag",
+                message: "the follower has not replicated a published answer yet".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Replaces one tenant's state wholesale with a replica-bootstrap
+    /// snapshot from [`Engine::replica_snapshot_in`] on the primary.
+    /// In-flight reads against the old state finish against it (they hold
+    /// their own `Arc`); the next request sees the new state.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::InvalidParameter`] for unparseable
+    /// snapshots.
+    pub fn install_replica_snapshot_in(&self, namespace: &str, snapshot: &str) -> Result<()> {
+        let tenant = Arc::new(Tenant::from_snapshot_text(snapshot, Some(namespace))?);
+        self.touch(&tenant);
+        self.write_map().insert(namespace.to_string(), tenant);
+        Ok(())
+    }
+
+    /// The resident tenant namespaces, sorted (diagnostics and the CLI
+    /// `recover` report).
+    #[must_use]
+    pub fn namespaces(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read_map().keys().cloned().collect();
+        names.sort();
+        names
     }
 }
 
@@ -1462,5 +2191,283 @@ mod tests {
         assert_eq!(strict.epoch, before.epoch + 1);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_recovery_matches_uninterrupted_for_every_backend() {
+        for kind in [
+            BackendKind::ShardedCc,
+            BackendKind::Cc,
+            BackendKind::Ct,
+            BackendKind::Rcc,
+        ] {
+            let dir = temp_dir(&format!("wal-{}", kind.tag()));
+            std::fs::remove_dir_all(&dir).ok();
+            let reference = Engine::new(&spec(kind)).unwrap();
+            let durable = Engine::new(&spec(kind))
+                .unwrap()
+                .with_wal(WalConfig::new(dir.clone()))
+                .unwrap();
+            // Interleave ingest with strict reads so the recovered run
+            // must replay query/stats markers to reproduce RNG positions
+            // and the epoch counter.
+            feed(&reference, 120, 0.0);
+            feed(&durable, 120, 0.0);
+            reference.query(Freshness::Strict).unwrap();
+            durable.query(Freshness::Strict).unwrap();
+            reference.stats(Freshness::Strict).unwrap();
+            durable.stats(Freshness::Strict).unwrap();
+            feed(&reference, 80, 0.5);
+            feed(&durable, 80, 0.5);
+            // Drop without checkpointing: recovery replays the tail.
+            drop(durable);
+
+            let recovered = Engine::new(&spec(kind))
+                .unwrap()
+                .with_wal(WalConfig::new(dir.clone()))
+                .unwrap();
+            assert_eq!(recovered.points_seen(), 200, "{kind:?}");
+            assert_eq!(recovered.epoch(), 1, "{kind:?} recovered epoch");
+            let a = reference.query(Freshness::Strict).unwrap();
+            let b = recovered.query(Freshness::Strict).unwrap();
+            assert_eq!(a.centers, b.centers, "{kind:?} recovery diverged");
+            assert_eq!(a.epoch, b.epoch, "{kind:?} epoch sequence diverged");
+
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn wal_checkpoint_compaction_preserves_bit_identity() {
+        let dir = temp_dir("wal-ckpt");
+        std::fs::remove_dir_all(&dir).ok();
+        // A tiny checkpoint threshold forces compaction every few appends;
+        // restart must still continue bit-identically.
+        let config = WalConfig::new(dir.clone()).with_checkpoint_bytes(512);
+        let reference = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        let durable = Engine::new(&spec(BackendKind::Cc))
+            .unwrap()
+            .with_wal(config.clone())
+            .unwrap();
+        feed(&reference, 150, 0.0);
+        feed(&durable, 150, 0.0);
+        reference.query(Freshness::Strict).unwrap();
+        durable.query(Freshness::Strict).unwrap();
+        drop(durable);
+
+        let recovered = Engine::new(&spec(BackendKind::Cc))
+            .unwrap()
+            .with_wal(config)
+            .unwrap();
+        feed(&reference, 150, 0.5);
+        feed(&recovered, 150, 0.5);
+        let a = reference.query(Freshness::Strict).unwrap();
+        let b = recovered.query(Freshness::Strict).unwrap();
+        assert_eq!(a.centers, b.centers, "compacted recovery diverged");
+        assert_eq!(a.epoch, b.epoch);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_supersedes_eviction_files() {
+        let dir = temp_dir("wal-evict");
+        let evict = temp_dir("wal-evict-files");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&evict).ok();
+        std::fs::create_dir_all(&evict).unwrap();
+        let engine = Engine::with_options(&spec(BackendKind::Cc), 2, Some(evict.clone()))
+            .unwrap()
+            .with_wal(WalConfig::new(dir.clone()))
+            .unwrap();
+        feed_in(&engine, "a", 60, 0.0);
+        engine.query_in("a", Freshness::Strict).unwrap();
+        let _ = engine.points_seen(); // make default the MRU
+        feed_in(&engine, "b", 20, 0.0); // pages `a` out
+
+        assert!(engine.is_evicted_to_disk("a"));
+        // Page-out went through the log, not an eviction file.
+        assert!(!evict.join(evict_file_name("a")).exists());
+        assert!(dir.join("a").exists());
+
+        // Restore continues the stream with its epoch.
+        assert_eq!(engine.points_seen_in("a").unwrap(), 60);
+        assert_eq!(engine.epoch_in("a").unwrap(), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&evict).ok();
+    }
+
+    #[test]
+    fn idle_tenants_are_paged_out_and_restored() {
+        let dir = temp_dir("wal-idle");
+        std::fs::remove_dir_all(&dir).ok();
+        let engine = Engine::new(&spec(BackendKind::Cc))
+            .unwrap()
+            .with_wal(WalConfig::new(dir.clone()))
+            .unwrap();
+        feed_in(&engine, "busy", 40, 0.0);
+        feed_in(&engine, "quiet", 40, 0.0);
+        engine.query_in("quiet", Freshness::Strict).unwrap();
+
+        // Pin the clock: `quiet` (and `default`) idle past the limit,
+        // `busy` stays fresh.
+        let now = engine.now_ms() + 10_000;
+        engine
+            .tenant("busy")
+            .unwrap()
+            .last_touch_ms
+            .store(now, Ordering::Relaxed);
+        let mut evicted = engine.evict_idle_at(Duration::from_secs(5), now).unwrap();
+        evicted.sort();
+        assert_eq!(evicted, vec!["default", "quiet"]);
+        assert!(engine.is_evicted_to_disk("quiet"));
+        assert!(!engine.is_evicted_to_disk("busy"));
+
+        // Nothing left over the limit: second sweep is a no-op.
+        assert!(engine
+            .evict_idle_at(Duration::from_secs(5), now)
+            .unwrap()
+            .is_empty());
+
+        // The paged-out tenant restores bit-identically on next touch.
+        assert_eq!(engine.points_seen_in("quiet").unwrap(), 40);
+        assert_eq!(engine.epoch_in("quiet").unwrap(), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evict_idle_without_paging_store_is_a_no_op() {
+        let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        feed_in(&engine, "a", 10, 0.0);
+        // No WAL and no eviction directory: nothing to page to, so nothing
+        // is dropped (dropping would lose state).
+        let evicted = engine.evict_idle_at(Duration::ZERO, u64::MAX).unwrap();
+        assert!(evicted.is_empty());
+        assert_eq!(engine.points_seen_in("a").unwrap(), 10);
+    }
+
+    #[test]
+    fn configure_refuses_a_paged_out_wal_tenant() {
+        let dir = temp_dir("wal-cfgdup");
+        std::fs::remove_dir_all(&dir).ok();
+        let engine = Engine::new(&spec(BackendKind::Cc))
+            .unwrap()
+            .with_wal(WalConfig::new(dir.clone()))
+            .unwrap();
+        feed_in(&engine, "t", 10, 0.0);
+        let now = engine.now_ms() + 10_000;
+        engine.evict_idle_at(Duration::from_secs(5), now).unwrap();
+        assert!(engine.is_evicted_to_disk("t"));
+        let err = engine.configure("t", &spec(BackendKind::Cc)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClusteringError::InvalidParameter {
+                    name: "tenant_exists",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_snapshot_and_tail_reproduce_the_primary() {
+        let dir = temp_dir("wal-replica");
+        std::fs::remove_dir_all(&dir).ok();
+        // Sync every append: `wal_tail_in` serves only *durable* records
+        // (a follower must never get ahead of what the primary would
+        // recover to), so the test pins durability to the append.
+        let primary = Engine::new(&spec(BackendKind::Cc))
+            .unwrap()
+            .with_wal(WalConfig::new(dir.clone()).with_fsync_ms(0))
+            .unwrap();
+        feed(&primary, 100, 0.0);
+        primary.query(Freshness::Strict).unwrap();
+
+        // Follower bootstrap: snapshot at seq, then tail from seq + 1.
+        let (seq, epoch, snapshot) = primary.replica_snapshot_in(DEFAULT_NAMESPACE).unwrap();
+        assert_eq!(epoch, 1);
+        let follower = Engine::from_snapshot_json(&snapshot).unwrap();
+        assert_eq!(follower.epoch(), 1);
+
+        feed(&primary, 50, 0.5);
+        primary.query(Freshness::Strict).unwrap();
+        let (records, last_seq) = primary.wal_tail_in(DEFAULT_NAMESPACE, seq + 1).unwrap();
+        let records = records.expect("tail not compacted");
+        assert_eq!(records.last().map(|(s, _)| *s), Some(last_seq));
+        for (_, payload) in &records {
+            let record = decode_replication_record(payload).unwrap();
+            follower
+                .apply_replication_record_in(DEFAULT_NAMESPACE, &record)
+                .unwrap();
+        }
+
+        // The follower applied the primary's exact input stream through
+        // the same code paths: published answers are bit-identical.
+        let a = primary.published().unwrap();
+        let b = follower.published().unwrap();
+        assert_eq!(a.as_ref(), b.as_ref(), "follower diverged from primary");
+
+        // A compacted position forces a resync.
+        primary.checkpoint_now_in(DEFAULT_NAMESPACE).unwrap();
+        let (records, _) = primary.wal_tail_in(DEFAULT_NAMESPACE, seq + 1).unwrap();
+        assert!(records.is_none(), "compacted tail must demand a resync");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_accessors_require_a_wal() {
+        let engine = Engine::new(&spec(BackendKind::Cc)).unwrap();
+        assert!(!engine.wal_enabled());
+        assert!(engine.replica_snapshot_in(DEFAULT_NAMESPACE).is_err());
+        assert!(engine.wal_tail_in(DEFAULT_NAMESPACE, 1).is_err());
+        assert!(engine.wal_durable_seq_in(DEFAULT_NAMESPACE).is_err());
+        assert!(engine.checkpoint_now_in(DEFAULT_NAMESPACE).is_err());
+        // The sync tick is harmlessly empty without logs.
+        engine.wal_sync_all().unwrap();
+    }
+
+    #[test]
+    fn rejected_writes_are_not_logged() {
+        let dir = temp_dir("wal-reject");
+        std::fs::remove_dir_all(&dir).ok();
+        let engine = Engine::new(&spec(BackendKind::Cc))
+            .unwrap()
+            .with_wal(WalConfig::new(dir.clone()))
+            .unwrap();
+        engine.ingest(&[1.0, 2.0]).unwrap();
+        let seq_after_accept = engine.wal_durable_seq_in(DEFAULT_NAMESPACE).ok();
+
+        // Every rejected shape: empty, wrong dimension, non-finite, and a
+        // batch poisoned mid-way. None may append a record.
+        assert!(engine.ingest(&[]).is_err());
+        assert!(engine.ingest(&[1.0]).is_err());
+        assert!(engine.ingest(&[f64::NAN, 0.0]).is_err());
+        assert!(engine.ingest_batch(&[vec![3.0, 4.0], vec![5.0]]).is_err());
+        let (records, last_seq) = engine.wal_tail_in(DEFAULT_NAMESPACE, 1).unwrap();
+        assert_eq!(last_seq, 1, "only the accepted ingest is logged");
+        let _ = (seq_after_accept, records);
+
+        // Empty-stream strict query answers EmptyInput without logging.
+        let fresh_dir = temp_dir("wal-reject-empty");
+        std::fs::remove_dir_all(&fresh_dir).ok();
+        let fresh = Engine::new(&spec(BackendKind::Cc))
+            .unwrap()
+            .with_wal(WalConfig::new(fresh_dir.clone()))
+            .unwrap();
+        assert!(matches!(
+            fresh.query(Freshness::Strict).unwrap_err(),
+            ClusteringError::EmptyInput
+        ));
+        let (_, last_seq) = fresh.wal_tail_in(DEFAULT_NAMESPACE, 1).unwrap();
+        assert_eq!(last_seq, 0, "a refused query must not be logged");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&fresh_dir).ok();
     }
 }

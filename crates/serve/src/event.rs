@@ -34,19 +34,19 @@
 //!   exits. In-flight work is answered, never dropped — the evented
 //!   restatement of the PR 4 idle-connection deadlock fix.
 
-use crate::codec::{codec, Codec, CodecKind};
-use crate::dispatch::dispatch;
+use crate::codec::{codec, decode_replication_record, Codec, CodecKind};
+use crate::dispatch::{dispatch, resolve_namespace};
 use crate::engine::Engine;
-use crate::protocol::{ErrorCode, Request, Response, PROTOCOL_REVISION};
+use crate::protocol::{error_response, ErrorCode, Request, Response, PROTOCOL_REVISION};
 use minipoll::{Events, Interest, Poll, Token, Waker};
-use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Write-buffer level at which a connection stops reading new requests.
 pub(crate) const HIGH_WATER: usize = 1024 * 1024;
@@ -60,6 +60,17 @@ const PROCESS_THRESHOLD: usize = 256 * 1024;
 /// Bound on the blocking flush of a connection during shutdown drain: a
 /// peer that stops reading cannot hold the server open forever.
 const DRAIN_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Most frames gathered into one `write_vectored` call (well under every
+/// platform's IOV_MAX).
+const MAX_IOVEC: usize = 64;
+/// Poll timeout when the engine runs with a WAL: each expiry group-commits
+/// buffered appends (bounding commit latency) and pushes newly durable
+/// records to replication subscribers (bounding follower lag).
+const WAL_TICK: Duration = Duration::from_millis(10);
+/// Poll timeout when only idle eviction needs a clock.
+const IDLE_TICK: Duration = Duration::from_millis(500);
+/// Minimum spacing between idle-eviction sweeps (loop 0 only).
+const IDLE_SWEEP: Duration = Duration::from_secs(1);
 
 const WAKER_TOKEN: Token = Token(0);
 const LISTENER_TOKEN: Token = Token(1);
@@ -73,18 +84,32 @@ fn loop_count() -> usize {
         .min(8)
 }
 
+/// A connection converted into a replication subscription by a
+/// `Replicate` request: the event loop pushes durable WAL records to it on
+/// every tick instead of waiting for requests.
+struct Replication {
+    /// The tenant being tailed.
+    namespace: String,
+    /// Next log sequence number to send.
+    next_seq: u64,
+}
+
 /// One connection's state machine.
 struct Conn {
     stream: TcpStream,
     codec: &'static dyn Codec,
     read_buf: Vec<u8>,
-    write_buf: Vec<u8>,
-    /// Bytes of `write_buf` already written to the socket.
+    /// Outbound frames awaiting the socket, oldest first; flushes gather
+    /// them into a single vectored write.
+    write_queue: VecDeque<Vec<u8>>,
+    /// Total bytes across `write_queue`.
+    queued_bytes: usize,
+    /// Bytes of the front frame already written to the socket.
     write_pos: usize,
     /// True once the first frame has been processed; a `Hello` is only
     /// honoured before this.
     handshaken: bool,
-    /// Reading paused by backpressure (write buffer above [`HIGH_WATER`]).
+    /// Reading paused by backpressure (write queue above [`HIGH_WATER`]).
     paused: bool,
     /// Answer what is queued, then close (fatal framing error or `Bye`).
     closing: bool,
@@ -92,6 +117,8 @@ struct Conn {
     peer_closed: bool,
     /// Interest currently registered with the poller.
     interest: Interest,
+    /// `Some` once this connection subscribed to a replication stream.
+    replication: Option<Replication>,
 }
 
 impl Conn {
@@ -100,19 +127,56 @@ impl Conn {
             stream,
             codec: codec(CodecKind::Json),
             read_buf: Vec::new(),
-            write_buf: Vec::new(),
+            write_queue: VecDeque::new(),
+            queued_bytes: 0,
             write_pos: 0,
             handshaken: false,
             paused: false,
             closing: false,
             peer_closed: false,
             interest: Interest::READABLE,
+            replication: None,
         }
     }
 
     /// Bytes queued for the peer but not yet written.
     fn pending(&self) -> usize {
-        self.write_buf.len() - self.write_pos
+        self.queued_bytes - self.write_pos
+    }
+
+    /// Queues one already-encoded frame for the peer.
+    fn queue_frame(&mut self, frame: Vec<u8>) {
+        if !frame.is_empty() {
+            self.queued_bytes += frame.len();
+            self.write_queue.push_back(frame);
+        }
+    }
+
+    /// Encodes `response` in this connection's codec and queues it.
+    fn queue_response(&mut self, response: &Response) {
+        let mut frame = Vec::new();
+        self.codec.encode_response(response, &mut frame);
+        self.queue_frame(frame);
+    }
+
+    /// Accounts `n` bytes accepted by the socket, popping frames written
+    /// through.
+    fn consume_written(&mut self, mut n: usize) {
+        while n > 0 {
+            let Some(front) = self.write_queue.front() else {
+                return;
+            };
+            let remaining = front.len() - self.write_pos;
+            if n >= remaining {
+                n -= remaining;
+                self.queued_bytes -= front.len();
+                self.write_pos = 0;
+                self.write_queue.pop_front();
+            } else {
+                self.write_pos += n;
+                return;
+            }
+        }
     }
 }
 
@@ -166,7 +230,7 @@ fn process_frames(
                     code: frame_error.code,
                     message: frame_error.message,
                 };
-                conn.codec.encode_response(&response, &mut conn.write_buf);
+                conn.queue_response(&response);
                 conn.closing = true;
                 return;
             }
@@ -194,7 +258,7 @@ fn process_frames(
                     code: ErrorCode::MalformedRequest,
                     message: parse_error,
                 };
-                conn.codec.encode_response(&response, &mut conn.write_buf);
+                conn.queue_response(&response);
             }
             Ok(request) => {
                 handle_request(conn, request, engine, snapshot_dir, shutdown, all_wakers);
@@ -225,7 +289,7 @@ fn handle_request(
                     codec: kind.as_str().to_string(),
                     revision: PROTOCOL_REVISION.to_string(),
                 };
-                conn.codec.encode_response(&response, &mut conn.write_buf);
+                conn.queue_response(&response);
                 conn.codec = codec(kind);
                 return;
             }
@@ -242,33 +306,169 @@ fn handle_request(
             conn.closing = true;
             Response::Bye {}
         }
+        // A `Replicate` on a WAL-running server converts the connection
+        // into a subscription (without one, `dispatch` answers the typed
+        // refusal). A second `Replicate` on an already-subscribed
+        // connection restarts the stream at the requested position.
+        Request::Replicate {
+            namespace,
+            from_seq,
+        } if engine.wal_enabled() => {
+            subscribe(conn, engine, namespace.as_deref(), from_seq);
+            return;
+        }
         other => dispatch(other, engine, snapshot_dir),
     };
-    conn.codec.encode_response(&response, &mut conn.write_buf);
+    conn.queue_response(&response);
 }
 
-/// Writes as much of the queued output as the socket accepts. Returns
-/// `false` when the connection died mid-write.
+/// Converts a connection into a replication subscription. Resumes from the
+/// durable tail when `from_seq` is still available there; otherwise (or for
+/// `from_seq` 0) bootstraps with a full `ReplicaSnapshot`. Either way the
+/// first pushed frames are queued immediately; later records follow on
+/// event-loop ticks.
+fn subscribe(conn: &mut Conn, engine: &Engine, namespace: Option<&str>, from_seq: u64) {
+    let ns = match resolve_namespace(namespace) {
+        Ok(ns) => ns.to_string(),
+        Err(response) => {
+            conn.queue_response(&response);
+            return;
+        }
+    };
+    if from_seq > 0 {
+        match engine.wal_tail_in(&ns, from_seq) {
+            // The position is still in the durable tail: resume without a
+            // snapshot (the records themselves go out via `pump`).
+            Ok((Some(_), _)) => {
+                conn.replication = Some(Replication {
+                    namespace: ns,
+                    next_seq: from_seq,
+                });
+                pump_subscription(conn, engine);
+                return;
+            }
+            // Compacted away: fall through to the snapshot bootstrap.
+            Ok((None, _)) => {}
+            Err(e) => {
+                conn.queue_response(&error_response(&e));
+                conn.closing = true;
+                return;
+            }
+        }
+    }
+    if queue_replica_snapshot(conn, engine, &ns) {
+        pump_subscription(conn, engine);
+    }
+}
+
+/// Queues a `ReplicaSnapshot` bootstrap frame and (re)points the
+/// subscription at the first record after it. Returns `false` when the
+/// snapshot failed (the typed error is queued and the connection marked
+/// closing).
+fn queue_replica_snapshot(conn: &mut Conn, engine: &Engine, namespace: &str) -> bool {
+    match engine.replica_snapshot_in(namespace) {
+        Ok((seq, epoch, snapshot)) => {
+            conn.queue_response(&Response::ReplicaSnapshot {
+                seq,
+                epoch,
+                snapshot,
+            });
+            conn.replication = Some(Replication {
+                namespace: namespace.to_string(),
+                next_seq: seq + 1,
+            });
+            true
+        }
+        Err(e) => {
+            conn.queue_response(&error_response(&e));
+            conn.closing = true;
+            false
+        }
+    }
+}
+
+/// Pushes every durable record the subscription has not seen yet, up to
+/// the backpressure high-water mark (the rest goes out on later ticks).
+/// When the subscription's position was compacted into a checkpoint, a
+/// fresh `ReplicaSnapshot` re-bootstraps the follower in-stream. Returns
+/// `false` when the connection must be dropped.
+fn pump_subscription(conn: &mut Conn, engine: &Engine) -> bool {
+    loop {
+        if conn.closing || conn.pending() >= HIGH_WATER {
+            return true;
+        }
+        let Some(rep) = &conn.replication else {
+            return true;
+        };
+        let (namespace, next_seq) = (rep.namespace.clone(), rep.next_seq);
+        match engine.wal_tail_in(&namespace, next_seq) {
+            Ok((Some(records), primary_seq)) => {
+                for (seq, payload) in records {
+                    if conn.pending() >= HIGH_WATER {
+                        return true;
+                    }
+                    // The in-memory tail holds exactly what was appended;
+                    // an undecodable record means this process is sick —
+                    // drop the subscriber rather than feed it garbage.
+                    let Ok(record) = decode_replication_record(&payload) else {
+                        return false;
+                    };
+                    conn.queue_response(&Response::Replicate {
+                        seq,
+                        primary_seq,
+                        record,
+                    });
+                    if let Some(rep) = &mut conn.replication {
+                        rep.next_seq = seq + 1;
+                    }
+                }
+                return true;
+            }
+            // Compacted past the subscription: re-bootstrap. The loop then
+            // tails from the fresh snapshot's position.
+            Ok((None, _)) => {
+                if !queue_replica_snapshot(conn, engine, &namespace) {
+                    return true; // error queued; closing
+                }
+            }
+            Err(e) => {
+                conn.queue_response(&error_response(&e));
+                conn.closing = true;
+                return true;
+            }
+        }
+    }
+}
+
+/// Writes as much of the queued output as the socket accepts, gathering up
+/// to [`MAX_IOVEC`] whole frames per syscall with a vectored write (a
+/// pipelining client's many small responses go out in one `writev` instead
+/// of one `write` each). Returns `false` when the connection died
+/// mid-write.
 fn flush(conn: &mut Conn) -> bool {
     while conn.pending() > 0 {
-        let Some(rest) = conn.write_buf.get(conn.write_pos..) else {
-            return false;
-        };
-        match conn.stream.write(rest) {
+        let mut slices: Vec<IoSlice<'_>> =
+            Vec::with_capacity(conn.write_queue.len().min(MAX_IOVEC));
+        for (index, frame) in conn.write_queue.iter().take(MAX_IOVEC).enumerate() {
+            let bytes = if index == 0 {
+                frame.get(conn.write_pos..).unwrap_or(&[])
+            } else {
+                frame.as_slice()
+            };
+            if !bytes.is_empty() {
+                slices.push(IoSlice::new(bytes));
+            }
+        }
+        if slices.is_empty() {
+            return false; // accounting broke; drop the connection, not the server
+        }
+        match conn.stream.write_vectored(&slices) {
             Ok(0) => return false,
-            Ok(n) => conn.write_pos += n,
+            Ok(n) => conn.consume_written(n),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return false,
         }
-    }
-    if conn.pending() == 0 {
-        conn.write_buf.clear();
-        conn.write_pos = 0;
-    } else if conn.write_pos >= LOW_WATER {
-        // Reclaim the already-written prefix of a long-lived backlog.
-        conn.write_buf.drain(..conn.write_pos);
-        conn.write_pos = 0;
     }
     true
 }
@@ -293,14 +493,33 @@ struct EventLoop {
     listener: Option<TcpListener>,
     conns: HashMap<usize, Conn>,
     next_token: usize,
+    /// Page out tenants idle longer than this (loop 0 sweeps; `None`
+    /// disables).
+    idle_evict: Option<Duration>,
+    /// When loop 0 last swept for idle tenants.
+    last_idle_sweep: Instant,
 }
 
 impl EventLoop {
+    /// The poll timeout. A WAL needs a fast tick (group-commit flushing
+    /// and replication pushes); idle eviction alone needs only a coarse
+    /// clock; otherwise the loop parks until readiness.
+    fn tick_interval(&self) -> Option<Duration> {
+        if self.engine.wal_enabled() {
+            Some(WAL_TICK)
+        } else if self.idle_evict.is_some() {
+            Some(IDLE_TICK)
+        } else {
+            None
+        }
+    }
+
     fn run(mut self) -> io::Result<()> {
         let mut events = Events::with_capacity(256);
         let mut ready: Vec<(usize, bool, bool)> = Vec::new();
+        let tick = self.tick_interval();
         loop {
-            self.poll.poll(&mut events, None)?;
+            self.poll.poll(&mut events, tick)?;
             ready.clear();
             let mut accept = false;
             for event in &events {
@@ -321,6 +540,9 @@ impl EventLoop {
             while let Ok(stream) = self.incoming.try_recv() {
                 self.adopt(stream);
             }
+            if tick.is_some() {
+                self.tick();
+            }
             if self.shutdown.load(Ordering::SeqCst) {
                 // Re-broadcast (idempotent) so sibling loops parked in
                 // poll() observe the flag no matter which loop raised it.
@@ -330,6 +552,45 @@ impl EventLoop {
                 self.drain_all();
                 return Ok(());
             }
+        }
+    }
+
+    /// Periodic work between readiness events: the group-commit flusher
+    /// (bounds durability latency of buffered appends even with no
+    /// follow-up traffic), replication pushes, and (loop 0) idle-tenant
+    /// sweeps.
+    fn tick(&mut self) {
+        if self.engine.wal_enabled() {
+            // A sync failure surfaces as a typed error on the next append;
+            // the flusher itself has no client to answer.
+            let _ = self.engine.wal_sync_all();
+            self.pump_replication();
+        }
+        if let Some(max_idle) = self.idle_evict {
+            if self.listener.is_some() && self.last_idle_sweep.elapsed() >= IDLE_SWEEP {
+                self.last_idle_sweep = Instant::now();
+                let _ = self.engine.evict_idle(max_idle);
+            }
+        }
+    }
+
+    /// Advances every replication subscription this loop owns.
+    fn pump_replication(&mut self) {
+        let tokens: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.replication.is_some())
+            .map(|(token, _)| *token)
+            .collect();
+        for token in tokens {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            if !pump_subscription(conn, &self.engine) || !flush(conn) {
+                self.drop_conn(token);
+                continue;
+            }
+            self.update_interest(token);
         }
     }
 
@@ -494,10 +755,19 @@ impl EventLoop {
                     .set_write_timeout(Some(DRAIN_WRITE_TIMEOUT))
                     .is_ok()
             {
-                if let Some(rest) = conn.write_buf.get(conn.write_pos..) {
-                    let _ = conn.stream.write_all(rest);
-                    let _ = conn.stream.flush();
+                let mut first = true;
+                for frame in &conn.write_queue {
+                    let bytes = if first {
+                        frame.get(conn.write_pos..).unwrap_or(&[])
+                    } else {
+                        frame.as_slice()
+                    };
+                    first = false;
+                    if conn.stream.write_all(bytes).is_err() {
+                        break;
+                    }
                 }
+                let _ = conn.stream.flush();
             }
         }
     }
@@ -510,6 +780,7 @@ pub(crate) fn run_evented(
     engine: Arc<Engine>,
     snapshot_dir: Option<PathBuf>,
     shutdown: Arc<AtomicBool>,
+    idle_evict: Option<Duration>,
 ) -> io::Result<()> {
     let n = loop_count();
     let mut polls = Vec::with_capacity(n);
@@ -551,6 +822,8 @@ pub(crate) fn run_evented(
             listener,
             conns: HashMap::new(),
             next_token: FIRST_CONN_TOKEN,
+            idle_evict,
+            last_idle_sweep: Instant::now(),
         });
     }
 

@@ -1,0 +1,229 @@
+//! Follower replicas: tail a WAL-enabled primary's replication stream and
+//! serve cached reads from a local, continuously updated copy of one
+//! tenant.
+//!
+//! A follower is an ordinary [`Engine`] flagged read-only with
+//! [`Engine::with_follower`] and fed by a background tailing thread
+//! ([`start_follower`]): the thread connects to the primary, sends
+//! `Replicate{namespace, from_seq}`, bootstraps from the
+//! `ReplicaSnapshot` frame, then applies every pushed `Replicate` record
+//! through the exact code paths the primary ran — so the follower's state
+//! (centers, RNG positions, published epochs) stays bit-identical to the
+//! primary's applied prefix. The serving side (dispatch) refuses writes
+//! and strict reads with [`crate::protocol::ErrorCode::ReplicationLag`],
+//! and serves cached reads only while the lag stays inside the configured
+//! bound.
+//!
+//! The primary pushes records as they become durable (group commit +
+//! 10 ms pump tick), so a healthy follower's lag is bounded by the
+//! primary's fsync interval plus one pump tick plus the network. If the
+//! connection drops, the thread reconnects and resumes from its applied
+//! sequence; a primary that has compacted past that point answers with a
+//! fresh snapshot instead.
+
+use crate::client::Client;
+use crate::codec::CodecKind;
+use crate::engine::Engine;
+use crate::protocol::{Response, DEFAULT_NAMESPACE};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How a follower tails its primary. Build with [`FollowerSpec::new`]
+/// plus the `with_*` setters.
+#[derive(Debug, Clone)]
+pub struct FollowerSpec {
+    /// Primary address (`host:port`).
+    pub primary: String,
+    /// Tenant stream to follow; `None` means [`DEFAULT_NAMESPACE`].
+    pub namespace: Option<String>,
+    /// Wire codec of the tailing connection.
+    pub codec: CodecKind,
+    /// Backoff before reconnecting after a lost or refused connection.
+    pub retry: Duration,
+}
+
+impl FollowerSpec {
+    /// A spec with the defaults: default namespace, JSON codec, 500 ms
+    /// reconnect backoff.
+    #[must_use]
+    pub fn new(primary: impl Into<String>) -> Self {
+        FollowerSpec {
+            primary: primary.into(),
+            namespace: None,
+            codec: CodecKind::Json,
+            retry: Duration::from_millis(500),
+        }
+    }
+
+    /// Follows `namespace` instead of the default tenant.
+    #[must_use]
+    pub fn with_namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.namespace = Some(namespace.into());
+        self
+    }
+
+    /// Sets the wire codec of the tailing connection.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Sets the reconnect backoff.
+    #[must_use]
+    pub fn with_retry(mut self, retry: Duration) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Control handle for a running tailing thread; dropping it without
+/// calling [`FollowerHandle::stop`] leaves the thread running.
+#[derive(Debug)]
+pub struct FollowerHandle {
+    stop: Arc<AtomicBool>,
+    thread: thread::JoinHandle<()>,
+}
+
+impl FollowerHandle {
+    /// Asks the tailing thread to exit and joins it. The thread polls the
+    /// flag on a short read timeout, so this returns promptly even on a
+    /// quiet stream.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.thread.join();
+    }
+}
+
+/// Spawns the tailing thread feeding `engine` from `spec.primary` and
+/// returns its control handle. The engine must be in follower mode
+/// ([`Engine::with_follower`]) and must not carry a WAL of its own (the
+/// primary's log is the durable copy; a follower restarts from a fresh
+/// snapshot).
+///
+/// The thread retries forever on connection loss or refusal — the
+/// follower serves (possibly lag-refusing) reads throughout — and exits
+/// only through [`FollowerHandle::stop`].
+///
+/// # Errors
+/// Fails fast when the engine is not in follower mode or has a WAL
+/// attached; connection errors are retried, not returned.
+pub fn start_follower(engine: Arc<Engine>, spec: FollowerSpec) -> io::Result<FollowerHandle> {
+    if engine.follower().is_none() {
+        return Err(io::Error::other(
+            "engine is not in follower mode (build it with with_follower)",
+        ));
+    }
+    if engine.wal_enabled() {
+        return Err(io::Error::other(
+            "a follower engine must not have its own write-ahead log",
+        ));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = thread::Builder::new()
+        .name("skm-follower-tail".to_string())
+        .spawn(move || tail_loop(&engine, &spec, &stop_flag))?;
+    Ok(FollowerHandle { stop, thread })
+}
+
+/// Reconnect-forever wrapper around [`tail_once`].
+fn tail_loop(engine: &Engine, spec: &FollowerSpec, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match tail_once(engine, spec, stop) {
+            // `tail_once` only returns Ok when the stop flag is set.
+            Ok(()) => break,
+            Err(e) => {
+                if let Some(follower) = engine.follower() {
+                    follower.set_live(false);
+                }
+                eprintln!("skm-serve follower: {e}; retrying");
+                sleep_interruptibly(spec.retry, stop);
+            }
+        }
+    }
+}
+
+/// Sleeps up to `total`, waking early when `stop` flips.
+fn sleep_interruptibly(total: Duration, stop: &AtomicBool) {
+    let step = Duration::from_millis(50);
+    let mut waited = Duration::ZERO;
+    while waited < total && !stop.load(Ordering::SeqCst) {
+        let nap = step.min(total - waited);
+        thread::sleep(nap);
+        waited += nap;
+    }
+}
+
+/// One connection's worth of tailing: subscribe (resuming from the last
+/// applied sequence), then apply frames until the stream breaks or the
+/// stop flag is set.
+fn tail_once(engine: &Engine, spec: &FollowerSpec, stop: &AtomicBool) -> io::Result<()> {
+    let follower = engine
+        .follower()
+        .ok_or_else(|| io::Error::other("follower mode was disabled"))?;
+    let mut builder = Client::builder(spec.primary.as_str())
+        .codec(spec.codec)
+        .connect_timeout(Duration::from_secs(2))
+        // The read timeout doubles as the stop-flag poll interval.
+        .io_timeout(Duration::from_millis(200));
+    if let Some(namespace) = &spec.namespace {
+        builder = builder.namespace(namespace.clone());
+    }
+    let mut client = builder.connect()?;
+    let namespace = spec.namespace.as_deref().unwrap_or(DEFAULT_NAMESPACE);
+    // Resume right after the last applied record; the primary falls back
+    // to a fresh snapshot when that position is already compacted. Before
+    // the first sync, 0 requests an unconditional snapshot.
+    let from_seq = if follower.synced() {
+        follower.applied_seq().saturating_add(1)
+    } else {
+        0
+    };
+    client.replicate(from_seq)?;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let frame = match client.recv() {
+            Ok(frame) => frame,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match frame {
+            Response::ReplicaSnapshot { seq, snapshot, .. } => {
+                engine
+                    .install_replica_snapshot_in(namespace, &snapshot)
+                    .map_err(|e| io::Error::other(format!("cannot install snapshot: {e}")))?;
+                follower.note_snapshot(seq);
+            }
+            Response::Replicate {
+                seq,
+                primary_seq,
+                record,
+            } => {
+                engine
+                    .apply_replication_record_in(namespace, &record)
+                    .map_err(|e| io::Error::other(format!("cannot apply record {seq}: {e}")))?;
+                follower.note_record(seq, primary_seq);
+            }
+            Response::Error { code, message } => {
+                return Err(io::Error::other(format!(
+                    "primary refused replication ({code:?}): {message}"
+                )));
+            }
+            other => {
+                return Err(io::Error::other(format!(
+                    "unexpected replication frame {other:?}"
+                )));
+            }
+        }
+    }
+}

@@ -10,7 +10,8 @@
 //!
 //! * [`protocol`] — the wire protocol model: typed
 //!   [`Request`]/[`Response`] enums (including the revision-1.3
-//!   `Hello` codec handshake), the [`protocol::Freshness`] knob
+//!   `Hello` codec handshake and the revision-1.4 `Replicate`
+//!   subscription), the [`protocol::Freshness`] knob
 //!   (strict vs cached reads), the optional per-request `namespace` field
 //!   (tenant selection; omitted means `"default"`), request limits, and
 //!   the mapping from engine errors to typed [`protocol::ErrorCode`]s.
@@ -28,7 +29,15 @@
 //!   JSON snapshots on disk and restores them bit-identically on next
 //!   touch. The same envelope serves explicit snapshot/restore of the
 //!   complete state (configuration, coreset tree levels, caches, partial
-//!   buckets, RNG positions, published epoch).
+//!   buckets, RNG positions, published epoch). With a write-ahead log
+//!   attached ([`engine::WalConfig`], `skm-wal`), every state-mutating
+//!   request is logged before it applies, group-committed, periodically
+//!   checkpointed, and recovered bit-identically after a crash.
+//! * [`follower`] — follower replicas: a background thread
+//!   ([`start_follower`]) tails a WAL-enabled primary's `Replicate`
+//!   stream and applies it to a read-only engine
+//!   ([`engine::Engine::with_follower`]) that serves cached reads within
+//!   a bounded replication lag.
 //! * [`server`] — the TCP [`Server`] over the *evented* I/O core
 //!   ([`event`]): a small fixed pool of readiness-polling loops with
 //!   per-connection state machines, explicit read/write backpressure, and
@@ -41,7 +50,8 @@
 //!   configurable ingest:query mix, an optional Zipf-skewed multi-tenant
 //!   traffic mix, a choice of wire codec, an idle-connection hold pool,
 //!   and per-request latency collection (feeds the `BENCH_serving.json`
-//!   workload in `skm-bench`).
+//!   workload in `skm-bench`), plus an optional paired follower target
+//!   for cached-read replication benchmarks.
 //!
 //! ## Example
 //!
@@ -74,22 +84,28 @@ pub mod codec;
 mod dispatch;
 pub mod engine;
 pub mod event;
+pub mod follower;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientBuilder, RequestOptions};
 pub use codec::{Codec, CodecKind};
-pub use engine::{BackendKind, Engine, EngineSpec, SnapshotFile, SNAPSHOT_VERSION};
+pub use engine::{
+    BackendKind, Engine, EngineSpec, FollowerStatus, SnapshotFile, WalConfig, SNAPSHOT_VERSION,
+};
+pub use follower::{start_follower, FollowerHandle, FollowerSpec};
 pub use loadgen::{run_load, LoadReport, LoadSpec};
-pub use protocol::{Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE};
+pub use protocol::{
+    Freshness, ReplicationRecord, Request, Response, TenantConfig, DEFAULT_NAMESPACE,
+};
 pub use server::{Server, ServerHandle};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::client::{Client, ClientBuilder, RequestOptions};
     pub use crate::codec::CodecKind;
-    pub use crate::engine::{BackendKind, Engine, EngineSpec};
+    pub use crate::engine::{BackendKind, Engine, EngineSpec, WalConfig};
     pub use crate::loadgen::{run_load, LoadReport, LoadSpec};
     pub use crate::protocol::{
         ErrorCode, Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE,

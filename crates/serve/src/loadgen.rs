@@ -23,7 +23,7 @@
 
 use crate::client::{Client, RequestOptions};
 use crate::codec::CodecKind;
-use crate::protocol::{Freshness, Response};
+use crate::protocol::{ErrorCode, Freshness, Response};
 use std::io;
 use std::net::SocketAddr;
 use std::thread;
@@ -57,6 +57,11 @@ pub struct LoadSpec {
     /// Extra connections opened before the load and held idle across it
     /// (0 disables the idle pool).
     pub idle_conns: usize,
+    /// A follower replica to exercise alongside the primary: every
+    /// interleaved primary query is paired with a **cached** query
+    /// against this address, measuring what a read-scaled deployment
+    /// serves while the primary takes the writes (`None` disables it).
+    pub follower: Option<SocketAddr>,
 }
 
 impl LoadSpec {
@@ -75,6 +80,7 @@ impl LoadSpec {
             zipf_s: 0.0,
             codec: CodecKind::Json,
             idle_conns: 0,
+            follower: None,
         }
     }
 
@@ -126,6 +132,14 @@ impl LoadSpec {
     #[must_use]
     pub fn with_idle_conns(mut self, idle_conns: usize) -> Self {
         self.idle_conns = idle_conns;
+        self
+    }
+
+    /// Pairs every interleaved primary query with a cached query against
+    /// the follower replica at `addr`.
+    #[must_use]
+    pub fn with_follower_of(mut self, addr: SocketAddr) -> Self {
+        self.follower = Some(addr);
         self
     }
 }
@@ -191,6 +205,15 @@ pub struct LoadReport {
     /// Idle connections successfully held open across the whole load
     /// (equals the spec's `idle_conns` on a healthy run).
     pub idle_held: u64,
+    /// One sample per cached `Query` against the follower, in nanoseconds
+    /// (empty without [`LoadSpec::with_follower_of`]).
+    pub follower_query_ns: Vec<f64>,
+    /// Follower queries answered with centers.
+    pub follower_queries: u64,
+    /// Follower queries refused with `ReplicationLag` — expected while
+    /// the follower bootstraps or falls behind its lag bound, so they are
+    /// counted apart from `server_errors`.
+    pub follower_lag_refusals: u64,
 }
 
 impl LoadReport {
@@ -201,6 +224,9 @@ impl LoadReport {
         self.queries += other.queries;
         self.server_errors += other.server_errors;
         self.idle_held += other.idle_held;
+        self.follower_query_ns.extend(other.follower_query_ns);
+        self.follower_queries += other.follower_queries;
+        self.follower_lag_refusals += other.follower_lag_refusals;
     }
 }
 
@@ -222,6 +248,13 @@ fn drive_connection(
     share: Vec<Vec<f64>>,
 ) -> io::Result<LoadReport> {
     let mut client = Client::builder(spec.addr).codec(spec.codec).connect()?;
+    // The follower connection speaks the same codec and targets the same
+    // namespaces as the primary queries; it only ever issues cached reads
+    // (the follower refuses everything else).
+    let mut follower = match spec.follower {
+        Some(addr) => Some(Client::builder(addr).codec(spec.codec).connect()?),
+        None => None,
+    };
     let mut report = LoadReport::default();
     let mut since_query = 0usize;
     // `None` (tenants <= 1) keeps every request namespace-free: the exact
@@ -248,6 +281,9 @@ fn drive_connection(
             // (the options keep its namespace), mirroring a user querying
             // the stream they just fed.
             run_query(&mut client, &options, &mut report)?;
+            if let Some(follower) = &mut follower {
+                run_follower_query(follower, &options, &mut report)?;
+            }
         }
     }
     // Short shares may never reach `query_every` ingest requests; issue one
@@ -255,8 +291,37 @@ fn drive_connection(
     // least one query sample per connection.
     if spec.query_every > 0 && report.query_ns.is_empty() && !share.is_empty() {
         run_query(&mut client, &options, &mut report)?;
+        if let Some(follower) = &mut follower {
+            run_follower_query(follower, &options, &mut report)?;
+        }
     }
     Ok(report)
+}
+
+/// Issues one timed **cached** `Query` against the follower replica,
+/// counting `ReplicationLag` refusals apart from hard errors (a follower
+/// mid-bootstrap or past its lag bound refuses by design).
+fn run_follower_query(
+    client: &mut Client,
+    options: &RequestOptions,
+    report: &mut LoadReport,
+) -> io::Result<()> {
+    let cached = options.clone().with_freshness(Freshness::Cached);
+    let start = Instant::now();
+    let response = client.query_opts(&cached)?;
+    report
+        .follower_query_ns
+        .push(start.elapsed().as_nanos() as f64);
+    match response {
+        Response::Centers { .. } => report.follower_queries += 1,
+        Response::Error {
+            code: ErrorCode::ReplicationLag,
+            ..
+        } => report.follower_lag_refusals += 1,
+        Response::Error { .. } => report.server_errors += 1,
+        _ => {}
+    }
+    Ok(())
 }
 
 /// Issues one timed `Query` request, recording the latency and outcome.
@@ -412,6 +477,7 @@ mod tests {
             queries: 1,
             server_errors: 0,
             idle_held: 0,
+            ..LoadReport::default()
         };
         a.merge(LoadReport {
             ingest_ns: vec![3.0],
@@ -420,9 +486,14 @@ mod tests {
             queries: 0,
             server_errors: 2,
             idle_held: 0,
+            follower_query_ns: vec![4.0],
+            follower_queries: 1,
+            follower_lag_refusals: 2,
         });
         assert_eq!(a.ingest_ns, vec![1.0, 3.0]);
         assert_eq!(a.points_sent, 15);
         assert_eq!(a.server_errors, 2);
+        assert_eq!(a.follower_query_ns, vec![4.0]);
+        assert_eq!((a.follower_queries, a.follower_lag_refusals), (1, 2));
     }
 }

@@ -62,8 +62,9 @@ pub const DEFAULT_NAMESPACE: &str = "default";
 
 /// The protocol revision the server speaks, reported in
 /// [`Response::Hello`]. Revision 1.3 added the `Hello` codec handshake and
-/// the length-prefixed binary framing (see `docs/PROTOCOL.md`).
-pub const PROTOCOL_REVISION: &str = "1.3";
+/// the length-prefixed binary framing; revision 1.4 added the `Replicate`
+/// follower stream and the durability error codes (see `docs/PROTOCOL.md`).
+pub const PROTOCOL_REVISION: &str = "1.4";
 
 /// Maximum accepted namespace length in bytes (long names make poor file
 /// names, and eviction persists one file per tenant).
@@ -166,6 +167,35 @@ impl serde::Deserialize for Freshness {
     }
 }
 
+/// One logged state mutation of a tenant stream: the unit of write-ahead
+/// logging and of primary→follower replication.
+///
+/// The WAL and the `Replicate` stream carry the *inputs* of the stream, not
+/// its outputs: a follower (or crash recovery) re-executes each record
+/// through the same engine code, which reproduces centers, RNG state and
+/// publish epochs bit-identically without ever shipping centers. Strict
+/// queries and strict stats are logged as marker records because they
+/// mutate tenant state (they drain ingest buffers, consume the coordinator
+/// RNG and publish a fresh epoch); cached reads mutate nothing and are not
+/// logged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplicationRecord {
+    /// One ingested point (an accepted `Ingest` request).
+    Ingest {
+        /// The point's coordinates.
+        point: Vec<f64>,
+    },
+    /// One accepted atomic batch (an accepted `IngestBatch` request).
+    IngestBatch {
+        /// The batch's points.
+        points: Vec<Vec<f64>>,
+    },
+    /// A strict query was executed (publishes an epoch, consumes RNG).
+    Query {},
+    /// Strict stats were collected (drains ingest buffers).
+    Stats {},
+}
+
 /// Per-tenant engine settings carried by [`Request::Configure`]. Every
 /// field is optional; an omitted field keeps the server's default for that
 /// setting.
@@ -253,6 +283,21 @@ pub enum Request {
     /// Stop the server: the connection is answered with [`Response::Bye`]
     /// and the accept loop shuts down cleanly.
     Shutdown {},
+    /// Subscribe this connection to one tenant's replication stream (a
+    /// follower tailing a WAL-enabled primary). The connection is answered
+    /// with a [`Response::ReplicaSnapshot`] (or resumes at `from_seq` when
+    /// the primary still holds that position in its durable tail) and then
+    /// receives a [`Response::Replicate`] frame per logged record, pushed
+    /// as records become durable; it accepts no further requests. Requires
+    /// the primary to run with a WAL ([`ErrorCode::ReplicationLag`]
+    /// otherwise).
+    Replicate {
+        /// Tenant stream to follow; `None` means [`DEFAULT_NAMESPACE`].
+        namespace: Option<String>,
+        /// First sequence number the follower still needs; `0` requests a
+        /// fresh snapshot unconditionally.
+        from_seq: u64,
+    },
 }
 
 /// Hand-written serializer: optional fields (`namespace`, the `Configure`
@@ -315,6 +360,14 @@ impl serde::Serialize for Request {
                 variant("Snapshot", fields)
             }
             Request::Shutdown {} => variant("Shutdown", Vec::new()),
+            Request::Replicate {
+                namespace,
+                from_seq,
+            } => {
+                let mut fields = vec![("from_seq".to_string(), from_seq.to_value())];
+                push_opt(&mut fields, "namespace", namespace);
+                variant("Replicate", fields)
+            }
         }
     }
 }
@@ -389,6 +442,10 @@ impl serde::Deserialize for Request {
                 namespace: opt_field(map, "namespace")?,
             }),
             "Shutdown" => Ok(Request::Shutdown {}),
+            "Replicate" => Ok(Request::Replicate {
+                namespace: opt_field(map, "namespace")?,
+                from_seq: opt_field(map, "from_seq")?.unwrap_or(0),
+            }),
             other => Err(serde::Error::custom(format!(
                 "unknown variant `{other}` for Request"
             ))),
@@ -456,6 +513,30 @@ pub enum Response {
     },
     /// Answer to a [`Request::Shutdown`]; the server stops accepting.
     Bye {},
+    /// First frame of a replication stream: the tenant's full state at
+    /// `seq`, from which the follower bootstraps before applying
+    /// [`Response::Replicate`] frames.
+    ReplicaSnapshot {
+        /// Every logged record with sequence number `<= seq` is folded
+        /// into this snapshot; replication resumes at `seq + 1`.
+        seq: u64,
+        /// The tenant's published epoch at the snapshot point (0 when
+        /// nothing is published yet).
+        epoch: u64,
+        /// The versioned engine snapshot envelope (the same JSON document
+        /// `Snapshot` writes to disk).
+        snapshot: String,
+    },
+    /// One logged record pushed to a replication-stream connection.
+    Replicate {
+        /// Sequence number of this record in the tenant's log.
+        seq: u64,
+        /// Highest durable sequence number on the primary when this frame
+        /// was sent; `primary_seq - seq` bounds the follower's lag.
+        primary_seq: u64,
+        /// The replayable state mutation.
+        record: ReplicationRecord,
+    },
     /// A request failed; the engine state is unchanged (for ingest
     /// requests: no point of the failed request was consumed).
     Error {
@@ -505,6 +586,16 @@ pub enum ErrorCode {
     FrameTooLarge,
     /// An unexpected server-side failure.
     Internal,
+    /// Replication is unavailable or too far behind: a `Replicate` request
+    /// against a primary without a WAL, a write or strict read sent to a
+    /// follower (writes must go to the primary), or a follower answering a
+    /// cached read while its lag exceeds its configured bound.
+    ReplicationLag,
+    /// The write-ahead log failed a checksum or structural check: the
+    /// on-disk state is damaged in a way a torn trailing write cannot
+    /// explain, and the affected tenant refuses writes rather than
+    /// diverging from its log.
+    WalCorrupt,
 }
 
 /// Maps an engine error to the wire-level failure class.
@@ -519,6 +610,8 @@ pub fn error_code(e: &ClusteringError) -> ErrorCode {
             "namespace" => ErrorCode::BadNamespace,
             "tenant_limit" => ErrorCode::TenantLimit,
             "tenant_exists" => ErrorCode::TenantExists,
+            "replication_lag" => ErrorCode::ReplicationLag,
+            "wal_corrupt" => ErrorCode::WalCorrupt,
             _ => ErrorCode::Internal,
         },
         _ => ErrorCode::Internal,
@@ -634,6 +727,14 @@ mod tests {
                 namespace: Some("tenant-a".to_string()),
             },
             Request::Shutdown {},
+            Request::Replicate {
+                namespace: None,
+                from_seq: 0,
+            },
+            Request::Replicate {
+                namespace: Some("tenant-a".to_string()),
+                from_seq: 118,
+            },
         ];
         for req in requests {
             let line = req.to_line();
@@ -735,6 +836,34 @@ mod tests {
     }
 
     #[test]
+    fn replicate_from_seq_defaults_to_zero() {
+        // `from_seq` is optional on the wire: a follower that wants a
+        // fresh snapshot can send the bare variant.
+        for line in [
+            r#"{"Replicate":{}}"#,
+            r#"{"Replicate":{"from_seq":null}}"#,
+            r#"{"Replicate":{"from_seq":0}}"#,
+        ] {
+            assert_eq!(
+                Request::from_line(line).unwrap(),
+                Request::Replicate {
+                    namespace: None,
+                    from_seq: 0,
+                },
+                "{line}"
+            );
+        }
+        assert_eq!(
+            Request::from_line(r#"{"Replicate":{"namespace":"t1","from_seq":9}}"#).unwrap(),
+            Request::Replicate {
+                namespace: Some("t1".to_string()),
+                from_seq: 9,
+            }
+        );
+        assert!(Request::from_line(r#"{"Replicate":{"from_seq":"nine"}}"#).is_err());
+    }
+
+    #[test]
     fn namespace_validation_rejects_path_escapes() {
         for ok in ["default", "tenant-a", "t0", "a.b", "UPPER_case.9"] {
             assert!(validate_namespace(ok).is_ok(), "{ok}");
@@ -789,6 +918,35 @@ mod tests {
                 bytes: 12345,
             },
             Response::Bye {},
+            Response::ReplicaSnapshot {
+                seq: 42,
+                epoch: 3,
+                snapshot: r#"{"snapshot_version":3}"#.to_string(),
+            },
+            Response::Replicate {
+                seq: 43,
+                primary_seq: 45,
+                record: ReplicationRecord::Ingest {
+                    point: vec![1.0, 2.0],
+                },
+            },
+            Response::Replicate {
+                seq: 44,
+                primary_seq: 45,
+                record: ReplicationRecord::IngestBatch {
+                    points: vec![vec![0.5], vec![1.5]],
+                },
+            },
+            Response::Replicate {
+                seq: 45,
+                primary_seq: 45,
+                record: ReplicationRecord::Query {},
+            },
+            Response::Replicate {
+                seq: 46,
+                primary_seq: 46,
+                record: ReplicationRecord::Stats {},
+            },
             Response::Error {
                 code: ErrorCode::DimensionMismatch,
                 message: "expected 2, got 3".to_string(),
@@ -796,6 +954,14 @@ mod tests {
             Response::Error {
                 code: ErrorCode::BadNamespace,
                 message: "namespace `../x` escapes".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::ReplicationLag,
+                message: "writes must go to the primary".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::WalCorrupt,
+                message: "crc mismatch".to_string(),
             },
         ];
         for resp in responses {
@@ -892,6 +1058,20 @@ mod tests {
                 message: "resident".to_string()
             }),
             ErrorCode::TenantExists
+        );
+        assert_eq!(
+            error_code(&ClusteringError::InvalidParameter {
+                name: "replication_lag",
+                message: "follower".to_string()
+            }),
+            ErrorCode::ReplicationLag
+        );
+        assert_eq!(
+            error_code(&ClusteringError::InvalidParameter {
+                name: "wal_corrupt",
+                message: "crc".to_string()
+            }),
+            ErrorCode::WalCorrupt
         );
         assert_eq!(
             error_code(&ClusteringError::InvalidK { k: 0 }),

@@ -30,6 +30,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 /// A bound, not-yet-running server.
 #[derive(Debug)]
@@ -38,6 +39,7 @@ pub struct Server {
     engine: Arc<Engine>,
     snapshot_dir: Option<PathBuf>,
     shutdown: Arc<AtomicBool>,
+    idle_evict: Option<Duration>,
 }
 
 /// Control handle for a server running on a background thread
@@ -68,7 +70,19 @@ impl Server {
             engine,
             snapshot_dir,
             shutdown: Arc::new(AtomicBool::new(false)),
+            idle_evict: None,
         })
+    }
+
+    /// Pages out tenants that have gone untouched for `max_idle`
+    /// (builder-style). The sweep runs about once a second on the
+    /// listener loop; paged-out tenants are restored transparently on
+    /// their next request. Only effective when the engine can page to
+    /// disk (WAL or eviction directory).
+    #[must_use]
+    pub fn with_idle_evict(mut self, max_idle: Duration) -> Self {
+        self.idle_evict = Some(max_idle);
+        self
     }
 
     /// The address the server is listening on (resolves port 0).
@@ -85,7 +99,13 @@ impl Server {
     /// # Errors
     /// Propagates accept-loop socket errors.
     pub fn run(self) -> io::Result<()> {
-        run_evented(self.listener, self.engine, self.snapshot_dir, self.shutdown)
+        run_evented(
+            self.listener,
+            self.engine,
+            self.snapshot_dir,
+            self.shutdown,
+            self.idle_evict,
+        )
     }
 
     /// Moves the server onto a background thread and returns a control

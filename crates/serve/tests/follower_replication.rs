@@ -1,0 +1,253 @@
+//! TCP end-to-end acceptance for follower replicas: a second server tails
+//! a WAL-enabled primary over the wire, applies the stream, and serves
+//! cached reads that converge — bit-identically — to the primary's
+//! published answers within the lag bound, while refusing everything a
+//! follower must refuse.
+
+use skm_serve::engine::WalConfig;
+use skm_serve::follower::{start_follower, FollowerSpec};
+use skm_serve::prelude::*;
+use skm_serve::ReplicationRecord;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn config() -> StreamConfig {
+    StreamConfig::new(2)
+        .with_bucket_size(20)
+        .with_kmeans_runs(1)
+        .with_lloyd_iterations(2)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skm-follower-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn feed(client: &mut Client, n: usize, offset: f64) {
+    for i in 0..n {
+        let x = if i.is_multiple_of(2) { 0.0 } else { 60.0 };
+        match client
+            .ingest(vec![x + offset, (i % 5) as f64 * 0.1])
+            .unwrap()
+        {
+            Response::Ingested { .. } => {}
+            other => panic!("ingest answered {other:?}"),
+        }
+    }
+}
+
+/// Strict query on the primary: recomputes, publishes a fresh epoch, and
+/// (because the primary logs strict-read markers) ships that recompute to
+/// the follower too.
+fn strict_centers(client: &mut Client) -> (Vec<Vec<f64>>, u64) {
+    match client.query().unwrap() {
+        Response::Centers { centers, epoch, .. } => (centers, epoch),
+        other => panic!("strict query answered {other:?}"),
+    }
+}
+
+/// Polls the follower's cached read until it publishes `epoch`, returning
+/// the centers it serves at that epoch.
+fn await_follower_epoch(client: &mut Client, epoch: u64, deadline: Duration) -> Vec<Vec<f64>> {
+    let start = Instant::now();
+    loop {
+        match client.query_opts(&RequestOptions::cached()).unwrap() {
+            Response::Centers {
+                centers,
+                epoch: seen,
+                ..
+            } if seen == epoch => return centers,
+            Response::Centers { epoch: seen, .. } => {
+                assert!(seen < epoch, "follower ran ahead: epoch {seen} > {epoch}");
+            }
+            // ReplicationLag while bootstrapping is expected; anything
+            // else is not.
+            Response::Error {
+                code: ErrorCode::ReplicationLag,
+                ..
+            } => {}
+            other => panic!("follower cached query answered {other:?}"),
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "follower did not reach epoch {epoch} within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn follower_tails_the_primary_and_serves_its_published_answers() {
+    let dir = temp_dir("e2e");
+
+    // Primary: WAL on, fsync on every append so records become durable —
+    // and therefore replicable — immediately.
+    let primary_engine = Arc::new(
+        Engine::new(&EngineSpec::sharded_cc(config(), 2, 8, 7))
+            .unwrap()
+            .with_wal(WalConfig::new(dir.clone()).with_fsync_ms(0))
+            .unwrap(),
+    );
+    let primary = Server::bind("127.0.0.1:0", Arc::clone(&primary_engine), None)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    // Follower: read-only replica of the default tenant, generous lag
+    // bound (the convergence assertions below are exact, not lag-based).
+    let follower_engine = Arc::new(
+        Engine::new(&EngineSpec::sharded_cc(config(), 2, 8, 7))
+            .unwrap()
+            .with_follower(1_000_000),
+    );
+    let tail = start_follower(
+        Arc::clone(&follower_engine),
+        FollowerSpec::new(primary.addr().to_string()).with_retry(Duration::from_millis(50)),
+    )
+    .unwrap();
+    let follower = Server::bind("127.0.0.1:0", Arc::clone(&follower_engine), None)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    let mut writer = Client::connect(primary.addr()).unwrap();
+    let mut reader = Client::connect(follower.addr()).unwrap();
+
+    // Epoch 1: feed, strict-query the primary, and wait for the follower
+    // to serve the same answer from its cache.
+    feed(&mut writer, 120, 0.0);
+    let (centers_1, epoch_1) = strict_centers(&mut writer);
+    assert_eq!(epoch_1, 1);
+    let follower_1 = await_follower_epoch(&mut reader, epoch_1, Duration::from_secs(10));
+    assert_eq!(
+        follower_1, centers_1,
+        "epoch 1 centers must be bit-identical"
+    );
+
+    // The stream keeps flowing after bootstrap: epoch 2 converges too.
+    feed(&mut writer, 80, 1.0);
+    let (centers_2, epoch_2) = strict_centers(&mut writer);
+    assert_eq!(epoch_2, 2);
+    let follower_2 = await_follower_epoch(&mut reader, epoch_2, Duration::from_secs(10));
+    assert_eq!(
+        follower_2, centers_2,
+        "epoch 2 centers must be bit-identical"
+    );
+
+    // A follower refuses writes and strict reads with the typed code.
+    for refused in [
+        reader.ingest(vec![1.0, 2.0]).unwrap(),
+        reader.query().unwrap(),
+    ] {
+        match refused {
+            Response::Error {
+                code: ErrorCode::ReplicationLag,
+                ..
+            } => {}
+            other => panic!("follower accepted a refused request: {other:?}"),
+        }
+    }
+    // Strict stats are refused too (the typed error surfaces as io::Error
+    // through the convenience accessor).
+    assert!(reader.stats().is_err(), "strict stats must be refused");
+
+    // Cached stats serve from the replicated state.
+    let stats = reader.stats_opts(&RequestOptions::cached()).unwrap();
+    assert_eq!(stats.points_seen, 200);
+
+    reader.shutdown().unwrap();
+    follower.shutdown().unwrap();
+    tail.stop();
+    writer.shutdown().unwrap();
+    primary.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn follower_refuses_cached_reads_before_first_sync() {
+    // No tailing thread at all: the follower never syncs, so every read
+    // path answers ReplicationLag rather than serving a cold tenant.
+    let engine = Arc::new(
+        Engine::new(&EngineSpec::sharded_cc(config(), 2, 8, 7))
+            .unwrap()
+            .with_follower(0),
+    );
+    let server = Server::bind("127.0.0.1:0", engine, None)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for response in [
+        client.query_opts(&RequestOptions::cached()).unwrap(),
+        client.query().unwrap(),
+        client.ingest(vec![1.0, 2.0]).unwrap(),
+        client.ingest_batch(vec![vec![1.0, 2.0]]).unwrap(),
+    ] {
+        match response {
+            Response::Error {
+                code: ErrorCode::ReplicationLag,
+                ..
+            } => {}
+            other => panic!("unsynced follower answered {other:?}"),
+        }
+    }
+    client.shutdown().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn raw_replicate_subscription_streams_snapshot_then_records() {
+    let dir = temp_dir("raw");
+    let engine = Arc::new(
+        Engine::new(&EngineSpec::sharded_cc(config(), 2, 8, 7))
+            .unwrap()
+            .with_wal(WalConfig::new(dir.clone()).with_fsync_ms(0))
+            .unwrap(),
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), None)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    let mut writer = Client::connect(server.addr()).unwrap();
+    feed(&mut writer, 10, 0.0);
+
+    let mut subscriber = Client::builder(server.addr())
+        .io_timeout(Duration::from_secs(5))
+        .connect()
+        .unwrap();
+    subscriber.replicate(0).unwrap();
+    let bootstrap_seq = match subscriber.recv().unwrap() {
+        Response::ReplicaSnapshot { seq, snapshot, .. } => {
+            assert!(snapshot.contains("snapshot_version"));
+            assert!(
+                seq >= 10,
+                "snapshot covers the 10 logged ingests, got {seq}"
+            );
+            seq
+        }
+        other => panic!("subscription opened with {other:?}"),
+    };
+
+    // A write after the subscription arrives as a pushed record.
+    writer.ingest(vec![3.0, 4.0]).unwrap();
+    match subscriber.recv().unwrap() {
+        Response::Replicate {
+            seq,
+            primary_seq,
+            record: ReplicationRecord::Ingest { point },
+        } => {
+            assert_eq!(seq, bootstrap_seq + 1);
+            assert!(primary_seq >= seq);
+            assert_eq!(point, vec![3.0, 4.0]);
+        }
+        other => panic!("expected a pushed Ingest record, got {other:?}"),
+    }
+
+    writer.shutdown().unwrap();
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

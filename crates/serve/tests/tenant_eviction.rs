@@ -5,8 +5,11 @@
 
 use skm_serve::engine::{evict_file_name, BackendKind, Engine, EngineSpec};
 use skm_serve::protocol::Freshness;
+use skm_serve::{Client, RequestOptions, Response, Server};
 use skm_stream::StreamConfig;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn spec(kind: BackendKind, seed: u64, shards: usize, batch: usize) -> EngineSpec {
     EngineSpec {
@@ -177,6 +180,59 @@ fn the_cap_is_hard_without_an_eviction_directory() {
     // The existing tenants keep working.
     feed_range(&engine, "a", 10..20, 0.0);
     assert_eq!(engine.points_seen_in("a").unwrap(), 20);
+}
+
+/// The server's timer-driven idle sweep (`--idle-evict-secs` on the CLI,
+/// [`Server::with_idle_evict`] in-process) pages a quiet tenant out to
+/// disk without any client traffic, and the next touch restores it with
+/// its published answer intact.
+#[test]
+fn the_server_sweeps_idle_tenants_to_disk_and_restores_them_on_touch() {
+    let dir = temp_dir("idle-sweep");
+    let engine = Arc::new(
+        Engine::with_options(&spec(BackendKind::ShardedCc, 7, 2, 8), 8, Some(dir.clone())).unwrap(),
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), None)
+        .unwrap()
+        .with_idle_evict(Duration::from_millis(200))
+        .spawn()
+        .unwrap();
+
+    let mut client = Client::builder(server.addr())
+        .namespace("x")
+        .connect()
+        .unwrap();
+    for i in 0..120 {
+        client.ingest(point(i, 0.0).to_vec()).unwrap();
+    }
+    let published = match client.query().unwrap() {
+        Response::Centers { centers, epoch, .. } => (centers, epoch),
+        other => panic!("strict query answered {other:?}"),
+    };
+
+    // No traffic at all now: the sweep alone must page `x` out.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !engine.is_evicted_to_disk("x") {
+        assert!(
+            Instant::now() < deadline,
+            "idle sweep never paged the quiet tenant out"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(dir.join(evict_file_name("x")).exists());
+
+    // The next cached read restores it transparently, answer intact.
+    match client.query_opts(&RequestOptions::cached()).unwrap() {
+        Response::Centers { centers, epoch, .. } => {
+            assert_eq!((centers, epoch), published, "restore changed the answer");
+        }
+        other => panic!("cached query after restore answered {other:?}"),
+    }
+    assert!(!engine.is_evicted_to_disk("x"));
+
+    client.shutdown().unwrap();
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Cached reads also restore an evicted tenant (the published slot is part

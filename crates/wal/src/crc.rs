@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant): the
+//! per-record integrity check. Table-driven, table built at compile time.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        // lint:allow(panic-freedom) const-time table fill; i < 256 by the loop bound
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `data` (IEEE, reflected, init/final XOR `0xFFFF_FFFF`).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let index = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        // Table is 256 entries and the index is masked to 8 bits.
+        let entry = TABLE.get(index).copied().unwrap_or(0);
+        crc = (crc >> 8) ^ entry;
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"hello world");
+        let mut flipped = *b"hello world";
+        flipped[3] ^= 0x01;
+        assert_ne!(base, crc32(&flipped));
+    }
+}
