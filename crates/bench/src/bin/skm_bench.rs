@@ -20,6 +20,7 @@ use skm_bench::durability::measure_durability_workload;
 use skm_bench::report::{
     compare_reports, measure_workload, write_baseline, write_reports, BaselineFile, WorkloadReport,
 };
+use skm_bench::scenarios::measure_scenarios_workload;
 use skm_bench::serving::measure_serving_workload;
 use skm_bench::sharded::measure_sharded_workload;
 use skm_bench::{BenchArgs, DatasetSpec};
@@ -41,6 +42,7 @@ fn read_fresh_reports(
     sharded: bool,
     serving: bool,
     durability: bool,
+    scenarios: bool,
 ) -> Result<Vec<WorkloadReport>, String> {
     let mut names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
     if sharded {
@@ -51,6 +53,9 @@ fn read_fresh_reports(
     }
     if durability {
         names.push(skm_bench::DURABILITY_WORKLOAD.to_string());
+    }
+    if scenarios {
+        names.push(skm_bench::SCENARIOS_WORKLOAD.to_string());
     }
     let mut reports = Vec::new();
     for name in &names {
@@ -137,7 +142,14 @@ fn main() -> ExitCode {
             eprintln!("--guard-only requires --json DIR (where to load reports from)");
             return ExitCode::FAILURE;
         };
-        match read_fresh_reports(dir, &specs, args.sharded, args.serving, args.durability) {
+        match read_fresh_reports(
+            dir,
+            &specs,
+            args.sharded,
+            args.serving,
+            args.durability,
+            args.scenarios,
+        ) {
             Ok(reports) => reports,
             Err(e) => {
                 eprintln!("{e}");
@@ -190,6 +202,18 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("durability benchmark failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if args.scenarios {
+            match measure_scenarios_workload(args.points, args.k, args.seed) {
+                Ok(report) => {
+                    print_summary(&report);
+                    reports.push(report);
+                }
+                Err(e) => {
+                    eprintln!("scenarios benchmark failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

@@ -31,6 +31,8 @@
 //!                     the TCP serving workload (BENCH_serving.json)
 //! --durability        additionally measure (or, with --guard-only, load)
 //!                     the write-ahead-log cost grid (BENCH_durability.json)
+//! --scenarios         additionally measure (or, with --guard-only, load)
+//!                     the adversarial hostile-stream grid (BENCH_scenarios.json)
 //! ```
 
 use crate::workloads::DatasetSpec;
@@ -67,6 +69,9 @@ pub struct BenchArgs {
     /// Also measure (or, with `guard_only`, load) the write-ahead-log cost
     /// grid (`BENCH_durability.json`).
     pub durability: bool,
+    /// Also measure (or, with `guard_only`, load) the adversarial
+    /// hostile-stream grid (`BENCH_scenarios.json`).
+    pub scenarios: bool,
     /// Hard parse errors (a report-pipeline flag missing its value). The
     /// `skm-bench` binary refuses to run when this is non-empty — a guard
     /// invocation that silently dropped `--check` would green-light
@@ -90,6 +95,7 @@ impl Default for BenchArgs {
             sharded: false,
             serving: false,
             durability: false,
+            scenarios: false,
             errors: Vec::new(),
         }
     }
@@ -168,6 +174,7 @@ impl BenchArgs {
                 "--sharded" => parsed.sharded = true,
                 "--serving" => parsed.serving = true,
                 "--durability" => parsed.durability = true,
+                "--scenarios" => parsed.scenarios = true,
                 "--baseline-out" => {
                     parsed.baseline_out =
                         take_path_value(&mut iter, "--baseline-out", &mut parsed.errors);
@@ -292,6 +299,12 @@ mod tests {
     fn durability_flag_parses() {
         assert!(parse(&["--durability"]).durability);
         assert!(!parse(&[]).durability);
+    }
+
+    #[test]
+    fn scenarios_flag_parses() {
+        assert!(parse(&["--scenarios"]).scenarios);
+        assert!(!parse(&[]).scenarios);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`durability`] — the write-ahead-log cost grid
 //!   (`BENCH_durability.json`, fsync interval × ingest batch on the
 //!   in-process engine, plus a cold-recovery cell),
+//! * [`scenarios`] — the adversarial hostile-stream grid
+//!   (`BENCH_scenarios.json`, one cell per `skm_data::hostile`
+//!   generator),
 //! * [`cli`] — the tiny flag parser shared by the figure/table binaries.
 //!
 //! Each figure or table of the paper has a dedicated binary in `src/bin/`
@@ -34,6 +37,7 @@ pub mod durability;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 pub mod serving;
 pub mod sharded;
 pub mod tables;
@@ -46,6 +50,7 @@ pub use report::{
     Regression, WorkloadReport,
 };
 pub use runner::{make_algorithm, run_stream, AlgorithmKind, StreamRunResult};
+pub use scenarios::{measure_scenarios_workload, SCENARIOS_WORKLOAD};
 pub use serving::{measure_serving_workload, SERVING_WORKLOAD};
 pub use sharded::{measure_sharded_workload, SHARDED_WORKLOAD};
 pub use workloads::{build_dataset, DatasetSpec};

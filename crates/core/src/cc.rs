@@ -195,6 +195,44 @@ impl CachedCoresetTree {
             }
         }
     }
+
+    /// Candidate points for a time-scoped window over the most recent
+    /// `last_points` stream points: the suffix of active *tree* buckets
+    /// whose spans intersect the window, plus the partial base bucket.
+    /// The coreset cache is keyed by prefix right-endpoints (`[1, e]`), so
+    /// suffix windows bypass it — selection is pure bookkeeping with no
+    /// merge and no RNG use. The `u64` reports the exact (bucket-granular)
+    /// coverage.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] before the first point and
+    /// an `InvalidParameter { name: "window" }` error for invalid windows.
+    pub fn query_window_candidates(
+        &mut self,
+        last_points: u64,
+    ) -> Result<(PointBlock, QueryStats, u64)> {
+        crate::driver::window_candidates_from_suffix(
+            &self.tree.active_coresets(),
+            self.tree.buckets_inserted(),
+            self.config.bucket_size,
+            &self.buffer,
+            last_points,
+        )
+    }
+
+    /// The coverage a windowed query over the most recent `last_points`
+    /// points would report, computed from span arithmetic alone (no merge,
+    /// no RNG, no cache traffic). `0` before the first point.
+    #[must_use]
+    pub fn window_coverage(&self, last_points: u64) -> u64 {
+        crate::driver::window_coverage_from_suffix(
+            &self.tree.active_coresets(),
+            self.tree.buckets_inserted(),
+            self.config.bucket_size,
+            &self.buffer,
+            last_points,
+        )
+    }
 }
 
 impl StreamingClusterer for CachedCoresetTree {
@@ -234,6 +272,32 @@ impl StreamingClusterer for CachedCoresetTree {
             &self.config,
             &mut self.rng,
         )?;
+        self.last_stats = Some(result.stats);
+        Ok(result)
+    }
+
+    fn query_window_clustering(&mut self, last_points: u64) -> Result<ClusteringResult> {
+        crate::clusterer::validate_window_points(last_points)?;
+        if self.buffer.points_seen() == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        if last_points >= self.buffer.points_seen() {
+            // Whole-stream windows take the ordinary (cached) query path,
+            // bit-identical to an un-windowed query.
+            return self.query_clustering();
+        }
+        let (candidates, stats, covered) = self.query_window_candidates(last_points)?;
+        let mut result = extract_clustering_result(
+            &candidates,
+            stats,
+            self.buffer.points_seen(),
+            &self.config,
+            &mut self.rng,
+        )?;
+        result.window = Some(crate::publish::WindowInfo {
+            last_points,
+            covered_points: covered,
+        });
         self.last_stats = Some(result.stats);
         Ok(result)
     }

@@ -7,7 +7,7 @@
 
 use crate::publish::ClusteringResult;
 use serde::{Deserialize, Serialize};
-use skm_clustering::error::Result;
+use skm_clustering::error::{ClusteringError, Result};
 use skm_clustering::Centers;
 
 /// A streaming k-means clusterer: consumes points one at a time and answers
@@ -99,6 +99,44 @@ pub trait StreamingClusterer {
             cost: f64::NAN,
             points_seen: self.points_seen(),
             stats: self.last_query_stats().unwrap_or_default(),
+            window: None,
+        })
+    }
+
+    /// Runs a time-scoped query covering (at least) the most recent
+    /// `last_points` stream points, answered from the algorithm's stored
+    /// summary structure — no recomputation from raw history.
+    ///
+    /// A window spanning the whole stream (`last_points >=`
+    /// [`points_seen`]) is answered by the ordinary whole-stream
+    /// [`query_clustering`] path, bit-identically to never having asked
+    /// for a window. Smaller windows select the suffix of stored summaries
+    /// (buckets/coresets, plus the partial base bucket) that covers the
+    /// window; the answer's [`ClusteringResult::window`] reports the exact
+    /// coverage, which is bucket-granular and may exceed `last_points`.
+    ///
+    /// The default implementation supports only the trivial whole-stream
+    /// window and reports an `InvalidParameter { name: "window" }` error
+    /// otherwise; the coreset-tree algorithms (CT, CC, RCC, sharded) and
+    /// CluStream override it.
+    ///
+    /// # Errors
+    /// Returns an error when `last_points == 0`, when no points have been
+    /// observed, or when the backend cannot answer windowed queries.
+    ///
+    /// [`points_seen`]: StreamingClusterer::points_seen
+    /// [`query_clustering`]: StreamingClusterer::query_clustering
+    fn query_window_clustering(&mut self, last_points: u64) -> Result<ClusteringResult> {
+        validate_window_points(last_points)?;
+        if last_points >= self.points_seen() && self.points_seen() > 0 {
+            return self.query_clustering();
+        }
+        Err(ClusteringError::InvalidParameter {
+            name: "window",
+            message: format!(
+                "the {} backend cannot answer windows smaller than the whole stream",
+                self.name()
+            ),
         })
     }
 
@@ -125,6 +163,24 @@ pub trait StreamingClusterer {
     fn last_query_stats(&self) -> Option<QueryStats> {
         None
     }
+}
+
+/// Rejects a zero-length window before it can reach any summary-selection
+/// arithmetic. Shared by every [`StreamingClusterer::query_window_clustering`]
+/// implementation so the error (`InvalidParameter { name: "window" }`, which
+/// serving layers map to their typed bad-window code) is identical across
+/// backends.
+///
+/// # Errors
+/// Returns [`ClusteringError::InvalidParameter`] when `last_points == 0`.
+pub fn validate_window_points(last_points: u64) -> Result<()> {
+    if last_points == 0 {
+        return Err(ClusteringError::InvalidParameter {
+            name: "window",
+            message: "window must cover at least one point".to_string(),
+        });
+    }
+    Ok(())
 }
 
 /// Diagnostics about a single clustering query, used to validate the

@@ -19,6 +19,7 @@
 use crate::clusterer::{QueryStats, StreamingClusterer};
 use crate::config::StreamConfig;
 use crate::driver::extract_centers;
+use crate::publish::ClusteringResult;
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use skm_clustering::distance::squared_distance;
@@ -34,14 +35,20 @@ struct MicroCluster {
     linear_sum: Vec<f64>,
     /// Sum of squared norms `Σ ‖x‖²` (sufficient for the RMS radius).
     squared_norm_sum: f64,
+    /// Arrival index (1-based) of the most recent point absorbed; merges
+    /// keep the max. This is the CluStream temporal component reduced to
+    /// what time-scoped window queries need: selecting every micro-cluster
+    /// that can contain a window point.
+    last_update: u64,
 }
 
 impl MicroCluster {
-    fn from_point(point: &[f64]) -> Self {
+    fn from_point(point: &[f64], now: u64) -> Self {
         Self {
             count: 1.0,
             linear_sum: point.to_vec(),
             squared_norm_sum: point.iter().map(|x| x * x).sum(),
+            last_update: now,
         }
     }
 
@@ -60,12 +67,13 @@ impl MicroCluster {
         variance.sqrt()
     }
 
-    fn absorb(&mut self, point: &[f64]) {
+    fn absorb(&mut self, point: &[f64], now: u64) {
         self.count += 1.0;
         for (s, x) in self.linear_sum.iter_mut().zip(point) {
             *s += x;
         }
         self.squared_norm_sum += point.iter().map(|x| x * x).sum::<f64>();
+        self.last_update = now;
     }
 
     fn merge(&mut self, other: &MicroCluster) {
@@ -74,6 +82,7 @@ impl MicroCluster {
             *s += o;
         }
         self.squared_norm_sum += other.squared_norm_sum;
+        self.last_update = self.last_update.max(other.last_update);
     }
 }
 
@@ -231,13 +240,15 @@ impl StreamingClusterer for CluStream {
                 }
             };
             if boundary > 0.0 && d2.sqrt() <= boundary {
-                self.micro_clusters[idx].absorb(point);
+                let now = self.points_seen;
+                self.micro_clusters[idx].absorb(point, now);
                 return Ok(());
             }
         }
         // Start a new micro-cluster; stay within budget by merging the
         // closest pair.
-        self.micro_clusters.push(MicroCluster::from_point(point));
+        self.micro_clusters
+            .push(MicroCluster::from_point(point, self.points_seen));
         if self.micro_clusters.len() > self.max_micro_clusters {
             self.merge_closest_pair();
         }
@@ -258,6 +269,58 @@ impl StreamingClusterer for CluStream {
             ran_kmeans: true,
         });
         Ok(centers)
+    }
+
+    fn query_window_clustering(&mut self, last_points: u64) -> Result<ClusteringResult> {
+        crate::clusterer::validate_window_points(last_points)?;
+        if self.points_seen == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        if last_points >= self.points_seen {
+            // Whole-stream windows take the ordinary query path,
+            // bit-identical to an un-windowed query.
+            return self.query_clustering();
+        }
+        // Every window point was absorbed into a micro-cluster whose
+        // recency stamp is at least that point's arrival index, so
+        // selecting by stamp covers the window; older points absorbed into
+        // the same micro-clusters widen the coverage, which is reported
+        // honestly (like the coreset backends' bucket granularity).
+        let cutoff = self.points_seen - last_points;
+        let dim = self.dim.unwrap_or(1);
+        let mut summary = PointSet::with_capacity(dim, self.micro_clusters.len());
+        let mut covered = 0.0f64;
+        for mc in &self.micro_clusters {
+            if mc.last_update > cutoff {
+                summary.push(&mc.centroid(), mc.count);
+                covered += mc.count;
+            }
+        }
+        if summary.is_empty() {
+            // Unreachable — the most recent arrival always stamps its
+            // micro-cluster past any strict cutoff — but refuse rather
+            // than panic inside k-means++ if the invariant ever breaks.
+            return Err(ClusteringError::EmptyInput);
+        }
+        let centers = extract_centers(&summary, &self.config, &mut self.rng)?;
+        let stats = QueryStats {
+            coresets_merged: 0,
+            candidate_points: summary.len(),
+            coreset_level: None,
+            used_cache: false,
+            ran_kmeans: true,
+        };
+        self.last_stats = Some(stats);
+        Ok(ClusteringResult {
+            centers,
+            cost: f64::NAN,
+            points_seen: self.points_seen,
+            stats,
+            window: Some(crate::publish::WindowInfo {
+                last_points,
+                covered_points: covered as u64,
+            }),
+        })
     }
 
     fn memory_points(&self) -> usize {
@@ -360,15 +423,47 @@ mod tests {
 
     #[test]
     fn micro_cluster_cf_algebra() {
-        let mut mc = MicroCluster::from_point(&[1.0, 1.0]);
-        mc.absorb(&[3.0, 1.0]);
+        let mut mc = MicroCluster::from_point(&[1.0, 1.0], 1);
+        mc.absorb(&[3.0, 1.0], 2);
         assert_eq!(mc.count, 2.0);
         assert_eq!(mc.centroid(), vec![2.0, 1.0]);
+        assert_eq!(mc.last_update, 2);
         // Points are at distance 1 from the centroid -> RMS radius 1.
         assert!((mc.rms_radius() - 1.0).abs() < 1e-9);
-        let other = MicroCluster::from_point(&[2.0, 4.0]);
+        let other = MicroCluster::from_point(&[2.0, 4.0], 5);
         mc.merge(&other);
         assert_eq!(mc.count, 3.0);
         assert_eq!(mc.centroid(), vec![2.0, 2.0]);
+        // Merges keep the most recent stamp.
+        assert_eq!(mc.last_update, 5);
+    }
+
+    #[test]
+    fn window_query_selects_recent_micro_clusters() {
+        let mut c = CluStream::new(config(2), 11).unwrap();
+        // Phase 1: a blob at the origin; phase 2: a blob far away. A window
+        // covering only phase 2 must answer from phase-2 micro-clusters.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..500 {
+            c.update(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+        }
+        for _ in 0..500 {
+            c.update(&[100.0 + rng.gen::<f64>(), 100.0 + rng.gen::<f64>()])
+                .unwrap();
+        }
+        let result = c.query_window_clustering(400).unwrap();
+        let info = result.window.unwrap();
+        assert_eq!(info.last_points, 400);
+        assert!(info.covered_points >= 400, "coverage {info:?}");
+        // Every returned center sits on the recent blob, not the origin.
+        for center in result.centers.iter() {
+            assert!(center[0] > 50.0, "stale center {center:?}");
+            assert!(center[1] > 50.0, "stale center {center:?}");
+        }
+        // A whole-stream window is the ordinary query (no window info).
+        let whole = c.query_window_clustering(10_000).unwrap();
+        assert!(whole.window.is_none());
+        // Zero windows are rejected.
+        assert!(c.query_window_clustering(0).is_err());
     }
 }

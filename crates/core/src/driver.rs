@@ -306,6 +306,152 @@ pub fn candidate_cost(candidates: &PointBlock, centers: &Centers) -> Result<f64>
     Ok(assign_block(candidates, centers)?.cost)
 }
 
+/// Selects the query-time candidate set for a time-scoped window covering
+/// the most recent `last_points` stream points, from a backend's stored
+/// summary suffix — the shared window driver of CT, CC and RCC (and, per
+/// shard, of the sharded stream).
+///
+/// `active` is the backend's list of stored coresets, oldest first, whose
+/// spans partition `[1, buckets_inserted]` (the digit-invariant layout all
+/// tree-shaped backends maintain). The window maps to base buckets: with
+/// `b` points in the partial bucket, the most recent `last_points` points
+/// occupy the partial bucket plus the last `ceil((last_points - b) / m)`
+/// base buckets, and the selected candidates are every stored coreset whose
+/// span intersects that suffix. Coverage is therefore bucket-granular and
+/// widens to the span boundaries of whatever merged coresets the structure
+/// already holds; the returned `u64` reports the exact number of covered
+/// points. Windows that fit entirely inside the partial bucket are answered
+/// exactly (point-granular) from its most recent rows.
+///
+/// Selection is pure bookkeeping — no merge, no RNG — so interleaving
+/// windowed and whole-stream queries perturbs neither.
+///
+/// # Errors
+/// Returns [`ClusteringError::InvalidParameter`] when `last_points` is zero
+/// or does not name a strict sub-window (callers normalize whole-stream
+/// windows to the ordinary query path first), and
+/// [`ClusteringError::EmptyInput`] when nothing has been observed.
+pub(crate) fn window_candidates_from_suffix(
+    active: &[&skm_coreset::coreset::Coreset],
+    buckets_inserted: u64,
+    bucket_size: usize,
+    buffer: &BucketBuffer,
+    last_points: u64,
+) -> Result<(PointBlock, crate::clusterer::QueryStats, u64)> {
+    crate::clusterer::validate_window_points(last_points)?;
+    let total = buffer.points_seen();
+    if total == 0 {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if last_points >= total {
+        return Err(ClusteringError::InvalidParameter {
+            name: "window",
+            message: "whole-stream windows take the ordinary query path".to_string(),
+        });
+    }
+    let buffered = buffer.buffered_points() as u64;
+    let dim = buffer.dim().unwrap_or(1);
+
+    // The window fits inside the partial base bucket: answer exactly from
+    // its most recent rows (they are raw points, so no bucket granularity
+    // applies).
+    if last_points <= buffered {
+        let partial = buffer.partial().ok_or(ClusteringError::EmptyInput)?;
+        let skip = partial.len() - last_points as usize;
+        let mut block = PointBlock::with_capacity(dim, last_points as usize);
+        for i in skip..partial.len() {
+            block.push(partial.point(i), partial.weight(i));
+        }
+        let stats = crate::clusterer::QueryStats {
+            coresets_merged: 1,
+            candidate_points: block.len(),
+            coreset_level: Some(0),
+            used_cache: false,
+            ran_kmeans: true,
+        };
+        return Ok((block, stats, last_points));
+    }
+
+    // `last_points < total = buckets_inserted * m + buffered`, so the
+    // flushed part of the window spans at most `buckets_inserted` buckets.
+    let needed_flushed = last_points - buffered;
+    let m = bucket_size as u64;
+    let needed_buckets = needed_flushed.div_ceil(m);
+    debug_assert!(needed_buckets <= buckets_inserted);
+    let first_needed = buckets_inserted - needed_buckets + 1;
+
+    let selected: Vec<&skm_coreset::coreset::Coreset> = active
+        .iter()
+        .filter(|c| c.span().end() >= first_needed)
+        .copied()
+        .collect();
+    let mut merged = 0usize;
+    let mut max_level = 0u32;
+    let mut first_covered = buckets_inserted + 1;
+    let total_points: usize = selected.iter().map(|c| c.len()).sum();
+    let mut block = PointBlock::with_capacity(dim, total_points + buffered as usize);
+    for c in &selected {
+        block.extend_from_set(c.points())?;
+        merged += 1;
+        max_level = max_level.max(c.level());
+        first_covered = first_covered.min(c.span().start());
+    }
+    let covered_flushed = (buckets_inserted + 1 - first_covered) * m;
+    if let Some(partial) = buffer.partial() {
+        if !partial.is_empty() {
+            block.extend_from_block(partial)?;
+            merged += 1;
+        }
+    }
+    let stats = crate::clusterer::QueryStats {
+        coresets_merged: merged,
+        candidate_points: block.len(),
+        coreset_level: Some(max_level),
+        used_cache: false,
+        ran_kmeans: true,
+    };
+    Ok((block, stats, covered_flushed + buffered))
+}
+
+/// The coverage a [`window_candidates_from_suffix`] call would report,
+/// without materializing any candidate block: pure span arithmetic over the
+/// stored coresets. Windowed stats use this so they stay exactly as
+/// side-effect-free as plain stats (no merge, no RNG, no cache traffic) —
+/// a requirement for WAL replay equivalence, since stats are logged as
+/// plain markers.
+///
+/// Returns the shard/stream total when `last_points` covers the whole
+/// stream, and `0` when nothing has been observed.
+pub(crate) fn window_coverage_from_suffix(
+    active: &[&skm_coreset::coreset::Coreset],
+    buckets_inserted: u64,
+    bucket_size: usize,
+    buffer: &BucketBuffer,
+    last_points: u64,
+) -> u64 {
+    let total = buffer.points_seen();
+    if total == 0 || last_points == 0 {
+        return 0;
+    }
+    if last_points >= total {
+        return total;
+    }
+    let buffered = buffer.buffered_points() as u64;
+    if last_points <= buffered {
+        return last_points;
+    }
+    let m = bucket_size as u64;
+    let needed_buckets = (last_points - buffered).div_ceil(m);
+    let first_needed = buckets_inserted - needed_buckets + 1;
+    let first_covered = active
+        .iter()
+        .filter(|c| c.span().end() >= first_needed)
+        .map(|c| c.span().start())
+        .min()
+        .unwrap_or(buckets_inserted + 1);
+    (buckets_inserted + 1 - first_covered) * m + buffered
+}
+
 /// The shared tail of every backend's [`query_clustering`]: extract centers
 /// from the candidate block ([`extract_centers_block`]), estimate their
 /// cost on the same candidates ([`candidate_cost`] — deterministic, after
@@ -327,6 +473,7 @@ pub(crate) fn extract_clustering_result<R: Rng + ?Sized>(
         cost,
         points_seen,
         stats,
+        window: None,
     })
 }
 

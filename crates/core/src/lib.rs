@@ -77,14 +77,14 @@ pub mod shard;
 
 pub use batch::BatchKMeansPP;
 pub use cc::CachedCoresetTree;
-pub use clusterer::{QueryStats, StreamingClusterer};
+pub use clusterer::{validate_window_points, QueryStats, StreamingClusterer};
 pub use clustream::CluStream;
 pub use config::StreamConfig;
 pub use ct::CoresetTreeClusterer;
 pub use decay::DecayedSequentialKMeans;
 pub use kmedian_stream::KMedianCC;
 pub use online_cc::OnlineCC;
-pub use publish::{ClusteringResult, PublishSlot, PublishedClustering};
+pub use publish::{ClusteringResult, PublishSlot, PublishedClustering, WindowInfo};
 pub use rcc::RecursiveCachedTree;
 pub use sequential::SequentialKMeans;
 pub use shard::{ShardClusterer, ShardedStream, ShardedStreamState, StreamStats};
@@ -100,7 +100,7 @@ pub mod prelude {
     pub use crate::decay::DecayedSequentialKMeans;
     pub use crate::kmedian_stream::KMedianCC;
     pub use crate::online_cc::OnlineCC;
-    pub use crate::publish::{ClusteringResult, PublishSlot, PublishedClustering};
+    pub use crate::publish::{ClusteringResult, PublishSlot, PublishedClustering, WindowInfo};
     pub use crate::rcc::RecursiveCachedTree;
     pub use crate::sequential::SequentialKMeans;
     pub use crate::shard::{ShardClusterer, ShardedStream, ShardedStreamState, StreamStats};

@@ -255,6 +255,7 @@ impl StreamingClusterer for OnlineCC {
                         cost: self.phi_now,
                         points_seen,
                         stats: self.last_stats.unwrap_or_default(),
+                        window: None,
                     })
                 } else {
                     // Fast path: O(1) — return the sequentially maintained
@@ -273,6 +274,7 @@ impl StreamingClusterer for OnlineCC {
                         cost: self.phi_now,
                         points_seen,
                         stats,
+                        window: None,
                     })
                 }
             }

@@ -33,9 +33,30 @@
 //! no request-visible critical section.
 
 use crate::clusterer::QueryStats;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use skm_clustering::Centers;
 use std::sync::{Arc, PoisonError, RwLock};
+
+/// Scope of a time-windowed query answer: how many of the most recent
+/// stream points the caller asked for, and how many the selected summary
+/// structures actually cover.
+///
+/// Windows are answered from the *existing* bucket/coreset state, so
+/// coverage is bucket-granular: the answer covers the smallest suffix of
+/// stored summaries that contains the requested window, which means
+/// `covered_points >= last_points` (never less). `covered_points` equal to
+/// the stream length means the stored structure could not isolate a
+/// smaller suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowInfo {
+    /// The requested window, resolved to a point count (`last_secs`
+    /// windows are resolved against the tenant's arrival history before
+    /// reaching the clusterer).
+    pub last_points: u64,
+    /// Points actually covered by the summaries the answer was derived
+    /// from (bucket-granular over-approximation of `last_points`).
+    pub covered_points: u64,
+}
 
 /// One complete query answer, as produced by
 /// [`StreamingClusterer::query_clustering`](crate::StreamingClusterer::query_clustering) —
@@ -52,6 +73,8 @@ pub struct ClusteringResult {
     pub points_seen: u64,
     /// Diagnostics of the query that produced this answer.
     pub stats: QueryStats,
+    /// The time window this answer covers (`None` = the whole stream).
+    pub window: Option<WindowInfo>,
 }
 
 /// An epoch-stamped, immutable query answer published through a
@@ -60,7 +83,7 @@ pub struct ClusteringResult {
 /// Serializable so engine snapshots can persist the currently published
 /// value: a restored engine republishes the same epoch and centers instead
 /// of starting readers from an empty slot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PublishedClustering {
     /// Publish sequence number: 1 for the first publish of a slot, and
     /// strictly increasing afterwards (restores continue the sequence).
@@ -74,6 +97,8 @@ pub struct PublishedClustering {
     pub points_seen: u64,
     /// Diagnostics of the query that produced this answer.
     pub stats: QueryStats,
+    /// The time window this answer covers (`None` = the whole stream).
+    pub window: Option<WindowInfo>,
 }
 
 impl PublishedClustering {
@@ -85,7 +110,49 @@ impl PublishedClustering {
             cost: result.cost,
             points_seen: result.points_seen,
             stats: result.stats,
+            window: result.window,
         }
+    }
+}
+
+// Serialization is hand-written (not derived) so the `window` field is
+// *omitted* when absent: whole-stream snapshots keep their pre-window byte
+// layout, and snapshots written before windows existed restore cleanly
+// (a missing `window` field reads back as `None`).
+impl Serialize for PublishedClustering {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("epoch".to_string(), self.epoch.to_value()),
+            ("centers".to_string(), self.centers.to_value()),
+            ("cost".to_string(), self.cost.to_value()),
+            ("points_seen".to_string(), self.points_seen.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+        ];
+        if let Some(window) = &self.window {
+            map.push(("window".to_string(), window.to_value()));
+        }
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for PublishedClustering {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let map = match value {
+            Value::Map(m) => m,
+            _ => return Err(serde::Error::custom("expected map for PublishedClustering")),
+        };
+        let window = match map.iter().find(|(k, _)| k == "window") {
+            Some((_, Value::Null)) | None => None,
+            Some((_, v)) => Some(WindowInfo::from_value(v)?),
+        };
+        Ok(Self {
+            epoch: Deserialize::from_value(serde::get_field(map, "epoch")?)?,
+            centers: Deserialize::from_value(serde::get_field(map, "centers")?)?,
+            cost: Deserialize::from_value(serde::get_field(map, "cost")?)?,
+            points_seen: Deserialize::from_value(serde::get_field(map, "points_seen")?)?,
+            stats: Deserialize::from_value(serde::get_field(map, "stats")?)?,
+            window,
+        })
     }
 }
 
@@ -160,6 +227,7 @@ mod tests {
             cost: 3.5,
             points_seen,
             stats: QueryStats::default(),
+            window: None,
         }
     }
 
@@ -205,8 +273,40 @@ mod tests {
         let slot = PublishSlot::new();
         let published = slot.publish(result(42)).as_ref().clone();
         let json = serde_json::to_string(&published).unwrap();
+        // Whole-stream answers keep the pre-window byte layout.
+        assert!(!json.contains("window"));
         let back: PublishedClustering = serde_json::from_str(&json).unwrap();
         assert_eq!(back, published);
+    }
+
+    #[test]
+    fn windowed_published_value_round_trips_and_old_snapshots_restore() {
+        let slot = PublishSlot::new();
+        let mut windowed = result(42);
+        windowed.window = Some(WindowInfo {
+            last_points: 10,
+            covered_points: 16,
+        });
+        let published = slot.publish(windowed).as_ref().clone();
+        let json = serde_json::to_string(&published).unwrap();
+        assert!(json.contains("\"window\""));
+        let back: PublishedClustering = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, published);
+        assert_eq!(
+            back.window,
+            Some(WindowInfo {
+                last_points: 10,
+                covered_points: 16,
+            })
+        );
+
+        // A snapshot written before windows existed (no `window` key) must
+        // restore with `window: None` — this pins snapshot back-compat.
+        let stripped = json.replace(",\"window\":{\"last_points\":10,\"covered_points\":16}", "");
+        assert_ne!(stripped, json, "window key should have been removable");
+        let old: PublishedClustering = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.window, None);
+        assert_eq!(old.centers, published.centers);
     }
 
     #[test]

@@ -212,6 +212,22 @@ impl RccNode {
         Ok(Some((reduced, merged_count)))
     }
 
+    /// The stored coresets of this node's outer lists, oldest first
+    /// (highest level down to level 0). Their spans partition
+    /// `[1, buckets_inserted]` by the digit invariant, which is what the
+    /// window driver needs; inner recursive structures mirror the lists'
+    /// contents and are deliberately excluded (including them would count
+    /// the same buckets twice).
+    fn list_coresets(&self) -> Vec<&Coreset> {
+        let mut out = Vec::new();
+        for level in self.levels.iter().rev() {
+            for c in &level.list {
+                out.push(c);
+            }
+        }
+        out
+    }
+
     /// Points stored in lists, caches and recursive structures.
     fn stored_points(&self) -> usize {
         let lists: usize = self
@@ -395,6 +411,43 @@ impl RecursiveCachedTree {
             }
         }
     }
+
+    /// Candidate points for a time-scoped window over the most recent
+    /// `last_points` stream points: the suffix of the top-level outer-list
+    /// coresets whose spans intersect the window, plus the partial base
+    /// bucket. Caches and inner recursive structures are bypassed (they
+    /// summarize prefixes, not suffixes), so selection uses no RNG. The
+    /// `u64` reports the exact (bucket-granular) coverage.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] before the first point and
+    /// an `InvalidParameter { name: "window" }` error for invalid windows.
+    pub fn query_window_candidates(
+        &mut self,
+        last_points: u64,
+    ) -> Result<(PointBlock, QueryStats, u64)> {
+        crate::driver::window_candidates_from_suffix(
+            &self.node.list_coresets(),
+            self.node.buckets_inserted,
+            self.config.bucket_size,
+            &self.buffer,
+            last_points,
+        )
+    }
+
+    /// The coverage a windowed query over the most recent `last_points`
+    /// points would report, computed from span arithmetic alone (no merge,
+    /// no RNG, no cache traffic). `0` before the first point.
+    #[must_use]
+    pub fn window_coverage(&self, last_points: u64) -> u64 {
+        crate::driver::window_coverage_from_suffix(
+            &self.node.list_coresets(),
+            self.node.buckets_inserted,
+            self.config.bucket_size,
+            &self.buffer,
+            last_points,
+        )
+    }
 }
 
 /// `r_ι = 2^(2^ι)` with overflow protection.
@@ -448,6 +501,32 @@ impl StreamingClusterer for RecursiveCachedTree {
             &self.config,
             &mut self.rng,
         )?;
+        self.last_stats = Some(result.stats);
+        Ok(result)
+    }
+
+    fn query_window_clustering(&mut self, last_points: u64) -> Result<ClusteringResult> {
+        crate::clusterer::validate_window_points(last_points)?;
+        if self.buffer.points_seen() == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        if last_points >= self.buffer.points_seen() {
+            // Whole-stream windows take the ordinary (recursive, cached)
+            // query path, bit-identical to an un-windowed query.
+            return self.query_clustering();
+        }
+        let (candidates, stats, covered) = self.query_window_candidates(last_points)?;
+        let mut result = extract_clustering_result(
+            &candidates,
+            stats,
+            self.buffer.points_seen(),
+            &self.config,
+            &mut self.rng,
+        )?;
+        result.window = Some(crate::publish::WindowInfo {
+            last_points,
+            covered_points: covered,
+        });
         self.last_stats = Some(result.stats);
         Ok(result)
     }

@@ -82,11 +82,50 @@ pub trait ShardClusterer: StreamingClusterer + Clone + Send + 'static {
     /// Returns [`ClusteringError::EmptyInput`] when the shard has seen no
     /// points (the coordinator skips such shards).
     fn shard_candidates(&mut self) -> Result<(PointBlock, QueryStats)>;
+
+    /// The candidate points covering (at least) this shard's most recent
+    /// `last_points` points, plus diagnostics and the exact number of
+    /// points covered (bucket-granular, `>= last_points`). A window
+    /// spanning the shard's whole sub-stream falls back to
+    /// [`shard_candidates`](ShardClusterer::shard_candidates), with
+    /// coverage equal to the shard's point count.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] when the shard has seen no
+    /// points, and window-validation errors for `last_points == 0`.
+    fn shard_window_candidates(
+        &mut self,
+        last_points: u64,
+    ) -> Result<(PointBlock, QueryStats, u64)>;
+
+    /// The coverage [`shard_window_candidates`] would report for this
+    /// window, computed without touching any state (no merge, no RNG, no
+    /// cache traffic). `0` when the shard is empty.
+    ///
+    /// [`shard_window_candidates`]: ShardClusterer::shard_window_candidates
+    fn shard_window_coverage(&self, last_points: u64) -> u64;
 }
 
 impl ShardClusterer for CoresetTreeClusterer {
     fn shard_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
         self.query_candidates()
+    }
+
+    fn shard_window_candidates(
+        &mut self,
+        last_points: u64,
+    ) -> Result<(PointBlock, QueryStats, u64)> {
+        crate::clusterer::validate_window_points(last_points)?;
+        if last_points >= self.points_seen() {
+            let seen = self.points_seen();
+            let (block, stats) = self.query_candidates()?;
+            return Ok((block, stats, seen));
+        }
+        self.query_window_candidates(last_points)
+    }
+
+    fn shard_window_coverage(&self, last_points: u64) -> u64 {
+        self.window_coverage(last_points)
     }
 }
 
@@ -94,11 +133,45 @@ impl ShardClusterer for CachedCoresetTree {
     fn shard_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
         self.query_candidates()
     }
+
+    fn shard_window_candidates(
+        &mut self,
+        last_points: u64,
+    ) -> Result<(PointBlock, QueryStats, u64)> {
+        crate::clusterer::validate_window_points(last_points)?;
+        if last_points >= self.points_seen() {
+            let seen = self.points_seen();
+            let (block, stats) = self.query_candidates()?;
+            return Ok((block, stats, seen));
+        }
+        self.query_window_candidates(last_points)
+    }
+
+    fn shard_window_coverage(&self, last_points: u64) -> u64 {
+        self.window_coverage(last_points)
+    }
 }
 
 impl ShardClusterer for RecursiveCachedTree {
     fn shard_candidates(&mut self) -> Result<(PointBlock, QueryStats)> {
         self.query_candidates()
+    }
+
+    fn shard_window_candidates(
+        &mut self,
+        last_points: u64,
+    ) -> Result<(PointBlock, QueryStats, u64)> {
+        crate::clusterer::validate_window_points(last_points)?;
+        if last_points >= self.points_seen() {
+            let seen = self.points_seen();
+            let (block, stats) = self.query_candidates()?;
+            return Ok((block, stats, seen));
+        }
+        self.query_window_candidates(last_points)
+    }
+
+    fn shard_window_coverage(&self, last_points: u64) -> u64 {
+        self.window_coverage(last_points)
     }
 }
 
@@ -113,9 +186,25 @@ enum ShardCmd<C> {
     Query {
         reply: mpsc::Sender<Result<Option<(PointBlock, QueryStats)>>>,
     },
+    /// Produce the shard's candidate coreset for its most recent
+    /// `last_points` points (`None` when the shard is empty), together
+    /// with the exact point coverage. FIFO-ordered like `Query`.
+    WindowQuery {
+        last_points: u64,
+        reply: mpsc::Sender<Result<Option<(PointBlock, QueryStats, u64)>>>,
+    },
     /// Report `(memory_points, points_seen)`; also used as a cheap barrier
     /// that drains the shard's queue.
     Stats { reply: mpsc::Sender<(usize, u64)> },
+    /// Report how many points the shard's stored summaries would cover for
+    /// a window over its most recent `last_points` points — pure span
+    /// arithmetic, no merge, no RNG, no state change (windowed stats must
+    /// be as side-effect-free as plain stats, or WAL replay equivalence
+    /// breaks).
+    WindowCoverage {
+        last_points: u64,
+        reply: mpsc::Sender<u64>,
+    },
     /// Ship a clone of the clusterer's current state back to the
     /// coordinator (snapshot support). Ordered behind all previously sent
     /// batches, so the clone covers every point routed to this shard.
@@ -146,8 +235,19 @@ fn shard_worker<C: ShardClusterer>(mut clusterer: C, commands: &mpsc::Receiver<S
                 };
                 let _ = reply.send(response);
             }
+            ShardCmd::WindowQuery { last_points, reply } => {
+                let response = match &failed {
+                    Some(e) => Err(e.clone()),
+                    None if clusterer.points_seen() == 0 => Ok(None),
+                    None => clusterer.shard_window_candidates(last_points).map(Some),
+                };
+                let _ = reply.send(response);
+            }
             ShardCmd::Stats { reply } => {
                 let _ = reply.send((clusterer.memory_points(), clusterer.points_seen()));
+            }
+            ShardCmd::WindowCoverage { last_points, reply } => {
+                let _ = reply.send(clusterer.shard_window_coverage(last_points));
             }
             ShardCmd::Snapshot { reply } => {
                 let response = match &failed {
@@ -518,6 +618,148 @@ impl<C: ShardClusterer> ShardedStream<C> {
         Ok(self.publish.publish(result))
     }
 
+    /// How many of the most recent `last_points` arrivals were routed to
+    /// each shard. Points are routed round-robin by arrival index, so the
+    /// window splits into `last_points / shards` per shard plus one extra
+    /// for the `last_points % shards` shards that received the most recent
+    /// arrivals (walking backwards from the next-arrival cursor).
+    fn window_points_per_shard(&self, last_points: u64) -> Vec<u64> {
+        let shards = self.shards();
+        let mut counts = vec![last_points / shards as u64; shards];
+        let rem = (last_points % shards as u64) as usize;
+        for back in 1..=rem {
+            // lint:allow(panic-freedom) index is reduced mod `shards` == counts.len()
+            counts[(self.next_shard + shards - back) % shards] += 1;
+        }
+        counts
+    }
+
+    /// Runs a strict *windowed* query over the most recent `last_points`
+    /// stream points: the window is split across shards by the round-robin
+    /// arrival arithmetic, each involved shard contributes the summary
+    /// suffix covering its slice, and the union feeds the same k-means++
+    /// extraction as [`query_published`](ShardedStream::query_published).
+    /// The published answer carries a [`crate::publish::WindowInfo`] with the exact
+    /// (bucket-granular) coverage summed across shards.
+    ///
+    /// Windows of `points_seen` or more are normalized to the ordinary
+    /// whole-stream query — same answer bytes, same RNG trajectory, and a
+    /// `window`-free published value.
+    ///
+    /// # Errors
+    /// Returns [`ClusteringError::EmptyInput`] before the first point,
+    /// `InvalidParameter { name: "window" }` for `last_points == 0`, and
+    /// propagates lost-worker failures.
+    pub fn query_window_published(&mut self, last_points: u64) -> Result<Arc<PublishedClustering>> {
+        crate::clusterer::validate_window_points(last_points)?;
+        if self.points_seen == 0 {
+            return Err(ClusteringError::EmptyInput);
+        }
+        if last_points >= self.points_seen {
+            return self.query_published();
+        }
+        let counts = self.window_points_per_shard(last_points);
+        for shard in 0..self.shards() {
+            self.flush_shard(shard)?;
+        }
+        let mut replies = Vec::with_capacity(self.shards());
+        for ((shard, sender), &count) in self.senders.iter().enumerate().zip(&counts) {
+            if count == 0 {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(ShardCmd::WindowQuery {
+                    last_points: count,
+                    reply: tx,
+                })
+                .map_err(|_| shard_disconnected(shard))?;
+            replies.push((shard, rx));
+        }
+        // Collect in shard order for a deterministic merged block.
+        let mut blocks = Vec::with_capacity(replies.len());
+        let mut merged = 0usize;
+        let mut level: Option<u32> = None;
+        let mut used_cache = false;
+        let mut covered = 0u64;
+        for (shard, rx) in replies {
+            let response = rx.recv().map_err(|_| shard_disconnected(shard))?;
+            if let Some((block, stats, shard_covered)) = response? {
+                merged += stats.coresets_merged;
+                level = level.max(stats.coreset_level);
+                used_cache |= stats.used_cache;
+                covered += shard_covered;
+                blocks.push(block);
+            }
+        }
+        let candidates = union_blocks(&blocks)?;
+        let stats = QueryStats {
+            coresets_merged: merged,
+            candidate_points: candidates.len(),
+            coreset_level: level,
+            used_cache,
+            ran_kmeans: true,
+        };
+        let mut result = extract_clustering_result(
+            &candidates,
+            stats,
+            self.points_seen,
+            &self.config,
+            &mut self.rng,
+        )?;
+        result.window = Some(crate::publish::WindowInfo {
+            last_points,
+            covered_points: covered,
+        });
+        self.last_stats = Some(result.stats);
+        Ok(self.publish.publish(result))
+    }
+
+    /// The coverage [`query_window_published`] would report for this
+    /// window, summed across shards, without running any query: pure span
+    /// arithmetic in each worker, no merge, no RNG, no cache traffic.
+    /// Windowed stats rely on this staying exactly as side-effect-free as
+    /// plain stats. Windows of `points_seen` or more cover the whole
+    /// stream.
+    ///
+    /// # Errors
+    /// Returns `InvalidParameter { name: "window" }` for `last_points == 0`
+    /// and lost-worker failures; `Ok(0)` before the first point.
+    ///
+    /// [`query_window_published`]: ShardedStream::query_window_published
+    pub fn window_coverage(&mut self, last_points: u64) -> Result<u64> {
+        crate::clusterer::validate_window_points(last_points)?;
+        if self.points_seen == 0 {
+            return Ok(0);
+        }
+        if last_points >= self.points_seen {
+            return Ok(self.points_seen);
+        }
+        let counts = self.window_points_per_shard(last_points);
+        for shard in 0..self.shards() {
+            self.flush_shard(shard)?;
+        }
+        let mut replies = Vec::with_capacity(self.shards());
+        for ((shard, sender), &count) in self.senders.iter().enumerate().zip(&counts) {
+            if count == 0 {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(ShardCmd::WindowCoverage {
+                    last_points: count,
+                    reply: tx,
+                })
+                .map_err(|_| shard_disconnected(shard))?;
+            replies.push((shard, rx));
+        }
+        let mut covered = 0u64;
+        for (shard, rx) in replies {
+            covered += rx.recv().map_err(|_| shard_disconnected(shard))?;
+        }
+        Ok(covered)
+    }
+
     /// Aggregated per-shard statistics: total and per-shard point counts
     /// plus the most recent query's diagnostics.
     ///
@@ -735,6 +977,18 @@ impl<C: ShardClusterer> StreamingClusterer for ShardedStream<C> {
             cost: published.cost,
             points_seen: published.points_seen,
             stats: published.stats,
+            window: published.window,
+        })
+    }
+
+    fn query_window_clustering(&mut self, last_points: u64) -> Result<ClusteringResult> {
+        let published = self.query_window_published(last_points)?;
+        Ok(ClusteringResult {
+            centers: published.centers.clone(),
+            cost: published.cost,
+            points_seen: published.points_seen,
+            stats: published.stats,
+            window: published.window,
         })
     }
 

@@ -1,0 +1,222 @@
+//! Window-query semantics shared by every backend that stores a summary
+//! structure: whole-stream windows are bit-identical to un-windowed
+//! queries, strict sub-windows cover at least the requested points, the
+//! answer tracks stream drift, and the whole machinery is deterministic
+//! for a fixed `(seed, shards, batch, window)`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use skm_stream::prelude::*;
+
+fn config(k: usize, m: usize) -> StreamConfig {
+    StreamConfig::new(k)
+        .with_bucket_size(m)
+        .with_kmeans_runs(1)
+        .with_lloyd_iterations(2)
+}
+
+/// Two-phase drift stream: `n1` points near the origin, then `n2` points
+/// near (100, 100).
+fn drift_points(n1: usize, n2: usize, seed: u64) -> Vec<[f64; 2]> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n1 + n2);
+    for _ in 0..n1 {
+        out.push([rng.gen::<f64>(), rng.gen::<f64>()]);
+    }
+    for _ in 0..n2 {
+        out.push([100.0 + rng.gen::<f64>(), 100.0 + rng.gen::<f64>()]);
+    }
+    out
+}
+
+fn feed(clusterer: &mut dyn StreamingClusterer, points: &[[f64; 2]]) {
+    for p in points {
+        clusterer.update(p).unwrap();
+    }
+}
+
+fn assert_window_semantics(mut make: impl FnMut() -> Box<dyn StreamingClusterer>) {
+    // Long enough that a 300-point window maps to a short bucket suffix in
+    // every backend geometry under test (bucket 40, up to 3 shards), so the
+    // bucket-granular coverage stays well below the stream length.
+    let points = drift_points(1200, 1200, 42);
+
+    // Whole-stream window == omitted window, bit for bit (same RNG
+    // trajectory, so also same answer on a *subsequent* query).
+    let mut a = make();
+    let mut b = make();
+    feed(a.as_mut(), &points);
+    feed(b.as_mut(), &points);
+    let whole = a.query_window_clustering(u64::MAX).unwrap();
+    let plain = b.query_clustering().unwrap();
+    assert_eq!(whole.centers, plain.centers);
+    assert!(whole.window.is_none());
+    // The RNG trajectory matched too: a subsequent pair still agrees.
+    let whole2 = a.query_window_clustering(2_000_000).unwrap();
+    let plain2 = b.query_clustering().unwrap();
+    assert_eq!(whole2.centers, plain2.centers);
+
+    // A strict sub-window covering the drifted tail answers from recent
+    // summaries: coverage >= requested, and centers sit on the new blob.
+    let mut c = make();
+    feed(c.as_mut(), &points);
+    let windowed = c.query_window_clustering(300).unwrap();
+    let info = windowed.window.expect("sub-window must report coverage");
+    assert_eq!(info.last_points, 300);
+    assert!(
+        info.covered_points >= 300,
+        "coverage {} < window 300",
+        info.covered_points
+    );
+    assert!(
+        info.covered_points < 2400,
+        "coverage {} should not span the whole stream",
+        info.covered_points
+    );
+    for center in windowed.centers.iter() {
+        assert!(
+            center[0] > 50.0 && center[1] > 50.0,
+            "windowed center {center:?} sits on stale data"
+        );
+    }
+
+    // Determinism: a fresh identically-seeded instance answers the same
+    // window bit-identically.
+    let mut d = make();
+    feed(d.as_mut(), &points);
+    let again = d.query_window_clustering(300).unwrap();
+    assert_eq!(again.centers, windowed.centers);
+    assert_eq!(again.window, windowed.window);
+
+    // Zero windows are rejected; windowed queries on an empty stream fail.
+    assert!(c.query_window_clustering(0).is_err());
+    let mut empty = make();
+    assert!(empty.query_window_clustering(10).is_err());
+}
+
+#[test]
+fn ct_window_semantics() {
+    assert_window_semantics(|| Box::new(CoresetTreeClusterer::new(config(2, 40), 7).unwrap()));
+}
+
+#[test]
+fn cc_window_semantics() {
+    assert_window_semantics(|| Box::new(CachedCoresetTree::new(config(2, 40), 7).unwrap()));
+}
+
+#[test]
+fn rcc_window_semantics() {
+    assert_window_semantics(|| Box::new(RecursiveCachedTree::new(config(2, 40), 2, 7).unwrap()));
+}
+
+#[test]
+fn sharded_window_semantics() {
+    assert_window_semantics(|| Box::new(ShardedStream::cc(config(2, 40), 3, 32, 7).unwrap()));
+}
+
+#[test]
+fn window_inside_partial_bucket_is_exact() {
+    // Bucket size 100, only 60 points seen: a 20-point window fits in the
+    // partial bucket and is answered exactly (coverage == window).
+    let mut cc = CachedCoresetTree::new(config(2, 100), 3).unwrap();
+    let points = drift_points(30, 30, 5);
+    feed(&mut cc, &points);
+    let result = cc.query_window_clustering(20).unwrap();
+    let info = result.window.unwrap();
+    assert_eq!(info.last_points, 20);
+    assert_eq!(info.covered_points, 20);
+}
+
+#[test]
+fn interleaved_coverage_probes_do_not_perturb_whole_stream_answers() {
+    // Coverage probes are pure span arithmetic (windowed *stats* ride on
+    // them), so interleaving any number of them leaves the whole-stream
+    // answer bit-identical to a probe-free run. Windowed *queries* do
+    // consume the shared k-means++ RNG — that is why the serving WAL logs
+    // them as their own record type — so they are exercised separately
+    // below via identical interleavings on both sides.
+    let points = drift_points(500, 500, 17);
+    let mut with_probes = CachedCoresetTree::new(config(2, 40), 7).unwrap();
+    let mut without = CachedCoresetTree::new(config(2, 40), 7).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        with_probes.update(p).unwrap();
+        without.update(p).unwrap();
+        if i == 400 || i == 800 {
+            let covered = with_probes.window_coverage(50);
+            assert!(covered >= 50);
+        }
+    }
+    let a = with_probes.query_clustering().unwrap();
+    let b = without.query_clustering().unwrap();
+    assert_eq!(a.centers, b.centers);
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+}
+
+#[test]
+fn interleaved_window_queries_replay_deterministically() {
+    // A windowed query advances the query RNG, so two streams that run the
+    // *same* interleaving of updates, windowed queries and whole-stream
+    // queries agree bit-for-bit at every step — the property WAL replay
+    // relies on once windowed reads are logged.
+    let points = drift_points(500, 500, 17);
+    let mut live = CachedCoresetTree::new(config(2, 40), 7).unwrap();
+    let mut replayed = CachedCoresetTree::new(config(2, 40), 7).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        live.update(p).unwrap();
+        replayed.update(p).unwrap();
+        if i == 400 || i == 800 {
+            let a = live.query_window_clustering(50).unwrap();
+            let b = replayed.query_window_clustering(50).unwrap();
+            assert_eq!(a.centers, b.centers);
+            assert_eq!(a.window, b.window);
+        }
+    }
+    let a = live.query_clustering().unwrap();
+    let b = replayed.query_clustering().unwrap();
+    assert_eq!(a.centers, b.centers);
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+}
+
+#[test]
+fn sharded_window_coverage_matches_query_and_is_side_effect_free() {
+    let points = drift_points(1400, 1400, 23);
+    let mut s = ShardedStream::cc(config(2, 40), 4, 32, 7).unwrap();
+    for p in &points {
+        s.update(p).unwrap();
+    }
+    // Coverage probes are pure: any number of them leaves the subsequent
+    // windowed query bit-identical to a probe-free run.
+    let covered_probe = s.window_coverage(250).unwrap();
+    let _ = s.window_coverage(999).unwrap();
+    let published = s.query_window_published(250).unwrap();
+    let info = published.window.unwrap();
+    assert_eq!(info.last_points, 250);
+    assert_eq!(info.covered_points, covered_probe);
+    assert!(info.covered_points >= 250);
+
+    let mut t = ShardedStream::cc(config(2, 40), 4, 32, 7).unwrap();
+    for p in &points {
+        t.update(p).unwrap();
+    }
+    let published2 = t.query_window_published(250).unwrap();
+    assert_eq!(published2.centers, published.centers);
+    assert_eq!(published2.window, published.window);
+
+    // Whole-stream probes report the stream size.
+    assert_eq!(s.window_coverage(u64::MAX).unwrap(), 2800);
+}
+
+#[test]
+fn unsupported_backends_reject_sub_windows_but_allow_whole_stream() {
+    let mut seq = SequentialKMeans::new(2).unwrap();
+    for p in drift_points(50, 50, 3) {
+        seq.update(&p).unwrap();
+    }
+    // Whole-stream window falls back to the ordinary query.
+    let whole = seq.query_window_clustering(u64::MAX).unwrap();
+    assert!(whole.window.is_none());
+    // Sub-windows are a typed window error.
+    let err = seq.query_window_clustering(10).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("window"), "unexpected error: {msg}");
+}

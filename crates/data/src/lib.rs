@@ -17,7 +17,10 @@
 //!   the paper itself uses for its Drift dataset,
 //! * [`csv`] — loaders so the real datasets can be used when available,
 //! * [`queries`] — the query schedules of the evaluation (fixed interval
-//!   `q` and Poisson arrivals with rate `λ`).
+//!   `q` and Poisson arrivals with rate `λ`),
+//! * [`hostile`] — adversarial streams (heavy duplicates, near-zero
+//!   variance, dimension-hot outliers, adversarial orderings, high-dim)
+//!   for the robustness suite.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -26,6 +29,7 @@ pub mod csv;
 pub mod dataset;
 pub mod drift;
 pub mod gaussian;
+pub mod hostile;
 pub mod queries;
 pub mod transform;
 pub mod uci_like;
@@ -33,6 +37,9 @@ pub mod uci_like;
 pub use dataset::Dataset;
 pub use drift::RbfDriftGenerator;
 pub use gaussian::GaussianMixture;
+pub use hostile::{
+    adversarial_order, dimension_hot_outliers, heavy_duplicates, high_dim, near_zero_variance,
+};
 pub use queries::QuerySchedule;
 pub use transform::{MinMaxScaler, ZScoreNormalizer};
 
@@ -41,6 +48,9 @@ pub mod prelude {
     pub use crate::dataset::Dataset;
     pub use crate::drift::RbfDriftGenerator;
     pub use crate::gaussian::GaussianMixture;
+    pub use crate::hostile::{
+        adversarial_order, dimension_hot_outliers, heavy_duplicates, high_dim, near_zero_variance,
+    };
     pub use crate::queries::QuerySchedule;
     pub use crate::transform::{MinMaxScaler, ZScoreNormalizer};
     pub use crate::uci_like::{covtype_like, intrusion_like, power_like};

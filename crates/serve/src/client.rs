@@ -27,20 +27,25 @@
 //! been removed.
 
 use crate::codec::{codec, Codec, CodecKind, MAX_FRAME_BYTES};
-use crate::protocol::{Freshness, Request, Response, TenantConfig};
+use crate::protocol::{Freshness, Request, Response, TenantConfig, WindowSpec};
 use skm_stream::StreamStats;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Per-request options: which read path, and (optionally) which tenant —
-/// overriding the connection's default namespace for this request only.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Per-request options: which read path, (optionally) which tenant —
+/// overriding the connection's default namespace for this request only —
+/// and (optionally, revision 1.5) a window restricting `Query`/`Stats` to
+/// the most recent part of the stream.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RequestOptions {
     /// Tenant override; `None` falls back to the connection's namespace.
     pub namespace: Option<String>,
     /// Read path for `Query`/`Stats` (ignored by other requests).
     pub freshness: Freshness,
+    /// Window for `Query`/`Stats` (ignored by other requests). `None` — the
+    /// pre-1.5 shape, byte-identical on the wire — means the whole stream.
+    pub window: Option<WindowSpec>,
 }
 
 impl RequestOptions {
@@ -76,6 +81,15 @@ impl RequestOptions {
     #[must_use]
     pub fn with_freshness(mut self, freshness: Freshness) -> Self {
         self.freshness = freshness;
+        self
+    }
+
+    /// Restricts `Query`/`Stats` to a window over the most recent part of
+    /// the stream (revision 1.5; build the spec with
+    /// [`WindowSpec::points`] or [`WindowSpec::secs`]).
+    #[must_use]
+    pub fn with_window(mut self, window: WindowSpec) -> Self {
+        self.window = Some(window);
         self
     }
 }
@@ -395,6 +409,7 @@ impl Client {
         self.call(&Request::Query {
             freshness: options.freshness,
             namespace,
+            window: options.window,
         })
     }
 
@@ -429,8 +444,9 @@ impl Client {
         match self.call(&Request::Stats {
             freshness: options.freshness,
             namespace,
+            window: options.window,
         })? {
-            Response::Stats { stats } => Ok(stats),
+            Response::Stats { stats, .. } => Ok(stats),
             other => Err(io::Error::other(format!("stats failed: {other:?}"))),
         }
     }

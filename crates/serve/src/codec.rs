@@ -20,7 +20,7 @@
 use crate::protocol::{
     ErrorCode, Freshness, ReplicationRecord, Request, Response, TenantConfig, MAX_LINE_BYTES,
 };
-use skm_stream::{QueryStats, StreamStats};
+use skm_stream::{QueryStats, StreamStats, WindowInfo};
 
 /// Maximum frame payload in bytes, both codecs. For JSON this is the
 /// existing [`MAX_LINE_BYTES`] line cap; for binary it bounds the declared
@@ -197,6 +197,11 @@ const TAG_RESP_ERROR: u8 = 0x87;
 const TAG_RESP_HELLO: u8 = 0x88;
 const TAG_RESP_REPLICA_SNAPSHOT: u8 = 0x89;
 const TAG_RESP_REPLICATE: u8 = 0x8A;
+// Windowed answers (revision 1.5) travel under their own tags instead of
+// optional trailing bytes: a truncated frame must read as *incomplete*,
+// never as a valid un-windowed answer.
+const TAG_RESP_CENTERS_WINDOWED: u8 = 0x8B;
+const TAG_RESP_STATS_WINDOWED: u8 = 0x8C;
 
 // Replication-record tags (the payload byte of WAL records and of the
 // `record` field inside `Replicate` responses). Append-only, like the
@@ -206,6 +211,7 @@ const TAG_RECORD_INGEST: u8 = 0x01;
 const TAG_RECORD_INGEST_BATCH: u8 = 0x02;
 const TAG_RECORD_QUERY: u8 = 0x03;
 const TAG_RECORD_STATS: u8 = 0x04;
+const TAG_RECORD_QUERY_WINDOW: u8 = 0x05;
 
 /// Length-prefixed compact binary codec (see module docs and
 /// `docs/PROTOCOL.md` §Binary framing for the normative byte layout).
@@ -351,6 +357,30 @@ fn put_namespace(out: &mut Vec<u8>, ns: &Option<String>) {
     put_opt(out, ns, |out, s| put_str(out, s));
 }
 
+/// Window *request* section (revision 1.5): appended to `Query`/`Stats`
+/// frames only when a window is present, so window-free frames are
+/// byte-identical to their pre-1.5 encoding. Inside the section each
+/// selector carries its own presence byte, so every carrier shape — even
+/// hostile both/neither specs — round-trips and is rejected by validation
+/// with the typed [`ErrorCode::BadWindow`] rather than being
+/// unrepresentable.
+///
+/// Binary `last_points` travels as a `u64` (negative values are a
+/// JSON-only hostile shape; encoding one saturates to 0, which validation
+/// rejects the same way).
+fn put_window_spec(out: &mut Vec<u8>, w: &crate::protocol::WindowSpec) {
+    put_opt(out, &w.last_points, |out, n| {
+        put_u64(out, u64::try_from(*n).unwrap_or(0));
+    });
+    put_opt(out, &w.last_secs, |out, t| put_f64(out, *t));
+}
+
+/// Window *response* info: the resolved window and its exact coverage.
+fn put_window_info(out: &mut Vec<u8>, w: &skm_stream::WindowInfo) {
+    put_u64(out, w.last_points);
+    put_u64(out, w.covered_points);
+}
+
 fn put_replication_record(out: &mut Vec<u8>, record: &ReplicationRecord) {
     match record {
         ReplicationRecord::Ingest { point } => {
@@ -363,6 +393,10 @@ fn put_replication_record(out: &mut Vec<u8>, record: &ReplicationRecord) {
         }
         ReplicationRecord::Query {} => out.push(TAG_RECORD_QUERY),
         ReplicationRecord::Stats {} => out.push(TAG_RECORD_STATS),
+        ReplicationRecord::QueryWindow { last_points } => {
+            out.push(TAG_RECORD_QUERY_WINDOW);
+            put_u64(out, *last_points);
+        }
     }
 }
 
@@ -428,6 +462,7 @@ fn error_code_tag(code: ErrorCode) -> u8 {
         ErrorCode::FrameTooLarge => 13,
         ErrorCode::ReplicationLag => 14,
         ErrorCode::WalCorrupt => 15,
+        ErrorCode::BadWindow => 16,
     }
 }
 
@@ -449,6 +484,7 @@ fn error_code_from_tag(tag: u8) -> Result<ErrorCode, String> {
         13 => ErrorCode::FrameTooLarge,
         14 => ErrorCode::ReplicationLag,
         15 => ErrorCode::WalCorrupt,
+        16 => ErrorCode::BadWindow,
         other => return Err(format!("unknown error-code tag {other:#04x}")),
     })
 }
@@ -472,18 +508,28 @@ fn encode_request_payload(request: &Request, out: &mut Vec<u8>) {
         Request::Query {
             freshness,
             namespace,
+            window,
         } => {
             out.push(TAG_REQ_QUERY);
             put_freshness(out, *freshness);
             put_namespace(out, namespace);
+            // Appended only when present: a pre-1.5 Query frame is
+            // byte-identical to one built by a pre-1.5 encoder.
+            if let Some(w) = window {
+                put_window_spec(out, w);
+            }
         }
         Request::Stats {
             freshness,
             namespace,
+            window,
         } => {
             out.push(TAG_REQ_STATS);
             put_freshness(out, *freshness);
             put_namespace(out, namespace);
+            if let Some(w) = window {
+                put_window_spec(out, w);
+            }
         }
         Request::Configure { namespace, config } => {
             out.push(TAG_REQ_CONFIGURE);
@@ -532,17 +578,35 @@ fn encode_response_payload(response: &Response, out: &mut Vec<u8>) {
             epoch,
             cost,
             stats,
+            window,
         } => {
-            out.push(TAG_RESP_CENTERS);
+            // Windowed answers get their own tag rather than optional
+            // trailing bytes, so a truncated windowed frame reads as
+            // incomplete — never as a valid un-windowed answer.
+            out.push(if window.is_some() {
+                TAG_RESP_CENTERS_WINDOWED
+            } else {
+                TAG_RESP_CENTERS
+            });
             put_points(out, centers);
             put_u64(out, *points_seen);
             put_u64(out, *epoch);
             put_f64(out, *cost);
             put_query_stats(out, stats);
+            if let Some(w) = window {
+                put_window_info(out, w);
+            }
         }
-        Response::Stats { stats } => {
-            out.push(TAG_RESP_STATS);
+        Response::Stats { stats, window } => {
+            out.push(if window.is_some() {
+                TAG_RESP_STATS_WINDOWED
+            } else {
+                TAG_RESP_STATS
+            });
             put_stream_stats(out, stats);
+            if let Some(w) = window {
+                put_window_info(out, w);
+            }
         }
         Response::Configured {
             namespace,
@@ -722,6 +786,20 @@ impl<'a> Reader<'a> {
         self.opt(Reader::str)
     }
 
+    fn window_spec(&mut self) -> Result<crate::protocol::WindowSpec, String> {
+        Ok(crate::protocol::WindowSpec {
+            last_points: self.opt(|r| r.u64().map(i128::from))?,
+            last_secs: self.opt(Reader::f64)?,
+        })
+    }
+
+    fn window_info(&mut self) -> Result<WindowInfo, String> {
+        Ok(WindowInfo {
+            last_points: self.u64()?,
+            covered_points: self.u64()?,
+        })
+    }
+
     fn replication_record(&mut self) -> Result<ReplicationRecord, String> {
         match self.u8()? {
             TAG_RECORD_INGEST => Ok(ReplicationRecord::Ingest { point: self.row()? }),
@@ -730,6 +808,9 @@ impl<'a> Reader<'a> {
             }),
             TAG_RECORD_QUERY => Ok(ReplicationRecord::Query {}),
             TAG_RECORD_STATS => Ok(ReplicationRecord::Stats {}),
+            TAG_RECORD_QUERY_WINDOW => Ok(ReplicationRecord::QueryWindow {
+                last_points: self.u64()?,
+            }),
             other => Err(format!("unknown replication-record tag {other:#04x}")),
         }
     }
@@ -786,10 +867,22 @@ fn decode_request_payload(r: &mut Reader<'_>) -> Result<Request, String> {
         TAG_REQ_QUERY => Ok(Request::Query {
             freshness: r.freshness()?,
             namespace: r.namespace()?,
+            // Absent in pre-1.5 frames; a frame that starts a window spec
+            // must carry the whole thing (truncation is an error, not None).
+            window: if r.remaining() == 0 {
+                None
+            } else {
+                Some(r.window_spec()?)
+            },
         }),
         TAG_REQ_STATS => Ok(Request::Stats {
             freshness: r.freshness()?,
             namespace: r.namespace()?,
+            window: if r.remaining() == 0 {
+                None
+            } else {
+                Some(r.window_spec()?)
+            },
         }),
         TAG_REQ_CONFIGURE => Ok(Request::Configure {
             namespace: r.namespace()?,
@@ -830,9 +923,23 @@ fn decode_response_payload(r: &mut Reader<'_>) -> Result<Response, String> {
             epoch: r.u64()?,
             cost: r.f64()?,
             stats: r.query_stats()?,
+            window: None,
+        }),
+        TAG_RESP_CENTERS_WINDOWED => Ok(Response::Centers {
+            centers: r.points()?,
+            points_seen: r.u64()?,
+            epoch: r.u64()?,
+            cost: r.f64()?,
+            stats: r.query_stats()?,
+            window: Some(r.window_info()?),
         }),
         TAG_RESP_STATS => Ok(Response::Stats {
             stats: r.stream_stats()?,
+            window: None,
+        }),
+        TAG_RESP_STATS_WINDOWED => Ok(Response::Stats {
+            stats: r.stream_stats()?,
+            window: Some(r.window_info()?),
         }),
         TAG_RESP_CONFIGURED => Ok(Response::Configured {
             namespace: r.str()?,
@@ -987,6 +1094,7 @@ mod tests {
                 used_cache: false,
                 ran_kmeans: false,
             },
+            window: None,
         };
         let mut wire = Vec::new();
         c.encode_response(&resp, &mut wire);

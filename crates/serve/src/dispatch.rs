@@ -9,7 +9,7 @@
 use crate::engine::{BackendKind, Engine, EngineSpec, FollowerStatus};
 use crate::protocol::{
     error_response, is_bare_name, validate_namespace, ErrorCode, Freshness, Request, Response,
-    TenantConfig, DEFAULT_NAMESPACE, MAX_BATCH_POINTS,
+    TenantConfig, Window, WindowSpec, DEFAULT_NAMESPACE, MAX_BATCH_POINTS,
 };
 use skm_stream::StreamConfig;
 use std::path::Path;
@@ -83,18 +83,31 @@ pub(crate) fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&
         Request::Query {
             freshness,
             namespace,
+            window,
         } => {
             let ns = match resolve_namespace(namespace.as_deref()) {
                 Ok(ns) => ns,
                 Err(response) => return response,
             };
-            match engine.query_in(ns, freshness) {
+            let window = match validate_window(window.as_ref()) {
+                Ok(window) => window,
+                Err(response) => return response,
+            };
+            let result = match (freshness, window) {
+                // A cached windowed read serves the published answer as-is
+                // — whatever window it was computed for, reported honestly
+                // in the response — exactly like a cached un-windowed read.
+                (Freshness::Strict, Some(window)) => engine.query_window_in(ns, window),
+                _ => engine.query_in(ns, freshness),
+            };
+            match result {
                 Ok(published) => Response::Centers {
                     centers: published.centers.to_rows(),
                     points_seen: published.points_seen,
                     epoch: published.epoch,
                     cost: published.cost,
                     stats: published.stats,
+                    window: published.window,
                 },
                 Err(e) => error_response(&e),
             }
@@ -102,14 +115,44 @@ pub(crate) fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&
         Request::Stats {
             freshness,
             namespace,
+            window,
         } => {
             let ns = match resolve_namespace(namespace.as_deref()) {
                 Ok(ns) => ns,
                 Err(response) => return response,
             };
-            match engine.stats_in(ns, freshness) {
-                Ok(stats) => Response::Stats { stats },
-                Err(e) => error_response(&e),
+            let window = match validate_window(window.as_ref()) {
+                Ok(window) => window,
+                Err(response) => return response,
+            };
+            match (freshness, window) {
+                // Windowed strict stats: ordinary strict stats plus a pure
+                // coverage probe over the stored summaries.
+                (Freshness::Strict, Some(window)) => match engine.stats_window_in(ns, window) {
+                    Ok((stats, info)) => Response::Stats {
+                        stats,
+                        window: Some(info),
+                    },
+                    Err(e) => error_response(&e),
+                },
+                // A cached windowed stats read has no summary structure to
+                // probe without the mutex; it reports the published
+                // answer's window, like a cached windowed query.
+                _ => match engine.stats_in(ns, freshness) {
+                    Ok(stats) => Response::Stats {
+                        stats,
+                        window: if window.is_some() {
+                            engine
+                                .published_in(ns)
+                                .ok()
+                                .flatten()
+                                .and_then(|p| p.window)
+                        } else {
+                            None
+                        },
+                    },
+                    Err(e) => error_response(&e),
+                },
             }
         }
         Request::Configure { namespace, config } => {
@@ -142,6 +185,22 @@ pub(crate) fn dispatch(request: Request, engine: &Engine, snapshot_dir: Option<&
                     .to_string(),
             }
         }
+    }
+}
+
+/// Validates an optional wire window spec, mapping violations to the typed
+/// [`ErrorCode::BadWindow`] response. `None` (the pre-1.5 shape) stays
+/// `None`: the whole stream.
+fn validate_window(spec: Option<&WindowSpec>) -> Result<Option<Window>, Response> {
+    match spec {
+        None => Ok(None),
+        Some(spec) => match spec.validate() {
+            Ok(window) => Ok(Some(window)),
+            Err(message) => Err(Response::Error {
+                code: ErrorCode::BadWindow,
+                message,
+            }),
+        },
     }
 }
 

@@ -47,15 +47,17 @@
 //! engine republishes the same epoch instead of starting readers cold.
 
 use crate::codec::{decode_replication_record, encode_replication_record};
-use crate::protocol::{validate_namespace, Freshness, ReplicationRecord, DEFAULT_NAMESPACE};
+use crate::protocol::{
+    validate_namespace, Freshness, ReplicationRecord, Window, DEFAULT_NAMESPACE,
+};
 use serde::{Deserialize, Serialize};
 use skm_clustering::error::{ClusteringError, Result};
 use skm_stream::{
     CachedCoresetTree, CoresetTreeClusterer, PublishSlot, PublishedClustering, RecursiveCachedTree,
-    ShardedStream, ShardedStreamState, StreamConfig, StreamStats, StreamingClusterer,
+    ShardedStream, ShardedStreamState, StreamConfig, StreamStats, StreamingClusterer, WindowInfo,
 };
 use skm_wal::{Wal, WalError, WalOptions};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
@@ -493,6 +495,70 @@ pub struct SnapshotFile {
     pub state: serde::Value,
 }
 
+/// Cap on retained arrival-log entries per tenant (entries are coalesced
+/// per engine-clock millisecond, so this covers minutes of sustained
+/// ingest; overflow folds the oldest entries into the un-timestamped
+/// base).
+const MAX_ARRIVAL_ENTRIES: usize = 4096;
+
+/// Per-tenant record of *when* points arrived, on the engine's monotone
+/// millisecond clock. This is what resolves a `last_secs` wire window to a
+/// concrete point count **before** the query is logged, so a replayed
+/// `QueryWindow` record never consults a clock.
+///
+/// Entries are `(ms, cumulative points after that ingest)`, coalesced per
+/// millisecond. Points that predate the log — recovered, replicated or
+/// restored points, which carry no timestamps — sit in `base` and are
+/// older than any time window: **time windows never extend across a
+/// restart** (point-count windows do; they are resolved against the
+/// summary structure, not this log).
+#[derive(Debug, Default)]
+struct ArrivalLog {
+    /// Points older than every timestamped entry.
+    base: u64,
+    /// `(engine ms, cumulative points seen after)` — ms strictly
+    /// increasing.
+    entries: VecDeque<(u64, u64)>,
+}
+
+impl ArrivalLog {
+    /// Records one ingest: `before`/`after` are the tenant's points-seen
+    /// around it. Called under the tenant's backend lock.
+    fn record(&mut self, now_ms: u64, before: u64, after: u64) {
+        if self.entries.is_empty() {
+            self.base = before;
+        }
+        if let Some(last) = self.entries.back_mut() {
+            if last.0 >= now_ms {
+                last.1 = after;
+                return;
+            }
+        }
+        self.entries.push_back((now_ms, after));
+        if self.entries.len() > MAX_ARRIVAL_ENTRIES {
+            if let Some((_, cum)) = self.entries.pop_front() {
+                self.base = cum;
+            }
+        }
+    }
+
+    /// How many of the tenant's `total` points arrived at or after
+    /// `cutoff_ms`. A point that arrived exactly at the cutoff is exactly
+    /// the window's span old and still belongs to "the last T seconds" —
+    /// in particular, ingests coalesced into engine millisecond 0 must
+    /// count when the cutoff saturates to 0.
+    fn points_since(&self, cutoff_ms: u64, total: u64) -> u64 {
+        let mut old = self.base;
+        for &(ms, cum) in &self.entries {
+            if ms >= cutoff_ms {
+                break;
+            }
+            old = cum;
+        }
+        total.saturating_sub(old)
+    }
+}
+
 /// One resident tenant: its stream behind a mutex, its publish slot, and
 /// the bookkeeping eviction needs.
 #[derive(Debug)]
@@ -522,6 +588,10 @@ struct Tenant {
     /// tenant backend → tenant WAL), so appends serialize with the state
     /// mutations they describe.
     wal: Option<Mutex<Wal>>,
+    /// Arrival timestamps for `last_secs` window resolution. Locked only
+    /// while the backend mutex is held (same order as the WAL), never
+    /// persisted: time windows do not extend across a restart.
+    arrivals: Mutex<ArrivalLog>,
 }
 
 impl Tenant {
@@ -540,6 +610,7 @@ impl Tenant {
             last_touch: AtomicU64::new(0),
             last_touch_ms: AtomicU64::new(0),
             wal: None,
+            arrivals: Mutex::new(ArrivalLog::default()),
         }
     }
 
@@ -850,8 +921,45 @@ impl Engine {
             ReplicationRecord::Stats {} => {
                 backend.stats()?;
             }
+            // Windowed strict reads consume the shared query RNG just like
+            // whole-stream ones (selection is pure, extraction is not), so
+            // they carry the resolved point count and are re-run verbatim.
+            // `last_secs` windows were resolved to points before logging,
+            // so replay never consults a clock.
+            ReplicationRecord::QueryWindow { last_points } => {
+                Self::run_window_query(backend, tenant, *last_points)?;
+            }
         }
         Ok(())
+    }
+
+    /// Runs one strict windowed query against a backend and publishes the
+    /// answer through the tenant's slot (the sharded stream publishes from
+    /// inside its own query). Caller holds the backend guard.
+    fn run_window_query(
+        backend: &mut Backend,
+        tenant: &Tenant,
+        last_points: u64,
+    ) -> Result<Arc<PublishedClustering>> {
+        match backend {
+            Backend::ShardedCc(s) => s.query_window_published(last_points),
+            other => {
+                let result = other.clusterer().query_window_clustering(last_points)?;
+                Ok(tenant.slot.publish(result))
+            }
+        }
+    }
+
+    /// Bucket-granular coverage of a point window against a backend's
+    /// summary structure: pure span arithmetic — no merge, no RNG, no
+    /// cache traffic. Caller holds the backend guard.
+    fn window_coverage(backend: &mut Backend, last_points: u64) -> Result<u64> {
+        Ok(match backend {
+            Backend::ShardedCc(s) => s.window_coverage(last_points)?,
+            Backend::Cc(c) => c.window_coverage(last_points),
+            Backend::Ct(c) => c.window_coverage(last_points),
+            Backend::Rcc(c) => c.window_coverage(last_points),
+        })
     }
 
     /// The spec lazily created tenants are built from.
@@ -1126,6 +1234,7 @@ impl Engine {
     pub fn ingest_in(&self, namespace: &str, point: &[f64]) -> Result<u64> {
         self.with_backend(namespace, |backend, tenant| {
             let clusterer = backend.clusterer();
+            let before = clusterer.points_seen();
             if let Some(wal) = &tenant.wal {
                 // Log-before-apply. Validation is pulled forward (mirroring
                 // the stream drivers' checks) so only records the backend
@@ -1158,6 +1267,11 @@ impl Engine {
             }
             clusterer.update(point)?;
             let seen = clusterer.points_seen();
+            tenant
+                .arrivals
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record(self.now_ms(), before, seen);
             Self::wal_checkpoint_if_due(tenant, backend)?;
             Ok(seen)
         })
@@ -1206,6 +1320,7 @@ impl Engine {
         let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
         self.with_backend(namespace, |backend, tenant| {
             let clusterer = backend.clusterer();
+            let before = clusterer.points_seen();
             // Pre-validate the whole batch so even backends whose
             // `update_batch` is a per-point loop (the sharded coordinator)
             // reject atomically at the serving layer.
@@ -1242,6 +1357,11 @@ impl Engine {
             }
             clusterer.update_batch(&refs)?;
             let seen = clusterer.points_seen();
+            tenant
+                .arrivals
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record(self.now_ms(), before, seen);
             Self::wal_checkpoint_if_due(tenant, backend)?;
             Ok(seen)
         })
@@ -1301,6 +1421,128 @@ impl Engine {
             };
             Self::wal_checkpoint_if_due(tenant, backend)?;
             Ok(published)
+        })
+    }
+
+    /// Resolves a validated wire window to a concrete point count for one
+    /// tenant. Point windows pass through; time windows consult the
+    /// tenant's arrival log against the engine clock reading `now_ms` —
+    /// this happens **before** anything is logged or executed, so WAL
+    /// replay and followers never consult a clock.
+    fn resolve_window(tenant: &Tenant, window: Window, now_ms: u64, seen: u64) -> u64 {
+        match window {
+            Window::Points(n) => n,
+            Window::Secs(t) => {
+                // `t` is validated ≤ MAX_WINDOW_SECS (1e12), so the
+                // millisecond span fits u64 comfortably; ceil so the span
+                // covers at least the requested duration.
+                let span_ms = (t * 1000.0).ceil() as u64;
+                let cutoff = now_ms.saturating_sub(span_ms);
+                tenant
+                    .arrivals
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .points_since(cutoff, seen)
+            }
+        }
+    }
+
+    /// Answers a **strict** windowed clustering query: drains in-flight
+    /// ingestion, resolves the window to a point count, recomputes from the
+    /// smallest stored-summary suffix covering it, republishes and returns
+    /// the new epoch. A window spanning the whole stream (or more) takes
+    /// the ordinary strict path — bit-identical to an un-windowed query,
+    /// and logged as one. Sub-windows are logged as `QueryWindow` records
+    /// carrying the resolved point count, so recovery replays them
+    /// clock-independently.
+    ///
+    /// Cached windowed reads never reach here: dispatch serves the
+    /// published answer as-is (reporting the window *it* was computed for).
+    ///
+    /// # Errors
+    /// [`ClusteringError::EmptyInput`] before the tenant's first point; a
+    /// `window` parameter error (wire: [`crate::protocol::ErrorCode::BadWindow`])
+    /// when a time window contains no points.
+    pub fn query_window_in(
+        &self,
+        namespace: &str,
+        window: Window,
+    ) -> Result<Arc<PublishedClustering>> {
+        let now_ms = self.now_ms();
+        self.with_backend(namespace, |backend, tenant| {
+            let seen = backend.clusterer().points_seen();
+            if seen == 0 {
+                return Err(ClusteringError::EmptyInput);
+            }
+            let last_points = Self::resolve_window(tenant, window, now_ms, seen);
+            if last_points == 0 {
+                return Err(ClusteringError::InvalidParameter {
+                    name: "window",
+                    message: "the time window contains no points".to_string(),
+                });
+            }
+            if last_points >= seen {
+                // Whole-stream normalization: identical to the ordinary
+                // strict query, and logged as one.
+                if let Some(wal) = &tenant.wal {
+                    Self::wal_append(wal, &ReplicationRecord::Query {})?;
+                }
+                let published = match &mut *backend {
+                    Backend::ShardedCc(s) => s.query_published()?,
+                    other => {
+                        let result = other.clusterer().query_clustering()?;
+                        tenant.slot.publish(result)
+                    }
+                };
+                Self::wal_checkpoint_if_due(tenant, backend)?;
+                return Ok(published);
+            }
+            if let Some(wal) = &tenant.wal {
+                Self::wal_append(wal, &ReplicationRecord::QueryWindow { last_points })?;
+            }
+            let published = Self::run_window_query(backend, tenant, last_points)?;
+            Self::wal_checkpoint_if_due(tenant, backend)?;
+            Ok(published)
+        })
+    }
+
+    /// **Strict** windowed stats: drains the coordinator buffers, collects
+    /// the ordinary stream stats, then probes how many of the most recent
+    /// points the stored summaries cover. The probe is pure span
+    /// arithmetic — no merge, no RNG, no cache traffic — so the WAL logs
+    /// the same `Stats` marker as an un-windowed strict stats request. A
+    /// time window that contains no points reports `(0, 0)` coverage
+    /// rather than an error: "nothing arrived lately" is an answer.
+    ///
+    /// # Errors
+    /// Fails when a shard worker is gone.
+    pub fn stats_window_in(
+        &self,
+        namespace: &str,
+        window: Window,
+    ) -> Result<(StreamStats, WindowInfo)> {
+        let now_ms = self.now_ms();
+        self.with_backend(namespace, |backend, tenant| {
+            if let Some(wal) = &tenant.wal {
+                // The drain is the mutation replay must repeat; the
+                // coverage probe adds no state effects.
+                Self::wal_append(wal, &ReplicationRecord::Stats {})?;
+            }
+            let stats = backend.stats()?;
+            let last_points = Self::resolve_window(tenant, window, now_ms, stats.points_seen);
+            let covered_points = if last_points == 0 {
+                0
+            } else {
+                Self::window_coverage(backend, last_points)?
+            };
+            Self::wal_checkpoint_if_due(tenant, backend)?;
+            Ok((
+                stats,
+                WindowInfo {
+                    last_points,
+                    covered_points,
+                },
+            ))
         })
     }
 

@@ -55,7 +55,9 @@ pub(crate) const LOW_WATER: usize = 512 * 1024;
 /// Bytes pulled from a socket per `read` call.
 const READ_CHUNK: usize = 64 * 1024;
 /// Read-buffer level past which a fill pauses to process frames before
-/// pulling more (level-triggered polling re-reports the remainder).
+/// pulling more (level-triggered polling re-reports the remainder). Only
+/// applied when the buffer already holds a processable frame; a single
+/// larger frame keeps reading up to [`crate::codec::MAX_FRAME_BYTES`] (see [`fill`]).
 const PROCESS_THRESHOLD: usize = 256 * 1024;
 /// Bound on the blocking flush of a connection during shutdown drain: a
 /// peer that stops reading cannot hold the server open forever.
@@ -183,10 +185,25 @@ impl Conn {
 /// Pulls whatever the socket has ready into the read buffer (bounded by
 /// backpressure and [`PROCESS_THRESHOLD`]). Returns `false` when the
 /// connection died mid-read.
+///
+/// The [`PROCESS_THRESHOLD`] pause is a fairness yield, not a hard cap: it
+/// only applies once the buffer holds something `process_frames` can act
+/// on (a complete frame, or a framing error to report). A single frame
+/// larger than the threshold must keep reading — stopping would stall the
+/// connection forever, with a level-triggered poller spinning on the
+/// readable socket (the high-dim hostile suite hits exactly this: one
+/// JSON `IngestBatch` line at d = 256 is ~320 KiB). Growth stays bounded
+/// by [`crate::codec::MAX_FRAME_BYTES`], at which point the codec reports the typed
+/// framing error instead of `Ok(None)`.
 fn fill(conn: &mut Conn) -> bool {
     let mut chunk = vec![0u8; READ_CHUNK];
     loop {
-        if conn.pending() >= HIGH_WATER || conn.read_buf.len() >= PROCESS_THRESHOLD {
+        if conn.pending() >= HIGH_WATER {
+            return true;
+        }
+        if conn.read_buf.len() >= PROCESS_THRESHOLD
+            && !matches!(conn.codec.next_frame(&conn.read_buf), Ok(None))
+        {
             return true;
         }
         match conn.stream.read(&mut chunk) {

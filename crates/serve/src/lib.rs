@@ -97,7 +97,8 @@ pub use engine::{
 pub use follower::{start_follower, FollowerHandle, FollowerSpec};
 pub use loadgen::{run_load, LoadReport, LoadSpec};
 pub use protocol::{
-    Freshness, ReplicationRecord, Request, Response, TenantConfig, DEFAULT_NAMESPACE,
+    Freshness, ReplicationRecord, Request, Response, TenantConfig, Window, WindowSpec,
+    DEFAULT_NAMESPACE,
 };
 pub use server::{Server, ServerHandle};
 
@@ -108,8 +109,9 @@ pub mod prelude {
     pub use crate::engine::{BackendKind, Engine, EngineSpec, WalConfig};
     pub use crate::loadgen::{run_load, LoadReport, LoadSpec};
     pub use crate::protocol::{
-        ErrorCode, Freshness, Request, Response, TenantConfig, DEFAULT_NAMESPACE,
+        ErrorCode, Freshness, Request, Response, TenantConfig, Window, WindowSpec,
+        DEFAULT_NAMESPACE,
     };
     pub use crate::server::{Server, ServerHandle};
-    pub use skm_stream::{PublishedClustering, StreamConfig, StreamStats};
+    pub use skm_stream::{PublishedClustering, StreamConfig, StreamStats, WindowInfo};
 }

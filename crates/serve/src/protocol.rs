@@ -43,7 +43,7 @@
 
 use serde::{Deserialize, Serialize};
 use skm_clustering::error::ClusteringError;
-use skm_stream::{QueryStats, StreamStats};
+use skm_stream::{QueryStats, StreamStats, WindowInfo};
 
 /// Maximum points accepted in one `IngestBatch` request. Larger batches are
 /// rejected with [`ErrorCode::BatchTooLarge`] before touching the engine,
@@ -63,8 +63,21 @@ pub const DEFAULT_NAMESPACE: &str = "default";
 /// The protocol revision the server speaks, reported in
 /// [`Response::Hello`]. Revision 1.3 added the `Hello` codec handshake and
 /// the length-prefixed binary framing; revision 1.4 added the `Replicate`
-/// follower stream and the durability error codes (see `docs/PROTOCOL.md`).
-pub const PROTOCOL_REVISION: &str = "1.4";
+/// follower stream and the durability error codes; revision 1.5 added the
+/// optional time-scoped `window` field on `Query`/`Stats` (see
+/// `docs/PROTOCOL.md`).
+pub const PROTOCOL_REVISION: &str = "1.5";
+
+/// Maximum accepted `last_points` window size: `2^53`, the largest integer
+/// range JSON numbers carry exactly through every double-precision parser.
+/// Larger windows are answered with [`ErrorCode::BadWindow`] (a window that
+/// big means the whole stream anyway — omit the field instead).
+pub const MAX_WINDOW_POINTS: u64 = 1 << 53;
+
+/// Maximum accepted `last_secs` window: about 31,000 years. Bounds the
+/// milliseconds arithmetic the server resolves the window with, far above
+/// any meaningful retention.
+pub const MAX_WINDOW_SECS: f64 = 1e12;
 
 /// Maximum accepted namespace length in bytes (long names make poor file
 /// names, and eviction persists one file per tenant).
@@ -167,6 +180,164 @@ impl serde::Deserialize for Freshness {
     }
 }
 
+/// The optional `window` field of `Query`/`Stats`, as it arrives on the
+/// wire (revision 1.5): exactly one of `last_points` (a count of most
+/// recent stream points) or `last_secs` (a duration looking back from now).
+///
+/// This is the *carrier* — it admits any numeric values so that hostile
+/// ones (zero, negative, astronomically large) parse successfully and are
+/// rejected by [`WindowSpec::validate`] with the typed
+/// [`ErrorCode::BadWindow`] instead of a generic parse failure. Fields of
+/// the wrong *type* (a string where a number belongs) are malformed
+/// requests, as everywhere else in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowSpec {
+    /// Window over the most recent N stream points.
+    pub last_points: Option<i128>,
+    /// Window over the points that arrived in the last T seconds.
+    pub last_secs: Option<f64>,
+}
+
+/// A validated window selector (the output of [`WindowSpec::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Window {
+    /// The most recent `N` stream points, `1..=`[`MAX_WINDOW_POINTS`].
+    Points(u64),
+    /// The points that arrived within the last `T` seconds — finite,
+    /// positive, at most [`MAX_WINDOW_SECS`]. The server resolves this to a
+    /// point count against the tenant's arrival log *before* logging or
+    /// executing anything, so replay never consults a clock.
+    Secs(f64),
+}
+
+impl WindowSpec {
+    /// A points window (constructor for clients and tests).
+    #[must_use]
+    pub fn points(n: u64) -> Self {
+        Self {
+            last_points: Some(i128::from(n)),
+            last_secs: None,
+        }
+    }
+
+    /// A seconds window (constructor for clients and tests).
+    #[must_use]
+    pub fn secs(t: f64) -> Self {
+        Self {
+            last_points: None,
+            last_secs: Some(t),
+        }
+    }
+
+    /// Checks the carried values and produces the validated [`Window`].
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the violated constraint (the
+    /// server wraps it in [`ErrorCode::BadWindow`]): both or neither field
+    /// present, a non-positive or over-limit point count, or a
+    /// non-positive, non-finite or over-limit duration.
+    pub fn validate(&self) -> std::result::Result<Window, String> {
+        match (self.last_points, self.last_secs) {
+            (Some(_), Some(_)) => {
+                Err("window must specify last_points or last_secs, not both".to_string())
+            }
+            (None, None) => Err("window must specify last_points or last_secs".to_string()),
+            (Some(n), None) => {
+                if n <= 0 {
+                    return Err(format!("window last_points must be positive, got {n}"));
+                }
+                if n > i128::from(MAX_WINDOW_POINTS) {
+                    return Err(format!(
+                        "window last_points {n} exceeds the limit of {MAX_WINDOW_POINTS}"
+                    ));
+                }
+                // lint:allow(panic-freedom) 0 < n <= 2^53 fits u64
+                Ok(Window::Points(u64::try_from(n).expect("bounded above")))
+            }
+            (None, Some(t)) => {
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(format!(
+                        "window last_secs must be positive and finite, got {t}"
+                    ));
+                }
+                if t > MAX_WINDOW_SECS {
+                    return Err(format!(
+                        "window last_secs {t} exceeds the limit of {MAX_WINDOW_SECS}"
+                    ));
+                }
+                Ok(Window::Secs(t))
+            }
+        }
+    }
+}
+
+impl serde::Serialize for WindowSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = Vec::new();
+        if let Some(n) = self.last_points {
+            let v = if n >= 0 {
+                // lint:allow(panic-freedom) non-negative i128 fits u128
+                serde::Value::UInt(u128::try_from(n).expect("non-negative"))
+            } else {
+                serde::Value::Int(i64::try_from(n).unwrap_or(i64::MIN))
+            };
+            fields.push(("last_points".to_string(), v));
+        }
+        if let Some(t) = self.last_secs {
+            fields.push(("last_secs".to_string(), serde::Value::Float(t)));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl serde::Deserialize for WindowSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = match value {
+            serde::Value::Map(m) => m,
+            _ => return Err(serde::Error::custom("expected map for window")),
+        };
+        let mut spec = WindowSpec::default();
+        for (key, v) in map {
+            match key.as_str() {
+                "last_points" => {
+                    spec.last_points = Some(match v {
+                        serde::Value::UInt(u) => i128::try_from(*u)
+                            .map_err(|_| serde::Error::custom("window last_points out of range"))?,
+                        serde::Value::Int(i) => i128::from(*i),
+                        serde::Value::Null => continue,
+                        _ => {
+                            return Err(serde::Error::custom(
+                                "expected integer for window last_points",
+                            ))
+                        }
+                    });
+                }
+                "last_secs" => {
+                    spec.last_secs = Some(match v {
+                        serde::Value::Float(f) => *f,
+                        // Integer seconds are accepted (JSON `5` vs `5.0`
+                        // is an encoder choice, not a semantic one).
+                        #[allow(clippy::cast_precision_loss)]
+                        serde::Value::UInt(u) => *u as f64,
+                        #[allow(clippy::cast_precision_loss)]
+                        serde::Value::Int(i) => *i as f64,
+                        serde::Value::Null => continue,
+                        _ => {
+                            return Err(serde::Error::custom(
+                                "expected number for window last_secs",
+                            ))
+                        }
+                    });
+                }
+                // Unknown keys are ignored, like everywhere else in the
+                // protocol (forward compatibility).
+                _ => {}
+            }
+        }
+        Ok(spec)
+    }
+}
+
 /// One logged state mutation of a tenant stream: the unit of write-ahead
 /// logging and of primary→follower replication.
 ///
@@ -192,8 +363,19 @@ pub enum ReplicationRecord {
     },
     /// A strict query was executed (publishes an epoch, consumes RNG).
     Query {},
-    /// Strict stats were collected (drains ingest buffers).
+    /// Strict stats were collected (drains ingest buffers). Windowed
+    /// strict stats log this same marker: their coverage probe is pure
+    /// span arithmetic, so draining is their only state effect.
     Stats {},
+    /// A strict *windowed* query was executed (publishes an epoch,
+    /// consumes RNG — over the summary suffix covering the window). The
+    /// logged count is always in points: `last_secs` windows are resolved
+    /// against the tenant's arrival log *before* logging, so replaying
+    /// this record never consults a clock.
+    QueryWindow {
+        /// The resolved window, in most-recent stream points.
+        last_points: u64,
+    },
 }
 
 /// Per-tenant engine settings carried by [`Request::Configure`]. Every
@@ -252,6 +434,9 @@ pub enum Request {
         freshness: Freshness,
         /// Tenant stream; `None` means [`DEFAULT_NAMESPACE`].
         namespace: Option<String>,
+        /// Time-scoped window (revision 1.5); `None` means the whole
+        /// stream — byte-for-byte the pre-1.5 wire shape and semantics.
+        window: Option<WindowSpec>,
     },
     /// Ask for ingestion statistics.
     Stats {
@@ -259,6 +444,10 @@ pub enum Request {
         freshness: Freshness,
         /// Tenant stream; `None` means [`DEFAULT_NAMESPACE`].
         namespace: Option<String>,
+        /// Time-scoped window (revision 1.5): reports how many points the
+        /// stored summaries would cover for that window. `None` means the
+        /// whole stream — the pre-1.5 wire shape and semantics.
+        window: Option<WindowSpec>,
     },
     /// Create a tenant with non-default settings. Only valid before the
     /// tenant exists: a lazily created tenant (first touched by an ingest
@@ -331,17 +520,21 @@ impl serde::Serialize for Request {
             Request::Query {
                 freshness,
                 namespace,
+                window,
             } => {
                 let mut fields = vec![("freshness".to_string(), freshness.to_value())];
                 push_opt(&mut fields, "namespace", namespace);
+                push_opt(&mut fields, "window", window);
                 variant("Query", fields)
             }
             Request::Stats {
                 freshness,
                 namespace,
+                window,
             } => {
                 let mut fields = vec![("freshness".to_string(), freshness.to_value())];
                 push_opt(&mut fields, "namespace", namespace);
+                push_opt(&mut fields, "window", window);
                 variant("Stats", fields)
             }
             Request::Configure { namespace, config } => {
@@ -422,10 +615,12 @@ impl serde::Deserialize for Request {
             "Query" => Ok(Request::Query {
                 freshness: freshness(map)?,
                 namespace: opt_field(map, "namespace")?,
+                window: opt_field(map, "window")?,
             }),
             "Stats" => Ok(Request::Stats {
                 freshness: freshness(map)?,
                 namespace: opt_field(map, "namespace")?,
+                window: opt_field(map, "window")?,
             }),
             "Configure" => Ok(Request::Configure {
                 namespace: opt_field(map, "namespace")?,
@@ -455,7 +650,7 @@ impl serde::Deserialize for Request {
 
 /// A server response (one frame: a JSON line, or a length-prefixed binary
 /// message after a binary handshake).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Answer to a [`Request::Hello`]: the handshake was accepted and the
     /// connection speaks `codec` from the next frame on.
@@ -487,11 +682,22 @@ pub enum Response {
         cost: f64,
         /// Query diagnostics (coresets merged, cache usage, …).
         stats: QueryStats,
+        /// Window this answer covers (revision 1.5): present exactly when
+        /// the answer is windowed — strict windowed queries echo the
+        /// resolved window and its coverage, cached queries report the
+        /// window of the published answer they served (which may be
+        /// `None`). Omitted on the wire when absent, so pre-1.5 answers
+        /// are byte-identical.
+        window: Option<WindowInfo>,
     },
     /// Answer to a [`Request::Stats`].
     Stats {
         /// Aggregated ingestion statistics.
         stats: StreamStats,
+        /// For windowed stats requests (revision 1.5): the resolved window
+        /// and how many points the stored summaries cover for it. Omitted
+        /// on the wire when absent.
+        window: Option<WindowInfo>,
     },
     /// Answer to a [`Request::Configure`]: the tenant was created.
     Configured {
@@ -547,6 +753,200 @@ pub enum Response {
     },
 }
 
+/// Hand-written serializer: the optional `window` field of `Centers` and
+/// `Stats` is omitted when `None`, so every answer a pre-1.5 exchange can
+/// elicit is byte-for-byte the pre-1.5 wire shape.
+impl serde::Serialize for Response {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        fn variant(tag: &str, fields: Vec<(String, Value)>) -> Value {
+            Value::Map(vec![(tag.to_string(), Value::Map(fields))])
+        }
+        fn field<T: Serialize>(key: &str, v: &T) -> (String, Value) {
+            (key.to_string(), v.to_value())
+        }
+        match self {
+            Response::Hello { codec, revision } => variant(
+                "Hello",
+                vec![field("codec", codec), field("revision", revision)],
+            ),
+            Response::Ingested {
+                accepted,
+                points_seen,
+            } => variant(
+                "Ingested",
+                vec![
+                    field("accepted", accepted),
+                    field("points_seen", points_seen),
+                ],
+            ),
+            Response::Centers {
+                centers,
+                points_seen,
+                epoch,
+                cost,
+                stats,
+                window,
+            } => {
+                let mut fields = vec![
+                    field("centers", centers),
+                    field("points_seen", points_seen),
+                    field("epoch", epoch),
+                    field("cost", cost),
+                    field("stats", stats),
+                ];
+                if let Some(w) = window {
+                    fields.push(field("window", w));
+                }
+                variant("Centers", fields)
+            }
+            Response::Stats { stats, window } => {
+                let mut fields = vec![field("stats", stats)];
+                if let Some(w) = window {
+                    fields.push(field("window", w));
+                }
+                variant("Stats", fields)
+            }
+            Response::Configured {
+                namespace,
+                backend,
+                k,
+                shards,
+            } => variant(
+                "Configured",
+                vec![
+                    field("namespace", namespace),
+                    field("backend", backend),
+                    field("k", k),
+                    field("shards", shards),
+                ],
+            ),
+            Response::Snapshotted { file, bytes } => variant(
+                "Snapshotted",
+                vec![field("file", file), field("bytes", bytes)],
+            ),
+            Response::Bye {} => variant("Bye", Vec::new()),
+            Response::ReplicaSnapshot {
+                seq,
+                epoch,
+                snapshot,
+            } => variant(
+                "ReplicaSnapshot",
+                vec![
+                    field("seq", seq),
+                    field("epoch", epoch),
+                    field("snapshot", snapshot),
+                ],
+            ),
+            Response::Replicate {
+                seq,
+                primary_seq,
+                record,
+            } => variant(
+                "Replicate",
+                vec![
+                    field("seq", seq),
+                    field("primary_seq", primary_seq),
+                    field("record", record),
+                ],
+            ),
+            Response::Error { code, message } => variant(
+                "Error",
+                vec![field("code", code), field("message", message)],
+            ),
+        }
+    }
+}
+
+/// Hand-written deserializer: an omitted (or `null`) `window` field reads
+/// as `None`, so pre-1.5 responses — and pre-1.5 recorded fixtures — keep
+/// parsing unchanged.
+impl serde::Deserialize for Response {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = match value {
+            serde::Value::Map(entries) => entries,
+            _ => return Err(serde::Error::custom("expected variant for Response")),
+        };
+        let [(tag, inner)] = entries.as_slice() else {
+            return Err(serde::Error::custom("expected variant for Response"));
+        };
+        let map = match inner {
+            serde::Value::Map(m) => m,
+            _ => {
+                return Err(serde::Error::custom(format!(
+                    "expected map for variant {tag}"
+                )))
+            }
+        };
+        fn req<T: serde::Deserialize>(
+            map: &[(String, serde::Value)],
+            key: &str,
+        ) -> Result<T, serde::Error> {
+            serde::Deserialize::from_value(serde::get_field(map, key)?)
+        }
+        fn opt<T: serde::Deserialize>(
+            map: &[(String, serde::Value)],
+            key: &str,
+        ) -> Result<Option<T>, serde::Error> {
+            match map.iter().find(|(k, _)| k == key) {
+                None => Ok(None),
+                Some((_, serde::Value::Null)) => Ok(None),
+                Some((_, v)) => T::from_value(v).map(Some),
+            }
+        }
+        match tag.as_str() {
+            "Hello" => Ok(Response::Hello {
+                codec: req(map, "codec")?,
+                revision: req(map, "revision")?,
+            }),
+            "Ingested" => Ok(Response::Ingested {
+                accepted: req(map, "accepted")?,
+                points_seen: req(map, "points_seen")?,
+            }),
+            "Centers" => Ok(Response::Centers {
+                centers: req(map, "centers")?,
+                points_seen: req(map, "points_seen")?,
+                epoch: req(map, "epoch")?,
+                cost: req(map, "cost")?,
+                stats: req(map, "stats")?,
+                window: opt(map, "window")?,
+            }),
+            "Stats" => Ok(Response::Stats {
+                stats: req(map, "stats")?,
+                window: opt(map, "window")?,
+            }),
+            "Configured" => Ok(Response::Configured {
+                namespace: req(map, "namespace")?,
+                backend: req(map, "backend")?,
+                k: req(map, "k")?,
+                shards: req(map, "shards")?,
+            }),
+            "Snapshotted" => Ok(Response::Snapshotted {
+                file: req(map, "file")?,
+                bytes: req(map, "bytes")?,
+            }),
+            "Bye" => Ok(Response::Bye {}),
+            "ReplicaSnapshot" => Ok(Response::ReplicaSnapshot {
+                seq: req(map, "seq")?,
+                epoch: req(map, "epoch")?,
+                snapshot: req(map, "snapshot")?,
+            }),
+            "Replicate" => Ok(Response::Replicate {
+                seq: req(map, "seq")?,
+                primary_seq: req(map, "primary_seq")?,
+                record: req(map, "record")?,
+            }),
+            "Error" => Ok(Response::Error {
+                code: req(map, "code")?,
+                message: req(map, "message")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "unknown variant `{other}` for Response"
+            ))),
+        }
+    }
+}
+
 /// Machine-readable failure classes carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorCode {
@@ -596,6 +996,12 @@ pub enum ErrorCode {
     /// explain, and the affected tenant refuses writes rather than
     /// diverging from its log.
     WalCorrupt,
+    /// A `window` field failed [`WindowSpec::validate`]: both or neither
+    /// selector present, a zero/negative/over-limit `last_points`, or a
+    /// non-positive, non-finite or over-limit `last_secs`. The value was
+    /// well-typed (otherwise: [`ErrorCode::MalformedRequest`]) but names
+    /// no valid window.
+    BadWindow,
 }
 
 /// Maps an engine error to the wire-level failure class.
@@ -612,6 +1018,7 @@ pub fn error_code(e: &ClusteringError) -> ErrorCode {
             "tenant_exists" => ErrorCode::TenantExists,
             "replication_lag" => ErrorCode::ReplicationLag,
             "wal_corrupt" => ErrorCode::WalCorrupt,
+            "window" => ErrorCode::BadWindow,
             _ => ErrorCode::Internal,
         },
         _ => ErrorCode::Internal,
@@ -691,18 +1098,22 @@ mod tests {
             Request::Query {
                 freshness: Freshness::Strict,
                 namespace: None,
+                window: None,
             },
             Request::Query {
                 freshness: Freshness::Cached,
                 namespace: Some("tenant-b".to_string()),
+                window: None,
             },
             Request::Stats {
                 freshness: Freshness::Strict,
                 namespace: None,
+                window: None,
             },
             Request::Stats {
                 freshness: Freshness::Cached,
                 namespace: Some("tenant-b".to_string()),
+                window: None,
             },
             Request::Configure {
                 namespace: Some("tenant-c".to_string()),
@@ -757,6 +1168,7 @@ mod tests {
                 Request::Query {
                     freshness: Freshness::Strict,
                     namespace: None,
+                    window: None,
                 },
                 "{line}"
             );
@@ -766,6 +1178,7 @@ mod tests {
             Request::Stats {
                 freshness: Freshness::Strict,
                 namespace: None,
+                window: None,
             }
         );
         assert_eq!(
@@ -773,6 +1186,7 @@ mod tests {
             Request::Query {
                 freshness: Freshness::Cached,
                 namespace: None,
+                window: None,
             }
         );
         assert!(Request::from_line(r#"{"Query":{"freshness":"nope"}}"#).is_err());
@@ -898,6 +1312,24 @@ mod tests {
                     used_cache: true,
                     ran_kmeans: true,
                 },
+                window: None,
+            },
+            Response::Centers {
+                centers: vec![vec![1.0, 2.0]],
+                points_seen: 100,
+                epoch: 8,
+                cost: 0.5,
+                stats: QueryStats {
+                    coresets_merged: 2,
+                    candidate_points: 40,
+                    coreset_level: None,
+                    used_cache: false,
+                    ran_kmeans: true,
+                },
+                window: Some(WindowInfo {
+                    last_points: 60,
+                    covered_points: 80,
+                }),
             },
             Response::Stats {
                 stats: StreamStats {
@@ -906,6 +1338,19 @@ mod tests {
                     per_shard_points: vec![50, 50],
                     last_query: None,
                 },
+                window: None,
+            },
+            Response::Stats {
+                stats: StreamStats {
+                    points_seen: 100,
+                    shards: 2,
+                    per_shard_points: vec![50, 50],
+                    last_query: None,
+                },
+                window: Some(WindowInfo {
+                    last_points: 25,
+                    covered_points: 40,
+                }),
             },
             Response::Configured {
                 namespace: "tenant-a".to_string(),
@@ -983,6 +1428,7 @@ mod tests {
             Request::Query {
                 freshness: Freshness::Strict,
                 namespace: None,
+                window: None,
             }
             .to_line(),
             r#"{"Query":{"freshness":"strict"}}"#
@@ -991,6 +1437,7 @@ mod tests {
             Request::Query {
                 freshness: Freshness::Cached,
                 namespace: None,
+                window: None,
             }
             .to_line(),
             r#"{"Query":{"freshness":"cached"}}"#
@@ -999,6 +1446,7 @@ mod tests {
             Request::Query {
                 freshness: Freshness::Strict,
                 namespace: Some("t1".to_string()),
+                window: None,
             }
             .to_line(),
             r#"{"Query":{"freshness":"strict","namespace":"t1"}}"#

@@ -7,8 +7,8 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use skm_serve::codec::{codec, CodecKind, MAX_FRAME_BYTES};
-use skm_serve::protocol::{ErrorCode, Freshness, Request, Response, TenantConfig};
-use skm_stream::{QueryStats, StreamStats};
+use skm_serve::protocol::{ErrorCode, Freshness, Request, Response, TenantConfig, WindowSpec};
+use skm_stream::{QueryStats, StreamStats, WindowInfo};
 
 const ROUNDS: usize = 64;
 
@@ -25,6 +25,26 @@ fn point(rng: &mut ChaCha8Rng) -> Vec<f64> {
 fn maybe_namespace(rng: &mut ChaCha8Rng) -> Option<String> {
     rng.gen_bool(0.5)
         .then(|| format!("t{}", rng.gen_range(0..100)))
+}
+
+/// Half the generated `Query`/`Stats` requests carry a revision-1.5
+/// window (point- or time-based); the other half are the pre-1.5 shape.
+fn maybe_window(rng: &mut ChaCha8Rng) -> Option<WindowSpec> {
+    if rng.gen_bool(0.5) {
+        return None;
+    }
+    Some(if rng.gen_bool(0.5) {
+        WindowSpec::points(rng.gen_range(1..1_000_000))
+    } else {
+        WindowSpec::secs(nice_f64(rng).abs() + 0.125)
+    })
+}
+
+fn maybe_window_info(rng: &mut ChaCha8Rng) -> Option<WindowInfo> {
+    rng.gen_bool(0.5).then(|| WindowInfo {
+        last_points: rng.gen_range(1..1_000_000),
+        covered_points: rng.gen_range(0..2_000_000),
+    })
 }
 
 fn freshness(rng: &mut ChaCha8Rng) -> Freshness {
@@ -74,10 +94,12 @@ fn request(variant: usize, rng: &mut ChaCha8Rng) -> Request {
         3 => Request::Query {
             freshness: freshness(rng),
             namespace: maybe_namespace(rng),
+            window: maybe_window(rng),
         },
         4 => Request::Stats {
             freshness: freshness(rng),
             namespace: maybe_namespace(rng),
+            window: maybe_window(rng),
         },
         5 => Request::Configure {
             namespace: maybe_namespace(rng),
@@ -97,7 +119,7 @@ fn request(variant: usize, rng: &mut ChaCha8Rng) -> Request {
     }
 }
 
-const ERROR_CODES: [ErrorCode; 14] = [
+const ERROR_CODES: [ErrorCode; 17] = [
     ErrorCode::MalformedRequest,
     ErrorCode::LineTooLong,
     ErrorCode::DimensionMismatch,
@@ -112,6 +134,9 @@ const ERROR_CODES: [ErrorCode; 14] = [
     ErrorCode::BadCodec,
     ErrorCode::FrameTooLarge,
     ErrorCode::Internal,
+    ErrorCode::ReplicationLag,
+    ErrorCode::WalCorrupt,
+    ErrorCode::BadWindow,
 ];
 
 /// One value per `Response` variant.
@@ -131,9 +156,11 @@ fn response(variant: usize, rng: &mut ChaCha8Rng) -> Response {
             epoch: rng.gen_range(0..100),
             cost: nice_f64(rng).abs(),
             stats: query_stats(rng),
+            window: maybe_window_info(rng),
         },
         3 => Response::Stats {
             stats: stream_stats(rng),
+            window: maybe_window_info(rng),
         },
         4 => Response::Configured {
             namespace: format!("t{}", rng.gen_range(0..100)),

@@ -71,7 +71,7 @@ fn a_pre_1_3_json_client_connects_unmodified_without_a_handshake() {
     reply.clear();
     reader.read_line(&mut reply).unwrap();
     match Response::from_line(reply.trim()).unwrap() {
-        Response::Stats { stats } => assert_eq!(stats.points_seen, 1),
+        Response::Stats { stats, .. } => assert_eq!(stats.points_seen, 1),
         other => panic!("pre-1.3 stats refused: {other:?}"),
     }
     drop(stream);
@@ -157,6 +157,7 @@ fn pipelined_frames_are_answered_in_order_on_one_connection() {
                     Request::Stats {
                         freshness: Freshness::Cached,
                         namespace: None,
+                        window: None,
                     },
                 ]
             })
@@ -282,6 +283,7 @@ fn a_write_heavy_pipeline_is_absorbed_by_backpressure_not_a_deadlock() {
         .map(|_| Request::Query {
             freshness: Freshness::Cached,
             namespace: None,
+            window: None,
         })
         .collect();
     let responses = feeder.pipeline(&requests).unwrap();

@@ -239,6 +239,161 @@ fn snapshot_without_directory_and_path_escapes_are_refused() {
 }
 
 #[test]
+fn hostile_window_values_get_bad_window_not_panics_over_json() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ingest(vec![1.0, 2.0]).unwrap();
+    client.ingest(vec![80.0, 2.0]).unwrap();
+
+    // Every out-of-domain value the wire can spell: zero, negative, above
+    // the 2^53 cap, non-finite seconds, both selectors, neither selector.
+    // All of them parse (the carrier is permissive by design) and die in
+    // validation with the typed BadWindow.
+    for kind in ["Query", "Stats"] {
+        for bad in [
+            "{\"last_points\":0}",
+            "{\"last_points\":-5}",
+            "{\"last_points\":18446744073709551615}",
+            "{\"last_points\":9007199254740993}",
+            "{\"last_secs\":0}",
+            "{\"last_secs\":-1.5}",
+            "{\"last_secs\":1e300}",
+            "{\"last_points\":10,\"last_secs\":1.0}",
+            "{}",
+        ] {
+            expect_error(
+                client
+                    .send_raw_line(&format!("{{\"{kind}\":{{\"window\":{bad}}}}}"))
+                    .unwrap(),
+                ErrorCode::BadWindow,
+            );
+        }
+        // Wrong *types* are not a window problem, they are a parse
+        // problem: MalformedRequest, exactly like any other bad field.
+        for garbage in ["\"ten\"", "[1,2]", "{\"last_points\":\"ten\"}"] {
+            expect_error(
+                client
+                    .send_raw_line(&format!("{{\"{kind}\":{{\"window\":{garbage}}}}}"))
+                    .unwrap(),
+                ErrorCode::MalformedRequest,
+            );
+        }
+    }
+
+    assert_still_usable(&mut client, 2);
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn hostile_window_values_get_bad_window_not_panics_over_binary() {
+    let handle = start_server();
+    let mut client = Client::builder(handle.addr())
+        .codec(CodecKind::Binary)
+        .connect()
+        .unwrap();
+    client.ingest(vec![1.0, 2.0]).unwrap();
+    client.ingest(vec![80.0, 2.0]).unwrap();
+
+    let hostile = [
+        WindowSpec::points(0),
+        WindowSpec::points(u64::MAX),
+        WindowSpec::points((1 << 53) + 1),
+        WindowSpec::secs(0.0),
+        WindowSpec::secs(-1.5),
+        WindowSpec::secs(1e300),
+        WindowSpec::secs(f64::NAN),
+        // Both selectors and neither: representable on the wire, rejected
+        // in validation.
+        WindowSpec {
+            last_points: Some(10),
+            last_secs: Some(1.0),
+        },
+        WindowSpec {
+            last_points: None,
+            last_secs: None,
+        },
+    ];
+    for spec in hostile {
+        for request in [
+            Request::Query {
+                freshness: Freshness::Strict,
+                namespace: None,
+                window: Some(spec),
+            },
+            Request::Stats {
+                freshness: Freshness::Strict,
+                namespace: None,
+                window: Some(spec),
+            },
+        ] {
+            match client.call(&request).unwrap() {
+                Response::Error { code, message } => {
+                    assert_eq!(code, ErrorCode::BadWindow, "{spec:?}: {message}");
+                    assert!(!message.is_empty());
+                }
+                other => panic!("{spec:?} must be refused, got {other:?}"),
+            }
+        }
+    }
+
+    assert_still_usable(&mut client, 2);
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+/// A truncated binary window section must read as an *incomplete or
+/// malformed frame*, never silently as a windowless pre-1.5 request — the
+/// invariant that makes appending the section to the frame tail safe.
+#[test]
+fn truncated_binary_window_sections_are_malformed_not_windowless() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let handle = start_server();
+    let mut feeder = Client::connect(handle.addr()).unwrap();
+    feeder.ingest(vec![1.0, 2.0]).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    stream
+        .write_all(b"{\"Hello\":{\"codec\":\"binary\"}}\n")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+
+    // A full windowed Query payload is
+    //   [0x03, freshness, ns-presence, points-presence, u64, secs-presence]
+    // = 3 + 1 + 8 + 1 bytes. Every strict prefix that enters the window
+    // section must be refused as malformed.
+    let mut full = vec![0x03u8, 0x00, 0x00, 0x01];
+    full.extend_from_slice(&500u64.to_le_bytes());
+    full.push(0x00);
+    for cut in 4..full.len() {
+        let payload = &full[..cut];
+        stream
+            .write_all(&u32::try_from(payload.len()).unwrap().to_le_bytes())
+            .unwrap();
+        stream.write_all(payload).unwrap();
+        let mut len = [0u8; 4];
+        reader.read_exact(&mut len).unwrap();
+        let mut response = vec![0u8; u32::from_le_bytes(len) as usize];
+        reader.read_exact(&mut response).unwrap();
+        // 0x87 = Error frame; anything else means the truncated section
+        // was interpreted as data.
+        assert_eq!(
+            response[0], 0x87,
+            "cut at {cut}: truncated window read as tag 0x{:02x}",
+            response[0]
+        );
+    }
+    drop(stream);
+
+    feeder.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn blank_lines_are_tolerated_and_multiple_clients_interleave() {
     let handle = start_server();
     let mut a = Client::connect(handle.addr()).unwrap();

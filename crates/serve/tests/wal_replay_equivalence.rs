@@ -36,8 +36,10 @@ fn grid_spec(kind: BackendKind, seed: u64, shards: usize, batch: usize) -> Engin
 }
 
 /// A deterministic mixed workload: single ingests, a batch ingest every 5
-/// rounds, and a strict query (a logged, state-mutating read) every 60
-/// points. Seed-dependent so different grid cells take different paths.
+/// rounds, a strict query (a logged, state-mutating read) every 60 points,
+/// and a *windowed* strict query (logged as a resolved `QueryWindow`
+/// record, revision 1.5) every 7 rounds. Seed-dependent so different grid
+/// cells take different paths.
 fn run_workload(engine: &Engine, seed: u64) {
     let mut fed = 0usize;
     for i in 0..30usize {
@@ -62,7 +64,42 @@ fn run_workload(engine: &Engine, seed: u64) {
                 .query_in(DEFAULT_NAMESPACE, Freshness::Strict)
                 .unwrap();
         }
+        if fed >= 60 && i % 7 == 6 {
+            // Windowed strict reads consume RNG and publish epochs like
+            // whole-stream ones, so replay must reproduce them exactly.
+            let _ = engine
+                .query_window_in(DEFAULT_NAMESPACE, Window::Points(40))
+                .unwrap();
+        }
     }
+}
+
+/// Asserts witness and recovered answer the same *windowed* strict query
+/// bit-identically — centers, epoch, `points_seen` and coverage.
+fn assert_windowed_reads_match(witness: &Engine, recovered: &Engine, cell: &str) {
+    let expected = witness
+        .query_window_in(DEFAULT_NAMESPACE, Window::Points(50))
+        .unwrap();
+    let actual = recovered
+        .query_window_in(DEFAULT_NAMESPACE, Window::Points(50))
+        .unwrap();
+    assert_eq!(
+        actual.points_seen, expected.points_seen,
+        "windowed points_seen diverged in {cell}"
+    );
+    assert_eq!(
+        actual.epoch, expected.epoch,
+        "windowed epoch diverged in {cell}"
+    );
+    assert_eq!(
+        actual.window, expected.window,
+        "window coverage diverged in {cell}"
+    );
+    assert_eq!(
+        actual.centers.to_rows(),
+        expected.centers.to_rows(),
+        "windowed centers diverged in {cell}"
+    );
 }
 
 #[test]
@@ -118,6 +155,7 @@ fn recovery_is_bit_identical_across_the_seed_shards_batch_grid() {
                     actual.cost,
                     expected.cost
                 );
+                assert_windowed_reads_match(&witness, &recovered, &cell);
 
                 let _ = std::fs::remove_dir_all(&dir);
             }
@@ -164,6 +202,7 @@ fn recovery_is_bit_identical_for_the_single_threaded_backends_too() {
             "{}",
             kind.tag()
         );
+        assert_windowed_reads_match(&witness, &recovered, kind.tag());
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,377 @@
+//! End-to-end acceptance for revision 1.5's time-scoped window queries:
+//! strict windowed reads serve centers plus honest coverage over both
+//! codecs, a whole-stream-equivalent window is indistinguishable from an
+//! omitted one, the `(seed, shards, batch, window)` grid is bit-identical
+//! across independent servers, pre-1.5 frames still get pre-1.5 bytes
+//! (pinned over a raw TCP socket, below the client library), and cached
+//! windowed reads serve the published answer as-is.
+
+use skm_serve::prelude::*;
+use std::sync::Arc;
+
+const K: usize = 2;
+
+fn spec(seed: u64, shards: usize, batch: usize) -> EngineSpec {
+    EngineSpec::sharded_cc(
+        StreamConfig::new(K)
+            .with_bucket_size(20)
+            .with_kmeans_runs(1)
+            .with_lloyd_iterations(2),
+        shards,
+        batch,
+        seed,
+    )
+}
+
+fn start(seed: u64, shards: usize, batch: usize) -> ServerHandle {
+    let engine = Arc::new(Engine::new(&spec(seed, shards, batch)).unwrap());
+    Server::bind("127.0.0.1:0", engine, None)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+/// A deterministic two-blob stream (no RNG: the tests below compare runs
+/// across servers, so the data must be a pure function of `i`).
+fn two_blobs(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let x = if i % 2 == 0 { 0.0 } else { 80.0 };
+            vec![x, (i % 7) as f64 * 0.1]
+        })
+        .collect()
+}
+
+fn feed(client: &mut Client, points: &[Vec<f64>]) {
+    for chunk in points.chunks(64) {
+        match client.ingest_batch(chunk.to_vec()).unwrap() {
+            Response::Ingested { .. } => {}
+            other => panic!("ingest failed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn strict_windowed_queries_serve_centers_and_coverage_on_both_codecs() {
+    let handle = start(7, 2, 8);
+    let mut feeder = Client::connect(handle.addr()).unwrap();
+    feed(&mut feeder, &two_blobs(600));
+
+    for kind in [CodecKind::Json, CodecKind::Binary] {
+        let mut client = Client::builder(handle.addr())
+            .codec(kind)
+            .connect()
+            .unwrap();
+
+        match client
+            .query_opts(&RequestOptions::strict().with_window(WindowSpec::points(100)))
+            .unwrap()
+        {
+            Response::Centers {
+                centers,
+                points_seen,
+                window,
+                ..
+            } => {
+                assert_eq!(centers.len(), K, "{kind:?}");
+                assert_eq!(points_seen, 600, "{kind:?}");
+                let info = window.expect("windowed query must report its window");
+                assert_eq!(info.last_points, 100, "{kind:?}");
+                // Coverage is bucket-granular: at least what was asked,
+                // never more than the stream.
+                assert!(
+                    (100..=600).contains(&info.covered_points),
+                    "{kind:?}: covered {} out of range",
+                    info.covered_points
+                );
+            }
+            other => panic!("{kind:?} windowed query failed: {other:?}"),
+        }
+
+        match client
+            .call(&Request::Stats {
+                freshness: Freshness::Strict,
+                namespace: None,
+                window: Some(WindowSpec::points(100)),
+            })
+            .unwrap()
+        {
+            Response::Stats { stats, window } => {
+                assert_eq!(stats.points_seen, 600, "{kind:?}");
+                let info = window.expect("windowed stats must report coverage");
+                assert_eq!(info.last_points, 100, "{kind:?}");
+                assert!(
+                    (100..=600).contains(&info.covered_points),
+                    "{kind:?}: covered {} out of range",
+                    info.covered_points
+                );
+            }
+            other => panic!("{kind:?} windowed stats failed: {other:?}"),
+        }
+    }
+
+    feeder.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn a_time_window_resolves_against_the_arrival_log_over_the_wire() {
+    let handle = start(7, 2, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    feed(&mut client, &two_blobs(200));
+
+    // Everything arrived within the last ~1e6 seconds, so the resolved
+    // point window is the whole stream.
+    match client
+        .call(&Request::Stats {
+            freshness: Freshness::Strict,
+            namespace: None,
+            window: Some(WindowSpec::secs(1e6)),
+        })
+        .unwrap()
+    {
+        Response::Stats { stats, window } => {
+            assert_eq!(stats.points_seen, 200);
+            let info = window.unwrap();
+            assert_eq!(info.last_points, 200);
+            assert_eq!(info.covered_points, 200);
+        }
+        other => panic!("time-window stats failed: {other:?}"),
+    }
+
+    // A whole-stream-covering time window normalizes to the ordinary
+    // strict query: the response carries no window (it IS the whole
+    // stream).
+    match client
+        .query_opts(&RequestOptions::strict().with_window(WindowSpec::secs(1e6)))
+        .unwrap()
+    {
+        Response::Centers { window, .. } => assert_eq!(window, None),
+        other => panic!("time-window query failed: {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn a_whole_stream_window_is_bit_identical_to_an_omitted_window() {
+    let points = two_blobs(300);
+
+    // Server A: plain strict query. Server B: strict query windowed to (at
+    // least) the whole stream. Same seed, same single-connection arrival
+    // order — the responses must match field for field, including the
+    // absent window (the normalized query takes the ordinary path, RNG
+    // draws and all).
+    let run = |window: Option<WindowSpec>| {
+        let handle = start(11, 2, 8);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        feed(&mut client, &points);
+        let mut options = RequestOptions::strict();
+        if let Some(w) = window {
+            options = options.with_window(w);
+        }
+        let response = client.query_opts(&options).unwrap();
+        client.shutdown().unwrap();
+        handle.shutdown().unwrap();
+        response
+    };
+
+    let omitted = run(None);
+    let whole = run(Some(WindowSpec::points(300)));
+    let beyond = run(Some(WindowSpec::points(1 << 50)));
+    assert_eq!(omitted, whole, "window == stream length diverged");
+    assert_eq!(omitted, beyond, "window beyond stream length diverged");
+    match omitted {
+        Response::Centers { window, .. } => assert_eq!(window, None),
+        other => panic!("strict query failed: {other:?}"),
+    }
+}
+
+#[test]
+fn the_seed_shards_batch_window_grid_is_bit_identical_across_servers() {
+    let points = two_blobs(240);
+    for &seed in &[3u64, 11] {
+        for &shards in &[1usize, 2] {
+            for &(batch, window) in &[(8usize, 60u64), (64, 180)] {
+                let cell =
+                    format!("(seed {seed}, shards {shards}, batch {batch}, window {window})");
+                let run = || {
+                    let handle = start(seed, shards, batch);
+                    let mut client = Client::connect(handle.addr()).unwrap();
+                    feed(&mut client, &points);
+                    let response = client
+                        .query_opts(
+                            &RequestOptions::strict().with_window(WindowSpec::points(window)),
+                        )
+                        .unwrap();
+                    client.shutdown().unwrap();
+                    handle.shutdown().unwrap();
+                    response
+                };
+                let first = run();
+                let second = run();
+                assert_eq!(first, second, "windowed answer diverged in {cell}");
+                match first {
+                    Response::Centers {
+                        centers,
+                        window: info,
+                        ..
+                    } => {
+                        assert_eq!(centers.len(), K, "{cell}");
+                        let info = info.expect("windowed answer must carry coverage");
+                        assert_eq!(info.last_points, window, "{cell}");
+                        assert!(info.covered_points >= window, "{cell}");
+                    }
+                    other => panic!("windowed query failed in {cell}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// The compat pin the revision bump hangs on: frames a pre-1.5 client can
+/// send must be answered with byte-for-byte pre-1.5 responses. Built on a
+/// raw TCP socket so no post-1.5 client code can leak into the bytes.
+#[test]
+fn pre_1_5_frames_get_pre_1_5_bytes_on_both_codecs() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let handle = start(7, 2, 8);
+    let mut feeder = Client::connect(handle.addr()).unwrap();
+    feed(&mut feeder, &two_blobs(120));
+
+    // JSON: a windowless Query/Stats line must be answered without any
+    // `window` key at all — pre-1.5 parsers reject unknown fields.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut reply = String::new();
+    for request in ["{\"Query\":{}}", "{\"Stats\":{}}"] {
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            !reply.contains("window"),
+            "pre-1.5 JSON response grew a window field: {reply}"
+        );
+        assert!(
+            Response::from_line(reply.trim()).is_ok(),
+            "pre-1.5 JSON response unparseable: {reply}"
+        );
+    }
+    drop(stream);
+
+    // Binary: hand-built pre-1.5 frames (tag, freshness, no namespace —
+    // and no window section), answered with the pre-1.5 response tags.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(b"{\"Hello\":{\"codec\":\"binary\"}}\n")
+        .unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        matches!(
+            Response::from_line(reply.trim()).unwrap(),
+            Response::Hello { .. }
+        ),
+        "binary handshake refused: {reply}"
+    );
+    // (request tag, expected response tag): Query → Centers 0x82,
+    // Stats → Stats 0x83. The windowed tags are 0x8B/0x8C; seeing one
+    // here would break every pre-1.5 binary client.
+    for (request_tag, response_tag) in [(0x03u8, 0x82u8), (0x04, 0x83)] {
+        let payload = [request_tag, 0x00, 0x00];
+        stream
+            .write_all(&u32::try_from(payload.len()).unwrap().to_le_bytes())
+            .unwrap();
+        stream.write_all(&payload).unwrap();
+        let mut len = [0u8; 4];
+        reader.read_exact(&mut len).unwrap();
+        let mut response = vec![0u8; u32::from_le_bytes(len) as usize];
+        reader.read_exact(&mut response).unwrap();
+        assert_eq!(
+            response[0], response_tag,
+            "pre-1.5 binary request 0x{request_tag:02x} answered with tag 0x{:02x}",
+            response[0]
+        );
+    }
+    drop(stream);
+
+    feeder.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn cached_windowed_reads_serve_the_published_answer_as_is() {
+    let handle = start(7, 2, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    feed(&mut client, &two_blobs(400));
+
+    // Publish a windowed answer.
+    let published = match client
+        .query_opts(&RequestOptions::strict().with_window(WindowSpec::points(120)))
+        .unwrap()
+    {
+        Response::Centers {
+            centers,
+            epoch,
+            window,
+            ..
+        } => (centers, epoch, window.unwrap()),
+        other => panic!("strict windowed query failed: {other:?}"),
+    };
+
+    // A cached read — windowed or not — serves that published answer
+    // verbatim and reports the window *it* was computed for, not the one
+    // the request asked about. It consumes no RNG and publishes no epoch.
+    for options in [
+        RequestOptions::cached(),
+        RequestOptions::cached().with_window(WindowSpec::points(777)),
+    ] {
+        match client.query_opts(&options).unwrap() {
+            Response::Centers {
+                centers,
+                epoch,
+                window,
+                ..
+            } => {
+                assert_eq!(centers, published.0);
+                assert_eq!(epoch, published.1);
+                assert_eq!(window, Some(published.2));
+            }
+            other => panic!("cached read failed: {other:?}"),
+        }
+    }
+
+    // Cached windowed stats report the published window too; without a
+    // window in the request they stay pre-1.5-shaped.
+    match client
+        .call(&Request::Stats {
+            freshness: Freshness::Cached,
+            namespace: None,
+            window: Some(WindowSpec::points(777)),
+        })
+        .unwrap()
+    {
+        Response::Stats { window, .. } => assert_eq!(window, Some(published.2)),
+        other => panic!("cached windowed stats failed: {other:?}"),
+    }
+    match client
+        .call(&Request::Stats {
+            freshness: Freshness::Cached,
+            namespace: None,
+            window: None,
+        })
+        .unwrap()
+    {
+        Response::Stats { window, .. } => assert_eq!(window, None),
+        other => panic!("cached stats failed: {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
